@@ -1,0 +1,26 @@
+// Figure 10: effect of the balancing parameters (alpha, beta) of Eq. 1 on
+// the synthetic data set. Paper shape: utilities are lowest at (0,1) (pure
+// rider-related utility: Jaccard similarities are small), EG ~= CF at (0,0)
+// (pure trajectory utility aligns both greedy keys), and the parameters
+// barely affect running time.
+#include "bench_util.h"
+
+int main() {
+  using namespace urr;
+  using namespace urr::bench;
+  ExperimentConfig base = DefaultConfig(CityKind::kNycLike);
+  Banner("Figure 10 - effect of balancing parameters (synthetic)", base);
+
+  std::vector<SweepPoint> points;
+  const std::pair<double, double> mixes[] = {
+      {0, 0}, {1, 0}, {0, 1}, {0.33, 0.33}};
+  for (const auto& [alpha, beta] : mixes) {
+    ExperimentConfig cfg = base;
+    cfg.alpha = alpha;
+    cfg.beta = beta;
+    char label[32];
+    std::snprintf(label, sizeof(label), "(%.2f,%.2f)", alpha, beta);
+    points.push_back({label, cfg});
+  }
+  return RunAndReport("fig10_alpha_beta", "(alpha,beta)", points);
+}

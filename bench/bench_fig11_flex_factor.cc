@@ -1,0 +1,21 @@
+// Figure 11: effect of the flexible factor epsilon (drop-off deadline slack)
+// on the synthetic data set. Paper shape: both utility and running time grow
+// with epsilon (looser detour budgets admit more rider-vehicle pairs).
+#include "bench_util.h"
+
+int main() {
+  using namespace urr;
+  using namespace urr::bench;
+  ExperimentConfig base = DefaultConfig(CityKind::kNycLike);
+  Banner("Figure 11 - effect of the flexible factor (synthetic)", base);
+
+  std::vector<SweepPoint> points;
+  for (double epsilon : {1.2, 1.5, 1.7, 2.0}) {
+    ExperimentConfig cfg = base;
+    cfg.epsilon = epsilon;
+    char label[16];
+    std::snprintf(label, sizeof(label), "%.1f", epsilon);
+    points.push_back({label, cfg});
+  }
+  return RunAndReport("fig11_flex_factor", "epsilon", points);
+}

@@ -1,0 +1,22 @@
+// Figure 12: effect of the number of riders m on the synthetic data set.
+// Paper shape: utilities grow quickly until vehicles saturate (~3K riders at
+// paper scale), then flatten; running times grow with m.
+#include "bench_util.h"
+
+int main() {
+  using namespace urr;
+  using namespace urr::bench;
+  ExperimentConfig base = DefaultConfig(CityKind::kNycLike);
+  Banner("Figure 12 - effect of the number of riders (synthetic)", base);
+
+  std::vector<SweepPoint> points;
+  for (int m : {1000, 3000, 5000, 8000, 10000}) {
+    ExperimentConfig cfg = base;
+    cfg.num_riders = std::max(20, static_cast<int>(m * BenchScale()));
+    cfg.num_trip_records = std::max(2000, cfg.num_riders * 3);
+    points.push_back({std::to_string(m) + "(x" +
+                          std::to_string(cfg.num_riders) + ")",
+                      cfg});
+  }
+  return RunAndReport("fig12_riders", "m riders", points);
+}

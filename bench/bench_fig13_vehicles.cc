@@ -1,0 +1,21 @@
+// Figure 13: effect of the number of vehicles n on the synthetic data set.
+// Paper shape: both utility and running time grow with n (more valid pairs,
+// less competition among riders).
+#include "bench_util.h"
+
+int main() {
+  using namespace urr;
+  using namespace urr::bench;
+  ExperimentConfig base = DefaultConfig(CityKind::kNycLike);
+  Banner("Figure 13 - effect of the number of vehicles (synthetic)", base);
+
+  std::vector<SweepPoint> points;
+  for (int n : {100, 200, 300, 400, 500}) {
+    ExperimentConfig cfg = base;
+    cfg.num_vehicles = std::max(5, static_cast<int>(n * BenchScale() * 5));
+    points.push_back({std::to_string(n) + "(x" +
+                          std::to_string(cfg.num_vehicles) + ")",
+                      cfg});
+  }
+  return RunAndReport("fig13_vehicles", "n vehicles", points);
+}

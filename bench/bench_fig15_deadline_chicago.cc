@@ -1,0 +1,22 @@
+// Figure 15 (appendix D): effect of the pickup-deadline range on the
+// Chicago(-like) data set; the paper reports the same ordering as on NYC.
+#include "bench_util.h"
+
+int main() {
+  using namespace urr;
+  using namespace urr::bench;
+  ExperimentConfig base = DefaultConfig(CityKind::kChicagoLike);
+  Banner("Figure 15 - effect of pickup deadline range (Chicago-like)", base);
+
+  std::vector<SweepPoint> points;
+  const std::pair<double, double> ranges[] = {{1, 10}, {10, 30}, {30, 60}};
+  for (const auto& [lo, hi] : ranges) {
+    ExperimentConfig cfg = base;
+    cfg.rt_min_minutes = lo;
+    cfg.rt_max_minutes = hi;
+    points.push_back({"[" + std::to_string(static_cast<int>(lo)) + "," +
+                          std::to_string(static_cast<int>(hi)) + "]min",
+                      cfg});
+  }
+  return RunAndReport("fig15_deadline_chicago", "deadline range", points);
+}

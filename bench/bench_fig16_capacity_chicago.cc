@@ -1,0 +1,18 @@
+// Figure 16 (appendix D): effect of the vehicle capacity on the
+// Chicago(-like) data set.
+#include "bench_util.h"
+
+int main() {
+  using namespace urr;
+  using namespace urr::bench;
+  ExperimentConfig base = DefaultConfig(CityKind::kChicagoLike);
+  Banner("Figure 16 - effect of vehicle capacity (Chicago-like)", base);
+
+  std::vector<SweepPoint> points;
+  for (int capacity : {2, 3, 4, 5}) {
+    ExperimentConfig cfg = base;
+    cfg.capacity = capacity;
+    points.push_back({std::to_string(capacity), cfg});
+  }
+  return RunAndReport("fig16_capacity_chicago", "capacity a_j", points);
+}

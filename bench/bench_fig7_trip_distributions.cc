@@ -1,0 +1,78 @@
+// Figure 7: distribution of the time costs of taxi trips on the NYC and
+// Chicago data sets. Paper shape: in both cities more than half of the
+// trips take less than 1000 seconds, with a long right tail.
+#include "common/table.h"
+#include "graph/generators.h"
+#include "trips/trip_generator.h"
+
+#include "bench_util.h"
+
+int main() {
+  using namespace urr;
+  using namespace urr::bench;
+  ExperimentConfig base = DefaultConfig();
+  Banner("Figure 7 - distribution of time costs of taxi trips", base);
+
+  Rng rng(base.seed);
+  constexpr Cost kBucket = 500;
+  constexpr int kBuckets = 10;
+
+  struct City {
+    const char* name;
+    Result<RoadNetwork> network;
+  };
+  City cities[] = {
+      {"NYC-like", GenerateNycLike(base.city_nodes, &rng)},
+      {"Chicago-like", GenerateChicagoLike(base.city_nodes * 3 / 5, &rng)},
+  };
+
+  std::vector<std::string> header = {"duration bucket (s)"};
+  std::vector<std::vector<int64_t>> hists;
+  std::vector<int64_t> totals;
+  std::vector<int64_t> under_1000;
+  for (City& city : cities) {
+    if (!city.network.ok()) {
+      std::fprintf(stderr, "%s network failed: %s\n", city.name,
+                   city.network.status().ToString().c_str());
+      return 1;
+    }
+    TripGenOptions opt;
+    opt.num_trips = std::max(4000, base.num_riders * 4);
+    auto records = GenerateTrips(*city.network, opt, &rng);
+    if (!records.ok()) {
+      std::fprintf(stderr, "%s trips failed: %s\n", city.name,
+                   records.status().ToString().c_str());
+      return 1;
+    }
+    hists.push_back(DurationHistogram(*records, kBucket, kBuckets));
+    header.push_back(city.name);
+    int64_t total = 0, under = 0;
+    for (const TripRecord& r : *records) {
+      ++total;
+      under += (r.duration < 1000);
+    }
+    totals.push_back(total);
+    under_1000.push_back(under);
+  }
+
+  TablePrinter table(header);
+  for (int b = 0; b < kBuckets; ++b) {
+    std::vector<std::string> row = {
+        "[" + std::to_string(static_cast<int>(b * kBucket)) + "," +
+        (b + 1 == kBuckets ? std::string("inf")
+                           : std::to_string(static_cast<int>((b + 1) * kBucket))) +
+        ")"};
+    for (const auto& hist : hists) {
+      row.push_back(std::to_string(hist[static_cast<size_t>(b)]));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+
+  for (size_t c = 0; c < totals.size(); ++c) {
+    std::printf("%s: %.1f%% of trips under 1000 s (paper: more than half)\n",
+                header[c + 1].c_str(),
+                100.0 * under_1000[c] / std::max<int64_t>(1, totals[c]));
+  }
+  return 0;
+}

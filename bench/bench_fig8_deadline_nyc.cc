@@ -1,0 +1,24 @@
+// Figure 8: effect of the pickup-deadline range [rt-_min, rt-_max] on the
+// NYC(-like) data set. Paper shape: utilities rise with looser deadlines for
+// every approach; BA/GBS+BA highest utility, CF lowest; CF fastest, BA
+// slowest, GBS+X no slower than X.
+#include "bench_util.h"
+
+int main() {
+  using namespace urr;
+  using namespace urr::bench;
+  ExperimentConfig base = DefaultConfig(CityKind::kNycLike);
+  Banner("Figure 8 - effect of pickup deadline range (NYC-like)", base);
+
+  std::vector<SweepPoint> points;
+  const std::pair<double, double> ranges[] = {{1, 10}, {10, 30}, {30, 60}};
+  for (const auto& [lo, hi] : ranges) {
+    ExperimentConfig cfg = base;
+    cfg.rt_min_minutes = lo;
+    cfg.rt_max_minutes = hi;
+    points.push_back({"[" + std::to_string(static_cast<int>(lo)) + "," +
+                          std::to_string(static_cast<int>(hi)) + "]min",
+                      cfg});
+  }
+  return RunAndReport("fig8_deadline_nyc", "deadline range", points);
+}

@@ -1,0 +1,19 @@
+// Figure 9: effect of the vehicle capacity a_j on the NYC(-like) data set.
+// Paper shape: utilities rise slightly with capacity; running times are
+// nearly flat; BA slowest, CF fastest.
+#include "bench_util.h"
+
+int main() {
+  using namespace urr;
+  using namespace urr::bench;
+  ExperimentConfig base = DefaultConfig(CityKind::kNycLike);
+  Banner("Figure 9 - effect of vehicle capacity (NYC-like)", base);
+
+  std::vector<SweepPoint> points;
+  for (int capacity : {2, 3, 4, 5}) {
+    ExperimentConfig cfg = base;
+    cfg.capacity = capacity;
+    points.push_back({std::to_string(capacity), cfg});
+  }
+  return RunAndReport("fig9_capacity_nyc", "capacity a_j", points);
+}

@@ -1,0 +1,221 @@
+// Micro-benchmarks (google-benchmark) of the primitives the URR solvers
+// lean on: point-to-point shortest paths (plain / bidirectional / CH),
+// bounded reverse exploration, Algorithm-1 insertion, utility evaluation and
+// Jaccard similarity.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "routing/alt.h"
+#include "routing/bidirectional.h"
+#include "routing/distance_oracle.h"
+#include "sched/insertion.h"
+#include "sched/kinetic_tree.h"
+#include "cover/kspc.h"
+#include "social/generators.h"
+#include "urr/utility.h"
+
+namespace urr {
+namespace {
+
+/// Shared fixture state, built once.
+struct MicroWorld {
+  RoadNetwork network;
+  std::unique_ptr<ContractionHierarchy> ch;
+  SocialGraph social;
+  Rng rng{1234};
+
+  MicroWorld() {
+    GridCityOptions opt;
+    opt.width = 70;
+    opt.height = 70;
+    network = *GenerateGridCity(opt, &rng);
+    ch = std::make_unique<ContractionHierarchy>(
+        *ContractionHierarchy::Build(network));
+    SocialGenOptions sopt;
+    sopt.num_users = 2000;
+    social = *GeneratePowerLawFriends(sopt, &rng);
+  }
+
+  NodeId RandomNode() {
+    return static_cast<NodeId>(rng.UniformInt(0, network.num_nodes() - 1));
+  }
+};
+
+MicroWorld& World() {
+  static MicroWorld world;
+  return world;
+}
+
+void BM_DijkstraPointToPoint(benchmark::State& state) {
+  MicroWorld& w = World();
+  DijkstraEngine engine(w.network);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Distance(w.RandomNode(), w.RandomNode()));
+  }
+}
+BENCHMARK(BM_DijkstraPointToPoint);
+
+void BM_BidirectionalPointToPoint(benchmark::State& state) {
+  MicroWorld& w = World();
+  BidirectionalDijkstra engine(w.network);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Distance(w.RandomNode(), w.RandomNode()));
+  }
+}
+BENCHMARK(BM_BidirectionalPointToPoint);
+
+void BM_AltQuery(benchmark::State& state) {
+  MicroWorld& w = World();
+  static AltIndex index = *AltIndex::Build(w.network, 8, &w.rng);
+  AltQuery query(w.network, index);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(query.Distance(w.RandomNode(), w.RandomNode()));
+  }
+}
+BENCHMARK(BM_AltQuery);
+
+void BM_ChQuery(benchmark::State& state) {
+  MicroWorld& w = World();
+  ChQuery query(*w.ch);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(query.Distance(w.RandomNode(), w.RandomNode()));
+  }
+}
+BENCHMARK(BM_ChQuery);
+
+void BM_BoundedReverseExplore(benchmark::State& state) {
+  MicroWorld& w = World();
+  DijkstraEngine engine(w.network);
+  const Cost radius = static_cast<Cost>(state.range(0));
+  for (auto _ : state) {
+    int64_t count = 0;
+    engine.Explore(w.RandomNode(), radius, /*reverse=*/true,
+                   [&](NodeId, Cost) { ++count; });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_BoundedReverseExplore)->Arg(600)->Arg(1800);
+
+/// Builds a w-stop schedule then measures FindBestInsertion.
+void BM_FindBestInsertion(benchmark::State& state) {
+  MicroWorld& w = World();
+  ChQuery query(*w.ch);
+  // CH-backed oracle, as the solvers use in production.
+  struct ChBacked : DistanceOracle {
+    explicit ChBacked(ChQuery* q) : q_(q) {}
+    Cost Distance(NodeId u, NodeId v) override {
+      ++num_calls_;
+      return q_->Distance(u, v);
+    }
+    ChQuery* q_;
+  } base(&query);
+  CachingOracle oracle(&base);
+  TransferSequence seq(w.RandomNode(), 0, 6, &oracle);
+  const int target_stops = static_cast<int>(state.range(0));
+  int rider = 0;
+  while (seq.num_stops() < target_stops) {
+    RiderTrip trip{rider++, w.RandomNode(), w.RandomNode(), 1e7, 1e8};
+    if (trip.source == trip.destination) continue;
+    (void)ArrangeSingleRider(&seq, trip);
+  }
+  for (auto _ : state) {
+    RiderTrip probe{999, w.RandomNode(), w.RandomNode(), 1e7, 1e8};
+    benchmark::DoNotOptimize(FindBestInsertion(seq, probe));
+  }
+}
+BENCHMARK(BM_FindBestInsertion)->Arg(4)->Arg(8)->Arg(16);
+
+/// Kinetic-tree maintenance ([20]): cost of keeping every valid ordering
+/// while riders accumulate, versus Algorithm 1's single-sequence insert.
+void BM_KineticTreeInsert(benchmark::State& state) {
+  MicroWorld& w = World();
+  ChQuery query(*w.ch);
+  struct ChBacked : DistanceOracle {
+    explicit ChBacked(ChQuery* q) : q_(q) {}
+    Cost Distance(NodeId u, NodeId v) override {
+      ++num_calls_;
+      return q_->Distance(u, v);
+    }
+    ChQuery* q_;
+  } base(&query);
+  CachingOracle oracle(&base);
+  const int committed = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    KineticTree tree(w.RandomNode(), 0, 4, &oracle);
+    int placed = 0;
+    for (int r = 0; placed < committed && r < committed * 6; ++r) {
+      RiderTrip trip{r, w.RandomNode(), w.RandomNode(), 1e7, 1e8};
+      if (trip.source == trip.destination) continue;
+      if (tree.Insert(trip, 200000).ok()) ++placed;
+    }
+    RiderTrip probe{999, w.RandomNode(), w.RandomNode(), 1e7, 1e8};
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(tree.Insert(probe, 200000));
+  }
+}
+BENCHMARK(BM_KineticTreeInsert)->Arg(2)->Arg(4);
+
+void BM_ScheduleUtility(benchmark::State& state) {
+  MicroWorld& w = World();
+  DijkstraOracle base(w.network);
+  CachingOracle oracle(&base);
+  UrrInstance instance;
+  instance.network = &w.network;
+  instance.social = &w.social;
+  for (int i = 0; i < 8; ++i) {
+    Rider r;
+    r.source = w.RandomNode();
+    r.destination = w.RandomNode();
+    r.pickup_deadline = 1e7;
+    r.dropoff_deadline = 1e8;
+    r.user = static_cast<UserId>(w.rng.UniformInt(0, 1999));
+    instance.riders.push_back(r);
+  }
+  instance.vehicles = {{w.RandomNode(), 8}};
+  UtilityModel model(&instance, {0.33, 0.33});
+  TransferSequence seq(instance.vehicles[0].location, 0, 8, &oracle);
+  for (int i = 0; i < 8; ++i) {
+    const Rider& r = instance.riders[static_cast<size_t>(i)];
+    if (r.source == r.destination) continue;
+    (void)ArrangeSingleRider(&seq, instance.Trip(i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.ScheduleUtility(0, seq));
+  }
+}
+BENCHMARK(BM_ScheduleUtility);
+
+void BM_KspcCover(benchmark::State& state) {
+  MicroWorld& w = World();
+  // A smaller sub-grid keeps the per-iteration cost sane.
+  Rng rng(77);
+  GridCityOptions opt;
+  opt.width = 24;
+  opt.height = 24;
+  static RoadNetwork net = *GenerateGridCity(opt, &rng);
+  KspcOptions kopt;
+  kopt.k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Rng r(777);
+    benchmark::DoNotOptimize(KShortestPathCover(net, kopt, &r));
+  }
+  (void)w;
+}
+BENCHMARK(BM_KspcCover)->Arg(3)->Arg(5)->Unit(benchmark::kMillisecond);
+
+void BM_Jaccard(benchmark::State& state) {
+  MicroWorld& w = World();
+  for (auto _ : state) {
+    const UserId a = static_cast<UserId>(w.rng.UniformInt(0, 1999));
+    const UserId b = static_cast<UserId>(w.rng.UniformInt(0, 1999));
+    benchmark::DoNotOptimize(w.social.Jaccard(a, b));
+  }
+}
+BENCHMARK(BM_Jaccard);
+
+}  // namespace
+}  // namespace urr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// Tiny leveled logger; off-by-default verbose tracing so library code can
+// narrate without polluting bench output.
+#ifndef URR_COMMON_LOGGING_H_
+#define URR_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace urr {
+
+/// Severity levels in increasing order of importance.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted (default kWarning).
+void SetLogLevel(LogLevel level);
+
+/// Current minimum emitted level.
+LogLevel GetLogLevel();
+
+/// Emits `message` at `level` to stderr if enabled.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+/// Stream-style log line; emits on destruction.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogMessage(level_, stream_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define URR_LOG(level) ::urr::internal::LogStream(::urr::LogLevel::level)
+
+}  // namespace urr
+
+#endif  // URR_COMMON_LOGGING_H_

@@ -1,0 +1,78 @@
+// Result<T>: value-or-Status, the Arrow idiom for fallible functions that
+// produce a value. Keeps error handling explicit without exceptions.
+#ifndef URR_COMMON_RESULT_H_
+#define URR_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace urr {
+
+/// Either a `T` or a non-OK `Status`. Constructing from an OK status is a
+/// programming error (there would be no value), guarded by an assert.
+template <typename T>
+class Result {
+ public:
+  /// Wraps a value (implicit so functions can `return value;`).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Wraps an error (implicit so functions can `return Status::...;`).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(repr_).ok() && "Result constructed from OK status");
+  }
+
+  /// True iff a value is held.
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status (OK when a value is held).
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Access the held value. Requires `ok()`.
+  const T& ValueOrDie() const& {
+    assert(ok() && "ValueOrDie on error Result");
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok() && "ValueOrDie on error Result");
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok() && "ValueOrDie on error Result");
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  T&& operator*() && { return std::move(*this).ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Assigns the value of a Result expression to `lhs` or propagates its error.
+#define URR_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define URR_ASSIGN_OR_RETURN(lhs, expr) \
+  URR_ASSIGN_OR_RETURN_IMPL(URR_CONCAT_(_urr_result_, __LINE__), lhs, expr)
+
+#define URR_CONCAT_INNER_(a, b) a##b
+#define URR_CONCAT_(a, b) URR_CONCAT_INNER_(a, b)
+
+}  // namespace urr
+
+#endif  // URR_COMMON_RESULT_H_

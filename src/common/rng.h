@@ -1,0 +1,105 @@
+// Deterministic random-number helper shared by all generators. Every workload
+// generator takes an explicit `Rng&` so experiments are reproducible from a
+// single seed.
+#ifndef URR_COMMON_RNG_H_
+#define URR_COMMON_RNG_H_
+
+#include <cassert>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace urr {
+
+/// Thin wrapper over std::mt19937_64 with the distributions the library needs.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli trial with probability `p` of true.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Poisson sample with mean `lambda` (lambda <= 0 yields 0).
+  int Poisson(double lambda) {
+    if (lambda <= 0.0) return 0;
+    return std::poisson_distribution<int>(lambda)(engine_);
+  }
+
+  /// Normal sample.
+  double Normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Log-normal sample (parameters of the underlying normal).
+  double LogNormal(double mu, double sigma) {
+    return std::lognormal_distribution<double>(mu, sigma)(engine_);
+  }
+
+  /// Exponential sample with rate `lambda`.
+  double Exponential(double lambda) {
+    return std::exponential_distribution<double>(lambda)(engine_);
+  }
+
+  /// Zipf-like rank sample in [0, n): P(k) ∝ 1/(k+1)^s. O(n) setup-free
+  /// rejection-free inverse-CDF over a cached table is overkill here; this
+  /// uses a simple discrete distribution built per call site via `Discrete`.
+  /// For convenience, a direct bounded power-law sample:
+  size_t Zipf(size_t n, double s) {
+    assert(n > 0);
+    // Inverse transform on the (approximate) continuous bounded Pareto.
+    if (s == 1.0) s = 1.0000001;
+    const double x_min = 1.0;
+    const double x_max = static_cast<double>(n) + 1.0;
+    const double u = Uniform();
+    const double a = std::pow(x_min, 1.0 - s);
+    const double b = std::pow(x_max, 1.0 - s);
+    const double x = std::pow(a + u * (b - a), 1.0 / (1.0 - s));
+    size_t k = static_cast<size_t>(x - 1.0);
+    return k >= n ? n - 1 : k;
+  }
+
+  /// Samples an index according to non-negative `weights` (not necessarily
+  /// normalized). Returns weights.size() if all weights are zero.
+  size_t Discrete(const std::vector<double>& weights) {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    if (total <= 0.0) return weights.size();
+    double u = Uniform(0.0, total);
+    for (size_t i = 0; i < weights.size(); ++i) {
+      u -= weights[i];
+      if (u <= 0.0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      std::swap((*v)[i - 1], (*v)[UniformInt(0, static_cast<int64_t>(i) - 1)]);
+    }
+  }
+
+  /// Access the raw engine for std distributions not wrapped here.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace urr
+
+#endif  // URR_COMMON_RNG_H_

@@ -1,0 +1,50 @@
+#include "common/status.h"
+
+namespace urr {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kCapacityExceeded:
+      return "CapacityExceeded";
+    case StatusCode::kDeadlineViolated:
+      return "DeadlineViolated";
+    case StatusCode::kInfeasible:
+      return "Infeasible";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+Status::Status(StatusCode code, std::string message) {
+  if (code != StatusCode::kOk) {
+    state_ = std::make_shared<const State>(State{code, std::move(message)});
+  }
+}
+
+const std::string& Status::message() const {
+  static const std::string kEmpty;
+  return ok() ? kEmpty : state_->message;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code());
+  out += ": ";
+  out += state_->message;
+  return out;
+}
+
+}  // namespace urr

@@ -1,0 +1,106 @@
+// Arrow/RocksDB-style Status: a cheap, movable success-or-error value used on
+// every fallible path in the library instead of exceptions.
+#ifndef URR_COMMON_STATUS_H_
+#define URR_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace urr {
+
+/// Machine-readable category of a `Status`.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kIOError = 5,
+  kCapacityExceeded = 6,
+  kDeadlineViolated = 7,
+  kInfeasible = 8,
+  kInternal = 9,
+};
+
+/// Returns a short stable name such as "InvalidArgument" for a code.
+const char* StatusCodeName(StatusCode code);
+
+/// Success-or-error result of an operation. OK status carries no allocation;
+/// error statuses own a code + message. Copyable and movable.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given error code and message.
+  Status(StatusCode code, std::string message);
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg) {
+    return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+  static Status DeadlineViolated(std::string msg) {
+    return Status(StatusCode::kDeadlineViolated, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return state_ == nullptr; }
+
+  /// Error code; kOk when `ok()`.
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+
+  /// Error message; empty when `ok()`.
+  const std::string& message() const;
+
+  /// Returns "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const State> state_;  // null == OK
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK status to the caller.
+#define URR_RETURN_NOT_OK(expr)              \
+  do {                                       \
+    ::urr::Status _st = (expr);              \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+}  // namespace urr
+
+#endif  // URR_COMMON_STATUS_H_

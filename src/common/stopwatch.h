@@ -1,0 +1,33 @@
+// Wall-clock stopwatch used by the experiment harness to report per-approach
+// running times the way the paper's figures do.
+#ifndef URR_COMMON_STOPWATCH_H_
+#define URR_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace urr {
+
+/// Monotonic stopwatch; starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace urr
+
+#endif  // URR_COMMON_STOPWATCH_H_

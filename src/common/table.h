@@ -1,0 +1,36 @@
+// Aligned ASCII table printer; every figure/table bench uses it so the output
+// reads like the paper's reported rows.
+#ifndef URR_COMMON_TABLE_H_
+#define URR_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace urr {
+
+/// Collects rows of cells and renders them as an aligned, boxed ASCII table.
+class TablePrinter {
+ public:
+  /// Creates a printer with the given column headers.
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` digits after the point.
+  static std::string Num(double value, int precision = 4);
+
+  /// Renders the table.
+  std::string ToString() const;
+
+  /// Renders and prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace urr
+
+#endif  // URR_COMMON_TABLE_H_

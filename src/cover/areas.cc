@@ -1,0 +1,62 @@
+#include "cover/areas.h"
+
+#include <queue>
+
+namespace urr {
+
+Result<AreaSet> BuildAreas(const RoadNetwork& network,
+                           const std::vector<NodeId>& cover) {
+  if (cover.empty()) {
+    return Status::InvalidArgument("cover must be non-empty");
+  }
+  const auto n = static_cast<size_t>(network.num_nodes());
+  AreaSet areas;
+  areas.area_of_node.assign(n, -1);
+  areas.key_vertex = cover;
+  areas.members.resize(cover.size());
+
+  std::vector<Cost> dist(n, kInfiniteCost);
+  using Entry = std::pair<Cost, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  for (size_t a = 0; a < cover.size(); ++a) {
+    const NodeId key = cover[a];
+    if (key < 0 || static_cast<size_t>(key) >= n) {
+      return Status::InvalidArgument("cover vertex out of range");
+    }
+    if (dist[static_cast<size_t>(key)] == 0) {
+      return Status::InvalidArgument("duplicate cover vertex");
+    }
+    dist[static_cast<size_t>(key)] = 0;
+    areas.area_of_node[static_cast<size_t>(key)] = static_cast<int>(a);
+    queue.push({0, key});
+  }
+  while (!queue.empty()) {
+    auto [d, v] = queue.top();
+    queue.pop();
+    if (d > dist[static_cast<size_t>(v)]) continue;
+    auto relax = [&](NodeId w, Cost c) {
+      const Cost nd = d + c;
+      if (nd < dist[static_cast<size_t>(w)]) {
+        dist[static_cast<size_t>(w)] = nd;
+        areas.area_of_node[static_cast<size_t>(w)] =
+            areas.area_of_node[static_cast<size_t>(v)];
+        queue.push({nd, w});
+      }
+    };
+    auto out = network.OutNeighbors(v);
+    auto out_costs = network.OutCosts(v);
+    for (size_t i = 0; i < out.size(); ++i) relax(out[i], out_costs[i]);
+    auto in = network.InNeighbors(v);
+    auto in_costs = network.InCosts(v);
+    for (size_t i = 0; i < in.size(); ++i) relax(in[i], in_costs[i]);
+  }
+  for (size_t v = 0; v < n; ++v) {
+    if (areas.area_of_node[v] >= 0) {
+      areas.members[static_cast<size_t>(areas.area_of_node[v])].push_back(
+          static_cast<NodeId>(v));
+    }
+  }
+  return areas;
+}
+
+}  // namespace urr

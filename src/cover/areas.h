@@ -1,0 +1,34 @@
+// AreaConstruction (Sec 6.1, Algorithm 4): each k-SPC key vertex anchors an
+// area; every other vertex attaches to its closest key vertex.
+#ifndef URR_COVER_AREAS_H_
+#define URR_COVER_AREAS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "graph/road_network.h"
+
+namespace urr {
+
+/// The constructed areas over one network.
+struct AreaSet {
+  /// Area index for every node of the network (always assigned on weakly
+  /// connected networks).
+  std::vector<int> area_of_node;
+  /// Key (center) vertex u_x of each area.
+  std::vector<NodeId> key_vertex;
+  /// Members of each area (including the key vertex).
+  std::vector<std::vector<NodeId>> members;
+
+  int num_areas() const { return static_cast<int>(key_vertex.size()); }
+};
+
+/// Builds areas by attaching every vertex to its closest cover vertex
+/// (multi-source Dijkstra; distances treat edges as undirected so the
+/// attachment is total on weakly connected networks).
+Result<AreaSet> BuildAreas(const RoadNetwork& network,
+                           const std::vector<NodeId>& cover);
+
+}  // namespace urr
+
+#endif  // URR_COVER_AREAS_H_

@@ -1,0 +1,105 @@
+// Experiment harness: builds the full world the paper's experiments run in
+// (city network, geo-social substrate, trip records, Poisson demand model,
+// URR instance) and runs each approach with the paper's measurements
+// (overall utility + running time).
+#ifndef URR_EXP_HARNESS_H_
+#define URR_EXP_HARNESS_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "routing/distance_oracle.h"
+#include "social/checkins.h"
+#include "social/generators.h"
+#include "social/history_similarity.h"
+#include "spatial/vehicle_index.h"
+#include "trips/instance_builder.h"
+#include "urr/gbs.h"
+#include "urr/solution.h"
+
+namespace urr {
+
+/// Which city-like network preset to generate.
+enum class CityKind { kNycLike, kChicagoLike };
+
+/// One experiment's configuration; defaults mirror Table 3's bold values,
+/// scaled by BenchScale() at the bench call sites.
+struct ExperimentConfig {
+  CityKind city = CityKind::kNycLike;
+  NodeId city_nodes = 10000;
+  int num_social_users = 2000;
+  int num_trip_records = 8000;
+
+  int num_riders = 1000;          // m (already scaled by the caller)
+  int num_vehicles = 200;         // n
+  double rt_min_minutes = 10;     // pickup deadline range
+  double rt_max_minutes = 30;
+  int capacity = 3;               // a_j
+  double alpha = 0.33;            // balancing parameters
+  double beta = 0.33;
+  double epsilon = 1.5;           // flexible factor
+  double frame_minutes = 30;      // δ_j
+  bool synthetic = true;          // Poisson-mined pipeline vs records directly
+  uint64_t seed = 42;
+
+  GbsOptions gbs;                 // k / d_max / auto_k for GBS runs
+};
+
+/// Everything one experiment needs, with stable addresses (heap-allocate).
+struct ExperimentWorld {
+  RoadNetwork network;
+  SocialGraph social;
+  std::unique_ptr<CheckInMap> checkins;
+  std::unique_ptr<LocationHistorySimilarity> history;
+  std::unique_ptr<ChOracle> ch;
+  std::unique_ptr<CachingOracle> oracle;
+  TripRecords records;
+  UrrInstance instance;
+  UtilityModel model{nullptr, {}};  // re-pointed in BuildWorld
+  std::unique_ptr<VehicleIndex> vehicle_index;
+  Rng rng{42};
+  ExperimentConfig config;
+  /// Cached RoadNetwork::MaxSpeed() for Euclidean lower bounds.
+  double max_speed = 0;
+  /// Cached GBS road-network preprocessing (lazy; keyed by k and d_max).
+  std::unique_ptr<GbsPreprocess> gbs_pre;
+
+  /// Solver context wired to this world's members.
+  SolverContext Context();
+
+  /// Returns (building on first use) the GBS preprocessing for the current
+  /// config.gbs options. Preprocessing time is not charged to solve time,
+  /// matching the paper's accounting (Sec 6.2).
+  Result<const GbsPreprocess*> GbsPreprocessing();
+};
+
+/// Builds a world. Heap-allocated so borrowed pointers stay valid.
+Result<std::unique_ptr<ExperimentWorld>> BuildWorld(
+    const ExperimentConfig& config);
+
+/// Approaches under test (§7.1.3).
+enum class Approach { kCostFirst, kEfficientGreedy, kBilateral, kGbsEg, kGbsBa };
+
+/// Printable name ("CF", "EG", "BA", "GBS+EG", "GBS+BA").
+std::string ApproachName(Approach approach);
+
+/// All five approaches in the paper's reporting order.
+const std::vector<Approach>& AllApproaches();
+
+/// One approach's measured outcome.
+struct ApproachResult {
+  std::string name;
+  double utility = 0;      // Σ μ(r_i, c_{r_i})
+  double seconds = 0;      // wall-clock solve time
+  int assigned = 0;        // riders served
+  double travel_cost = 0;  // Σ cost(S_j)
+};
+
+/// Runs one approach on the world's instance (validates the solution).
+Result<ApproachResult> RunApproach(ExperimentWorld* world, Approach approach);
+
+}  // namespace urr
+
+#endif  // URR_EXP_HARNESS_H_

@@ -1,0 +1,74 @@
+#include "exp/sweep.h"
+
+#include <iostream>
+
+#include "common/csv.h"
+#include "common/table.h"
+
+namespace urr {
+
+Result<SweepResult> RunSweep(const std::string& parameter_name,
+                             const std::vector<SweepPoint>& points,
+                             const std::vector<Approach>& approaches) {
+  SweepResult sweep;
+  sweep.parameter_name = parameter_name;
+  for (const SweepPoint& point : points) {
+    URR_ASSIGN_OR_RETURN(std::unique_ptr<ExperimentWorld> world,
+                         BuildWorld(point.config));
+    std::vector<ApproachResult> row;
+    for (Approach approach : approaches) {
+      URR_ASSIGN_OR_RETURN(ApproachResult res, RunApproach(world.get(), approach));
+      row.push_back(std::move(res));
+      std::cerr << "  [" << parameter_name << "=" << point.label << "] "
+                << row.back().name << ": utility=" << row.back().utility
+                << " time=" << row.back().seconds << "s" << std::endl;
+    }
+    sweep.labels.push_back(point.label);
+    sweep.rows.push_back(std::move(row));
+  }
+  return sweep;
+}
+
+void PrintSweep(const SweepResult& sweep) {
+  if (sweep.rows.empty()) return;
+  std::vector<std::string> header = {sweep.parameter_name};
+  for (const ApproachResult& r : sweep.rows.front()) header.push_back(r.name);
+
+  auto print_metric = [&](const std::string& title, auto metric, int precision) {
+    std::cout << title << "\n";
+    TablePrinter table(header);
+    for (size_t p = 0; p < sweep.rows.size(); ++p) {
+      std::vector<std::string> row = {sweep.labels[p]};
+      for (const ApproachResult& r : sweep.rows[p]) {
+        row.push_back(TablePrinter::Num(metric(r), precision));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+  };
+  print_metric("(a) Overall utility",
+               [](const ApproachResult& r) { return r.utility; }, 4);
+  print_metric("(b) Running time (seconds)",
+               [](const ApproachResult& r) { return r.seconds; }, 4);
+  print_metric("(c) Riders served",
+               [](const ApproachResult& r) { return double(r.assigned); }, 0);
+}
+
+Status WriteSweepCsv(const SweepResult& sweep, const std::string& path) {
+  if (path.empty()) return Status::OK();
+  CsvTable csv;
+  csv.header = {sweep.parameter_name, "approach",     "utility",
+                "seconds",            "assigned", "travel_cost"};
+  for (size_t p = 0; p < sweep.rows.size(); ++p) {
+    for (const ApproachResult& r : sweep.rows[p]) {
+      csv.rows.push_back({sweep.labels[p], r.name,
+                          TablePrinter::Num(r.utility, 6),
+                          TablePrinter::Num(r.seconds, 6),
+                          std::to_string(r.assigned),
+                          TablePrinter::Num(r.travel_cost, 2)});
+    }
+  }
+  return WriteCsvFile(path, csv);
+}
+
+}  // namespace urr

@@ -1,0 +1,43 @@
+// Parameter sweeps: run every approach across a series of configs and print
+// the paper-style utility/time tables (plus optional CSV dump for plotting).
+#ifndef URR_EXP_SWEEP_H_
+#define URR_EXP_SWEEP_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "exp/harness.h"
+
+namespace urr {
+
+/// One point of a sweep: a label (x-axis value) and its config.
+struct SweepPoint {
+  std::string label;
+  ExperimentConfig config;
+};
+
+/// Full sweep outcome: per point, per approach.
+struct SweepResult {
+  std::string parameter_name;
+  std::vector<std::string> labels;
+  std::vector<std::vector<ApproachResult>> rows;  // rows[point][approach]
+};
+
+/// Runs `approaches` on every point (a fresh world per point).
+Result<SweepResult> RunSweep(const std::string& parameter_name,
+                             const std::vector<SweepPoint>& points,
+                             const std::vector<Approach>& approaches);
+
+/// Prints the two figures the paper reports for each sweep: overall utility
+/// and running time, one row per parameter value, one column per approach.
+/// Also prints riders-served for context.
+void PrintSweep(const SweepResult& sweep);
+
+/// Writes the sweep as CSV (columns: parameter, approach, utility, seconds,
+/// assigned, travel_cost). Empty path = skip.
+Status WriteSweepCsv(const SweepResult& sweep, const std::string& path);
+
+}  // namespace urr
+
+#endif  // URR_EXP_SWEEP_H_

@@ -1,0 +1,182 @@
+#include "graph/generators.h"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace urr {
+
+namespace {
+
+/// Adds a street segment (one or two directed edges) with jittered cost.
+void AddStreet(std::vector<Edge>* edges, NodeId u, NodeId v, double cost,
+               bool bidirectional) {
+  edges->push_back({u, v, cost});
+  if (bidirectional) edges->push_back({v, u, cost});
+}
+
+}  // namespace
+
+Result<RoadNetwork> GenerateGridCity(const GridCityOptions& options, Rng* rng) {
+  if (options.width < 2 || options.height < 2) {
+    return Status::InvalidArgument("grid must be at least 2x2");
+  }
+  if (options.block_cost <= 0) {
+    return Status::InvalidArgument("block_cost must be positive");
+  }
+  if (options.keep_probability <= 0 || options.keep_probability > 1) {
+    return Status::InvalidArgument("keep_probability must be in (0, 1]");
+  }
+  const int w = options.width;
+  const int h = options.height;
+  const NodeId n = static_cast<NodeId>(w) * static_cast<NodeId>(h);
+  auto id = [w](int x, int y) { return static_cast<NodeId>(y * w + x); };
+
+  std::vector<Coord> coords(static_cast<size_t>(n));
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      // Coordinates in cost units so Euclidean distance lower-bounds cost.
+      coords[static_cast<size_t>(id(x, y))] = {
+          x * options.block_cost * (1.0 - options.jitter),
+          y * options.block_cost * (1.0 - options.jitter)};
+    }
+  }
+
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(n) * 4);
+  auto jittered = [&] {
+    return options.block_cost *
+           rng->Uniform(1.0 - options.jitter, 1.0 + options.jitter);
+  };
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (x + 1 < w && rng->Uniform() < options.keep_probability) {
+        AddStreet(&edges, id(x, y), id(x + 1, y), jittered(),
+                  options.bidirectional);
+      }
+      if (y + 1 < h && rng->Uniform() < options.keep_probability) {
+        AddStreet(&edges, id(x, y), id(x, y + 1), jittered(),
+                  options.bidirectional);
+      }
+    }
+  }
+  // Arterials: long edges spanning several blocks at a modest discount, so
+  // their cost exceeds any single block (these are the "edges of tens of
+  // miles" that Sec 6.1's preprocessing splits).
+  const int span = std::max(2, options.arterial_span);
+  const auto num_arterials =
+      static_cast<int64_t>(options.arterial_fraction * n);
+  for (int64_t i = 0; i < num_arterials; ++i) {
+    const int x = static_cast<int>(rng->UniformInt(0, w - 1));
+    const int y = static_cast<int>(rng->UniformInt(0, h - 1));
+    const bool horizontal = rng->Bernoulli(0.5);
+    const int tx = horizontal ? std::min(w - 1, x + span) : x;
+    const int ty = horizontal ? y : std::min(h - 1, y + span);
+    if (tx == x && ty == y) continue;
+    const int blocks = (tx - x) + (ty - y);
+    const double cost = options.block_cost * blocks * 0.8;
+    AddStreet(&edges, id(x, y), id(tx, ty), cost, options.bidirectional);
+  }
+
+  URR_ASSIGN_OR_RETURN(RoadNetwork full,
+                       RoadNetwork::Build(n, std::move(edges), std::move(coords)));
+  std::vector<NodeId> lwcc = full.LargestWeaklyConnectedComponent();
+  if (static_cast<NodeId>(lwcc.size()) == full.num_nodes()) return full;
+  return InducedSubnetwork(full, lwcc);
+}
+
+Result<RoadNetwork> GenerateNycLike(NodeId target_nodes, Rng* rng) {
+  if (target_nodes < 4) {
+    return Status::InvalidArgument("target_nodes too small");
+  }
+  GridCityOptions opt;
+  // Manhattan-ish: dense, slightly elongated grid, short blocks.
+  const double aspect = 1.6;
+  opt.height = std::max(2, static_cast<int>(std::sqrt(target_nodes * aspect)));
+  opt.width = std::max(2, static_cast<int>(target_nodes / opt.height));
+  // 90 s blocks make the city "large" in travel time, as the real NYC
+  // extract is: a 30-minute pickup deadline then covers only a small
+  // neighbourhood of the map, which is the regime the paper's grouping
+  // algorithm is designed for.
+  opt.block_cost = 90.0;
+  opt.jitter = 0.35;
+  opt.keep_probability = 0.93;
+  opt.arterial_fraction = 0.012;
+  opt.arterial_span = 10;
+  return GenerateGridCity(opt, rng);
+}
+
+Result<RoadNetwork> GenerateChicagoLike(NodeId target_nodes, Rng* rng) {
+  if (target_nodes < 4) {
+    return Status::InvalidArgument("target_nodes too small");
+  }
+  GridCityOptions opt;
+  // Chicago extract is sparser: longer blocks, more missing segments.
+  const double aspect = 1.1;
+  opt.height = std::max(2, static_cast<int>(std::sqrt(target_nodes * aspect)));
+  opt.width = std::max(2, static_cast<int>(target_nodes / opt.height));
+  opt.block_cost = 120.0;
+  opt.jitter = 0.4;
+  opt.keep_probability = 0.88;
+  opt.arterial_fraction = 0.02;
+  opt.arterial_span = 8;
+  return GenerateGridCity(opt, rng);
+}
+
+Result<RoadNetwork> PaperFigure1Network() {
+  // Nodes 0..7 = A..H. Two-way streets; costs picked so the Example-1
+  // schedules (c1: r1+ r2+ r1- r2-, c2: r4+ r4- r3+ r3-) are feasible.
+  const NodeId n = 8;
+  std::vector<Edge> edges;
+  auto street = [&](NodeId u, NodeId v, Cost c) {
+    edges.push_back({u, v, c});
+    edges.push_back({v, u, c});
+  };
+  // A-B-C-D along the top, E-F-G-H along the bottom, verticals between.
+  street(0, 1, 1);  // A-B
+  street(1, 2, 2);  // B-C
+  street(2, 3, 2);  // C-D
+  street(4, 5, 2);  // E-F
+  street(5, 6, 2);  // F-G
+  street(6, 7, 1);  // G-H
+  street(0, 4, 2);  // A-E
+  street(1, 5, 2);  // B-F
+  street(2, 6, 1);  // C-G
+  street(3, 7, 2);  // D-H
+  std::vector<Coord> coords = {{0, 1}, {1, 1}, {2, 1}, {3, 1},
+                               {0, 0}, {1, 0}, {2, 0}, {3, 0}};
+  return RoadNetwork::Build(n, std::move(edges), std::move(coords));
+}
+
+Result<RoadNetwork> InducedSubnetwork(const RoadNetwork& network,
+                                      const std::vector<NodeId>& nodes) {
+  std::unordered_map<NodeId, NodeId> remap;
+  remap.reserve(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    NodeId v = nodes[i];
+    if (v < 0 || v >= network.num_nodes()) {
+      return Status::InvalidArgument("node id out of range in subnetwork");
+    }
+    if (!remap.emplace(v, static_cast<NodeId>(i)).second) {
+      return Status::InvalidArgument("duplicate node id in subnetwork");
+    }
+  }
+  std::vector<Edge> edges;
+  std::vector<Coord> coords;
+  if (network.has_coords()) coords.resize(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    NodeId v = nodes[i];
+    if (network.has_coords()) coords[i] = network.coord(v);
+    auto heads = network.OutNeighbors(v);
+    auto costs = network.OutCosts(v);
+    for (size_t k = 0; k < heads.size(); ++k) {
+      auto it = remap.find(heads[k]);
+      if (it != remap.end()) {
+        edges.push_back({static_cast<NodeId>(i), it->second, costs[k]});
+      }
+    }
+  }
+  return RoadNetwork::Build(static_cast<NodeId>(nodes.size()), std::move(edges),
+                            std::move(coords));
+}
+
+}  // namespace urr

@@ -1,0 +1,64 @@
+// Synthetic road-network generators. The paper's experiments run on the
+// DIMACS USA road networks (NYC: 264,346 nodes / 733,846 edges, Chicago:
+// 57,181 nodes / 175,416 edges). Those datasets are not shipped here, so we
+// generate city-like street grids with perturbed travel times, randomly
+// removed blocks (irregularity) and a sprinkle of long arterial edges (which
+// exercise the Eq.-10 pseudo-node splitting). A DIMACS loader (dimacs.h)
+// lets the real data drop in unchanged.
+#ifndef URR_GRAPH_GENERATORS_H_
+#define URR_GRAPH_GENERATORS_H_
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "graph/road_network.h"
+
+namespace urr {
+
+/// Options for the street-grid city generator.
+struct GridCityOptions {
+  /// Grid dimensions; the generator creates width*height candidate nodes.
+  int width = 64;
+  int height = 64;
+  /// Mean travel cost of one block (seconds) and multiplicative jitter: each
+  /// block cost is block_cost * U[1-jitter, 1+jitter].
+  double block_cost = 60.0;
+  double jitter = 0.3;
+  /// Probability that a candidate street segment is kept. The final network
+  /// is the largest weakly connected component of what survives.
+  double keep_probability = 0.92;
+  /// Fraction of nodes that emit one long "arterial" edge jumping several
+  /// blocks. These edges have large costs and trigger pseudo-node splitting.
+  double arterial_fraction = 0.01;
+  /// How many blocks an arterial jumps (cost scales accordingly with a small
+  /// discount, as expressways are faster than surface streets).
+  int arterial_span = 8;
+  /// When true every street is two-way (an edge in each direction).
+  bool bidirectional = true;
+};
+
+/// Generates a city-like street grid. Node coordinates are laid out so that
+/// Euclidean distance is a valid lower bound of travel cost divided by the
+/// network MaxSpeed(). Always returns a weakly connected network.
+Result<RoadNetwork> GenerateGridCity(const GridCityOptions& options, Rng* rng);
+
+/// NYC-like preset: aspect ratio and density loosely mimic the DIMACS NYC
+/// extract, scaled so the node count is about `target_nodes`.
+Result<RoadNetwork> GenerateNycLike(NodeId target_nodes, Rng* rng);
+
+/// Chicago-like preset (sparser, more elongated grid).
+Result<RoadNetwork> GenerateChicagoLike(NodeId target_nodes, Rng* rng);
+
+/// The 8-node road network of the paper's running example (Figure 1):
+/// nodes A..H (= 0..7). Edge costs are chosen so that the schedules discussed
+/// in Example 1 are feasible (the figure's exact weights are not recoverable
+/// from the text; see DESIGN.md).
+Result<RoadNetwork> PaperFigure1Network();
+
+/// Returns the sub-network induced by `nodes` (ids are compacted in the
+/// given order); edges with both endpoints inside are kept.
+Result<RoadNetwork> InducedSubnetwork(const RoadNetwork& network,
+                                      const std::vector<NodeId>& nodes);
+
+}  // namespace urr
+
+#endif  // URR_GRAPH_GENERATORS_H_

@@ -1,0 +1,57 @@
+#include "graph/pseudo_nodes.h"
+
+#include <cmath>
+
+namespace urr {
+
+Result<SplitNetwork> SplitLongEdges(const RoadNetwork& network, Cost d_max) {
+  if (!(d_max > 0)) {
+    return Status::InvalidArgument("d_max must be positive");
+  }
+  const NodeId n0 = network.num_nodes();
+  std::vector<Edge> edges;
+  std::vector<Coord> coords;
+  const bool has_coords = network.has_coords();
+  if (has_coords) coords = network.coords();
+
+  SplitNetwork out;
+  out.original_num_nodes = n0;
+  out.origin.resize(static_cast<size_t>(n0));
+  for (NodeId v = 0; v < n0; ++v) out.origin[static_cast<size_t>(v)] = v;
+
+  NodeId next = n0;
+  for (NodeId u = 0; u < n0; ++u) {
+    auto heads = network.OutNeighbors(u);
+    auto costs = network.OutCosts(u);
+    for (size_t i = 0; i < heads.size(); ++i) {
+      const NodeId v = heads[i];
+      const Cost c = costs[i];
+      const auto n_e = static_cast<int64_t>(std::floor(c / d_max));
+      if (n_e <= 0 || c <= d_max) {
+        edges.push_back({u, v, c});
+        continue;
+      }
+      const Cost seg = c / static_cast<Cost>(n_e + 1);
+      NodeId prev = u;
+      for (int64_t k = 1; k <= n_e; ++k) {
+        const NodeId pseudo = next++;
+        out.origin.push_back(u);
+        if (has_coords) {
+          const double t =
+              static_cast<double>(k) / static_cast<double>(n_e + 1);
+          const Coord& a = network.coord(u);
+          const Coord& b = network.coord(v);
+          coords.push_back({a.x + t * (b.x - a.x), a.y + t * (b.y - a.y)});
+        }
+        edges.push_back({prev, pseudo, seg});
+        prev = pseudo;
+      }
+      edges.push_back({prev, v, seg});
+    }
+  }
+  URR_ASSIGN_OR_RETURN(out.network,
+                       RoadNetwork::Build(next, std::move(edges), std::move(coords)));
+  return out;
+}
+
+}  // namespace urr

@@ -1,0 +1,38 @@
+// Pseudo-node preprocessing of Sec 6.1 (Eq. 10): long edges are split evenly
+// by inserting pseudo nodes so every edge cost is bounded by d_max. The
+// grouping-based scheduler (GBS) runs its k-SPC area construction on the
+// split network so constructed areas have similar radii.
+#ifndef URR_GRAPH_PSEUDO_NODES_H_
+#define URR_GRAPH_PSEUDO_NODES_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "graph/road_network.h"
+
+namespace urr {
+
+/// Result of splitting long edges.
+struct SplitNetwork {
+  /// The network after splitting; nodes [0, original_num_nodes) are the
+  /// original nodes, the rest are pseudo nodes.
+  RoadNetwork network;
+  /// Number of original nodes (== input network's node count).
+  NodeId original_num_nodes = 0;
+  /// For every node of `network`, the original node it maps back to: original
+  /// nodes map to themselves, a pseudo node maps to the tail of the edge it
+  /// was inserted into (useful for attaching areas back to real locations).
+  std::vector<NodeId> origin;
+};
+
+/// Splits every directed edge with cost > d_max by inserting
+/// n_e = floor(cost/d_max) pseudo nodes (Eq. 10). The paper's text divides
+/// the edge into segments of cost(u,v)/n_e, which does not preserve the total
+/// cost for n_e+1 segments; we use cost(u,v)/(n_e+1) so shortest-path
+/// distances are unchanged (documented substitution, see DESIGN.md).
+/// Coordinates (when present) are interpolated linearly.
+Result<SplitNetwork> SplitLongEdges(const RoadNetwork& network, Cost d_max);
+
+}  // namespace urr
+
+#endif  // URR_GRAPH_PSEUDO_NODES_H_

@@ -1,0 +1,157 @@
+#include "graph/road_network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace urr {
+
+double EuclideanDistance(const Coord& a, const Coord& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+Result<RoadNetwork> RoadNetwork::Build(NodeId num_nodes,
+                                       std::vector<Edge> edges,
+                                       std::vector<Coord> coords) {
+  if (num_nodes < 0) {
+    return Status::InvalidArgument("num_nodes must be non-negative");
+  }
+  if (!coords.empty() && static_cast<NodeId>(coords.size()) != num_nodes) {
+    return Status::InvalidArgument(
+        "coords size " + std::to_string(coords.size()) + " != num_nodes " +
+        std::to_string(num_nodes));
+  }
+  for (const Edge& e : edges) {
+    if (e.from < 0 || e.from >= num_nodes || e.to < 0 || e.to >= num_nodes) {
+      return Status::InvalidArgument("edge endpoint out of range");
+    }
+    if (!(e.cost >= 0) || !std::isfinite(e.cost)) {
+      return Status::InvalidArgument("edge cost must be finite, non-negative");
+    }
+  }
+
+  RoadNetwork g;
+  g.num_nodes_ = num_nodes;
+  g.coords_ = std::move(coords);
+
+  const size_t ne = edges.size();
+  // Forward CSR.
+  g.out_begin_.assign(static_cast<size_t>(num_nodes) + 1, 0);
+  for (const Edge& e : edges) ++g.out_begin_[static_cast<size_t>(e.from) + 1];
+  for (size_t i = 1; i < g.out_begin_.size(); ++i) {
+    g.out_begin_[i] += g.out_begin_[i - 1];
+  }
+  g.edge_to_.resize(ne);
+  g.edge_cost_.resize(ne);
+  {
+    std::vector<int64_t> cursor(g.out_begin_.begin(), g.out_begin_.end() - 1);
+    for (const Edge& e : edges) {
+      int64_t slot = cursor[e.from]++;
+      g.edge_to_[static_cast<size_t>(slot)] = e.to;
+      g.edge_cost_[static_cast<size_t>(slot)] = e.cost;
+    }
+  }
+  // Reverse CSR.
+  g.in_begin_.assign(static_cast<size_t>(num_nodes) + 1, 0);
+  for (const Edge& e : edges) ++g.in_begin_[static_cast<size_t>(e.to) + 1];
+  for (size_t i = 1; i < g.in_begin_.size(); ++i) {
+    g.in_begin_[i] += g.in_begin_[i - 1];
+  }
+  g.redge_from_.resize(ne);
+  g.redge_cost_.resize(ne);
+  {
+    std::vector<int64_t> cursor(g.in_begin_.begin(), g.in_begin_.end() - 1);
+    for (const Edge& e : edges) {
+      int64_t slot = cursor[e.to]++;
+      g.redge_from_[static_cast<size_t>(slot)] = e.from;
+      g.redge_cost_[static_cast<size_t>(slot)] = e.cost;
+    }
+  }
+  return g;
+}
+
+Cost RoadNetwork::EdgeCost(NodeId u, NodeId v) const {
+  Cost best = kInfiniteCost;
+  auto heads = OutNeighbors(u);
+  auto costs = OutCosts(u);
+  for (size_t i = 0; i < heads.size(); ++i) {
+    if (heads[i] == v) best = std::min(best, costs[i]);
+  }
+  return best;
+}
+
+std::vector<Edge> RoadNetwork::EdgeList() const {
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(num_edges()));
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    auto heads = OutNeighbors(v);
+    auto costs = OutCosts(v);
+    for (size_t i = 0; i < heads.size(); ++i) {
+      edges.push_back({v, heads[i], costs[i]});
+    }
+  }
+  return edges;
+}
+
+Cost RoadNetwork::EuclideanLowerBound(NodeId u, NodeId v) const {
+  if (coords_.empty()) return 0;
+  return EuclideanDistance(coord(u), coord(v));
+}
+
+std::vector<NodeId> RoadNetwork::LargestWeaklyConnectedComponent() const {
+  std::vector<int32_t> comp(static_cast<size_t>(num_nodes_), -1);
+  int32_t num_comps = 0;
+  std::vector<int64_t> comp_size;
+  std::vector<NodeId> stack;
+  for (NodeId s = 0; s < num_nodes_; ++s) {
+    if (comp[static_cast<size_t>(s)] != -1) continue;
+    const int32_t id = num_comps++;
+    comp_size.push_back(0);
+    stack.push_back(s);
+    comp[static_cast<size_t>(s)] = id;
+    while (!stack.empty()) {
+      NodeId v = stack.back();
+      stack.pop_back();
+      ++comp_size[static_cast<size_t>(id)];
+      for (NodeId w : OutNeighbors(v)) {
+        if (comp[static_cast<size_t>(w)] == -1) {
+          comp[static_cast<size_t>(w)] = id;
+          stack.push_back(w);
+        }
+      }
+      for (NodeId w : InNeighbors(v)) {
+        if (comp[static_cast<size_t>(w)] == -1) {
+          comp[static_cast<size_t>(w)] = id;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  int32_t best = 0;
+  for (int32_t i = 1; i < num_comps; ++i) {
+    if (comp_size[static_cast<size_t>(i)] > comp_size[static_cast<size_t>(best)]) best = i;
+  }
+  std::vector<NodeId> nodes;
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    if (comp[static_cast<size_t>(v)] == best) nodes.push_back(v);
+  }
+  return nodes;
+}
+
+double RoadNetwork::MaxSpeed() const {
+  if (coords_.empty()) return std::numeric_limits<double>::infinity();
+  double max_speed = 0;
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    auto heads = OutNeighbors(v);
+    auto costs = OutCosts(v);
+    for (size_t i = 0; i < heads.size(); ++i) {
+      const double d = EuclideanDistance(coord(v), coord(heads[i]));
+      if (costs[i] > 0 && d > 0) max_speed = std::max(max_speed, d / costs[i]);
+    }
+  }
+  return max_speed > 0 ? max_speed : std::numeric_limits<double>::infinity();
+}
+
+}  // namespace urr

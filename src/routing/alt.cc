@@ -1,0 +1,131 @@
+#include "routing/alt.h"
+
+#include <algorithm>
+
+#include "routing/dijkstra.h"
+
+namespace urr {
+
+Result<AltIndex> AltIndex::Build(const RoadNetwork& network, int num_landmarks,
+                                 Rng* rng) {
+  if (num_landmarks < 1) {
+    return Status::InvalidArgument("need at least one landmark");
+  }
+  if (network.num_nodes() == 0) {
+    return Status::InvalidArgument("network is empty");
+  }
+  AltIndex index;
+  const auto n = static_cast<size_t>(network.num_nodes());
+  num_landmarks =
+      std::min<int>(num_landmarks, static_cast<int>(network.num_nodes()));
+
+  // Farthest-point selection on forward distances, seeded randomly.
+  NodeId current = static_cast<NodeId>(
+      rng->UniformInt(0, network.num_nodes() - 1));
+  std::vector<Cost> min_dist(n, kInfiniteCost);
+  for (int l = 0; l < num_landmarks; ++l) {
+    index.landmarks_.push_back(current);
+    DijkstraResult fwd = RunDijkstra(network, current);
+    DijkstraOptions back;
+    back.reverse = true;
+    DijkstraResult bwd = RunDijkstra(network, current, back);
+    index.from_.push_back(std::move(fwd.dist));
+    index.to_.push_back(std::move(bwd.dist));
+    // Update farthest-point state (use the forward tree; unreachable nodes
+    // never become landmarks of this component).
+    NodeId farthest = current;
+    Cost best = -1;
+    for (size_t v = 0; v < n; ++v) {
+      const Cost d = index.from_.back()[v];
+      if (d < kInfiniteCost) min_dist[v] = std::min(min_dist[v], d);
+      if (min_dist[v] < kInfiniteCost && min_dist[v] > best) {
+        best = min_dist[v];
+        farthest = static_cast<NodeId>(v);
+      }
+    }
+    current = farthest;
+  }
+  return index;
+}
+
+Cost AltIndex::LowerBound(NodeId u, NodeId v) const {
+  Cost bound = 0;
+  for (size_t l = 0; l < landmarks_.size(); ++l) {
+    const Cost lu = from_[l][static_cast<size_t>(u)];
+    const Cost lv = from_[l][static_cast<size_t>(v)];
+    const Cost ul = to_[l][static_cast<size_t>(u)];
+    const Cost vl = to_[l][static_cast<size_t>(v)];
+    // d(l,v) - d(l,u) <= d(u,v) when both finite.
+    if (lv < kInfiniteCost && lu < kInfiniteCost) {
+      bound = std::max(bound, lv - lu);
+    }
+    // d(u,l) - d(v,l) <= d(u,v) when both finite.
+    if (ul < kInfiniteCost && vl < kInfiniteCost) {
+      bound = std::max(bound, ul - vl);
+    }
+  }
+  return bound;
+}
+
+AltQuery::AltQuery(const RoadNetwork& network, const AltIndex& index)
+    : network_(network),
+      index_(index),
+      dist_(static_cast<size_t>(network.num_nodes()), kInfiniteCost),
+      stamp_(static_cast<size_t>(network.num_nodes()), 0) {}
+
+Cost AltQuery::Distance(NodeId source, NodeId target) {
+  if (source == target) return 0;
+  ++now_;
+  if (now_ == 0) {
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    now_ = 1;
+  }
+  while (!queue_.empty()) queue_.pop();
+  last_settled_ = 0;
+
+  auto get = [&](NodeId v) {
+    return stamp_[static_cast<size_t>(v)] == now_ ? dist_[static_cast<size_t>(v)]
+                                                  : kInfiniteCost;
+  };
+  auto set = [&](NodeId v, Cost d) {
+    stamp_[static_cast<size_t>(v)] = now_;
+    dist_[static_cast<size_t>(v)] = d;
+  };
+
+  set(source, 0);
+  queue_.push({index_.LowerBound(source, target), source});
+  while (!queue_.empty()) {
+    auto [f, v] = queue_.top();
+    queue_.pop();
+    const Cost g = get(v);
+    // Lazy-deletion check against the stored g (f = g + h).
+    if (f > g + index_.LowerBound(v, target) + 1e-9) continue;
+    ++last_settled_;
+    if (v == target) return g;
+    auto heads = network_.OutNeighbors(v);
+    auto costs = network_.OutCosts(v);
+    for (size_t i = 0; i < heads.size(); ++i) {
+      const Cost ng = g + costs[i];
+      if (ng < get(heads[i])) {
+        set(heads[i], ng);
+        queue_.push({ng + index_.LowerBound(heads[i], target), heads[i]});
+      }
+    }
+  }
+  return kInfiniteCost;
+}
+
+Result<std::unique_ptr<AltOracle>> AltOracle::Create(const RoadNetwork& network,
+                                                     int num_landmarks,
+                                                     Rng* rng) {
+  URR_ASSIGN_OR_RETURN(AltIndex index,
+                       AltIndex::Build(network, num_landmarks, rng));
+  return std::unique_ptr<AltOracle>(new AltOracle(network, std::move(index)));
+}
+
+Cost AltOracle::Distance(NodeId u, NodeId v) {
+  ++num_calls_;
+  return query_.Distance(u, v);
+}
+
+}  // namespace urr

@@ -1,0 +1,85 @@
+// ALT (A*, Landmarks, Triangle inequality) point-to-point shortest paths:
+// the classic goal-directed alternative to contraction hierarchies. Cheap
+// preprocessing (a handful of Dijkstras) and 3-10x speedups over plain
+// Dijkstra make it the right oracle when the network changes too often to
+// re-contract.
+#ifndef URR_ROUTING_ALT_H_
+#define URR_ROUTING_ALT_H_
+
+#include <queue>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "routing/distance_oracle.h"
+#include "graph/road_network.h"
+
+namespace urr {
+
+/// Preprocessed landmark distances.
+class AltIndex {
+ public:
+  /// Selects `num_landmarks` landmarks with farthest-point selection and
+  /// stores forward/backward distance vectors for each.
+  static Result<AltIndex> Build(const RoadNetwork& network, int num_landmarks,
+                                Rng* rng);
+
+  int num_landmarks() const { return static_cast<int>(landmarks_.size()); }
+  NodeId landmark(int l) const { return landmarks_[static_cast<size_t>(l)]; }
+
+  /// Admissible lower bound on dist(u, v) from the triangle inequality:
+  /// max_l max(d(l,v) - d(l,u), d(u,l) - d(v,l)). Infinity-safe.
+  Cost LowerBound(NodeId u, NodeId v) const;
+
+ private:
+  friend class AltQuery;
+  AltIndex() = default;
+  std::vector<NodeId> landmarks_;
+  // from_[l][v] = d(landmark_l, v); to_[l][v] = d(v, landmark_l).
+  std::vector<std::vector<Cost>> from_;
+  std::vector<std::vector<Cost>> to_;
+};
+
+/// A* query context over an AltIndex; allocation-free per query.
+/// Not thread-safe; one per thread.
+class AltQuery {
+ public:
+  /// Both references are borrowed and must outlive the query object.
+  AltQuery(const RoadNetwork& network, const AltIndex& index);
+
+  /// Exact shortest-path cost (kInfiniteCost when unreachable).
+  Cost Distance(NodeId source, NodeId target);
+
+  /// Nodes settled by the last query (for benchmarks).
+  int64_t last_settled() const { return last_settled_; }
+
+ private:
+  const RoadNetwork& network_;
+  const AltIndex& index_;
+  std::vector<Cost> dist_;
+  std::vector<uint32_t> stamp_;
+  uint32_t now_ = 0;
+  using Entry = std::pair<Cost, NodeId>;  // (f = g + h, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
+  int64_t last_settled_ = 0;
+};
+
+/// DistanceOracle adapter; owns the index, borrows the network.
+class AltOracle : public DistanceOracle {
+ public:
+  static Result<std::unique_ptr<AltOracle>> Create(const RoadNetwork& network,
+                                                   int num_landmarks, Rng* rng);
+  Cost Distance(NodeId u, NodeId v) override;
+
+  const AltIndex& index() const { return index_; }
+
+ private:
+  AltOracle(const RoadNetwork& network, AltIndex index)
+      : index_(std::move(index)), query_(network, index_) {}
+  AltIndex index_;
+  AltQuery query_;
+};
+
+}  // namespace urr
+
+#endif  // URR_ROUTING_ALT_H_

@@ -1,0 +1,72 @@
+#include "routing/bidirectional.h"
+
+#include <algorithm>
+
+namespace urr {
+
+BidirectionalDijkstra::BidirectionalDijkstra(const RoadNetwork& network)
+    : network_(network) {
+  const auto n = static_cast<size_t>(network.num_nodes());
+  fwd_.dist.assign(n, kInfiniteCost);
+  fwd_.stamp.assign(n, 0);
+  bwd_.dist.assign(n, kInfiniteCost);
+  bwd_.stamp.assign(n, 0);
+}
+
+bool BidirectionalDijkstra::Step(Side* self, const Side& other, bool forward,
+                                 Cost* best) {
+  while (!self->queue.empty()) {
+    auto [d, v] = self->queue.top();
+    if (d > self->Get(v, now_)) {
+      self->queue.pop();
+      continue;
+    }
+    self->queue.pop();
+    // Meeting check.
+    const Cost od = other.Get(v, now_);
+    if (od < kInfiniteCost) *best = std::min(*best, d + od);
+    auto heads = forward ? network_.OutNeighbors(v) : network_.InNeighbors(v);
+    auto costs = forward ? network_.OutCosts(v) : network_.InCosts(v);
+    for (size_t i = 0; i < heads.size(); ++i) {
+      const Cost nd = d + costs[i];
+      if (nd < self->Get(heads[i], now_)) {
+        self->Set(heads[i], nd, now_);
+        self->queue.push({nd, heads[i]});
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
+Cost BidirectionalDijkstra::Distance(NodeId source, NodeId target) {
+  if (source == target) return 0;
+  ++now_;
+  if (now_ == 0) {
+    std::fill(fwd_.stamp.begin(), fwd_.stamp.end(), 0);
+    std::fill(bwd_.stamp.begin(), bwd_.stamp.end(), 0);
+    now_ = 1;
+  }
+  fwd_.ClearQueue();
+  bwd_.ClearQueue();
+  fwd_.Set(source, 0, now_);
+  bwd_.Set(target, 0, now_);
+  fwd_.queue.push({0, source});
+  bwd_.queue.push({0, target});
+
+  Cost best = kInfiniteCost;
+  while (!fwd_.queue.empty() || !bwd_.queue.empty()) {
+    const Cost ftop = fwd_.queue.empty() ? kInfiniteCost : fwd_.queue.top().first;
+    const Cost btop = bwd_.queue.empty() ? kInfiniteCost : bwd_.queue.top().first;
+    // Standard stopping criterion: no remaining label pair can beat `best`.
+    if (ftop + btop >= best) break;
+    if (ftop <= btop) {
+      if (!Step(&fwd_, bwd_, /*forward=*/true, &best)) break;
+    } else {
+      if (!Step(&bwd_, fwd_, /*forward=*/false, &best)) break;
+    }
+  }
+  return best;
+}
+
+}  // namespace urr

@@ -1,0 +1,55 @@
+// Bidirectional Dijkstra point-to-point search: meets in the middle, settles
+// roughly half the nodes of a unidirectional search on road networks. Used
+// as a CH-free fallback oracle and as an independent witness in tests.
+#ifndef URR_ROUTING_BIDIRECTIONAL_H_
+#define URR_ROUTING_BIDIRECTIONAL_H_
+
+#include <queue>
+#include <vector>
+
+#include "graph/road_network.h"
+
+namespace urr {
+
+/// Reusable bidirectional point-to-point engine; not thread-safe.
+class BidirectionalDijkstra {
+ public:
+  /// The engine keeps a reference; `network` must outlive it.
+  explicit BidirectionalDijkstra(const RoadNetwork& network);
+
+  /// Shortest-path cost from `source` to `target` (kInfiniteCost when
+  /// unreachable).
+  Cost Distance(NodeId source, NodeId target);
+
+ private:
+  struct Side {
+    std::vector<Cost> dist;
+    std::vector<uint32_t> stamp;
+    using Entry = std::pair<Cost, NodeId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+
+    Cost Get(NodeId v, uint32_t now) const {
+      return stamp[static_cast<size_t>(v)] == now ? dist[static_cast<size_t>(v)]
+                                                  : kInfiniteCost;
+    }
+    void Set(NodeId v, Cost d, uint32_t now) {
+      stamp[static_cast<size_t>(v)] = now;
+      dist[static_cast<size_t>(v)] = d;
+    }
+    void ClearQueue() {
+      while (!queue.empty()) queue.pop();
+    }
+  };
+
+  /// Expands the cheaper frontier one step; updates `best`.
+  bool Step(Side* self, const Side& other, bool forward, Cost* best);
+
+  const RoadNetwork& network_;
+  Side fwd_;
+  Side bwd_;
+  uint32_t now_ = 0;
+};
+
+}  // namespace urr
+
+#endif  // URR_ROUTING_BIDIRECTIONAL_H_

@@ -1,0 +1,559 @@
+#include "routing/contraction_hierarchy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace urr {
+
+namespace {
+
+struct OverlayEdge {
+  NodeId to;
+  Cost cost;
+};
+
+/// Mutable overlay graph used during contraction.
+struct Overlay {
+  std::vector<std::vector<OverlayEdge>> out;
+  std::vector<std::vector<OverlayEdge>> in;
+  std::vector<bool> contracted;
+
+  /// Inserts or relaxes edge u -> v with `cost` in both adjacency mirrors.
+  void UpsertEdge(NodeId u, NodeId v, Cost cost) {
+    auto upsert = [](std::vector<OverlayEdge>* list, NodeId key, Cost c) {
+      for (auto& e : *list) {
+        if (e.to == key) {
+          e.cost = std::min(e.cost, c);
+          return;
+        }
+      }
+      list->push_back({key, c});
+    };
+    upsert(&out[static_cast<size_t>(u)], v, cost);
+    upsert(&in[static_cast<size_t>(v)], u, cost);
+  }
+};
+
+/// Bounded witness search: returns the shortest u ~> w distance in the
+/// overlay (skipping contracted nodes and `excluded`), giving up after
+/// `settle_limit` settles or once `limit` is exceeded. May overestimate
+/// (returns +inf on give-up), which only costs an extra shortcut.
+class WitnessSearch {
+ public:
+  explicit WitnessSearch(size_t n)
+      : dist_(n, kInfiniteCost), stamp_(n, 0) {}
+
+  Cost Run(const Overlay& overlay, NodeId source, NodeId target, NodeId excluded,
+           Cost limit, int settle_limit) {
+    ++now_;
+    if (now_ == 0) {
+      std::fill(stamp_.begin(), stamp_.end(), 0);
+      now_ = 1;
+    }
+    while (!queue_.empty()) queue_.pop();
+    Set(source, 0);
+    queue_.push({0, source});
+    int settled = 0;
+    while (!queue_.empty()) {
+      auto [d, v] = queue_.top();
+      queue_.pop();
+      if (d > Get(v)) continue;
+      if (v == target) return d;
+      if (d > limit) break;
+      if (++settled > settle_limit) break;
+      for (const auto& e : overlay.out[static_cast<size_t>(v)]) {
+        if (e.to == excluded || overlay.contracted[static_cast<size_t>(e.to)]) {
+          continue;
+        }
+        const Cost nd = d + e.cost;
+        if (nd < Get(e.to) && nd <= limit) {
+          Set(e.to, nd);
+          queue_.push({nd, e.to});
+        }
+      }
+    }
+    return Get(target);
+  }
+
+ private:
+  Cost Get(NodeId v) const {
+    return stamp_[static_cast<size_t>(v)] == now_ ? dist_[static_cast<size_t>(v)]
+                                                  : kInfiniteCost;
+  }
+  void Set(NodeId v, Cost d) {
+    stamp_[static_cast<size_t>(v)] = now_;
+    dist_[static_cast<size_t>(v)] = d;
+  }
+
+  std::vector<Cost> dist_;
+  std::vector<uint32_t> stamp_;
+  uint32_t now_ = 0;
+  using Entry = std::pair<Cost, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
+};
+
+struct Shortcut {
+  NodeId from;
+  NodeId to;
+  Cost cost;
+  NodeId middle = kInvalidNode;  // contracted node the shortcut skips
+};
+
+/// Enumerates the shortcuts contraction of `v` would require. When `apply`
+/// is null the caller only wants the count (priority computation).
+int SimulateContraction(const Overlay& overlay, NodeId v, WitnessSearch* witness,
+                        const ChOptions& options,
+                        std::vector<Shortcut>* apply) {
+  int shortcuts = 0;
+  for (const auto& ein : overlay.in[static_cast<size_t>(v)]) {
+    const NodeId u = ein.to;
+    if (u == v || overlay.contracted[static_cast<size_t>(u)]) continue;
+    for (const auto& eout : overlay.out[static_cast<size_t>(v)]) {
+      const NodeId w = eout.to;
+      if (w == v || w == u || overlay.contracted[static_cast<size_t>(w)]) continue;
+      const Cost via = ein.cost + eout.cost;
+      const Cost alt = witness->Run(overlay, u, w, v, via,
+                                    options.witness_settle_limit);
+      if (alt <= via) continue;  // witness path exists, no shortcut needed
+      ++shortcuts;
+      if (apply != nullptr) apply->push_back({u, w, via, v});
+    }
+  }
+  return shortcuts;
+}
+
+/// Node priority: lower contracts earlier.
+int64_t Priority(const Overlay& overlay, NodeId v, int shortcuts,
+                 int deleted_neighbors, const ChOptions& options) {
+  int degree = 0;
+  for (const auto& e : overlay.in[static_cast<size_t>(v)]) {
+    if (!overlay.contracted[static_cast<size_t>(e.to)]) ++degree;
+  }
+  for (const auto& e : overlay.out[static_cast<size_t>(v)]) {
+    if (!overlay.contracted[static_cast<size_t>(e.to)]) ++degree;
+  }
+  const int edge_difference = shortcuts - degree;
+  return static_cast<int64_t>(options.edge_difference_weight) * edge_difference +
+         static_cast<int64_t>(options.deleted_neighbors_weight) *
+             deleted_neighbors;
+}
+
+/// Geometric nested dissection: recursively bisect the node set on the
+/// wider coordinate axis; the ~sqrt(|S|) nodes nearest the median form the
+/// separator and are emitted (= contracted) after both halves. Produces
+/// near-optimal CH orders on planar/grid-like networks.
+std::vector<NodeId> GeometricOrder(const RoadNetwork& network) {
+  std::vector<NodeId> nodes(static_cast<size_t>(network.num_nodes()));
+  for (NodeId v = 0; v < network.num_nodes(); ++v) {
+    nodes[static_cast<size_t>(v)] = v;
+  }
+  std::vector<NodeId> order;
+  order.reserve(nodes.size());
+
+  struct Task {
+    std::vector<NodeId> set;
+    bool emit_only;  // true: append as-is (base case / separators)
+  };
+  // Manual stack with an output-ordering trick: we push (separator,
+  // emit_only) AFTER the halves so it pops FIRST... we need separator last,
+  // so push order: separator-task first, then right, then left (LIFO).
+  std::vector<Task> stack;
+  stack.push_back({std::move(nodes), false});
+  while (!stack.empty()) {
+    Task task = std::move(stack.back());
+    stack.pop_back();
+    if (task.emit_only || task.set.size() <= 16) {
+      for (NodeId v : task.set) order.push_back(v);
+      continue;
+    }
+    // Pick the wider axis.
+    double min_x = 1e300, max_x = -1e300, min_y = 1e300, max_y = -1e300;
+    for (NodeId v : task.set) {
+      const Coord& c = network.coord(v);
+      min_x = std::min(min_x, c.x);
+      max_x = std::max(max_x, c.x);
+      min_y = std::min(min_y, c.y);
+      max_y = std::max(max_y, c.y);
+    }
+    const bool by_x = (max_x - min_x) >= (max_y - min_y);
+    std::sort(task.set.begin(), task.set.end(), [&](NodeId a, NodeId b) {
+      const Coord& ca = network.coord(a);
+      const Coord& cb = network.coord(b);
+      return by_x ? ca.x < cb.x : ca.y < cb.y;
+    });
+    const size_t n = task.set.size();
+    const size_t sep = std::max<size_t>(
+        1, static_cast<size_t>(std::sqrt(static_cast<double>(n))));
+    const size_t mid = n / 2;
+    const size_t sep_lo = mid - std::min(mid, sep / 2);
+    const size_t sep_hi = std::min(n, sep_lo + sep);
+    Task left{std::vector<NodeId>(task.set.begin(), task.set.begin() + sep_lo),
+              false};
+    Task middle{std::vector<NodeId>(task.set.begin() + sep_lo,
+                                    task.set.begin() + sep_hi),
+                true};
+    Task right{std::vector<NodeId>(task.set.begin() + sep_hi, task.set.end()),
+               false};
+    // LIFO: separator pops last -> highest ranks.
+    stack.push_back(std::move(middle));
+    stack.push_back(std::move(right));
+    stack.push_back(std::move(left));
+  }
+  return order;
+}
+
+}  // namespace
+
+Result<ContractionHierarchy> ContractionHierarchy::Build(
+    const RoadNetwork& network, const ChOptions& options) {
+  if (options.witness_settle_limit < 1) {
+    return Status::InvalidArgument("witness_settle_limit must be >= 1");
+  }
+  const NodeId n = network.num_nodes();
+  const auto nu = static_cast<size_t>(n);
+  Overlay overlay;
+  overlay.out.resize(nu);
+  overlay.in.resize(nu);
+  overlay.contracted.assign(nu, false);
+  for (NodeId v = 0; v < n; ++v) {
+    auto heads = network.OutNeighbors(v);
+    auto costs = network.OutCosts(v);
+    for (size_t i = 0; i < heads.size(); ++i) {
+      if (heads[i] == v) continue;  // self loops are useless for shortest paths
+      overlay.UpsertEdge(v, heads[i], costs[i]);
+    }
+  }
+
+  WitnessSearch witness(nu);
+  std::vector<int> deleted_neighbors(nu, 0);
+  std::vector<int32_t> rank(nu, -1);
+
+  // All edges of the final hierarchy graph (originals + shortcuts).
+  std::vector<Shortcut> all_edges;
+  for (NodeId v = 0; v < n; ++v) {
+    for (const auto& e : overlay.out[static_cast<size_t>(v)]) {
+      all_edges.push_back({v, e.to, e.cost, kInvalidNode});
+    }
+  }
+
+  int32_t next_rank = 0;
+  std::vector<Shortcut> shortcuts;
+  auto contract = [&](NodeId v) {
+    overlay.contracted[static_cast<size_t>(v)] = true;
+    rank[static_cast<size_t>(v)] = next_rank++;
+    for (const auto& s : shortcuts) {
+      overlay.UpsertEdge(s.from, s.to, s.cost);
+      all_edges.push_back(s);
+    }
+    for (const auto& e : overlay.in[static_cast<size_t>(v)]) {
+      if (!overlay.contracted[static_cast<size_t>(e.to)]) {
+        ++deleted_neighbors[static_cast<size_t>(e.to)];
+      }
+    }
+    for (const auto& e : overlay.out[static_cast<size_t>(v)]) {
+      if (!overlay.contracted[static_cast<size_t>(e.to)]) {
+        ++deleted_neighbors[static_cast<size_t>(e.to)];
+      }
+    }
+  };
+
+  const bool geometric = options.order == ChOrderStrategy::kGeometric;
+  if (geometric) {
+    // Fixed nested-dissection order: contract in sequence, no priority.
+    for (NodeId v : GeometricOrder(network)) {
+      shortcuts.clear();
+      SimulateContraction(overlay, v, &witness, options, &shortcuts);
+      contract(v);
+    }
+  } else {
+    using HeapEntry = std::pair<int64_t, NodeId>;
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                        std::greater<HeapEntry>>
+        heap;
+    for (NodeId v = 0; v < n; ++v) {
+      const int sc = SimulateContraction(overlay, v, &witness, options, nullptr);
+      heap.push({Priority(overlay, v, sc, 0, options), v});
+    }
+    while (!heap.empty()) {
+      auto [prio, v] = heap.top();
+      heap.pop();
+      if (overlay.contracted[static_cast<size_t>(v)]) continue;
+      // Lazy update: recompute and re-insert when stale.
+      shortcuts.clear();
+      const int sc =
+          SimulateContraction(overlay, v, &witness, options, &shortcuts);
+      const int64_t fresh = Priority(
+          overlay, v, sc, deleted_neighbors[static_cast<size_t>(v)], options);
+      if (!heap.empty() && fresh > heap.top().first) {
+        heap.push({fresh, v});
+        continue;
+      }
+      contract(v);
+    }
+  }
+  assert(next_rank == n);
+
+  ContractionHierarchy ch;
+  ch.num_nodes_ = n;
+  ch.rank_ = std::move(rank);
+
+  // Deduplicate parallel edges keeping minimum cost (UpsertEdge already
+  // relaxes overlay edges, but all_edges may hold superseded copies).
+  // Partition into upward (by tail) and downward-reversed (by head).
+  struct PackedEdge {
+    NodeId to;
+    Cost cost;
+    NodeId middle;
+  };
+  std::vector<std::vector<PackedEdge>> up(nu), down(nu);
+  auto upsert = [](std::vector<PackedEdge>* list, NodeId key, Cost c,
+                   NodeId middle) {
+    for (auto& e : *list) {
+      if (e.to == key) {
+        if (c < e.cost) {
+          e.cost = c;
+          e.middle = middle;  // the middle must follow the surviving cost
+        }
+        return;
+      }
+    }
+    list->push_back({key, c, middle});
+  };
+  for (const auto& e : all_edges) {
+    if (ch.rank_[static_cast<size_t>(e.from)] < ch.rank_[static_cast<size_t>(e.to)]) {
+      upsert(&up[static_cast<size_t>(e.from)], e.to, e.cost, e.middle);
+    } else {
+      upsert(&down[static_cast<size_t>(e.to)], e.from, e.cost, e.middle);
+    }
+  }
+  auto pack = [nu](const std::vector<std::vector<PackedEdge>>& adj,
+                   std::vector<int64_t>* begin, std::vector<NodeId>* to,
+                   std::vector<Cost>* cost, std::vector<NodeId>* middle) {
+    begin->assign(nu + 1, 0);
+    for (size_t v = 0; v < nu; ++v) (*begin)[v + 1] = (*begin)[v] + static_cast<int64_t>(adj[v].size());
+    to->resize(static_cast<size_t>((*begin)[nu]));
+    cost->resize(static_cast<size_t>((*begin)[nu]));
+    middle->resize(static_cast<size_t>((*begin)[nu]));
+    for (size_t v = 0; v < nu; ++v) {
+      int64_t slot = (*begin)[v];
+      for (const auto& e : adj[v]) {
+        (*to)[static_cast<size_t>(slot)] = e.to;
+        (*cost)[static_cast<size_t>(slot)] = e.cost;
+        (*middle)[static_cast<size_t>(slot)] = e.middle;
+        ++slot;
+      }
+    }
+  };
+  pack(up, &ch.up_begin_, &ch.up_to_, &ch.up_cost_, &ch.up_middle_);
+  pack(down, &ch.down_begin_, &ch.down_to_, &ch.down_cost_, &ch.down_middle_);
+  return ch;
+}
+
+ChQuery::ChQuery(const ContractionHierarchy& ch) : ch_(ch) {
+  const auto n = static_cast<size_t>(ch.num_nodes());
+  fwd_.dist.assign(n, kInfiniteCost);
+  fwd_.stamp.assign(n, 0);
+  fwd_.parent.assign(n, kInvalidNode);
+  bwd_.dist.assign(n, kInfiniteCost);
+  bwd_.stamp.assign(n, 0);
+  bwd_.parent.assign(n, kInvalidNode);
+}
+
+Cost ChQuery::Search(NodeId source, NodeId target, NodeId* meeting) {
+  ++num_queries_;
+  if (meeting != nullptr) *meeting = kInvalidNode;
+  if (source == target) {
+    if (meeting != nullptr) *meeting = source;
+    return 0;
+  }
+  ++now_;
+  if (now_ == 0) {
+    std::fill(fwd_.stamp.begin(), fwd_.stamp.end(), 0);
+    std::fill(bwd_.stamp.begin(), bwd_.stamp.end(), 0);
+    now_ = 1;
+  }
+  while (!fwd_.queue.empty()) fwd_.queue.pop();
+  while (!bwd_.queue.empty()) bwd_.queue.pop();
+
+  auto get = [&](Side& s, NodeId v) {
+    return s.stamp[static_cast<size_t>(v)] == now_ ? s.dist[static_cast<size_t>(v)]
+                                                   : kInfiniteCost;
+  };
+  auto set = [&](Side& s, NodeId v, Cost d, NodeId parent) {
+    s.stamp[static_cast<size_t>(v)] = now_;
+    s.dist[static_cast<size_t>(v)] = d;
+    s.parent[static_cast<size_t>(v)] = parent;
+  };
+
+  set(fwd_, source, 0, kInvalidNode);
+  set(bwd_, target, 0, kInvalidNode);
+  fwd_.queue.push({0, source});
+  bwd_.queue.push({0, target});
+  Cost best = kInfiniteCost;
+  NodeId best_meet = kInvalidNode;
+
+  auto relax = [&](Side& side, NodeId v, Cost d, const std::vector<int64_t>& begin,
+                   const std::vector<NodeId>& to, const std::vector<Cost>& cost) {
+    for (int64_t i = begin[static_cast<size_t>(v)];
+         i < begin[static_cast<size_t>(v) + 1]; ++i) {
+      const NodeId w = to[static_cast<size_t>(i)];
+      const Cost nd = d + cost[static_cast<size_t>(i)];
+      if (nd < get(side, w)) {
+        set(side, w, nd, v);
+        side.queue.push({nd, w});
+      }
+    }
+  };
+
+  // Stall-on-demand: a popped label dominated via an edge from a
+  // higher-ranked node cannot lie on a shortest up-down path; skip it.
+  auto stalled = [&](Side& side, NodeId v, Cost d,
+                     const std::vector<int64_t>& rbegin,
+                     const std::vector<NodeId>& rto,
+                     const std::vector<Cost>& rcost) {
+    for (int64_t i = rbegin[static_cast<size_t>(v)];
+         i < rbegin[static_cast<size_t>(v) + 1]; ++i) {
+      const Cost dw = get(side, rto[static_cast<size_t>(i)]);
+      if (dw < kInfiniteCost && dw + rcost[static_cast<size_t>(i)] < d) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  bool fwd_done = false, bwd_done = false;
+  while ((!fwd_done && !fwd_.queue.empty()) ||
+         (!bwd_done && !bwd_.queue.empty())) {
+    if (!fwd_done && !fwd_.queue.empty()) {
+      auto [d, v] = fwd_.queue.top();
+      fwd_.queue.pop();
+      if (d <= get(fwd_, v)) {
+        if (d >= best) {
+          fwd_done = true;
+        } else {
+          const Cost od = get(bwd_, v);
+          if (od < kInfiniteCost && d + od < best) {
+            best = d + od;
+            best_meet = v;
+          }
+          if (!stalled(fwd_, v, d, ch_.down_begin_, ch_.down_to_,
+                       ch_.down_cost_)) {
+            relax(fwd_, v, d, ch_.up_begin_, ch_.up_to_, ch_.up_cost_);
+          }
+        }
+      }
+    } else {
+      fwd_done = true;
+    }
+    if (!bwd_done && !bwd_.queue.empty()) {
+      auto [d, v] = bwd_.queue.top();
+      bwd_.queue.pop();
+      if (d <= get(bwd_, v)) {
+        if (d >= best) {
+          bwd_done = true;
+        } else {
+          const Cost od = get(fwd_, v);
+          if (od < kInfiniteCost && d + od < best) {
+            best = d + od;
+            best_meet = v;
+          }
+          if (!stalled(bwd_, v, d, ch_.up_begin_, ch_.up_to_, ch_.up_cost_)) {
+            relax(bwd_, v, d, ch_.down_begin_, ch_.down_to_, ch_.down_cost_);
+          }
+        }
+      }
+    } else {
+      bwd_done = true;
+    }
+    if (fwd_done && bwd_done) break;
+  }
+  if (meeting != nullptr) *meeting = best_meet;
+  return best;
+}
+
+Cost ChQuery::Distance(NodeId source, NodeId target) {
+  return Search(source, target, nullptr);
+}
+
+namespace {
+
+/// Finds the index of the minimum-cost edge v -> `key` in a CSR slice.
+int64_t FindEdgeSlot(const std::vector<int64_t>& begin,
+                     const std::vector<NodeId>& to, const std::vector<Cost>& cost,
+                     NodeId v, NodeId key) {
+  int64_t found = -1;
+  for (int64_t i = begin[static_cast<size_t>(v)];
+       i < begin[static_cast<size_t>(v) + 1]; ++i) {
+    if (to[static_cast<size_t>(i)] == key &&
+        (found < 0 || cost[static_cast<size_t>(i)] < cost[static_cast<size_t>(found)])) {
+      found = i;
+    }
+  }
+  return found;
+}
+
+}  // namespace
+
+void ChQuery::UnpackUpEdge(NodeId a, NodeId b, std::vector<NodeId>* out) const {
+  // Edge a -> b with rank[b] > rank[a] lives in up_[a].
+  const int64_t slot =
+      FindEdgeSlot(ch_.up_begin_, ch_.up_to_, ch_.up_cost_, a, b);
+  assert(slot >= 0 && "missing upward edge during unpack");
+  const NodeId m = ch_.up_middle_[static_cast<size_t>(slot)];
+  if (m == kInvalidNode) {
+    out->push_back(b);
+    return;
+  }
+  // Constituents: a -> m (rank[m] < rank[a]: a down edge stored at m) and
+  // m -> b (rank[m] < rank[b]: an up edge stored at m).
+  UnpackDownEdge(a, m, out);
+  UnpackUpEdge(m, b, out);
+}
+
+void ChQuery::UnpackDownEdge(NodeId a, NodeId b, std::vector<NodeId>* out) const {
+  // Edge a -> b with rank[a] > rank[b] is stored reversed in down_[b].
+  const int64_t slot =
+      FindEdgeSlot(ch_.down_begin_, ch_.down_to_, ch_.down_cost_, b, a);
+  assert(slot >= 0 && "missing downward edge during unpack");
+  const NodeId m = ch_.down_middle_[static_cast<size_t>(slot)];
+  if (m == kInvalidNode) {
+    out->push_back(b);
+    return;
+  }
+  UnpackDownEdge(a, m, out);
+  UnpackUpEdge(m, b, out);
+}
+
+Cost ChQuery::Path(NodeId source, NodeId target, std::vector<NodeId>* path) {
+  path->clear();
+  NodeId meeting = kInvalidNode;
+  const Cost d = Search(source, target, &meeting);
+  if (d == kInfiniteCost) return d;
+  if (source == target) {
+    path->push_back(source);
+    return 0;
+  }
+  // Hierarchy-space node chains source -> meeting and meeting -> target.
+  std::vector<NodeId> up_chain;  // source ... meeting (ascending ranks)
+  for (NodeId v = meeting; v != kInvalidNode;
+       v = fwd_.parent[static_cast<size_t>(v)]) {
+    up_chain.push_back(v);
+  }
+  std::reverse(up_chain.begin(), up_chain.end());
+  std::vector<NodeId> down_chain;  // meeting ... target (descending ranks)
+  for (NodeId v = meeting; v != kInvalidNode;
+       v = bwd_.parent[static_cast<size_t>(v)]) {
+    down_chain.push_back(v);
+  }
+  path->push_back(source);
+  for (size_t i = 0; i + 1 < up_chain.size(); ++i) {
+    UnpackUpEdge(up_chain[i], up_chain[i + 1], path);
+  }
+  for (size_t i = 0; i + 1 < down_chain.size(); ++i) {
+    UnpackDownEdge(down_chain[i], down_chain[i + 1], path);
+  }
+  return d;
+}
+
+}  // namespace urr

@@ -1,0 +1,122 @@
+// Contraction Hierarchies (Geisberger et al.): preprocessing-based exact
+// point-to-point shortest paths. The URR schedulers issue millions of
+// cost(u,v) queries (Lemma 3.1 checks, Δ computations, utility ratios); CH
+// answers each in microseconds on city-scale networks, which is what makes
+// the paper's experiment sizes tractable.
+#ifndef URR_ROUTING_CONTRACTION_HIERARCHY_H_
+#define URR_ROUTING_CONTRACTION_HIERARCHY_H_
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/road_network.h"
+
+namespace urr {
+
+/// How the contraction order is chosen.
+enum class ChOrderStrategy {
+  /// Currently the lazy edge-difference priority (geometric separator
+  /// ordering creates dense top-level cliques whose contraction cost
+  /// explodes on city-scale grids; it remains available for small graphs).
+  kAuto,
+  /// Classic lazy edge-difference / deleted-neighbors priority queue.
+  kPriority,
+  /// Recursive geometric bisection; separator nodes contract last.
+  /// Opt-in: reasonable only for networks below a few thousand nodes.
+  kGeometric,
+};
+
+/// Build-time tuning knobs.
+struct ChOptions {
+  /// Settle cap for witness searches; higher = fewer redundant shortcuts,
+  /// slower build. Correctness does not depend on it.
+  int witness_settle_limit = 256;
+  /// Weight of the edge-difference term in the node priority.
+  int edge_difference_weight = 8;
+  /// Weight of the deleted-neighbors term (keeps contraction uniform).
+  int deleted_neighbors_weight = 2;
+  ChOrderStrategy order = ChOrderStrategy::kAuto;
+};
+
+/// A built hierarchy. Build once per network with `Build`, then call
+/// `Distance` from any number of `ChQuery` instances.
+class ContractionHierarchy {
+ public:
+  /// Preprocesses `network`. O(V log V)-ish in practice on road networks.
+  static Result<ContractionHierarchy> Build(const RoadNetwork& network,
+                                            const ChOptions& options = {});
+
+  NodeId num_nodes() const { return num_nodes_; }
+  /// Total number of upward edges (original + shortcuts) in both directions.
+  int64_t num_upward_edges() const {
+    return static_cast<int64_t>(up_to_.size() + down_to_.size());
+  }
+  /// Contraction rank of a node (0 = contracted first).
+  int32_t rank(NodeId v) const { return rank_[static_cast<size_t>(v)]; }
+
+ private:
+  friend class ChQuery;
+  ContractionHierarchy() = default;
+
+  NodeId num_nodes_ = 0;
+  std::vector<int32_t> rank_;
+  // Upward forward graph: edges u -> v with rank[v] > rank[u].
+  std::vector<int64_t> up_begin_;
+  std::vector<NodeId> up_to_;
+  std::vector<Cost> up_cost_;
+  // Contracted node each (possibly shortcut) edge skips; kInvalidNode for
+  // original edges. Parallel to up_to_ / down_to_.
+  std::vector<NodeId> up_middle_;
+  // Upward backward graph: reversed edges of (a -> b, rank[a] > rank[b]),
+  // stored as b -> a so the backward search also climbs ranks.
+  std::vector<int64_t> down_begin_;
+  std::vector<NodeId> down_to_;
+  std::vector<Cost> down_cost_;
+  std::vector<NodeId> down_middle_;
+};
+
+/// Query context over a built hierarchy; owns scratch arrays, so queries are
+/// allocation-free. Not thread-safe; create one per thread.
+class ChQuery {
+ public:
+  /// The query keeps a reference; `ch` must outlive it.
+  explicit ChQuery(const ContractionHierarchy& ch);
+
+  /// Exact shortest-path cost (kInfiniteCost when unreachable).
+  Cost Distance(NodeId source, NodeId target);
+
+  /// Like Distance, and also reconstructs the node path in the ORIGINAL
+  /// network (shortcuts unpacked). `path` is emptied when unreachable.
+  Cost Path(NodeId source, NodeId target, std::vector<NodeId>* path);
+
+  /// Number of Distance() calls served (for bench reporting).
+  int64_t num_queries() const { return num_queries_; }
+
+ private:
+  struct Side {
+    std::vector<Cost> dist;
+    std::vector<uint32_t> stamp;
+    std::vector<NodeId> parent;  // hierarchy-graph predecessor
+    using Entry = std::pair<Cost, NodeId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  };
+
+  /// Shared search core; records the best meeting node when asked.
+  Cost Search(NodeId source, NodeId target, NodeId* meeting);
+  /// Appends the original-network nodes of hierarchy edge a -> b (cost c),
+  /// excluding `a` itself, by recursively expanding shortcut middles.
+  void UnpackUpEdge(NodeId a, NodeId b, std::vector<NodeId>* out) const;
+  void UnpackDownEdge(NodeId a, NodeId b, std::vector<NodeId>* out) const;
+
+  const ContractionHierarchy& ch_;
+  Side fwd_;
+  Side bwd_;
+  uint32_t now_ = 0;
+  int64_t num_queries_ = 0;
+};
+
+}  // namespace urr
+
+#endif  // URR_ROUTING_CONTRACTION_HIERARCHY_H_

@@ -1,0 +1,103 @@
+// Dijkstra shortest paths on a RoadNetwork: one-to-all, cost-bounded, and
+// multi-target variants, plus a reusable engine that avoids per-query
+// reinitialization (timestamp trick).
+#ifndef URR_ROUTING_DIJKSTRA_H_
+#define URR_ROUTING_DIJKSTRA_H_
+
+#include <queue>
+#include <vector>
+
+#include "graph/road_network.h"
+
+namespace urr {
+
+/// Dense one-to-all result.
+struct DijkstraResult {
+  std::vector<Cost> dist;      // kInfiniteCost when unreachable
+  std::vector<NodeId> parent;  // kInvalidNode for source/unreached
+};
+
+/// Options controlling a Dijkstra run.
+struct DijkstraOptions {
+  /// Search the reverse graph (distances *to* the source).
+  bool reverse = false;
+  /// Stop expanding once the settled distance exceeds this radius.
+  Cost radius = kInfiniteCost;
+};
+
+/// One-to-all (or radius-bounded) Dijkstra. O((V+E) log V).
+DijkstraResult RunDijkstra(const RoadNetwork& network, NodeId source,
+                           const DijkstraOptions& options = {});
+
+/// Reconstructs the node path source -> target from a forward Dijkstra
+/// result; empty when unreachable.
+std::vector<NodeId> ReconstructPath(const DijkstraResult& result,
+                                    NodeId source, NodeId target);
+
+/// Reusable Dijkstra engine bound to one network. Queries reuse internal
+/// arrays; not thread-safe (use one engine per thread).
+class DijkstraEngine {
+ public:
+  /// The engine keeps a reference; `network` must outlive it.
+  explicit DijkstraEngine(const RoadNetwork& network);
+
+  /// One-to-one distance (early exit once target settles).
+  Cost Distance(NodeId source, NodeId target);
+
+  /// Distances from `source` to each of `targets` (early exit once all
+  /// settle or `radius` is exceeded; unreachable => kInfiniteCost).
+  std::vector<Cost> Distances(NodeId source, const std::vector<NodeId>& targets,
+                              Cost radius = kInfiniteCost);
+
+  /// Runs a (possibly reverse) search from `source` out to `radius` and
+  /// invokes `visit(node, dist)` for every settled node.
+  template <typename Visitor>
+  void Explore(NodeId source, Cost radius, bool reverse, Visitor&& visit) {
+    Prepare();
+    SetDist(source, 0);
+    queue_.push({0, source});
+    while (!queue_.empty()) {
+      auto [d, v] = queue_.top();
+      queue_.pop();
+      if (d > GetDist(v)) continue;
+      if (d > radius) break;
+      visit(v, d);
+      auto heads = reverse ? network_.InNeighbors(v) : network_.OutNeighbors(v);
+      auto costs = reverse ? network_.InCosts(v) : network_.OutCosts(v);
+      for (size_t i = 0; i < heads.size(); ++i) {
+        const Cost nd = d + costs[i];
+        if (nd < GetDist(heads[i]) && nd <= radius) {
+          SetDist(heads[i], nd);
+          queue_.push({nd, heads[i]});
+        }
+      }
+    }
+    ClearQueue();
+  }
+
+ private:
+  void Prepare();
+  void ClearQueue();
+  Cost GetDist(NodeId v) const {
+    return stamp_[static_cast<size_t>(v)] == current_stamp_
+               ? dist_[static_cast<size_t>(v)]
+               : kInfiniteCost;
+  }
+  void SetDist(NodeId v, Cost d) {
+    stamp_[static_cast<size_t>(v)] = current_stamp_;
+    dist_[static_cast<size_t>(v)] = d;
+  }
+
+  using QueueEntry = std::pair<Cost, NodeId>;
+  const RoadNetwork& network_;
+  std::vector<Cost> dist_;
+  std::vector<uint32_t> stamp_;
+  uint32_t current_stamp_ = 0;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue_;
+};
+
+}  // namespace urr
+
+#endif  // URR_ROUTING_DIJKSTRA_H_

@@ -1,0 +1,46 @@
+#include "routing/distance_oracle.h"
+
+namespace urr {
+
+DijkstraOracle::DijkstraOracle(const RoadNetwork& network) : engine_(network) {}
+
+Cost DijkstraOracle::Distance(NodeId u, NodeId v) {
+  ++num_calls_;
+  return engine_.Distance(u, v);
+}
+
+Result<std::unique_ptr<ChOracle>> ChOracle::Create(const RoadNetwork& network,
+                                                   const ChOptions& options) {
+  URR_ASSIGN_OR_RETURN(ContractionHierarchy ch,
+                       ContractionHierarchy::Build(network, options));
+  return std::unique_ptr<ChOracle>(new ChOracle(std::move(ch)));
+}
+
+Cost ChOracle::Distance(NodeId u, NodeId v) {
+  ++num_calls_;
+  return query_.Distance(u, v);
+}
+
+CachingOracle::CachingOracle(DistanceOracle* base, size_t max_entries)
+    : base_(base), max_entries_(max_entries) {
+  cache_.reserve(1 << 12);
+}
+
+Cost CachingOracle::Distance(NodeId u, NodeId v) {
+  ++num_calls_;
+  const uint64_t key =
+      (static_cast<uint64_t>(static_cast<uint32_t>(u)) << 32) |
+      static_cast<uint64_t>(static_cast<uint32_t>(v));
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  const Cost d = base_->Distance(u, v);
+  if (cache_.size() >= max_entries_) cache_.clear();  // simple flush policy
+  cache_.emplace(key, d);
+  return d;
+}
+
+}  // namespace urr

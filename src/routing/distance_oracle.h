@@ -1,0 +1,82 @@
+// DistanceOracle: the one interface through which all URR components ask for
+// shortest-path costs. Implementations: CH-backed (default), plain Dijkstra
+// (reference/witness), and a memoizing wrapper (schedule insertion asks for
+// the same pairs repeatedly).
+#ifndef URR_ROUTING_DISTANCE_ORACLE_H_
+#define URR_ROUTING_DISTANCE_ORACLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "routing/contraction_hierarchy.h"
+#include "routing/dijkstra.h"
+#include "graph/road_network.h"
+
+namespace urr {
+
+/// Abstract exact shortest-path-cost oracle. Implementations are not
+/// thread-safe unless stated; use one per thread.
+class DistanceOracle {
+ public:
+  virtual ~DistanceOracle() = default;
+
+  /// Exact shortest-path cost from `u` to `v`; kInfiniteCost if unreachable.
+  virtual Cost Distance(NodeId u, NodeId v) = 0;
+
+  /// Number of Distance calls made so far (for bench accounting).
+  int64_t num_calls() const { return num_calls_; }
+
+ protected:
+  int64_t num_calls_ = 0;
+};
+
+/// Dijkstra-backed oracle (no preprocessing). Slow per query; used as ground
+/// truth in tests and on tiny networks.
+class DijkstraOracle : public DistanceOracle {
+ public:
+  /// Keeps a reference; `network` must outlive the oracle.
+  explicit DijkstraOracle(const RoadNetwork& network);
+  Cost Distance(NodeId u, NodeId v) override;
+
+ private:
+  DijkstraEngine engine_;
+};
+
+/// CH-backed oracle. Owns the hierarchy.
+class ChOracle : public DistanceOracle {
+ public:
+  /// Builds the hierarchy for `network` (keeps no reference to it afterwards).
+  static Result<std::unique_ptr<ChOracle>> Create(const RoadNetwork& network,
+                                                  const ChOptions& options = {});
+  Cost Distance(NodeId u, NodeId v) override;
+
+  const ContractionHierarchy& hierarchy() const { return ch_; }
+
+ private:
+  explicit ChOracle(ContractionHierarchy ch) : ch_(std::move(ch)), query_(ch_) {}
+  ContractionHierarchy ch_;
+  ChQuery query_;
+};
+
+/// Memoizing decorator: caches (u,v) -> cost in a hash map. The wrapped
+/// oracle must outlive this one.
+class CachingOracle : public DistanceOracle {
+ public:
+  explicit CachingOracle(DistanceOracle* base, size_t max_entries = 1 << 22);
+  Cost Distance(NodeId u, NodeId v) override;
+
+  int64_t num_hits() const { return hits_; }
+  int64_t num_misses() const { return misses_; }
+
+ private:
+  DistanceOracle* base_;
+  size_t max_entries_;
+  std::unordered_map<uint64_t, Cost> cache_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace urr
+
+#endif  // URR_ROUTING_DISTANCE_ORACLE_H_

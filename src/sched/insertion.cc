@@ -1,0 +1,145 @@
+#include "sched/insertion.h"
+
+#include <algorithm>
+
+namespace urr {
+
+namespace {
+
+constexpr Cost kEps = 1e-7;
+
+struct PickupCandidate {
+  int pos;
+  Cost delta;
+};
+
+/// Location a stop inserted at `pos` would depart from.
+NodeId OriginAt(const TransferSequence& seq, int pos) {
+  return pos == 0 ? seq.start_location() : seq.stop(pos - 1).location;
+}
+
+/// Earliest start time of (possibly appended) leg `pos`.
+Cost EarliestStartAt(const TransferSequence& seq, int pos) {
+  return pos < seq.num_stops() ? seq.EarliestStart(pos) : seq.EndTime();
+}
+
+}  // namespace
+
+Result<InsertionPlan> FindBestInsertion(const TransferSequence& seq,
+                                        const RiderTrip& trip) {
+  DistanceOracle* oracle = seq.oracle();
+  const int w = seq.num_stops();
+
+  // --- Valid pickup positions (Lemma 3.1 conditions a–d for x = s_i). -----
+  std::vector<PickupCandidate> pickups;
+  for (int u = 0; u <= w; ++u) {
+    const Cost estart = EarliestStartAt(seq, u);
+    // Lemma 3.2: earliest start times are non-decreasing along the sequence,
+    // so once one exceeds the pickup deadline no later position is valid.
+    if (estart > trip.pickup_deadline + kEps) break;
+    const Cost to_s = oracle->Distance(OriginAt(seq, u), trip.source);
+    // Conditions a+b in their tight form: the vehicle must reach s_i by its
+    // deadline departing at the leg's earliest start.
+    if (estart + to_s > trip.pickup_deadline + kEps) continue;
+    if (u < w) {
+      const Cost delta =
+          to_s + oracle->Distance(trip.source, seq.stop(u).location) -
+          seq.leg_cost(u);
+      if (delta > seq.FlexTime(u) + kEps) continue;        // condition c
+      if (seq.Onboard(u) + 1 > seq.capacity()) continue;   // condition d
+      pickups.push_back({u, delta});
+    } else {
+      if (seq.EndOnboard() + 1 > seq.capacity()) continue;  // condition d
+      pickups.push_back({u, to_s});                          // appended leg
+    }
+  }
+  if (pickups.empty()) {
+    return Status::Infeasible("no valid pickup position");
+  }
+  std::sort(pickups.begin(), pickups.end(),
+            [](const PickupCandidate& a, const PickupCandidate& b) {
+              return a.delta < b.delta;
+            });
+
+  InsertionPlan best;
+  for (const PickupCandidate& cand : pickups) {
+    if (cand.delta >= best.delta_cost) break;  // Δ-sorted early exit
+    // Insert s_i and recompute fields (updateEventFields in Algorithm 1).
+    TransferSequence trial = seq;
+    trial.InsertStop(cand.pos, Stop{trip.source, trip.rider, StopType::kPickup,
+                                    trip.pickup_deadline});
+    const int w2 = trial.num_stops();
+    // --- Valid dropoff positions v > pickup position, on the updated
+    // sequence. The rider is onboard legs cand.pos+1 .. v, so every such leg
+    // must respect capacity; trial already counts the unmatched pickup.
+    for (int v = cand.pos + 1; v <= w2; ++v) {
+      if (v < w2 && trial.Onboard(v) > trial.capacity()) break;
+      const Cost estart = EarliestStartAt(trial, v);
+      if (estart > trip.dropoff_deadline + kEps) break;  // Lemma 3.2
+      const Cost to_e = oracle->Distance(OriginAt(trial, v), trip.destination);
+      if (estart + to_e > trip.dropoff_deadline + kEps) continue;
+      Cost delta_e;
+      if (v < w2) {
+        delta_e = to_e +
+                  oracle->Distance(trip.destination, trial.stop(v).location) -
+                  trial.leg_cost(v);
+        if (delta_e > trial.FlexTime(v) + kEps) continue;  // condition c
+      } else {
+        delta_e = to_e;
+      }
+      const Cost total = cand.delta + delta_e;
+      if (total < best.delta_cost) {
+        best = {cand.pos, v, total};
+      }
+    }
+  }
+  if (best.pickup_pos < 0) {
+    return Status::Infeasible("no valid (pickup, dropoff) position pair");
+  }
+  return best;
+}
+
+Status ApplyInsertion(TransferSequence* seq, const RiderTrip& trip,
+                      const InsertionPlan& plan) {
+  if (plan.pickup_pos < 0 || plan.dropoff_pos <= plan.pickup_pos ||
+      plan.pickup_pos > seq->num_stops() ||
+      plan.dropoff_pos > seq->num_stops() + 1) {
+    return Status::InvalidArgument("malformed insertion plan");
+  }
+  seq->InsertStop(plan.pickup_pos, Stop{trip.source, trip.rider,
+                                        StopType::kPickup,
+                                        trip.pickup_deadline});
+  seq->InsertStop(plan.dropoff_pos, Stop{trip.destination, trip.rider,
+                                         StopType::kDropoff,
+                                         trip.dropoff_deadline});
+  return Status::OK();
+}
+
+Result<InsertionPlan> ArrangeSingleRider(TransferSequence* seq,
+                                         const RiderTrip& trip) {
+  URR_ASSIGN_OR_RETURN(InsertionPlan plan, FindBestInsertion(*seq, trip));
+  URR_RETURN_NOT_OK(ApplyInsertion(seq, trip, plan));
+  return plan;
+}
+
+Result<InsertionPlan> FindBestInsertionBruteForce(const TransferSequence& seq,
+                                                  const RiderTrip& trip) {
+  const Cost base_cost = seq.TotalCost();
+  InsertionPlan best;
+  for (int p = 0; p <= seq.num_stops(); ++p) {
+    for (int q = p + 1; q <= seq.num_stops() + 1; ++q) {
+      TransferSequence trial = seq;
+      const Status applied = ApplyInsertion(&trial, trip, {p, q, 0});
+      if (!applied.ok()) continue;
+      if (!trial.Validate().ok()) continue;
+      const Cost delta = trial.TotalCost() - base_cost;
+      if (delta < best.delta_cost) best = {p, q, delta};
+    }
+  }
+  if (best.pickup_pos < 0) {
+    return Status::Infeasible("no valid insertion (brute force)");
+  }
+  return best;
+}
+
+}  // namespace urr

@@ -1,0 +1,55 @@
+// ArrangeSingleRider (Sec 3.2, Algorithm 1): exact minimum-incremental-cost
+// insertion of one rider into an existing transfer sequence without
+// reordering it. Implements the Lemma-3.1 validity conditions, the
+// Lemma-3.2 earliest-start pruning and the Δ-sorted early break.
+#ifndef URR_SCHED_INSERTION_H_
+#define URR_SCHED_INSERTION_H_
+
+#include "common/result.h"
+#include "sched/transfer_sequence.h"
+
+namespace urr {
+
+/// A rider's trip as the scheduler sees it.
+struct RiderTrip {
+  RiderId rider = -1;
+  NodeId source = kInvalidNode;
+  NodeId destination = kInvalidNode;
+  Cost pickup_deadline = kInfiniteCost;   // rt⁻
+  Cost dropoff_deadline = kInfiniteCost;  // rt⁺
+};
+
+/// Where to insert the rider's two stops and the incremental travel cost.
+/// `pickup_pos` is the index the pickup stop will occupy; `dropoff_pos` is
+/// the index the dropoff stop will occupy after the pickup is inserted
+/// (so dropoff_pos > pickup_pos always).
+struct InsertionPlan {
+  int pickup_pos = -1;
+  int dropoff_pos = -1;
+  Cost delta_cost = kInfiniteCost;
+};
+
+/// Finds the minimum-Δcost valid insertion of `trip` into `seq`
+/// (Algorithm 1). Returns Infeasible when no valid pair of positions exists.
+/// O(w²) worst case; the Lemma-3.2 break and Δ-sorted early exit prune most
+/// candidates in practice.
+Result<InsertionPlan> FindBestInsertion(const TransferSequence& seq,
+                                        const RiderTrip& trip);
+
+/// Materializes `plan` (as returned by FindBestInsertion) into `seq`.
+Status ApplyInsertion(TransferSequence* seq, const RiderTrip& trip,
+                      const InsertionPlan& plan);
+
+/// Find + apply in one call; returns the applied plan.
+Result<InsertionPlan> ArrangeSingleRider(TransferSequence* seq,
+                                         const RiderTrip& trip);
+
+/// Reference implementation for tests: tries every (pickup, dropoff)
+/// position pair, validates the resulting schedule with
+/// TransferSequence::Validate(), and returns the cheapest. O(w³) + oracle.
+Result<InsertionPlan> FindBestInsertionBruteForce(const TransferSequence& seq,
+                                                  const RiderTrip& trip);
+
+}  // namespace urr
+
+#endif  // URR_SCHED_INSERTION_H_

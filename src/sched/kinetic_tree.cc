@@ -1,0 +1,247 @@
+#include "sched/kinetic_tree.h"
+
+#include <algorithm>
+
+namespace urr {
+
+namespace {
+constexpr Cost kEps = 1e-7;
+}
+
+/// One tree node: a stop reached along some ordering prefix, with the state
+/// the vehicle is in after serving it.
+struct KineticTree::Node {
+  Stop stop;
+  Cost leg = 0;      // travel cost from the parent (or the vehicle start)
+  Cost arrival = 0;  // earliest arrival at stop.location along this path
+  int onboard = 0;   // riders in the vehicle after this stop
+  std::vector<std::unique_ptr<Node>> children;
+};
+
+struct KineticTree::Rep {
+  NodeId start;
+  Cost now;
+  int capacity;
+  DistanceOracle* oracle;
+  std::vector<std::unique_ptr<Node>> roots;
+
+  int64_t budget = 0;  // node-creation budget for the current insertion
+
+  /// Deep copy of a subtree with the vehicle arriving at the copy's root
+  /// location at a new (later) time: arrivals are recomputed and nodes whose
+  /// deadlines break are pruned. A non-leaf that loses every child loses its
+  /// complete orderings and is pruned too. Null when nothing survives or
+  /// the budget trips (budget exhaustion also sets `overflow`).
+  std::unique_ptr<Node> CopyShifted(const Node& node, NodeId from_loc,
+                                    Cost from_time, int from_onboard,
+                                    bool* overflow) {
+    if (--budget < 0) {
+      *overflow = true;
+      return nullptr;
+    }
+    const Cost leg = oracle->Distance(from_loc, node.stop.location);
+    const Cost arrival = from_time + leg;
+    if (arrival > node.stop.deadline + kEps) return nullptr;
+    const int onboard =
+        from_onboard + (node.stop.type == StopType::kPickup ? 1 : -1);
+    if (node.stop.type == StopType::kPickup && onboard > capacity) {
+      return nullptr;
+    }
+    auto copy = std::make_unique<Node>();
+    copy->stop = node.stop;
+    copy->leg = leg;
+    copy->arrival = arrival;
+    copy->onboard = onboard;
+    const bool was_leaf = node.children.empty();
+    for (const auto& child : node.children) {
+      auto c = CopyShifted(*child, node.stop.location, arrival, onboard,
+                           overflow);
+      if (*overflow) return nullptr;
+      if (c != nullptr) copy->children.push_back(std::move(c));
+    }
+    if (!was_leaf && copy->children.empty()) return nullptr;
+    return copy;
+  }
+
+  /// Core insertion: returns the new children list for a prefix ending at
+  /// (loc, time, onboard), weaving the pickup (if !pickup_placed) and the
+  /// dropoff into `children`. Null-empty result means no valid ordering.
+  std::vector<std::unique_ptr<Node>> Weave(
+      const std::vector<std::unique_ptr<Node>>& children, NodeId loc,
+      Cost time, int onboard, bool pickup_placed, const RiderTrip& trip,
+      bool* overflow) {
+    std::vector<std::unique_ptr<Node>> out;
+
+    // Option A: place the next stop of the new rider right here.
+    const Stop next_stop =
+        pickup_placed
+            ? Stop{trip.destination, trip.rider, StopType::kDropoff,
+                   trip.dropoff_deadline}
+            : Stop{trip.source, trip.rider, StopType::kPickup,
+                   trip.pickup_deadline};
+    const Cost leg = oracle->Distance(loc, next_stop.location);
+    const Cost arrival = time + leg;
+    const bool capacity_ok =
+        next_stop.type != StopType::kPickup || onboard + 1 <= capacity;
+    if (arrival <= next_stop.deadline + kEps && capacity_ok) {
+      if (--budget < 0) {
+        *overflow = true;
+        return {};
+      }
+      auto placed = std::make_unique<Node>();
+      placed->stop = next_stop;
+      placed->leg = leg;
+      placed->arrival = arrival;
+      placed->onboard =
+          onboard + (next_stop.type == StopType::kPickup ? 1 : -1);
+      bool viable = false;
+      if (pickup_placed) {
+        // Dropoff placed: the rest of the ordering is the (revalidated)
+        // remainder of the committed stops.
+        if (children.empty()) {
+          viable = true;  // complete ordering ends here
+        } else {
+          for (const auto& child : children) {
+            auto c = CopyShifted(*child, next_stop.location, arrival,
+                                 placed->onboard, overflow);
+            if (*overflow) return {};
+            if (c != nullptr) placed->children.push_back(std::move(c));
+          }
+          viable = !placed->children.empty();
+        }
+      } else {
+        // Pickup placed: the dropoff must still be woven somewhere below.
+        placed->children =
+            Weave(children, next_stop.location, arrival, placed->onboard,
+                  /*pickup_placed=*/true, trip, overflow);
+        if (*overflow) return {};
+        viable = !placed->children.empty();
+      }
+      if (viable) out.push_back(std::move(placed));
+    }
+
+    // Option B: keep each existing child next and weave deeper. The prefix
+    // state is NOT the child's stored state: upstream insertions shift the
+    // arrival time and (after the pickup) the occupancy, so both must be
+    // recomputed and revalidated here.
+    for (const auto& child : children) {
+      const Cost kept_leg = oracle->Distance(loc, child->stop.location);
+      const Cost kept_arrival = time + kept_leg;
+      if (kept_arrival > child->stop.deadline + kEps) continue;
+      const int kept_onboard =
+          onboard + (child->stop.type == StopType::kPickup ? 1 : -1);
+      if (child->stop.type == StopType::kPickup && kept_onboard > capacity) {
+        continue;
+      }
+      if (--budget < 0) {
+        *overflow = true;
+        return {};
+      }
+      auto kept = std::make_unique<Node>();
+      kept->stop = child->stop;
+      kept->leg = kept_leg;
+      kept->arrival = kept_arrival;
+      kept->onboard = kept_onboard;
+      kept->children =
+          Weave(child->children, child->stop.location, kept_arrival,
+                kept_onboard, pickup_placed, trip, overflow);
+      if (*overflow) return {};
+      // The new rider's remaining stops MUST appear below: a kept child with
+      // no woven subtree represents an ordering missing them.
+      if (!kept->children.empty()) out.push_back(std::move(kept));
+    }
+    return out;
+  }
+
+  Cost BestCostFrom(const std::vector<std::unique_ptr<Node>>& children) const {
+    if (children.empty()) return 0;
+    Cost best = kInfiniteCost;
+    for (const auto& child : children) {
+      best = std::min(best, child->leg + BestCostFrom(child->children));
+    }
+    return best;
+  }
+
+  void BestPathFrom(const std::vector<std::unique_ptr<Node>>& children,
+                    std::vector<Stop>* out) const {
+    if (children.empty()) return;
+    const Node* best = nullptr;
+    Cost best_cost = kInfiniteCost;
+    for (const auto& child : children) {
+      const Cost c = child->leg + BestCostFrom(child->children);
+      if (c < best_cost) {
+        best_cost = c;
+        best = child.get();
+      }
+    }
+    if (best == nullptr) return;
+    out->push_back(best->stop);
+    BestPathFrom(best->children, out);
+  }
+
+  int64_t CountNodes(const std::vector<std::unique_ptr<Node>>& children) const {
+    int64_t n = 0;
+    for (const auto& child : children) {
+      n += 1 + CountNodes(child->children);
+    }
+    return n;
+  }
+
+  int64_t CountLeaves(const std::vector<std::unique_ptr<Node>>& children) const {
+    if (children.empty()) return 0;
+    int64_t n = 0;
+    for (const auto& child : children) {
+      n += child->children.empty() ? 1 : CountLeaves(child->children);
+    }
+    return n;
+  }
+};
+
+KineticTree::KineticTree(NodeId start, Cost now, int capacity,
+                         DistanceOracle* oracle)
+    : rep_(std::make_unique<Rep>()) {
+  rep_->start = start;
+  rep_->now = now;
+  rep_->capacity = capacity;
+  rep_->oracle = oracle;
+}
+
+KineticTree::~KineticTree() = default;
+KineticTree::KineticTree(KineticTree&&) noexcept = default;
+KineticTree& KineticTree::operator=(KineticTree&&) noexcept = default;
+
+Result<Cost> KineticTree::Insert(const RiderTrip& trip, int64_t max_nodes) {
+  const Cost before = BestCost();
+  rep_->budget = max_nodes;
+  bool overflow = false;
+  std::vector<std::unique_ptr<Node>> woven =
+      rep_->Weave(rep_->roots, rep_->start, rep_->now, /*onboard=*/0,
+                  /*pickup_placed=*/false, trip, &overflow);
+  if (overflow) {
+    return Status::OutOfRange("kinetic tree budget exhausted");
+  }
+  if (woven.empty()) {
+    return Status::Infeasible("no valid ordering admits the rider");
+  }
+  rep_->roots = std::move(woven);
+  ++num_riders_;
+  return BestCost() - before;
+}
+
+Cost KineticTree::BestCost() const { return rep_->BestCostFrom(rep_->roots); }
+
+std::vector<Stop> KineticTree::BestSchedule() const {
+  std::vector<Stop> out;
+  rep_->BestPathFrom(rep_->roots, &out);
+  return out;
+}
+
+int64_t KineticTree::num_tree_nodes() const {
+  return rep_->CountNodes(rep_->roots);
+}
+
+int64_t KineticTree::num_orderings() const {
+  return rep_->CountLeaves(rep_->roots);
+}
+
+}  // namespace urr

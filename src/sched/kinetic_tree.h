@@ -1,0 +1,61 @@
+// Kinetic tree (Huang et al. [20], "large scale real-time ridesharing with
+// service guarantee"): the schedule structure the paper's Sec-3 discussion
+// contrasts Algorithm 1 against. A vehicle's kinetic tree stores EVERY valid
+// ordering of its committed stops as root-to-leaf paths; inserting a rider
+// weaves the new pickup/dropoff into all of them, so the vehicle always
+// knows its global minimum-cost schedule — at exponential worst-case memory,
+// which is exactly the trade the paper declines.
+#ifndef URR_SCHED_KINETIC_TREE_H_
+#define URR_SCHED_KINETIC_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "sched/insertion.h"
+#include "sched/transfer_sequence.h"
+
+namespace urr {
+
+/// All valid orderings of one vehicle's stops. Grows by one rider at a
+/// time; rejected insertions leave the tree untouched.
+class KineticTree {
+ public:
+  /// Mirrors TransferSequence's constructor; the oracle is borrowed.
+  KineticTree(NodeId start, Cost now, int capacity, DistanceOracle* oracle);
+  ~KineticTree();
+
+  KineticTree(KineticTree&&) noexcept;
+  KineticTree& operator=(KineticTree&&) noexcept;
+
+  /// Weaves `trip`'s pickup and dropoff into every valid ordering. On
+  /// success returns the increase of the best schedule's cost. Infeasible
+  /// leaves the tree unchanged; `max_nodes` bounds the grown tree's size
+  /// (OutOfRange beyond it, tree unchanged).
+  Result<Cost> Insert(const RiderTrip& trip, int64_t max_nodes = 1'000'000);
+
+  /// Minimum total travel cost over all stored orderings (0 when empty).
+  Cost BestCost() const;
+
+  /// The minimum-cost ordering (empty when no riders committed).
+  std::vector<Stop> BestSchedule() const;
+
+  /// Number of tree nodes currently stored (the paper's memory objection).
+  int64_t num_tree_nodes() const;
+
+  /// Number of distinct complete orderings represented.
+  int64_t num_orderings() const;
+
+  /// Riders committed so far.
+  int num_riders() const { return num_riders_; }
+
+ private:
+  struct Node;
+  struct Rep;
+  std::unique_ptr<Rep> rep_;
+  int num_riders_ = 0;
+};
+
+}  // namespace urr
+
+#endif  // URR_SCHED_KINETIC_TREE_H_

@@ -1,0 +1,124 @@
+#include "sched/reorder.h"
+
+#include <algorithm>
+
+namespace urr {
+
+namespace {
+
+constexpr Cost kEps = 1e-7;
+
+/// Branch-and-bound enumeration of stop orderings.
+class ReorderSearch {
+ public:
+  ReorderSearch(const TransferSequence& seq, const RiderTrip& trip,
+                int64_t max_nodes)
+      : oracle_(seq.oracle()),
+        start_(seq.start_location()),
+        now_(seq.now()),
+        capacity_(seq.capacity()),
+        budget_(max_nodes) {
+    // Collect the stop pool: existing stops + the new rider's two stops.
+    for (int u = 0; u < seq.num_stops(); ++u) pool_.push_back(seq.stop(u));
+    pool_.push_back({trip.source, trip.rider, StopType::kPickup,
+                     trip.pickup_deadline});
+    pool_.push_back({trip.destination, trip.rider, StopType::kDropoff,
+                     trip.dropoff_deadline});
+    used_.assign(pool_.size(), false);
+    current_.reserve(pool_.size());
+  }
+
+  Result<ReorderPlan> Run() {
+    const Status st = Dfs(start_, now_, 0, 0);
+    if (!st.ok()) return st;
+    if (best_.total_cost == kInfiniteCost) {
+      return Status::Infeasible("no valid reordered schedule");
+    }
+    best_.nodes = nodes_;
+    return best_;
+  }
+
+ private:
+  /// True when the pickup of `stop`'s rider is already placed (or the stop
+  /// is itself a pickup).
+  bool PickupPlaced(const Stop& stop) const {
+    if (stop.type == StopType::kPickup) return true;
+    for (size_t i = 0; i < pool_.size(); ++i) {
+      if (used_[i] && pool_[i].rider == stop.rider &&
+          pool_[i].type == StopType::kPickup) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  Status Dfs(NodeId loc, Cost time, int onboard, Cost cost) {
+    ++nodes_;
+    if (nodes_ > budget_) {
+      return Status::OutOfRange("reorder search budget exhausted");
+    }
+    if (current_.size() == pool_.size()) {
+      if (cost < best_.total_cost) {
+        best_.total_cost = cost;
+        best_.stops = current_;
+      }
+      return Status::OK();
+    }
+    for (size_t i = 0; i < pool_.size(); ++i) {
+      if (used_[i]) continue;
+      const Stop& stop = pool_[i];
+      if (stop.type == StopType::kPickup) {
+        if (onboard >= capacity_) continue;
+      } else if (!PickupPlaced(stop)) {
+        continue;  // dropoff before its pickup
+      }
+      const Cost leg = oracle_->Distance(loc, stop.location);
+      const Cost arrival = time + leg;
+      if (arrival > stop.deadline + kEps) continue;
+      const Cost new_cost = cost + leg;
+      if (new_cost >= best_.total_cost - kEps) continue;  // bound
+      used_[i] = true;
+      current_.push_back(stop);
+      URR_RETURN_NOT_OK(
+          Dfs(stop.location, arrival,
+              onboard + (stop.type == StopType::kPickup ? 1 : -1), new_cost));
+      current_.pop_back();
+      used_[i] = false;
+    }
+    return Status::OK();
+  }
+
+  DistanceOracle* oracle_;
+  NodeId start_;
+  Cost now_;
+  int capacity_;
+  int64_t budget_;
+  int64_t nodes_ = 0;
+  std::vector<Stop> pool_;
+  std::vector<bool> used_;
+  std::vector<Stop> current_;
+  ReorderPlan best_;
+};
+
+}  // namespace
+
+Result<ReorderPlan> FindBestInsertionWithReordering(const TransferSequence& seq,
+                                                    const RiderTrip& trip,
+                                                    int64_t max_nodes) {
+  ReorderSearch search(seq, trip, max_nodes);
+  URR_ASSIGN_OR_RETURN(ReorderPlan plan, search.Run());
+  plan.delta_cost = plan.total_cost - seq.TotalCost();
+  return plan;
+}
+
+TransferSequence ApplyReorderPlan(const TransferSequence& seq,
+                                  const ReorderPlan& plan) {
+  TransferSequence out(seq.start_location(), seq.now(), seq.capacity(),
+                       seq.oracle());
+  for (size_t k = 0; k < plan.stops.size(); ++k) {
+    out.InsertStop(static_cast<int>(k), plan.stops[k]);
+  }
+  return out;
+}
+
+}  // namespace urr

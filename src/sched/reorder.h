@@ -1,0 +1,45 @@
+// Insertion WITH reordering: the alternative regime the paper discusses in
+// Sec 3 ("Discussion on the Optimality") — the kinetic-tree systems [20]
+// keep all valid orderings of a vehicle's stops and insert each new rider
+// into the globally cheapest one. We implement the exact equivalent as a
+// branch-and-bound over stop orderings, which lets the repository *test*
+// the claim (adopted from [25]) that reordering buys little at real scale.
+#ifndef URR_SCHED_REORDER_H_
+#define URR_SCHED_REORDER_H_
+
+#include "common/result.h"
+#include "sched/insertion.h"
+#include "sched/transfer_sequence.h"
+
+namespace urr {
+
+/// Outcome of an exact reordered insertion.
+struct ReorderPlan {
+  /// The cost-minimal valid stop ordering including the new rider.
+  std::vector<Stop> stops;
+  /// Its total travel cost.
+  Cost total_cost = kInfiniteCost;
+  /// total_cost minus the input schedule's cost (comparable to
+  /// InsertionPlan::delta_cost; can be smaller, never larger).
+  Cost delta_cost = kInfiniteCost;
+  /// Branch-and-bound nodes explored.
+  int64_t nodes = 0;
+};
+
+/// Finds the minimum-total-cost valid ordering of `seq`'s stops plus
+/// `trip`'s pickup/dropoff (deadlines, capacity and pickup-before-dropoff
+/// respected; every already-scheduled rider keeps both stops). Exponential
+/// in the number of stops — `max_nodes` caps the search (OutOfRange when
+/// exhausted). Returns Infeasible when no valid ordering exists.
+Result<ReorderPlan> FindBestInsertionWithReordering(
+    const TransferSequence& seq, const RiderTrip& trip,
+    int64_t max_nodes = 4'000'000);
+
+/// Materializes a reorder plan into a fresh sequence with the same vehicle
+/// start/now/capacity/oracle as `seq`.
+TransferSequence ApplyReorderPlan(const TransferSequence& seq,
+                                  const ReorderPlan& plan);
+
+}  // namespace urr
+
+#endif  // URR_SCHED_REORDER_H_

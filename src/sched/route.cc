@@ -1,0 +1,28 @@
+#include "sched/route.h"
+
+namespace urr {
+
+Result<VehicleRoute> ExpandScheduleRoute(const TransferSequence& seq,
+                                         ChQuery* query) {
+  VehicleRoute route;
+  route.nodes.push_back(seq.start_location());
+  route.stop_offsets.reserve(static_cast<size_t>(seq.num_stops()));
+  NodeId at = seq.start_location();
+  std::vector<NodeId> leg;
+  for (int u = 0; u < seq.num_stops(); ++u) {
+    const NodeId next = seq.stop(u).location;
+    const Cost cost = query->Path(at, next, &leg);
+    if (cost == kInfiniteCost) {
+      return Status::NotFound("schedule leg " + std::to_string(u) +
+                              " is unroutable");
+    }
+    route.total_cost += cost;
+    // leg begins with `at`; append the rest (collapses zero-length legs).
+    for (size_t i = 1; i < leg.size(); ++i) route.nodes.push_back(leg[i]);
+    route.stop_offsets.push_back(static_cast<int>(route.nodes.size()) - 1);
+    at = next;
+  }
+  return route;
+}
+
+}  // namespace urr

@@ -1,0 +1,35 @@
+// Route expansion: a schedule's stop sequence turned into the node-level
+// itinerary the vehicle actually drives (vehicles always take shortest
+// paths between consecutive stops, Sec 2.3). Used to hand turn-by-turn
+// routes to a navigation layer and to cross-check schedule costs.
+#ifndef URR_SCHED_ROUTE_H_
+#define URR_SCHED_ROUTE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "routing/contraction_hierarchy.h"
+#include "sched/transfer_sequence.h"
+
+namespace urr {
+
+/// A fully expanded vehicle itinerary.
+struct VehicleRoute {
+  /// Node-level path from the vehicle start through every stop, shortest
+  /// path per leg. Consecutive duplicates collapsed.
+  std::vector<NodeId> nodes;
+  /// Index into `nodes` where each schedule stop is reached (parallel to
+  /// the schedule's stops).
+  std::vector<int> stop_offsets;
+  /// Total driven cost; equals the schedule's TotalCost() up to rounding.
+  Cost total_cost = 0;
+};
+
+/// Expands `seq` using CH path queries. Fails with NotFound if any leg is
+/// unroutable (cannot happen for schedules built against the same network).
+Result<VehicleRoute> ExpandScheduleRoute(const TransferSequence& seq,
+                                         ChQuery* query);
+
+}  // namespace urr
+
+#endif  // URR_SCHED_ROUTE_H_

@@ -1,0 +1,185 @@
+#include "sched/transfer_sequence.h"
+
+#include <algorithm>
+
+namespace urr {
+
+namespace {
+constexpr Cost kTimeEps = 1e-7;  // tolerance for deadline comparisons
+}
+
+TransferSequence::TransferSequence(NodeId start, Cost now, int capacity,
+                                   DistanceOracle* oracle)
+    : start_(start), now_(now), capacity_(capacity), oracle_(oracle) {}
+
+int TransferSequence::EndOnboard() const {
+  int onboard = 0;
+  for (const Stop& s : stops_) {
+    onboard += (s.type == StopType::kPickup) ? 1 : -1;
+  }
+  return onboard;
+}
+
+std::vector<RiderId> TransferSequence::OnboardRiders(int u) const {
+  // Rider picked up at stop p and dropped at stop q is onboard during legs
+  // p+1 .. q. An unmatched pickup stays onboard to the end.
+  std::vector<RiderId> out;
+  for (int p = 0; p < num_stops(); ++p) {
+    const Stop& s = stops_[static_cast<size_t>(p)];
+    if (s.type != StopType::kPickup || p >= u) continue;
+    bool dropped_before_leg = false;
+    for (int q = p + 1; q < u; ++q) {
+      const Stop& t = stops_[static_cast<size_t>(q)];
+      if (t.type == StopType::kDropoff && t.rider == s.rider) {
+        dropped_before_leg = true;
+        break;
+      }
+    }
+    if (!dropped_before_leg) out.push_back(s.rider);
+  }
+  return out;
+}
+
+Cost TransferSequence::TotalCost() const {
+  Cost total = 0;
+  for (Cost c : leg_cost_) total += c;
+  return total;
+}
+
+std::pair<int, int> TransferSequence::RiderStops(RiderId rider) const {
+  int pickup = -1, dropoff = -1;
+  for (int u = 0; u < num_stops(); ++u) {
+    const Stop& s = stops_[static_cast<size_t>(u)];
+    if (s.rider != rider) continue;
+    if (s.type == StopType::kPickup) pickup = u;
+    else dropoff = u;
+  }
+  return {pickup, dropoff};
+}
+
+std::vector<RiderId> TransferSequence::Riders() const {
+  std::vector<RiderId> out;
+  for (const Stop& s : stops_) {
+    if (s.type == StopType::kPickup) out.push_back(s.rider);
+  }
+  return out;
+}
+
+void TransferSequence::InsertStop(int pos, const Stop& stop) {
+  stops_.insert(stops_.begin() + pos, stop);
+  Rebuild();
+}
+
+Status TransferSequence::RemoveRider(RiderId rider) {
+  const auto before = stops_.size();
+  stops_.erase(std::remove_if(stops_.begin(), stops_.end(),
+                              [rider](const Stop& s) { return s.rider == rider; }),
+               stops_.end());
+  if (stops_.size() == before) {
+    return Status::NotFound("rider " + std::to_string(rider) +
+                            " not in schedule");
+  }
+  Rebuild();
+  return Status::OK();
+}
+
+void TransferSequence::Rebuild() {
+  const auto w = stops_.size();
+  leg_cost_.resize(w);
+  arrival_.resize(w);
+  latest_.resize(w);
+  flex_.resize(w);
+  onboard_.resize(w);
+
+  // Forward pass: leg costs and earliest arrivals (Eq. 6).
+  for (size_t u = 0; u < w; ++u) {
+    const NodeId from = LegOrigin(static_cast<int>(u));
+    leg_cost_[u] = oracle_->Distance(from, stops_[u].location);
+    arrival_[u] = (u == 0 ? now_ : arrival_[u - 1]) + leg_cost_[u];
+  }
+  // Backward pass: latest completion times (Eq. 7) and flex times (Eq. 8).
+  for (size_t i = w; i-- > 0;) {
+    if (i + 1 == w) {
+      latest_[i] = stops_[i].deadline;
+      flex_[i] = latest_[i] - EarliestStart(static_cast<int>(i)) - leg_cost_[i];
+    } else {
+      latest_[i] = std::min(latest_[i + 1] - leg_cost_[i + 1],
+                            stops_[i].deadline);
+      flex_[i] = std::min(
+          latest_[i] - EarliestStart(static_cast<int>(i)) - leg_cost_[i],
+          flex_[i + 1]);
+    }
+  }
+  // Occupancy: diff array over legs. Rider picked at p, dropped at q is
+  // onboard during legs p+1..q; unmatched pickups remain to the end.
+  std::vector<int> diff(w + 1, 0);
+  for (size_t p = 0; p < w; ++p) {
+    if (stops_[p].type != StopType::kPickup) continue;
+    size_t q = w;  // exclusive end (leg after last) when unmatched
+    for (size_t j = p + 1; j < w; ++j) {
+      if (stops_[j].type == StopType::kDropoff &&
+          stops_[j].rider == stops_[p].rider) {
+        q = j;
+        break;
+      }
+    }
+    // Legs p+1 .. q inclusive (q == w means to the end; last leg is w-1).
+    const size_t lo = p + 1;
+    const size_t hi = std::min(q, w - 1);
+    if (lo <= hi) {
+      diff[lo] += 1;
+      diff[hi + 1] -= 1;
+    }
+  }
+  int run = 0;
+  for (size_t u = 0; u < w; ++u) {
+    run += diff[u];
+    onboard_[u] = run;
+  }
+}
+
+Status TransferSequence::Validate() const {
+  // Pairing and ordering.
+  for (int u = 0; u < num_stops(); ++u) {
+    const Stop& s = stops_[static_cast<size_t>(u)];
+    const auto [p, q] = RiderStops(s.rider);
+    if (s.type == StopType::kDropoff) {
+      if (p == -1) {
+        return Status::Infeasible("dropoff without pickup for rider " +
+                                  std::to_string(s.rider));
+      }
+      if (p > u) {
+        return Status::Infeasible("dropoff precedes pickup for rider " +
+                                  std::to_string(s.rider));
+      }
+    }
+    if (s.type == StopType::kPickup && q != -1 && q < u) {
+      return Status::Infeasible("pickup after dropoff for rider " +
+                                std::to_string(s.rider));
+    }
+  }
+  // Deadlines (vehicle takes shortest paths, leaves as early as possible).
+  for (int u = 0; u < num_stops(); ++u) {
+    if (EarliestArrival(u) > stop(u).deadline + kTimeEps) {
+      return Status::DeadlineViolated(
+          "stop " + std::to_string(u) + " arrives at " +
+          std::to_string(EarliestArrival(u)) + " after deadline " +
+          std::to_string(stop(u).deadline));
+    }
+    if (FlexTime(u) < -kTimeEps) {
+      return Status::DeadlineViolated("negative flex time at leg " +
+                                      std::to_string(u));
+    }
+  }
+  // Capacity.
+  for (int u = 0; u < num_stops(); ++u) {
+    if (Onboard(u) > capacity_) {
+      return Status::CapacityExceeded("leg " + std::to_string(u) + " carries " +
+                                      std::to_string(Onboard(u)) + " > " +
+                                      std::to_string(capacity_));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace urr

@@ -1,0 +1,127 @@
+// Transfer-event sequence (Sec 3.1): a vehicle's schedule as a list of
+// pickup/dropoff stops with the derived per-leg fields of Fig. 4 — earliest
+// start time (Eq. 6), latest completion time (Eq. 7) and flexible time
+// (Eq. 8) — maintained incrementally so Lemma-3.1 validity checks are O(1).
+#ifndef URR_SCHED_TRANSFER_SEQUENCE_H_
+#define URR_SCHED_TRANSFER_SEQUENCE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "routing/distance_oracle.h"
+#include "graph/road_network.h"
+
+namespace urr {
+
+/// Rider index within a URR instance.
+using RiderId = int32_t;
+
+/// Stop kind: a leg ends either at a rider's source or destination.
+enum class StopType : uint8_t { kPickup, kDropoff };
+
+/// One schedule stop (the end of one transfer event).
+struct Stop {
+  NodeId location = kInvalidNode;
+  RiderId rider = -1;
+  StopType type = StopType::kPickup;
+  /// Deadline dl(l) to reach this location: the rider's rt⁻ for pickups,
+  /// rt⁺ for dropoffs.
+  Cost deadline = kInfiniteCost;
+};
+
+/// A vehicle's schedule: start location + stops, with derived leg fields.
+/// Leg u (0-based) is the transfer event from stop u-1 (or the start
+/// location for u = 0) to stop u. All mutations recompute the derived
+/// fields; they are O(w) plus the oracle calls for changed legs.
+class TransferSequence {
+ public:
+  /// Creates an empty schedule for a vehicle at `start`, time `now`, with
+  /// rider `capacity`. The oracle is borrowed and must outlive the sequence.
+  TransferSequence(NodeId start, Cost now, int capacity,
+                   DistanceOracle* oracle);
+
+  // --- structure ---------------------------------------------------------
+  int num_stops() const { return static_cast<int>(stops_.size()); }
+  bool empty() const { return stops_.empty(); }
+  const Stop& stop(int u) const { return stops_[static_cast<size_t>(u)]; }
+  NodeId start_location() const { return start_; }
+  Cost now() const { return now_; }
+  int capacity() const { return capacity_; }
+
+  /// Location a leg departs from: start for u == 0, otherwise stop u-1.
+  NodeId LegOrigin(int u) const {
+    return u == 0 ? start_ : stops_[static_cast<size_t>(u) - 1].location;
+  }
+
+  // --- derived fields (valid for 0 <= u < num_stops()) --------------------
+  /// Travel cost of leg u (shortest path, Sec 2.3).
+  Cost leg_cost(int u) const { return leg_cost_[static_cast<size_t>(u)]; }
+  /// Earliest start time t_u^- of leg u (Eq. 6): earliest time the vehicle
+  /// can be at LegOrigin(u). For u = 0 this is `now`.
+  Cost EarliestStart(int u) const {
+    return u == 0 ? now_ : arrival_[static_cast<size_t>(u) - 1];
+  }
+  /// Earliest arrival at stop u.
+  Cost EarliestArrival(int u) const { return arrival_[static_cast<size_t>(u)]; }
+  /// Latest completion time t_u^+ of leg u (Eq. 7).
+  Cost LatestCompletion(int u) const { return latest_[static_cast<size_t>(u)]; }
+  /// Flexible time ft_u of leg u (Eq. 8).
+  Cost FlexTime(int u) const { return flex_[static_cast<size_t>(u)]; }
+  /// Number of riders in the vehicle during leg u (|R_u|).
+  int Onboard(int u) const { return onboard_[static_cast<size_t>(u)]; }
+  /// Earliest time the vehicle is idle after the last stop (== now when
+  /// empty) — the earliest start of a hypothetical appended leg.
+  Cost EndTime() const { return stops_.empty() ? now_ : arrival_.back(); }
+  /// Riders onboard after the final stop (> 0 only for unmatched pickups).
+  int EndOnboard() const;
+
+  /// Rider ids onboard during leg u (the set R_u; O(w) scan).
+  std::vector<RiderId> OnboardRiders(int u) const;
+
+  /// Sum of all leg costs — the schedule's total travel cost cost(S_j).
+  Cost TotalCost() const;
+
+  /// Stop indices of `rider`'s pickup/dropoff; {-1, -1} when absent.
+  std::pair<int, int> RiderStops(RiderId rider) const;
+
+  /// Rider ids with a pickup in this schedule.
+  std::vector<RiderId> Riders() const;
+
+  // --- mutation -----------------------------------------------------------
+  /// Inserts `stop` so that it becomes stop `pos` (0 <= pos <= num_stops()).
+  /// Recomputes derived fields. Does NOT check feasibility (callers use
+  /// insertion.h); invalid schedules are detectable via Validate().
+  void InsertStop(int pos, const Stop& stop);
+
+  /// Removes both stops of `rider` and recomputes. Returns NotFound when the
+  /// rider has no stops here.
+  Status RemoveRider(RiderId rider);
+
+  /// Full invariant check: pickup precedes dropoff, stops paired, deadlines
+  /// met by earliest arrivals, capacity respected, flex times non-negative.
+  Status Validate() const;
+
+  /// The oracle used for leg costs.
+  DistanceOracle* oracle() const { return oracle_; }
+
+ private:
+  /// Recomputes every derived array from `stops_` (O(w) oracle calls for
+  /// changed legs are the caller's concern; this recomputes all legs).
+  void Rebuild();
+
+  NodeId start_;
+  Cost now_;
+  int capacity_;
+  DistanceOracle* oracle_;
+
+  std::vector<Stop> stops_;
+  std::vector<Cost> leg_cost_;
+  std::vector<Cost> arrival_;  // earliest arrival at stop u
+  std::vector<Cost> latest_;   // latest completion of leg u (Eq. 7)
+  std::vector<Cost> flex_;     // flexible time of leg u (Eq. 8)
+  std::vector<int> onboard_;   // |R_u| during leg u
+};
+
+}  // namespace urr
+
+#endif  // URR_SCHED_TRANSFER_SEQUENCE_H_

@@ -1,0 +1,88 @@
+#include "social/checkins.h"
+
+#include <queue>
+
+namespace urr {
+
+Result<CheckInMap> CheckInMap::Generate(const RoadNetwork& network,
+                                        UserId num_users, int per_user,
+                                        Rng* rng) {
+  if (num_users <= 0 || per_user <= 0) {
+    return Status::InvalidArgument("num_users and per_user must be positive");
+  }
+  if (network.num_nodes() == 0) {
+    return Status::InvalidArgument("network is empty");
+  }
+  CheckInMap map;
+  map.network_ = &network;
+
+  // Node popularity: a random permutation ranked by Zipf, so some districts
+  // are much more checked-in than others (Gowalla's check-ins are heavily
+  // concentrated around hotspots).
+  std::vector<NodeId> perm(static_cast<size_t>(network.num_nodes()));
+  for (NodeId v = 0; v < network.num_nodes(); ++v) perm[static_cast<size_t>(v)] = v;
+  rng->Shuffle(&perm);
+
+  map.checkins_.reserve(static_cast<size_t>(num_users) * static_cast<size_t>(per_user));
+  for (UserId u = 0; u < num_users; ++u) {
+    const NodeId home = perm[rng->Zipf(perm.size(), 1.2)];
+    for (int k = 0; k < per_user; ++k) {
+      // Random walk from home: check-ins cluster around the user's home.
+      NodeId v = home;
+      const int steps = static_cast<int>(rng->UniformInt(0, 6));
+      for (int s = 0; s < steps; ++s) {
+        auto nbrs = network.OutNeighbors(v);
+        if (nbrs.empty()) break;
+        v = nbrs[static_cast<size_t>(
+            rng->UniformInt(0, static_cast<int64_t>(nbrs.size()) - 1))];
+      }
+      map.checkins_.push_back({u, v});
+    }
+  }
+
+  // Precompute nearest check-in user per node: multi-source Dijkstra seeded
+  // with every check-in node at distance 0, labels propagate with distances.
+  const auto n = static_cast<size_t>(network.num_nodes());
+  std::vector<Cost> dist(n, kInfiniteCost);
+  map.nearest_user_.assign(n, -1);
+  using Entry = std::pair<Cost, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  for (const CheckIn& c : map.checkins_) {
+    if (0 < dist[static_cast<size_t>(c.node)] ||
+        map.nearest_user_[static_cast<size_t>(c.node)] == -1) {
+      dist[static_cast<size_t>(c.node)] = 0;
+      map.nearest_user_[static_cast<size_t>(c.node)] = c.user;
+    }
+  }
+  for (size_t v = 0; v < n; ++v) {
+    if (dist[v] == 0) queue.push({0, static_cast<NodeId>(v)});
+  }
+  while (!queue.empty()) {
+    auto [d, v] = queue.top();
+    queue.pop();
+    if (d > dist[static_cast<size_t>(v)]) continue;
+    auto heads = network.OutNeighbors(v);
+    auto costs = network.OutCosts(v);
+    for (size_t i = 0; i < heads.size(); ++i) {
+      const Cost nd = d + costs[i];
+      if (nd < dist[static_cast<size_t>(heads[i])]) {
+        dist[static_cast<size_t>(heads[i])] = nd;
+        map.nearest_user_[static_cast<size_t>(heads[i])] =
+            map.nearest_user_[static_cast<size_t>(v)];
+        queue.push({nd, heads[i]});
+      }
+    }
+  }
+  // Isolated nodes (unreachable from any check-in) get an arbitrary user so
+  // NearestUser is total.
+  for (size_t v = 0; v < n; ++v) {
+    if (map.nearest_user_[v] == -1) map.nearest_user_[v] = 0;
+  }
+  return map;
+}
+
+UserId CheckInMap::NearestUser(NodeId node) const {
+  return nearest_user_[static_cast<size_t>(node)];
+}
+
+}  // namespace urr

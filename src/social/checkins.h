@@ -1,0 +1,50 @@
+// Check-in model: each social user checks in at road-network coordinates;
+// a rider is mapped to the social identity of the nearest check-in, exactly
+// as the paper does with Gowalla (§7.1.2).
+#ifndef URR_SOCIAL_CHECKINS_H_
+#define URR_SOCIAL_CHECKINS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "graph/road_network.h"
+#include "social/social_graph.h"
+
+namespace urr {
+
+/// One check-in record.
+struct CheckIn {
+  UserId user = -1;
+  NodeId node = kInvalidNode;
+};
+
+/// A set of check-ins over a road network with nearest-user lookup.
+class CheckInMap {
+ public:
+  /// Generates `per_user` check-ins for each of `num_users` users. Users are
+  /// "home-based": each picks a home node (popular nodes more likely, Zipf)
+  /// and checks in around it within `home_radius_nodes` grid hops.
+  static Result<CheckInMap> Generate(const RoadNetwork& network,
+                                     UserId num_users, int per_user,
+                                     Rng* rng);
+
+  /// Social identity of the user with a check-in nearest to `node`
+  /// (Euclidean over coordinates). Requires at least one check-in.
+  UserId NearestUser(NodeId node) const;
+
+  int64_t num_checkins() const { return static_cast<int64_t>(checkins_.size()); }
+  const std::vector<CheckIn>& checkins() const { return checkins_; }
+
+ private:
+  CheckInMap() = default;
+  const RoadNetwork* network_ = nullptr;
+  std::vector<CheckIn> checkins_;
+  // node -> user of the nearest check-in, precomputed by multi-source BFS
+  // over the road graph (ties broken arbitrarily).
+  std::vector<UserId> nearest_user_;
+};
+
+}  // namespace urr
+
+#endif  // URR_SOCIAL_CHECKINS_H_

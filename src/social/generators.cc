@@ -1,0 +1,59 @@
+#include "social/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace urr {
+
+Result<SocialGraph> GeneratePowerLawFriends(const SocialGenOptions& options,
+                                            Rng* rng) {
+  if (options.num_users < 0) {
+    return Status::InvalidArgument("num_users negative");
+  }
+  if (options.exponent <= 1.0) {
+    return Status::InvalidArgument("exponent must be > 1");
+  }
+  const auto n = static_cast<size_t>(options.num_users);
+  // Expected-degree sequence: bounded Pareto, rescaled to the target mean.
+  std::vector<double> weight(n);
+  double total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double u = rng->Uniform(1e-9, 1.0);
+    // Inverse CDF of Pareto(min_degree, exponent-1).
+    weight[i] = options.min_degree / std::pow(u, 1.0 / (options.exponent - 1.0));
+    // Cap to avoid a single hub dominating the efficient pair sampling.
+    weight[i] = std::min(weight[i], std::sqrt(static_cast<double>(n)) * 4.0);
+    total += weight[i];
+  }
+  if (total > 0) {
+    const double scale = options.average_degree * static_cast<double>(n) / total;
+    for (double& w : weight) w *= scale;
+    total = options.average_degree * static_cast<double>(n);
+  }
+
+  // Efficient Chung–Lu sampling: expected #edges = total/2; draw that many
+  // endpoint pairs proportional to weight (alias-free: cumulative search).
+  std::vector<double> cum(n);
+  double acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += weight[i];
+    cum[i] = acc;
+  }
+  auto sample = [&]() -> UserId {
+    const double u = rng->Uniform(0.0, acc);
+    const auto it = std::lower_bound(cum.begin(), cum.end(), u);
+    return static_cast<UserId>(it - cum.begin());
+  };
+  const auto num_edges = static_cast<int64_t>(total / 2.0);
+  std::vector<std::pair<UserId, UserId>> friends;
+  friends.reserve(static_cast<size_t>(num_edges));
+  for (int64_t e = 0; e < num_edges; ++e) {
+    const UserId a = sample();
+    const UserId b = sample();
+    if (a == b) continue;
+    friends.emplace_back(a, b);
+  }
+  return SocialGraph::Build(options.num_users, std::move(friends));
+}
+
+}  // namespace urr

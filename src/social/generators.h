@@ -1,0 +1,34 @@
+// Gowalla-like geo-social data generators. The paper maps riders/drivers to
+// the nearest Gowalla check-in user and uses that user's friend set for
+// Eq. 3. We generate (a) a Chung–Lu power-law friendship graph matching
+// Gowalla's scale-free degree profile and (b) spatially clustered check-ins
+// over a road network.
+#ifndef URR_SOCIAL_GENERATORS_H_
+#define URR_SOCIAL_GENERATORS_H_
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "graph/road_network.h"
+#include "social/social_graph.h"
+
+namespace urr {
+
+/// Options for the Chung–Lu power-law friendship generator.
+struct SocialGenOptions {
+  UserId num_users = 2000;
+  /// Target average degree (Gowalla: ~9.7 friends per user).
+  double average_degree = 9.7;
+  /// Power-law exponent of the expected-degree sequence.
+  double exponent = 2.4;
+  /// Minimum expected degree.
+  double min_degree = 1.0;
+};
+
+/// Generates a Chung–Lu random graph: users get expected degrees from a
+/// bounded power law and pairs connect with probability w_u*w_v/W.
+Result<SocialGraph> GeneratePowerLawFriends(const SocialGenOptions& options,
+                                            Rng* rng);
+
+}  // namespace urr
+
+#endif  // URR_SOCIAL_GENERATORS_H_

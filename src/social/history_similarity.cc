@@ -1,0 +1,78 @@
+#include "social/history_similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace urr {
+
+Result<LocationHistorySimilarity> LocationHistorySimilarity::Build(
+    const RoadNetwork& network, const CheckInMap& checkins, UserId num_users,
+    int target_cells) {
+  if (!network.has_coords()) {
+    return Status::InvalidArgument(
+        "location-history similarity needs node coordinates");
+  }
+  if (num_users <= 0 || target_cells < 1) {
+    return Status::InvalidArgument("num_users and target_cells must be > 0");
+  }
+  // Coarse grid over the network's bounding box.
+  double min_x = 1e300, min_y = 1e300, max_x = -1e300, max_y = -1e300;
+  for (NodeId v = 0; v < network.num_nodes(); ++v) {
+    const Coord& c = network.coord(v);
+    min_x = std::min(min_x, c.x);
+    min_y = std::min(min_y, c.y);
+    max_x = std::max(max_x, c.x);
+    max_y = std::max(max_y, c.y);
+  }
+  const int side = std::max(1, static_cast<int>(std::sqrt(target_cells)));
+  const double w = std::max(max_x - min_x, 1e-9) / side;
+  const double h = std::max(max_y - min_y, 1e-9) / side;
+  auto cell_of = [&](NodeId v) {
+    const Coord& c = network.coord(v);
+    const int cx = std::clamp(static_cast<int>((c.x - min_x) / w), 0, side - 1);
+    const int cy = std::clamp(static_cast<int>((c.y - min_y) / h), 0, side - 1);
+    return static_cast<int32_t>(cy * side + cx);
+  };
+
+  LocationHistorySimilarity sim;
+  sim.places_.resize(static_cast<size_t>(num_users));
+  for (const CheckIn& c : checkins.checkins()) {
+    if (c.user < 0 || c.user >= num_users) {
+      return Status::OutOfRange("check-in user outside num_users");
+    }
+    sim.places_[static_cast<size_t>(c.user)].push_back(cell_of(c.node));
+  }
+  for (auto& p : sim.places_) {
+    std::sort(p.begin(), p.end());
+    p.erase(std::unique(p.begin(), p.end()), p.end());
+  }
+  return sim;
+}
+
+double LocationHistorySimilarity::Similarity(UserId a, UserId b) const {
+  if (a < 0 || b < 0 || a >= num_users() || b >= num_users()) return 0.0;
+  const auto& pa = places_[static_cast<size_t>(a)];
+  const auto& pb = places_[static_cast<size_t>(b)];
+  if (pa.empty() || pb.empty()) return 0.0;
+  size_t i = 0, j = 0, common = 0;
+  while (i < pa.size() && j < pb.size()) {
+    if (pa[i] == pb[j]) {
+      ++common;
+      ++i;
+      ++j;
+    } else if (pa[i] < pb[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const size_t uni = pa.size() + pb.size() - common;
+  return static_cast<double>(common) / static_cast<double>(uni);
+}
+
+int LocationHistorySimilarity::NumPlaces(UserId u) const {
+  if (u < 0 || u >= num_users()) return 0;
+  return static_cast<int>(places_[static_cast<size_t>(u)].size());
+}
+
+}  // namespace urr

@@ -1,0 +1,62 @@
+#include "social/social_graph.h"
+
+#include <algorithm>
+
+namespace urr {
+
+Result<SocialGraph> SocialGraph::Build(
+    UserId num_users, std::vector<std::pair<UserId, UserId>> friends) {
+  if (num_users < 0) return Status::InvalidArgument("num_users negative");
+  for (auto& [a, b] : friends) {
+    if (a < 0 || a >= num_users || b < 0 || b >= num_users) {
+      return Status::InvalidArgument("friend pair out of range");
+    }
+    if (a == b) return Status::InvalidArgument("self-friendship not allowed");
+    if (a > b) std::swap(a, b);
+  }
+  std::sort(friends.begin(), friends.end());
+  friends.erase(std::unique(friends.begin(), friends.end()), friends.end());
+
+  SocialGraph g;
+  g.num_users_ = num_users;
+  g.num_friendships_ = static_cast<int64_t>(friends.size());
+  g.begin_.assign(static_cast<size_t>(num_users) + 1, 0);
+  for (const auto& [a, b] : friends) {
+    ++g.begin_[static_cast<size_t>(a) + 1];
+    ++g.begin_[static_cast<size_t>(b) + 1];
+  }
+  for (size_t i = 1; i < g.begin_.size(); ++i) g.begin_[i] += g.begin_[i - 1];
+  g.adj_.resize(friends.size() * 2);
+  std::vector<int64_t> cursor(g.begin_.begin(), g.begin_.end() - 1);
+  for (const auto& [a, b] : friends) {
+    g.adj_[static_cast<size_t>(cursor[static_cast<size_t>(a)]++)] = b;
+    g.adj_[static_cast<size_t>(cursor[static_cast<size_t>(b)]++)] = a;
+  }
+  for (UserId u = 0; u < num_users; ++u) {
+    std::sort(g.adj_.begin() + g.begin_[static_cast<size_t>(u)],
+              g.adj_.begin() + g.begin_[static_cast<size_t>(u) + 1]);
+  }
+  return g;
+}
+
+double SocialGraph::Jaccard(UserId u, UserId v) const {
+  auto fu = Friends(u);
+  auto fv = Friends(v);
+  if (fu.empty() && fv.empty()) return 0.0;
+  size_t i = 0, j = 0, common = 0;
+  while (i < fu.size() && j < fv.size()) {
+    if (fu[i] == fv[j]) {
+      ++common;
+      ++i;
+      ++j;
+    } else if (fu[i] < fv[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const size_t uni = fu.size() + fv.size() - common;
+  return static_cast<double>(common) / static_cast<double>(uni);
+}
+
+}  // namespace urr

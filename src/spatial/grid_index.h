@@ -1,0 +1,52 @@
+// Uniform-grid spatial index over node coordinates. Supports the coarse
+// "which vehicles could possibly reach this pickup in time" prefilter the
+// paper attributes to a spatial index [29], via Euclidean lower bounds.
+#ifndef URR_SPATIAL_GRID_INDEX_H_
+#define URR_SPATIAL_GRID_INDEX_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "graph/road_network.h"
+
+namespace urr {
+
+/// Buckets the network's nodes into a uniform grid over their bounding box.
+class GridIndex {
+ public:
+  /// Builds an index with roughly `target_cells` cells. Requires the network
+  /// to have coordinates.
+  static Result<GridIndex> Build(const RoadNetwork& network,
+                                 int target_cells = 4096);
+
+  /// All nodes whose Euclidean distance to `center`'s coordinate is at most
+  /// `radius` (in coordinate units). Exact: candidates from overlapping cells
+  /// are distance-checked.
+  std::vector<NodeId> NodesWithinEuclidean(const Coord& center,
+                                           double radius) const;
+
+  /// Nearest indexed node to `center` by Euclidean distance (expanding-ring
+  /// search); kInvalidNode for an empty index.
+  NodeId NearestNode(const Coord& center) const;
+
+  int num_cells_x() const { return cells_x_; }
+  int num_cells_y() const { return cells_y_; }
+
+ private:
+  GridIndex() = default;
+  int CellX(double x) const;
+  int CellY(double y) const;
+  const std::vector<NodeId>& Cell(int cx, int cy) const {
+    return cells_[static_cast<size_t>(cy) * static_cast<size_t>(cells_x_) +
+                  static_cast<size_t>(cx)];
+  }
+
+  const RoadNetwork* network_ = nullptr;
+  double min_x_ = 0, min_y_ = 0, cell_w_ = 1, cell_h_ = 1;
+  int cells_x_ = 1, cells_y_ = 1;
+  std::vector<std::vector<NodeId>> cells_;
+};
+
+}  // namespace urr
+
+#endif  // URR_SPATIAL_GRID_INDEX_H_

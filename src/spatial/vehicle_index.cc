@@ -1,0 +1,39 @@
+#include "spatial/vehicle_index.h"
+
+#include <algorithm>
+
+namespace urr {
+
+VehicleIndex::VehicleIndex(const RoadNetwork& network,
+                           const std::vector<NodeId>& locations)
+    : network_(network), engine_(network), location_(locations) {
+  for (size_t j = 0; j < locations.size(); ++j) {
+    by_node_[locations[j]].push_back(static_cast<int>(j));
+  }
+}
+
+void VehicleIndex::Update(int vehicle, NodeId node) {
+  const NodeId old = location_[static_cast<size_t>(vehicle)];
+  auto it = by_node_.find(old);
+  if (it != by_node_.end()) {
+    auto& list = it->second;
+    list.erase(std::remove(list.begin(), list.end(), vehicle), list.end());
+    if (list.empty()) by_node_.erase(it);
+  }
+  location_[static_cast<size_t>(vehicle)] = node;
+  by_node_[node].push_back(vehicle);
+}
+
+std::vector<VehicleWithDistance> VehicleIndex::VehiclesWithinCost(NodeId target,
+                                                                  Cost radius) {
+  std::vector<VehicleWithDistance> out;
+  engine_.Explore(target, radius, /*reverse=*/true,
+                  [&](NodeId v, Cost d) {
+                    auto it = by_node_.find(v);
+                    if (it == by_node_.end()) return;
+                    for (int vehicle : it->second) out.push_back({vehicle, d});
+                  });
+  return out;
+}
+
+}  // namespace urr

@@ -1,0 +1,79 @@
+// Builds URR instances from trip data, following §7.1.2 exactly:
+//  * real mode  — riders come straight from trip records (pickup node/time),
+//    vehicles from drop-off locations;
+//  * synthetic mode — riders are sampled from the fitted Poisson/transition
+//    model (Eqs 11-12), vehicles from the drop-off Poisson profile.
+// In both modes pickup deadlines are U[rt⁻min, rt⁻max] and drop-off
+// deadlines add ε · cost(s_i, e_i) (the flexible factor).
+#ifndef URR_TRIPS_INSTANCE_BUILDER_H_
+#define URR_TRIPS_INSTANCE_BUILDER_H_
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "routing/distance_oracle.h"
+#include "social/checkins.h"
+#include "social/social_graph.h"
+#include "trips/poisson_model.h"
+#include "trips/trip_record.h"
+#include "urr/instance.h"
+
+namespace urr {
+
+/// Knobs mirroring Table 3.
+struct InstanceOptions {
+  int num_riders = 1000;                  // m
+  int num_vehicles = 200;                 // n
+  double pickup_deadline_min = 10 * 60;   // rt⁻min (seconds)
+  double pickup_deadline_max = 30 * 60;   // rt⁻max (seconds)
+  int capacity = 3;                       // a_j
+  double epsilon = 1.5;                   // flexible factor ε
+  int utility_rank = 4;                   // latent dims of the μ_v matrix
+  /// When true, μ_v comes from sampled categorical stated preferences
+  /// (trips/preferences.h, Sec 2.4's description) instead of the latent-
+  /// factor model.
+  bool stated_preferences = false;
+};
+
+/// Stateless builder over borrowed substrates; all pointers must outlive the
+/// built instances (the instance stores network/social pointers).
+class InstanceBuilder {
+ public:
+  /// `checkins` may be null (riders then get user = -1, μ_r = 0).
+  InstanceBuilder(const RoadNetwork* network, const SocialGraph* social,
+                  const CheckInMap* checkins, DistanceOracle* oracle);
+
+  /// Real-data mode: one rider per record (first `num_riders` records after
+  /// shuffling), vehicles at record drop-off locations.
+  Result<UrrInstance> BuildFromRecords(const TripRecords& records,
+                                       const InstanceOptions& options,
+                                       Rng* rng) const;
+
+  /// Synthetic mode: riders sampled from the fitted model.
+  Result<UrrInstance> BuildFromModel(const PoissonDemandModel& model,
+                                     const InstanceOptions& options,
+                                     Rng* rng) const;
+
+  /// Explicit mode: builds an instance from given origin-destination pairs
+  /// and vehicle states, with the clock at `now` (deadlines are offset by
+  /// it). Used by the rolling-horizon simulator, where the fleet carries
+  /// state across time frames. Unroutable/degenerate pairs are rejected.
+  Result<UrrInstance> BuildFromTrips(
+      const std::vector<std::pair<NodeId, NodeId>>& od_pairs,
+      const std::vector<Vehicle>& vehicles, const InstanceOptions& options,
+      Cost now, Rng* rng) const;
+
+ private:
+  /// Fills deadlines (relative to instance->now), social users and the μ_v
+  /// matrix; shared by all modes.
+  Status Finalize(const InstanceOptions& options, Rng* rng,
+                  UrrInstance* instance) const;
+
+  const RoadNetwork* network_;
+  const SocialGraph* social_;
+  const CheckInMap* checkins_;
+  DistanceOracle* oracle_;
+};
+
+}  // namespace urr
+
+#endif  // URR_TRIPS_INSTANCE_BUILDER_H_

@@ -1,0 +1,35 @@
+// URR instance persistence: save/load the riders, vehicles and μ_v matrix
+// as CSV so a generated (or real-data) instance can be re-solved bit-for-bit
+// later or shared alongside experiment results. The road network and social
+// substrates are persisted separately (DIMACS / their own generators + seed).
+#ifndef URR_TRIPS_INSTANCE_IO_H_
+#define URR_TRIPS_INSTANCE_IO_H_
+
+#include <string>
+
+#include "common/csv.h"
+#include "common/result.h"
+#include "urr/instance.h"
+
+namespace urr {
+
+/// Serializes riders+vehicles+μ_v into one CSV table. Layout:
+///   kind,a,b,c,d,e  with rows
+///   meta,<now>,<num_riders>,<num_vehicles>,,
+///   rider,<source>,<destination>,<rt->,<rt+>,<user>
+///   vehicle,<location>,<capacity>,,,
+///   mu_v,<rider>,<vehicle>,<value>,,        (omitted when the matrix is empty)
+CsvTable InstanceToCsv(const UrrInstance& instance);
+
+/// Parses an instance back. Network/social pointers are left null — attach
+/// them (and validate node ranges against the intended network) afterwards;
+/// node ids are validated against `num_nodes`.
+Result<UrrInstance> InstanceFromCsv(const CsvTable& table, NodeId num_nodes);
+
+/// File conveniences.
+Status WriteInstance(const std::string& path, const UrrInstance& instance);
+Result<UrrInstance> ReadInstance(const std::string& path, NodeId num_nodes);
+
+}  // namespace urr
+
+#endif  // URR_TRIPS_INSTANCE_IO_H_

@@ -1,0 +1,97 @@
+#include "trips/poisson_model.h"
+
+namespace urr {
+
+namespace {
+uint64_t PairKey(NodeId u, NodeId v) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(u)) << 32) |
+         static_cast<uint64_t>(static_cast<uint32_t>(v));
+}
+}  // namespace
+
+Result<PoissonDemandModel> PoissonDemandModel::Fit(const TripRecords& records,
+                                                   NodeId num_nodes,
+                                                   Cost frame_start,
+                                                   Cost frame_length) {
+  if (frame_length <= 0) {
+    return Status::InvalidArgument("frame_length must be positive");
+  }
+  PoissonDemandModel model;
+  model.frame_length_ = frame_length;
+  model.lambda_.assign(static_cast<size_t>(num_nodes), 0.0);
+  std::vector<int> counts(static_cast<size_t>(num_nodes), 0);
+
+  for (const TripRecord& r : records) {
+    if (r.pickup_time < frame_start ||
+        r.pickup_time >= frame_start + frame_length) {
+      continue;
+    }
+    if (r.pickup_node < 0 || r.pickup_node >= num_nodes || r.dropoff_node < 0 ||
+        r.dropoff_node >= num_nodes) {
+      return Status::InvalidArgument("record node out of range");
+    }
+    ++model.num_observed_;
+    ++counts[static_cast<size_t>(r.pickup_node)];
+    auto& row = model.transitions_[r.pickup_node];
+    bool found = false;
+    for (auto& [dst, c] : row) {
+      if (dst == r.dropoff_node) {
+        ++c;
+        found = true;
+        break;
+      }
+    }
+    if (!found) row.emplace_back(r.dropoff_node, 1);
+    model.dropoffs_.push_back(r.dropoff_node);
+    auto& dur = model.durations_[PairKey(r.pickup_node, r.dropoff_node)];
+    dur.first += r.duration;
+    dur.second += 1;
+  }
+  if (model.num_observed_ == 0) {
+    return Status::InvalidArgument("no records inside the frame");
+  }
+  for (NodeId i = 0; i < num_nodes; ++i) {
+    model.lambda_[static_cast<size_t>(i)] =
+        static_cast<double>(counts[static_cast<size_t>(i)]) / frame_length;
+    if (counts[static_cast<size_t>(i)] > 0) {
+      model.origins_.push_back(i);
+      model.origin_weights_.push_back(counts[static_cast<size_t>(i)]);
+    }
+  }
+  return model;
+}
+
+std::pair<NodeId, NodeId> PoissonDemandModel::SampleTrip(Rng* rng) const {
+  const size_t idx = rng->Discrete(origin_weights_);
+  const NodeId origin =
+      origins_[idx >= origins_.size() ? origins_.size() - 1 : idx];
+  return {origin, SampleDestination(origin, rng)};
+}
+
+NodeId PoissonDemandModel::SampleDestination(NodeId i, Rng* rng) const {
+  auto it = transitions_.find(i);
+  if (it == transitions_.end() || it->second.empty()) {
+    // Unobserved origin: fall back to the global drop-off profile.
+    return dropoffs_[static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(dropoffs_.size()) - 1))];
+  }
+  std::vector<double> weights;
+  weights.reserve(it->second.size());
+  for (const auto& [dst, c] : it->second) weights.push_back(c);
+  size_t pick = rng->Discrete(weights);
+  if (pick >= it->second.size()) pick = it->second.size() - 1;
+  return it->second[pick].first;
+}
+
+NodeId PoissonDemandModel::SampleVehicleLocation(Rng* rng) const {
+  return dropoffs_[static_cast<size_t>(
+      rng->UniformInt(0, static_cast<int64_t>(dropoffs_.size()) - 1))];
+}
+
+Cost PoissonDemandModel::AverageDuration(NodeId u, NodeId v) const {
+  auto it = durations_.find(PairKey(u, v));
+  if (it == durations_.end() || it->second.second == 0) return -1;
+  return it->second.first / it->second.second;
+}
+
+}  // namespace urr

@@ -1,0 +1,72 @@
+// The paper's synthetic-workload pipeline (§7.1.2): mine taxi-trip records
+// into per-node Poisson arrival rates (Eq. 11) and origin→destination
+// transition probabilities (Eq. 12) for a time frame, then sample riders
+// and vehicle positions from the fitted model.
+#ifndef URR_TRIPS_POISSON_MODEL_H_
+#define URR_TRIPS_POISSON_MODEL_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "trips/trip_record.h"
+
+namespace urr {
+
+/// Fitted per-frame demand model.
+class PoissonDemandModel {
+ public:
+  /// Fits the model from records falling inside [frame_start,
+  /// frame_start + frame_length). λ_i = nr_i / δ (Eq. 11);
+  /// p_ik = nr_ik / nr_i (Eq. 12). Requires a non-empty frame.
+  static Result<PoissonDemandModel> Fit(const TripRecords& records,
+                                        NodeId num_nodes, Cost frame_start,
+                                        Cost frame_length);
+
+  /// Poisson rate λ_i (arrivals per second) at node i.
+  double Lambda(NodeId i) const { return lambda_[static_cast<size_t>(i)]; }
+
+  /// Samples one origin→destination pair: origin by the rate profile,
+  /// destination by the transition matrix row.
+  std::pair<NodeId, NodeId> SampleTrip(Rng* rng) const;
+
+  /// Samples the number of riders arriving at node i over `horizon` seconds.
+  int SampleArrivals(NodeId i, Cost horizon, Rng* rng) const {
+    return rng->Poisson(Lambda(i) * horizon);
+  }
+
+  /// Samples a destination for origin `i` from p_ik; falls back to a global
+  /// destination draw when node i had no observed trips.
+  NodeId SampleDestination(NodeId i, Rng* rng) const;
+
+  /// Samples a vehicle location from the drop-off profile of the frame.
+  NodeId SampleVehicleLocation(Rng* rng) const;
+
+  /// Mean observed duration of trips from u to v in this frame (the paper
+  /// uses the frame-average travel cost for trips); < 0 when unobserved.
+  Cost AverageDuration(NodeId u, NodeId v) const;
+
+  Cost frame_length() const { return frame_length_; }
+  int64_t num_observed() const { return num_observed_; }
+
+ private:
+  PoissonDemandModel() = default;
+
+  Cost frame_length_ = 0;
+  int64_t num_observed_ = 0;
+  std::vector<double> lambda_;
+  // Sparse transition structure: per origin, (destination, count) pairs.
+  std::unordered_map<NodeId, std::vector<std::pair<NodeId, int>>> transitions_;
+  // Flattened origin sampling: observed origins and their weights.
+  std::vector<NodeId> origins_;
+  std::vector<double> origin_weights_;
+  // Drop-off empirical distribution.
+  std::vector<NodeId> dropoffs_;
+  // Duration sums/counts keyed by (u << 32 | v).
+  std::unordered_map<uint64_t, std::pair<double, int>> durations_;
+};
+
+}  // namespace urr
+
+#endif  // URR_TRIPS_POISSON_MODEL_H_

@@ -1,0 +1,76 @@
+#include "trips/preferences.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace urr {
+
+double PreferenceUtility(const RiderPreferences& rider,
+                         const VehicleAttributes& vehicle) {
+  // Per-criterion satisfaction; "no opinion" counts as satisfied.
+  const bool satisfied[kNumPreferenceCriteria] = {
+      rider.preferred_brand < 0 || rider.preferred_brand == vehicle.brand,
+      vehicle.vehicle_class >= rider.min_vehicle_class,
+      !rider.wants_experienced || vehicle.experienced_driver,
+      !rider.wants_female_driver || vehicle.female_driver,
+      !rider.wants_smoke_free || vehicle.smoke_free,
+      rider.min_rating <= 0 || vehicle.driver_rating >= rider.min_rating,
+  };
+  double total_weight = 0;
+  double score = 0;
+  for (int c = 0; c < kNumPreferenceCriteria; ++c) {
+    const double w =
+        rider.weights.size() == static_cast<size_t>(kNumPreferenceCriteria)
+            ? std::max(0.0, rider.weights[static_cast<size_t>(c)])
+            : 1.0;
+    total_weight += w;
+    if (satisfied[c]) score += w;
+  }
+  return total_weight <= 0 ? 1.0 : score / total_weight;
+}
+
+VehicleAttributes SampleVehicleAttributes(Rng* rng, int num_brands) {
+  VehicleAttributes v;
+  v.brand = static_cast<int>(rng->UniformInt(0, std::max(1, num_brands) - 1));
+  v.vehicle_class = static_cast<int>(rng->UniformInt(0, 2));
+  v.experienced_driver = rng->Bernoulli(0.5);
+  v.female_driver = rng->Bernoulli(0.3);
+  v.smoke_free = rng->Bernoulli(0.85);
+  v.driver_rating = rng->Uniform(3.0, 5.0);
+  return v;
+}
+
+RiderPreferences SampleRiderPreferences(Rng* rng, int num_brands) {
+  RiderPreferences p;
+  // Most riders state only a couple of preferences.
+  if (rng->Bernoulli(0.3)) {
+    p.preferred_brand =
+        static_cast<int>(rng->UniformInt(0, std::max(1, num_brands) - 1));
+  }
+  if (rng->Bernoulli(0.25)) {
+    p.min_vehicle_class = static_cast<int>(rng->UniformInt(1, 2));
+  }
+  p.wants_experienced = rng->Bernoulli(0.35);
+  p.wants_female_driver = rng->Bernoulli(0.15);
+  p.wants_smoke_free = rng->Bernoulli(0.4);
+  if (rng->Bernoulli(0.5)) p.min_rating = rng->Uniform(3.5, 4.8);
+  // Random emphasis across the stated criteria.
+  p.weights.resize(static_cast<size_t>(kNumPreferenceCriteria));
+  for (double& w : p.weights) w = rng->Uniform(0.5, 2.0);
+  return p;
+}
+
+std::vector<float> BuildPreferenceUtilityMatrix(
+    const std::vector<RiderPreferences>& riders,
+    const std::vector<VehicleAttributes>& vehicles) {
+  std::vector<float> matrix;
+  matrix.reserve(riders.size() * vehicles.size());
+  for (const RiderPreferences& r : riders) {
+    for (const VehicleAttributes& v : vehicles) {
+      matrix.push_back(static_cast<float>(PreferenceUtility(r, v)));
+    }
+  }
+  return matrix;
+}
+
+}  // namespace urr

@@ -1,0 +1,62 @@
+// Stated-preference vehicle utility: Sec 2.4 derives μ_v from "categorically
+// stated preferences of riders towards vehicles and drivers: riders can
+// stipulate their preferences of vehicle brands and drivers (e.g.,
+// experienced or high-rated)". This module models vehicles with categorical
+// attributes, riders with stated preferences, and scores μ_v as the
+// satisfied fraction — an alternative to the latent-factor matrix the
+// instance builder uses by default.
+#ifndef URR_TRIPS_PREFERENCES_H_
+#define URR_TRIPS_PREFERENCES_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace urr {
+
+/// Attributes a rider can see about a vehicle/driver.
+struct VehicleAttributes {
+  int brand = 0;            // categorical, [0, num_brands)
+  int vehicle_class = 0;    // 0 economy, 1 comfort, 2 premium
+  bool experienced_driver = false;
+  bool female_driver = false;   // the paper's late-evening safety example
+  bool smoke_free = true;
+  double driver_rating = 4.5;   // [1, 5]
+};
+
+/// A rider's stated preferences; -1 / false-able fields mean "no opinion".
+struct RiderPreferences {
+  int preferred_brand = -1;        // -1 = any
+  int min_vehicle_class = 0;
+  bool wants_experienced = false;
+  bool wants_female_driver = false;
+  bool wants_smoke_free = false;
+  double min_rating = 0;           // 0 = any
+  /// Weight of each stated criterion (uniform when empty); sized to the
+  /// number of criteria below (6).
+  std::vector<double> weights;
+};
+
+/// Number of criteria the preference model scores.
+inline constexpr int kNumPreferenceCriteria = 6;
+
+/// Scores μ_v(r, c) in [0, 1]: the (weighted) fraction of the rider's
+/// stated criteria the vehicle satisfies; criteria the rider has no opinion
+/// on count as satisfied.
+double PreferenceUtility(const RiderPreferences& rider,
+                         const VehicleAttributes& vehicle);
+
+/// Random fleets/preference profiles for synthetic instances.
+VehicleAttributes SampleVehicleAttributes(Rng* rng, int num_brands = 8);
+RiderPreferences SampleRiderPreferences(Rng* rng, int num_brands = 8);
+
+/// Builds the riders x vehicles μ_v matrix (row-major floats, the layout
+/// UrrInstance expects).
+std::vector<float> BuildPreferenceUtilityMatrix(
+    const std::vector<RiderPreferences>& riders,
+    const std::vector<VehicleAttributes>& vehicles);
+
+}  // namespace urr
+
+#endif  // URR_TRIPS_PREFERENCES_H_

@@ -1,0 +1,68 @@
+#include "trips/trip_generator.h"
+
+#include <algorithm>
+
+#include "routing/dijkstra.h"
+
+namespace urr {
+
+Result<TripRecords> GenerateTrips(const RoadNetwork& network,
+                                  const TripGenOptions& options, Rng* rng) {
+  if (network.num_nodes() < 2) {
+    return Status::InvalidArgument("network too small for trips");
+  }
+  if (options.num_trips < 0) {
+    return Status::InvalidArgument("num_trips negative");
+  }
+  // Popularity ranking: a random permutation sampled through Zipf.
+  std::vector<NodeId> perm(static_cast<size_t>(network.num_nodes()));
+  for (NodeId v = 0; v < network.num_nodes(); ++v) {
+    perm[static_cast<size_t>(v)] = v;
+  }
+  rng->Shuffle(&perm);
+
+  DijkstraEngine engine(network);
+  TripRecords records;
+  records.reserve(static_cast<size_t>(options.num_trips));
+  std::vector<std::pair<NodeId, Cost>> candidates;
+  int attempts_left = options.num_trips * 8;  // guard against dead nodes
+  while (static_cast<int>(records.size()) < options.num_trips &&
+         attempts_left-- > 0) {
+    const NodeId src = perm[rng->Zipf(perm.size(), options.popularity_exponent)];
+    const Cost target = static_cast<Cost>(
+        rng->LogNormal(options.log_mu, options.log_sigma));
+    const Cost lo = target * (1.0 - options.distance_tolerance);
+    const Cost hi = target * (1.0 + options.distance_tolerance);
+    candidates.clear();
+    engine.Explore(src, hi, /*reverse=*/false, [&](NodeId v, Cost d) {
+      if (v != src && d >= lo) candidates.push_back({v, d});
+    });
+    if (candidates.empty()) continue;
+    const auto pick = static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(candidates.size()) - 1));
+    TripRecord rec;
+    rec.pickup_node = src;
+    rec.dropoff_node = candidates[pick].first;
+    rec.duration = candidates[pick].second;
+    rec.pickup_time = rng->Uniform(0, options.window);
+    records.push_back(rec);
+  }
+  if (static_cast<int>(records.size()) < options.num_trips) {
+    return Status::Internal("could not place all trips (network too small "
+                            "for the requested duration profile)");
+  }
+  return records;
+}
+
+std::vector<int64_t> DurationHistogram(const TripRecords& records,
+                                       Cost bucket_width, int num_buckets) {
+  std::vector<int64_t> hist(static_cast<size_t>(num_buckets), 0);
+  for (const TripRecord& r : records) {
+    int b = static_cast<int>(r.duration / bucket_width);
+    b = std::min(b, num_buckets - 1);
+    ++hist[static_cast<size_t>(b)];
+  }
+  return hist;
+}
+
+}  // namespace urr

@@ -1,0 +1,43 @@
+// Synthesizes taxi-trip records over a road network with the duration
+// profile of the paper's Fig. 7: log-normal durations with >50% of trips
+// under ~1000 s, hot-spot pickup nodes (Zipf popularity) and destinations
+// sampled at the target network distance.
+#ifndef URR_TRIPS_TRIP_GENERATOR_H_
+#define URR_TRIPS_TRIP_GENERATOR_H_
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "trips/trip_record.h"
+
+namespace urr {
+
+/// Parameters of the record synthesizer.
+struct TripGenOptions {
+  int num_trips = 10000;
+  /// Dataset window (seconds); pickup times are uniform in [0, window).
+  Cost window = 1800;
+  /// Log-normal duration parameters (underlying normal). Defaults put the
+  /// median near 600 s, matching the Fig.-7 shape.
+  double log_mu = 6.4;     // exp(6.4) ≈ 600 s
+  double log_sigma = 0.75;
+  /// Zipf exponent of pickup-node popularity.
+  double popularity_exponent = 1.1;
+  /// Acceptable relative deviation between a destination's network distance
+  /// and the sampled target duration.
+  double distance_tolerance = 0.25;
+};
+
+/// Generates records. Destinations are found with a bounded Dijkstra per
+/// trip: among settled nodes whose distance is within tolerance of the
+/// sampled duration, one is picked uniformly (the realized duration is the
+/// actual shortest-path cost, keeping records metrically consistent).
+Result<TripRecords> GenerateTrips(const RoadNetwork& network,
+                                  const TripGenOptions& options, Rng* rng);
+
+/// Histogram of trip durations with `bucket_width`-second buckets (Fig. 7).
+std::vector<int64_t> DurationHistogram(const TripRecords& records,
+                                       Cost bucket_width, int num_buckets);
+
+}  // namespace urr
+
+#endif  // URR_TRIPS_TRIP_GENERATOR_H_

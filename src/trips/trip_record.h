@@ -1,0 +1,26 @@
+// Taxi-trip records: the raw material of the paper's workloads (NYC TLC /
+// Chicago Data Portal records). Our generator synthesizes records with the
+// same statistical shape (Fig. 7: majority of trips under 1000 s).
+#ifndef URR_TRIPS_TRIP_RECORD_H_
+#define URR_TRIPS_TRIP_RECORD_H_
+
+#include <vector>
+
+#include "graph/road_network.h"
+
+namespace urr {
+
+/// One taxi trip record.
+struct TripRecord {
+  NodeId pickup_node = kInvalidNode;
+  NodeId dropoff_node = kInvalidNode;
+  Cost pickup_time = 0;   // seconds from the start of the dataset window
+  Cost duration = 0;      // seconds
+};
+
+/// A batch of records.
+using TripRecords = std::vector<TripRecord>;
+
+}  // namespace urr
+
+#endif  // URR_TRIPS_TRIP_RECORD_H_

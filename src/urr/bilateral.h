@@ -1,0 +1,28 @@
+// BilateralArrangement (Sec 4, Algorithm 2): assign each rider to the
+// vehicle with the highest utility increase; when a vehicle is full/tight,
+// try replacing one of its riders so that travel cost drops and overall
+// utility rises; replaced riders go back into the pool.
+#ifndef URR_URR_BILATERAL_H_
+#define URR_URR_BILATERAL_H_
+
+#include "urr/solution.h"
+
+namespace urr {
+
+/// Runs BA over the given rider/vehicle subsets, mutating `sol`. Used
+/// directly by GBS per group. Deterministic given ctx->rng's state (the
+/// paper picks riders randomly; we draw from the seeded Rng).
+/// When `group_filter` is non-null, rider C_i lists come from the O(1)
+/// key-vertex bound (GBS's fast per-group filtering, Sec 6.2) instead of
+/// per-rider reverse Dijkstras.
+void BilateralArrange(const UrrInstance& instance, SolverContext* ctx,
+                      const std::vector<RiderId>& riders,
+                      const std::vector<int>& vehicles, UrrSolution* sol,
+                      const GroupFilter* group_filter = nullptr);
+
+/// BA over the whole instance.
+UrrSolution SolveBilateral(const UrrInstance& instance, SolverContext* ctx);
+
+}  // namespace urr
+
+#endif  // URR_URR_BILATERAL_H_

@@ -1,0 +1,18 @@
+#include "urr/cost_first.h"
+
+#include "urr/greedy.h"
+
+namespace urr {
+
+UrrSolution SolveCostFirst(const UrrInstance& instance, SolverContext* ctx) {
+  UrrSolution sol = MakeEmptySolution(instance, ctx->oracle);
+  std::vector<RiderId> riders(instance.riders.size());
+  for (size_t i = 0; i < riders.size(); ++i) riders[i] = static_cast<RiderId>(i);
+  std::vector<int> vehicles(instance.vehicles.size());
+  for (size_t j = 0; j < vehicles.size(); ++j) vehicles[j] = static_cast<int>(j);
+  GreedyArrange(instance, ctx, riders, vehicles, GreedyObjective::kCostFirst,
+                &sol);
+  return sol;
+}
+
+}  // namespace urr

@@ -1,0 +1,15 @@
+// Cost-first greedy (CF) — the paper's baseline (§7.1.3): repeatedly commit
+// the rider-vehicle pair with the lowest incremental travel cost.
+#ifndef URR_URR_COST_FIRST_H_
+#define URR_URR_COST_FIRST_H_
+
+#include "urr/solution.h"
+
+namespace urr {
+
+/// CF over the whole instance.
+UrrSolution SolveCostFirst(const UrrInstance& instance, SolverContext* ctx);
+
+}  // namespace urr
+
+#endif  // URR_URR_COST_FIRST_H_

@@ -1,0 +1,54 @@
+#include "urr/cost_model.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace urr {
+
+double GbsCostModel::Cost(double eta) const {
+  const double log_eta = std::log(eta);
+  double cost = s * (c_k + log_eta) + 2.0 * m * log_eta + eta * log_eta;
+  if (eta < n) cost += (m * n / eta) * std::log(n / eta);
+  return cost;
+}
+
+double GbsCostModel::Derivative(double eta) const {
+  double d = (s + 2.0 * m) / eta + std::log(eta) + 1.0;
+  if (eta < n) d -= (m * n / (eta * eta)) * (std::log(n / eta) + 1.0);
+  return d;
+}
+
+double GbsCostModel::BestEta() const {
+  double lo = 1.0;
+  double hi = std::max(2.0, s);
+  if (Derivative(lo) >= 0) return lo;  // already past the minimum
+  if (Derivative(hi) <= 0) return hi;
+  for (int iter = 0; iter < 100; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (Derivative(mid) < 0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+int PickBestK(const GbsCostModel& model, const std::vector<int>& candidate_ks,
+              const std::function<double(int)>& measure_eta) {
+  const double target = model.BestEta();
+  int best_k = candidate_ks.empty() ? 4 : candidate_ks.front();
+  double best_gap = std::numeric_limits<double>::infinity();
+  for (int k : candidate_ks) {
+    const double eta = measure_eta(k);
+    const double gap = std::abs(eta - target);
+    if (gap < best_gap) {
+      best_gap = gap;
+      best_k = k;
+    }
+  }
+  return best_k;
+}
+
+}  // namespace urr

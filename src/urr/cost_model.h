@@ -1,0 +1,36 @@
+// The Sec-6.3 cost model of the GBS algorithm:
+//   Cost_gbs(η) = s(C_k + log η) + 2m log η + η log η + (mn/η) log(n/η)
+// and the derivative-root search for the number of areas η* that minimizes
+// it, which in turn picks the best k.
+#ifndef URR_URR_COST_MODEL_H_
+#define URR_URR_COST_MODEL_H_
+
+#include <functional>
+#include <vector>
+
+namespace urr {
+
+/// GBS running-cost model in the number of areas η.
+struct GbsCostModel {
+  double s = 0;    // number of road-network vertices
+  double m = 0;    // number of riders
+  double n = 0;    // number of vehicles
+  double c_k = 1;  // per-vertex k-SPC constant for this network
+
+  /// Cost_gbs(η).
+  double Cost(double eta) const;
+  /// ∂Cost_gbs/∂η (Sec 6.3; increasing in η).
+  double Derivative(double eta) const;
+  /// η* where the derivative crosses zero (binary search on [1, s]).
+  double BestEta() const;
+};
+
+/// Picks from `candidate_ks` the k whose measured area count η(k) is closest
+/// to the model's η*. `measure_eta` maps k to the observed area count (e.g.
+/// by running the k-SPC on the preprocessed network).
+int PickBestK(const GbsCostModel& model, const std::vector<int>& candidate_ks,
+              const std::function<double(int)>& measure_eta);
+
+}  // namespace urr
+
+#endif  // URR_URR_COST_MODEL_H_

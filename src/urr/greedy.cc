@@ -1,0 +1,123 @@
+#include "urr/greedy.h"
+
+#include <queue>
+
+namespace urr {
+
+namespace {
+
+constexpr Cost kCostEps = 1e-7;
+
+/// Queue key for a candidate pair under the chosen objective.
+double KeyOf(GreedyObjective objective, const CandidateEval& eval) {
+  switch (objective) {
+    case GreedyObjective::kUtilityEfficiency:
+      // Eq. 9; a zero-cost insertion (stops already on the route) is the
+      // best possible deal, keyed by its utility gain at a huge multiplier.
+      return eval.delta_utility / std::max(eval.delta_cost, kCostEps);
+    case GreedyObjective::kCostFirst:
+      return -eval.delta_cost;
+  }
+  return 0;
+}
+
+struct QueueEntry {
+  double key;
+  RiderId rider;
+  int vehicle;
+  uint64_t version;  // vehicle schedule version this key was computed at
+
+  bool operator<(const QueueEntry& other) const { return key < other.key; }
+};
+
+}  // namespace
+
+void GreedyArrange(const UrrInstance& instance, SolverContext* ctx,
+                   const std::vector<RiderId>& riders,
+                   const std::vector<int>& vehicles, GreedyObjective objective,
+                   UrrSolution* sol, const GroupFilter* group_filter) {
+  // Restrict the prefilter to the given vehicle subset.
+  std::vector<bool> allowed(instance.vehicles.size(), false);
+  for (int j : vehicles) allowed[static_cast<size_t>(j)] = true;
+
+  auto candidates_for = [&](RiderId i) {
+    if (group_filter == nullptr) {
+      return ValidVehiclesForRider(instance, ctx->vehicle_index, i, &allowed);
+    }
+    // Group mode: O(1) lower-bound checks only; Algorithm 1 rejects the
+    // survivors that are actually infeasible.
+    const Rider& r = instance.riders[static_cast<size_t>(i)];
+    const Cost budget = r.pickup_deadline - instance.now;
+    std::vector<int> out;
+    for (int j : vehicles) {
+      const NodeId loc = instance.vehicles[static_cast<size_t>(j)].location;
+      const Cost key_lb =
+          (*group_filter->dist_to_key)[static_cast<size_t>(j)] -
+          group_filter->slack;
+      if (key_lb > budget) continue;
+      if (ctx->euclid_speed > 0 && instance.network->has_coords()) {
+        const double lb =
+            EuclideanDistance(instance.network->coord(loc),
+                              instance.network->coord(r.source)) /
+            ctx->euclid_speed;
+        if (lb > budget) continue;
+      }
+      out.push_back(j);
+    }
+    return out;
+  };
+
+  std::vector<uint64_t> version(instance.vehicles.size(), 0);
+  std::priority_queue<QueueEntry> queue;
+
+  // Lines 2-7 of Algorithm 3: build the valid pair set with efficiencies.
+  for (RiderId i : riders) {
+    if (sol->assignment[static_cast<size_t>(i)] >= 0) continue;
+    for (int j : candidates_for(i)) {
+      const CandidateEval eval =
+          EvaluateInsertion(instance, *ctx->model, *sol, i, j,
+                            objective != GreedyObjective::kCostFirst);
+      if (!eval.feasible) continue;
+      queue.push({KeyOf(objective, eval), i, j, version[static_cast<size_t>(j)]});
+    }
+  }
+
+  // Lines 8-12: repeatedly commit the best pair; pairs whose vehicle changed
+  // since their key was computed are lazily re-evaluated on pop.
+  while (!queue.empty()) {
+    const QueueEntry top = queue.top();
+    queue.pop();
+    if (sol->assignment[static_cast<size_t>(top.rider)] >= 0) continue;
+    if (top.version != version[static_cast<size_t>(top.vehicle)]) {
+      // Stale: the vehicle's schedule changed. Re-evaluate and re-queue.
+      const CandidateEval eval =
+          EvaluateInsertion(instance, *ctx->model, *sol, top.rider, top.vehicle,
+                            objective != GreedyObjective::kCostFirst);
+      if (!eval.feasible) continue;  // line 12: drop invalid pairs
+      queue.push({KeyOf(objective, eval), top.rider, top.vehicle,
+                  version[static_cast<size_t>(top.vehicle)]});
+      continue;
+    }
+    // Fresh best pair: insert (line 10, via Algorithm 1).
+    TransferSequence& seq = sol->schedules[static_cast<size_t>(top.vehicle)];
+    Result<InsertionPlan> plan = FindBestInsertion(seq, instance.Trip(top.rider));
+    if (!plan.ok()) continue;
+    if (!ApplyInsertion(&seq, instance.Trip(top.rider), *plan).ok()) continue;
+    sol->assignment[static_cast<size_t>(top.rider)] = top.vehicle;
+    ++version[static_cast<size_t>(top.vehicle)];  // line 11
+  }
+}
+
+UrrSolution SolveEfficientGreedy(const UrrInstance& instance,
+                                 SolverContext* ctx) {
+  UrrSolution sol = MakeEmptySolution(instance, ctx->oracle);
+  std::vector<RiderId> riders(instance.riders.size());
+  for (size_t i = 0; i < riders.size(); ++i) riders[i] = static_cast<RiderId>(i);
+  std::vector<int> vehicles(instance.vehicles.size());
+  for (size_t j = 0; j < vehicles.size(); ++j) vehicles[j] = static_cast<int>(j);
+  GreedyArrange(instance, ctx, riders, vehicles,
+                GreedyObjective::kUtilityEfficiency, &sol);
+  return sol;
+}
+
+}  // namespace urr

@@ -1,0 +1,98 @@
+#include "urr/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace urr {
+
+SolutionMetrics ComputeMetrics(const UrrInstance& instance,
+                               const UtilityModel& model,
+                               const UrrSolution& solution) {
+  SolutionMetrics m;
+  m.riders_total = instance.num_riders();
+  m.riders_served = solution.NumAssigned();
+  m.service_rate = m.riders_total == 0
+                       ? 0.0
+                       : static_cast<double>(m.riders_served) / m.riders_total;
+  m.total_utility = solution.TotalUtility(model);
+  m.mean_utility_served =
+      m.riders_served == 0 ? 0.0 : m.total_utility / m.riders_served;
+  m.total_travel_cost = solution.TotalCost();
+
+  double sigma_sum = 0;
+  int sigma_count = 0;
+  int shared = 0;
+  double onboard_cost_weighted = 0;
+  Cost cost_sum = 0;
+  for (size_t j = 0; j < solution.schedules.size(); ++j) {
+    const TransferSequence& seq = solution.schedules[j];
+    if (!seq.empty()) ++m.active_vehicles;
+    for (int u = 0; u < seq.num_stops(); ++u) {
+      m.max_onboard = std::max(m.max_onboard, seq.Onboard(u));
+      onboard_cost_weighted += seq.Onboard(u) * seq.leg_cost(u);
+      cost_sum += seq.leg_cost(u);
+    }
+    for (RiderId i : seq.Riders()) {
+      const auto [p, q] = seq.RiderStops(i);
+      Cost onboard_cost = 0;
+      bool had_co_rider = false;
+      for (int u = p + 1; u <= q; ++u) {
+        onboard_cost += seq.leg_cost(u);
+        if (seq.Onboard(u) > 1) had_co_rider = true;
+      }
+      const Rider& r = instance.riders[static_cast<size_t>(i)];
+      const Cost direct = seq.oracle()->Distance(r.source, r.destination);
+      if (direct > 0) {
+        sigma_sum += onboard_cost / direct;
+        ++sigma_count;
+      }
+      if (had_co_rider) ++shared;
+    }
+  }
+  m.mean_detour_sigma = sigma_count == 0 ? 1.0 : sigma_sum / sigma_count;
+  m.shared_rider_fraction =
+      m.riders_served == 0 ? 0.0
+                           : static_cast<double>(shared) / m.riders_served;
+  m.mean_onboard = cost_sum == 0 ? 0.0 : onboard_cost_weighted / cost_sum;
+  m.mean_riders_per_active_vehicle =
+      m.active_vehicles == 0
+          ? 0.0
+          : static_cast<double>(m.riders_served) / m.active_vehicles;
+  return m;
+}
+
+std::string FormatMetrics(const SolutionMetrics& m) {
+  std::ostringstream out;
+  out << "riders served: " << m.riders_served << "/" << m.riders_total << " ("
+      << static_cast<int>(m.service_rate * 100) << "%)\n"
+      << "overall utility: " << m.total_utility
+      << " (mean per served rider: " << m.mean_utility_served << ")\n"
+      << "total travel cost: " << m.total_travel_cost << " s\n"
+      << "mean detour sigma (Eq. 4): " << m.mean_detour_sigma << "\n"
+      << "riders sharing a leg: "
+      << static_cast<int>(m.shared_rider_fraction * 100) << "%\n"
+      << "occupancy: mean " << m.mean_onboard << ", max " << m.max_onboard
+      << "\n"
+      << "active vehicles: " << m.active_vehicles << " ("
+      << m.mean_riders_per_active_vehicle << " riders each)\n";
+  return out.str();
+}
+
+double UpperBoundUtility(const UrrInstance& instance, const UtilityModel& model,
+                         VehicleIndex* vehicle_index) {
+  const UtilityParams& p = model.params();
+  double bound = 0;
+  for (RiderId i = 0; i < instance.num_riders(); ++i) {
+    const std::vector<int> valid =
+        ValidVehiclesForRider(instance, vehicle_index, i, nullptr);
+    if (valid.empty()) continue;  // unreachable riders cannot contribute
+    double best_mu_v = 0;
+    for (int j : valid) {
+      best_mu_v = std::max(best_mu_v, instance.VehicleUtility(i, j));
+    }
+    bound += p.alpha * best_mu_v + p.beta * 1.0 + (1.0 - p.alpha - p.beta);
+  }
+  return bound;
+}
+
+}  // namespace urr

@@ -1,0 +1,46 @@
+// Solution analytics: the operational quantities behind the paper's
+// narrative (detour ratios feeding μ_t, co-riding driving μ_r, occupancy
+// behind the capacity experiments) plus an instance-level utility upper
+// bound used to report optimality gaps for the heuristics.
+#ifndef URR_URR_METRICS_H_
+#define URR_URR_METRICS_H_
+
+#include "urr/solution.h"
+
+namespace urr {
+
+/// Aggregated per-solution statistics.
+struct SolutionMetrics {
+  int riders_total = 0;
+  int riders_served = 0;
+  double service_rate = 0;          // served / total
+  double total_utility = 0;         // the URR objective
+  double mean_utility_served = 0;   // per served rider
+  Cost total_travel_cost = 0;       // Σ cost(S_j)
+  Cost mean_detour_sigma = 1;       // mean Eq.-4 ratio over served riders
+  double shared_rider_fraction = 0; // served riders with >=1 co-rider leg
+  double mean_onboard = 0;          // cost-weighted average occupancy
+  int max_onboard = 0;
+  int active_vehicles = 0;          // vehicles with at least one stop
+  double mean_riders_per_active_vehicle = 0;
+};
+
+/// Computes the metrics for a (valid) solution.
+SolutionMetrics ComputeMetrics(const UrrInstance& instance,
+                               const UtilityModel& model,
+                               const UrrSolution& solution);
+
+/// Renders the metrics as a short human-readable report.
+std::string FormatMetrics(const SolutionMetrics& metrics);
+
+/// An upper bound on the achievable overall utility: every rider served by
+/// their best vehicle at zero detour with perfect co-rider similarity —
+/// Σ_i (α·max_j μ_v(i,j) + β·1 + (1-α-β)·1), restricted to riders with at
+/// least one vehicle able to reach them in time. No solution can exceed it,
+/// so `utility / UpperBoundUtility` is a (loose) optimality lower bound.
+double UpperBoundUtility(const UrrInstance& instance, const UtilityModel& model,
+                         VehicleIndex* vehicle_index);
+
+}  // namespace urr
+
+#endif  // URR_URR_METRICS_H_

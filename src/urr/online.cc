@@ -1,0 +1,68 @@
+#include "urr/online.h"
+
+namespace urr {
+
+OnlineDispatcher::OnlineDispatcher(const UrrInstance* instance,
+                                   SolverContext* ctx,
+                                   OnlineObjective objective)
+    : instance_(instance),
+      ctx_(ctx),
+      objective_(objective),
+      solution_(MakeEmptySolution(*instance, ctx->oracle)) {}
+
+DispatchDecision OnlineDispatcher::Dispatch(RiderId rider) {
+  DispatchDecision best;
+  const bool need_utility = objective_ == OnlineObjective::kUtilityGain;
+  for (int j : ValidVehiclesForRider(*instance_, ctx_->vehicle_index, rider,
+                                     nullptr)) {
+    const CandidateEval eval = EvaluateInsertion(*instance_, *ctx_->model,
+                                                 solution_, rider, j,
+                                                 need_utility);
+    if (!eval.feasible) continue;
+    bool better;
+    if (!best.accepted) {
+      better = true;
+    } else if (objective_ == OnlineObjective::kUtilityGain) {
+      better = eval.delta_utility > best.utility_gain;
+    } else {
+      better = eval.delta_cost < best.cost_increase;
+    }
+    if (better) {
+      best.accepted = true;
+      best.vehicle = j;
+      best.plan = eval.plan;
+      best.utility_gain = eval.delta_utility;
+      best.cost_increase = eval.delta_cost;
+    }
+  }
+  if (best.accepted) {
+    TransferSequence& seq = solution_.schedules[static_cast<size_t>(best.vehicle)];
+    // Re-derive the plan on the live schedule (it may have changed since the
+    // eval if callers interleave; within Dispatch it has not, so this is the
+    // same plan) and commit.
+    const Status applied =
+        ApplyInsertion(&seq, instance_->Trip(rider), best.plan);
+    if (!applied.ok()) {
+      best = DispatchDecision{};
+      ++rejected_;
+      return best;
+    }
+    solution_.assignment[static_cast<size_t>(rider)] = best.vehicle;
+    ++accepted_;
+  } else {
+    ++rejected_;
+  }
+  return best;
+}
+
+const UrrSolution& OnlineDispatcher::DispatchAll(
+    const std::vector<RiderId>& arrival_order) {
+  for (RiderId rider : arrival_order) {
+    if (solution_.assignment[static_cast<size_t>(rider)] < 0) {
+      Dispatch(rider);
+    }
+  }
+  return solution_;
+}
+
+}  // namespace urr

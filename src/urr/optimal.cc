@@ -1,0 +1,170 @@
+#include "urr/optimal.h"
+
+#include <bit>
+#include <unordered_map>
+
+namespace urr {
+
+namespace {
+
+constexpr Cost kEps = 1e-7;
+
+/// Best schedule found for one (vehicle, rider-subset) pair.
+struct SubsetBest {
+  double utility = -1;
+  std::vector<Stop> stops;
+};
+
+/// DFS over event orderings for one vehicle. Records, for every subset of
+/// riders that can be fully served, the maximum-utility stop sequence.
+class VehicleEnumerator {
+ public:
+  VehicleEnumerator(const UrrInstance& instance, const UtilityModel& model,
+                    DistanceOracle* oracle, int vehicle, int64_t* budget)
+      : instance_(instance),
+        model_(model),
+        oracle_(oracle),
+        vehicle_(vehicle),
+        budget_(budget) {}
+
+  /// Runs the enumeration; results keyed by rider bitmask. Returns
+  /// OutOfRange when the shared node budget is exhausted.
+  Status Run(std::unordered_map<uint32_t, SubsetBest>* out) {
+    out_ = out;
+    const Vehicle& v = instance_.vehicles[static_cast<size_t>(vehicle_)];
+    Status st = Dfs(v.location, instance_.now, /*picked=*/0, /*onboard=*/0);
+    out_ = nullptr;
+    return st;
+  }
+
+ private:
+  Status Dfs(NodeId loc, Cost time, uint32_t picked, uint32_t onboard) {
+    if (--(*budget_) < 0) {
+      return Status::OutOfRange("optimal-solver search budget exhausted");
+    }
+    if (onboard == 0) Record(picked);
+    const Vehicle& veh = instance_.vehicles[static_cast<size_t>(vehicle_)];
+    const int m = instance_.num_riders();
+    for (int i = 0; i < m; ++i) {
+      const uint32_t bit = 1u << i;
+      const Rider& r = instance_.riders[static_cast<size_t>(i)];
+      if (onboard & bit) {
+        // Drop rider i.
+        const Cost arr = time + oracle_->Distance(loc, r.destination);
+        if (arr > r.dropoff_deadline + kEps) continue;
+        stops_.push_back({r.destination, static_cast<RiderId>(i),
+                          StopType::kDropoff, r.dropoff_deadline});
+        URR_RETURN_NOT_OK(Dfs(r.destination, arr, picked, onboard & ~bit));
+        stops_.pop_back();
+      } else if (!(picked & bit)) {
+        // Pick rider i up (capacity permitting).
+        if (static_cast<int>(std::popcount(onboard)) >= veh.capacity) continue;
+        const Cost arr = time + oracle_->Distance(loc, r.source);
+        if (arr > r.pickup_deadline + kEps) continue;
+        stops_.push_back({r.source, static_cast<RiderId>(i), StopType::kPickup,
+                          r.pickup_deadline});
+        URR_RETURN_NOT_OK(Dfs(r.source, arr, picked | bit, onboard | bit));
+        stops_.pop_back();
+      }
+    }
+    return Status::OK();
+  }
+
+  void Record(uint32_t picked) {
+    // Build the transfer sequence and score it.
+    const Vehicle& veh = instance_.vehicles[static_cast<size_t>(vehicle_)];
+    TransferSequence seq(veh.location, instance_.now, veh.capacity, oracle_);
+    for (size_t k = 0; k < stops_.size(); ++k) {
+      seq.InsertStop(static_cast<int>(k), stops_[k]);
+    }
+    const double mu = model_.ScheduleUtility(vehicle_, seq);
+    SubsetBest& slot = (*out_)[picked];
+    if (mu > slot.utility) {
+      slot.utility = mu;
+      slot.stops = stops_;
+    }
+  }
+
+  const UrrInstance& instance_;
+  const UtilityModel& model_;
+  DistanceOracle* oracle_;
+  int vehicle_;
+  int64_t* budget_;
+  std::vector<Stop> stops_;
+  std::unordered_map<uint32_t, SubsetBest>* out_ = nullptr;
+};
+
+}  // namespace
+
+Result<UrrSolution> SolveOptimal(const UrrInstance& instance,
+                                 SolverContext* ctx,
+                                 const OptimalOptions& options) {
+  const int m = instance.num_riders();
+  const int n = instance.num_vehicles();
+  if (m > options.max_riders) {
+    return Status::InvalidArgument("instance too large for exact solver (" +
+                                   std::to_string(m) + " riders > " +
+                                   std::to_string(options.max_riders) + ")");
+  }
+  int64_t budget = options.max_search_nodes;
+
+  // Phase 1: best utility per (vehicle, exactly-served subset).
+  std::vector<std::unordered_map<uint32_t, SubsetBest>> best(
+      static_cast<size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    VehicleEnumerator enumerator(instance, *ctx->model, ctx->oracle, j,
+                                 &budget);
+    URR_RETURN_NOT_OK(enumerator.Run(&best[static_cast<size_t>(j)]));
+  }
+
+  // Phase 2: subset-partition DP across vehicles; riders may stay
+  // unassigned (contributing 0).
+  const uint32_t full = (m == 32) ? 0xffffffffu : ((1u << m) - 1u);
+  const size_t num_masks = static_cast<size_t>(full) + 1;
+  // g[j][mask]: best utility using vehicles 0..j-1 to serve a sub-multiset
+  // of `mask`. choice[j][mask]: subset vehicle j-1 serves in the optimum.
+  std::vector<std::vector<double>> g(static_cast<size_t>(n) + 1,
+                                     std::vector<double>(num_masks, 0.0));
+  std::vector<std::vector<uint32_t>> choice(
+      static_cast<size_t>(n), std::vector<uint32_t>(num_masks, 0));
+  for (int j = 1; j <= n; ++j) {
+    auto& cur = g[static_cast<size_t>(j)];
+    const auto& prev = g[static_cast<size_t>(j) - 1];
+    const auto& table = best[static_cast<size_t>(j) - 1];
+    for (uint32_t mask = 0; mask <= full; ++mask) {
+      cur[mask] = prev[mask];  // vehicle j-1 serves nobody
+      choice[static_cast<size_t>(j) - 1][mask] = 0;
+      for (uint32_t sub = mask; sub != 0; sub = (sub - 1) & mask) {
+        auto it = table.find(sub);
+        if (it == table.end()) continue;
+        const double cand = it->second.utility + prev[mask & ~sub];
+        if (cand > cur[mask]) {
+          cur[mask] = cand;
+          choice[static_cast<size_t>(j) - 1][mask] = sub;
+        }
+      }
+      if (mask == full) break;  // avoid uint32 overflow when full is UINT_MAX
+    }
+  }
+
+  // Reconstruct.
+  UrrSolution sol = MakeEmptySolution(instance, ctx->oracle);
+  uint32_t mask = full;
+  for (int j = n; j >= 1; --j) {
+    const uint32_t sub = choice[static_cast<size_t>(j) - 1][mask];
+    if (sub != 0) {
+      const SubsetBest& sb = best[static_cast<size_t>(j) - 1].at(sub);
+      TransferSequence& seq = sol.schedules[static_cast<size_t>(j) - 1];
+      for (size_t k = 0; k < sb.stops.size(); ++k) {
+        seq.InsertStop(static_cast<int>(k), sb.stops[k]);
+      }
+      for (int i = 0; i < m; ++i) {
+        if (sub & (1u << i)) sol.assignment[static_cast<size_t>(i)] = j - 1;
+      }
+    }
+    mask &= ~sub;
+  }
+  return sol;
+}
+
+}  // namespace urr

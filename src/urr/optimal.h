@@ -1,0 +1,30 @@
+// Exact URR solver for tiny instances (Table 4's ground truth): per-vehicle
+// branch-and-bound over event orderings memoized by rider subset, combined
+// with a subset-partition DP across vehicles. Exponential — guarded by a
+// rider-count limit.
+#ifndef URR_URR_OPTIMAL_H_
+#define URR_URR_OPTIMAL_H_
+
+#include "common/result.h"
+#include "urr/solution.h"
+
+namespace urr {
+
+/// Limits for the exact search.
+struct OptimalOptions {
+  /// Hard cap on instance size (subset DP is O(n·3^m)).
+  int max_riders = 14;
+  /// Safety budget on DFS nodes across the whole solve.
+  int64_t max_search_nodes = 200'000'000;
+};
+
+/// Computes the utility-optimal assignment + schedules. Returns
+/// InvalidArgument when the instance exceeds `max_riders` and OutOfRange
+/// when the search budget is exhausted.
+Result<UrrSolution> SolveOptimal(const UrrInstance& instance,
+                                 SolverContext* ctx,
+                                 const OptimalOptions& options = {});
+
+}  // namespace urr
+
+#endif  // URR_URR_OPTIMAL_H_

@@ -1,0 +1,117 @@
+#include "urr/solution.h"
+
+namespace urr {
+
+double UrrSolution::TotalUtility(const UtilityModel& model) const {
+  double total = 0;
+  for (size_t j = 0; j < schedules.size(); ++j) {
+    total += model.ScheduleUtility(static_cast<int>(j), schedules[j]);
+  }
+  return total;
+}
+
+Cost UrrSolution::TotalCost() const {
+  Cost total = 0;
+  for (const TransferSequence& s : schedules) total += s.TotalCost();
+  return total;
+}
+
+int UrrSolution::NumAssigned() const {
+  int n = 0;
+  for (int a : assignment) n += (a >= 0);
+  return n;
+}
+
+Status UrrSolution::Validate(const UrrInstance& instance) const {
+  if (static_cast<int>(schedules.size()) != instance.num_vehicles()) {
+    return Status::Internal("schedule count mismatch");
+  }
+  if (static_cast<int>(assignment.size()) != instance.num_riders()) {
+    return Status::Internal("assignment size mismatch");
+  }
+  for (size_t j = 0; j < schedules.size(); ++j) {
+    URR_RETURN_NOT_OK(schedules[j].Validate());
+    for (RiderId i : schedules[j].Riders()) {
+      if (assignment[static_cast<size_t>(i)] != static_cast<int>(j)) {
+        return Status::Internal("rider " + std::to_string(i) +
+                                " scheduled on vehicle " + std::to_string(j) +
+                                " but assigned elsewhere");
+      }
+      // Stops must match the rider's request.
+      const Rider& r = instance.riders[static_cast<size_t>(i)];
+      const auto [p, q] = schedules[j].RiderStops(i);
+      if (p < 0 || q < 0) return Status::Internal("missing rider stops");
+      if (schedules[j].stop(p).location != r.source ||
+          schedules[j].stop(q).location != r.destination) {
+        return Status::Internal("stop locations disagree with request");
+      }
+    }
+  }
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    const int j = assignment[i];
+    if (j < -1 || j >= instance.num_vehicles()) {
+      return Status::Internal("assignment out of range");
+    }
+    if (j >= 0) {
+      const auto [p, q] =
+          schedules[static_cast<size_t>(j)].RiderStops(static_cast<RiderId>(i));
+      if (p < 0 || q < 0) {
+        return Status::Internal("assigned rider missing from schedule");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+UrrSolution MakeEmptySolution(const UrrInstance& instance,
+                              DistanceOracle* oracle) {
+  UrrSolution sol;
+  sol.schedules.reserve(instance.vehicles.size());
+  for (const Vehicle& v : instance.vehicles) {
+    sol.schedules.emplace_back(v.location, instance.now, v.capacity, oracle);
+  }
+  sol.assignment.assign(instance.riders.size(), -1);
+  return sol;
+}
+
+CandidateEval EvaluateInsertion(const UrrInstance& instance,
+                                const UtilityModel& model,
+                                const UrrSolution& sol, RiderId i, int j,
+                                bool need_utility) {
+  CandidateEval eval;
+  const TransferSequence& seq = sol.schedules[static_cast<size_t>(j)];
+  Result<InsertionPlan> plan = FindBestInsertion(seq, instance.Trip(i));
+  if (!plan.ok()) return eval;
+  eval.feasible = true;
+  eval.plan = *plan;
+  eval.delta_cost = plan->delta_cost;
+  if (need_utility) {
+    TransferSequence trial = seq;
+    if (!ApplyInsertion(&trial, instance.Trip(i), *plan).ok()) {
+      eval.feasible = false;
+      return eval;
+    }
+    eval.delta_utility =
+        model.ScheduleUtility(j, trial) - model.ScheduleUtility(j, seq);
+  }
+  return eval;
+}
+
+std::vector<int> ValidVehiclesForRider(const UrrInstance& instance,
+                                       VehicleIndex* index, RiderId i,
+                                       const std::vector<bool>* allowed) {
+  const Rider& r = instance.riders[static_cast<size_t>(i)];
+  const Cost budget = r.pickup_deadline - instance.now;
+  std::vector<int> out;
+  if (budget < 0) return out;
+  for (const VehicleWithDistance& v :
+       index->VehiclesWithinCost(r.source, budget)) {
+    if (allowed != nullptr && !(*allowed)[static_cast<size_t>(v.vehicle)]) {
+      continue;
+    }
+    out.push_back(v.vehicle);
+  }
+  return out;
+}
+
+}  // namespace urr

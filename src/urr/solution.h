@@ -1,0 +1,89 @@
+// UrrSolution: one schedule per vehicle plus the rider assignment, with the
+// metrics the paper reports (overall utility, total travel cost, #served)
+// and the candidate-insertion evaluation shared by all solvers.
+#ifndef URR_URR_SOLUTION_H_
+#define URR_URR_SOLUTION_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "sched/insertion.h"
+#include "sched/transfer_sequence.h"
+#include "spatial/vehicle_index.h"
+#include "urr/instance.h"
+#include "urr/utility.h"
+
+namespace urr {
+
+/// A (partial) solution to a URR instance.
+struct UrrSolution {
+  std::vector<TransferSequence> schedules;  // one per vehicle
+  std::vector<int> assignment;              // rider -> vehicle index or -1
+
+  /// Σ over assigned riders of μ(r_i, c_{r_i}) — the URR objective.
+  double TotalUtility(const UtilityModel& model) const;
+  /// Σ over vehicles of schedule travel cost.
+  Cost TotalCost() const;
+  /// Number of assigned riders.
+  int NumAssigned() const;
+  /// Checks every schedule's invariants and assignment consistency.
+  Status Validate(const UrrInstance& instance) const;
+};
+
+/// Empty solution: every vehicle idle at its current location.
+UrrSolution MakeEmptySolution(const UrrInstance& instance,
+                              DistanceOracle* oracle);
+
+/// Everything a solver needs besides the instance. All pointers borrowed.
+struct SolverContext {
+  DistanceOracle* oracle = nullptr;
+  const UtilityModel* model = nullptr;
+  VehicleIndex* vehicle_index = nullptr;
+  Rng* rng = nullptr;
+  /// Network max speed (Euclidean units per cost unit, RoadNetwork::
+  /// MaxSpeed()). When > 0, pairwise candidate checks first apply the
+  /// admissible lower bound euclid(u,v)/euclid_speed <= budget before any
+  /// exact shortest-path query — the paper's spatial-index prefilter.
+  double euclid_speed = 0;
+};
+
+/// Outcome of evaluating "insert rider i into vehicle j's current schedule".
+struct CandidateEval {
+  bool feasible = false;
+  InsertionPlan plan;
+  double delta_utility = 0;  // μ(S') - μ(S), all riders of the vehicle
+  Cost delta_cost = kInfiniteCost;
+};
+
+/// Evaluates the best insertion of rider `i` into vehicle `j`'s schedule in
+/// `sol` (Algorithm 1 + full utility delta). Does not mutate anything.
+/// `need_utility=false` skips the Δμ computation (the CF baseline only
+/// needs Δcost, which is what makes it the cheapest method).
+CandidateEval EvaluateInsertion(const UrrInstance& instance,
+                                const UtilityModel& model,
+                                const UrrSolution& sol, RiderId i, int j,
+                                bool need_utility = true);
+
+/// Per-group candidate filter (GBS fast vehicle filtering, Sec 6.2): a
+/// vehicle j is a candidate for a rider with pickup budget B iff
+/// dist(l(c_j), u_x) - slack <= B, where u_x is the group's key vertex and
+/// slack bounds the rider-to-key distance (d_max * k). The distances come
+/// for free from the group's filtering Dijkstra, so the check is O(1).
+struct GroupFilter {
+  /// dist(l(c_j), key vertex) per vehicle; kInfiniteCost when unknown.
+  const std::vector<Cost>* dist_to_key = nullptr;
+  /// Upper bound on dist(s_i, key vertex) for riders of the group.
+  Cost slack = 0;
+};
+
+/// Valid vehicles per rider (the C_i lists): vehicles whose current location
+/// can reach s_i before rt⁻_i (Lemma 3.1 a+b as a prefilter), computed with
+/// one bounded reverse Dijkstra per rider via the vehicle index. When
+/// `allowed` is non-null, results are restricted to that vehicle subset.
+std::vector<int> ValidVehiclesForRider(const UrrInstance& instance,
+                                       VehicleIndex* index, RiderId i,
+                                       const std::vector<bool>* allowed);
+
+}  // namespace urr
+
+#endif  // URR_URR_SOLUTION_H_

@@ -1,0 +1,80 @@
+#include "urr/utility.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace urr {
+
+double TrajectoryUtility(double sigma) {
+  // Guard tiny negative detours from floating-point noise.
+  if (sigma < 1.0) sigma = 1.0;
+  return 2.0 / (1.0 + std::exp(sigma - 1.0));
+}
+
+UtilityModel::UtilityModel(const UrrInstance* instance, UtilityParams params)
+    : instance_(instance), params_(params) {
+  assert(params_.alpha >= 0 && params_.beta >= 0 &&
+         params_.alpha + params_.beta <= 1.0 + 1e-12);
+}
+
+double UtilityModel::RiderRelated(RiderId i, const TransferSequence& seq) const {
+  const auto [p, q] = seq.RiderStops(i);
+  if (p < 0 || q < 0) return 0.0;
+  // TR_j^i: legs p+1 .. q (the trajectories with rider i in the vehicle).
+  Cost total = 0;
+  for (int u = p + 1; u <= q; ++u) total += seq.leg_cost(u);
+  if (total <= 0) {
+    // Zero-length trip: the rider shares no travel, so no co-rider benefit.
+    return 0.0;
+  }
+  double mu = 0;
+  for (int u = p + 1; u <= q; ++u) {
+    const std::vector<RiderId> onboard = seq.OnboardRiders(u);
+    double sum = 0;
+    int others = 0;
+    for (RiderId other : onboard) {
+      if (other == i) continue;
+      sum += instance_->Similarity(i, other);
+      ++others;
+    }
+    if (others > 0) {
+      mu += (seq.leg_cost(u) / total) * (sum / others);
+    }
+  }
+  return mu;
+}
+
+double UtilityModel::TrajectoryRelated(RiderId i,
+                                       const TransferSequence& seq) const {
+  const auto [p, q] = seq.RiderStops(i);
+  if (p < 0 || q < 0) return 0.0;
+  Cost onboard_cost = 0;
+  for (int u = p + 1; u <= q; ++u) onboard_cost += seq.leg_cost(u);
+  const Rider& r = instance_->riders[static_cast<size_t>(i)];
+  const Cost direct = seq.oracle()->Distance(r.source, r.destination);
+  if (direct <= 0) {
+    // Degenerate trip (source == destination): no detour by definition.
+    return TrajectoryUtility(1.0);
+  }
+  return TrajectoryUtility(onboard_cost / direct);  // Eq. 4 into Eq. 5
+}
+
+double UtilityModel::RiderUtility(RiderId i, int j,
+                                  const TransferSequence& seq) const {
+  const double a = params_.alpha;
+  const double b = params_.beta;
+  double mu = 0;
+  if (a > 0) mu += a * instance_->VehicleUtility(i, j);
+  if (b > 0) mu += b * RiderRelated(i, seq);
+  const double c = 1.0 - a - b;
+  if (c > 0) mu += c * TrajectoryRelated(i, seq);
+  return mu;
+}
+
+double UtilityModel::ScheduleUtility(int j, const TransferSequence& seq) const {
+  double total = 0;
+  for (RiderId i : seq.Riders()) total += RiderUtility(i, j, seq);
+  return total;
+}
+
+}  // namespace urr

@@ -1,0 +1,54 @@
+// The rider utility model of Sec 2.4: μ = α·μ_v + β·μ_r + (1-α-β)·μ_t
+// (Eq. 1) with the rider-related utility of Eq. 2, Jaccard similarity of
+// Eq. 3, travel-cost ratio of Eq. 4 and logistic trajectory utility of
+// Eq. 5.
+#ifndef URR_URR_UTILITY_H_
+#define URR_URR_UTILITY_H_
+
+#include "sched/transfer_sequence.h"
+#include "urr/instance.h"
+
+namespace urr {
+
+/// Balancing parameters (α, β) of Eq. 1; α, β ∈ [0,1], α + β <= 1.
+struct UtilityParams {
+  double alpha = 0.33;
+  double beta = 0.33;
+};
+
+/// Logistic trajectory-related utility (Eq. 5) from a travel-cost ratio
+/// σ >= 1: μ_t = 2 / (1 + e^(σ-1)) ∈ (0, 1].
+double TrajectoryUtility(double sigma);
+
+/// Evaluates rider utilities against concrete schedules. Stateless aside
+/// from borrowed instance/params; cheap to copy.
+class UtilityModel {
+ public:
+  /// Both pointers are borrowed and must outlive the model.
+  UtilityModel(const UrrInstance* instance, UtilityParams params);
+
+  const UtilityParams& params() const { return params_; }
+
+  /// Rider-related utility μ_r (Eq. 2) of rider `i` in vehicle `j`'s
+  /// schedule `seq`. Requires the rider's stops to be present.
+  double RiderRelated(RiderId i, const TransferSequence& seq) const;
+
+  /// Trajectory-related utility μ_t (Eqs. 4+5) of rider `i` in `seq`.
+  double TrajectoryRelated(RiderId i, const TransferSequence& seq) const;
+
+  /// Full utility μ(r_i, c_j) (Eq. 1) of rider `i` served by vehicle `j`
+  /// with schedule `seq`.
+  double RiderUtility(RiderId i, int j, const TransferSequence& seq) const;
+
+  /// Σ_i μ(r_i, c_j) over every rider in `seq` — the schedule utility
+  /// μ(S_j) used by the BA/EG objectives.
+  double ScheduleUtility(int j, const TransferSequence& seq) const;
+
+ private:
+  const UrrInstance* instance_;
+  UtilityParams params_;
+};
+
+}  // namespace urr
+
+#endif  // URR_URR_UTILITY_H_

@@ -1,0 +1,149 @@
+#include "routing/alt.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "routing/dijkstra.h"
+
+namespace urr {
+namespace {
+
+TEST(AltTest, RejectsBadArguments) {
+  Rng rng(1);
+  auto g = RoadNetwork::Build(2, {{0, 1, 1}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(AltIndex::Build(*g, 0, &rng).ok());
+  auto empty = RoadNetwork::Build(0, {});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(AltIndex::Build(*empty, 2, &rng).ok());
+}
+
+TEST(AltTest, LandmarkCountClampsToNodes) {
+  Rng rng(2);
+  auto g = RoadNetwork::Build(3, {{0, 1, 1}, {1, 0, 1}, {1, 2, 1}, {2, 1, 1}});
+  ASSERT_TRUE(g.ok());
+  auto index = AltIndex::Build(*g, 10, &rng);
+  ASSERT_TRUE(index.ok());
+  EXPECT_LE(index->num_landmarks(), 3);
+}
+
+TEST(AltTest, LowerBoundIsAdmissible) {
+  Rng rng(3);
+  GridCityOptions opt;
+  opt.width = 14;
+  opt.height = 14;
+  auto g = GenerateGridCity(opt, &rng);
+  ASSERT_TRUE(g.ok());
+  auto index = AltIndex::Build(*g, 6, &rng);
+  ASSERT_TRUE(index.ok());
+  DijkstraEngine ref(*g);
+  for (int trial = 0; trial < 300; ++trial) {
+    const NodeId u = static_cast<NodeId>(rng.UniformInt(0, g->num_nodes() - 1));
+    const NodeId v = static_cast<NodeId>(rng.UniformInt(0, g->num_nodes() - 1));
+    const Cost d = ref.Distance(u, v);
+    if (d == kInfiniteCost) continue;
+    EXPECT_LE(index->LowerBound(u, v), d + 1e-6) << u << " -> " << v;
+    EXPECT_GE(index->LowerBound(u, v), 0);
+  }
+}
+
+class AltQueryTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AltQueryTest, MatchesDijkstra) {
+  Rng rng(GetParam());
+  GridCityOptions opt;
+  opt.width = 16;
+  opt.height = 12;
+  opt.keep_probability = 0.88;
+  auto g = GenerateGridCity(opt, &rng);
+  ASSERT_TRUE(g.ok());
+  auto index = AltIndex::Build(*g, 8, &rng);
+  ASSERT_TRUE(index.ok());
+  AltQuery query(*g, *index);
+  DijkstraEngine ref(*g);
+  for (int trial = 0; trial < 300; ++trial) {
+    const NodeId s = static_cast<NodeId>(rng.UniformInt(0, g->num_nodes() - 1));
+    const NodeId t = static_cast<NodeId>(rng.UniformInt(0, g->num_nodes() - 1));
+    const Cost want = ref.Distance(s, t);
+    const Cost got = query.Distance(s, t);
+    if (want == kInfiniteCost) {
+      EXPECT_EQ(got, kInfiniteCost);
+    } else {
+      EXPECT_NEAR(got, want, 1e-6) << s << " -> " << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AltQueryTest, ::testing::Values(4, 5, 6));
+
+TEST(AltTest, MatchesDijkstraOnDirectedGraph) {
+  Rng rng(7);
+  const NodeId n = 100;
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v < n; ++v) {
+    for (int e = 0; e < 3; ++e) {
+      const NodeId w = static_cast<NodeId>(rng.UniformInt(0, n - 1));
+      if (w != v) edges.push_back({v, w, rng.Uniform(1, 10)});
+    }
+  }
+  auto g = RoadNetwork::Build(n, edges);
+  ASSERT_TRUE(g.ok());
+  auto index = AltIndex::Build(*g, 6, &rng);
+  ASSERT_TRUE(index.ok());
+  AltQuery query(*g, *index);
+  DijkstraEngine ref(*g);
+  for (int trial = 0; trial < 400; ++trial) {
+    const NodeId s = static_cast<NodeId>(rng.UniformInt(0, n - 1));
+    const NodeId t = static_cast<NodeId>(rng.UniformInt(0, n - 1));
+    const Cost want = ref.Distance(s, t);
+    const Cost got = query.Distance(s, t);
+    if (want == kInfiniteCost) {
+      EXPECT_EQ(got, kInfiniteCost);
+    } else {
+      EXPECT_NEAR(got, want, 1e-6);
+    }
+  }
+}
+
+TEST(AltTest, GoalDirectionSettlesFewerNodesThanDijkstra) {
+  Rng rng(8);
+  GridCityOptions opt;
+  opt.width = 30;
+  opt.height = 30;
+  auto g = GenerateGridCity(opt, &rng);
+  ASSERT_TRUE(g.ok());
+  auto index = AltIndex::Build(*g, 8, &rng);
+  ASSERT_TRUE(index.ok());
+  AltQuery query(*g, *index);
+  int64_t settled = 0;
+  int trials = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const NodeId s = static_cast<NodeId>(rng.UniformInt(0, g->num_nodes() - 1));
+    const NodeId t = static_cast<NodeId>(rng.UniformInt(0, g->num_nodes() - 1));
+    if (query.Distance(s, t) == kInfiniteCost) continue;
+    settled += query.last_settled();
+    ++trials;
+  }
+  ASSERT_GT(trials, 20);
+  // Plain Dijkstra settles ~half the graph on average; ALT should do far
+  // better on a grid with 8 landmarks.
+  EXPECT_LT(settled / trials, g->num_nodes() / 3);
+}
+
+TEST(AltTest, OracleAdapter) {
+  Rng rng(9);
+  GridCityOptions opt;
+  opt.width = 10;
+  opt.height = 10;
+  auto g = GenerateGridCity(opt, &rng);
+  ASSERT_TRUE(g.ok());
+  auto oracle = AltOracle::Create(*g, 4, &rng);
+  ASSERT_TRUE(oracle.ok());
+  DijkstraEngine ref(*g);
+  EXPECT_NEAR((*oracle)->Distance(0, g->num_nodes() - 1),
+              ref.Distance(0, g->num_nodes() - 1), 1e-6);
+  EXPECT_EQ((*oracle)->num_calls(), 1);
+}
+
+}  // namespace
+}  // namespace urr

@@ -1,0 +1,111 @@
+#include "social/checkins.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+
+namespace urr {
+namespace {
+
+TEST(CheckInsTest, GeneratesRequestedVolume) {
+  Rng rng(91);
+  GridCityOptions opt;
+  opt.width = 10;
+  opt.height = 10;
+  auto g = GenerateGridCity(opt, &rng);
+  ASSERT_TRUE(g.ok());
+  auto map = CheckInMap::Generate(*g, /*num_users=*/50, /*per_user=*/4, &rng);
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(map->num_checkins(), 200);
+  for (const CheckIn& c : map->checkins()) {
+    EXPECT_GE(c.user, 0);
+    EXPECT_LT(c.user, 50);
+    EXPECT_GE(c.node, 0);
+    EXPECT_LT(c.node, g->num_nodes());
+  }
+}
+
+TEST(CheckInsTest, NearestUserIsTotal) {
+  Rng rng(92);
+  GridCityOptions opt;
+  opt.width = 8;
+  opt.height = 8;
+  auto g = GenerateGridCity(opt, &rng);
+  ASSERT_TRUE(g.ok());
+  auto map = CheckInMap::Generate(*g, 10, 2, &rng);
+  ASSERT_TRUE(map.ok());
+  for (NodeId v = 0; v < g->num_nodes(); ++v) {
+    const UserId u = map->NearestUser(v);
+    EXPECT_GE(u, 0);
+    EXPECT_LT(u, 10);
+  }
+}
+
+TEST(CheckInsTest, CheckInNodeMapsToItsOwnUser) {
+  Rng rng(93);
+  GridCityOptions opt;
+  opt.width = 8;
+  opt.height = 8;
+  auto g = GenerateGridCity(opt, &rng);
+  ASSERT_TRUE(g.ok());
+  auto map = CheckInMap::Generate(*g, 5, 1, &rng);
+  ASSERT_TRUE(map.ok());
+  // A node with a check-in resolves to some user that checked in there
+  // (ties between users at distance 0 broken arbitrarily).
+  for (const CheckIn& c : map->checkins()) {
+    const UserId resolved = map->NearestUser(c.node);
+    bool same_node = false;
+    for (const CheckIn& other : map->checkins()) {
+      if (other.node == c.node && other.user == resolved) same_node = true;
+    }
+    EXPECT_TRUE(same_node);
+  }
+}
+
+TEST(CheckInsTest, RejectsBadArguments) {
+  Rng rng(94);
+  GridCityOptions opt;
+  opt.width = 4;
+  opt.height = 4;
+  auto g = GenerateGridCity(opt, &rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(CheckInMap::Generate(*g, 0, 1, &rng).ok());
+  EXPECT_FALSE(CheckInMap::Generate(*g, 1, 0, &rng).ok());
+  auto empty = RoadNetwork::Build(0, {});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(CheckInMap::Generate(*empty, 1, 1, &rng).ok());
+}
+
+TEST(CheckInsTest, CheckInsClusterAroundHomes) {
+  Rng rng(95);
+  GridCityOptions opt;
+  opt.width = 20;
+  opt.height = 20;
+  auto g = GenerateGridCity(opt, &rng);
+  ASSERT_TRUE(g.ok());
+  auto map = CheckInMap::Generate(*g, 40, 8, &rng);
+  ASSERT_TRUE(map.ok());
+  // For each user, the spread of their check-ins should be far below the
+  // map diagonal (they random-walk at most 6 hops from home).
+  double diag = EuclideanDistance(g->coord(0), g->coord(g->num_nodes() - 1));
+  int tight_users = 0;
+  for (UserId u = 0; u < 40; ++u) {
+    double max_pair = 0;
+    std::vector<NodeId> nodes;
+    for (const CheckIn& c : map->checkins()) {
+      if (c.user == u) nodes.push_back(c.node);
+    }
+    for (size_t a = 0; a < nodes.size(); ++a) {
+      for (size_t b = a + 1; b < nodes.size(); ++b) {
+        max_pair = std::max(
+            max_pair, EuclideanDistance(g->coord(nodes[a]), g->coord(nodes[b])));
+      }
+    }
+    if (max_pair < diag / 2) ++tight_users;
+  }
+  EXPECT_GT(tight_users, 30);
+}
+
+}  // namespace
+}  // namespace urr

@@ -1,0 +1,90 @@
+#include "urr/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace urr {
+namespace {
+
+GbsCostModel PaperishModel() {
+  GbsCostModel m;
+  m.s = 10000;
+  m.m = 5000;
+  m.n = 200;
+  m.c_k = 1.0;
+  return m;
+}
+
+TEST(CostModelTest, CostMatchesFormula) {
+  GbsCostModel m = PaperishModel();
+  const double eta = 50;
+  const double expected = m.s * (m.c_k + std::log(eta)) +
+                          2 * m.m * std::log(eta) + eta * std::log(eta) +
+                          (m.m * m.n / eta) * std::log(m.n / eta);
+  EXPECT_NEAR(m.Cost(eta), expected, 1e-9);
+}
+
+TEST(CostModelTest, DerivativeSignChanges) {
+  GbsCostModel m = PaperishModel();
+  // Small η: the (mn/η²) term dominates -> negative derivative.
+  EXPECT_LT(m.Derivative(2), 0);
+  // Huge η: the log terms dominate -> positive derivative.
+  EXPECT_GT(m.Derivative(m.s), 0);
+}
+
+TEST(CostModelTest, BestEtaIsACriticalPoint) {
+  GbsCostModel m = PaperishModel();
+  const double eta = m.BestEta();
+  ASSERT_GT(eta, 1);
+  ASSERT_LT(eta, m.s);
+  EXPECT_NEAR(m.Derivative(eta), 0, 1e-3 * std::abs(m.Derivative(2)));
+  // It is a minimum: cost is higher a bit to each side.
+  EXPECT_LT(m.Cost(eta), m.Cost(eta * 0.5));
+  EXPECT_LT(m.Cost(eta), m.Cost(eta * 2.0));
+}
+
+TEST(CostModelTest, BestEtaGrowsWithWorkload) {
+  GbsCostModel small = PaperishModel();
+  GbsCostModel big = PaperishModel();
+  big.m = 50000;
+  // More riders per area push the optimum towards more, smaller areas.
+  EXPECT_GT(big.BestEta(), small.BestEta());
+}
+
+TEST(CostModelTest, PickBestKSelectsNearestEta) {
+  GbsCostModel m = PaperishModel();
+  const double target = m.BestEta();
+  // Synthetic η(k): halves with each k step from s/4.
+  auto measure = [&](int k) { return m.s / std::pow(2.0, k); };
+  const int k = PickBestK(m, {2, 3, 4, 6, 8, 10, 12}, measure);
+  // The chosen k's eta must be the closest to target among candidates.
+  double best_gap = 1e300;
+  int want = -1;
+  for (int cand : {2, 3, 4, 6, 8, 10, 12}) {
+    const double gap = std::abs(measure(cand) - target);
+    if (gap < best_gap) {
+      best_gap = gap;
+      want = cand;
+    }
+  }
+  EXPECT_EQ(k, want);
+}
+
+TEST(CostModelTest, PickBestKEmptyCandidates) {
+  GbsCostModel m = PaperishModel();
+  EXPECT_EQ(PickBestK(m, {}, [](int) { return 1.0; }), 4);  // fallback
+}
+
+TEST(CostModelTest, DegenerateEtaAboveN) {
+  // For η >= n the per-group term vanishes; cost must stay finite and
+  // increasing in η.
+  GbsCostModel m = PaperishModel();
+  const double c1 = m.Cost(m.n);
+  const double c2 = m.Cost(m.n * 4);
+  EXPECT_TRUE(std::isfinite(c1));
+  EXPECT_GT(c2, c1);
+}
+
+}  // namespace
+}  // namespace urr

@@ -1,0 +1,126 @@
+#include "routing/dijkstra.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+
+namespace urr {
+namespace {
+
+RoadNetwork Line() {
+  // 0 -1- 1 -2- 2 -3- 3 (one way).
+  return *RoadNetwork::Build(4, {{0, 1, 1}, {1, 2, 2}, {2, 3, 3}});
+}
+
+TEST(DijkstraTest, OneToAllDistances) {
+  RoadNetwork g = Line();
+  auto r = RunDijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(r.dist[0], 0);
+  EXPECT_DOUBLE_EQ(r.dist[1], 1);
+  EXPECT_DOUBLE_EQ(r.dist[2], 3);
+  EXPECT_DOUBLE_EQ(r.dist[3], 6);
+}
+
+TEST(DijkstraTest, UnreachableIsInfinite) {
+  RoadNetwork g = Line();
+  auto r = RunDijkstra(g, 3);  // one-way: nothing reachable from 3
+  EXPECT_DOUBLE_EQ(r.dist[3], 0);
+  EXPECT_EQ(r.dist[0], kInfiniteCost);
+}
+
+TEST(DijkstraTest, ReverseSearchUsesInEdges) {
+  RoadNetwork g = Line();
+  DijkstraOptions opt;
+  opt.reverse = true;
+  auto r = RunDijkstra(g, 3, opt);  // distances TO 3
+  EXPECT_DOUBLE_EQ(r.dist[0], 6);
+  EXPECT_DOUBLE_EQ(r.dist[2], 3);
+}
+
+TEST(DijkstraTest, RadiusBoundsSearch) {
+  RoadNetwork g = Line();
+  DijkstraOptions opt;
+  opt.radius = 3;
+  auto r = RunDijkstra(g, 0, opt);
+  EXPECT_DOUBLE_EQ(r.dist[2], 3);
+  EXPECT_EQ(r.dist[3], kInfiniteCost);  // beyond radius reported unreachable
+}
+
+TEST(DijkstraTest, PathReconstruction) {
+  RoadNetwork g = *RoadNetwork::Build(
+      4, {{0, 1, 1}, {1, 3, 5}, {0, 2, 2}, {2, 3, 2}});
+  auto r = RunDijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(r.dist[3], 4);
+  EXPECT_EQ(ReconstructPath(r, 0, 3), (std::vector<NodeId>{0, 2, 3}));
+  EXPECT_EQ(ReconstructPath(r, 0, 0), (std::vector<NodeId>{0}));
+}
+
+TEST(DijkstraTest, PathToUnreachableIsEmpty) {
+  RoadNetwork g = Line();
+  auto r = RunDijkstra(g, 3);
+  EXPECT_TRUE(ReconstructPath(r, 3, 0).empty());
+}
+
+TEST(DijkstraEngineTest, PointToPointMatchesOneToAll) {
+  Rng rng(31);
+  GridCityOptions opt;
+  opt.width = 15;
+  opt.height = 15;
+  auto g = GenerateGridCity(opt, &rng);
+  ASSERT_TRUE(g.ok());
+  DijkstraEngine engine(*g);
+  auto full = RunDijkstra(*g, 0);
+  for (NodeId t = 0; t < g->num_nodes(); t += 13) {
+    EXPECT_DOUBLE_EQ(engine.Distance(0, t), full.dist[static_cast<size_t>(t)]);
+  }
+}
+
+TEST(DijkstraEngineTest, ReusableAcrossQueries) {
+  RoadNetwork g = Line();
+  DijkstraEngine engine(g);
+  EXPECT_DOUBLE_EQ(engine.Distance(0, 3), 6);
+  EXPECT_DOUBLE_EQ(engine.Distance(1, 2), 2);
+  EXPECT_DOUBLE_EQ(engine.Distance(3, 0), kInfiniteCost);
+  EXPECT_DOUBLE_EQ(engine.Distance(2, 2), 0);
+}
+
+TEST(DijkstraEngineTest, MultiTargetDistances) {
+  RoadNetwork g = Line();
+  DijkstraEngine engine(g);
+  auto d = engine.Distances(0, {3, 1, 1, 0});
+  ASSERT_EQ(d.size(), 4u);
+  EXPECT_DOUBLE_EQ(d[0], 6);
+  EXPECT_DOUBLE_EQ(d[1], 1);
+  EXPECT_DOUBLE_EQ(d[2], 1);  // duplicate targets each resolved
+  EXPECT_DOUBLE_EQ(d[3], 0);
+}
+
+TEST(DijkstraEngineTest, MultiTargetRadius) {
+  RoadNetwork g = Line();
+  DijkstraEngine engine(g);
+  auto d = engine.Distances(0, {1, 3}, /*radius=*/2);
+  EXPECT_DOUBLE_EQ(d[0], 1);
+  EXPECT_EQ(d[1], kInfiniteCost);
+}
+
+TEST(DijkstraEngineTest, ExploreVisitsWithinRadius) {
+  RoadNetwork g = Line();
+  DijkstraEngine engine(g);
+  std::vector<NodeId> visited;
+  engine.Explore(0, 3.0, /*reverse=*/false,
+                 [&](NodeId v, Cost) { visited.push_back(v); });
+  EXPECT_EQ(visited, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(DijkstraEngineTest, ExploreReverse) {
+  RoadNetwork g = Line();
+  DijkstraEngine engine(g);
+  std::vector<NodeId> visited;
+  engine.Explore(3, 5.0, /*reverse=*/true,
+                 [&](NodeId v, Cost) { visited.push_back(v); });
+  EXPECT_EQ(visited, (std::vector<NodeId>{3, 2, 1}));
+}
+
+}  // namespace
+}  // namespace urr

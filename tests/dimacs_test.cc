@@ -1,0 +1,77 @@
+#include "graph/dimacs.h"
+
+#include <gtest/gtest.h>
+
+namespace urr {
+namespace {
+
+constexpr char kGr[] =
+    "c tiny example\n"
+    "p sp 3 3\n"
+    "a 1 2 10\n"
+    "a 2 3 20\n"
+    "a 3 1 5\n";
+
+constexpr char kCo[] =
+    "c coords\n"
+    "v 1 100 200\n"
+    "v 2 110 210\n"
+    "v 3 120 220\n";
+
+TEST(DimacsTest, ParsesArcsOneBased) {
+  auto g = ParseDimacs(kGr);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 3);
+  EXPECT_EQ(g->num_edges(), 3);
+  EXPECT_DOUBLE_EQ(g->EdgeCost(0, 1), 10);
+  EXPECT_DOUBLE_EQ(g->EdgeCost(2, 0), 5);
+  EXPECT_FALSE(g->has_coords());
+}
+
+TEST(DimacsTest, ParsesCoordinates) {
+  auto g = ParseDimacs(kGr, kCo);
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(g->has_coords());
+  EXPECT_DOUBLE_EQ(g->coord(0).x, 100);
+  EXPECT_DOUBLE_EQ(g->coord(2).y, 220);
+}
+
+TEST(DimacsTest, RejectsMissingHeader) {
+  EXPECT_FALSE(ParseDimacs("a 1 2 3\n").ok());
+  EXPECT_FALSE(ParseDimacs("c only comments\n").ok());
+}
+
+TEST(DimacsTest, RejectsArcCountMismatch) {
+  EXPECT_FALSE(ParseDimacs("p sp 2 2\na 1 2 1\n").ok());
+}
+
+TEST(DimacsTest, RejectsOutOfRangeNode) {
+  EXPECT_FALSE(ParseDimacs("p sp 2 1\na 1 3 1\n").ok());
+  EXPECT_FALSE(ParseDimacs("p sp 2 1\na 0 1 1\n").ok());
+}
+
+TEST(DimacsTest, RejectsUnknownTag) {
+  EXPECT_FALSE(ParseDimacs("p sp 1 0\nq nope\n").ok());
+}
+
+TEST(DimacsTest, RejectsNonSpProblem) {
+  EXPECT_FALSE(ParseDimacs("p max 2 1\na 1 2 1\n").ok());
+}
+
+TEST(DimacsTest, ExportRoundTrips) {
+  auto g = ParseDimacs(kGr);
+  ASSERT_TRUE(g.ok());
+  auto g2 = ParseDimacs(ToDimacsGr(*g));
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g2->num_nodes(), g->num_nodes());
+  EXPECT_EQ(g2->num_edges(), g->num_edges());
+  EXPECT_DOUBLE_EQ(g2->EdgeCost(1, 2), 20);
+}
+
+TEST(DimacsTest, LoadMissingFileFails) {
+  auto r = LoadDimacsFiles("/does/not/exist.gr");
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace urr

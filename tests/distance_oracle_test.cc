@@ -1,0 +1,92 @@
+#include "routing/distance_oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+
+namespace urr {
+namespace {
+
+TEST(DistanceOracleTest, DijkstraOracleBasics) {
+  auto g = RoadNetwork::Build(3, {{0, 1, 2}, {1, 2, 3}});
+  ASSERT_TRUE(g.ok());
+  DijkstraOracle oracle(*g);
+  EXPECT_DOUBLE_EQ(oracle.Distance(0, 2), 5);
+  EXPECT_DOUBLE_EQ(oracle.Distance(0, 0), 0);
+  EXPECT_EQ(oracle.Distance(2, 0), kInfiniteCost);
+  EXPECT_EQ(oracle.num_calls(), 3);
+}
+
+TEST(DistanceOracleTest, ChOracleMatchesDijkstraOracle) {
+  Rng rng(51);
+  GridCityOptions opt;
+  opt.width = 14;
+  opt.height = 14;
+  auto g = GenerateGridCity(opt, &rng);
+  ASSERT_TRUE(g.ok());
+  auto ch = ChOracle::Create(*g);
+  ASSERT_TRUE(ch.ok());
+  DijkstraOracle ref(*g);
+  for (int i = 0; i < 200; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.UniformInt(0, g->num_nodes() - 1));
+    const NodeId t = static_cast<NodeId>(rng.UniformInt(0, g->num_nodes() - 1));
+    EXPECT_NEAR((*ch)->Distance(s, t), ref.Distance(s, t), 1e-6);
+  }
+}
+
+TEST(DistanceOracleTest, CachingOracleHitsOnRepeat) {
+  auto g = RoadNetwork::Build(3, {{0, 1, 2}, {1, 2, 3}});
+  ASSERT_TRUE(g.ok());
+  DijkstraOracle base(*g);
+  CachingOracle cached(&base);
+  EXPECT_DOUBLE_EQ(cached.Distance(0, 2), 5);
+  EXPECT_DOUBLE_EQ(cached.Distance(0, 2), 5);
+  EXPECT_DOUBLE_EQ(cached.Distance(0, 2), 5);
+  EXPECT_EQ(base.num_calls(), 1);
+  EXPECT_EQ(cached.num_hits(), 2);
+  EXPECT_EQ(cached.num_misses(), 1);
+}
+
+TEST(DistanceOracleTest, CachingOracleDistinguishesDirection) {
+  auto g = RoadNetwork::Build(2, {{0, 1, 2}});
+  ASSERT_TRUE(g.ok());
+  DijkstraOracle base(*g);
+  CachingOracle cached(&base);
+  EXPECT_DOUBLE_EQ(cached.Distance(0, 1), 2);
+  EXPECT_EQ(cached.Distance(1, 0), kInfiniteCost);
+  EXPECT_EQ(base.num_calls(), 2);  // (0,1) and (1,0) are different keys
+}
+
+TEST(DistanceOracleTest, CachingOracleFlushesAtCapacity) {
+  auto g = RoadNetwork::Build(4, {{0, 1, 1}, {1, 2, 1}, {2, 3, 1}});
+  ASSERT_TRUE(g.ok());
+  DijkstraOracle base(*g);
+  CachingOracle cached(&base, /*max_entries=*/2);
+  cached.Distance(0, 1);
+  cached.Distance(0, 2);
+  cached.Distance(0, 3);  // triggers flush
+  cached.Distance(0, 1);  // miss again after flush
+  EXPECT_EQ(base.num_calls(), 4);
+}
+
+TEST(DistanceOracleTest, CachedValuesStayCorrect) {
+  Rng rng(52);
+  GridCityOptions opt;
+  opt.width = 10;
+  opt.height = 10;
+  auto g = GenerateGridCity(opt, &rng);
+  ASSERT_TRUE(g.ok());
+  DijkstraOracle base(*g);
+  DijkstraOracle ref(*g);
+  CachingOracle cached(&base);
+  for (int i = 0; i < 300; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.UniformInt(0, g->num_nodes() - 1));
+    const NodeId t = static_cast<NodeId>(rng.UniformInt(0, 20));
+    EXPECT_DOUBLE_EQ(cached.Distance(s, t), ref.Distance(s, t));
+  }
+  EXPECT_GT(cached.num_hits(), 0);
+}
+
+}  // namespace
+}  // namespace urr

@@ -1,0 +1,158 @@
+#include "urr/gbs.h"
+
+#include <gtest/gtest.h>
+
+#include "exp/harness.h"
+#include "urr/greedy.h"
+
+namespace urr {
+namespace {
+
+std::unique_ptr<ExperimentWorld> SmallWorld(uint64_t seed = 42) {
+  ExperimentConfig cfg;
+  cfg.city_nodes = 1500;
+  cfg.num_social_users = 300;
+  cfg.num_trip_records = 1500;
+  cfg.num_riders = 150;
+  cfg.num_vehicles = 30;
+  cfg.seed = seed;
+  cfg.gbs.k = 3;
+  cfg.gbs.d_max = 200;
+  auto world = BuildWorld(cfg);
+  EXPECT_TRUE(world.ok()) << world.status();
+  return *std::move(world);
+}
+
+TEST(GbsTest, PreprocessProducesAreas) {
+  auto world = SmallWorld();
+  SolverContext ctx = world->Context();
+  auto pre = PrepareGbs(world->instance, &ctx, world->config.gbs);
+  ASSERT_TRUE(pre.ok()) << pre.status();
+  EXPECT_EQ(pre->k, 3);
+  EXPECT_GT(pre->areas.num_areas(), 1);
+  EXPECT_LT(pre->areas.num_areas(), pre->split.network.num_nodes());
+  // Split network extends the original one.
+  EXPECT_GE(pre->split.network.num_nodes(), world->network.num_nodes());
+  EXPECT_EQ(pre->split.original_num_nodes, world->network.num_nodes());
+}
+
+TEST(GbsTest, SolveWithBothBases) {
+  auto world = SmallWorld();
+  SolverContext ctx = world->Context();
+  for (GbsBase base : {GbsBase::kEfficientGreedy, GbsBase::kBilateral}) {
+    GbsOptions opt = world->config.gbs;
+    opt.base = base;
+    GbsStats stats;
+    auto sol = SolveGbs(world->instance, &ctx, opt, &stats);
+    ASSERT_TRUE(sol.ok()) << sol.status();
+    EXPECT_TRUE(sol->Validate(world->instance).ok());
+    EXPECT_GT(sol->NumAssigned(), 0);
+    EXPECT_GT(stats.num_areas, 0);
+    EXPECT_GT(stats.num_groups_solved, 0);
+    EXPECT_EQ(stats.k_used, 3);
+  }
+}
+
+TEST(GbsTest, ReusedPreprocessingGivesSameResult) {
+  auto world = SmallWorld();
+  GbsOptions opt = world->config.gbs;
+  SolverContext ctx1 = world->Context();
+  Rng rng1(99), rng2(99);
+  ctx1.rng = &rng1;
+  auto pre = PrepareGbs(world->instance, &ctx1, opt);
+  ASSERT_TRUE(pre.ok());
+  auto sol1 = SolveGbs(world->instance, &ctx1, opt, *pre);
+  SolverContext ctx2 = world->Context();
+  ctx2.rng = &rng2;
+  auto sol2 = SolveGbs(world->instance, &ctx2, opt, *pre);
+  ASSERT_TRUE(sol1.ok() && sol2.ok());
+  EXPECT_EQ(sol1->assignment, sol2->assignment);
+}
+
+TEST(GbsTest, ClassifiesShortAndLongTrips) {
+  auto world = SmallWorld();
+  SolverContext ctx = world->Context();
+  GbsOptions opt = world->config.gbs;
+  opt.d_max = 100;  // tiny threshold -> most trips become long
+  opt.k = 2;
+  GbsStats stats;
+  auto sol = SolveGbs(world->instance, &ctx, opt, &stats);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_GT(stats.num_long_trips, world->instance.num_riders() / 2);
+}
+
+TEST(GbsTest, FinalPassNeverLosesAssignments) {
+  auto world = SmallWorld(7);
+  SolverContext ctx = world->Context();
+  GbsOptions with = world->config.gbs;
+  with.final_pass = true;
+  GbsOptions without = world->config.gbs;
+  without.final_pass = false;
+  auto pre = PrepareGbs(world->instance, &ctx, with);
+  ASSERT_TRUE(pre.ok());
+  Rng rng1(5), rng2(5);
+  SolverContext c1 = world->Context();
+  c1.rng = &rng1;
+  SolverContext c2 = world->Context();
+  c2.rng = &rng2;
+  auto sol_with = SolveGbs(world->instance, &c1, with, *pre);
+  auto sol_without = SolveGbs(world->instance, &c2, without, *pre);
+  ASSERT_TRUE(sol_with.ok() && sol_without.ok());
+  EXPECT_GE(sol_with->NumAssigned(), sol_without->NumAssigned());
+}
+
+TEST(GbsTest, GroupFilterBoundVariantStaysValid) {
+  auto world = SmallWorld(9);
+  SolverContext ctx = world->Context();
+  GbsOptions opt = world->config.gbs;
+  opt.use_group_filter_bound = true;
+  auto sol = SolveGbs(world->instance, &ctx, opt);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_TRUE(sol->Validate(world->instance).ok());
+  EXPECT_GT(sol->NumAssigned(), 0);
+}
+
+TEST(GbsTest, AutoKPicksACandidate) {
+  auto world = SmallWorld();
+  SolverContext ctx = world->Context();
+  GbsOptions opt = world->config.gbs;
+  opt.auto_k = true;
+  auto pre = PrepareGbs(world->instance, &ctx, opt);
+  ASSERT_TRUE(pre.ok());
+  EXPECT_GE(pre->k, 2);
+  EXPECT_LE(pre->k, 8);
+}
+
+TEST(GbsTest, GroupOrderVariantsAllValid) {
+  auto world = SmallWorld(13);
+  SolverContext ctx = world->Context();
+  auto pre = PrepareGbs(world->instance, &ctx, world->config.gbs);
+  ASSERT_TRUE(pre.ok());
+  for (GbsGroupOrder order :
+       {GbsGroupOrder::kLargestFirst, GbsGroupOrder::kSmallestFirst,
+        GbsGroupOrder::kRandom}) {
+    GbsOptions opt = world->config.gbs;
+    opt.group_order = order;
+    auto sol = SolveGbs(world->instance, &ctx, opt, *pre);
+    ASSERT_TRUE(sol.ok());
+    EXPECT_TRUE(sol->Validate(world->instance).ok());
+    EXPECT_GT(sol->NumAssigned(), 0);
+  }
+}
+
+TEST(GbsTest, UtilityIsCompetitiveWithBase) {
+  // GBS with a base method should land in the same utility ballpark as the
+  // base run globally (the paper reports it equal or better).
+  auto world = SmallWorld(21);
+  SolverContext ctx = world->Context();
+  GbsOptions opt = world->config.gbs;
+  opt.base = GbsBase::kEfficientGreedy;
+  auto gbs = SolveGbs(world->instance, &ctx, opt);
+  ASSERT_TRUE(gbs.ok());
+  UrrSolution eg = SolveEfficientGreedy(world->instance, &ctx);
+  EXPECT_GT(gbs->TotalUtility(world->model),
+            eg.TotalUtility(world->model) * 0.8);
+}
+
+}  // namespace
+}  // namespace urr

@@ -1,0 +1,144 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "routing/dijkstra.h"
+
+namespace urr {
+namespace {
+
+TEST(GeneratorsTest, GridCityIsConnectedAndSized) {
+  Rng rng(11);
+  GridCityOptions opt;
+  opt.width = 20;
+  opt.height = 15;
+  auto g = GenerateGridCity(opt, &rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_LE(g->num_nodes(), 300);
+  EXPECT_GT(g->num_nodes(), 250);  // keep_probability 0.92 loses few nodes
+  EXPECT_EQ(g->LargestWeaklyConnectedComponent().size(),
+            static_cast<size_t>(g->num_nodes()));
+  EXPECT_TRUE(g->has_coords());
+}
+
+TEST(GeneratorsTest, GridCityCostsArePositiveAndJittered) {
+  Rng rng(12);
+  GridCityOptions opt;
+  opt.width = 10;
+  opt.height = 10;
+  opt.block_cost = 60;
+  opt.jitter = 0.3;
+  opt.arterial_fraction = 0;
+  auto g = GenerateGridCity(opt, &rng);
+  ASSERT_TRUE(g.ok());
+  for (const Edge& e : g->EdgeList()) {
+    EXPECT_GE(e.cost, 60 * 0.7 - 1e-9);
+    EXPECT_LE(e.cost, 60 * 1.3 + 1e-9);
+  }
+}
+
+TEST(GeneratorsTest, ArterialsCreateLongEdges) {
+  Rng rng(13);
+  GridCityOptions opt;
+  opt.width = 30;
+  opt.height = 30;
+  opt.arterial_fraction = 0.05;
+  opt.arterial_span = 8;
+  auto g = GenerateGridCity(opt, &rng);
+  ASSERT_TRUE(g.ok());
+  bool has_long = false;
+  for (const Edge& e : g->EdgeList()) {
+    if (e.cost > opt.block_cost * 3) has_long = true;
+  }
+  EXPECT_TRUE(has_long);
+}
+
+TEST(GeneratorsTest, RejectsDegenerateGrid) {
+  Rng rng(1);
+  GridCityOptions opt;
+  opt.width = 1;
+  EXPECT_FALSE(GenerateGridCity(opt, &rng).ok());
+  opt.width = 10;
+  opt.block_cost = 0;
+  EXPECT_FALSE(GenerateGridCity(opt, &rng).ok());
+  opt.block_cost = 60;
+  opt.keep_probability = 0;
+  EXPECT_FALSE(GenerateGridCity(opt, &rng).ok());
+}
+
+TEST(GeneratorsTest, PresetsHitTargetSize) {
+  Rng rng(14);
+  auto nyc = GenerateNycLike(4000, &rng);
+  ASSERT_TRUE(nyc.ok());
+  EXPECT_NEAR(nyc->num_nodes(), 4000, 800);
+  auto chi = GenerateChicagoLike(3000, &rng);
+  ASSERT_TRUE(chi.ok());
+  EXPECT_NEAR(chi->num_nodes(), 3000, 800);
+}
+
+TEST(GeneratorsTest, ChicagoSparserThanNyc) {
+  Rng rng(15);
+  auto nyc = GenerateNycLike(4000, &rng);
+  auto chi = GenerateChicagoLike(4000, &rng);
+  ASSERT_TRUE(nyc.ok() && chi.ok());
+  const double nyc_deg =
+      static_cast<double>(nyc->num_edges()) / nyc->num_nodes();
+  const double chi_deg =
+      static_cast<double>(chi->num_edges()) / chi->num_nodes();
+  EXPECT_GT(nyc_deg, chi_deg);
+}
+
+TEST(GeneratorsTest, PaperFigure1NetworkShape) {
+  auto g = PaperFigure1Network();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 8);
+  // Two-way streets: every edge has its reverse at equal cost.
+  for (const Edge& e : g->EdgeList()) {
+    EXPECT_DOUBLE_EQ(g->EdgeCost(e.to, e.from), e.cost);
+  }
+  // A (0) to B (1) is a single block of cost 1.
+  EXPECT_DOUBLE_EQ(g->EdgeCost(0, 1), 1);
+}
+
+TEST(GeneratorsTest, InducedSubnetworkRemapsIds) {
+  auto g = RoadNetwork::Build(
+      4, {{0, 1, 1}, {1, 2, 2}, {2, 3, 3}, {3, 0, 4}},
+      {{0, 0}, {1, 0}, {2, 0}, {3, 0}});
+  ASSERT_TRUE(g.ok());
+  auto sub = InducedSubnetwork(*g, {1, 2, 3});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->num_nodes(), 3);
+  EXPECT_EQ(sub->num_edges(), 2);  // edges 1->2 and 2->3 survive
+  EXPECT_DOUBLE_EQ(sub->EdgeCost(0, 1), 2);
+  EXPECT_DOUBLE_EQ(sub->EdgeCost(1, 2), 3);
+  EXPECT_DOUBLE_EQ(sub->coord(0).x, 1);
+}
+
+TEST(GeneratorsTest, InducedSubnetworkRejectsDuplicatesAndRange) {
+  auto g = RoadNetwork::Build(2, {{0, 1, 1}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(InducedSubnetwork(*g, {0, 0}).ok());
+  EXPECT_FALSE(InducedSubnetwork(*g, {0, 5}).ok());
+}
+
+TEST(GeneratorsTest, DeterministicGivenSeed) {
+  Rng a(99), b(99);
+  GridCityOptions opt;
+  opt.width = 12;
+  opt.height = 12;
+  auto ga = GenerateGridCity(opt, &a);
+  auto gb = GenerateGridCity(opt, &b);
+  ASSERT_TRUE(ga.ok() && gb.ok());
+  EXPECT_EQ(ga->num_nodes(), gb->num_nodes());
+  EXPECT_EQ(ga->num_edges(), gb->num_edges());
+  auto ea = ga->EdgeList();
+  auto eb = gb->EdgeList();
+  for (size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].from, eb[i].from);
+    EXPECT_EQ(ea[i].to, eb[i].to);
+    EXPECT_DOUBLE_EQ(ea[i].cost, eb[i].cost);
+  }
+}
+
+}  // namespace
+}  // namespace urr

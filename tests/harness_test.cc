@@ -1,0 +1,120 @@
+#include "exp/harness.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/csv.h"
+#include "exp/sweep.h"
+
+namespace urr {
+namespace {
+
+ExperimentConfig SmallConfig(uint64_t seed = 42) {
+  ExperimentConfig cfg;
+  cfg.city_nodes = 1200;
+  cfg.num_social_users = 200;
+  cfg.num_trip_records = 1200;
+  cfg.num_riders = 80;
+  cfg.num_vehicles = 20;
+  cfg.seed = seed;
+  cfg.gbs.k = 3;
+  cfg.gbs.d_max = 200;
+  return cfg;
+}
+
+TEST(HarnessTest, BuildWorldWiresEverything) {
+  auto world = BuildWorld(SmallConfig());
+  ASSERT_TRUE(world.ok()) << world.status();
+  ExperimentWorld& w = **world;
+  EXPECT_GT(w.network.num_nodes(), 500);
+  EXPECT_EQ(w.instance.num_riders(), 80);
+  EXPECT_EQ(w.instance.num_vehicles(), 20);
+  EXPECT_EQ(w.instance.network, &w.network);
+  EXPECT_EQ(w.instance.social, &w.social);
+  EXPECT_GT(w.max_speed, 0);
+  SolverContext ctx = w.Context();
+  EXPECT_NE(ctx.oracle, nullptr);
+  EXPECT_NE(ctx.model, nullptr);
+  EXPECT_NE(ctx.vehicle_index, nullptr);
+  EXPECT_NE(ctx.rng, nullptr);
+}
+
+TEST(HarnessTest, ChicagoPresetBuilds) {
+  ExperimentConfig cfg = SmallConfig();
+  cfg.city = CityKind::kChicagoLike;
+  auto world = BuildWorld(cfg);
+  ASSERT_TRUE(world.ok()) << world.status();
+}
+
+TEST(HarnessTest, RealModeBuilds) {
+  ExperimentConfig cfg = SmallConfig();
+  cfg.synthetic = false;
+  auto world = BuildWorld(cfg);
+  ASSERT_TRUE(world.ok()) << world.status();
+  EXPECT_EQ((*world)->instance.num_riders(), 80);
+}
+
+TEST(HarnessTest, ApproachNamesAreStable) {
+  EXPECT_EQ(ApproachName(Approach::kCostFirst), "CF");
+  EXPECT_EQ(ApproachName(Approach::kEfficientGreedy), "EG");
+  EXPECT_EQ(ApproachName(Approach::kBilateral), "BA");
+  EXPECT_EQ(ApproachName(Approach::kGbsEg), "GBS+EG");
+  EXPECT_EQ(ApproachName(Approach::kGbsBa), "GBS+BA");
+  EXPECT_EQ(AllApproaches().size(), 5u);
+}
+
+TEST(HarnessTest, RunApproachReportsMetrics) {
+  auto world = BuildWorld(SmallConfig());
+  ASSERT_TRUE(world.ok());
+  for (Approach a : AllApproaches()) {
+    auto res = RunApproach(world->get(), a);
+    ASSERT_TRUE(res.ok()) << ApproachName(a) << ": " << res.status();
+    EXPECT_EQ(res->name, ApproachName(a));
+    EXPECT_GE(res->utility, 0);
+    EXPECT_GE(res->seconds, 0);
+    EXPECT_GE(res->assigned, 0);
+    EXPECT_LE(res->assigned, 80);
+  }
+}
+
+TEST(HarnessTest, GbsPreprocessingIsCached) {
+  auto world = BuildWorld(SmallConfig());
+  ASSERT_TRUE(world.ok());
+  auto p1 = (*world)->GbsPreprocessing();
+  auto p2 = (*world)->GbsPreprocessing();
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  EXPECT_EQ(*p1, *p2);  // same pointer: computed once
+}
+
+TEST(SweepTest, RunSweepCollectsRows) {
+  SweepPoint p1{"80", SmallConfig(1)};
+  SweepPoint p2{"40", SmallConfig(2)};
+  p2.config.num_riders = 40;
+  auto sweep = RunSweep("m", {p1, p2},
+                        {Approach::kCostFirst, Approach::kEfficientGreedy});
+  ASSERT_TRUE(sweep.ok()) << sweep.status();
+  ASSERT_EQ(sweep->rows.size(), 2u);
+  ASSERT_EQ(sweep->rows[0].size(), 2u);
+  EXPECT_EQ(sweep->labels[0], "80");
+  EXPECT_EQ(sweep->rows[0][0].name, "CF");
+  // Printing must not crash and must mention every approach.
+  PrintSweep(*sweep);
+}
+
+TEST(SweepTest, CsvDumpRoundTrips) {
+  SweepPoint p{"x", SmallConfig(3)};
+  auto sweep = RunSweep("param", {p}, {Approach::kCostFirst});
+  ASSERT_TRUE(sweep.ok());
+  const std::string path = ::testing::TempDir() + "/urr_sweep.csv";
+  ASSERT_TRUE(WriteSweepCsv(*sweep, path).ok());
+  auto csv = ReadCsvFile(path);
+  ASSERT_TRUE(csv.ok());
+  EXPECT_EQ(csv->rows.size(), 1u);
+  EXPECT_EQ(csv->header[0], "param");
+  std::remove(path.c_str());
+  EXPECT_TRUE(WriteSweepCsv(*sweep, "").ok());  // empty path is a no-op
+}
+
+}  // namespace
+}  // namespace urr

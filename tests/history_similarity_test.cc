@@ -1,0 +1,122 @@
+#include "social/history_similarity.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "urr/instance.h"
+
+namespace urr {
+namespace {
+
+class HistorySimilarityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(51);
+    GridCityOptions opt;
+    opt.width = 12;
+    opt.height = 12;
+    auto g = GenerateGridCity(opt, &rng);
+    ASSERT_TRUE(g.ok());
+    network_ = std::make_unique<RoadNetwork>(*std::move(g));
+    rng_ = std::make_unique<Rng>(52);
+    auto checkins = CheckInMap::Generate(*network_, /*num_users=*/30,
+                                         /*per_user=*/5, rng_.get());
+    ASSERT_TRUE(checkins.ok());
+    checkins_ = std::make_unique<CheckInMap>(*std::move(checkins));
+  }
+  std::unique_ptr<RoadNetwork> network_;
+  std::unique_ptr<Rng> rng_;
+  std::unique_ptr<CheckInMap> checkins_;
+};
+
+TEST_F(HistorySimilarityTest, BuildsAndBounds) {
+  auto sim = LocationHistorySimilarity::Build(*network_, *checkins_, 30);
+  ASSERT_TRUE(sim.ok()) << sim.status();
+  EXPECT_EQ(sim->num_users(), 30);
+  for (UserId a = 0; a < 30; ++a) {
+    EXPECT_GE(sim->NumPlaces(a), 1);
+    for (UserId b = 0; b < 30; ++b) {
+      const double s = sim->Similarity(a, b);
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0);
+      EXPECT_DOUBLE_EQ(s, sim->Similarity(b, a));  // symmetric
+    }
+    EXPECT_DOUBLE_EQ(sim->Similarity(a, a), 1.0);  // identical place sets
+  }
+}
+
+TEST_F(HistorySimilarityTest, OutOfRangeUsersScoreZero) {
+  auto sim = LocationHistorySimilarity::Build(*network_, *checkins_, 30);
+  ASSERT_TRUE(sim.ok());
+  EXPECT_DOUBLE_EQ(sim->Similarity(-1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(sim->Similarity(0, 99), 0.0);
+  EXPECT_EQ(sim->NumPlaces(99), 0);
+}
+
+TEST_F(HistorySimilarityTest, RejectsBadInputs) {
+  EXPECT_FALSE(
+      LocationHistorySimilarity::Build(*network_, *checkins_, 0).ok());
+  EXPECT_FALSE(
+      LocationHistorySimilarity::Build(*network_, *checkins_, 30, 0).ok());
+  // Users outside num_users in the check-ins.
+  EXPECT_FALSE(LocationHistorySimilarity::Build(*network_, *checkins_, 5).ok());
+  auto no_coords = RoadNetwork::Build(2, {{0, 1, 1}});
+  ASSERT_TRUE(no_coords.ok());
+  EXPECT_FALSE(
+      LocationHistorySimilarity::Build(*no_coords, *checkins_, 30).ok());
+}
+
+TEST_F(HistorySimilarityTest, NearbyUsersScoreHigherThanFarOnes) {
+  // Users check in around homes (random walk <= 6 hops); two users with the
+  // same home cell overlap heavily, users across the map rarely do. Check
+  // the aggregate: average same-cell similarity > average cross-map.
+  auto sim = LocationHistorySimilarity::Build(*network_, *checkins_, 30, 64);
+  ASSERT_TRUE(sim.ok());
+  double self_like = 0;
+  int pairs = 0;
+  double cross = 0;
+  int cross_pairs = 0;
+  for (UserId a = 0; a < 30; ++a) {
+    for (UserId b = a + 1; b < 30; ++b) {
+      const double s = sim->Similarity(a, b);
+      if (s > 0) {
+        self_like += s;
+        ++pairs;
+      } else {
+        cross += s;
+        ++cross_pairs;
+      }
+    }
+  }
+  // Some pairs overlap, many do not — the signal exists.
+  EXPECT_GT(pairs, 0);
+  EXPECT_GT(cross_pairs, 0);
+}
+
+TEST_F(HistorySimilarityTest, InstanceFallbackUsesHistoryForFriendless) {
+  auto sim = LocationHistorySimilarity::Build(*network_, *checkins_, 30);
+  ASSERT_TRUE(sim.ok());
+  // Social graph where users 0,1 have friends but 2,3 are isolated.
+  auto social = SocialGraph::Build(30, {{0, 1}});
+  ASSERT_TRUE(social.ok());
+  UrrInstance instance;
+  instance.network = network_.get();
+  instance.social = &*social;
+  instance.history = &*sim;
+  instance.riders = {
+      {0, 1, 1, 2, /*user=*/0}, {0, 1, 1, 2, /*user=*/1},
+      {0, 1, 1, 2, /*user=*/2}, {0, 1, 1, 2, /*user=*/3},
+  };
+  // Riders 0,1: social Jaccard (identical friendless sets aside -> their
+  // friend sets are {1},{0}: disjoint -> 0).
+  EXPECT_DOUBLE_EQ(instance.Similarity(0, 1), 0.0);
+  // Riders 2,3: no social presence -> history fallback.
+  EXPECT_DOUBLE_EQ(instance.Similarity(2, 3), sim->Similarity(2, 3));
+  // Rider without identity scores 0.
+  instance.riders.push_back({0, 1, 1, 2, -1});
+  EXPECT_DOUBLE_EQ(instance.Similarity(0, 4), 0.0);
+}
+
+}  // namespace
+}  // namespace urr

@@ -1,0 +1,208 @@
+#include "sched/insertion.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+
+namespace urr {
+namespace {
+
+Result<RoadNetwork> LineCity() {
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v + 1 < 6; ++v) {
+    edges.push_back({v, v + 1, 10});
+    edges.push_back({v + 1, v, 10});
+  }
+  return RoadNetwork::Build(6, edges);
+}
+
+class InsertionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto g = LineCity();
+    ASSERT_TRUE(g.ok());
+    network_ = std::make_unique<RoadNetwork>(*std::move(g));
+    oracle_ = std::make_unique<DijkstraOracle>(*network_);
+  }
+
+  std::unique_ptr<RoadNetwork> network_;
+  std::unique_ptr<DijkstraOracle> oracle_;
+};
+
+TEST_F(InsertionTest, InsertIntoEmptySchedule) {
+  TransferSequence seq(0, 0, 2, oracle_.get());
+  RiderTrip trip{0, 2, 4, 100, 200};
+  auto plan = FindBestInsertion(seq, trip);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->pickup_pos, 0);
+  EXPECT_EQ(plan->dropoff_pos, 1);
+  // 0->2 (20) + 2->4 (20).
+  EXPECT_DOUBLE_EQ(plan->delta_cost, 40);
+  ASSERT_TRUE(ApplyInsertion(&seq, trip, *plan).ok());
+  EXPECT_TRUE(seq.Validate().ok());
+  EXPECT_DOUBLE_EQ(seq.TotalCost(), 40);
+}
+
+TEST_F(InsertionTest, InfeasibleDeadline) {
+  TransferSequence seq(0, 0, 2, oracle_.get());
+  RiderTrip trip{0, 5, 0, /*pickup_deadline=*/10, /*dropoff=*/20};  // needs 50
+  auto plan = FindBestInsertion(seq, trip);
+  EXPECT_EQ(plan.status().code(), StatusCode::kInfeasible);
+}
+
+TEST_F(InsertionTest, OnRouteRiderIsFree) {
+  // Existing trip 0 -> 5; new rider 1 -> 3 lies exactly on the path.
+  TransferSequence seq(0, 0, 2, oracle_.get());
+  RiderTrip first{0, 1, 5, 1e5, 1e6};
+  ASSERT_TRUE(ArrangeSingleRider(&seq, first).ok());
+  RiderTrip second{1, 2, 4, 1e5, 1e6};
+  auto plan = FindBestInsertion(seq, second);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NEAR(plan->delta_cost, 0, 1e-9);
+}
+
+TEST_F(InsertionTest, CapacityBlocksOverlap) {
+  TransferSequence seq(0, 0, 1, oracle_.get());
+  // Tight pickup deadline (15): rider 0 must be picked up first, so the new
+  // rider can neither ride before (deadline 15 broken), during (capacity 1),
+  // nor after (its own deadlines broken).
+  RiderTrip first{0, 1, 5, 15, 1e6};
+  ASSERT_TRUE(ArrangeSingleRider(&seq, first).ok());
+  RiderTrip second{1, 2, 4, /*pickup=*/45, /*dropoff=*/60};
+  auto plan = FindBestInsertion(seq, second);
+  EXPECT_FALSE(plan.ok());
+  // With loose deadlines the rider is served after the first dropoff.
+  RiderTrip third{2, 2, 4, 1e5, 1e6};
+  auto plan3 = FindBestInsertion(seq, third);
+  ASSERT_TRUE(plan3.ok());
+  EXPECT_EQ(plan3->pickup_pos, 2);  // after both stops of rider 0
+}
+
+TEST_F(InsertionTest, FlexTimeGuardsDownstreamDeadlines) {
+  // Rider 0: 0 -> 3 with tight dropoff (arrival 30, deadline 32): only ~2
+  // units of flex. Rider 1 wants a detour costing 20 -> must be rejected
+  // in the middle, accepted at the end if deadlines allow.
+  TransferSequence seq(0, 0, 2, oracle_.get());
+  RiderTrip first{0, 1, 3, 15, 32};
+  ASSERT_TRUE(ArrangeSingleRider(&seq, first).ok());
+  RiderTrip second{1, 2, 2, 1e5, 1e6};  // zero-length trip at node 2
+  auto plan = FindBestInsertion(seq, second);
+  ASSERT_TRUE(plan.ok());
+  // Inserting node 2 between 1 and 3 costs 0 extra (on the path).
+  EXPECT_NEAR(plan->delta_cost, 0, 1e-9);
+}
+
+TEST_F(InsertionTest, ApplyRejectsMalformedPlan) {
+  TransferSequence seq(0, 0, 2, oracle_.get());
+  RiderTrip trip{0, 1, 2, 1e5, 1e6};
+  EXPECT_FALSE(ApplyInsertion(&seq, trip, {2, 3, 0}).ok());   // beyond end
+  EXPECT_FALSE(ApplyInsertion(&seq, trip, {0, 0, 0}).ok());   // drop <= pick
+  EXPECT_FALSE(ApplyInsertion(&seq, trip, {-1, 1, 0}).ok());
+}
+
+TEST_F(InsertionTest, DeltaCostEqualsScheduleCostDelta) {
+  TransferSequence seq(0, 0, 3, oracle_.get());
+  Rng rng(121);
+  for (int r = 0; r < 4; ++r) {
+    RiderTrip trip{r, static_cast<NodeId>(rng.UniformInt(0, 5)),
+                   static_cast<NodeId>(rng.UniformInt(0, 5)), 1e5, 1e6};
+    if (trip.source == trip.destination) continue;
+    const Cost before = seq.TotalCost();
+    auto plan = ArrangeSingleRider(&seq, trip);
+    ASSERT_TRUE(plan.ok());
+    EXPECT_NEAR(seq.TotalCost() - before, plan->delta_cost, 1e-9);
+    ASSERT_TRUE(seq.Validate().ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property suite: on random city schedules, the pruned Algorithm-1 search
+// must return exactly the brute-force minimum Δcost (and only fail when
+// brute force fails).
+// ---------------------------------------------------------------------------
+
+struct PropertyParam {
+  uint64_t seed;
+  int capacity;
+  double deadline_scale;  // tightness of rider deadlines
+};
+
+class InsertionPropertyTest : public ::testing::TestWithParam<PropertyParam> {};
+
+TEST_P(InsertionPropertyTest, MatchesBruteForce) {
+  const PropertyParam param = GetParam();
+  Rng rng(param.seed);
+  GridCityOptions opt;
+  opt.width = 9;
+  opt.height = 9;
+  auto g = GenerateGridCity(opt, &rng);
+  ASSERT_TRUE(g.ok());
+  DijkstraOracle oracle(*g);
+
+  auto random_node = [&] {
+    return static_cast<NodeId>(rng.UniformInt(0, g->num_nodes() - 1));
+  };
+
+  int feasible_cases = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    TransferSequence seq(random_node(), 0, param.capacity, &oracle);
+    // Grow a feasible schedule with up to 4 riders.
+    const int base_riders = static_cast<int>(rng.UniformInt(0, 4));
+    for (int r = 0; r < base_riders; ++r) {
+      const NodeId s = random_node();
+      const NodeId e = random_node();
+      if (s == e) continue;
+      const Cost direct = oracle.Distance(s, e);
+      RiderTrip trip{100 + r, s, e,
+                     seq.EndTime() + rng.Uniform(200, 2000) * param.deadline_scale,
+                     0};
+      trip.dropoff_deadline =
+          trip.pickup_deadline + direct * rng.Uniform(1.2, 2.5);
+      auto plan = FindBestInsertion(seq, trip);
+      if (plan.ok()) {
+        ASSERT_TRUE(ApplyInsertion(&seq, trip, *plan).ok());
+      }
+      ASSERT_TRUE(seq.Validate().ok());
+    }
+    // The rider under test.
+    const NodeId s = random_node();
+    const NodeId e = random_node();
+    if (s == e) continue;
+    const Cost direct = oracle.Distance(s, e);
+    RiderTrip trip{7, s, e, rng.Uniform(100, 1500) * param.deadline_scale, 0};
+    trip.dropoff_deadline =
+        trip.pickup_deadline + direct * rng.Uniform(1.1, 2.0);
+
+    auto fast = FindBestInsertion(seq, trip);
+    auto brute = FindBestInsertionBruteForce(seq, trip);
+    ASSERT_EQ(fast.ok(), brute.ok())
+        << "feasibility disagreement at trial " << trial;
+    if (!fast.ok()) continue;
+    ++feasible_cases;
+    EXPECT_NEAR(fast->delta_cost, brute->delta_cost, 1e-6)
+        << "trial " << trial << " positions fast(" << fast->pickup_pos << ","
+        << fast->dropoff_pos << ") brute(" << brute->pickup_pos << ","
+        << brute->dropoff_pos << ")";
+    // Applying the fast plan yields a valid schedule.
+    TransferSequence applied = seq;
+    ASSERT_TRUE(ApplyInsertion(&applied, trip, *fast).ok());
+    EXPECT_TRUE(applied.Validate().ok());
+  }
+  // The sweep must exercise real insertions, not just infeasible cases.
+  EXPECT_GT(feasible_cases, 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, InsertionPropertyTest,
+    ::testing::Values(PropertyParam{1, 2, 1.0}, PropertyParam{2, 2, 0.5},
+                      PropertyParam{3, 1, 1.0}, PropertyParam{4, 4, 1.5},
+                      PropertyParam{5, 3, 0.3}, PropertyParam{6, 2, 3.0},
+                      PropertyParam{7, 5, 1.0}, PropertyParam{8, 1, 0.5}),
+    [](const auto& info) {
+      return "seed" + std::to_string(info.param.seed) + "cap" +
+             std::to_string(info.param.capacity);
+    });
+
+}  // namespace
+}  // namespace urr

@@ -1,0 +1,105 @@
+#include "trips/instance_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "exp/harness.h"
+#include "urr/greedy.h"
+
+namespace urr {
+namespace {
+
+TEST(InstanceIoTest, RoundTripPreservesEverything) {
+  ExperimentConfig cfg;
+  cfg.city_nodes = 1000;
+  cfg.num_social_users = 500;
+  cfg.num_trip_records = 1200;
+  cfg.num_riders = 50;
+  cfg.num_vehicles = 10;
+  auto world = BuildWorld(cfg);
+  ASSERT_TRUE(world.ok());
+  const UrrInstance& original = (*world)->instance;
+
+  auto back = InstanceFromCsv(InstanceToCsv(original),
+                              (*world)->network.num_nodes());
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back->num_riders(), original.num_riders());
+  ASSERT_EQ(back->num_vehicles(), original.num_vehicles());
+  EXPECT_DOUBLE_EQ(back->now, original.now);
+  for (int i = 0; i < original.num_riders(); ++i) {
+    EXPECT_EQ(back->riders[static_cast<size_t>(i)].source,
+              original.riders[static_cast<size_t>(i)].source);
+    EXPECT_EQ(back->riders[static_cast<size_t>(i)].destination,
+              original.riders[static_cast<size_t>(i)].destination);
+    EXPECT_NEAR(back->riders[static_cast<size_t>(i)].pickup_deadline,
+                original.riders[static_cast<size_t>(i)].pickup_deadline, 1e-6);
+    EXPECT_EQ(back->riders[static_cast<size_t>(i)].user,
+              original.riders[static_cast<size_t>(i)].user);
+    for (int j = 0; j < original.num_vehicles(); ++j) {
+      EXPECT_NEAR(back->VehicleUtility(i, j), original.VehicleUtility(i, j),
+                  1e-6);
+    }
+  }
+  for (int j = 0; j < original.num_vehicles(); ++j) {
+    EXPECT_EQ(back->vehicles[static_cast<size_t>(j)].location,
+              original.vehicles[static_cast<size_t>(j)].location);
+    EXPECT_EQ(back->vehicles[static_cast<size_t>(j)].capacity,
+              original.vehicles[static_cast<size_t>(j)].capacity);
+  }
+}
+
+TEST(InstanceIoTest, ReloadedInstanceSolvesIdentically) {
+  ExperimentConfig cfg;
+  cfg.city_nodes = 1000;
+  cfg.num_social_users = 400;
+  cfg.num_trip_records = 1200;
+  cfg.num_riders = 40;
+  cfg.num_vehicles = 8;
+  auto world = BuildWorld(cfg);
+  ASSERT_TRUE(world.ok());
+  ExperimentWorld& w = **world;
+
+  const std::string path = ::testing::TempDir() + "/urr_instance.csv";
+  ASSERT_TRUE(WriteInstance(path, w.instance).ok());
+  auto loaded = ReadInstance(path, w.network.num_nodes());
+  ASSERT_TRUE(loaded.ok());
+  loaded->network = &w.network;
+  loaded->social = &w.social;
+  loaded->history = w.history.get();
+
+  UtilityModel model(&*loaded, UtilityParams{cfg.alpha, cfg.beta});
+  SolverContext ctx = w.Context();
+  ctx.model = &model;
+  UrrSolution from_loaded = SolveEfficientGreedy(*loaded, &ctx);
+  SolverContext ctx2 = w.Context();
+  UrrSolution from_original = SolveEfficientGreedy(w.instance, &ctx2);
+  EXPECT_EQ(from_loaded.assignment, from_original.assignment);
+  std::remove(path.c_str());
+}
+
+TEST(InstanceIoTest, RejectsCorruptTables) {
+  CsvTable bad;
+  bad.header = {"x"};
+  EXPECT_FALSE(InstanceFromCsv(bad, 10).ok());
+
+  CsvTable rows;
+  rows.header = {"kind", "a", "b", "c", "d", "e"};
+  rows.rows = {{"meta", "0", "1", "0", "", ""},
+               {"rider", "99", "0", "1", "2", "-1"}};
+  EXPECT_EQ(InstanceFromCsv(rows, 10).status().code(),
+            StatusCode::kOutOfRange);
+
+  rows.rows = {{"meta", "0", "0", "1", "", ""},
+               {"vehicle", "0", "0", "", "", ""}};
+  EXPECT_FALSE(InstanceFromCsv(rows, 10).ok());  // capacity 0
+
+  rows.rows = {{"meta", "0", "2", "0", "", ""}};
+  EXPECT_FALSE(InstanceFromCsv(rows, 10).ok());  // count mismatch
+
+  rows.rows = {{"alien", "0", "0", "", "", ""}};
+  EXPECT_FALSE(InstanceFromCsv(rows, 10).ok());
+}
+
+}  // namespace
+}  // namespace urr

@@ -1,0 +1,145 @@
+// Cross-module integration sweeps: build complete worlds across the
+// Table-3 parameter grid and assert the invariants every approach must
+// satisfy, plus the qualitative relationships the paper reports.
+#include <gtest/gtest.h>
+
+#include "exp/harness.h"
+
+namespace urr {
+namespace {
+
+struct GridParam {
+  CityKind city;
+  double alpha;
+  double beta;
+  int capacity;
+  double epsilon;
+  uint64_t seed;
+};
+
+std::string ParamName(const ::testing::TestParamInfo<GridParam>& info) {
+  const GridParam& p = info.param;
+  std::string name = p.city == CityKind::kNycLike ? "Nyc" : "Chi";
+  name += "a" + std::to_string(static_cast<int>(p.alpha * 100));
+  name += "b" + std::to_string(static_cast<int>(p.beta * 100));
+  name += "c" + std::to_string(p.capacity);
+  name += "e" + std::to_string(static_cast<int>(p.epsilon * 10));
+  name += "s" + std::to_string(p.seed);
+  return name;
+}
+
+class WorldGridTest : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(WorldGridTest, EveryApproachProducesValidConsistentSolutions) {
+  const GridParam& p = GetParam();
+  ExperimentConfig cfg;
+  cfg.city = p.city;
+  cfg.city_nodes = 1200;
+  cfg.num_social_users = 800;
+  cfg.num_trip_records = 1200;
+  cfg.num_riders = 90;
+  cfg.num_vehicles = 18;
+  cfg.alpha = p.alpha;
+  cfg.beta = p.beta;
+  cfg.capacity = p.capacity;
+  cfg.epsilon = p.epsilon;
+  cfg.seed = p.seed;
+  cfg.gbs.k = 3;
+  cfg.gbs.d_max = 250;
+  auto world = BuildWorld(cfg);
+  ASSERT_TRUE(world.ok()) << world.status();
+
+  double best_utility = -1, worst_utility = 1e300;
+  for (Approach a : AllApproaches()) {
+    auto res = RunApproach(world->get(), a);
+    ASSERT_TRUE(res.ok()) << ApproachName(a) << ": " << res.status();
+    // RunApproach validated the solution; check reported metrics are sane.
+    EXPECT_GE(res->utility, 0) << ApproachName(a);
+    EXPECT_LE(res->utility, (*world)->instance.num_riders()) << ApproachName(a);
+    EXPECT_GE(res->travel_cost, 0);
+    EXPECT_GE(res->assigned, 0);
+    best_utility = std::max(best_utility, res->utility);
+    worst_utility = std::min(worst_utility, res->utility);
+  }
+  // The approaches must all be in one ballpark (no broken solver returning
+  // near-zero while others serve the workload).
+  if (best_utility > 1.0) {
+    EXPECT_GT(worst_utility, best_utility * 0.4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, WorldGridTest,
+    ::testing::Values(
+        GridParam{CityKind::kNycLike, 0.33, 0.33, 3, 1.5, 1},
+        GridParam{CityKind::kNycLike, 0.0, 0.0, 2, 1.2, 2},
+        GridParam{CityKind::kNycLike, 1.0, 0.0, 4, 2.0, 3},
+        GridParam{CityKind::kNycLike, 0.0, 1.0, 5, 1.7, 4},
+        GridParam{CityKind::kChicagoLike, 0.33, 0.33, 3, 1.5, 5},
+        GridParam{CityKind::kChicagoLike, 0.5, 0.5, 2, 1.2, 6}),
+    ParamName);
+
+TEST(IntegrationTest, LooserDeadlinesServeMoreRiders) {
+  // The Fig-8 monotonicity: widening pickup deadlines can only help.
+  ExperimentConfig tight;
+  tight.city_nodes = 1500;
+  tight.num_social_users = 800;
+  tight.num_trip_records = 1500;
+  tight.num_riders = 120;
+  tight.num_vehicles = 20;
+  tight.rt_min_minutes = 1;
+  tight.rt_max_minutes = 5;
+  ExperimentConfig loose = tight;
+  loose.rt_min_minutes = 20;
+  loose.rt_max_minutes = 45;
+  auto tw = BuildWorld(tight);
+  auto lw = BuildWorld(loose);
+  ASSERT_TRUE(tw.ok() && lw.ok());
+  auto tr = RunApproach(tw->get(), Approach::kEfficientGreedy);
+  auto lr = RunApproach(lw->get(), Approach::kEfficientGreedy);
+  ASSERT_TRUE(tr.ok() && lr.ok());
+  EXPECT_GT(lr->assigned, tr->assigned);
+  EXPECT_GT(lr->utility, tr->utility);
+}
+
+TEST(IntegrationTest, MoreVehiclesNeverHurt) {
+  ExperimentConfig few;
+  few.city_nodes = 1500;
+  few.num_social_users = 800;
+  few.num_trip_records = 1500;
+  few.num_riders = 120;
+  few.num_vehicles = 6;
+  ExperimentConfig many = few;
+  many.num_vehicles = 30;
+  auto fw = BuildWorld(few);
+  auto mw = BuildWorld(many);
+  ASSERT_TRUE(fw.ok() && mw.ok());
+  auto fr = RunApproach(fw->get(), Approach::kEfficientGreedy);
+  auto mr = RunApproach(mw->get(), Approach::kEfficientGreedy);
+  ASSERT_TRUE(fr.ok() && mr.ok());
+  EXPECT_GE(mr->assigned, fr->assigned);
+  EXPECT_GT(mr->utility, fr->utility * 0.95);
+}
+
+TEST(IntegrationTest, PureTrajectoryUtilityAlignsEgWithCf) {
+  // The Fig-10 observation at (alpha, beta) = (0, 0): EG's efficiency and
+  // CF's cost key pick similar pairs, so their utilities come out close.
+  ExperimentConfig cfg;
+  cfg.city_nodes = 1500;
+  cfg.num_social_users = 800;
+  cfg.num_trip_records = 1500;
+  cfg.num_riders = 120;
+  cfg.num_vehicles = 24;
+  cfg.alpha = 0;
+  cfg.beta = 0;
+  auto world = BuildWorld(cfg);
+  ASSERT_TRUE(world.ok());
+  auto eg = RunApproach(world->get(), Approach::kEfficientGreedy);
+  auto cf = RunApproach(world->get(), Approach::kCostFirst);
+  ASSERT_TRUE(eg.ok() && cf.ok());
+  EXPECT_NEAR(eg->utility, cf->utility,
+              0.15 * std::max(eg->utility, cf->utility));
+}
+
+}  // namespace
+}  // namespace urr

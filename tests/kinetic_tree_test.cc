@@ -1,0 +1,171 @@
+#include "sched/kinetic_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "sched/reorder.h"
+
+namespace urr {
+namespace {
+
+Result<RoadNetwork> LineCity() {
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v + 1 < 6; ++v) {
+    edges.push_back({v, v + 1, 10});
+    edges.push_back({v + 1, v, 10});
+  }
+  return RoadNetwork::Build(6, edges);
+}
+
+class KineticTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto g = LineCity();
+    ASSERT_TRUE(g.ok());
+    network_ = std::make_unique<RoadNetwork>(*std::move(g));
+    oracle_ = std::make_unique<DijkstraOracle>(*network_);
+  }
+  std::unique_ptr<RoadNetwork> network_;
+  std::unique_ptr<DijkstraOracle> oracle_;
+};
+
+TEST_F(KineticTreeTest, EmptyTree) {
+  KineticTree tree(0, 0, 2, oracle_.get());
+  EXPECT_DOUBLE_EQ(tree.BestCost(), 0);
+  EXPECT_TRUE(tree.BestSchedule().empty());
+  EXPECT_EQ(tree.num_tree_nodes(), 0);
+  EXPECT_EQ(tree.num_orderings(), 0);
+  EXPECT_EQ(tree.num_riders(), 0);
+}
+
+TEST_F(KineticTreeTest, SingleRider) {
+  KineticTree tree(0, 0, 2, oracle_.get());
+  auto delta = tree.Insert({0, 2, 4, 1e5, 1e6});
+  ASSERT_TRUE(delta.ok()) << delta.status();
+  EXPECT_DOUBLE_EQ(*delta, 40);  // 0->2 + 2->4
+  EXPECT_DOUBLE_EQ(tree.BestCost(), 40);
+  const auto schedule = tree.BestSchedule();
+  ASSERT_EQ(schedule.size(), 2u);
+  EXPECT_EQ(schedule[0].location, 2);
+  EXPECT_EQ(schedule[1].location, 4);
+  EXPECT_EQ(tree.num_riders(), 1);
+  EXPECT_EQ(tree.num_orderings(), 1);
+}
+
+TEST_F(KineticTreeTest, InfeasibleRiderLeavesTreeUntouched) {
+  KineticTree tree(0, 0, 2, oracle_.get());
+  ASSERT_TRUE(tree.Insert({0, 2, 4, 1e5, 1e6}).ok());
+  const Cost cost = tree.BestCost();
+  const int64_t nodes = tree.num_tree_nodes();
+  auto bad = tree.Insert({1, 5, 0, /*pickup=*/5, /*dropoff=*/10});
+  EXPECT_EQ(bad.status().code(), StatusCode::kInfeasible);
+  EXPECT_DOUBLE_EQ(tree.BestCost(), cost);
+  EXPECT_EQ(tree.num_tree_nodes(), nodes);
+  EXPECT_EQ(tree.num_riders(), 1);
+}
+
+TEST_F(KineticTreeTest, BudgetExhaustionReported) {
+  KineticTree tree(0, 0, 4, oracle_.get());
+  ASSERT_TRUE(tree.Insert({0, 1, 3, 1e6, 1e7}).ok());
+  ASSERT_TRUE(tree.Insert({1, 2, 4, 1e6, 1e7}).ok());
+  auto r = tree.Insert({2, 0, 5, 1e6, 1e7}, /*max_nodes=*/3);
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(KineticTreeTest, KeepsAllOrderingsAndGloballyBestSchedule) {
+  // Two compatible riders on a line: multiple interleavings are valid; the
+  // tree's best must match the exact reordering search from scratch.
+  KineticTree tree(0, 0, 2, oracle_.get());
+  ASSERT_TRUE(tree.Insert({0, 1, 4, 1e6, 1e7}).ok());
+  ASSERT_TRUE(tree.Insert({1, 2, 3, 1e6, 1e7}).ok());
+  EXPECT_GT(tree.num_orderings(), 1);
+
+  // Reference: Algorithm-1-free exact search over the same two riders.
+  TransferSequence seq(0, 0, 2, oracle_.get());
+  RiderTrip first{0, 1, 4, 1e6, 1e7};
+  ASSERT_TRUE(ArrangeSingleRider(&seq, first).ok());
+  auto exact = FindBestInsertionWithReordering(seq, {1, 2, 3, 1e6, 1e7});
+  ASSERT_TRUE(exact.ok());
+  EXPECT_NEAR(tree.BestCost(), exact->total_cost, 1e-9);
+}
+
+TEST_F(KineticTreeTest, BestScheduleIsValidTransferSequence) {
+  KineticTree tree(0, 0, 2, oracle_.get());
+  ASSERT_TRUE(tree.Insert({0, 1, 4, 200, 400}).ok());
+  ASSERT_TRUE(tree.Insert({1, 2, 5, 200, 400}).ok());
+  const auto stops = tree.BestSchedule();
+  TransferSequence seq(0, 0, 2, oracle_.get());
+  for (size_t k = 0; k < stops.size(); ++k) {
+    seq.InsertStop(static_cast<int>(k), stops[k]);
+  }
+  EXPECT_TRUE(seq.Validate().ok());
+  EXPECT_NEAR(seq.TotalCost(), tree.BestCost(), 1e-9);
+}
+
+TEST_F(KineticTreeTest, CapacityPrunesOrderings) {
+  // Capacity 1: the two riders' spans cannot overlap, so every stored
+  // ordering serves them sequentially.
+  KineticTree tree(0, 0, 1, oracle_.get());
+  ASSERT_TRUE(tree.Insert({0, 1, 3, 1e6, 1e7}).ok());
+  ASSERT_TRUE(tree.Insert({1, 2, 4, 1e6, 1e7}).ok());
+  for (int trial = 0; trial < 1; ++trial) {
+    const auto stops = tree.BestSchedule();
+    TransferSequence seq(0, 0, 1, oracle_.get());
+    for (size_t k = 0; k < stops.size(); ++k) {
+      seq.InsertStop(static_cast<int>(k), stops[k]);
+    }
+    EXPECT_TRUE(seq.Validate().ok());
+  }
+}
+
+class KineticPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KineticPropertyTest, MatchesReorderSearchOnRandomInstances) {
+  // Property: after inserting riders one at a time, the kinetic tree's best
+  // cost equals the exact branch-and-bound reordering applied to the same
+  // rider set (both explore all orderings of the full stop multiset).
+  Rng rng(GetParam());
+  GridCityOptions opt;
+  opt.width = 7;
+  opt.height = 7;
+  auto g = GenerateGridCity(opt, &rng);
+  ASSERT_TRUE(g.ok());
+  DijkstraOracle oracle(*g);
+  auto random_node = [&] {
+    return static_cast<NodeId>(rng.UniformInt(0, g->num_nodes() - 1));
+  };
+  int nontrivial = 0;
+  for (int trial = 0; trial < 12; ++trial) {
+    const NodeId start = random_node();
+    KineticTree tree(start, 0, 2, &oracle);
+    TransferSequence committed(start, 0, 2, &oracle);
+    std::vector<RiderTrip> accepted;
+    for (int r = 0; r < 3; ++r) {
+      const NodeId s = random_node();
+      const NodeId e = random_node();
+      if (s == e) continue;
+      RiderTrip trip{r, s, e, rng.Uniform(400, 2500), 0};
+      trip.dropoff_deadline =
+          trip.pickup_deadline + oracle.Distance(s, e) * rng.Uniform(1.3, 2.5);
+      // Reference: exact reorder of (already accepted riders + this one).
+      auto exact = FindBestInsertionWithReordering(committed, trip);
+      auto kinetic = tree.Insert(trip);
+      ASSERT_EQ(exact.ok(), kinetic.ok())
+          << "feasibility disagreement, trial " << trial << " rider " << r;
+      if (!kinetic.ok()) continue;
+      EXPECT_NEAR(tree.BestCost(), exact->total_cost, 1e-6);
+      // Keep the committed reference in sync: rebuild it as the exact best.
+      committed = ApplyReorderPlan(committed, *exact);
+      accepted.push_back(trip);
+    }
+    if (accepted.size() >= 2) ++nontrivial;
+  }
+  EXPECT_GT(nontrivial, 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KineticPropertyTest,
+                         ::testing::Values(31, 32, 33, 34));
+
+}  // namespace
+}  // namespace urr

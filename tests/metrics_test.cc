@@ -1,0 +1,117 @@
+#include "urr/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "exp/harness.h"
+#include "urr/bilateral.h"
+#include "urr/cost_first.h"
+#include "urr/greedy.h"
+
+namespace urr {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::vector<Edge> edges;
+    for (NodeId v = 0; v + 1 < 6; ++v) {
+      edges.push_back({v, v + 1, 10});
+      edges.push_back({v + 1, v, 10});
+    }
+    auto g = RoadNetwork::Build(6, edges);
+    ASSERT_TRUE(g.ok());
+    network_ = std::make_unique<RoadNetwork>(*std::move(g));
+    oracle_ = std::make_unique<DijkstraOracle>(*network_);
+    instance_.network = network_.get();
+    instance_.riders = {{0, 2, 1e5, 1e6, -1}, {1, 3, 1e5, 1e6, -1},
+                        {4, 5, 1e5, 1e6, -1}};
+    instance_.vehicles = {{0, 2}, {5, 2}};
+    model_ = std::make_unique<UtilityModel>(&instance_, UtilityParams{0, 0});
+  }
+  UrrInstance instance_;
+  std::unique_ptr<RoadNetwork> network_;
+  std::unique_ptr<DijkstraOracle> oracle_;
+  std::unique_ptr<UtilityModel> model_;
+};
+
+TEST_F(MetricsTest, EmptySolution) {
+  UrrSolution sol = MakeEmptySolution(instance_, oracle_.get());
+  SolutionMetrics m = ComputeMetrics(instance_, *model_, sol);
+  EXPECT_EQ(m.riders_served, 0);
+  EXPECT_EQ(m.riders_total, 3);
+  EXPECT_DOUBLE_EQ(m.service_rate, 0);
+  EXPECT_DOUBLE_EQ(m.total_utility, 0);
+  EXPECT_DOUBLE_EQ(m.mean_detour_sigma, 1.0);
+  EXPECT_EQ(m.active_vehicles, 0);
+}
+
+TEST_F(MetricsTest, SharedRideMetrics) {
+  UrrSolution sol = MakeEmptySolution(instance_, oracle_.get());
+  // Vehicle 0 serves riders 0 (0->2) and 1 (1->3), overlapping on leg 1-2.
+  TransferSequence& seq = sol.schedules[0];
+  seq.InsertStop(0, {0, 0, StopType::kPickup, 1e5});
+  seq.InsertStop(1, {1, 1, StopType::kPickup, 1e5});
+  seq.InsertStop(2, {2, 0, StopType::kDropoff, 1e6});
+  seq.InsertStop(3, {3, 1, StopType::kDropoff, 1e6});
+  sol.assignment[0] = 0;
+  sol.assignment[1] = 0;
+  ASSERT_TRUE(sol.Validate(instance_).ok());
+
+  SolutionMetrics m = ComputeMetrics(instance_, *model_, sol);
+  EXPECT_EQ(m.riders_served, 2);
+  EXPECT_NEAR(m.service_rate, 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(m.active_vehicles, 1);
+  EXPECT_EQ(m.max_onboard, 2);
+  // Both riders ride their exact shortest paths: sigma = 1.
+  EXPECT_NEAR(m.mean_detour_sigma, 1.0, 1e-9);
+  // Both riders share the 1->2 leg.
+  EXPECT_DOUBLE_EQ(m.shared_rider_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(m.mean_riders_per_active_vehicle, 2.0);
+  EXPECT_DOUBLE_EQ(m.total_travel_cost, 30);
+  // Occupancy weighted by leg cost: legs 10,10,10 with onboard 0,2,1... wait
+  // legs: 0->0(cost 0, onboard n/a), 0->1 (10, 1), 1->2 (10, 2), 2->3 (10,1).
+  EXPECT_NEAR(m.mean_onboard, (0 * 0 + 10 * 1 + 10 * 2 + 10 * 1) / 30.0, 1e-9);
+}
+
+TEST_F(MetricsTest, FormatMentionsKeyNumbers) {
+  UrrSolution sol = MakeEmptySolution(instance_, oracle_.get());
+  const std::string text = FormatMetrics(ComputeMetrics(instance_, *model_, sol));
+  EXPECT_NE(text.find("riders served: 0/3"), std::string::npos);
+  EXPECT_NE(text.find("overall utility"), std::string::npos);
+}
+
+TEST_F(MetricsTest, UpperBoundDominatesEverySolver) {
+  ExperimentConfig cfg;
+  cfg.city_nodes = 1200;
+  cfg.num_social_users = 600;
+  cfg.num_trip_records = 1200;
+  cfg.num_riders = 100;
+  cfg.num_vehicles = 20;
+  auto world = BuildWorld(cfg);
+  ASSERT_TRUE(world.ok());
+  ExperimentWorld& w = **world;
+  SolverContext ctx = w.Context();
+  const double bound =
+      UpperBoundUtility(w.instance, w.model, ctx.vehicle_index);
+  EXPECT_GT(bound, 0);
+  for (auto* solve :
+       {+[](const UrrInstance& i, SolverContext* c) { return SolveCostFirst(i, c); },
+        +[](const UrrInstance& i, SolverContext* c) { return SolveEfficientGreedy(i, c); },
+        +[](const UrrInstance& i, SolverContext* c) { return SolveBilateral(i, c); }}) {
+    UrrSolution sol = solve(w.instance, &ctx);
+    EXPECT_LE(sol.TotalUtility(w.model), bound + 1e-6);
+  }
+}
+
+TEST_F(MetricsTest, UpperBoundCountsOnlyReachableRiders) {
+  VehicleIndex index(*network_, {0, 5});
+  // Make rider 2 unreachable.
+  instance_.riders[2].pickup_deadline = 0.0001;
+  UtilityModel model(&instance_, UtilityParams{0, 0});
+  const double bound = UpperBoundUtility(instance_, model, &index);
+  // Riders 0 and 1 contribute exactly 1.0 each under (0,0).
+  EXPECT_NEAR(bound, 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace urr

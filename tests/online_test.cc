@@ -1,0 +1,123 @@
+#include "urr/online.h"
+
+#include <gtest/gtest.h>
+
+#include "exp/harness.h"
+#include "urr/greedy.h"
+
+namespace urr {
+namespace {
+
+std::unique_ptr<ExperimentWorld> SmallWorld(uint64_t seed = 42) {
+  ExperimentConfig cfg;
+  cfg.city_nodes = 1200;
+  cfg.num_social_users = 500;
+  cfg.num_trip_records = 1500;
+  cfg.num_riders = 100;
+  cfg.num_vehicles = 20;
+  cfg.seed = seed;
+  auto world = BuildWorld(cfg);
+  EXPECT_TRUE(world.ok()) << world.status();
+  return *std::move(world);
+}
+
+std::vector<RiderId> ArrivalOrder(int m) {
+  std::vector<RiderId> order(static_cast<size_t>(m));
+  for (int i = 0; i < m; ++i) order[static_cast<size_t>(i)] = i;
+  return order;
+}
+
+TEST(OnlineTest, DispatchAllProducesValidSolution) {
+  auto world = SmallWorld();
+  SolverContext ctx = world->Context();
+  for (OnlineObjective obj :
+       {OnlineObjective::kUtilityGain, OnlineObjective::kMinCostIncrease}) {
+    OnlineDispatcher dispatcher(&world->instance, &ctx, obj);
+    const UrrSolution& sol =
+        dispatcher.DispatchAll(ArrivalOrder(world->instance.num_riders()));
+    EXPECT_TRUE(sol.Validate(world->instance).ok());
+    EXPECT_GT(dispatcher.num_accepted(), 0);
+    EXPECT_EQ(dispatcher.num_accepted() + dispatcher.num_rejected(),
+              world->instance.num_riders());
+    EXPECT_EQ(sol.NumAssigned(), dispatcher.num_accepted());
+  }
+}
+
+TEST(OnlineTest, DecisionsAreImmediateAndSticky) {
+  auto world = SmallWorld();
+  SolverContext ctx = world->Context();
+  OnlineDispatcher dispatcher(&world->instance, &ctx,
+                              OnlineObjective::kUtilityGain);
+  const DispatchDecision first = dispatcher.Dispatch(0);
+  if (first.accepted) {
+    // The rider is committed to that vehicle.
+    EXPECT_EQ(dispatcher.solution().assignment[0], first.vehicle);
+    // Dispatching more riders never moves rider 0.
+    dispatcher.Dispatch(1);
+    dispatcher.Dispatch(2);
+    EXPECT_EQ(dispatcher.solution().assignment[0], first.vehicle);
+  }
+}
+
+TEST(OnlineTest, MinCostObjectivePicksCheaperInsertions) {
+  auto world = SmallWorld(7);
+  SolverContext ctx = world->Context();
+  OnlineDispatcher utility(&world->instance, &ctx,
+                           OnlineObjective::kUtilityGain);
+  OnlineDispatcher cost(&world->instance, &ctx,
+                        OnlineObjective::kMinCostIncrease);
+  const auto order = ArrivalOrder(world->instance.num_riders());
+  const UrrSolution& by_utility = utility.DispatchAll(order);
+  const UrrSolution& by_cost = cost.DispatchAll(order);
+  ASSERT_GT(by_cost.NumAssigned(), 0);
+  ASSERT_GT(by_utility.NumAssigned(), 0);
+  // Cost-objective dispatch spends no more travel per served rider.
+  EXPECT_LE(by_cost.TotalCost() / by_cost.NumAssigned(),
+            by_utility.TotalCost() / by_utility.NumAssigned() + 1e-9);
+}
+
+TEST(OnlineTest, BatchBeatsOnlineOnUtility) {
+  // Batch EG sees all riders at once; online commits greedily in arrival
+  // order, so across seeds batch should not lose.
+  double batch = 0, online = 0;
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    auto world = SmallWorld(seed);
+    SolverContext ctx = world->Context();
+    UrrSolution eg = SolveEfficientGreedy(world->instance, &ctx);
+    batch += eg.TotalUtility(world->model);
+    OnlineDispatcher dispatcher(&world->instance, &ctx,
+                                OnlineObjective::kUtilityGain);
+    online += dispatcher
+                  .DispatchAll(ArrivalOrder(world->instance.num_riders()))
+                  .TotalUtility(world->model);
+  }
+  EXPECT_GT(batch, online * 0.95);  // batch at least competitive
+}
+
+TEST(OnlineTest, RejectedRiderStaysUnassigned) {
+  auto world = SmallWorld();
+  // Make rider 0 impossible to serve.
+  world->instance.riders[0].pickup_deadline = 0.0001;
+  world->instance.riders[0].dropoff_deadline = 0.0002;
+  SolverContext ctx = world->Context();
+  OnlineDispatcher dispatcher(&world->instance, &ctx,
+                              OnlineObjective::kUtilityGain);
+  const DispatchDecision d = dispatcher.Dispatch(0);
+  EXPECT_FALSE(d.accepted);
+  EXPECT_EQ(dispatcher.solution().assignment[0], -1);
+  EXPECT_EQ(dispatcher.num_rejected(), 1);
+}
+
+TEST(OnlineTest, DispatchAllSkipsAlreadyAssigned) {
+  auto world = SmallWorld();
+  SolverContext ctx = world->Context();
+  OnlineDispatcher dispatcher(&world->instance, &ctx,
+                              OnlineObjective::kUtilityGain);
+  dispatcher.Dispatch(0);
+  const int accepted_after_first = dispatcher.num_accepted();
+  dispatcher.DispatchAll({0, 0, 0});  // repeats must be no-ops
+  EXPECT_EQ(dispatcher.num_accepted(), accepted_after_first);
+}
+
+}  // namespace
+}  // namespace urr

@@ -1,0 +1,93 @@
+#include "trips/preferences.h"
+
+#include <gtest/gtest.h>
+
+namespace urr {
+namespace {
+
+TEST(PreferencesTest, NoOpinionMeansFullySatisfied) {
+  RiderPreferences any;  // all defaults = no stated preference
+  VehicleAttributes v;
+  v.smoke_free = false;
+  v.driver_rating = 1.0;
+  EXPECT_DOUBLE_EQ(PreferenceUtility(any, v), 1.0);
+}
+
+TEST(PreferencesTest, EachCriterionCountsUniformly) {
+  RiderPreferences p;
+  p.preferred_brand = 3;
+  VehicleAttributes v;
+  v.brand = 3;
+  EXPECT_DOUBLE_EQ(PreferenceUtility(p, v), 1.0);
+  v.brand = 4;  // one of six uniform criteria broken
+  EXPECT_NEAR(PreferenceUtility(p, v), 5.0 / 6.0, 1e-12);
+}
+
+TEST(PreferencesTest, WeightsShiftTheScore) {
+  RiderPreferences p;
+  p.wants_female_driver = true;
+  p.weights = {1, 1, 1, 10, 1, 1};  // safety matters most (paper's example)
+  VehicleAttributes v;
+  v.female_driver = false;
+  // 5 satisfied criteria with weight 1 each out of total weight 15.
+  EXPECT_NEAR(PreferenceUtility(p, v), 5.0 / 15.0, 1e-12);
+  v.female_driver = true;
+  EXPECT_DOUBLE_EQ(PreferenceUtility(p, v), 1.0);
+}
+
+TEST(PreferencesTest, VehicleClassIsOrdered) {
+  RiderPreferences p;
+  p.min_vehicle_class = 1;
+  VehicleAttributes economy;
+  economy.vehicle_class = 0;
+  VehicleAttributes premium;
+  premium.vehicle_class = 2;
+  EXPECT_LT(PreferenceUtility(p, economy), PreferenceUtility(p, premium));
+  EXPECT_DOUBLE_EQ(PreferenceUtility(p, premium), 1.0);
+}
+
+TEST(PreferencesTest, RatingThreshold) {
+  RiderPreferences p;
+  p.min_rating = 4.5;
+  VehicleAttributes v;
+  v.driver_rating = 4.4;
+  EXPECT_LT(PreferenceUtility(p, v), 1.0);
+  v.driver_rating = 4.6;
+  EXPECT_DOUBLE_EQ(PreferenceUtility(p, v), 1.0);
+}
+
+TEST(PreferencesTest, SamplingProducesBoundedUtilities) {
+  Rng rng(71);
+  std::vector<RiderPreferences> riders;
+  std::vector<VehicleAttributes> vehicles;
+  for (int i = 0; i < 40; ++i) riders.push_back(SampleRiderPreferences(&rng));
+  for (int j = 0; j < 15; ++j) {
+    vehicles.push_back(SampleVehicleAttributes(&rng));
+  }
+  const std::vector<float> matrix =
+      BuildPreferenceUtilityMatrix(riders, vehicles);
+  ASSERT_EQ(matrix.size(), 40u * 15u);
+  double mean = 0;
+  for (float m : matrix) {
+    EXPECT_GE(m, 0.0f);
+    EXPECT_LE(m, 1.0f);
+    mean += m;
+  }
+  mean /= matrix.size();
+  // Stated preferences are sparse, so most pairs score high but not all.
+  EXPECT_GT(mean, 0.5);
+  EXPECT_LT(mean, 1.0);
+  // The matrix must discriminate: some pair below 0.7.
+  EXPECT_TRUE(std::any_of(matrix.begin(), matrix.end(),
+                          [](float m) { return m < 0.7f; }));
+}
+
+TEST(PreferencesTest, ZeroWeightsFallBackToSatisfied) {
+  RiderPreferences p;
+  p.weights = {0, 0, 0, 0, 0, 0};
+  VehicleAttributes v;
+  EXPECT_DOUBLE_EQ(PreferenceUtility(p, v), 1.0);
+}
+
+}  // namespace
+}  // namespace urr

@@ -1,0 +1,105 @@
+#include "graph/pseudo_nodes.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "routing/dijkstra.h"
+
+namespace urr {
+namespace {
+
+TEST(PseudoNodesTest, ShortEdgesUntouched) {
+  auto g = RoadNetwork::Build(2, {{0, 1, 5.0}});
+  ASSERT_TRUE(g.ok());
+  auto split = SplitLongEdges(*g, 10.0);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->network.num_nodes(), 2);
+  EXPECT_EQ(split->network.num_edges(), 1);
+}
+
+TEST(PseudoNodesTest, LongEdgeSplitEvenly) {
+  // cost 25, d_max 10 -> n_e = floor(25/10) = 2 pseudo nodes, 3 segments
+  // of 25/3 each.
+  auto g = RoadNetwork::Build(2, {{0, 1, 25.0}}, {{0, 0}, {3, 0}});
+  ASSERT_TRUE(g.ok());
+  auto split = SplitLongEdges(*g, 10.0);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->network.num_nodes(), 4);
+  EXPECT_EQ(split->network.num_edges(), 3);
+  for (const Edge& e : split->network.EdgeList()) {
+    EXPECT_NEAR(e.cost, 25.0 / 3.0, 1e-9);
+  }
+  // Coordinates interpolate along the segment.
+  EXPECT_NEAR(split->network.coord(2).x, 1.0, 1e-9);
+  EXPECT_NEAR(split->network.coord(3).x, 2.0, 1e-9);
+}
+
+TEST(PseudoNodesTest, EdgeExactlyAtThresholdNotSplit) {
+  auto g = RoadNetwork::Build(2, {{0, 1, 10.0}});
+  ASSERT_TRUE(g.ok());
+  auto split = SplitLongEdges(*g, 10.0);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->network.num_nodes(), 2);
+}
+
+TEST(PseudoNodesTest, OriginMapsPseudoNodesBack) {
+  auto g = RoadNetwork::Build(2, {{0, 1, 25.0}});
+  ASSERT_TRUE(g.ok());
+  auto split = SplitLongEdges(*g, 10.0);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->original_num_nodes, 2);
+  EXPECT_EQ(split->origin[0], 0);
+  EXPECT_EQ(split->origin[1], 1);
+  EXPECT_EQ(split->origin[2], 0);  // pseudo nodes map to the edge tail
+  EXPECT_EQ(split->origin[3], 0);
+}
+
+TEST(PseudoNodesTest, RejectsBadDmax) {
+  auto g = RoadNetwork::Build(2, {{0, 1, 5.0}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(SplitLongEdges(*g, 0).ok());
+  EXPECT_FALSE(SplitLongEdges(*g, -3).ok());
+}
+
+TEST(PseudoNodesTest, ShortestDistancesPreserved) {
+  Rng rng(21);
+  GridCityOptions opt;
+  opt.width = 12;
+  opt.height = 12;
+  opt.arterial_fraction = 0.05;
+  auto g = GenerateGridCity(opt, &rng);
+  ASSERT_TRUE(g.ok());
+  auto split = SplitLongEdges(*g, opt.block_cost * 1.5);
+  ASSERT_TRUE(split.ok());
+  ASSERT_GT(split->network.num_nodes(), g->num_nodes());  // something split
+
+  DijkstraEngine before(*g);
+  DijkstraEngine after(split->network);
+  for (NodeId s = 0; s < g->num_nodes(); s += 17) {
+    for (NodeId t = 1; t < g->num_nodes(); t += 23) {
+      EXPECT_NEAR(before.Distance(s, t), after.Distance(s, t), 1e-6)
+          << "pair " << s << "->" << t;
+    }
+  }
+}
+
+TEST(PseudoNodesTest, AllEdgesBoundedAfterSplit) {
+  Rng rng(22);
+  GridCityOptions opt;
+  opt.width = 15;
+  opt.height = 15;
+  opt.arterial_fraction = 0.1;
+  auto g = GenerateGridCity(opt, &rng);
+  ASSERT_TRUE(g.ok());
+  const Cost d_max = opt.block_cost * 1.2;
+  auto split = SplitLongEdges(*g, d_max);
+  ASSERT_TRUE(split.ok());
+  // Every split segment is at most d_max (an edge of cost c > d_max becomes
+  // n_e+1 segments of c/(n_e+1) <= d_max since n_e = floor(c/d_max)).
+  for (const Edge& e : split->network.EdgeList()) {
+    EXPECT_LE(e.cost, d_max + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace urr

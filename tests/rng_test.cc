@@ -1,0 +1,115 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace urr {
+namespace {
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000000), b.UniformInt(0, 1000000));
+  }
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(1);
+  EXPECT_EQ(rng.UniformInt(3, 3), 3);
+}
+
+TEST(RngTest, UniformRealInRange) {
+  Rng rng(2);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.Uniform(2.0, 4.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 4.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 3.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(3);
+  int heads = 0;
+  for (int i = 0; i < 20000; ++i) heads += rng.Bernoulli(0.3);
+  EXPECT_NEAR(heads / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, PoissonMeanMatches) {
+  Rng rng(4);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += rng.Poisson(2.5);
+  EXPECT_NEAR(sum / 20000, 2.5, 0.1);
+}
+
+TEST(RngTest, PoissonZeroLambda) {
+  Rng rng(4);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+  EXPECT_EQ(rng.Poisson(-1.0), 0);
+}
+
+TEST(RngTest, ZipfReturnsInRangeAndSkewed) {
+  Rng rng(5);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) {
+    const size_t k = rng.Zipf(100, 1.2);
+    ASSERT_LT(k, 100u);
+    ++counts[k];
+  }
+  // Rank 0 must be sampled much more often than rank 50.
+  EXPECT_GT(counts[0], counts[50] * 3);
+}
+
+TEST(RngTest, DiscreteRespectsWeights) {
+  Rng rng(6);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40000; ++i) {
+    const size_t k = rng.Discrete(w);
+    ASSERT_LT(k, 3u);
+    ++counts[k];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[2] / static_cast<double>(counts[0]), 3.0, 0.3);
+}
+
+TEST(RngTest, DiscreteAllZeroReturnsSize) {
+  Rng rng(6);
+  std::vector<double> w = {0.0, 0.0};
+  EXPECT_EQ(rng.Discrete(w), 2u);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(7);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+TEST(RngTest, LogNormalMedian) {
+  Rng rng(8);
+  std::vector<double> xs(20001);
+  for (double& x : xs) x = rng.LogNormal(6.4, 0.75);
+  std::nth_element(xs.begin(), xs.begin() + 10000, xs.end());
+  // Median of LogNormal(mu, sigma) is exp(mu).
+  EXPECT_NEAR(xs[10000], std::exp(6.4), std::exp(6.4) * 0.1);
+}
+
+}  // namespace
+}  // namespace urr

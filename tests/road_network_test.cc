@@ -1,0 +1,123 @@
+#include "graph/road_network.h"
+
+#include <gtest/gtest.h>
+
+namespace urr {
+namespace {
+
+RoadNetwork Diamond() {
+  // 0 -> 1 -> 3, 0 -> 2 -> 3, plus 3 -> 0 back edge.
+  auto g = RoadNetwork::Build(4,
+                              {{0, 1, 1.0},
+                               {1, 3, 2.0},
+                               {0, 2, 2.5},
+                               {2, 3, 1.0},
+                               {3, 0, 10.0}},
+                              {{0, 0}, {1, 1}, {1, -1}, {2, 0}});
+  return *std::move(g);
+}
+
+TEST(RoadNetworkTest, BuildBasicCounts) {
+  RoadNetwork g = Diamond();
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_edges(), 5);
+  EXPECT_TRUE(g.has_coords());
+}
+
+TEST(RoadNetworkTest, OutNeighborsMatch) {
+  RoadNetwork g = Diamond();
+  auto heads = g.OutNeighbors(0);
+  auto costs = g.OutCosts(0);
+  ASSERT_EQ(heads.size(), 2u);
+  ASSERT_EQ(costs.size(), 2u);
+  // CSR preserves insertion order per tail.
+  EXPECT_EQ(heads[0], 1);
+  EXPECT_DOUBLE_EQ(costs[0], 1.0);
+  EXPECT_EQ(heads[1], 2);
+  EXPECT_EQ(g.OutDegree(0), 2);
+  EXPECT_EQ(g.OutDegree(3), 1);
+}
+
+TEST(RoadNetworkTest, InNeighborsAreReversed) {
+  RoadNetwork g = Diamond();
+  auto in = g.InNeighbors(3);
+  ASSERT_EQ(in.size(), 2u);
+  // Tails of edges into 3 are 1 and 2 (order by edge list).
+  EXPECT_TRUE((in[0] == 1 && in[1] == 2) || (in[0] == 2 && in[1] == 1));
+}
+
+TEST(RoadNetworkTest, EdgeCostPicksMinimumParallel) {
+  auto g = RoadNetwork::Build(2, {{0, 1, 5.0}, {0, 1, 3.0}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_DOUBLE_EQ(g->EdgeCost(0, 1), 3.0);
+  EXPECT_EQ(g->EdgeCost(1, 0), kInfiniteCost);
+}
+
+TEST(RoadNetworkTest, EdgeListRoundTrips) {
+  RoadNetwork g = Diamond();
+  auto edges = g.EdgeList();
+  EXPECT_EQ(edges.size(), 5u);
+  auto g2 = RoadNetwork::Build(4, edges);
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g2->num_edges(), 5);
+  EXPECT_DOUBLE_EQ(g2->EdgeCost(0, 1), 1.0);
+}
+
+TEST(RoadNetworkTest, RejectsOutOfRangeEndpoint) {
+  EXPECT_FALSE(RoadNetwork::Build(2, {{0, 2, 1.0}}).ok());
+  EXPECT_FALSE(RoadNetwork::Build(2, {{-1, 1, 1.0}}).ok());
+}
+
+TEST(RoadNetworkTest, RejectsBadCost) {
+  EXPECT_FALSE(RoadNetwork::Build(2, {{0, 1, -1.0}}).ok());
+  EXPECT_FALSE(RoadNetwork::Build(2, {{0, 1, kInfiniteCost}}).ok());
+}
+
+TEST(RoadNetworkTest, RejectsCoordSizeMismatch) {
+  EXPECT_FALSE(RoadNetwork::Build(2, {{0, 1, 1.0}}, {{0, 0}}).ok());
+}
+
+TEST(RoadNetworkTest, EmptyNetworkIsValid) {
+  auto g = RoadNetwork::Build(0, {});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 0);
+  RoadNetwork def;
+  EXPECT_EQ(def.num_nodes(), 0);
+}
+
+TEST(RoadNetworkTest, EuclideanLowerBound) {
+  RoadNetwork g = Diamond();
+  EXPECT_DOUBLE_EQ(g.EuclideanLowerBound(0, 3), 2.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance({0, 0}, {3, 4}), 5.0);
+}
+
+TEST(RoadNetworkTest, LargestWeaklyConnectedComponent) {
+  // Two components: {0,1,2} connected, {3,4} connected.
+  auto g = RoadNetwork::Build(
+      5, {{0, 1, 1}, {1, 2, 1}, {3, 4, 1}});
+  ASSERT_TRUE(g.ok());
+  auto lwcc = g->LargestWeaklyConnectedComponent();
+  EXPECT_EQ(lwcc.size(), 3u);
+  EXPECT_EQ(lwcc, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(RoadNetworkTest, WeakConnectivityIgnoresDirection) {
+  // 0 -> 1 <- 2: weakly connected despite no directed path 0 -> 2.
+  auto g = RoadNetwork::Build(3, {{0, 1, 1}, {2, 1, 1}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->LargestWeaklyConnectedComponent().size(), 3u);
+}
+
+TEST(RoadNetworkTest, MaxSpeedBoundsEdges) {
+  RoadNetwork g = Diamond();
+  const double speed = g.MaxSpeed();
+  // For every edge, euclid/cost <= MaxSpeed.
+  for (const Edge& e : g.EdgeList()) {
+    if (e.cost == 0) continue;
+    const double d = EuclideanDistance(g.coord(e.from), g.coord(e.to));
+    EXPECT_LE(d / e.cost, speed + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace urr

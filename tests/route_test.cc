@@ -1,0 +1,96 @@
+#include "sched/route.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "routing/distance_oracle.h"
+#include "sched/insertion.h"
+
+namespace urr {
+namespace {
+
+class RouteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(61);
+    GridCityOptions opt;
+    opt.width = 12;
+    opt.height = 12;
+    auto g = GenerateGridCity(opt, &rng);
+    ASSERT_TRUE(g.ok());
+    network_ = std::make_unique<RoadNetwork>(*std::move(g));
+    auto ch = ContractionHierarchy::Build(*network_);
+    ASSERT_TRUE(ch.ok());
+    ch_ = std::make_unique<ContractionHierarchy>(*std::move(ch));
+    query_ = std::make_unique<ChQuery>(*ch_);
+    oracle_ = std::make_unique<DijkstraOracle>(*network_);
+    rng_ = std::make_unique<Rng>(62);
+  }
+
+  NodeId RandomNode() {
+    return static_cast<NodeId>(rng_->UniformInt(0, network_->num_nodes() - 1));
+  }
+
+  std::unique_ptr<RoadNetwork> network_;
+  std::unique_ptr<ContractionHierarchy> ch_;
+  std::unique_ptr<ChQuery> query_;
+  std::unique_ptr<DijkstraOracle> oracle_;
+  std::unique_ptr<Rng> rng_;
+};
+
+TEST_F(RouteTest, EmptyScheduleHasTrivialRoute) {
+  TransferSequence seq(5, 0, 2, oracle_.get());
+  auto route = ExpandScheduleRoute(seq, query_.get());
+  ASSERT_TRUE(route.ok());
+  EXPECT_EQ(route->nodes, (std::vector<NodeId>{5}));
+  EXPECT_TRUE(route->stop_offsets.empty());
+  EXPECT_DOUBLE_EQ(route->total_cost, 0);
+}
+
+TEST_F(RouteTest, ExpandedRouteWalksOriginalEdgesAndMatchesCost) {
+  TransferSequence seq(RandomNode(), 0, 3, oracle_.get());
+  for (int r = 0; r < 3; ++r) {
+    RiderTrip trip{r, RandomNode(), RandomNode(), 1e7, 1e8};
+    if (trip.source == trip.destination) continue;
+    ASSERT_TRUE(ArrangeSingleRider(&seq, trip).ok());
+  }
+  ASSERT_GT(seq.num_stops(), 0);
+  auto route = ExpandScheduleRoute(seq, query_.get());
+  ASSERT_TRUE(route.ok()) << route.status();
+  // Every consecutive pair is an original edge.
+  Cost walked = 0;
+  for (size_t i = 0; i + 1 < route->nodes.size(); ++i) {
+    const Cost leg = network_->EdgeCost(route->nodes[i], route->nodes[i + 1]);
+    ASSERT_LT(leg, kInfiniteCost)
+        << route->nodes[i] << " -> " << route->nodes[i + 1];
+    walked += leg;
+  }
+  EXPECT_NEAR(walked, seq.TotalCost(), 1e-6);
+  EXPECT_NEAR(route->total_cost, seq.TotalCost(), 1e-6);
+  // Stop offsets point at the stop locations, in order.
+  ASSERT_EQ(route->stop_offsets.size(), static_cast<size_t>(seq.num_stops()));
+  for (int u = 0; u < seq.num_stops(); ++u) {
+    EXPECT_EQ(route->nodes[static_cast<size_t>(route->stop_offsets[
+                  static_cast<size_t>(u)])],
+              seq.stop(u).location);
+  }
+  // Offsets are non-decreasing.
+  for (size_t u = 1; u < route->stop_offsets.size(); ++u) {
+    EXPECT_LE(route->stop_offsets[u - 1], route->stop_offsets[u]);
+  }
+}
+
+TEST_F(RouteTest, ZeroLengthLegCollapses) {
+  TransferSequence seq(7, 0, 2, oracle_.get());
+  seq.InsertStop(0, {7, 0, StopType::kPickup, 1e6});  // pickup at the start
+  seq.InsertStop(1, {7, 0, StopType::kDropoff, 1e7});
+  auto route = ExpandScheduleRoute(seq, query_.get());
+  ASSERT_TRUE(route.ok());
+  EXPECT_EQ(route->nodes, (std::vector<NodeId>{7}));
+  EXPECT_EQ(route->stop_offsets, (std::vector<int>{0, 0}));
+  EXPECT_DOUBLE_EQ(route->total_cost, 0);
+}
+
+}  // namespace
+}  // namespace urr

@@ -1,0 +1,99 @@
+#include "exp/simulation.h"
+
+#include <gtest/gtest.h>
+
+namespace urr {
+namespace {
+
+std::unique_ptr<ExperimentWorld> SmallWorld(uint64_t seed = 42) {
+  ExperimentConfig cfg;
+  cfg.city_nodes = 1200;
+  cfg.num_social_users = 800;
+  cfg.num_trip_records = 1500;
+  cfg.num_riders = 60;
+  cfg.num_vehicles = 15;
+  cfg.seed = seed;
+  cfg.gbs.k = 3;
+  cfg.gbs.d_max = 250;
+  auto world = BuildWorld(cfg);
+  EXPECT_TRUE(world.ok()) << world.status();
+  return *std::move(world);
+}
+
+TEST(SimulationTest, RunsAllFramesAndAggregates) {
+  auto world = SmallWorld();
+  SimulationConfig sim;
+  sim.num_frames = 3;
+  sim.riders_per_frame = 40;
+  auto report = RunRollingHorizon(world.get(), sim);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->frames.size(), 3u);
+  int arrived = 0, served = 0;
+  for (const FrameReport& f : report->frames) {
+    EXPECT_GE(f.arrived, 1);
+    EXPECT_LE(f.served, f.arrived);
+    EXPECT_GE(f.utility, 0);
+    arrived += f.arrived;
+    served += f.served;
+  }
+  EXPECT_EQ(report->total_arrived, arrived);
+  EXPECT_EQ(report->total_served, served);
+  EXPECT_GT(report->ServiceRate(), 0);
+  EXPECT_LE(report->ServiceRate(), 1.0);
+}
+
+TEST(SimulationTest, FrameStartsAdvance) {
+  auto world = SmallWorld();
+  SimulationConfig sim;
+  sim.num_frames = 2;
+  sim.riders_per_frame = 30;
+  sim.frame_minutes = 20;
+  auto report = RunRollingHorizon(world.get(), sim);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->frames[0].frame_start, 0);
+  EXPECT_DOUBLE_EQ(report->frames[1].frame_start, 1200);
+}
+
+TEST(SimulationTest, WorksWithEveryApproach) {
+  auto world = SmallWorld(7);
+  for (Approach a : AllApproaches()) {
+    SimulationConfig sim;
+    sim.num_frames = 2;
+    sim.riders_per_frame = 25;
+    sim.approach = a;
+    auto report = RunRollingHorizon(world.get(), sim);
+    ASSERT_TRUE(report.ok()) << ApproachName(a) << ": " << report.status();
+    EXPECT_GT(report->total_served, 0) << ApproachName(a);
+  }
+}
+
+TEST(SimulationTest, RejectsBadConfig) {
+  auto world = SmallWorld();
+  SimulationConfig sim;
+  sim.num_frames = 0;
+  EXPECT_FALSE(RunRollingHorizon(world.get(), sim).ok());
+  sim.num_frames = 1;
+  sim.riders_per_frame = 0;
+  EXPECT_FALSE(RunRollingHorizon(world.get(), sim).ok());
+}
+
+TEST(SimulationTest, ServiceKeepsUpAcrossFrames) {
+  // The fleet relocates with demand, so later frames should not collapse
+  // (service rate of the last frame within a reasonable band of the first).
+  auto world = SmallWorld(11);
+  SimulationConfig sim;
+  sim.num_frames = 4;
+  sim.riders_per_frame = 40;
+  auto report = RunRollingHorizon(world.get(), sim);
+  ASSERT_TRUE(report.ok());
+  const FrameReport& first = report->frames.front();
+  const FrameReport& last = report->frames.back();
+  ASSERT_GT(first.arrived, 0);
+  ASSERT_GT(last.arrived, 0);
+  const double r0 = static_cast<double>(first.served) / first.arrived;
+  const double r3 = static_cast<double>(last.served) / last.arrived;
+  EXPECT_GT(r3, r0 * 0.5);
+}
+
+}  // namespace
+}  // namespace urr

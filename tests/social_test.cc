@@ -1,0 +1,134 @@
+#include "social/social_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "social/generators.h"
+
+namespace urr {
+namespace {
+
+SocialGraph Triangle() {
+  // 0-1, 1-2, 0-2 plus isolated 3.
+  return *SocialGraph::Build(4, {{0, 1}, {1, 2}, {0, 2}});
+}
+
+TEST(SocialGraphTest, BuildCountsAndDegrees) {
+  SocialGraph g = Triangle();
+  EXPECT_EQ(g.num_users(), 4);
+  EXPECT_EQ(g.num_friendships(), 3);
+  EXPECT_EQ(g.Degree(0), 2);
+  EXPECT_EQ(g.Degree(3), 0);
+}
+
+TEST(SocialGraphTest, FriendsAreSorted) {
+  auto g = SocialGraph::Build(5, {{4, 0}, {2, 0}, {0, 3}});
+  ASSERT_TRUE(g.ok());
+  auto f = g->Friends(0);
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], 2);
+  EXPECT_EQ(f[1], 3);
+  EXPECT_EQ(f[2], 4);
+}
+
+TEST(SocialGraphTest, DuplicateEdgesCollapse) {
+  auto g = SocialGraph::Build(3, {{0, 1}, {1, 0}, {0, 1}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_friendships(), 1);
+  EXPECT_EQ(g->Degree(0), 1);
+}
+
+TEST(SocialGraphTest, RejectsSelfLoopsAndRange) {
+  EXPECT_FALSE(SocialGraph::Build(2, {{0, 0}}).ok());
+  EXPECT_FALSE(SocialGraph::Build(2, {{0, 2}}).ok());
+  EXPECT_FALSE(SocialGraph::Build(-1, {}).ok());
+}
+
+TEST(SocialGraphTest, JaccardTriangle) {
+  SocialGraph g = Triangle();
+  // Γ(0) = {1,2}, Γ(1) = {0,2}: intersection {2}, union {0,1,2}.
+  EXPECT_DOUBLE_EQ(g.Jaccard(0, 1), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(g.Jaccard(1, 0), g.Jaccard(0, 1));  // symmetric
+}
+
+TEST(SocialGraphTest, JaccardDisjointAndEmpty) {
+  auto g = SocialGraph::Build(5, {{0, 1}, {2, 3}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_DOUBLE_EQ(g->Jaccard(0, 2), 0.0);   // disjoint friend sets
+  EXPECT_DOUBLE_EQ(g->Jaccard(0, 4), 0.0);   // one empty
+  EXPECT_DOUBLE_EQ(g->Jaccard(4, 4), 0.0);   // both empty -> defined as 0
+}
+
+TEST(SocialGraphTest, JaccardIdenticalSets) {
+  // 0 and 1 both friend exactly {2, 3}.
+  auto g = SocialGraph::Build(4, {{0, 2}, {0, 3}, {1, 2}, {1, 3}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_DOUBLE_EQ(g->Jaccard(0, 1), 1.0);
+}
+
+TEST(SocialGraphTest, JaccardBoundedByOne) {
+  Rng rng(81);
+  SocialGenOptions opt;
+  opt.num_users = 300;
+  auto g = GeneratePowerLawFriends(opt, &rng);
+  ASSERT_TRUE(g.ok());
+  for (int trial = 0; trial < 500; ++trial) {
+    const UserId a = static_cast<UserId>(rng.UniformInt(0, 299));
+    const UserId b = static_cast<UserId>(rng.UniformInt(0, 299));
+    const double s = g->Jaccard(a, b);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(SocialGeneratorTest, AverageDegreeApproximatesTarget) {
+  Rng rng(82);
+  SocialGenOptions opt;
+  opt.num_users = 4000;
+  opt.average_degree = 9.7;
+  auto g = GeneratePowerLawFriends(opt, &rng);
+  ASSERT_TRUE(g.ok());
+  const double avg = 2.0 * g->num_friendships() / g->num_users();
+  // Duplicate collapses and self-pair rejections lose some edges.
+  EXPECT_GT(avg, 5.0);
+  EXPECT_LT(avg, 12.0);
+}
+
+TEST(SocialGeneratorTest, DegreeDistributionIsSkewed) {
+  Rng rng(83);
+  SocialGenOptions opt;
+  opt.num_users = 3000;
+  auto g = GeneratePowerLawFriends(opt, &rng);
+  ASSERT_TRUE(g.ok());
+  int max_degree = 0;
+  int64_t total = 0;
+  for (UserId u = 0; u < g->num_users(); ++u) {
+    max_degree = std::max(max_degree, g->Degree(u));
+    total += g->Degree(u);
+  }
+  const double avg = static_cast<double>(total) / g->num_users();
+  // Scale-free-ish: the hub's degree is far above the mean.
+  EXPECT_GT(max_degree, avg * 5);
+}
+
+TEST(SocialGeneratorTest, RejectsBadOptions) {
+  Rng rng(84);
+  SocialGenOptions opt;
+  opt.exponent = 1.0;
+  EXPECT_FALSE(GeneratePowerLawFriends(opt, &rng).ok());
+  opt.exponent = 2.4;
+  opt.num_users = -1;
+  EXPECT_FALSE(GeneratePowerLawFriends(opt, &rng).ok());
+}
+
+TEST(SocialGeneratorTest, EmptyGraphIsFine) {
+  Rng rng(85);
+  SocialGenOptions opt;
+  opt.num_users = 0;
+  auto g = GeneratePowerLawFriends(opt, &rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_users(), 0);
+}
+
+}  // namespace
+}  // namespace urr

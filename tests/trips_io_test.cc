@@ -1,0 +1,102 @@
+#include "trips/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "trips/trip_generator.h"
+
+namespace urr {
+namespace {
+
+TEST(TripsIoTest, NodeCsvRoundTrip) {
+  TripRecords records = {{0, 3, 12.5, 600}, {2, 1, 0, 90.25}};
+  CsvTable table = TripRecordsToCsv(records);
+  EXPECT_EQ(table.rows.size(), 2u);
+  auto back = TripRecordsFromCsv(table, /*num_nodes=*/4);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back->size(), 2u);
+  EXPECT_EQ((*back)[0].pickup_node, 0);
+  EXPECT_EQ((*back)[0].dropoff_node, 3);
+  EXPECT_NEAR((*back)[0].pickup_time, 12.5, 1e-9);
+  EXPECT_NEAR((*back)[1].duration, 90.25, 1e-9);
+}
+
+TEST(TripsIoTest, RejectsMissingColumns) {
+  CsvTable table;
+  table.header = {"pickup_node", "dropoff_node"};
+  EXPECT_FALSE(TripRecordsFromCsv(table, 4).ok());
+}
+
+TEST(TripsIoTest, RejectsBadValues) {
+  CsvTable table;
+  table.header = {"pickup_node", "dropoff_node", "pickup_time", "duration"};
+  table.rows = {{"0", "9", "0", "10"}};
+  EXPECT_EQ(TripRecordsFromCsv(table, 4).status().code(),
+            StatusCode::kOutOfRange);
+  table.rows = {{"0", "1", "-5", "10"}};
+  EXPECT_FALSE(TripRecordsFromCsv(table, 4).ok());
+  table.rows = {{"x", "1", "0", "10"}};
+  EXPECT_FALSE(TripRecordsFromCsv(table, 4).ok());
+}
+
+TEST(TripsIoTest, ExtraColumnsIgnored) {
+  CsvTable table;
+  table.header = {"vendor", "pickup_node", "dropoff_node", "pickup_time",
+                  "duration"};
+  table.rows = {{"acme", "1", "2", "3", "4"}};
+  auto records = TripRecordsFromCsv(table, 4);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ((*records)[0].pickup_node, 1);
+}
+
+TEST(TripsIoTest, CoordCsvSnapsToNearestNode) {
+  Rng rng(1);
+  GridCityOptions opt;
+  opt.width = 8;
+  opt.height = 8;
+  auto g = GenerateGridCity(opt, &rng);
+  ASSERT_TRUE(g.ok());
+  auto index = GridIndex::Build(*g);
+  ASSERT_TRUE(index.ok());
+  const Coord a = g->coord(3);
+  const Coord b = g->coord(20);
+  CsvTable table;
+  table.header = {"pickup_x", "pickup_y", "dropoff_x", "dropoff_y",
+                  "pickup_time", "duration"};
+  table.rows = {{std::to_string(a.x + 0.5), std::to_string(a.y - 0.5),
+                 std::to_string(b.x), std::to_string(b.y), "5", "300"}};
+  auto records = TripRecordsFromCoordCsv(table, *index);
+  ASSERT_TRUE(records.ok()) << records.status();
+  EXPECT_EQ((*records)[0].pickup_node, 3);
+  EXPECT_EQ((*records)[0].dropoff_node, 20);
+}
+
+TEST(TripsIoTest, FileRoundTripOfGeneratedWorkload) {
+  Rng rng(2);
+  GridCityOptions opt;
+  opt.width = 15;
+  opt.height = 15;
+  auto g = GenerateGridCity(opt, &rng);
+  ASSERT_TRUE(g.ok());
+  TripGenOptions topt;
+  topt.num_trips = 120;
+  auto records = GenerateTrips(*g, topt, &rng);
+  ASSERT_TRUE(records.ok());
+  const std::string path = ::testing::TempDir() + "/urr_trips.csv";
+  ASSERT_TRUE(WriteTripRecords(path, *records).ok());
+  auto back = ReadTripRecords(path, g->num_nodes());
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), records->size());
+  for (size_t i = 0; i < back->size(); ++i) {
+    EXPECT_EQ((*back)[i].pickup_node, (*records)[i].pickup_node);
+    EXPECT_EQ((*back)[i].dropoff_node, (*records)[i].dropoff_node);
+    EXPECT_NEAR((*back)[i].duration, (*records)[i].duration, 1e-3);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace urr

@@ -1,0 +1,91 @@
+// Compile-and-touch test for the umbrella header: everything a downstream
+// user reaches through src/urr/urr.h must be visible and usable together.
+#include "urr/urr.h"
+
+#include <gtest/gtest.h>
+
+namespace urr {
+namespace {
+
+TEST(UmbrellaTest, PublicSurfaceIsComplete) {
+  // Graph + routing.
+  auto network = PaperFigure1Network();
+  ASSERT_TRUE(network.ok());
+  DijkstraOracle oracle(*network);
+  EXPECT_LT(oracle.Distance(0, 7), kInfiniteCost);
+  auto ch = ContractionHierarchy::Build(*network);
+  ASSERT_TRUE(ch.ok());
+  ChQuery query(*ch);
+  std::vector<NodeId> path;
+  EXPECT_LT(query.Path(0, 7, &path), kInfiniteCost);
+  EXPECT_FALSE(path.empty());
+
+  // DIMACS round trip through the umbrella.
+  auto reparsed = ParseDimacs(ToDimacsGr(*network));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->num_nodes(), network->num_nodes());
+
+  // Pseudo nodes + cover + areas.
+  auto split = SplitLongEdges(*network, 1.5);
+  ASSERT_TRUE(split.ok());
+  Rng rng(5);
+  KspcOptions kspc;
+  kspc.k = 2;
+  auto cover = KShortestPathCover(split->network, kspc, &rng);
+  ASSERT_TRUE(cover.ok());
+
+  // Social.
+  auto social = SocialGraph::Build(4, {{0, 1}, {1, 2}});
+  ASSERT_TRUE(social.ok());
+  EXPECT_GE(social->Jaccard(0, 2), 0);
+
+  // Instance + utility + solvers + metrics, end to end.
+  UrrInstance instance;
+  instance.network = &*network;
+  instance.social = &*social;
+  instance.riders = {{0, 7, 10, 30, 0}, {4, 6, 12, 40, 1}};
+  instance.vehicles = {{1, 2}, {5, 2}};
+  instance.vehicle_utility = {0.5f, 0.5f, 0.5f, 0.5f};
+  UtilityModel model(&instance, UtilityParams{0.33, 0.33});
+  VehicleIndex index(*network, {1, 5});
+  SolverContext ctx{&oracle, &model, &index, &rng, 0};
+
+  UrrSolution cf = SolveCostFirst(instance, &ctx);
+  UrrSolution eg = SolveEfficientGreedy(instance, &ctx);
+  UrrSolution ba = SolveBilateral(instance, &ctx);
+  auto opt = SolveOptimal(instance, &ctx);
+  ASSERT_TRUE(opt.ok());
+  for (const UrrSolution* sol : {&cf, &eg, &ba, &*opt}) {
+    EXPECT_TRUE(sol->Validate(instance).ok());
+  }
+  EXPECT_GE(opt->TotalUtility(model) + 1e-9, ba.TotalUtility(model));
+  const SolutionMetrics metrics = ComputeMetrics(instance, model, ba);
+  EXPECT_LE(metrics.total_utility,
+            UpperBoundUtility(instance, model, &index) + 1e-9);
+
+  // Scheduling structures reachable too.
+  TransferSequence seq(1, 0, 2, &oracle);
+  auto plan = ArrangeSingleRider(&seq, instance.Trip(0));
+  EXPECT_TRUE(plan.ok());
+  auto reorder = FindBestInsertionWithReordering(seq, instance.Trip(1));
+  KineticTree tree(1, 0, 2, &oracle);
+  EXPECT_TRUE(tree.Insert(instance.Trip(0)).ok());
+  auto route = ExpandScheduleRoute(seq, &query);
+  EXPECT_TRUE(route.ok());
+
+  // Online dispatcher.
+  OnlineDispatcher online(&instance, &ctx, OnlineObjective::kMinCostIncrease);
+  online.DispatchAll({0, 1});
+  EXPECT_TRUE(online.solution().Validate(instance).ok());
+  (void)reorder;
+
+  // Cost model.
+  GbsCostModel cost_model;
+  cost_model.s = 1000;
+  cost_model.m = 100;
+  cost_model.n = 10;
+  EXPECT_GT(cost_model.BestEta(), 0);
+}
+
+}  // namespace
+}  // namespace urr

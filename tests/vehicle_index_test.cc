@@ -1,0 +1,107 @@
+#include "spatial/vehicle_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+
+namespace urr {
+namespace {
+
+TEST(VehicleIndexTest, FindsVehiclesWithinCost) {
+  // Line 0 -1- 1 -2- 2 -3- 3, two-way.
+  auto g = RoadNetwork::Build(4, {{0, 1, 1}, {1, 0, 1}, {1, 2, 2}, {2, 1, 2},
+                                  {2, 3, 3}, {3, 2, 3}});
+  ASSERT_TRUE(g.ok());
+  VehicleIndex index(*g, {0, 2, 3});  // vehicles 0,1,2
+  auto got = index.VehiclesWithinCost(/*target=*/1, /*radius=*/2.5);
+  std::sort(got.begin(), got.end(),
+            [](const auto& a, const auto& b) { return a.vehicle < b.vehicle; });
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].vehicle, 0);
+  EXPECT_DOUBLE_EQ(got[0].distance, 1);
+  EXPECT_EQ(got[1].vehicle, 1);
+  EXPECT_DOUBLE_EQ(got[1].distance, 2);
+}
+
+TEST(VehicleIndexTest, RespectsEdgeDirection) {
+  // 0 -> 1 only: vehicle at 1 cannot reach 0.
+  auto g = RoadNetwork::Build(2, {{0, 1, 1}});
+  ASSERT_TRUE(g.ok());
+  VehicleIndex index(*g, {1});
+  EXPECT_TRUE(index.VehiclesWithinCost(0, 100).empty());
+  auto got = index.VehiclesWithinCost(1, 100);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_DOUBLE_EQ(got[0].distance, 0);
+}
+
+TEST(VehicleIndexTest, MultipleVehiclesSameNode) {
+  auto g = RoadNetwork::Build(2, {{0, 1, 1}, {1, 0, 1}});
+  ASSERT_TRUE(g.ok());
+  VehicleIndex index(*g, {0, 0, 1});
+  auto got = index.VehiclesWithinCost(1, 1.0);
+  EXPECT_EQ(got.size(), 3u);
+}
+
+TEST(VehicleIndexTest, UpdateMovesVehicle) {
+  auto g = RoadNetwork::Build(3, {{0, 1, 1}, {1, 0, 1}, {1, 2, 1}, {2, 1, 1}});
+  ASSERT_TRUE(g.ok());
+  VehicleIndex index(*g, {0});
+  EXPECT_EQ(index.location(0), 0);
+  index.Update(0, 2);
+  EXPECT_EQ(index.location(0), 2);
+  auto near0 = index.VehiclesWithinCost(0, 1.0);
+  EXPECT_TRUE(near0.empty());
+  auto near2 = index.VehiclesWithinCost(2, 0.5);
+  ASSERT_EQ(near2.size(), 1u);
+  EXPECT_EQ(near2[0].vehicle, 0);
+}
+
+TEST(VehicleIndexTest, MatchesBruteForceOnRandomCity) {
+  Rng rng(71);
+  GridCityOptions opt;
+  opt.width = 12;
+  opt.height = 12;
+  auto g = GenerateGridCity(opt, &rng);
+  ASSERT_TRUE(g.ok());
+  std::vector<NodeId> locations;
+  for (int j = 0; j < 25; ++j) {
+    locations.push_back(
+        static_cast<NodeId>(rng.UniformInt(0, g->num_nodes() - 1)));
+  }
+  VehicleIndex index(*g, locations);
+  DijkstraEngine engine(*g);
+  for (int trial = 0; trial < 20; ++trial) {
+    const NodeId target =
+        static_cast<NodeId>(rng.UniformInt(0, g->num_nodes() - 1));
+    const Cost radius = rng.Uniform(0, 600);
+    auto got = index.VehiclesWithinCost(target, radius);
+    std::vector<int> got_ids;
+    for (const auto& v : got) {
+      got_ids.push_back(v.vehicle);
+      // The reported distance must be the exact network distance.
+      EXPECT_NEAR(v.distance, engine.Distance(locations[static_cast<size_t>(
+                                  v.vehicle)], target), 1e-9);
+    }
+    std::sort(got_ids.begin(), got_ids.end());
+    std::vector<int> want_ids;
+    for (size_t j = 0; j < locations.size(); ++j) {
+      if (engine.Distance(locations[j], target) <= radius) {
+        want_ids.push_back(static_cast<int>(j));
+      }
+    }
+    EXPECT_EQ(got_ids, want_ids);
+  }
+}
+
+TEST(VehicleIndexTest, NumVehicles) {
+  auto g = RoadNetwork::Build(1, {});
+  ASSERT_TRUE(g.ok());
+  VehicleIndex index(*g, {0, 0});
+  EXPECT_EQ(index.num_vehicles(), 2);
+}
+
+}  // namespace
+}  // namespace urr
