@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_groupk"
+  "../bench/bench_ablation_groupk.pdb"
+  "CMakeFiles/bench_ablation_groupk.dir/bench_ablation_groupk.cc.o"
+  "CMakeFiles/bench_ablation_groupk.dir/bench_ablation_groupk.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_groupk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

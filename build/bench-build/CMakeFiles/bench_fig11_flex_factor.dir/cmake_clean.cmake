@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_flex_factor"
+  "../bench/bench_fig11_flex_factor.pdb"
+  "CMakeFiles/bench_fig11_flex_factor.dir/bench_fig11_flex_factor.cc.o"
+  "CMakeFiles/bench_fig11_flex_factor.dir/bench_fig11_flex_factor.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_flex_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_riders"
+  "../bench/bench_fig12_riders.pdb"
+  "CMakeFiles/bench_fig12_riders.dir/bench_fig12_riders.cc.o"
+  "CMakeFiles/bench_fig12_riders.dir/bench_fig12_riders.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_riders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_vehicles"
+  "../bench/bench_fig13_vehicles.pdb"
+  "CMakeFiles/bench_fig13_vehicles.dir/bench_fig13_vehicles.cc.o"
+  "CMakeFiles/bench_fig13_vehicles.dir/bench_fig13_vehicles.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_vehicles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

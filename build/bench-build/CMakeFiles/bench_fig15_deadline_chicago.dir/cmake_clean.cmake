@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_deadline_chicago"
+  "../bench/bench_fig15_deadline_chicago.pdb"
+  "CMakeFiles/bench_fig15_deadline_chicago.dir/bench_fig15_deadline_chicago.cc.o"
+  "CMakeFiles/bench_fig15_deadline_chicago.dir/bench_fig15_deadline_chicago.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_deadline_chicago.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_trip_distributions"
+  "../bench/bench_fig7_trip_distributions.pdb"
+  "CMakeFiles/bench_fig7_trip_distributions.dir/bench_fig7_trip_distributions.cc.o"
+  "CMakeFiles/bench_fig7_trip_distributions.dir/bench_fig7_trip_distributions.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_trip_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

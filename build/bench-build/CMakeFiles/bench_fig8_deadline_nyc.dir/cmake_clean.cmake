@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_deadline_nyc"
+  "../bench/bench_fig8_deadline_nyc.pdb"
+  "CMakeFiles/bench_fig8_deadline_nyc.dir/bench_fig8_deadline_nyc.cc.o"
+  "CMakeFiles/bench_fig8_deadline_nyc.dir/bench_fig8_deadline_nyc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_deadline_nyc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_small_opt"
+  "../bench/bench_table4_small_opt.pdb"
+  "CMakeFiles/bench_table4_small_opt.dir/bench_table4_small_opt.cc.o"
+  "CMakeFiles/bench_table4_small_opt.dir/bench_table4_small_opt.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_small_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/city_dispatch.dir/city_dispatch.cpp.o"
+  "CMakeFiles/city_dispatch.dir/city_dispatch.cpp.o.d"
+  "city_dispatch"
+  "city_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/city_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grouped_dispatch.dir/grouped_dispatch.cpp.o"
+  "CMakeFiles/grouped_dispatch.dir/grouped_dispatch.cpp.o.d"
+  "grouped_dispatch"
+  "grouped_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grouped_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_matching.dir/social_matching.cpp.o"
+  "CMakeFiles/social_matching.dir/social_matching.cpp.o.d"
+  "social_matching"
+  "social_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urr_common.dir/common/csv.cc.o"
+  "CMakeFiles/urr_common.dir/common/csv.cc.o.d"
+  "CMakeFiles/urr_common.dir/common/env.cc.o"
+  "CMakeFiles/urr_common.dir/common/env.cc.o.d"
+  "CMakeFiles/urr_common.dir/common/logging.cc.o"
+  "CMakeFiles/urr_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/urr_common.dir/common/status.cc.o"
+  "CMakeFiles/urr_common.dir/common/status.cc.o.d"
+  "CMakeFiles/urr_common.dir/common/table.cc.o"
+  "CMakeFiles/urr_common.dir/common/table.cc.o.d"
+  "liburr_common.a"
+  "liburr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/urr/bilateral.cc" "src/CMakeFiles/urr_core.dir/urr/bilateral.cc.o" "gcc" "src/CMakeFiles/urr_core.dir/urr/bilateral.cc.o.d"
+  "/root/repo/src/urr/cost_first.cc" "src/CMakeFiles/urr_core.dir/urr/cost_first.cc.o" "gcc" "src/CMakeFiles/urr_core.dir/urr/cost_first.cc.o.d"
+  "/root/repo/src/urr/cost_model.cc" "src/CMakeFiles/urr_core.dir/urr/cost_model.cc.o" "gcc" "src/CMakeFiles/urr_core.dir/urr/cost_model.cc.o.d"
+  "/root/repo/src/urr/gbs.cc" "src/CMakeFiles/urr_core.dir/urr/gbs.cc.o" "gcc" "src/CMakeFiles/urr_core.dir/urr/gbs.cc.o.d"
+  "/root/repo/src/urr/greedy.cc" "src/CMakeFiles/urr_core.dir/urr/greedy.cc.o" "gcc" "src/CMakeFiles/urr_core.dir/urr/greedy.cc.o.d"
+  "/root/repo/src/urr/metrics.cc" "src/CMakeFiles/urr_core.dir/urr/metrics.cc.o" "gcc" "src/CMakeFiles/urr_core.dir/urr/metrics.cc.o.d"
+  "/root/repo/src/urr/online.cc" "src/CMakeFiles/urr_core.dir/urr/online.cc.o" "gcc" "src/CMakeFiles/urr_core.dir/urr/online.cc.o.d"
+  "/root/repo/src/urr/optimal.cc" "src/CMakeFiles/urr_core.dir/urr/optimal.cc.o" "gcc" "src/CMakeFiles/urr_core.dir/urr/optimal.cc.o.d"
+  "/root/repo/src/urr/solution.cc" "src/CMakeFiles/urr_core.dir/urr/solution.cc.o" "gcc" "src/CMakeFiles/urr_core.dir/urr/solution.cc.o.d"
+  "/root/repo/src/urr/utility.cc" "src/CMakeFiles/urr_core.dir/urr/utility.cc.o" "gcc" "src/CMakeFiles/urr_core.dir/urr/utility.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/urr_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/urr_social.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/urr_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/urr_cover.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/urr_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/urr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/urr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urr_core.dir/urr/bilateral.cc.o"
+  "CMakeFiles/urr_core.dir/urr/bilateral.cc.o.d"
+  "CMakeFiles/urr_core.dir/urr/cost_first.cc.o"
+  "CMakeFiles/urr_core.dir/urr/cost_first.cc.o.d"
+  "CMakeFiles/urr_core.dir/urr/cost_model.cc.o"
+  "CMakeFiles/urr_core.dir/urr/cost_model.cc.o.d"
+  "CMakeFiles/urr_core.dir/urr/gbs.cc.o"
+  "CMakeFiles/urr_core.dir/urr/gbs.cc.o.d"
+  "CMakeFiles/urr_core.dir/urr/greedy.cc.o"
+  "CMakeFiles/urr_core.dir/urr/greedy.cc.o.d"
+  "CMakeFiles/urr_core.dir/urr/metrics.cc.o"
+  "CMakeFiles/urr_core.dir/urr/metrics.cc.o.d"
+  "CMakeFiles/urr_core.dir/urr/online.cc.o"
+  "CMakeFiles/urr_core.dir/urr/online.cc.o.d"
+  "CMakeFiles/urr_core.dir/urr/optimal.cc.o"
+  "CMakeFiles/urr_core.dir/urr/optimal.cc.o.d"
+  "CMakeFiles/urr_core.dir/urr/solution.cc.o"
+  "CMakeFiles/urr_core.dir/urr/solution.cc.o.d"
+  "CMakeFiles/urr_core.dir/urr/utility.cc.o"
+  "CMakeFiles/urr_core.dir/urr/utility.cc.o.d"
+  "liburr_core.a"
+  "liburr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

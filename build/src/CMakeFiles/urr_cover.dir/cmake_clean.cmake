@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urr_cover.dir/cover/areas.cc.o"
+  "CMakeFiles/urr_cover.dir/cover/areas.cc.o.d"
+  "CMakeFiles/urr_cover.dir/cover/kspc.cc.o"
+  "CMakeFiles/urr_cover.dir/cover/kspc.cc.o.d"
+  "liburr_cover.a"
+  "liburr_cover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urr_cover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urr_exp.dir/exp/harness.cc.o"
+  "CMakeFiles/urr_exp.dir/exp/harness.cc.o.d"
+  "CMakeFiles/urr_exp.dir/exp/simulation.cc.o"
+  "CMakeFiles/urr_exp.dir/exp/simulation.cc.o.d"
+  "CMakeFiles/urr_exp.dir/exp/sweep.cc.o"
+  "CMakeFiles/urr_exp.dir/exp/sweep.cc.o.d"
+  "liburr_exp.a"
+  "liburr_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urr_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/dimacs.cc" "src/CMakeFiles/urr_graph.dir/graph/dimacs.cc.o" "gcc" "src/CMakeFiles/urr_graph.dir/graph/dimacs.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/CMakeFiles/urr_graph.dir/graph/generators.cc.o" "gcc" "src/CMakeFiles/urr_graph.dir/graph/generators.cc.o.d"
+  "/root/repo/src/graph/pseudo_nodes.cc" "src/CMakeFiles/urr_graph.dir/graph/pseudo_nodes.cc.o" "gcc" "src/CMakeFiles/urr_graph.dir/graph/pseudo_nodes.cc.o.d"
+  "/root/repo/src/graph/road_network.cc" "src/CMakeFiles/urr_graph.dir/graph/road_network.cc.o" "gcc" "src/CMakeFiles/urr_graph.dir/graph/road_network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/urr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

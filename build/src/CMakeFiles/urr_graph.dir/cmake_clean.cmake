@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urr_graph.dir/graph/dimacs.cc.o"
+  "CMakeFiles/urr_graph.dir/graph/dimacs.cc.o.d"
+  "CMakeFiles/urr_graph.dir/graph/generators.cc.o"
+  "CMakeFiles/urr_graph.dir/graph/generators.cc.o.d"
+  "CMakeFiles/urr_graph.dir/graph/pseudo_nodes.cc.o"
+  "CMakeFiles/urr_graph.dir/graph/pseudo_nodes.cc.o.d"
+  "CMakeFiles/urr_graph.dir/graph/road_network.cc.o"
+  "CMakeFiles/urr_graph.dir/graph/road_network.cc.o.d"
+  "liburr_graph.a"
+  "liburr_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urr_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

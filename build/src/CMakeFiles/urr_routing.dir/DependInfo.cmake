@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/alt.cc" "src/CMakeFiles/urr_routing.dir/routing/alt.cc.o" "gcc" "src/CMakeFiles/urr_routing.dir/routing/alt.cc.o.d"
+  "/root/repo/src/routing/bidirectional.cc" "src/CMakeFiles/urr_routing.dir/routing/bidirectional.cc.o" "gcc" "src/CMakeFiles/urr_routing.dir/routing/bidirectional.cc.o.d"
+  "/root/repo/src/routing/contraction_hierarchy.cc" "src/CMakeFiles/urr_routing.dir/routing/contraction_hierarchy.cc.o" "gcc" "src/CMakeFiles/urr_routing.dir/routing/contraction_hierarchy.cc.o.d"
+  "/root/repo/src/routing/dijkstra.cc" "src/CMakeFiles/urr_routing.dir/routing/dijkstra.cc.o" "gcc" "src/CMakeFiles/urr_routing.dir/routing/dijkstra.cc.o.d"
+  "/root/repo/src/routing/distance_oracle.cc" "src/CMakeFiles/urr_routing.dir/routing/distance_oracle.cc.o" "gcc" "src/CMakeFiles/urr_routing.dir/routing/distance_oracle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/urr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/urr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

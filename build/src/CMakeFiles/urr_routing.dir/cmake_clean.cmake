@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urr_routing.dir/routing/alt.cc.o"
+  "CMakeFiles/urr_routing.dir/routing/alt.cc.o.d"
+  "CMakeFiles/urr_routing.dir/routing/bidirectional.cc.o"
+  "CMakeFiles/urr_routing.dir/routing/bidirectional.cc.o.d"
+  "CMakeFiles/urr_routing.dir/routing/contraction_hierarchy.cc.o"
+  "CMakeFiles/urr_routing.dir/routing/contraction_hierarchy.cc.o.d"
+  "CMakeFiles/urr_routing.dir/routing/dijkstra.cc.o"
+  "CMakeFiles/urr_routing.dir/routing/dijkstra.cc.o.d"
+  "CMakeFiles/urr_routing.dir/routing/distance_oracle.cc.o"
+  "CMakeFiles/urr_routing.dir/routing/distance_oracle.cc.o.d"
+  "liburr_routing.a"
+  "liburr_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urr_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/insertion.cc" "src/CMakeFiles/urr_sched.dir/sched/insertion.cc.o" "gcc" "src/CMakeFiles/urr_sched.dir/sched/insertion.cc.o.d"
+  "/root/repo/src/sched/kinetic_tree.cc" "src/CMakeFiles/urr_sched.dir/sched/kinetic_tree.cc.o" "gcc" "src/CMakeFiles/urr_sched.dir/sched/kinetic_tree.cc.o.d"
+  "/root/repo/src/sched/reorder.cc" "src/CMakeFiles/urr_sched.dir/sched/reorder.cc.o" "gcc" "src/CMakeFiles/urr_sched.dir/sched/reorder.cc.o.d"
+  "/root/repo/src/sched/route.cc" "src/CMakeFiles/urr_sched.dir/sched/route.cc.o" "gcc" "src/CMakeFiles/urr_sched.dir/sched/route.cc.o.d"
+  "/root/repo/src/sched/transfer_sequence.cc" "src/CMakeFiles/urr_sched.dir/sched/transfer_sequence.cc.o" "gcc" "src/CMakeFiles/urr_sched.dir/sched/transfer_sequence.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/urr_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/urr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/urr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urr_sched.dir/sched/insertion.cc.o"
+  "CMakeFiles/urr_sched.dir/sched/insertion.cc.o.d"
+  "CMakeFiles/urr_sched.dir/sched/kinetic_tree.cc.o"
+  "CMakeFiles/urr_sched.dir/sched/kinetic_tree.cc.o.d"
+  "CMakeFiles/urr_sched.dir/sched/reorder.cc.o"
+  "CMakeFiles/urr_sched.dir/sched/reorder.cc.o.d"
+  "CMakeFiles/urr_sched.dir/sched/route.cc.o"
+  "CMakeFiles/urr_sched.dir/sched/route.cc.o.d"
+  "CMakeFiles/urr_sched.dir/sched/transfer_sequence.cc.o"
+  "CMakeFiles/urr_sched.dir/sched/transfer_sequence.cc.o.d"
+  "liburr_sched.a"
+  "liburr_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urr_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

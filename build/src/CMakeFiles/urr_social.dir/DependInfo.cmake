@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/social/checkins.cc" "src/CMakeFiles/urr_social.dir/social/checkins.cc.o" "gcc" "src/CMakeFiles/urr_social.dir/social/checkins.cc.o.d"
+  "/root/repo/src/social/generators.cc" "src/CMakeFiles/urr_social.dir/social/generators.cc.o" "gcc" "src/CMakeFiles/urr_social.dir/social/generators.cc.o.d"
+  "/root/repo/src/social/history_similarity.cc" "src/CMakeFiles/urr_social.dir/social/history_similarity.cc.o" "gcc" "src/CMakeFiles/urr_social.dir/social/history_similarity.cc.o.d"
+  "/root/repo/src/social/social_graph.cc" "src/CMakeFiles/urr_social.dir/social/social_graph.cc.o" "gcc" "src/CMakeFiles/urr_social.dir/social/social_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/urr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/urr_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urr_social.dir/social/checkins.cc.o"
+  "CMakeFiles/urr_social.dir/social/checkins.cc.o.d"
+  "CMakeFiles/urr_social.dir/social/generators.cc.o"
+  "CMakeFiles/urr_social.dir/social/generators.cc.o.d"
+  "CMakeFiles/urr_social.dir/social/history_similarity.cc.o"
+  "CMakeFiles/urr_social.dir/social/history_similarity.cc.o.d"
+  "CMakeFiles/urr_social.dir/social/social_graph.cc.o"
+  "CMakeFiles/urr_social.dir/social/social_graph.cc.o.d"
+  "liburr_social.a"
+  "liburr_social.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urr_social.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

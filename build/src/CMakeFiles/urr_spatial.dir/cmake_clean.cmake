@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urr_spatial.dir/spatial/grid_index.cc.o"
+  "CMakeFiles/urr_spatial.dir/spatial/grid_index.cc.o.d"
+  "CMakeFiles/urr_spatial.dir/spatial/vehicle_index.cc.o"
+  "CMakeFiles/urr_spatial.dir/spatial/vehicle_index.cc.o.d"
+  "liburr_spatial.a"
+  "liburr_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urr_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trips/instance_builder.cc" "src/CMakeFiles/urr_trips.dir/trips/instance_builder.cc.o" "gcc" "src/CMakeFiles/urr_trips.dir/trips/instance_builder.cc.o.d"
+  "/root/repo/src/trips/instance_io.cc" "src/CMakeFiles/urr_trips.dir/trips/instance_io.cc.o" "gcc" "src/CMakeFiles/urr_trips.dir/trips/instance_io.cc.o.d"
+  "/root/repo/src/trips/io.cc" "src/CMakeFiles/urr_trips.dir/trips/io.cc.o" "gcc" "src/CMakeFiles/urr_trips.dir/trips/io.cc.o.d"
+  "/root/repo/src/trips/poisson_model.cc" "src/CMakeFiles/urr_trips.dir/trips/poisson_model.cc.o" "gcc" "src/CMakeFiles/urr_trips.dir/trips/poisson_model.cc.o.d"
+  "/root/repo/src/trips/preferences.cc" "src/CMakeFiles/urr_trips.dir/trips/preferences.cc.o" "gcc" "src/CMakeFiles/urr_trips.dir/trips/preferences.cc.o.d"
+  "/root/repo/src/trips/trip_generator.cc" "src/CMakeFiles/urr_trips.dir/trips/trip_generator.cc.o" "gcc" "src/CMakeFiles/urr_trips.dir/trips/trip_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/urr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/urr_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/urr_social.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/urr_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/urr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urr_trips.dir/trips/instance_builder.cc.o"
+  "CMakeFiles/urr_trips.dir/trips/instance_builder.cc.o.d"
+  "CMakeFiles/urr_trips.dir/trips/instance_io.cc.o"
+  "CMakeFiles/urr_trips.dir/trips/instance_io.cc.o.d"
+  "CMakeFiles/urr_trips.dir/trips/io.cc.o"
+  "CMakeFiles/urr_trips.dir/trips/io.cc.o.d"
+  "CMakeFiles/urr_trips.dir/trips/poisson_model.cc.o"
+  "CMakeFiles/urr_trips.dir/trips/poisson_model.cc.o.d"
+  "CMakeFiles/urr_trips.dir/trips/preferences.cc.o"
+  "CMakeFiles/urr_trips.dir/trips/preferences.cc.o.d"
+  "CMakeFiles/urr_trips.dir/trips/trip_generator.cc.o"
+  "CMakeFiles/urr_trips.dir/trips/trip_generator.cc.o.d"
+  "liburr_trips.a"
+  "liburr_trips.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urr_trips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

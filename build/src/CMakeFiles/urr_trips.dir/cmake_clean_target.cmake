@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liburr_trips.a"
+)

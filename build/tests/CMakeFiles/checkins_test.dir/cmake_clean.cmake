@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkins_test.dir/checkins_test.cc.o"
+  "CMakeFiles/checkins_test.dir/checkins_test.cc.o.d"
+  "checkins_test"
+  "checkins_test.pdb"
+  "checkins_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkins_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

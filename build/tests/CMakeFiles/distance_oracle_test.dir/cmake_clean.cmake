@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distance_oracle_test.dir/distance_oracle_test.cc.o"
+  "CMakeFiles/distance_oracle_test.dir/distance_oracle_test.cc.o.d"
+  "distance_oracle_test"
+  "distance_oracle_test.pdb"
+  "distance_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distance_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

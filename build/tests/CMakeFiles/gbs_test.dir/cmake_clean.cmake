@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbs_test.dir/gbs_test.cc.o"
+  "CMakeFiles/gbs_test.dir/gbs_test.cc.o.d"
+  "gbs_test"
+  "gbs_test.pdb"
+  "gbs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

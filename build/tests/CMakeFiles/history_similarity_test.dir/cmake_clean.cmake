@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/history_similarity_test.dir/history_similarity_test.cc.o"
+  "CMakeFiles/history_similarity_test.dir/history_similarity_test.cc.o.d"
+  "history_similarity_test"
+  "history_similarity_test.pdb"
+  "history_similarity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/history_similarity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

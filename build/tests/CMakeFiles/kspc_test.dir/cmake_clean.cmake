@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kspc_test.dir/kspc_test.cc.o"
+  "CMakeFiles/kspc_test.dir/kspc_test.cc.o.d"
+  "kspc_test"
+  "kspc_test.pdb"
+  "kspc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kspc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

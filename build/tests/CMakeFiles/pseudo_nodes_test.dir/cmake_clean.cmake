@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pseudo_nodes_test.dir/pseudo_nodes_test.cc.o"
+  "CMakeFiles/pseudo_nodes_test.dir/pseudo_nodes_test.cc.o.d"
+  "pseudo_nodes_test"
+  "pseudo_nodes_test.pdb"
+  "pseudo_nodes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pseudo_nodes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

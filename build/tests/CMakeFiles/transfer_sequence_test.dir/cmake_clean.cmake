@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer_sequence_test.dir/transfer_sequence_test.cc.o"
+  "CMakeFiles/transfer_sequence_test.dir/transfer_sequence_test.cc.o.d"
+  "transfer_sequence_test"
+  "transfer_sequence_test.pdb"
+  "transfer_sequence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_sequence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

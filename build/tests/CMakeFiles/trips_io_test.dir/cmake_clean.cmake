@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trips_io_test.dir/trips_io_test.cc.o"
+  "CMakeFiles/trips_io_test.dir/trips_io_test.cc.o.d"
+  "trips_io_test"
+  "trips_io_test.pdb"
+  "trips_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trips_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

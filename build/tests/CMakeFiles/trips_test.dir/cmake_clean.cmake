@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trips_test.dir/trips_test.cc.o"
+  "CMakeFiles/trips_test.dir/trips_test.cc.o.d"
+  "trips_test"
+  "trips_test.pdb"
+  "trips_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trips_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

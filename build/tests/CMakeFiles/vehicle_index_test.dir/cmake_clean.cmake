@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vehicle_index_test.dir/vehicle_index_test.cc.o"
+  "CMakeFiles/vehicle_index_test.dir/vehicle_index_test.cc.o.d"
+  "vehicle_index_test"
+  "vehicle_index_test.pdb"
+  "vehicle_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vehicle_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

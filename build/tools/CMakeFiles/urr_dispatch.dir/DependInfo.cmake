@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/urr_dispatch.cc" "tools/CMakeFiles/urr_dispatch.dir/urr_dispatch.cc.o" "gcc" "tools/CMakeFiles/urr_dispatch.dir/urr_dispatch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/urr_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/urr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/urr_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/urr_cover.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/urr_trips.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/urr_social.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/urr_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/urr_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/urr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/urr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

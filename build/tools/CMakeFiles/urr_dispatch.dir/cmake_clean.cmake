@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urr_dispatch.dir/urr_dispatch.cc.o"
+  "CMakeFiles/urr_dispatch.dir/urr_dispatch.cc.o.d"
+  "urr_dispatch"
+  "urr_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urr_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

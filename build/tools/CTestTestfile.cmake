@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[urr_dispatch_help]=] "/root/repo/build/tools/urr_dispatch" "--help")
+set_tests_properties([=[urr_dispatch_help]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[urr_dispatch_tiny]=] "/root/repo/build/tools/urr_dispatch" "--city" "chicago" "--nodes" "800" "--riders" "40" "--vehicles" "10" "--approach" "eg")
+set_tests_properties([=[urr_dispatch_tiny]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[urr_dispatch_bad_flag]=] "/root/repo/build/tools/urr_dispatch" "--nonsense")
+set_tests_properties([=[urr_dispatch_bad_flag]=] PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
