@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "graph/generators.h"
 #include "routing/alt.h"
 #include "routing/bidirectional.h"
@@ -13,6 +14,7 @@
 #include "sched/kinetic_tree.h"
 #include "cover/kspc.h"
 #include "social/generators.h"
+#include "urr/solution.h"
 #include "urr/utility.h"
 
 namespace urr {
@@ -204,6 +206,72 @@ void BM_KspcCover(benchmark::State& state) {
   (void)w;
 }
 BENCHMARK(BM_KspcCover)->Arg(3)->Arg(5)->Unit(benchmark::kMillisecond);
+
+/// Fixture for the parallel candidate-evaluation benchmark: a CH-backed
+/// cloneable oracle, an instance and the full rider x vehicle pair set.
+struct EvalWorld {
+  std::unique_ptr<ChOracle> oracle;
+  UrrInstance instance;
+  std::unique_ptr<UtilityModel> model;
+  UrrSolution sol;
+  std::vector<RiderVehiclePair> pairs;
+
+  EvalWorld() {
+    MicroWorld& w = World();
+    oracle = *ChOracle::Create(w.network);
+    instance.network = &w.network;
+    instance.social = &w.social;
+    while (static_cast<int>(instance.riders.size()) < 128) {
+      Rider r;
+      r.source = w.RandomNode();
+      r.destination = w.RandomNode();
+      if (r.source == r.destination) continue;
+      r.pickup_deadline = 1e7;
+      r.dropoff_deadline = 1e8;
+      r.user = static_cast<UserId>(w.rng.UniformInt(0, 1999));
+      instance.riders.push_back(r);
+    }
+    for (int j = 0; j < 16; ++j) {
+      instance.vehicles.push_back({w.RandomNode(), 3});
+    }
+    model = std::make_unique<UtilityModel>(&instance, UtilityParams{0.33, 0.33});
+    sol = MakeEmptySolution(instance, oracle.get());
+    for (RiderId i = 0; i < instance.num_riders(); ++i) {
+      for (int j = 0; j < instance.num_vehicles(); ++j) {
+        pairs.push_back({i, j});
+      }
+    }
+  }
+};
+
+/// The solvers' parallel evaluation phase at Arg(0) threads. The returned
+/// evaluations are identical for every thread count; only wall-clock should
+/// move (speedup is hardware-dependent — on a single-core host the extra
+/// threads only add scheduling overhead).
+void BM_ParallelCandidateEval(benchmark::State& state) {
+  static EvalWorld ew;
+  const int threads = static_cast<int>(state.range(0));
+  ThreadPool pool(threads);
+  Rng rng(1);
+  SolverContext ctx;
+  ctx.oracle = ew.oracle.get();
+  ctx.model = ew.model.get();
+  ctx.rng = &rng;
+  const auto clones = AttachThreadPool(&ctx, &pool);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EvaluateCandidates(ew.instance, &ctx, ew.sol, ew.pairs,
+                           /*need_utility=*/true));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ew.pairs.size()));
+}
+BENCHMARK(BM_ParallelCandidateEval)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_Jaccard(benchmark::State& state) {
   MicroWorld& w = World();

@@ -96,7 +96,11 @@ int main() {
   // --- Let the solvers arrange the riders. ----------------------------------
   Rng rng(7);
   VehicleIndex index(*network, {1, 5});
-  SolverContext ctx{&oracle, &model, &index, &rng, 0};
+  SolverContext ctx;
+  ctx.oracle = &oracle;
+  ctx.model = &model;
+  ctx.vehicle_index = &index;
+  ctx.rng = &rng;
 
   auto report = [&](const char* name, const UrrSolution& sol) {
     std::printf("%-4s utility=%.4f cost=%.1f assigned=%d  schedules:", name,

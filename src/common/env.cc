@@ -37,4 +37,11 @@ uint64_t BenchSeed() {
   return static_cast<uint64_t>(GetEnvInt("URR_SEED", 42));
 }
 
+int NumThreads() {
+  const int64_t raw = GetEnvInt("URR_THREADS", 1);
+  if (raw < 1) return 1;
+  if (raw > 256) return 256;
+  return static_cast<int>(raw);
+}
+
 }  // namespace urr

@@ -25,6 +25,11 @@ double BenchScale();
 /// Global experiment seed (env URR_SEED, default 42).
 uint64_t BenchSeed();
 
+/// Worker count for the solvers' parallel candidate-evaluation phase (env
+/// URR_THREADS, default 1 = fully serial). Clamped to [1, 256]. Results are
+/// identical for every value; this is purely a speed knob.
+int NumThreads();
+
 }  // namespace urr
 
 #endif  // URR_COMMON_ENV_H_

@@ -1,0 +1,29 @@
+// ParallelFor: the one helper solver code uses to fan a loop out over an
+// optional ThreadPool. Serial when the pool is null (or single-threaded),
+// identical iteration semantics either way: body(i, worker) runs exactly
+// once per index, and the serial path visits indices in order with the
+// current worker's id. Callers get determinism by writing body results into
+// per-index slots and reducing them sequentially afterwards.
+#ifndef URR_COMMON_PARALLEL_FOR_H_
+#define URR_COMMON_PARALLEL_FOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/thread_pool.h"
+
+namespace urr {
+
+template <typename Body>
+void ParallelFor(ThreadPool* pool, int64_t n, Body&& body) {
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    const int worker = ThreadPool::CurrentWorker();
+    for (int64_t i = 0; i < n; ++i) body(i, worker);
+    return;
+  }
+  pool->ParallelFor(n, std::function<void(int64_t, int)>(body));
+}
+
+}  // namespace urr
+
+#endif  // URR_COMMON_PARALLEL_FOR_H_

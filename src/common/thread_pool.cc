@@ -1,0 +1,177 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace urr {
+
+namespace {
+/// Worker index of the current thread; 0 for any thread outside a pool job,
+/// which deliberately aliases the caller with worker 0 (they are the same
+/// thread during a job). Also serves as the nesting flag: > -1 means "inside
+/// a job" only when in_job is set.
+thread_local int tls_worker = 0;
+thread_local bool tls_in_job = false;
+}  // namespace
+
+int ThreadPool::CurrentWorker() { return tls_worker; }
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(num_threads < 1 ? 1 : num_threads) {
+  ranges_ = std::make_unique<PackedRange[]>(static_cast<size_t>(num_threads_));
+  threads_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int w = 1; w < num_threads_; ++w) {
+    threads_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+bool ThreadPool::Pop(PackedRange* range, uint32_t* index) {
+  uint64_t bits = range->bits.load(std::memory_order_relaxed);
+  while (true) {
+    const uint32_t next = Next(bits);
+    const uint32_t end = End(bits);
+    if (next >= end) return false;
+    if (range->bits.compare_exchange_weak(bits, Pack(next + 1, end),
+                                          std::memory_order_acq_rel)) {
+      *index = next;
+      return true;
+    }
+  }
+}
+
+bool ThreadPool::Steal(PackedRange* victim, PackedRange* thief) {
+  uint64_t bits = victim->bits.load(std::memory_order_acquire);
+  while (true) {
+    const uint32_t next = Next(bits);
+    const uint32_t end = End(bits);
+    if (next >= end) return false;
+    // Victim keeps [next, mid), thief takes [mid, end). mid == next when one
+    // index remains, i.e. the thief takes everything — the CAS still
+    // serializes against the owner's pop.
+    const uint32_t mid = next + (end - next) / 2;
+    if (victim->bits.compare_exchange_weak(bits, Pack(next, mid),
+                                           std::memory_order_acq_rel)) {
+      thief->bits.store(Pack(mid, end), std::memory_order_release);
+      return true;
+    }
+  }
+}
+
+void ThreadPool::RunWorker(int worker) {
+  PackedRange* own = &ranges_[static_cast<size_t>(worker)];
+  while (!failed_.load(std::memory_order_relaxed)) {
+    uint32_t index;
+    if (!Pop(own, &index)) {
+      // Own range dry: scan the other workers for one to split.
+      bool stole = false;
+      for (int delta = 1; delta < num_threads_ && !stole; ++delta) {
+        const int victim = (worker + delta) % num_threads_;
+        stole = Steal(&ranges_[static_cast<size_t>(victim)], own);
+      }
+      if (!stole) return;  // every range empty: the job is finished
+      continue;
+    }
+    try {
+      (*body_)(static_cast<int64_t>(index), worker);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex_);
+      if (!failed_.exchange(true, std::memory_order_acq_rel)) {
+        error_ = std::current_exception();
+      }
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  tls_worker = worker;
+  uint64_t seen_job = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] { return shutdown_ || job_id_ != seen_job; });
+      if (shutdown_) return;
+      seen_job = job_id_;
+    }
+    tls_in_job = true;
+    RunWorker(worker);
+    tls_in_job = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --workers_pending_;
+    }
+    work_done_.notify_one();
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t n,
+                             const std::function<void(int64_t, int)>& body) {
+  if (n <= 0) return;
+  // The packed ranges hold 32-bit indices; larger jobs run as sequential
+  // maximal chunks (never hit in practice — kept for correctness).
+  constexpr int64_t kMaxChunk = int64_t{1} << 31;
+  if (n > kMaxChunk) {
+    for (int64_t base = 0; base < n; base += kMaxChunk) {
+      const int64_t len = std::min(kMaxChunk, n - base);
+      ParallelFor(len, [&](int64_t i, int w) { body(base + i, w); });
+    }
+    return;
+  }
+  // Inline when the pool is serial, the range is trivial, or we are already
+  // inside a job (nested ParallelFor must not wait on workers that are
+  // waiting on it). The worker id is preserved so nested bodies keep using
+  // the enclosing worker's scratch.
+  if (num_threads_ <= 1 || n == 1 || tls_in_job) {
+    const int worker = tls_worker;
+    for (int64_t i = 0; i < n; ++i) body(i, worker);
+    return;
+  }
+
+  // Split [0, n) into one contiguous chunk per worker (the stealing evens
+  // out whatever imbalance the static split leaves).
+  const uint64_t total = static_cast<uint64_t>(n);
+  const uint64_t per = total / static_cast<uint64_t>(num_threads_);
+  const uint64_t extra = total % static_cast<uint64_t>(num_threads_);
+  uint64_t begin = 0;
+  for (int w = 0; w < num_threads_; ++w) {
+    const uint64_t len = per + (static_cast<uint64_t>(w) < extra ? 1 : 0);
+    ranges_[static_cast<size_t>(w)].bits.store(
+        Pack(static_cast<uint32_t>(begin), static_cast<uint32_t>(begin + len)),
+        std::memory_order_relaxed);
+    begin += len;
+  }
+  body_ = &body;
+  failed_.store(false, std::memory_order_relaxed);
+  error_ = nullptr;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++job_id_;
+    workers_pending_ = num_threads_ - 1;
+  }
+  work_ready_.notify_all();
+
+  tls_in_job = true;
+  RunWorker(/*worker=*/0);
+  tls_in_job = false;
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    work_done_.wait(lock, [&] { return workers_pending_ == 0; });
+  }
+  body_ = nullptr;
+  if (error_ != nullptr) {
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace urr

@@ -1,0 +1,97 @@
+// Work-stealing thread pool for the solvers' read-only evaluation phases.
+// One job at a time: ParallelFor(n, body) runs body(index, worker) for every
+// index in [0, n), with the caller participating as worker 0. Each worker
+// owns a contiguous index range and steals the upper half of another
+// worker's remaining range when its own runs dry, so skewed per-index costs
+// (schedules of very different widths) still balance. The pool makes no
+// ordering promises — callers that need determinism must write results into
+// per-index slots and reduce them sequentially afterwards.
+#ifndef URR_COMMON_THREAD_POOL_H_
+#define URR_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace urr {
+
+class ThreadPool {
+ public:
+  /// A pool of `num_threads` workers total: the thread calling ParallelFor
+  /// plus num_threads - 1 spawned threads. num_threads <= 1 spawns nothing
+  /// and every ParallelFor runs inline on the caller.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs body(i, worker) for every i in [0, n); worker is in
+  /// [0, num_threads()) and identifies the executing worker, so callers can
+  /// index per-worker scratch (e.g. one distance oracle per worker). Blocks
+  /// until every index completed. The first exception thrown by any body is
+  /// rethrown here (remaining indices may be skipped once one body throws).
+  /// Nested calls — from inside a body — run inline on the calling worker
+  /// and never deadlock.
+  void ParallelFor(int64_t n, const std::function<void(int64_t, int)>& body);
+
+  /// Index of the pool worker executing the current thread, 0 outside any
+  /// pool (so "the caller" and "worker 0" share scratch, which is correct:
+  /// worker 0 is the caller).
+  static int CurrentWorker();
+
+ private:
+  /// (next, end) of one worker's remaining index range packed into a single
+  /// atomic so pops and steals are lock-free single-CAS operations.
+  struct alignas(64) PackedRange {
+    std::atomic<uint64_t> bits{0};
+  };
+
+  static uint64_t Pack(uint32_t next, uint32_t end) {
+    return (static_cast<uint64_t>(next) << 32) | end;
+  }
+  static uint32_t Next(uint64_t bits) { return static_cast<uint32_t>(bits >> 32); }
+  static uint32_t End(uint64_t bits) { return static_cast<uint32_t>(bits); }
+
+  /// Claims the next index of `range`; false when empty.
+  static bool Pop(PackedRange* range, uint32_t* index);
+  /// Moves the upper half of `victim`'s remaining range into `thief` (which
+  /// must be empty and owned by the calling worker); false when the victim
+  /// has nothing left.
+  static bool Steal(PackedRange* victim, PackedRange* thief);
+
+  /// Runs worker `worker`'s share of the current job.
+  void RunWorker(int worker);
+  /// Spawned-thread main loop: wait for a job, run, signal completion.
+  void WorkerLoop(int worker);
+
+  const int num_threads_;
+  std::vector<std::thread> threads_;
+
+  // --- current job (valid while job_active_) ------------------------------
+  std::unique_ptr<PackedRange[]> ranges_;  // one per worker (atomics: no vector)
+  const std::function<void(int64_t, int)>* body_ = nullptr;
+  std::atomic<bool> failed_{false};
+  std::exception_ptr error_;
+  std::mutex error_mutex_;
+
+  // --- job lifecycle ------------------------------------------------------
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  uint64_t job_id_ = 0;        // incremented per job; wakes the workers
+  int workers_pending_ = 0;    // spawned workers still running the job
+  bool shutdown_ = false;
+};
+
+}  // namespace urr
+
+#endif  // URR_COMMON_THREAD_POOL_H_

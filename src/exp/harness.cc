@@ -1,5 +1,6 @@
 #include "exp/harness.h"
 
+#include "common/env.h"
 #include "common/stopwatch.h"
 #include "graph/generators.h"
 #include "trips/trip_generator.h"
@@ -16,6 +17,8 @@ SolverContext ExperimentWorld::Context() {
   ctx.vehicle_index = vehicle_index.get();
   ctx.rng = &rng;
   ctx.euclid_speed = max_speed;
+  ctx.pool = pool.get();
+  ctx.worker_oracles = worker_oracles;
   return ctx;
 }
 
@@ -104,6 +107,27 @@ Result<std::unique_ptr<ExperimentWorld>> BuildWorld(
   world->vehicle_index =
       std::make_unique<VehicleIndex>(world->network, locations);
   world->max_speed = world->network.MaxSpeed();
+
+  // --- Evaluation pool. ----------------------------------------------------
+  // Worker 0 (the caller) keeps the shared caching oracle; workers 1..T-1
+  // get independent clones. Results are bit-identical at any thread count.
+  const int threads =
+      config.num_threads > 0 ? config.num_threads : NumThreads();
+  if (threads > 1) {
+    world->pool = std::make_unique<ThreadPool>(threads);
+    world->worker_oracles.push_back(world->oracle.get());
+    for (int w = 1; w < threads; ++w) {
+      std::unique_ptr<DistanceOracle> clone = world->oracle->Clone();
+      if (clone == nullptr) {  // non-cloneable oracle: stay serial
+        world->pool.reset();
+        world->worker_oracles.clear();
+        world->worker_oracle_storage.clear();
+        break;
+      }
+      world->worker_oracles.push_back(clone.get());
+      world->worker_oracle_storage.push_back(std::move(clone));
+    }
+  }
   return world;
 }
 

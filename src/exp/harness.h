@@ -10,6 +10,7 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "routing/distance_oracle.h"
 #include "social/checkins.h"
 #include "social/generators.h"
@@ -44,6 +45,11 @@ struct ExperimentConfig {
   bool synthetic = true;          // Poisson-mined pipeline vs records directly
   uint64_t seed = 42;
 
+  /// Evaluation threads for the solvers (candidate evaluation + GBS group
+  /// waves). 0 = take URR_THREADS from the environment; 1 = serial. Results
+  /// are bit-identical for every value.
+  int num_threads = 0;
+
   GbsOptions gbs;                 // k / d_max / auto_k for GBS runs
 };
 
@@ -65,6 +71,11 @@ struct ExperimentWorld {
   double max_speed = 0;
   /// Cached GBS road-network preprocessing (lazy; keyed by k and d_max).
   std::unique_ptr<GbsPreprocess> gbs_pre;
+  /// Evaluation pool (null when config.num_threads resolves to 1) plus the
+  /// per-worker oracle clones it hands to solver contexts.
+  std::unique_ptr<ThreadPool> pool;
+  std::vector<std::unique_ptr<DistanceOracle>> worker_oracle_storage;
+  std::vector<DistanceOracle*> worker_oracles;
 
   /// Solver context wired to this world's members.
   SolverContext Context();

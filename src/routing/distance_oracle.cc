@@ -2,11 +2,40 @@
 
 namespace urr {
 
-DijkstraOracle::DijkstraOracle(const RoadNetwork& network) : engine_(network) {}
+namespace {
+
+/// Clone of a ChOracle: borrows the (immutable after build) hierarchy and
+/// owns its own query scratch, so any number of these can run concurrently.
+class ChQueryOracle : public DistanceOracle {
+ public:
+  explicit ChQueryOracle(const ContractionHierarchy& ch) : ch_(ch), query_(ch) {}
+
+  Cost Distance(NodeId u, NodeId v) override {
+    ++num_calls_;
+    return query_.Distance(u, v);
+  }
+
+  std::unique_ptr<DistanceOracle> Clone() const override {
+    return std::make_unique<ChQueryOracle>(ch_);
+  }
+
+ private:
+  const ContractionHierarchy& ch_;
+  ChQuery query_;
+};
+
+}  // namespace
+
+DijkstraOracle::DijkstraOracle(const RoadNetwork& network)
+    : network_(&network), engine_(network) {}
 
 Cost DijkstraOracle::Distance(NodeId u, NodeId v) {
   ++num_calls_;
   return engine_.Distance(u, v);
+}
+
+std::unique_ptr<DistanceOracle> DijkstraOracle::Clone() const {
+  return std::make_unique<DijkstraOracle>(*network_);
 }
 
 Result<std::unique_ptr<ChOracle>> ChOracle::Create(const RoadNetwork& network,
@@ -21,8 +50,20 @@ Cost ChOracle::Distance(NodeId u, NodeId v) {
   return query_.Distance(u, v);
 }
 
+std::unique_ptr<DistanceOracle> ChOracle::Clone() const {
+  return std::make_unique<ChQueryOracle>(ch_);
+}
+
 CachingOracle::CachingOracle(DistanceOracle* base, size_t max_entries)
     : base_(base), max_entries_(max_entries) {
+  cache_.reserve(1 << 12);
+}
+
+CachingOracle::CachingOracle(std::unique_ptr<DistanceOracle> owned_base,
+                             size_t max_entries)
+    : base_(owned_base.get()),
+      owned_base_(std::move(owned_base)),
+      max_entries_(max_entries) {
   cache_.reserve(1 << 12);
 }
 
@@ -41,6 +82,13 @@ Cost CachingOracle::Distance(NodeId u, NodeId v) {
   if (cache_.size() >= max_entries_) cache_.clear();  // simple flush policy
   cache_.emplace(key, d);
   return d;
+}
+
+std::unique_ptr<DistanceOracle> CachingOracle::Clone() const {
+  std::unique_ptr<DistanceOracle> base = base_->Clone();
+  if (base == nullptr) return nullptr;
+  return std::unique_ptr<DistanceOracle>(
+      new CachingOracle(std::move(base), max_entries_));
 }
 
 }  // namespace urr

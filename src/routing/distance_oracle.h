@@ -24,6 +24,14 @@ class DistanceOracle {
   /// Exact shortest-path cost from `u` to `v`; kInfiniteCost if unreachable.
   virtual Cost Distance(NodeId u, NodeId v) = 0;
 
+  /// An independent query context over the same network, for use from
+  /// another thread: answers exactly the same distances as this oracle but
+  /// shares no mutable state with it (scratch arrays, caches and call
+  /// counters are per-clone; preprocessing like a built hierarchy is shared
+  /// read-only). Returns nullptr when the implementation cannot clone — the
+  /// solvers then fall back to serial evaluation.
+  virtual std::unique_ptr<DistanceOracle> Clone() const { return nullptr; }
+
   /// Number of Distance calls made so far (for bench accounting).
   int64_t num_calls() const { return num_calls_; }
 
@@ -38,8 +46,10 @@ class DijkstraOracle : public DistanceOracle {
   /// Keeps a reference; `network` must outlive the oracle.
   explicit DijkstraOracle(const RoadNetwork& network);
   Cost Distance(NodeId u, NodeId v) override;
+  std::unique_ptr<DistanceOracle> Clone() const override;
 
  private:
+  const RoadNetwork* network_;
   DijkstraEngine engine_;
 };
 
@@ -50,6 +60,8 @@ class ChOracle : public DistanceOracle {
   static Result<std::unique_ptr<ChOracle>> Create(const RoadNetwork& network,
                                                   const ChOptions& options = {});
   Cost Distance(NodeId u, NodeId v) override;
+  /// Clones share the (immutable) hierarchy and own a fresh ChQuery.
+  std::unique_ptr<DistanceOracle> Clone() const override;
 
   const ContractionHierarchy& hierarchy() const { return ch_; }
 
@@ -65,12 +77,18 @@ class CachingOracle : public DistanceOracle {
  public:
   explicit CachingOracle(DistanceOracle* base, size_t max_entries = 1 << 22);
   Cost Distance(NodeId u, NodeId v) override;
+  /// Clones the wrapped oracle (owning the clone) behind a fresh, empty
+  /// cache; nullptr when the base cannot clone.
+  std::unique_ptr<DistanceOracle> Clone() const override;
 
   int64_t num_hits() const { return hits_; }
   int64_t num_misses() const { return misses_; }
 
  private:
+  CachingOracle(std::unique_ptr<DistanceOracle> owned_base, size_t max_entries);
+
   DistanceOracle* base_;
+  std::unique_ptr<DistanceOracle> owned_base_;  // set only for clones
   size_t max_entries_;
   std::unordered_map<uint64_t, Cost> cache_;
   int64_t hits_ = 0;

@@ -104,6 +104,13 @@ class TransferSequence {
   /// The oracle used for leg costs.
   DistanceOracle* oracle() const { return oracle_; }
 
+  /// Re-points leg-cost queries at `oracle`, which must answer the same
+  /// distances as the current one (e.g. a DistanceOracle::Clone). Derived
+  /// fields are NOT recomputed — they stay valid precisely because the
+  /// distances are identical. Used to evaluate copies of a schedule on a
+  /// worker thread with that worker's private oracle.
+  void set_oracle(DistanceOracle* oracle) { oracle_ = oracle; }
+
  private:
   /// Recomputes every derived array from `stops_` (O(w) oracle calls for
   /// changed legs are the caller's concern; this recomputes all legs).

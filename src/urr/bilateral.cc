@@ -105,17 +105,25 @@ void BilateralArrange(const UrrInstance& instance, SolverContext* ctx,
     std::vector<int>& list = candidates[static_cast<size_t>(i)];
     // Score every untried vehicle: utility increase when insertable,
     // otherwise an optimistic bound (μ_v plus a detour-free trajectory term)
-    // that decides in which order replacements are attempted.
+    // that decides in which order replacements are attempted. The per-
+    // vehicle evaluations are independent and fan out over the context's
+    // pool; scores are consumed in list order, so the ranking (stable sort
+    // included) matches the serial path exactly.
     struct Scored {
       int vehicle;
       bool feasible;
       double score;
     };
+    std::vector<RiderVehiclePair> pairs;
+    pairs.reserve(list.size());
+    for (int j : list) pairs.push_back({i, j});
+    const std::vector<CandidateEval> evals =
+        EvaluateCandidates(instance, ctx, *sol, pairs, /*need_utility=*/true);
     std::vector<Scored> scored;
     scored.reserve(list.size());
-    for (int j : list) {
-      const CandidateEval eval =
-          EvaluateInsertion(instance, *ctx->model, *sol, i, j);
+    for (size_t k = 0; k < list.size(); ++k) {
+      const int j = list[k];
+      const CandidateEval& eval = evals[k];
       if (eval.feasible) {
         scored.push_back({j, true, eval.delta_utility});
       } else {

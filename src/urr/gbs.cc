@@ -74,13 +74,24 @@ Result<UrrSolution> SolveGbs(const UrrInstance& instance, SolverContext* ctx,
                              GbsStats* stats) {
   Stopwatch phase;
   // --- Classify trips (Algorithm 5, lines 1-6). -----------------------------
+  // The per-rider direct distances are independent point-to-point queries;
+  // fan them out over the pool (each worker on its own oracle) and keep the
+  // grouping loop itself serial so group membership order is unchanged.
   const Cost short_threshold = pre.d_max * static_cast<Cost>(pre.k);
+  std::vector<Cost> direct_cost(static_cast<size_t>(instance.num_riders()));
+  ParallelFor(ctx->eval_pool(), instance.num_riders(),
+              [&](int64_t i, int worker) {
+                const Rider& r = instance.riders[static_cast<size_t>(i)];
+                direct_cost[static_cast<size_t>(i)] =
+                    ctx->worker_oracle(worker)->Distance(r.source,
+                                                         r.destination);
+              });
   std::vector<std::vector<RiderId>> groups(
       static_cast<size_t>(pre.areas.num_areas()));
   std::vector<RiderId> long_trips;  // g_0
   for (RiderId i = 0; i < instance.num_riders(); ++i) {
     const Rider& r = instance.riders[static_cast<size_t>(i)];
-    const Cost direct = ctx->oracle->Distance(r.source, r.destination);
+    const Cost direct = direct_cost[static_cast<size_t>(i)];
     if (direct < short_threshold) {
       // Original nodes keep their ids in the split network.
       const int area = pre.areas.area_of_node[static_cast<size_t>(r.source)];
@@ -130,7 +141,59 @@ Result<UrrSolution> SolveGbs(const UrrInstance& instance, SolverContext* ctx,
       ctx->rng->Shuffle(&group_order);
       break;
   }
+  // Group-level parallelism (waves): consecutive groups in solve order are
+  // batched while their candidate-vehicle sets stay pairwise disjoint, then
+  // one wave is solved with one group per worker. Groups of a wave share no
+  // vehicles and no riders, and the EG base consumes no shared Rng, so each
+  // group computes exactly what it would have computed serially. Vehicle
+  // locations never move during a solve, so the (serial) index filter below
+  // is also order-independent.
+  struct GroupTask {
+    int area = -1;
+    std::vector<int> vehicles;
+    std::vector<Cost> dist_to_key;
+  };
+  const bool wave_parallel = options.parallel_groups &&
+                             ctx->eval_pool() != nullptr &&
+                             options.base == GbsBase::kEfficientGreedy &&
+                             options.use_group_filter_bound;
+  const size_t max_wave =
+      wave_parallel
+          ? std::max<size_t>(
+                8, 4 * static_cast<size_t>(ctx->pool->num_threads()))
+          : 1;  // bounds the dist_to_key memory held at once
+  std::vector<GroupTask> wave;
+  std::vector<char> wave_vehicle(instance.vehicles.size(), 0);
   int solved = 0;
+
+  const auto flush_wave = [&]() {
+    if (wave.empty()) return;
+    phase.Reset();
+    ParallelFor(
+        ctx->eval_pool(), static_cast<int64_t>(wave.size()),
+        [&](int64_t k, int worker) {
+          GroupTask& task = wave[static_cast<size_t>(k)];
+          // The group's schedules commit through this worker's private
+          // oracle for the duration of the solve (identical distances, so
+          // the derived fields stay exact); no other group of the wave
+          // touches these vehicles.
+          DistanceOracle* worker_oracle = ctx->worker_oracle(worker);
+          for (int j : task.vehicles) {
+            sol.schedules[static_cast<size_t>(j)].set_oracle(worker_oracle);
+          }
+          GroupFilter group_filter{&task.dist_to_key, short_threshold};
+          SolveGroup(instance, ctx, groups[static_cast<size_t>(task.area)],
+                     task.vehicles, options.base, &group_filter, &sol);
+          for (int j : task.vehicles) {
+            sol.schedules[static_cast<size_t>(j)].set_oracle(ctx->oracle);
+          }
+        });
+    group_solve_seconds += phase.ElapsedSeconds();
+    solved += static_cast<int>(wave.size());
+    wave.clear();
+    std::fill(wave_vehicle.begin(), wave_vehicle.end(), 0);
+  };
+
   for (int a : group_order) {
     const std::vector<RiderId>& group = groups[static_cast<size_t>(a)];
     // Fast valid-vehicle filtering (Sec 6.2): a vehicle can serve the group
@@ -145,21 +208,33 @@ Result<UrrSolution> SolveGbs(const UrrInstance& instance, SolverContext* ctx,
     const NodeId key = pre.split.origin[static_cast<size_t>(key_split)];
     const Cost radius = (rt_max - instance.now) + short_threshold;
     phase.Reset();
-    std::vector<int> vehicles;
-    std::vector<Cost> dist_to_key(instance.vehicles.size(), kInfiniteCost);
+    GroupTask task;
+    task.area = a;
+    task.dist_to_key.assign(instance.vehicles.size(), kInfiniteCost);
     for (const VehicleWithDistance& v :
          ctx->vehicle_index->VehiclesWithinCost(key, radius)) {
-      vehicles.push_back(v.vehicle);
-      dist_to_key[static_cast<size_t>(v.vehicle)] = v.distance;
+      task.vehicles.push_back(v.vehicle);
+      task.dist_to_key[static_cast<size_t>(v.vehicle)] = v.distance;
     }
     filter_seconds += phase.ElapsedSeconds();
+    if (wave_parallel) {
+      bool conflict = wave.size() >= max_wave;
+      for (size_t t = 0; !conflict && t < task.vehicles.size(); ++t) {
+        conflict = wave_vehicle[static_cast<size_t>(task.vehicles[t])] != 0;
+      }
+      if (conflict) flush_wave();
+      for (int j : task.vehicles) wave_vehicle[static_cast<size_t>(j)] = 1;
+      wave.push_back(std::move(task));
+      continue;
+    }
     phase.Reset();
-    GroupFilter group_filter{&dist_to_key, short_threshold};
-    SolveGroup(instance, ctx, group, vehicles, options.base,
+    GroupFilter group_filter{&task.dist_to_key, short_threshold};
+    SolveGroup(instance, ctx, group, task.vehicles, options.base,
                options.use_group_filter_bound ? &group_filter : nullptr, &sol);
     group_solve_seconds += phase.ElapsedSeconds();
     ++solved;
   }
+  flush_wave();
 
   // Leftover pass: riders whose group-local attempt failed (their area's
   // vehicles filled up) get one global attempt. The paper's Algorithm 5

@@ -41,6 +41,15 @@ struct GbsOptions {
   /// Sec 6.2 only (cheaper per pair, but admits more infeasible pairs into
   /// Algorithm 1). Ablatable.
   bool use_group_filter_bound = false;
+  /// Solve independent short-trip groups concurrently on ctx->pool. Groups
+  /// are batched into waves with pairwise-disjoint candidate-vehicle sets
+  /// (rider sets are disjoint by construction), so every group sees exactly
+  /// the schedules it would see serially and results stay bit-identical.
+  /// Effective only with base == kEfficientGreedy (BA consumes the shared
+  /// Rng) and use_group_filter_bound == true (the per-rider reverse
+  /// Dijkstra shares the vehicle index); otherwise groups run serially and
+  /// only the within-group evaluation is parallel.
+  bool parallel_groups = true;
 };
 
 /// Diagnostics of one GBS run.

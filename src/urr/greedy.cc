@@ -71,15 +71,24 @@ void GreedyArrange(const UrrInstance& instance, SolverContext* ctx,
   std::priority_queue<QueueEntry> queue;
 
   // Lines 2-7 of Algorithm 3: build the valid pair set with efficiencies.
+  // Candidate retrieval stays serial (the vehicle index's reverse Dijkstra
+  // is stateful); the independent EvaluateInsertion calls — the dominant
+  // cost of the refill — are batched and fanned out over the context's
+  // pool. Pairs enter the queue in the exact order of the serial loop, so
+  // the heap (and therefore every later pop and tie-break) is identical
+  // for any thread count.
+  const bool need_utility = objective != GreedyObjective::kCostFirst;
+  std::vector<RiderVehiclePair> pairs;
   for (RiderId i : riders) {
     if (sol->assignment[static_cast<size_t>(i)] >= 0) continue;
-    for (int j : candidates_for(i)) {
-      const CandidateEval eval =
-          EvaluateInsertion(instance, *ctx->model, *sol, i, j,
-                            objective != GreedyObjective::kCostFirst);
-      if (!eval.feasible) continue;
-      queue.push({KeyOf(objective, eval), i, j, version[static_cast<size_t>(j)]});
-    }
+    for (int j : candidates_for(i)) pairs.push_back({i, j});
+  }
+  const std::vector<CandidateEval> evals =
+      EvaluateCandidates(instance, ctx, *sol, pairs, need_utility);
+  for (size_t k = 0; k < pairs.size(); ++k) {
+    if (!evals[k].feasible) continue;
+    queue.push({KeyOf(objective, evals[k]), pairs[k].rider, pairs[k].vehicle,
+                version[static_cast<size_t>(pairs[k].vehicle)]});
   }
 
   // Lines 8-12: repeatedly commit the best pair; pairs whose vehicle changed
@@ -92,7 +101,7 @@ void GreedyArrange(const UrrInstance& instance, SolverContext* ctx,
       // Stale: the vehicle's schedule changed. Re-evaluate and re-queue.
       const CandidateEval eval =
           EvaluateInsertion(instance, *ctx->model, *sol, top.rider, top.vehicle,
-                            objective != GreedyObjective::kCostFirst);
+                            need_utility);
       if (!eval.feasible) continue;  // line 12: drop invalid pairs
       queue.push({KeyOf(objective, eval), top.rider, top.vehicle,
                   version[static_cast<size_t>(top.vehicle)]});

@@ -74,12 +74,15 @@ UrrSolution MakeEmptySolution(const UrrInstance& instance,
   return sol;
 }
 
-CandidateEval EvaluateInsertion(const UrrInstance& instance,
-                                const UtilityModel& model,
-                                const UrrSolution& sol, RiderId i, int j,
-                                bool need_utility) {
+namespace {
+
+/// Core of EvaluateInsertion on a schedule whose oracle is safe to query
+/// from the calling thread.
+CandidateEval EvaluateInsertionOn(const UrrInstance& instance,
+                                  const UtilityModel& model,
+                                  const TransferSequence& seq, RiderId i, int j,
+                                  bool need_utility) {
   CandidateEval eval;
-  const TransferSequence& seq = sol.schedules[static_cast<size_t>(j)];
   Result<InsertionPlan> plan = FindBestInsertion(seq, instance.Trip(i));
   if (!plan.ok()) return eval;
   eval.feasible = true;
@@ -95,6 +98,62 @@ CandidateEval EvaluateInsertion(const UrrInstance& instance,
         model.ScheduleUtility(j, trial) - model.ScheduleUtility(j, seq);
   }
   return eval;
+}
+
+}  // namespace
+
+CandidateEval EvaluateInsertion(const UrrInstance& instance,
+                                const UtilityModel& model,
+                                const UrrSolution& sol, RiderId i, int j,
+                                bool need_utility, DistanceOracle* eval_oracle) {
+  const TransferSequence& seq = sol.schedules[static_cast<size_t>(j)];
+  if (eval_oracle == nullptr || eval_oracle == seq.oracle()) {
+    return EvaluateInsertionOn(instance, model, seq, i, j, need_utility);
+  }
+  // Worker thread: evaluate a copy re-pointed at the worker's oracle, so
+  // the shared oracle is never queried here. Distances (and therefore the
+  // result) are identical by the Clone contract.
+  TransferSequence local = seq;
+  local.set_oracle(eval_oracle);
+  return EvaluateInsertionOn(instance, model, local, i, j, need_utility);
+}
+
+std::vector<CandidateEval> EvaluateCandidates(
+    const UrrInstance& instance, SolverContext* ctx, const UrrSolution& sol,
+    const std::vector<RiderVehiclePair>& pairs, bool need_utility) {
+  std::vector<CandidateEval> evals(pairs.size());
+  ParallelFor(ctx->eval_pool(), static_cast<int64_t>(pairs.size()),
+              [&](int64_t k, int worker) {
+                const RiderVehiclePair& p = pairs[static_cast<size_t>(k)];
+                evals[static_cast<size_t>(k)] = EvaluateInsertion(
+                    instance, *ctx->model, sol, p.rider, p.vehicle,
+                    need_utility, ctx->worker_oracle(worker));
+              });
+  return evals;
+}
+
+std::vector<std::unique_ptr<DistanceOracle>> AttachThreadPool(
+    SolverContext* ctx, ThreadPool* pool) {
+  std::vector<std::unique_ptr<DistanceOracle>> owned;
+  ctx->pool = pool;
+  ctx->worker_oracles.clear();
+  if (pool == nullptr || pool->num_threads() <= 1 || ctx->oracle == nullptr) {
+    return owned;
+  }
+  ctx->worker_oracles.push_back(ctx->oracle);  // worker 0 is the caller
+  for (int w = 1; w < pool->num_threads(); ++w) {
+    std::unique_ptr<DistanceOracle> clone = ctx->oracle->Clone();
+    if (clone == nullptr) {
+      // Not cloneable: leave the context serial (eval_pool() sees the
+      // short worker_oracles and declines to fan out).
+      ctx->worker_oracles.clear();
+      owned.clear();
+      return owned;
+    }
+    ctx->worker_oracles.push_back(clone.get());
+    owned.push_back(std::move(clone));
+  }
+  return owned;
 }
 
 std::vector<int> ValidVehiclesForRider(const UrrInstance& instance,

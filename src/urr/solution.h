@@ -6,7 +6,9 @@
 
 #include <vector>
 
+#include "common/parallel_for.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "sched/insertion.h"
 #include "sched/transfer_sequence.h"
 #include "spatial/vehicle_index.h"
@@ -45,7 +47,42 @@ struct SolverContext {
   /// admissible lower bound euclid(u,v)/euclid_speed <= budget before any
   /// exact shortest-path query — the paper's spatial-index prefilter.
   double euclid_speed = 0;
+  /// Optional worker pool for the read-only candidate-evaluation phase.
+  /// nullptr (the default) keeps every solver fully serial. Results are
+  /// bit-identical for any pool size — parallel evaluations land in
+  /// per-index slots and all commits stay sequential.
+  ThreadPool* pool = nullptr;
+  /// Per-worker distance oracles, sized to pool->num_threads() with entry 0
+  /// == `oracle` and entries 1.. independent clones (DistanceOracle::Clone)
+  /// owned by the caller. Wire with AttachThreadPool; when the sizes don't
+  /// line up the solvers silently stay serial, so a non-cloneable oracle
+  /// can never race.
+  std::vector<DistanceOracle*> worker_oracles;
+
+  /// The pool to actually fan out on: `pool` when worker_oracles covers
+  /// every worker, nullptr (serial) otherwise.
+  ThreadPool* eval_pool() const {
+    if (pool == nullptr || pool->num_threads() <= 1) return nullptr;
+    return worker_oracles.size() >=
+                   static_cast<size_t>(pool->num_threads())
+               ? pool
+               : nullptr;
+  }
+  /// Worker `w`'s private oracle (the shared one for worker 0 / serial).
+  DistanceOracle* worker_oracle(int w) const {
+    if (w <= 0 || static_cast<size_t>(w) >= worker_oracles.size()) {
+      return oracle;
+    }
+    return worker_oracles[static_cast<size_t>(w)];
+  }
 };
+
+/// Wires `ctx` for parallel evaluation on `pool`: clones ctx->oracle once
+/// per extra worker and returns the owned clones (keep them alive as long
+/// as the context is used). When the oracle cannot clone, the context is
+/// left serial and the result is empty.
+std::vector<std::unique_ptr<DistanceOracle>> AttachThreadPool(
+    SolverContext* ctx, ThreadPool* pool);
 
 /// Outcome of evaluating "insert rider i into vehicle j's current schedule".
 struct CandidateEval {
@@ -59,10 +96,30 @@ struct CandidateEval {
 /// `sol` (Algorithm 1 + full utility delta). Does not mutate anything.
 /// `need_utility=false` skips the Δμ computation (the CF baseline only
 /// needs Δcost, which is what makes it the cheapest method).
+/// `eval_oracle`, when non-null and different from the schedule's own
+/// oracle, is used for every distance query of this evaluation (the
+/// schedule is copied and re-pointed) — this is how worker threads evaluate
+/// candidates without touching the shared oracle. Same values either way.
 CandidateEval EvaluateInsertion(const UrrInstance& instance,
                                 const UtilityModel& model,
                                 const UrrSolution& sol, RiderId i, int j,
-                                bool need_utility = true);
+                                bool need_utility = true,
+                                DistanceOracle* eval_oracle = nullptr);
+
+/// One rider-vehicle candidate pair of a batch evaluation.
+struct RiderVehiclePair {
+  RiderId rider = -1;
+  int vehicle = -1;
+};
+
+/// Evaluates EvaluateInsertion over every pair, fanning out on
+/// ctx->eval_pool() when available. Output slot k always corresponds to
+/// pairs[k] and holds exactly what a serial loop would have produced, so
+/// callers that consume the results in index order are bit-identical to
+/// serial no matter the thread count.
+std::vector<CandidateEval> EvaluateCandidates(
+    const UrrInstance& instance, SolverContext* ctx, const UrrSolution& sol,
+    const std::vector<RiderVehiclePair>& pairs, bool need_utility);
 
 /// Per-group candidate filter (GBS fast vehicle filtering, Sec 6.2): a
 /// vehicle j is a candidate for a rider with pickup budget B iff

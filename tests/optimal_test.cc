@@ -147,7 +147,11 @@ TEST(OptimalTest, KnapsackStyleInstance) {
   UtilityModel model(&inst, UtilityParams{1.0, 0.0});  // α=1: value = μ_v
   Rng rng(1);
   VehicleIndex index(*g, {0});
-  SolverContext ctx{&oracle, &model, &index, &rng, 0};
+  SolverContext ctx;
+  ctx.oracle = &oracle;
+  ctx.model = &model;
+  ctx.vehicle_index = &index;
+  ctx.rng = &rng;
   auto sol = SolveOptimal(inst, &ctx);
   ASSERT_TRUE(sol.ok()) << sol.status();
   // Serving all three costs 2+2+3+3+4 = 14 > deadline for the last dropoff;

@@ -1,0 +1,321 @@
+// Serial-vs-parallel differential suite: every solver (CF, EG, BA, GBS+EG,
+// GBS+EG with the group-filter bound — the wave-parallel path — and GBS+BA)
+// must produce a byte-identical solution with 1, 2 and 8 evaluation
+// threads: same assignment vector, same stop sequences, same total utility
+// and travel cost down to the last bit. Covered on generator city graphs
+// (via the experiment harness, CachingOracle over CH) and on grid graphs
+// (hand-built world, DijkstraOracle, AttachThreadPool wiring), across
+// varying capacities and deadline ranges.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "exp/harness.h"
+#include "graph/generators.h"
+#include "urr/urr.h"
+
+namespace urr {
+namespace {
+
+/// Exact bit pattern of a double, so fingerprint equality means bit-identity
+/// (an EXPECT_EQ on doubles would also pass for -0.0 vs 0.0 etc.).
+std::string BitsOf(double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  std::ostringstream os;
+  os << std::hex << bits;
+  return os.str();
+}
+
+/// Full fingerprint of a solution: assignment, every stop of every
+/// schedule, and the two aggregate metrics as raw bits.
+std::string Fingerprint(const UrrSolution& sol, const UtilityModel& model) {
+  std::ostringstream os;
+  for (int a : sol.assignment) os << a << ',';
+  os << '|';
+  for (const TransferSequence& s : sol.schedules) {
+    for (int u = 0; u < s.num_stops(); ++u) {
+      const Stop& st = s.stop(u);
+      os << st.rider << (st.type == StopType::kPickup ? 'p' : 'd')
+         << st.location << ':' << BitsOf(st.deadline) << ';';
+    }
+    os << '/';
+  }
+  os << '|' << BitsOf(sol.TotalUtility(model)) << '|' << BitsOf(sol.TotalCost());
+  return os.str();
+}
+
+enum class Variant { kCf, kEg, kBa, kGbsEg, kGbsEgFilter, kGbsBa };
+
+const char* VariantName(Variant v) {
+  switch (v) {
+    case Variant::kCf:
+      return "CF";
+    case Variant::kEg:
+      return "EG";
+    case Variant::kBa:
+      return "BA";
+    case Variant::kGbsEg:
+      return "GBS+EG";
+    case Variant::kGbsEgFilter:
+      return "GBS+EG/filter";
+    case Variant::kGbsBa:
+      return "GBS+BA";
+  }
+  return "?";
+}
+
+UrrSolution SolveVariant(const UrrInstance& instance, SolverContext* ctx,
+                         const GbsOptions& gbs, Variant v) {
+  switch (v) {
+    case Variant::kCf:
+      return SolveCostFirst(instance, ctx);
+    case Variant::kEg:
+      return SolveEfficientGreedy(instance, ctx);
+    case Variant::kBa:
+      return SolveBilateral(instance, ctx);
+    case Variant::kGbsEg:
+    case Variant::kGbsEgFilter:
+    case Variant::kGbsBa: {
+      GbsOptions opt = gbs;
+      opt.base =
+          v == Variant::kGbsBa ? GbsBase::kBilateral : GbsBase::kEfficientGreedy;
+      opt.use_group_filter_bound = v == Variant::kGbsEgFilter;
+      auto sol = SolveGbs(instance, ctx, opt);
+      EXPECT_TRUE(sol.ok()) << sol.status();
+      return sol.ok() ? *std::move(sol) : UrrSolution{};
+    }
+  }
+  return UrrSolution{};
+}
+
+const std::vector<Variant>& AllVariants() {
+  static const std::vector<Variant> kAll = {
+      Variant::kCf,    Variant::kEg,          Variant::kBa,
+      Variant::kGbsEg, Variant::kGbsEgFilter, Variant::kGbsBa};
+  return kAll;
+}
+
+// --- Harness-built generator cities (CachingOracle over CH). ---------------
+
+/// One full solve on a freshly built world (fresh rng state for every
+/// thread count, so the only varying input is the pool size).
+std::string RunOnWorld(ExperimentConfig cfg, Variant v, int threads) {
+  cfg.num_threads = threads;
+  auto world_or = BuildWorld(cfg);
+  EXPECT_TRUE(world_or.ok()) << world_or.status();
+  if (!world_or.ok()) return "";
+  auto world = *std::move(world_or);
+  if (threads > 1) {
+    // The harness must actually have wired the pool (CachingOracle over a
+    // ChOracle is cloneable); otherwise the test would compare serial runs.
+    EXPECT_NE(world->Context().eval_pool(), nullptr);
+  }
+  SolverContext ctx = world->Context();
+  const UrrSolution sol = SolveVariant(world->instance, &ctx, cfg.gbs, v);
+  EXPECT_TRUE(sol.Validate(world->instance).ok()) << VariantName(v);
+  return Fingerprint(sol, world->model);
+}
+
+struct CityScenario {
+  const char* name;
+  ExperimentConfig cfg;
+};
+
+std::vector<CityScenario> CityScenarios() {
+  std::vector<CityScenario> out;
+  {
+    ExperimentConfig cfg;
+    cfg.city = CityKind::kNycLike;
+    cfg.city_nodes = 800;
+    cfg.num_social_users = 200;
+    cfg.num_trip_records = 900;
+    cfg.num_riders = 70;
+    cfg.num_vehicles = 14;
+    cfg.capacity = 3;
+    cfg.seed = 42;
+    cfg.gbs.k = 3;
+    cfg.gbs.d_max = 200;
+    out.push_back({"nyc-like", cfg});
+  }
+  {
+    ExperimentConfig cfg;
+    cfg.city = CityKind::kChicagoLike;
+    cfg.city_nodes = 700;
+    cfg.num_social_users = 150;
+    cfg.num_trip_records = 800;
+    cfg.num_riders = 50;
+    cfg.num_vehicles = 10;
+    cfg.capacity = 2;                // tighter seats
+    cfg.rt_min_minutes = 5;          // tighter deadlines
+    cfg.rt_max_minutes = 15;
+    cfg.seed = 7;
+    cfg.gbs.k = 2;
+    cfg.gbs.d_max = 250;
+    out.push_back({"chicago-like", cfg});
+  }
+  return out;
+}
+
+TEST(ParallelDifferentialTest, CityWorldsIdenticalAcrossThreadCounts) {
+  for (const CityScenario& scenario : CityScenarios()) {
+    for (Variant v : AllVariants()) {
+      SCOPED_TRACE(std::string(scenario.name) + " / " + VariantName(v));
+      const std::string serial = RunOnWorld(scenario.cfg, v, 1);
+      ASSERT_FALSE(serial.empty());
+      EXPECT_EQ(serial, RunOnWorld(scenario.cfg, v, 2));
+      EXPECT_EQ(serial, RunOnWorld(scenario.cfg, v, 8));
+    }
+  }
+}
+
+// --- Hand-built grid worlds (DijkstraOracle + AttachThreadPool). -----------
+
+struct GridWorld {
+  RoadNetwork network;
+  SocialGraph social;
+  UrrInstance instance;
+  std::unique_ptr<DijkstraOracle> oracle;
+  std::unique_ptr<UtilityModel> model;
+  std::unique_ptr<VehicleIndex> index;
+  Rng rng{0};
+};
+
+std::unique_ptr<GridWorld> MakeGridWorld(uint64_t seed, int riders,
+                                         int vehicles, int capacity,
+                                         Cost deadline_lo, Cost deadline_hi) {
+  auto w = std::make_unique<GridWorld>();
+  w->rng = Rng(seed);
+  GridCityOptions gopt;
+  gopt.width = 11;
+  gopt.height = 11;
+  gopt.keep_probability = 0.9;
+  auto g = GenerateGridCity(gopt, &w->rng);
+  EXPECT_TRUE(g.ok());
+  w->network = *std::move(g);
+  w->oracle = std::make_unique<DijkstraOracle>(w->network);
+
+  SocialGenOptions sopt;
+  sopt.num_users = 80;
+  auto social = GeneratePowerLawFriends(sopt, &w->rng);
+  EXPECT_TRUE(social.ok());
+  w->social = *std::move(social);
+
+  w->instance.network = &w->network;
+  w->instance.social = &w->social;
+  auto random_node = [&] {
+    return static_cast<NodeId>(
+        w->rng.UniformInt(0, w->network.num_nodes() - 1));
+  };
+  for (int i = 0; i < riders; ++i) {
+    Rider r;
+    r.source = random_node();
+    do {
+      r.destination = random_node();
+    } while (r.destination == r.source);
+    r.pickup_deadline = w->rng.Uniform(deadline_lo, deadline_hi);
+    const Cost direct = w->oracle->Distance(r.source, r.destination);
+    r.dropoff_deadline = r.pickup_deadline + direct * w->rng.Uniform(1.2, 2.2);
+    r.user = static_cast<UserId>(w->rng.UniformInt(0, 79));
+    w->instance.riders.push_back(r);
+  }
+  std::vector<NodeId> locations;
+  for (int j = 0; j < vehicles; ++j) {
+    const NodeId loc = random_node();
+    w->instance.vehicles.push_back({loc, capacity});
+    locations.push_back(loc);
+  }
+  for (int i = 0; i < riders * vehicles; ++i) {
+    w->instance.vehicle_utility.push_back(static_cast<float>(w->rng.Uniform()));
+  }
+  w->model = std::make_unique<UtilityModel>(&w->instance,
+                                            UtilityParams{0.33, 0.33});
+  w->index = std::make_unique<VehicleIndex>(w->network, locations);
+  return w;
+}
+
+std::string RunOnGrid(uint64_t seed, int riders, int vehicles, int capacity,
+                      Cost deadline_lo, Cost deadline_hi, Variant v,
+                      int threads) {
+  auto w = MakeGridWorld(seed, riders, vehicles, capacity, deadline_lo,
+                         deadline_hi);
+  SolverContext ctx;
+  ctx.oracle = w->oracle.get();
+  ctx.model = w->model.get();
+  ctx.vehicle_index = w->index.get();
+  ctx.rng = &w->rng;
+  ctx.euclid_speed = w->network.MaxSpeed();
+  std::unique_ptr<ThreadPool> pool;
+  std::vector<std::unique_ptr<DistanceOracle>> clones;
+  if (threads > 1) {
+    pool = std::make_unique<ThreadPool>(threads);
+    clones = AttachThreadPool(&ctx, pool.get());
+    EXPECT_NE(ctx.eval_pool(), nullptr);  // DijkstraOracle is cloneable
+  }
+  GbsOptions gbs;
+  gbs.k = 3;
+  gbs.d_max = 200;
+  const UrrSolution sol = SolveVariant(w->instance, &ctx, gbs, v);
+  EXPECT_TRUE(sol.Validate(w->instance).ok()) << VariantName(v);
+  return Fingerprint(sol, *w->model);
+}
+
+TEST(ParallelDifferentialTest, GridWorldsIdenticalAcrossThreadCounts) {
+  struct GridScenario {
+    uint64_t seed;
+    int riders, vehicles, capacity;
+    Cost deadline_lo, deadline_hi;
+  };
+  const std::vector<GridScenario> scenarios = {
+      {11, 60, 12, 3, 200, 2000},   // roomy deadlines
+      {23, 45, 9, 2, 100, 800},     // tight deadlines, small seats
+      {37, 50, 8, 4, 300, 2500},    // high capacity
+  };
+  for (const GridScenario& s : scenarios) {
+    for (Variant v : AllVariants()) {
+      SCOPED_TRACE(std::string(VariantName(v)) + " seed=" +
+                   std::to_string(s.seed));
+      const std::string serial =
+          RunOnGrid(s.seed, s.riders, s.vehicles, s.capacity, s.deadline_lo,
+                    s.deadline_hi, v, 1);
+      ASSERT_FALSE(serial.empty());
+      EXPECT_EQ(serial, RunOnGrid(s.seed, s.riders, s.vehicles, s.capacity,
+                                  s.deadline_lo, s.deadline_hi, v, 2));
+      EXPECT_EQ(serial, RunOnGrid(s.seed, s.riders, s.vehicles, s.capacity,
+                                  s.deadline_lo, s.deadline_hi, v, 8));
+    }
+  }
+}
+
+// A pool whose oracle cannot clone must silently stay serial (and still be
+// correct), never race on the shared oracle.
+TEST(ParallelDifferentialTest, NonCloneableOracleStaysSerial) {
+  struct Opaque : DistanceOracle {
+    explicit Opaque(DistanceOracle* base) : base_(base) {}
+    Cost Distance(NodeId u, NodeId v) override {
+      ++num_calls_;
+      return base_->Distance(u, v);
+    }
+    DistanceOracle* base_;
+  };
+  auto w = MakeGridWorld(5, 30, 6, 3, 200, 1500);
+  Opaque opaque(w->oracle.get());
+  SolverContext ctx;
+  ctx.oracle = &opaque;
+  ctx.model = w->model.get();
+  ctx.vehicle_index = w->index.get();
+  ctx.rng = &w->rng;
+  ThreadPool pool(4);
+  auto clones = AttachThreadPool(&ctx, &pool);
+  EXPECT_TRUE(clones.empty());
+  EXPECT_EQ(ctx.eval_pool(), nullptr);
+  const UrrSolution sol = SolveEfficientGreedy(w->instance, &ctx);
+  EXPECT_TRUE(sol.Validate(w->instance).ok());
+  EXPECT_GT(opaque.num_calls(), 0);
+}
+
+}  // namespace
+}  // namespace urr

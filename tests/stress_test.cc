@@ -5,6 +5,9 @@
 // (RemoveRider) preserving validity.
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+
 #include "common/rng.h"
 #include "graph/generators.h"
 #include "social/generators.h"
@@ -24,8 +27,13 @@ struct StressWorld {
   Rng rng{0};
 
   SolverContext Context() {
-    return SolverContext{oracle.get(), model.get(), index.get(), &rng,
-                         network.MaxSpeed()};
+    SolverContext ctx;
+    ctx.oracle = oracle.get();
+    ctx.model = model.get();
+    ctx.vehicle_index = index.get();
+    ctx.rng = &rng;
+    ctx.euclid_speed = network.MaxSpeed();
+    return ctx;
   }
 };
 
@@ -157,6 +165,53 @@ TEST_P(StressTest, RemovingServedRidersKeepsSchedulesValid) {
     ASSERT_TRUE(sol.Validate(w->instance).ok()) << "after removing " << i;
   }
   EXPECT_GT(removed, 0);
+}
+
+TEST_P(StressTest, MultiThreadedSolvesAreDeterministic) {
+  // One run per pool size, each on a freshly rebuilt world (same seed, so
+  // the worlds and rng states are identical). 8 threads on any host —
+  // oversubscribed or not — must reproduce the serial solution exactly,
+  // and two 8-thread runs must reproduce each other.
+  auto fingerprints = [&](int threads) {
+    auto w = MakeStressWorld(GetParam() + 500, /*riders=*/40, /*vehicles=*/8,
+                             /*capacity=*/3);
+    SolverContext ctx = w->Context();
+    std::unique_ptr<ThreadPool> pool;
+    std::vector<std::unique_ptr<DistanceOracle>> clones;
+    if (threads > 1) {
+      pool = std::make_unique<ThreadPool>(threads);
+      clones = AttachThreadPool(&ctx, pool.get());
+      EXPECT_NE(ctx.eval_pool(), nullptr);
+    }
+    std::vector<UrrSolution> sols;
+    sols.push_back(SolveCostFirst(w->instance, &ctx));
+    sols.push_back(SolveEfficientGreedy(w->instance, &ctx));
+    sols.push_back(SolveBilateral(w->instance, &ctx));
+    {
+      GbsOptions gopt;
+      gopt.k = 3;
+      gopt.d_max = 200;
+      gopt.use_group_filter_bound = true;  // enables the wave-parallel path
+      auto gbs = SolveGbs(w->instance, &ctx, gopt);
+      EXPECT_TRUE(gbs.ok()) << gbs.status();
+      if (gbs.ok()) sols.push_back(*std::move(gbs));
+    }
+    std::vector<std::string> out;
+    for (const UrrSolution& sol : sols) {
+      EXPECT_TRUE(sol.Validate(w->instance).ok());
+      std::ostringstream os;
+      os << std::hexfloat;  // exact doubles: equality means bit-identity
+      for (int a : sol.assignment) os << a << ',';
+      os << '|' << sol.TotalCost() << '|' << sol.TotalUtility(*w->model);
+      out.push_back(os.str());
+    }
+    return out;
+  };
+  const std::vector<std::string> serial = fingerprints(1);
+  const std::vector<std::string> mt_first = fingerprints(8);
+  const std::vector<std::string> mt_second = fingerprints(8);
+  EXPECT_EQ(serial, mt_first);
+  EXPECT_EQ(mt_first, mt_second);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StressTest,

@@ -1,0 +1,164 @@
+// ThreadPool unit tests: full coverage of the index space, worker-id
+// contract, empty and trivial ranges, exception propagation, nested
+// ParallelFor (must run inline, no deadlock), the serial num_threads=1
+// path, and work stealing under skewed per-index costs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/parallel_for.h"
+#include "common/thread_pool.h"
+
+namespace urr {
+namespace {
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const int64_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.ParallelFor(n, [&](int64_t i, int) {
+    hits[static_cast<size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, EmptyAndNegativeRangesAreNoOps) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(0, [&](int64_t, int) { ++calls; });
+  pool.ParallelFor(-5, [&](int64_t, int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, SingleIndexRunsInlineOnCaller) {
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id seen;
+  int worker_seen = -1;
+  pool.ParallelFor(1, [&](int64_t i, int worker) {
+    EXPECT_EQ(i, 0);
+    seen = std::this_thread::get_id();
+    worker_seen = worker;
+  });
+  EXPECT_EQ(seen, caller);
+  EXPECT_EQ(worker_seen, 0);
+}
+
+TEST(ThreadPoolTest, NumThreadsOneRunsInlineInOrder) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<int64_t> order;
+  pool.ParallelFor(100, [&](int64_t i, int worker) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(worker, 0);
+    order.push_back(i);
+  });
+  ASSERT_EQ(order.size(), 100u);
+  for (int64_t i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(ThreadPoolTest, WorkerIdsAreInRangeAndStablePerThread) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::map<std::thread::id, std::set<int>> ids_per_thread;
+  pool.ParallelFor(5000, [&](int64_t, int worker) {
+    ASSERT_GE(worker, 0);
+    ASSERT_LT(worker, 4);
+    std::lock_guard<std::mutex> lock(mu);
+    ids_per_thread[std::this_thread::get_id()].insert(worker);
+  });
+  // A thread never changes its worker id mid-job.
+  for (const auto& [tid, ids] : ids_per_thread) EXPECT_EQ(ids.size(), 1u);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(1000,
+                                [&](int64_t i, int) {
+                                  if (i == 537) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                }),
+               std::runtime_error);
+  // The pool survives a failed job and runs the next one normally.
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(100, [&](int64_t i, int) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 100 * 99 / 2);
+}
+
+TEST(ThreadPoolTest, ExceptionOnCallerThreadPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelFor(
+                   4, [&](int64_t, int) { throw std::logic_error("all fail"); }),
+               std::logic_error);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64 * 64);
+  pool.ParallelFor(64, [&](int64_t i, int outer_worker) {
+    pool.ParallelFor(64, [&](int64_t j, int inner_worker) {
+      // Nested bodies keep the enclosing worker's id, so per-worker scratch
+      // stays private.
+      EXPECT_EQ(inner_worker, outer_worker);
+      hits[static_cast<size_t>(i * 64 + j)].fetch_add(
+          1, std::memory_order_relaxed);
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, SkewedWorkloadStillCoversEverything) {
+  ThreadPool pool(4);
+  const int64_t n = 200;
+  std::vector<std::atomic<int>> hits(n);
+  pool.ParallelFor(n, [&](int64_t i, int) {
+    if (i < 8) {  // a few indices dominate: exercises stealing
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    hits[static_cast<size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, CurrentWorkerIsZeroOutsideJobs) {
+  EXPECT_EQ(ThreadPool::CurrentWorker(), 0);
+}
+
+TEST(ParallelForHelperTest, NullPoolRunsSerially) {
+  std::vector<int64_t> order;
+  ParallelFor(nullptr, 10, [&](int64_t i, int worker) {
+    EXPECT_EQ(worker, 0);
+    order.push_back(i);
+  });
+  ASSERT_EQ(order.size(), 10u);
+  for (int64_t i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(ParallelForHelperTest, PoolOfOneRunsSerially) {
+  ThreadPool pool(1);
+  int calls = 0;
+  ParallelFor(&pool, 7, [&](int64_t, int) { ++calls; });
+  EXPECT_EQ(calls, 7);
+}
+
+TEST(ParallelForHelperTest, FansOutOnRealPool) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(512);
+  ParallelFor(&pool, 512, [&](int64_t i, int) {
+    hits[static_cast<size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+}  // namespace
+}  // namespace urr

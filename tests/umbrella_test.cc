@@ -48,7 +48,11 @@ TEST(UmbrellaTest, PublicSurfaceIsComplete) {
   instance.vehicle_utility = {0.5f, 0.5f, 0.5f, 0.5f};
   UtilityModel model(&instance, UtilityParams{0.33, 0.33});
   VehicleIndex index(*network, {1, 5});
-  SolverContext ctx{&oracle, &model, &index, &rng, 0};
+  SolverContext ctx;
+  ctx.oracle = &oracle;
+  ctx.model = &model;
+  ctx.vehicle_index = &index;
+  ctx.rng = &rng;
 
   UrrSolution cf = SolveCostFirst(instance, &ctx);
   UrrSolution eg = SolveEfficientGreedy(instance, &ctx);

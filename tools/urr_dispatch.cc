@@ -11,10 +11,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "common/csv.h"
+#include "common/env.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "common/table.h"
 #include "graph/dimacs.h"
 #include "graph/generators.h"
@@ -45,6 +48,7 @@ struct Options {
   double deadline_max_minutes = 30;
   std::string approach = "ba";
   uint64_t seed = 42;
+  int threads = 0;  // 0 = URR_THREADS env, 1 = serial
   std::string out_path;
   bool help = false;
 };
@@ -70,6 +74,8 @@ instance:
 solver:
   --approach cf|eg|ba|gbs-eg|gbs-ba|online
   --seed S
+  --threads T             evaluation threads (0 = URR_THREADS env, 1 = serial;
+                          the solution is identical for every T)
   --out FILE.csv          dump the resulting schedules
 
 )");
@@ -94,6 +100,7 @@ Result<Options> ParseArgs(int argc, char** argv) {
       {"--riders", &opt.riders},
       {"--vehicles", &opt.vehicles},
       {"--capacity", &opt.capacity},
+      {"--threads", &opt.threads},
   };
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -200,7 +207,22 @@ Status Run(const Options& opt) {
   std::vector<NodeId> locations;
   for (const Vehicle& v : instance.vehicles) locations.push_back(v.location);
   VehicleIndex index(network, locations);
-  SolverContext ctx{&oracle, &model, &index, &rng, network.MaxSpeed()};
+  SolverContext ctx;
+  ctx.oracle = &oracle;
+  ctx.model = &model;
+  ctx.vehicle_index = &index;
+  ctx.rng = &rng;
+  ctx.euclid_speed = network.MaxSpeed();
+
+  // --- Evaluation pool (results identical at any thread count). ----------------
+  const int threads = opt.threads > 0 ? opt.threads : NumThreads();
+  std::unique_ptr<ThreadPool> pool;
+  std::vector<std::unique_ptr<DistanceOracle>> worker_oracles;
+  if (threads > 1) {
+    pool = std::make_unique<ThreadPool>(threads);
+    worker_oracles = AttachThreadPool(&ctx, pool.get());
+    std::printf("evaluation pool: %d threads\n", threads);
+  }
 
   // --- Solve. -------------------------------------------------------------------
   Stopwatch watch;
