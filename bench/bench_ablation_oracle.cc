@@ -1,11 +1,13 @@
 // Ablation: the distance oracle behind the solvers. DESIGN.md calls out CH
 // as the default; this bench runs the same EG workload over plain Dijkstra,
-// ALT and CH oracles (each memo-cached) and reports solve times plus oracle
-// call counts — quantifying why CH is the default and what the cheap-
-// preprocessing ALT alternative costs.
+// ALT, CH and hub-label oracles (each memo-cached) and reports solve times
+// plus oracle call counts — quantifying why CH is the default, what the
+// cheap-preprocessing ALT alternative costs, and what the hub-label
+// extraction buys on top of the CH.
 #include "common/stopwatch.h"
 #include "common/table.h"
 #include "routing/alt.h"
+#include "routing/hub_labels.h"
 #include "urr/greedy.h"
 
 #include "bench_util.h"
@@ -34,6 +36,13 @@ int main() {
   }
   const double alt_prep_s = alt_prep.ElapsedSeconds();
   DijkstraOracle dijkstra(w.network);
+  Stopwatch hl_prep;
+  auto hl = HubLabelOracle::FromHierarchy(w.oracles.ch->hierarchy());
+  if (!hl.ok()) {
+    std::fprintf(stderr, "hl failed: %s\n", hl.status().ToString().c_str());
+    return 1;
+  }
+  const double hl_prep_s = hl_prep.ElapsedSeconds();
 
   struct Contender {
     const char* name;
@@ -45,7 +54,8 @@ int main() {
   Contender contenders[] = {
       {"Dijkstra (no prep)", &dijkstra, 0.0},
       {"ALT (8 landmarks)", alt->get(), alt_prep_s},
-      {"Contraction Hierarchies", w.ch.get(), -1.0},
+      {"Contraction Hierarchies", w.oracles.ch.get(), -1.0},
+      {"Hub labels (from CH)", hl->get(), hl_prep_s},
   };
 
   TablePrinter table({"oracle", "prep (s)", "EG solve (s)", "oracle calls",
@@ -73,7 +83,7 @@ int main() {
   }
   table.Print();
   std::printf(
-      "\nall three oracles are exact; sub-1e-9 floating-point differences in "
+      "\nall four oracles are exact; sub-1e-9 floating-point differences in "
       "shortcut sums can flip equal-cost insertion ties, so utilities may "
       "wobble in the last decimals. Note ALT's goal-direction wins on the "
       "solvers' short local queries, while CH dominates long-range queries "

@@ -4,12 +4,17 @@
 // Jaccard similarity.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
+#include "common/env.h"
 #include "common/rng.h"
+#include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "graph/generators.h"
 #include "routing/alt.h"
 #include "routing/bidirectional.h"
 #include "routing/distance_oracle.h"
+#include "routing/hub_labels.h"
 #include "sched/insertion.h"
 #include "sched/kinetic_tree.h"
 #include "cover/kspc.h"
@@ -41,6 +46,12 @@ struct MicroWorld {
 
   NodeId RandomNode() {
     return static_cast<NodeId>(rng.UniformInt(0, network.num_nodes() - 1));
+  }
+
+  /// Like RandomNode() but from a caller-owned stream, for benchmarks that
+  /// need the same node set regardless of registration order.
+  NodeId RandomNodeFrom(Rng* r) {
+    return static_cast<NodeId>(r->UniformInt(0, network.num_nodes() - 1));
   }
 };
 
@@ -273,6 +284,46 @@ BENCHMARK(BM_ParallelCandidateEval)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+/// Head-to-head of the oracle stack on an identical many-to-many workload.
+/// range(0) picks the oracle (0 = Dijkstra, 1 = CH, 2 = hub labels);
+/// range(1) picks scalar per-pair queries (0) or one BatchDistances call
+/// over the same 16x64 rectangle (1). All six combinations compute the
+/// exact same 1024 distances.
+void BM_OracleComparison(benchmark::State& state) {
+  MicroWorld& w = World();
+  static DijkstraOracle dijkstra(w.network);
+  static std::unique_ptr<ChOracle> ch = *ChOracle::Create(w.network);
+  static std::unique_ptr<HubLabelOracle> hl =
+      *HubLabelOracle::FromHierarchy(ch->hierarchy());
+  DistanceOracle* const oracles[] = {&dijkstra, ch.get(), hl.get()};
+  DistanceOracle* oracle = oracles[state.range(0)];
+  const bool batched = state.range(1) != 0;
+  Rng rng(99);  // fixed pair set: every combination does identical work
+  std::vector<NodeId> sources, targets;
+  for (int i = 0; i < 16; ++i) sources.push_back(w.RandomNodeFrom(&rng));
+  for (int i = 0; i < 64; ++i) targets.push_back(w.RandomNodeFrom(&rng));
+  std::vector<Cost> out(sources.size() * targets.size());
+  for (auto _ : state) {
+    if (batched) {
+      oracle->BatchDistances(sources, targets, out.data());
+    } else {
+      for (size_t i = 0; i < sources.size(); ++i) {
+        for (size_t j = 0; j < targets.size(); ++j) {
+          out[i * targets.size() + j] = oracle->Distance(sources[i], targets[j]);
+        }
+      }
+    }
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(out.size()));
+}
+BENCHMARK(BM_OracleComparison)
+    ->ArgNames({"oracle", "batched"})
+    ->ArgsProduct({{0, 1, 2}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_Jaccard(benchmark::State& state) {
   MicroWorld& w = World();
   for (auto _ : state) {
@@ -284,6 +335,93 @@ void BM_Jaccard(benchmark::State& state) {
 BENCHMARK(BM_Jaccard);
 
 }  // namespace
+
+/// Perf snapshot for the repo: the solvers' candidate-evaluation phase
+/// (EvaluateCandidates over the full rider x vehicle pair set of the
+/// generator city) timed under scalar CH (batch_eval off, per-pair ChQuery)
+/// versus batched hub labels (one many-to-many prefetch per wave). Values
+/// are bit-identical; only the wall clock moves. Writes a small JSON file
+/// so the speedup is tracked in-tree.
+int EmitOracleSnapshot(const std::string& path) {
+  EvalWorld ew;
+  MicroWorld& w = World();
+  Stopwatch hl_prep;
+  auto hl = HubLabelOracle::FromHierarchy(ew.oracle->hierarchy());
+  if (!hl.ok()) {
+    std::fprintf(stderr, "hl failed: %s\n", hl.status().ToString().c_str());
+    return 1;
+  }
+  const double hl_prep_s = hl_prep.ElapsedSeconds();
+
+  // Best-of-R wall clock for one EvaluateCandidates pass over all pairs.
+  auto measure = [&](DistanceOracle* oracle, bool batch_eval) {
+    Rng rng(1);
+    SolverContext ctx;
+    ctx.oracle = oracle;
+    ctx.model = ew.model.get();
+    ctx.rng = &rng;
+    ctx.batch_eval = batch_eval;
+    double best = 1e300;
+    for (int rep = 0; rep < 6; ++rep) {
+      Stopwatch t;
+      auto evals =
+          EvaluateCandidates(ew.instance, &ctx, ew.sol, ew.pairs,
+                             /*need_utility=*/true);
+      benchmark::DoNotOptimize(evals.data());
+      const double s = t.ElapsedSeconds();
+      if (rep > 0 && s < best) best = s;  // rep 0 is warm-up
+    }
+    return best;
+  };
+  const double scalar_ch_s = measure(ew.oracle.get(), /*batch_eval=*/false);
+  const double batched_ch_s = measure(ew.oracle.get(), /*batch_eval=*/true);
+  const double batched_hl_s = measure(hl->get(), /*batch_eval=*/true);
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"benchmark\": \"candidate_evaluation\",\n"
+               "  \"city_nodes\": %d,\n"
+               "  \"riders\": %d,\n"
+               "  \"vehicles\": %d,\n"
+               "  \"pairs\": %zu,\n"
+               "  \"hl_label_build_seconds\": %.3f,\n"
+               "  \"scalar_ch_seconds\": %.6f,\n"
+               "  \"batched_ch_seconds\": %.6f,\n"
+               "  \"batched_hl_seconds\": %.6f,\n"
+               "  \"speedup_batched_hl_vs_scalar_ch\": %.2f\n"
+               "}\n",
+               w.network.num_nodes(),
+               static_cast<int>(ew.instance.riders.size()),
+               static_cast<int>(ew.instance.vehicles.size()), ew.pairs.size(),
+               hl_prep_s, scalar_ch_s, batched_ch_s, batched_hl_s,
+               scalar_ch_s / batched_hl_s);
+  std::fclose(f);
+  std::printf("wrote %s: scalar CH %.3fms, batched CH %.3fms, batched HL "
+              "%.3fms (%.1fx)\n",
+              path.c_str(), scalar_ch_s * 1e3, batched_ch_s * 1e3,
+              batched_hl_s * 1e3, scalar_ch_s / batched_hl_s);
+  return 0;
+}
+
 }  // namespace urr
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus the URR_EMIT_ORACLE_JSON=<path> escape hatch that
+// writes the candidate-evaluation perf snapshot instead of running the
+// google-benchmark suite.
+int main(int argc, char** argv) {
+  const std::string snapshot = urr::GetEnvString("URR_EMIT_ORACLE_JSON", "");
+  if (!snapshot.empty()) {
+    return urr::EmitOracleSnapshot(snapshot == "1" ? "BENCH_oracle.json"
+                                                   : snapshot);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

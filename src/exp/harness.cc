@@ -12,7 +12,7 @@ namespace urr {
 
 SolverContext ExperimentWorld::Context() {
   SolverContext ctx;
-  ctx.oracle = oracle.get();
+  ctx.oracle = oracles.active;
   ctx.model = &model;
   ctx.vehicle_index = vehicle_index.get();
   ctx.rng = &rng;
@@ -43,11 +43,12 @@ Result<std::unique_ptr<ExperimentWorld>> BuildWorld(
     }
   }
 
-  // --- Routing oracle (CH + memo cache). -----------------------------------
-  URR_ASSIGN_OR_RETURN(std::unique_ptr<ChOracle> ch,
-                       ChOracle::Create(world->network));
-  world->ch = std::move(ch);
-  world->oracle = std::make_unique<CachingOracle>(world->ch.get());
+  // --- Routing oracle stack (config / URR_ORACLE; default CH + memo cache).
+  const std::string oracle_name =
+      config.oracle.empty() ? OracleName() : config.oracle;
+  URR_ASSIGN_OR_RETURN(OracleKind oracle_kind, ParseOracleKind(oracle_name));
+  URR_ASSIGN_OR_RETURN(world->oracles,
+                       BuildOracleStack(world->network, oracle_kind));
 
   // --- Geo-social substrate. -----------------------------------------------
   SocialGenOptions social_opt;
@@ -81,7 +82,7 @@ Result<std::unique_ptr<ExperimentWorld>> BuildWorld(
   inst_opt.epsilon = config.epsilon;
 
   InstanceBuilder builder(&world->network, &world->social,
-                          world->checkins.get(), world->oracle.get());
+                          world->checkins.get(), world->oracles.active);
   if (config.synthetic) {
     URR_ASSIGN_OR_RETURN(
         PoissonDemandModel demand,
@@ -115,9 +116,9 @@ Result<std::unique_ptr<ExperimentWorld>> BuildWorld(
       config.num_threads > 0 ? config.num_threads : NumThreads();
   if (threads > 1) {
     world->pool = std::make_unique<ThreadPool>(threads);
-    world->worker_oracles.push_back(world->oracle.get());
+    world->worker_oracles.push_back(world->oracles.active);
     for (int w = 1; w < threads; ++w) {
-      std::unique_ptr<DistanceOracle> clone = world->oracle->Clone();
+      std::unique_ptr<DistanceOracle> clone = world->oracles.active->Clone();
       if (clone == nullptr) {  // non-cloneable oracle: stay serial
         world->pool.reset();
         world->worker_oracles.clear();

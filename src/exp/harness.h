@@ -12,6 +12,7 @@
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "routing/distance_oracle.h"
+#include "routing/hub_labels.h"
 #include "social/checkins.h"
 #include "social/generators.h"
 #include "social/history_similarity.h"
@@ -45,6 +46,12 @@ struct ExperimentConfig {
   bool synthetic = true;          // Poisson-mined pipeline vs records directly
   uint64_t seed = 42;
 
+  /// Distance-oracle stack: "dijkstra" | "ch" | "caching" | "hl"; "" (the
+  /// default) takes URR_ORACLE from the environment (default "caching").
+  /// All kinds answer exact distances; on quantized-cost networks the
+  /// solver outputs are bit-identical across kinds.
+  std::string oracle;
+
   /// Evaluation threads for the solvers (candidate evaluation + GBS group
   /// waves). 0 = take URR_THREADS from the environment; 1 = serial. Results
   /// are bit-identical for every value.
@@ -59,8 +66,9 @@ struct ExperimentWorld {
   SocialGraph social;
   std::unique_ptr<CheckInMap> checkins;
   std::unique_ptr<LocationHistorySimilarity> history;
-  std::unique_ptr<ChOracle> ch;
-  std::unique_ptr<CachingOracle> oracle;
+  /// The routing stack selected by config.oracle / URR_ORACLE; solvers use
+  /// `oracles.active`.
+  OracleStack oracles;
   TripRecords records;
   UrrInstance instance;
   UtilityModel model{nullptr, {}};  // re-pointed in BuildWorld

@@ -23,7 +23,7 @@ Result<SimulationReport> RunRollingHorizon(ExperimentWorld* world,
                               world->config.frame_minutes * 60));
 
   InstanceBuilder builder(&world->network, &world->social,
-                          world->checkins.get(), world->oracle.get());
+                          world->checkins.get(), world->oracles.active);
   InstanceOptions opts;
   opts.num_riders = config.riders_per_frame;  // target; actual may differ
   opts.num_vehicles = world->config.num_vehicles;
@@ -61,7 +61,7 @@ Result<SimulationReport> RunRollingHorizon(ExperimentWorld* world,
     for (const Vehicle& v : fleet) locations.push_back(v.location);
     VehicleIndex index(world->network, locations);
     SolverContext ctx;
-    ctx.oracle = world->oracle.get();
+    ctx.oracle = world->oracles.active;
     ctx.model = &model;
     ctx.vehicle_index = &index;
     ctx.rng = rng;

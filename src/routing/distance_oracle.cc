@@ -1,5 +1,9 @@
 #include "routing/distance_oracle.h"
 
+#include <vector>
+
+#include "common/status.h"
+
 namespace urr {
 
 namespace {
@@ -8,12 +12,21 @@ namespace {
 /// owns its own query scratch, so any number of these can run concurrently.
 class ChQueryOracle : public DistanceOracle {
  public:
-  explicit ChQueryOracle(const ContractionHierarchy& ch) : ch_(ch), query_(ch) {}
+  explicit ChQueryOracle(const ContractionHierarchy& ch)
+      : ch_(ch), query_(ch), m2m_(ch) {}
 
   Cost Distance(NodeId u, NodeId v) override {
     ++num_calls_;
     return query_.Distance(u, v);
   }
+
+  void BatchDistances(std::span<const NodeId> sources,
+                      std::span<const NodeId> targets, Cost* out) override {
+    num_calls_ += static_cast<int64_t>(sources.size() * targets.size());
+    m2m_.Distances(sources, targets, out);
+  }
+
+  bool SupportsBatch() const override { return true; }
 
   std::unique_ptr<DistanceOracle> Clone() const override {
     return std::make_unique<ChQueryOracle>(ch_);
@@ -22,9 +35,27 @@ class ChQueryOracle : public DistanceOracle {
  private:
   const ContractionHierarchy& ch_;
   ChQuery query_;
+  ChManyToMany m2m_;
 };
 
 }  // namespace
+
+void DistanceOracle::BatchDistances(std::span<const NodeId> sources,
+                                    std::span<const NodeId> targets,
+                                    Cost* out) {
+  for (size_t i = 0; i < sources.size(); ++i) {
+    for (size_t j = 0; j < targets.size(); ++j) {
+      out[i * targets.size() + j] = Distance(sources[i], targets[j]);
+    }
+  }
+}
+
+void DistanceOracle::BatchPairwise(std::span<const NodeId> us,
+                                   std::span<const NodeId> vs, Cost* out) {
+  for (size_t k = 0; k < us.size(); ++k) {
+    out[k] = Distance(us[k], vs[k]);
+  }
+}
 
 DijkstraOracle::DijkstraOracle(const RoadNetwork& network)
     : network_(&network), engine_(network) {}
@@ -32,6 +63,17 @@ DijkstraOracle::DijkstraOracle(const RoadNetwork& network)
 Cost DijkstraOracle::Distance(NodeId u, NodeId v) {
   ++num_calls_;
   return engine_.Distance(u, v);
+}
+
+void DijkstraOracle::BatchDistances(std::span<const NodeId> sources,
+                                    std::span<const NodeId> targets,
+                                    Cost* out) {
+  num_calls_ += static_cast<int64_t>(sources.size() * targets.size());
+  const std::vector<NodeId> target_vec(targets.begin(), targets.end());
+  for (size_t i = 0; i < sources.size(); ++i) {
+    const std::vector<Cost> row = engine_.Distances(sources[i], target_vec);
+    std::copy(row.begin(), row.end(), out + i * targets.size());
+  }
 }
 
 std::unique_ptr<DistanceOracle> DijkstraOracle::Clone() const {
@@ -48,6 +90,12 @@ Result<std::unique_ptr<ChOracle>> ChOracle::Create(const RoadNetwork& network,
 Cost ChOracle::Distance(NodeId u, NodeId v) {
   ++num_calls_;
   return query_.Distance(u, v);
+}
+
+void ChOracle::BatchDistances(std::span<const NodeId> sources,
+                              std::span<const NodeId> targets, Cost* out) {
+  num_calls_ += static_cast<int64_t>(sources.size() * targets.size());
+  m2m_.Distances(sources, targets, out);
 }
 
 std::unique_ptr<DistanceOracle> ChOracle::Clone() const {
@@ -84,11 +132,70 @@ Cost CachingOracle::Distance(NodeId u, NodeId v) {
   return d;
 }
 
+void CachingOracle::BatchDistances(std::span<const NodeId> sources,
+                                   std::span<const NodeId> targets,
+                                   Cost* out) {
+  num_calls_ += static_cast<int64_t>(sources.size() * targets.size());
+  std::vector<NodeId> miss_us, miss_vs;
+  std::vector<size_t> miss_slots;
+  for (size_t i = 0; i < sources.size(); ++i) {
+    for (size_t j = 0; j < targets.size(); ++j) {
+      const uint64_t key =
+          (static_cast<uint64_t>(static_cast<uint32_t>(sources[i])) << 32) |
+          static_cast<uint64_t>(static_cast<uint32_t>(targets[j]));
+      auto it = cache_.find(key);
+      if (it != cache_.end()) {
+        ++hits_;
+        out[i * targets.size() + j] = it->second;
+      } else {
+        ++misses_;
+        miss_us.push_back(sources[i]);
+        miss_vs.push_back(targets[j]);
+        miss_slots.push_back(i * targets.size() + j);
+      }
+    }
+  }
+  if (miss_us.empty()) return;
+  std::vector<Cost> miss_out(miss_us.size());
+  base_->BatchPairwise(miss_us, miss_vs, miss_out.data());
+  for (size_t k = 0; k < miss_us.size(); ++k) {
+    const uint64_t key =
+        (static_cast<uint64_t>(static_cast<uint32_t>(miss_us[k])) << 32) |
+        static_cast<uint64_t>(static_cast<uint32_t>(miss_vs[k]));
+    if (cache_.size() >= max_entries_) cache_.clear();  // simple flush policy
+    cache_.emplace(key, miss_out[k]);
+    out[miss_slots[k]] = miss_out[k];
+  }
+}
+
 std::unique_ptr<DistanceOracle> CachingOracle::Clone() const {
   std::unique_ptr<DistanceOracle> base = base_->Clone();
   if (base == nullptr) return nullptr;
   return std::unique_ptr<DistanceOracle>(
       new CachingOracle(std::move(base), max_entries_));
+}
+
+Result<OracleKind> ParseOracleKind(const std::string& name) {
+  if (name == "dijkstra") return OracleKind::kDijkstra;
+  if (name == "ch") return OracleKind::kCh;
+  if (name == "caching") return OracleKind::kCachingCh;
+  if (name == "hl") return OracleKind::kHubLabel;
+  return Status::InvalidArgument("unknown oracle kind '" + name +
+                                 "' (expected dijkstra|ch|caching|hl)");
+}
+
+const char* OracleKindName(OracleKind kind) {
+  switch (kind) {
+    case OracleKind::kDijkstra:
+      return "dijkstra";
+    case OracleKind::kCh:
+      return "ch";
+    case OracleKind::kCachingCh:
+      return "caching";
+    case OracleKind::kHubLabel:
+      return "hl";
+  }
+  return "unknown";
 }
 
 }  // namespace urr

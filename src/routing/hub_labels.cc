@@ -1,0 +1,293 @@
+#include "routing/hub_labels.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+namespace urr {
+
+namespace {
+
+struct LabelEntry {
+  NodeId hub;
+  Cost cost;
+};
+
+/// min over common hubs of a.cost + b.cost; both sorted by hub ascending.
+Cost MergeJoinMin(const std::vector<LabelEntry>& a,
+                  const std::vector<LabelEntry>& b) {
+  Cost best = kInfiniteCost;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].hub < b[j].hub) {
+      ++i;
+    } else if (a[i].hub > b[j].hub) {
+      ++j;
+    } else {
+      const Cost sum = a[i].cost + b[j].cost;
+      if (sum < best) best = sum;
+      ++i;
+      ++j;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<HubLabels> HubLabels::Build(const ContractionHierarchy& ch) {
+  HubLabels hl;
+  const NodeId n = ch.num_nodes();
+  hl.num_nodes_ = n;
+  hl.fwd_begin_.assign(static_cast<size_t>(n) + 1, 0);
+  hl.bwd_begin_.assign(static_cast<size_t>(n) + 1, 0);
+  if (n == 0) return hl;
+
+  // Top-down: the rank-(n-1) node first, so every non-self settled hub
+  // already carries its final label when we prune against it.
+  std::vector<NodeId> order(static_cast<size_t>(n), kInvalidNode);
+  for (NodeId v = 0; v < n; ++v) {
+    order[static_cast<size_t>(n - 1 - ch.rank(v))] = v;
+  }
+
+  std::vector<std::vector<LabelEntry>> fwd(static_cast<size_t>(n));
+  std::vector<std::vector<LabelEntry>> bwd(static_cast<size_t>(n));
+
+  // ChQuery-style timestamped search scratch.
+  std::vector<Cost> dist(static_cast<size_t>(n), kInfiniteCost);
+  std::vector<uint32_t> stamp(static_cast<size_t>(n), 0);
+  uint32_t now = 0;
+  using Entry = std::pair<Cost, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  std::vector<std::pair<NodeId, Cost>> settled;
+
+  // Complete upward search with the exact ChQuery relax / stall rules;
+  // fills `settled` in settle order (ascending distance). Stalled nodes are
+  // recorded but not relaxed — pruning drops the dominated ones.
+  auto upward = [&](NodeId src, bool backward) {
+    const auto& begin = backward ? ch.down_begin_ : ch.up_begin_;
+    const auto& to = backward ? ch.down_to_ : ch.up_to_;
+    const auto& cost = backward ? ch.down_cost_ : ch.up_cost_;
+    const auto& rbegin = backward ? ch.up_begin_ : ch.down_begin_;
+    const auto& rto = backward ? ch.up_to_ : ch.down_to_;
+    const auto& rcost = backward ? ch.up_cost_ : ch.down_cost_;
+
+    ++now;
+    if (now == 0) {
+      std::fill(stamp.begin(), stamp.end(), 0);
+      now = 1;
+    }
+    while (!queue.empty()) queue.pop();
+    auto get = [&](NodeId v) {
+      return stamp[static_cast<size_t>(v)] == now ? dist[static_cast<size_t>(v)]
+                                                  : kInfiniteCost;
+    };
+    auto set = [&](NodeId v, Cost d) {
+      stamp[static_cast<size_t>(v)] = now;
+      dist[static_cast<size_t>(v)] = d;
+    };
+
+    set(src, 0);
+    queue.push({0, src});
+    while (!queue.empty()) {
+      auto [d, v] = queue.top();
+      queue.pop();
+      if (d > get(v)) continue;  // stale duplicate
+      settled.push_back({v, d});
+      bool stall = false;
+      for (int64_t i = rbegin[static_cast<size_t>(v)];
+           i < rbegin[static_cast<size_t>(v) + 1]; ++i) {
+        const Cost dw = get(rto[static_cast<size_t>(i)]);
+        if (dw < kInfiniteCost && dw + rcost[static_cast<size_t>(i)] < d) {
+          stall = true;
+          break;
+        }
+      }
+      if (stall) continue;
+      for (int64_t i = begin[static_cast<size_t>(v)];
+           i < begin[static_cast<size_t>(v) + 1]; ++i) {
+        const NodeId w = to[static_cast<size_t>(i)];
+        const Cost nd = d + cost[static_cast<size_t>(i)];
+        if (nd < get(w)) {
+          set(w, nd);
+          queue.push({nd, w});
+        }
+      }
+    }
+  };
+
+  for (NodeId v : order) {
+    for (int side = 0; side < 2; ++side) {
+      const bool backward = side == 1;
+      settled.clear();
+      upward(v, backward);
+      auto& mine = backward ? bwd[static_cast<size_t>(v)]
+                            : fwd[static_cast<size_t>(v)];
+      const auto& opposite = backward ? fwd : bwd;
+      for (const auto& [h, d] : settled) {
+        // Prune when the labels kept so far already connect v and h at no
+        // greater cost through a higher hub.
+        if (MergeJoinMin(mine, opposite[static_cast<size_t>(h)]) <= d) continue;
+        mine.insert(std::upper_bound(mine.begin(), mine.end(), h,
+                                     [](NodeId key, const LabelEntry& e) {
+                                       return key < e.hub;
+                                     }),
+                    {h, d});
+      }
+    }
+  }
+
+  // Flatten to CSR.
+  auto flatten = [n](const std::vector<std::vector<LabelEntry>>& labels,
+                     std::vector<int64_t>* begin_out, std::vector<NodeId>* hub,
+                     std::vector<Cost>* cost) {
+    int64_t total = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      (*begin_out)[static_cast<size_t>(v)] = total;
+      total += static_cast<int64_t>(labels[static_cast<size_t>(v)].size());
+    }
+    (*begin_out)[static_cast<size_t>(n)] = total;
+    hub->reserve(static_cast<size_t>(total));
+    cost->reserve(static_cast<size_t>(total));
+    for (NodeId v = 0; v < n; ++v) {
+      for (const auto& e : labels[static_cast<size_t>(v)]) {
+        hub->push_back(e.hub);
+        cost->push_back(e.cost);
+      }
+    }
+  };
+  flatten(fwd, &hl.fwd_begin_, &hl.fwd_hub_, &hl.fwd_cost_);
+  flatten(bwd, &hl.bwd_begin_, &hl.bwd_hub_, &hl.bwd_cost_);
+  return hl;
+}
+
+Cost HubLabels::Distance(NodeId u, NodeId v) const {
+  int64_t i = fwd_begin_[static_cast<size_t>(u)];
+  const int64_t iend = fwd_begin_[static_cast<size_t>(u) + 1];
+  int64_t j = bwd_begin_[static_cast<size_t>(v)];
+  const int64_t jend = bwd_begin_[static_cast<size_t>(v) + 1];
+  Cost best = kInfiniteCost;
+  while (i < iend && j < jend) {
+    const NodeId hi = fwd_hub_[static_cast<size_t>(i)];
+    const NodeId hj = bwd_hub_[static_cast<size_t>(j)];
+    if (hi < hj) {
+      ++i;
+    } else if (hi > hj) {
+      ++j;
+    } else {
+      const Cost sum =
+          fwd_cost_[static_cast<size_t>(i)] + bwd_cost_[static_cast<size_t>(j)];
+      if (sum < best) best = sum;
+      ++i;
+      ++j;
+    }
+  }
+  return best;
+}
+
+void HubLabels::BatchDistances(std::span<const NodeId> sources,
+                               std::span<const NodeId> targets,
+                               Cost* out) const {
+  const size_t num_targets = targets.size();
+  std::fill(out, out + sources.size() * num_targets, kInfiniteCost);
+
+  // Gather the targets' backward labels into one hub-sorted array.
+  struct Triple {
+    NodeId hub;
+    int32_t target;
+    Cost cost;
+  };
+  std::vector<Triple> triples;
+  size_t total = 0;
+  for (const NodeId t : targets) total += BackwardHubs(t).size();
+  triples.reserve(total);
+  for (size_t j = 0; j < num_targets; ++j) {
+    const auto hubs = BackwardHubs(targets[j]);
+    const auto costs = BackwardCosts(targets[j]);
+    for (size_t k = 0; k < hubs.size(); ++k) {
+      triples.push_back({hubs[k], static_cast<int32_t>(j), costs[k]});
+    }
+  }
+  std::sort(triples.begin(), triples.end(),
+            [](const Triple& a, const Triple& b) {
+              return a.hub != b.hub ? a.hub < b.hub : a.target < b.target;
+            });
+
+  for (size_t i = 0; i < sources.size(); ++i) {
+    const auto hubs = ForwardHubs(sources[i]);
+    const auto costs = ForwardCosts(sources[i]);
+    Cost* row = out + i * num_targets;
+    for (size_t k = 0; k < hubs.size(); ++k) {
+      auto lo = std::lower_bound(
+          triples.begin(), triples.end(), hubs[k],
+          [](const Triple& e, NodeId key) { return e.hub < key; });
+      for (; lo != triples.end() && lo->hub == hubs[k]; ++lo) {
+        const Cost sum = costs[k] + lo->cost;
+        if (sum < row[lo->target]) row[lo->target] = sum;
+      }
+    }
+  }
+}
+
+Result<std::unique_ptr<HubLabelOracle>> HubLabelOracle::Create(
+    const RoadNetwork& network, const ChOptions& options) {
+  URR_ASSIGN_OR_RETURN(ContractionHierarchy ch,
+                       ContractionHierarchy::Build(network, options));
+  return FromHierarchy(ch);
+}
+
+Result<std::unique_ptr<HubLabelOracle>> HubLabelOracle::FromHierarchy(
+    const ContractionHierarchy& ch) {
+  URR_ASSIGN_OR_RETURN(HubLabels labels, HubLabels::Build(ch));
+  return std::make_unique<HubLabelOracle>(
+      std::make_shared<const HubLabels>(std::move(labels)));
+}
+
+Cost HubLabelOracle::Distance(NodeId u, NodeId v) {
+  ++num_calls_;
+  return labels_->Distance(u, v);
+}
+
+void HubLabelOracle::BatchDistances(std::span<const NodeId> sources,
+                                    std::span<const NodeId> targets,
+                                    Cost* out) {
+  num_calls_ += static_cast<int64_t>(sources.size() * targets.size());
+  labels_->BatchDistances(sources, targets, out);
+}
+
+std::unique_ptr<DistanceOracle> HubLabelOracle::Clone() const {
+  return std::make_unique<HubLabelOracle>(labels_);
+}
+
+Result<OracleStack> BuildOracleStack(const RoadNetwork& network,
+                                     OracleKind kind,
+                                     const ChOptions& options) {
+  OracleStack stack;
+  stack.kind = kind;
+  switch (kind) {
+    case OracleKind::kDijkstra:
+      stack.dijkstra = std::make_unique<DijkstraOracle>(network);
+      stack.active = stack.dijkstra.get();
+      break;
+    case OracleKind::kCh: {
+      URR_ASSIGN_OR_RETURN(stack.ch, ChOracle::Create(network, options));
+      stack.active = stack.ch.get();
+      break;
+    }
+    case OracleKind::kCachingCh: {
+      URR_ASSIGN_OR_RETURN(stack.ch, ChOracle::Create(network, options));
+      stack.caching = std::make_unique<CachingOracle>(stack.ch.get());
+      stack.active = stack.caching.get();
+      break;
+    }
+    case OracleKind::kHubLabel: {
+      URR_ASSIGN_OR_RETURN(stack.hub_labels,
+                           HubLabelOracle::Create(network, options));
+      stack.active = stack.hub_labels.get();
+      break;
+    }
+  }
+  return stack;
+}
+
+}  // namespace urr

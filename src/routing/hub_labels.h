@@ -1,0 +1,135 @@
+// Hub labeling (2-hop labels) derived from a built contraction hierarchy
+// (Abraham et al.): every node stores the distances of its upward-reachable
+// CH search space, so a point-to-point query is a sorted merge-join over two
+// small arrays instead of a bidirectional graph search. Labels are exact —
+// they are the settled sets of complete upward searches, pruned only when a
+// higher hub already covers the entry — and the oracle's batched
+// many-to-many API amortizes label scans across whole candidate waves.
+#ifndef URR_ROUTING_HUB_LABELS_H_
+#define URR_ROUTING_HUB_LABELS_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "routing/distance_oracle.h"
+
+namespace urr {
+
+/// Immutable forward/backward label store. Build once per network, then
+/// query from any number of threads (all queries are const).
+class HubLabels {
+ public:
+  /// Extracts labels from a built hierarchy: for each node, one complete
+  /// upward search per direction (same relax + stall-on-demand rules as
+  /// ChQuery), processed in descending rank order so entries dominated via
+  /// an already-labeled higher hub are pruned exactly.
+  static Result<HubLabels> Build(const ContractionHierarchy& ch);
+
+  /// Exact shortest-path cost by merge-join over Lf(u) and Lb(v);
+  /// kInfiniteCost when the labels share no hub.
+  Cost Distance(NodeId u, NodeId v) const;
+
+  /// Bucket-based many-to-many: gathers the targets' backward labels into
+  /// one hub-sorted array, then answers every source row with binary
+  /// searches per forward-label entry. Fills out[i * targets.size() + j]
+  /// with Distance(sources[i], targets[j]); values are identical to the
+  /// scalar query (same candidate set, same sums).
+  void BatchDistances(std::span<const NodeId> sources,
+                      std::span<const NodeId> targets, Cost* out) const;
+
+  NodeId num_nodes() const { return num_nodes_; }
+  /// Total label entries over both directions (size accounting).
+  int64_t num_entries() const {
+    return static_cast<int64_t>(fwd_hub_.size() + bwd_hub_.size());
+  }
+  /// Mean entries per label per direction.
+  double average_label_size() const {
+    return num_nodes_ == 0
+               ? 0.0
+               : static_cast<double>(num_entries()) / (2.0 * num_nodes_);
+  }
+
+  /// Label spans (hubs ascending; costs parallel).
+  std::span<const NodeId> ForwardHubs(NodeId v) const {
+    return {&fwd_hub_[static_cast<size_t>(fwd_begin_[v])],
+            static_cast<size_t>(fwd_begin_[v + 1] - fwd_begin_[v])};
+  }
+  std::span<const Cost> ForwardCosts(NodeId v) const {
+    return {&fwd_cost_[static_cast<size_t>(fwd_begin_[v])],
+            static_cast<size_t>(fwd_begin_[v + 1] - fwd_begin_[v])};
+  }
+  std::span<const NodeId> BackwardHubs(NodeId v) const {
+    return {&bwd_hub_[static_cast<size_t>(bwd_begin_[v])],
+            static_cast<size_t>(bwd_begin_[v + 1] - bwd_begin_[v])};
+  }
+  std::span<const Cost> BackwardCosts(NodeId v) const {
+    return {&bwd_cost_[static_cast<size_t>(bwd_begin_[v])],
+            static_cast<size_t>(bwd_begin_[v + 1] - bwd_begin_[v])};
+  }
+
+ private:
+  HubLabels() = default;
+
+  NodeId num_nodes_ = 0;
+  // CSR label stores: hub ids ascending within each node's slice.
+  std::vector<int64_t> fwd_begin_;  // size num_nodes+1
+  std::vector<NodeId> fwd_hub_;
+  std::vector<Cost> fwd_cost_;
+  std::vector<int64_t> bwd_begin_;
+  std::vector<NodeId> bwd_hub_;
+  std::vector<Cost> bwd_cost_;
+};
+
+/// Hub-label-backed oracle. The label store is shared immutably across
+/// clones, so Clone() is O(1) and the parallel evaluation path composes.
+class HubLabelOracle : public DistanceOracle {
+ public:
+  /// Builds a hierarchy for `network`, extracts labels and discards the
+  /// hierarchy (labels are self-contained).
+  static Result<std::unique_ptr<HubLabelOracle>> Create(
+      const RoadNetwork& network, const ChOptions& options = {});
+  /// Extracts labels from an already-built hierarchy.
+  static Result<std::unique_ptr<HubLabelOracle>> FromHierarchy(
+      const ContractionHierarchy& ch);
+
+  explicit HubLabelOracle(std::shared_ptr<const HubLabels> labels)
+      : labels_(std::move(labels)) {}
+
+  Cost Distance(NodeId u, NodeId v) override;
+  void BatchDistances(std::span<const NodeId> sources,
+                      std::span<const NodeId> targets, Cost* out) override;
+  bool SupportsBatch() const override { return true; }
+  /// Clones share the immutable label store (no rebuild, no copy).
+  std::unique_ptr<DistanceOracle> Clone() const override;
+
+  const HubLabels& labels() const { return *labels_; }
+
+ private:
+  std::shared_ptr<const HubLabels> labels_;
+};
+
+/// One fully-built routing stack plus the oracle solvers should use. The
+/// members not needed by `kind` stay null; `active` points into the struct
+/// (stable across moves — the pointees are heap-allocated).
+struct OracleStack {
+  OracleKind kind = OracleKind::kCachingCh;
+  std::unique_ptr<DijkstraOracle> dijkstra;
+  std::unique_ptr<ChOracle> ch;
+  std::unique_ptr<HubLabelOracle> hub_labels;
+  std::unique_ptr<CachingOracle> caching;
+  DistanceOracle* active = nullptr;
+};
+
+/// Builds the oracle stack for `kind`. kDijkstra keeps a reference to
+/// `network`, which must then outlive the stack; the CH/HL flavors keep no
+/// reference.
+Result<OracleStack> BuildOracleStack(const RoadNetwork& network,
+                                     OracleKind kind,
+                                     const ChOptions& options = {});
+
+}  // namespace urr
+
+#endif  // URR_ROUTING_HUB_LABELS_H_

@@ -79,13 +79,29 @@ Result<UrrSolution> SolveGbs(const UrrInstance& instance, SolverContext* ctx,
   // grouping loop itself serial so group membership order is unchanged.
   const Cost short_threshold = pre.d_max * static_cast<Cost>(pre.k);
   std::vector<Cost> direct_cost(static_cast<size_t>(instance.num_riders()));
-  ParallelFor(ctx->eval_pool(), instance.num_riders(),
-              [&](int64_t i, int worker) {
-                const Rider& r = instance.riders[static_cast<size_t>(i)];
-                direct_cost[static_cast<size_t>(i)] =
-                    ctx->worker_oracle(worker)->Distance(r.source,
-                                                         r.destination);
-              });
+  DistanceOracle* classify_oracle =
+      ctx->worker_oracle(ThreadPool::CurrentWorker());
+  if (ctx->batch_eval && classify_oracle != nullptr &&
+      classify_oracle->SupportsBatch() && instance.num_riders() > 0) {
+    // One element-wise batch answers every rider's direct distance with the
+    // exact per-pair values, so grouping is unchanged.
+    std::vector<NodeId> sources, destinations;
+    sources.reserve(static_cast<size_t>(instance.num_riders()));
+    destinations.reserve(static_cast<size_t>(instance.num_riders()));
+    for (const Rider& r : instance.riders) {
+      sources.push_back(r.source);
+      destinations.push_back(r.destination);
+    }
+    classify_oracle->BatchPairwise(sources, destinations, direct_cost.data());
+  } else {
+    ParallelFor(ctx->eval_pool(), instance.num_riders(),
+                [&](int64_t i, int worker) {
+                  const Rider& r = instance.riders[static_cast<size_t>(i)];
+                  direct_cost[static_cast<size_t>(i)] =
+                      ctx->worker_oracle(worker)->Distance(r.source,
+                                                           r.destination);
+                });
+  }
   std::vector<std::vector<RiderId>> groups(
       static_cast<size_t>(pre.areas.num_areas()));
   std::vector<RiderId> long_trips;  // g_0

@@ -1,5 +1,8 @@
 #include "urr/solution.h"
 
+#include <algorithm>
+#include <unordered_map>
+
 namespace urr {
 
 double UrrSolution::TotalUtility(const UtilityModel& model) const {
@@ -102,6 +105,138 @@ CandidateEval EvaluateInsertionOn(const UrrInstance& instance,
 
 }  // namespace
 
+namespace {
+
+uint64_t PairKey(NodeId u, NodeId v) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(u)) << 32) |
+         static_cast<uint64_t>(static_cast<uint32_t>(v));
+}
+
+/// Serves a wave's distance queries from the prefetched table; anything
+/// outside the predicted footprint falls through to the worker's own
+/// oracle. Table values come from the same oracle family, so the answers
+/// are identical either way.
+class PrefetchedOracle : public DistanceOracle {
+ public:
+  PrefetchedOracle(const std::unordered_map<uint64_t, Cost>* table,
+                   DistanceOracle* fallback)
+      : table_(table), fallback_(fallback) {}
+
+  Cost Distance(NodeId u, NodeId v) override {
+    ++num_calls_;
+    auto it = table_->find(PairKey(u, v));
+    if (it != table_->end()) return it->second;
+    return fallback_->Distance(u, v);
+  }
+
+ private:
+  const std::unordered_map<uint64_t, Cost>* table_;
+  DistanceOracle* fallback_;
+};
+
+/// Skip prefetching when the predicted footprint would not fit a sane
+/// table; the wave then runs on per-pair queries as before.
+constexpr size_t kMaxPrefetchEntries = size_t{1} << 22;
+
+/// Predicts every distance the wave's insertions can ask for and fetches
+/// them in a few many-to-many batches. Per candidate vehicle j the
+/// footprint closes over N_j (start + stop locations, covering all
+/// consecutive-leg rebuilds and the scheduled riders' direct distances) and
+/// D_j (the wave's rider endpoints): (N_j ∪ D_j) × N_j plus N_j × D_j, plus
+/// each wave rider's direct (source, destination) pair. Returns false (no
+/// table) when the footprint exceeds kMaxPrefetchEntries.
+bool PrefetchWaveDistances(const UrrInstance& instance, const UrrSolution& sol,
+                           const std::vector<RiderVehiclePair>& pairs,
+                           DistanceOracle* oracle,
+                           std::unordered_map<uint64_t, Cost>* table) {
+  std::vector<std::vector<RiderId>> by_vehicle(sol.schedules.size());
+  std::vector<int> touched;
+  std::vector<RiderId> wave_riders;
+  std::vector<bool> rider_seen(static_cast<size_t>(instance.num_riders()),
+                               false);
+  for (const RiderVehiclePair& p : pairs) {
+    if (p.rider < 0 || p.vehicle < 0 ||
+        static_cast<size_t>(p.vehicle) >= by_vehicle.size()) {
+      continue;
+    }
+    auto& list = by_vehicle[static_cast<size_t>(p.vehicle)];
+    if (list.empty()) touched.push_back(p.vehicle);
+    list.push_back(p.rider);
+    if (!rider_seen[static_cast<size_t>(p.rider)]) {
+      rider_seen[static_cast<size_t>(p.rider)] = true;
+      wave_riders.push_back(p.rider);
+    }
+  }
+
+  struct VehicleFootprint {
+    std::vector<NodeId> sched;  // N_j: start + stop locations
+    std::vector<NodeId> ends;   // D_j: candidate rider endpoints
+    std::vector<NodeId> rows;   // N_j ∪ D_j
+  };
+  auto sort_unique = [](std::vector<NodeId>* v) {
+    std::sort(v->begin(), v->end());
+    v->erase(std::unique(v->begin(), v->end()), v->end());
+  };
+  std::vector<VehicleFootprint> foot(touched.size());
+  size_t total = wave_riders.size();
+  for (size_t idx = 0; idx < touched.size(); ++idx) {
+    const int j = touched[idx];
+    const TransferSequence& seq = sol.schedules[static_cast<size_t>(j)];
+    VehicleFootprint& f = foot[idx];
+    f.sched.push_back(seq.start_location());
+    for (int u = 0; u < seq.num_stops(); ++u) {
+      f.sched.push_back(seq.stop(u).location);
+    }
+    sort_unique(&f.sched);
+    for (const RiderId i : by_vehicle[static_cast<size_t>(j)]) {
+      const Rider& r = instance.riders[static_cast<size_t>(i)];
+      f.ends.push_back(r.source);
+      f.ends.push_back(r.destination);
+    }
+    sort_unique(&f.ends);
+    f.rows = f.sched;
+    f.rows.insert(f.rows.end(), f.ends.begin(), f.ends.end());
+    sort_unique(&f.rows);
+    total += f.rows.size() * f.sched.size() + f.sched.size() * f.ends.size();
+  }
+  if (total > kMaxPrefetchEntries) return false;
+
+  table->reserve(total);
+  std::vector<Cost> buf;
+  auto fetch = [&](std::span<const NodeId> srcs, std::span<const NodeId> dsts) {
+    if (srcs.empty() || dsts.empty()) return;
+    buf.resize(srcs.size() * dsts.size());
+    oracle->BatchDistances(srcs, dsts, buf.data());
+    for (size_t a = 0; a < srcs.size(); ++a) {
+      for (size_t b = 0; b < dsts.size(); ++b) {
+        table->emplace(PairKey(srcs[a], dsts[b]), buf[a * dsts.size() + b]);
+      }
+    }
+  };
+  for (const VehicleFootprint& f : foot) {
+    fetch(f.rows, f.sched);
+    fetch(f.sched, f.ends);
+  }
+  if (!wave_riders.empty()) {
+    std::vector<NodeId> us, vs;
+    us.reserve(wave_riders.size());
+    vs.reserve(wave_riders.size());
+    for (const RiderId i : wave_riders) {
+      const Rider& r = instance.riders[static_cast<size_t>(i)];
+      us.push_back(r.source);
+      vs.push_back(r.destination);
+    }
+    buf.resize(us.size());
+    oracle->BatchPairwise(us, vs, buf.data());
+    for (size_t k = 0; k < us.size(); ++k) {
+      table->emplace(PairKey(us[k], vs[k]), buf[k]);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 CandidateEval EvaluateInsertion(const UrrInstance& instance,
                                 const UtilityModel& model,
                                 const UrrSolution& sol, RiderId i, int j,
@@ -122,12 +257,39 @@ std::vector<CandidateEval> EvaluateCandidates(
     const UrrInstance& instance, SolverContext* ctx, const UrrSolution& sol,
     const std::vector<RiderVehiclePair>& pairs, bool need_utility) {
   std::vector<CandidateEval> evals(pairs.size());
+  // Wave batching: with a batch-capable oracle, fetch the wave's predicted
+  // distance footprint in a few many-to-many batches and serve evaluations
+  // from the shared read-only table. The table is built before any fan-out
+  // (on the calling worker's oracle — inside a nested wave that is the
+  // worker's private clone), so results stay bit-identical to the scalar
+  // path for any thread count.
+  std::unordered_map<uint64_t, Cost> table;
+  std::vector<PrefetchedOracle> prefetched;
+  bool use_table = false;
+  DistanceOracle* caller = ctx->worker_oracle(ThreadPool::CurrentWorker());
+  if (ctx->batch_eval && !pairs.empty() && caller != nullptr &&
+      caller->SupportsBatch()) {
+    use_table = PrefetchWaveDistances(instance, sol, pairs, caller, &table);
+  }
+  if (use_table) {
+    const size_t num_workers =
+        std::max<size_t>(size_t{1}, ctx->worker_oracles.size());
+    prefetched.reserve(num_workers);
+    for (size_t w = 0; w < num_workers; ++w) {
+      prefetched.emplace_back(&table, ctx->worker_oracle(static_cast<int>(w)));
+    }
+  }
   ParallelFor(ctx->eval_pool(), static_cast<int64_t>(pairs.size()),
               [&](int64_t k, int worker) {
                 const RiderVehiclePair& p = pairs[static_cast<size_t>(k)];
+                DistanceOracle* eval_oracle =
+                    use_table && static_cast<size_t>(worker) < prefetched.size()
+                        ? static_cast<DistanceOracle*>(
+                              &prefetched[static_cast<size_t>(worker)])
+                        : ctx->worker_oracle(worker);
                 evals[static_cast<size_t>(k)] = EvaluateInsertion(
                     instance, *ctx->model, sol, p.rider, p.vehicle,
-                    need_utility, ctx->worker_oracle(worker));
+                    need_utility, eval_oracle);
               });
   return evals;
 }

@@ -58,6 +58,11 @@ struct SolverContext {
   /// line up the solvers silently stay serial, so a non-cloneable oracle
   /// can never race.
   std::vector<DistanceOracle*> worker_oracles;
+  /// When true and the oracle reports SupportsBatch(), candidate-evaluation
+  /// waves predict their distance footprint and fetch it with a few
+  /// many-to-many batches up front instead of thousands of scalar queries.
+  /// Values are identical either way, so this is purely a throughput knob.
+  bool batch_eval = true;
 
   /// The pool to actually fan out on: `pool` when worker_oracles covers
   /// every worker, nullptr (serial) otherwise.

@@ -88,5 +88,44 @@ TEST(DistanceOracleTest, CachedValuesStayCorrect) {
   EXPECT_GT(cached.num_hits(), 0);
 }
 
+// Adversarial stream of distinct pairs: the cache must honour max_entries at
+// every step (no unbounded growth), through both the scalar and the batched
+// query paths, while staying correct.
+TEST(DistanceOracleTest, CachingOracleNeverExceedsCapacity) {
+  Rng rng(53);
+  GridCityOptions opt;
+  opt.width = 12;
+  opt.height = 12;
+  auto g = GenerateGridCity(opt, &rng);
+  ASSERT_TRUE(g.ok());
+  DijkstraOracle base(*g);
+  DijkstraOracle ref(*g);
+  CachingOracle cached(&base, /*max_entries=*/8);
+  EXPECT_EQ(cached.max_entries(), 8u);
+  const NodeId n = g->num_nodes();
+  for (int i = 0; i < 100; ++i) {
+    // Every pair distinct: all misses, worst case for the eviction policy.
+    const NodeId s = static_cast<NodeId>(i % n);
+    const NodeId t = static_cast<NodeId>((i * 37 + 11) % n);
+    EXPECT_DOUBLE_EQ(cached.Distance(s, t), ref.Distance(s, t));
+    EXPECT_LE(cached.num_entries(), cached.max_entries()) << "step " << i;
+  }
+  // Batched rectangles go through the same insert-with-flush policy.
+  std::vector<NodeId> sources, targets;
+  for (int i = 0; i < 9; ++i) {
+    sources.push_back(static_cast<NodeId>(rng.UniformInt(0, n - 1)));
+    targets.push_back(static_cast<NodeId>(rng.UniformInt(0, n - 1)));
+  }
+  std::vector<Cost> out(sources.size() * targets.size());
+  cached.BatchDistances(sources, targets, out.data());
+  EXPECT_LE(cached.num_entries(), cached.max_entries());
+  for (size_t i = 0; i < sources.size(); ++i) {
+    for (size_t j = 0; j < targets.size(); ++j) {
+      EXPECT_DOUBLE_EQ(out[i * targets.size() + j],
+                       ref.Distance(sources[i], targets[j]));
+    }
+  }
+}
+
 }  // namespace
 }  // namespace urr

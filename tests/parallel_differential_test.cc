@@ -6,14 +6,22 @@
 // (via the experiment harness, CachingOracle over CH) and on grid graphs
 // (hand-built world, DijkstraOracle, AttachThreadPool wiring), across
 // varying capacities and deadline ranges.
+//
+// Oracle differential: on quantized-cost grids (every edge cost a multiple
+// of 1/256, so path sums are exact in double arithmetic) the same solves
+// must also be byte-identical across the dijkstra | ch | caching | hl
+// oracle stacks, and the harness cities must stay thread-invariant under
+// `oracle = "hl"`.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
 #include <sstream>
 #include <string>
 
 #include "exp/harness.h"
 #include "graph/generators.h"
+#include "routing/hub_labels.h"
 #include "urr/urr.h"
 
 namespace urr {
@@ -186,7 +194,8 @@ struct GridWorld {
 
 std::unique_ptr<GridWorld> MakeGridWorld(uint64_t seed, int riders,
                                          int vehicles, int capacity,
-                                         Cost deadline_lo, Cost deadline_hi) {
+                                         Cost deadline_lo, Cost deadline_hi,
+                                         bool quantize = false) {
   auto w = std::make_unique<GridWorld>();
   w->rng = Rng(seed);
   GridCityOptions gopt;
@@ -196,6 +205,16 @@ std::unique_ptr<GridWorld> MakeGridWorld(uint64_t seed, int riders,
   auto g = GenerateGridCity(gopt, &w->rng);
   EXPECT_TRUE(g.ok());
   w->network = *std::move(g);
+  if (quantize) {
+    // Round every edge cost to a multiple of 1/256: path sums become exact
+    // in double arithmetic, so every exact oracle returns identical bits.
+    std::vector<Edge> edges = w->network.EdgeList();
+    for (Edge& e : edges) e.cost = std::round(e.cost * 256.0) / 256.0;
+    auto q = RoadNetwork::Build(w->network.num_nodes(), std::move(edges),
+                                w->network.coords());
+    EXPECT_TRUE(q.ok());
+    w->network = *std::move(q);
+  }
   w->oracle = std::make_unique<DijkstraOracle>(w->network);
 
   SocialGenOptions sopt;
@@ -286,6 +305,92 @@ TEST(ParallelDifferentialTest, GridWorldsIdenticalAcrossThreadCounts) {
                                   s.deadline_lo, s.deadline_hi, v, 2));
       EXPECT_EQ(serial, RunOnGrid(s.seed, s.riders, s.vehicles, s.capacity,
                                   s.deadline_lo, s.deadline_hi, v, 8));
+    }
+  }
+}
+
+// --- Cross-oracle differential on quantized costs. -------------------------
+
+/// Solve on a quantized grid world under an explicitly chosen oracle stack.
+/// Instance generation always uses the world's DijkstraOracle, so the
+/// instance is byte-identical regardless of which stack solves it.
+std::string RunOnQuantizedGrid(uint64_t seed, int riders, int vehicles,
+                               int capacity, Cost deadline_lo,
+                               Cost deadline_hi, Variant v, OracleKind kind,
+                               int threads) {
+  auto w = MakeGridWorld(seed, riders, vehicles, capacity, deadline_lo,
+                         deadline_hi, /*quantize=*/true);
+  auto stack = BuildOracleStack(w->network, kind);
+  EXPECT_TRUE(stack.ok()) << stack.status();
+  if (!stack.ok()) return "";
+  SolverContext ctx;
+  ctx.oracle = stack->active;
+  ctx.model = w->model.get();
+  ctx.vehicle_index = w->index.get();
+  ctx.rng = &w->rng;
+  ctx.euclid_speed = w->network.MaxSpeed();
+  std::unique_ptr<ThreadPool> pool;
+  std::vector<std::unique_ptr<DistanceOracle>> clones;
+  if (threads > 1) {
+    pool = std::make_unique<ThreadPool>(threads);
+    clones = AttachThreadPool(&ctx, pool.get());
+    EXPECT_NE(ctx.eval_pool(), nullptr) << OracleKindName(kind);
+  }
+  GbsOptions gbs;
+  gbs.k = 3;
+  gbs.d_max = 200;
+  const UrrSolution sol = SolveVariant(w->instance, &ctx, gbs, v);
+  EXPECT_TRUE(sol.Validate(w->instance).ok()) << VariantName(v);
+  return Fingerprint(sol, *w->model);
+}
+
+// The tentpole's exactness claim, end to end: with quantized edge costs the
+// whole solver output — assignment, stops, utility and cost bits — is
+// identical whichever oracle stack answers the distance queries, serial or
+// batched, at any thread count.
+TEST(ParallelDifferentialTest, QuantizedGridsIdenticalAcrossOracleKinds) {
+  struct Scenario {
+    uint64_t seed;
+    int riders, vehicles, capacity;
+    Cost deadline_lo, deadline_hi;
+  };
+  const std::vector<Scenario> scenarios = {
+      {11, 40, 8, 3, 200, 2000},
+      {23, 35, 7, 2, 100, 800},
+  };
+  for (const Scenario& s : scenarios) {
+    for (Variant v : AllVariants()) {
+      SCOPED_TRACE(std::string(VariantName(v)) + " seed=" +
+                   std::to_string(s.seed));
+      const std::string want =
+          RunOnQuantizedGrid(s.seed, s.riders, s.vehicles, s.capacity,
+                             s.deadline_lo, s.deadline_hi, v,
+                             OracleKind::kDijkstra, 1);
+      ASSERT_FALSE(want.empty());
+      for (OracleKind kind : {OracleKind::kCh, OracleKind::kCachingCh,
+                              OracleKind::kHubLabel}) {
+        SCOPED_TRACE(OracleKindName(kind));
+        EXPECT_EQ(want, RunOnQuantizedGrid(s.seed, s.riders, s.vehicles,
+                                           s.capacity, s.deadline_lo,
+                                           s.deadline_hi, v, kind, 1));
+        EXPECT_EQ(want, RunOnQuantizedGrid(s.seed, s.riders, s.vehicles,
+                                           s.capacity, s.deadline_lo,
+                                           s.deadline_hi, v, kind, 8));
+      }
+    }
+  }
+}
+
+// The harness cities stay thread-invariant when the hub-label stack answers
+// all distance queries (batched wave evaluation included).
+TEST(ParallelDifferentialTest, CityWorldsThreadInvariantUnderHubLabels) {
+  for (CityScenario scenario : CityScenarios()) {
+    scenario.cfg.oracle = "hl";
+    for (Variant v : AllVariants()) {
+      SCOPED_TRACE(std::string(scenario.name) + " / hl / " + VariantName(v));
+      const std::string serial = RunOnWorld(scenario.cfg, v, 1);
+      ASSERT_FALSE(serial.empty());
+      EXPECT_EQ(serial, RunOnWorld(scenario.cfg, v, 8));
     }
   }
 }

@@ -21,6 +21,7 @@
 #include "common/table.h"
 #include "graph/dimacs.h"
 #include "graph/generators.h"
+#include "routing/hub_labels.h"
 #include "social/checkins.h"
 #include "social/generators.h"
 #include "trips/instance_builder.h"
@@ -47,6 +48,7 @@ struct Options {
   double deadline_min_minutes = 10;
   double deadline_max_minutes = 30;
   std::string approach = "ba";
+  std::string oracle;  // "" = URR_ORACLE env (default "caching")
   uint64_t seed = 42;
   int threads = 0;  // 0 = URR_THREADS env, 1 = serial
   std::string out_path;
@@ -73,6 +75,9 @@ instance:
 
 solver:
   --approach cf|eg|ba|gbs-eg|gbs-ba|online
+  --oracle dijkstra|ch|caching|hl   distance oracle stack (default: the
+                          URR_ORACLE env var, then "caching" = CH + memo
+                          cache; "hl" = hub labels with batched evaluation)
   --seed S
   --threads T             evaluation threads (0 = URR_THREADS env, 1 = serial;
                           the solution is identical for every T)
@@ -87,6 +92,7 @@ Result<Options> ParseArgs(int argc, char** argv) {
       {"--network", &opt.network_path}, {"--coords", &opt.coords_path},
       {"--city", &opt.city},            {"--trips", &opt.trips_path},
       {"--approach", &opt.approach},    {"--out", &opt.out_path},
+      {"--oracle", &opt.oracle},
   };
   std::map<std::string, double*> doubles = {
       {"--alpha", &opt.alpha},
@@ -168,9 +174,14 @@ Status Run(const Options& opt) {
 
   // --- Routing oracle. --------------------------------------------------------
   Stopwatch prep;
-  URR_ASSIGN_OR_RETURN(std::unique_ptr<ChOracle> ch, ChOracle::Create(network));
-  CachingOracle oracle(ch.get());
-  std::printf("contraction hierarchy built in %.2fs\n", prep.ElapsedSeconds());
+  const std::string oracle_name =
+      opt.oracle.empty() ? OracleName() : opt.oracle;
+  URR_ASSIGN_OR_RETURN(OracleKind oracle_kind, ParseOracleKind(oracle_name));
+  URR_ASSIGN_OR_RETURN(OracleStack stack,
+                       BuildOracleStack(network, oracle_kind));
+  DistanceOracle& oracle = *stack.active;
+  std::printf("%s oracle built in %.2fs\n", OracleKindName(oracle_kind),
+              prep.ElapsedSeconds());
 
   // --- Social substrate. -------------------------------------------------------
   SocialGenOptions sopt;
