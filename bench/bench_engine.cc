@@ -1,0 +1,91 @@
+// bench_engine: streaming-dispatch sweep — micro-batch window size W ×
+// arrival rate, same workload per rate so the window effect is isolated.
+// Expected shape: W = 0 (per-arrival online dispatch) books the least total
+// utility because each rider is committed greedily with no batching; small
+// windows (tens of seconds) let the batch solver pack shared rides and beat
+// it, while very large windows start to expire riders whose pickup
+// deadlines pass in the queue. Results append to BENCH_engine.json (one
+// JSON object per line) for machine consumption.
+#include "bench_util.h"
+#include "common/table.h"
+#include "engine/engine.h"
+
+int main() {
+  using namespace urr;
+  using namespace urr::bench;
+  ExperimentConfig cfg = DefaultConfig(CityKind::kNycLike);
+  Banner("Streaming engine - window size x arrival rate", cfg);
+
+  auto world = BuildWorld(cfg);
+  if (!world.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 world.status().ToString().c_str());
+    return 1;
+  }
+
+  const double rates[] = {0.5, 2.0};          // riders per second
+  const double windows[] = {0, 10, 30, 60, 120};  // seconds
+
+  const std::string out_path =
+      GetEnvString("URR_BENCH_ENGINE_JSON", "BENCH_engine.json");
+  std::FILE* out = std::fopen(out_path.c_str(), "a");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+
+  TablePrinter table({"arrival rate (/s)", "window (s)", "arrived", "accepted",
+                      "expired", "rejected", "booked utility", "wait p95 (s)",
+                      "solve p95 (s)"});
+  int rc = 0;
+  for (const double rate : rates) {
+    // One workload per rate, shared by every window size.
+    Rng wrng(cfg.seed + static_cast<uint64_t>(rate * 1000));
+    StreamingWorkloadOptions wopt;
+    wopt.arrival_rate = rate;
+    const StreamingWorkload workload =
+        MakeStreamingWorkload((*world)->instance, wopt, &wrng);
+    UtilityModel model(&workload.instance, UtilityParams{cfg.alpha, cfg.beta});
+    for (const double w : windows) {
+      SolverContext ctx = (*world)->Context();
+      ctx.model = &model;
+      EngineConfig ecfg;
+      ecfg.window = w;
+      ecfg.solver = WindowSolver::kEfficientGreedy;
+      ecfg.seed = cfg.seed;
+      DispatchEngine engine(&workload, &ctx, ecfg);
+      const Status st = engine.Run();
+      if (!st.ok()) {
+        std::fprintf(stderr, "rate %g window %g failed: %s\n", rate, w,
+                     st.ToString().c_str());
+        rc = 1;
+        continue;
+      }
+      const EngineMetrics& m = engine.metrics();
+      table.AddRow({TablePrinter::Num(rate, 1), TablePrinter::Num(w, 0),
+                    std::to_string(m.total_arrivals),
+                    std::to_string(m.total_accepted),
+                    std::to_string(m.total_expired),
+                    std::to_string(m.total_rejected),
+                    TablePrinter::Num(m.booked_utility, 3),
+                    TablePrinter::Num(Percentile(m.pickup_waits, 95), 1),
+                    TablePrinter::Num(Percentile(m.solve_latencies, 95), 4)});
+      std::fprintf(
+          out,
+          "{\"bench\":\"engine\",\"solver\":\"%s\",\"arrival_rate\":%.17g,"
+          "\"window\":%.17g,\"arrived\":%d,\"accepted\":%d,\"expired\":%d,"
+          "\"rejected\":%d,\"booked_utility\":%.17g,\"driven_cost\":%.17g,"
+          "\"num_windows\":%d,\"pickup_wait_p95\":%.17g,"
+          "\"solve_latency_p95\":%.17g,\"seed\":%llu}\n",
+          WindowSolverName(ecfg.solver), rate, w, m.total_arrivals,
+          m.total_accepted, m.total_expired, m.total_rejected,
+          m.booked_utility, m.driven_cost, static_cast<int>(m.windows.size()),
+          Percentile(m.pickup_waits, 95), Percentile(m.solve_latencies, 95),
+          static_cast<unsigned long long>(cfg.seed));
+    }
+  }
+  std::fclose(out);
+  table.Print();
+  std::printf("\nper-run JSON appended to %s\n", out_path.c_str());
+  return rc;
+}

@@ -57,11 +57,14 @@ int main() {
 
   TablePrinter table(header);
   for (int b = 0; b < kBuckets; ++b) {
-    std::vector<std::string> row = {
-        "[" + std::to_string(static_cast<int>(b * kBucket)) + "," +
-        (b + 1 == kBuckets ? std::string("inf")
-                           : std::to_string(static_cast<int>((b + 1) * kBucket))) +
-        ")"};
+    std::string bucket = "[";
+    bucket += std::to_string(static_cast<int>(b * kBucket));
+    bucket += ",";
+    bucket += b + 1 == kBuckets
+                  ? std::string("inf")
+                  : std::to_string(static_cast<int>((b + 1) * kBucket));
+    bucket += ")";
+    std::vector<std::string> row = {std::move(bucket)};
     for (const auto& hist : hists) {
       row.push_back(std::to_string(hist[static_cast<size_t>(b)]));
     }

@@ -16,9 +16,12 @@ int main() {
     ExperimentConfig cfg = base;
     cfg.rt_min_minutes = lo;
     cfg.rt_max_minutes = hi;
-    points.push_back({"[" + std::to_string(static_cast<int>(lo)) + "," +
-                          std::to_string(static_cast<int>(hi)) + "]min",
-                      cfg});
+    std::string label = "[";
+    label += std::to_string(static_cast<int>(lo));
+    label += ",";
+    label += std::to_string(static_cast<int>(hi));
+    label += "]min";
+    points.push_back({label, cfg});
   }
   return RunAndReport("fig8_deadline_nyc", "deadline range", points);
 }

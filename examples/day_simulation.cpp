@@ -1,8 +1,11 @@
-// day_simulation: chain several 30-minute dispatch frames so vehicles
-// carry positions forward — a "day in the life" of the fleet under each
-// approach, with per-frame service rates and utilities.
+// day_simulation: run several 30-minute demand frames as one continuous
+// streaming workload — a "day in the life" of the fleet under each
+// approach, with per-frame service rates and utilities. Vehicles move in
+// continuous time on the engine clock (no teleporting between frames):
+// riders arrive spread across their frame, are dispatched by micro-batch
+// windows, and unserved riders expire at their pickup deadline.
 //
-//   ./build/examples/day_simulation [frames] [riders_per_frame]
+//   ./build/examples/day_simulation [frames] [riders_per_frame] [window_s]
 #include <cstdio>
 #include <cstdlib>
 
@@ -22,6 +25,7 @@ int main(int argc, char** argv) {
   SimulationConfig sim;
   sim.num_frames = argc > 1 ? std::atoi(argv[1]) : 6;
   sim.riders_per_frame = argc > 2 ? std::atoi(argv[2]) : 250;
+  sim.dispatch_seconds = argc > 3 ? std::atof(argv[3]) : 60;
 
   std::printf("building world (%d nodes, %d vehicles)...\n", cfg.city_nodes,
               cfg.num_vehicles);

@@ -1,0 +1,117 @@
+// Minimal append-only JSON emitter for the machine-readable reports
+// (SolutionMetrics/EngineMetrics JSON, urr_engine --json, BENCH_engine.json).
+// Doubles are printed with %.17g so every value round-trips bit-exactly —
+// the engine's determinism tests compare these strings byte-for-byte.
+#ifndef URR_COMMON_JSON_WRITER_H_
+#define URR_COMMON_JSON_WRITER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace urr {
+
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject() { return Open('{'); }
+  JsonWriter& EndObject() { return Close('}'); }
+  JsonWriter& BeginArray() { return Open('['); }
+  JsonWriter& EndArray() { return Close(']'); }
+
+  JsonWriter& Key(std::string_view name) {
+    Separate();
+    AppendString(name);
+    out_ += ':';
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& Value(double v) {
+    Separate();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out_ += buf;
+    return *this;
+  }
+  JsonWriter& Value(int64_t v) {
+    Separate();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& Value(int v) { return Value(static_cast<int64_t>(v)); }
+  JsonWriter& Value(bool v) {
+    Separate();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& Value(std::string_view v) {
+    Separate();
+    AppendString(v);
+    return *this;
+  }
+  JsonWriter& Value(const char* v) { return Value(std::string_view(v)); }
+
+  /// Key + scalar value in one call.
+  template <typename T>
+  JsonWriter& Field(std::string_view name, T v) {
+    Key(name);
+    return Value(v);
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  JsonWriter& Open(char c) {
+    Separate();
+    out_ += c;
+    needs_comma_.push_back(false);
+    return *this;
+  }
+  JsonWriter& Close(char c) {
+    out_ += c;
+    needs_comma_.pop_back();
+    return *this;
+  }
+  /// Inserts the comma before a sibling; a value right after Key() never
+  /// gets one.
+  void Separate() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (!needs_comma_.empty()) {
+      if (needs_comma_.back()) out_ += ',';
+      needs_comma_.back() = true;
+    }
+  }
+  void AppendString(std::string_view s) {
+    out_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<bool> needs_comma_;
+  bool pending_value_ = false;
+};
+
+}  // namespace urr
+
+#endif  // URR_COMMON_JSON_WRITER_H_

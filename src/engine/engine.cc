@@ -1,0 +1,434 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "common/stopwatch.h"
+#include "urr/bilateral.h"
+#include "urr/greedy.h"
+
+namespace urr {
+
+namespace {
+
+std::vector<NodeId> VehicleLocations(const UrrInstance& instance) {
+  std::vector<NodeId> locations;
+  locations.reserve(instance.vehicles.size());
+  for (const Vehicle& v : instance.vehicles) locations.push_back(v.location);
+  return locations;
+}
+
+}  // namespace
+
+const char* WindowSolverName(WindowSolver solver) {
+  switch (solver) {
+    case WindowSolver::kCostFirst: return "cf";
+    case WindowSolver::kEfficientGreedy: return "eg";
+    case WindowSolver::kBilateral: return "ba";
+    case WindowSolver::kGbsEg: return "gbs-eg";
+    case WindowSolver::kGbsBa: return "gbs-ba";
+  }
+  return "unknown";
+}
+
+bool ParseWindowSolver(std::string_view name, WindowSolver* out) {
+  for (WindowSolver s :
+       {WindowSolver::kCostFirst, WindowSolver::kEfficientGreedy,
+        WindowSolver::kBilateral, WindowSolver::kGbsEg, WindowSolver::kGbsBa}) {
+    if (name == WindowSolverName(s)) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+DispatchEngine::DispatchEngine(const StreamingWorkload* workload,
+                               SolverContext* ctx, const EngineConfig& config)
+    : workload_(workload),
+      config_(config),
+      instance_(workload->instance),
+      ctx_(*ctx),
+      vehicle_index_(*instance_.network, VehicleLocations(instance_)),
+      rng_(config.seed),
+      solution_(MakeEmptySolution(instance_, ctx->oracle)) {
+  // The engine owns the time-varying pieces: its index tracks mid-route
+  // anchors and its Rng makes BA's random order part of the replay identity.
+  ctx_.vehicle_index = &vehicle_index_;
+  ctx_.rng = &rng_;
+  const size_t n = instance_.riders.size();
+  state_.assign(n, RiderState::kPending);
+  arrival_time_.assign(n, instance_.now);
+  booked_.assign(n, 0.0);
+  all_vehicles_.resize(instance_.vehicles.size());
+  for (size_t j = 0; j < all_vehicles_.size(); ++j) {
+    all_vehicles_[j] = static_cast<int>(j);
+  }
+  window_start_ = instance_.now;
+}
+
+void DispatchEngine::Push(Cost time, int rank, RiderId rider) {
+  queue_.push(Pending{time, rank, next_seq_++, rider});
+  if (rank != 2) ++pending_inputs_;
+}
+
+Status DispatchEngine::Run() {
+  if (ran_) return Status::Internal("DispatchEngine::Run called twice");
+  ran_ = true;
+  if (config_.solver == WindowSolver::kGbsEg ||
+      config_.solver == WindowSolver::kGbsBa) {
+    config_.gbs.base = config_.solver == WindowSolver::kGbsEg
+                           ? GbsBase::kEfficientGreedy
+                           : GbsBase::kBilateral;
+    if (config_.gbs_preprocess != nullptr) {
+      gbs_pre_ptr_ = config_.gbs_preprocess;
+    } else {
+      URR_ASSIGN_OR_RETURN(GbsPreprocess pre,
+                           PrepareGbs(instance_, &ctx_, config_.gbs));
+      gbs_pre_ = std::move(pre);
+      gbs_pre_ptr_ = &*gbs_pre_;
+    }
+  }
+  for (const RiderArrival& a : workload_->arrivals) Push(a.time, 0, a.rider);
+  for (const CancelRequest& c : workload_->cancellations) Push(c.time, 1, c.rider);
+  if (config_.window > 0 && pending_inputs_ > 0) {
+    Push(instance_.now + config_.window, 2, -1);
+  }
+
+  while (!queue_.empty()) {
+    const Pending e = queue_.top();
+    queue_.pop();
+    if (e.rank != 2) --pending_inputs_;
+    AdvanceFleetTo(e.time);
+    switch (e.rank) {
+      case 0:
+        HandleArrival(e);
+        break;
+      case 1:
+        URR_RETURN_NOT_OK(HandleCancel(e));
+        break;
+      case 2: {
+        URR_RETURN_NOT_OK(SolveWindow(e.time));
+        window_start_ = e.time;
+        // Keep ticking while any input (arrival, cancel or expiration) is
+        // still ahead — a queued rider may become servable as the fleet
+        // frees up.
+        if (pending_inputs_ > 0) Push(e.time + config_.window, 2, -1);
+        break;
+      }
+      default:
+        HandleExpire(e);
+        break;
+    }
+  }
+
+  // Drain: run the fleet to the end of every committed schedule so the
+  // final log contains each accepted rider's PickedUp/DroppedOff.
+  Cost horizon = instance_.now;
+  for (const TransferSequence& s : solution_.schedules) {
+    horizon = std::max(horizon, s.EndTime());
+  }
+  AdvanceFleetTo(horizon + 1);
+  return Status::OK();
+}
+
+void DispatchEngine::AdvanceFleetTo(Cost t) {
+  struct Done {
+    Cost time;
+    int vehicle;
+    int order;
+    Stop stop;
+  };
+  std::vector<Done> done;
+  for (size_t j = 0; j < solution_.schedules.size(); ++j) {
+    const Cost before = solution_.schedules[j].now();
+    std::vector<ExecutedStop> executed = solution_.schedules[j].AdvanceTo(t);
+    for (size_t k = 0; k < executed.size(); ++k) {
+      done.push_back({executed[k].time, static_cast<int>(j),
+                      static_cast<int>(k), executed[k].stop});
+    }
+    if (!executed.empty()) {
+      // A vehicle with committed stops drives continuously, so the cost
+      // covered since the last advance is exactly the clock progression to
+      // the last stop it completed.
+      const Cost driven = executed.back().time - before;
+      window_driven_ += driven;
+      metrics_.driven_cost += driven;
+    }
+    RefreshAnchor(static_cast<int>(j));
+  }
+  // Merge completions across vehicles into one chronological order; the
+  // (time, vehicle, order) key is unique, so the order is deterministic.
+  std::sort(done.begin(), done.end(), [](const Done& a, const Done& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.vehicle != b.vehicle) return a.vehicle < b.vehicle;
+    return a.order < b.order;
+  });
+  for (const Done& d : done) {
+    const RiderId r = d.stop.rider;
+    if (d.stop.type == StopType::kPickup) {
+      state_[static_cast<size_t>(r)] = RiderState::kPickedUp;
+      log_.push_back({d.time, EventType::kPickedUp, r, d.vehicle});
+      metrics_.pickup_waits.push_back(d.time -
+                                      arrival_time_[static_cast<size_t>(r)]);
+      ++metrics_.total_picked_up;
+    } else {
+      state_[static_cast<size_t>(r)] = RiderState::kDroppedOff;
+      log_.push_back({d.time, EventType::kDroppedOff, r, d.vehicle});
+      ++metrics_.total_dropped_off;
+    }
+  }
+  instance_.now = t;
+}
+
+void DispatchEngine::RefreshAnchor(int vehicle) {
+  const TransferSequence& seq =
+      solution_.schedules[static_cast<size_t>(vehicle)];
+  // Mid-leg vehicles are prefiltered from the stop they are committed to
+  // reach (admissible: any later insertion departs at or after that stop's
+  // arrival >= now); parked and idle vehicles from their anchor node.
+  const NodeId anchor = (seq.commit_floor() > 0 && seq.num_stops() > 0)
+                            ? seq.stop(0).location
+                            : seq.start_location();
+  if (instance_.vehicles[static_cast<size_t>(vehicle)].location != anchor) {
+    instance_.vehicles[static_cast<size_t>(vehicle)].location = anchor;
+    vehicle_index_.Update(vehicle, anchor);
+  }
+}
+
+void DispatchEngine::HandleArrival(const Pending& e) {
+  const RiderId r = e.rider;
+  arrival_time_[static_cast<size_t>(r)] = e.time;
+  log_.push_back({e.time, EventType::kArrival, r, -1});
+  ++metrics_.total_arrivals;
+  ++window_arrivals_;
+  if (config_.window <= 0) {
+    // Per-arrival degenerate mode: exactly OnlineDispatcher's decision rule
+    // (shared helper), committed immediately.
+    Stopwatch watch;
+    const DispatchDecision d = EvaluateArrival(instance_, &ctx_, solution_, r,
+                                               config_.online_objective);
+    if (d.accepted) {
+      TransferSequence& seq =
+          solution_.schedules[static_cast<size_t>(d.vehicle)];
+      if (ApplyInsertion(&seq, instance_.Trip(r), d.plan).ok()) {
+        solution_.assignment[static_cast<size_t>(r)] = d.vehicle;
+        CommitRider(e.time, r, d.vehicle);
+        metrics_.solve_latencies.push_back(watch.ElapsedSeconds());
+        return;
+      }
+    }
+    metrics_.solve_latencies.push_back(watch.ElapsedSeconds());
+    state_[static_cast<size_t>(r)] = RiderState::kRejected;
+    log_.push_back({e.time, EventType::kRejected, r, -1});
+    ++metrics_.total_rejected;
+    return;
+  }
+  if (config_.max_queue > 0 &&
+      static_cast<int>(queued_.size()) >= config_.max_queue) {
+    // Admission control: the queue is full, shed the request now instead of
+    // letting it expire silently.
+    state_[static_cast<size_t>(r)] = RiderState::kRejected;
+    log_.push_back({e.time, EventType::kRejected, r, -1});
+    ++metrics_.total_rejected;
+    return;
+  }
+  state_[static_cast<size_t>(r)] = RiderState::kQueued;
+  queued_.push_back(r);
+  log_.push_back({e.time, EventType::kQueued, r, -1});
+  Push(instance_.riders[static_cast<size_t>(r)].pickup_deadline, 3, r);
+}
+
+Status DispatchEngine::HandleCancel(const Pending& e) {
+  const RiderId r = e.rider;
+  // The request itself is always logged — replay needs the full input
+  // stream, including requests that end up ignored.
+  log_.push_back({e.time, EventType::kCancelRequested, r, -1});
+  if (state_[static_cast<size_t>(r)] == RiderState::kQueued) {
+    queued_.erase(std::remove(queued_.begin(), queued_.end(), r),
+                  queued_.end());
+    state_[static_cast<size_t>(r)] = RiderState::kCancelled;
+    log_.push_back({e.time, EventType::kCancelled, r, -1});
+    ++metrics_.total_cancelled;
+    ++window_cancelled_;
+    return Status::OK();
+  }
+  if (state_[static_cast<size_t>(r)] == RiderState::kAssigned) {
+    const int j = solution_.assignment[static_cast<size_t>(r)];
+    TransferSequence& seq = solution_.schedules[static_cast<size_t>(j)];
+    // Schedule repair: excise the rider's stops (completing the in-flight
+    // leg as a deadhead when necessary) and revalidate.
+    URR_RETURN_NOT_OK(seq.ExciseRider(r));
+    RefreshAnchor(j);
+    solution_.assignment[static_cast<size_t>(r)] = -1;
+    metrics_.booked_utility -= booked_[static_cast<size_t>(r)];
+    booked_[static_cast<size_t>(r)] = 0;
+    state_[static_cast<size_t>(r)] = RiderState::kCancelled;
+    log_.push_back({e.time, EventType::kCancelled, r, j});
+    ++metrics_.total_cancelled;
+    ++window_cancelled_;
+    return Status::OK();
+  }
+  // Picked up, served, expired, rejected or unknown: nothing to cancel.
+  return Status::OK();
+}
+
+void DispatchEngine::HandleExpire(const Pending& e) {
+  const RiderId r = e.rider;
+  if (state_[static_cast<size_t>(r)] != RiderState::kQueued) return;  // stale
+  queued_.erase(std::remove(queued_.begin(), queued_.end(), r), queued_.end());
+  state_[static_cast<size_t>(r)] = RiderState::kExpired;
+  log_.push_back({e.time, EventType::kExpired, r, -1});
+  ++metrics_.total_expired;
+  ++window_expired_;
+}
+
+Status DispatchEngine::SolveWindow(Cost t) {
+  WindowMetrics wm;
+  wm.window_start = window_start_;
+  wm.window_end = t;
+  wm.arrivals = window_arrivals_;
+  wm.expired = window_expired_;
+  wm.cancelled = window_cancelled_;
+  wm.driven_cost = window_driven_;
+  window_arrivals_ = 0;
+  window_expired_ = 0;
+  window_cancelled_ = 0;
+  window_driven_ = 0;
+  wm.queue_depth = static_cast<int>(queued_.size());
+  if (!queued_.empty()) {
+    Stopwatch watch;
+    const std::vector<RiderId> riders = queued_;  // FIFO arrival order
+    // Only this window's riders may be bumped by BA-style replacement;
+    // commitments from earlier windows are promises.
+    std::vector<bool> removable(instance_.riders.size(), false);
+    for (RiderId r : riders) removable[static_cast<size_t>(r)] = true;
+    switch (config_.solver) {
+      case WindowSolver::kCostFirst:
+        GreedyArrange(instance_, &ctx_, riders, all_vehicles_,
+                      GreedyObjective::kCostFirst, &solution_);
+        break;
+      case WindowSolver::kEfficientGreedy:
+        GreedyArrange(instance_, &ctx_, riders, all_vehicles_,
+                      GreedyObjective::kUtilityEfficiency, &solution_);
+        break;
+      case WindowSolver::kBilateral:
+        BilateralArrange(instance_, &ctx_, riders, all_vehicles_, &solution_,
+                         /*group_filter=*/nullptr, &removable);
+        break;
+      case WindowSolver::kGbsEg:
+      case WindowSolver::kGbsBa:
+        URR_RETURN_NOT_OK(GbsArrange(instance_, &ctx_, config_.gbs,
+                                     *gbs_pre_ptr_, riders, &solution_,
+                                     /*stats=*/nullptr, &removable));
+        break;
+    }
+    wm.solve_seconds = watch.ElapsedSeconds();
+    metrics_.solve_latencies.push_back(wm.solve_seconds);
+    std::vector<RiderId> still_queued;
+    for (RiderId r : riders) {
+      const int j = solution_.assignment[static_cast<size_t>(r)];
+      if (j >= 0) {
+        CommitRider(t, r, j);
+        wm.booked_utility += booked_[static_cast<size_t>(r)];
+        ++wm.accepted;
+      } else {
+        still_queued.push_back(r);  // retried next window until expiry
+      }
+    }
+    queued_ = std::move(still_queued);
+  }
+  wm.fleet_utilization = FleetUtilization();
+  metrics_.windows.push_back(wm);
+  return Status::OK();
+}
+
+void DispatchEngine::CommitRider(Cost t, RiderId rider, int vehicle) {
+  state_[static_cast<size_t>(rider)] = RiderState::kAssigned;
+  log_.push_back({t, EventType::kAssigned, rider, vehicle});
+  // Booked utility: the rider's μ in the schedule as committed. Later
+  // insertions into the same vehicle may change the realized value; the
+  // booked number is what the solve promised and is what cancellation
+  // un-books.
+  const double mu = ctx_.model->RiderUtility(
+      rider, vehicle, solution_.schedules[static_cast<size_t>(vehicle)]);
+  booked_[static_cast<size_t>(rider)] = mu;
+  metrics_.booked_utility += mu;
+  ++metrics_.total_accepted;
+}
+
+double DispatchEngine::FleetUtilization() const {
+  if (solution_.schedules.empty()) return 0;
+  int busy = 0;
+  for (const TransferSequence& s : solution_.schedules) {
+    if (!s.empty() || !s.initial_onboard().empty()) ++busy;
+  }
+  return static_cast<double>(busy) /
+         static_cast<double>(solution_.schedules.size());
+}
+
+std::string DispatchEngine::SolutionFingerprint() const {
+  std::string out;
+  char buf[48];
+  const auto num = [&](double v) {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+  };
+  for (size_t j = 0; j < solution_.schedules.size(); ++j) {
+    const TransferSequence& s = solution_.schedules[j];
+    out += "v";
+    out += std::to_string(j);
+    out += "@";
+    out += std::to_string(s.start_location());
+    out += " t=";
+    num(s.now());
+    for (int u = 0; u < s.num_stops(); ++u) {
+      const Stop& st = s.stop(u);
+      out += (st.type == StopType::kPickup) ? " +" : " -";
+      out += std::to_string(st.rider);
+      out += "@";
+      out += std::to_string(st.location);
+    }
+    out += " onboard";
+    for (RiderId r : s.initial_onboard()) {
+      out += " ";
+      out += std::to_string(r);
+    }
+    out += "\n";
+  }
+  out += "assignment";
+  for (int a : solution_.assignment) {
+    out += " ";
+    out += std::to_string(a);
+  }
+  out += "\nbooked ";
+  num(metrics_.booked_utility);
+  out += "\n";
+  return out;
+}
+
+Result<StreamingWorkload> WorkloadFromLog(const StreamingWorkload& original,
+                                          const std::vector<Event>& log) {
+  StreamingWorkload w;
+  w.instance = original.instance;
+  const RiderId n = static_cast<RiderId>(w.instance.riders.size());
+  for (const Event& e : log) {
+    if (e.type != EventType::kArrival &&
+        e.type != EventType::kCancelRequested) {
+      continue;
+    }
+    if (e.rider < 0 || e.rider >= n) {
+      return Status::InvalidArgument("log rider " + std::to_string(e.rider) +
+                                     " outside the instance");
+    }
+    if (e.type == EventType::kArrival) {
+      w.arrivals.push_back({e.rider, e.time});
+    } else {
+      w.cancellations.push_back({e.rider, e.time});
+    }
+  }
+  return w;
+}
+
+}  // namespace urr

@@ -1,0 +1,181 @@
+// Discrete-event streaming dispatch engine (micro-batch dispatch over a
+// continuously advancing fleet). A deterministic event loop — min-priority
+// queue on (simulated time, event rank, insertion sequence) — drives the
+// rider lifecycle Arrival → Queued → Assigned → PickedUp → DroppedOff plus
+// Expired and Cancelled. Arrivals accumulate for a window W; each boundary
+// snapshots the fleet mid-route (no teleporting: schedules advance along
+// their committed legs and keep onboard riders), solves the queued riders
+// with one of the batch approaches as a warm-start sub-instance, and
+// commits the winners as Algorithm-1 schedule extensions. W = 0 degenerates
+// to OnlineDispatcher (same shared decision helper, so the differential is
+// exact); a window larger than the workload recovers pure batch.
+//
+// Determinism: the loop is single-threaded; window solves inherit the
+// repo's bit-identical parallel evaluation; wall-clock latencies feed only
+// EngineMetrics. Same workload + config ⇒ byte-identical event log at any
+// thread count, and replaying the log's input events (arrivals + cancel
+// requests) through a fresh engine reproduces the identical log and final
+// fleet state.
+#ifndef URR_ENGINE_ENGINE_H_
+#define URR_ENGINE_ENGINE_H_
+
+#include <optional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "engine/engine_metrics.h"
+#include "engine/event.h"
+#include "engine/workload.h"
+#include "urr/gbs.h"
+#include "urr/online.h"
+#include "urr/solution.h"
+
+namespace urr {
+
+/// Which batch approach solves each window.
+enum class WindowSolver {
+  kCostFirst,        // greedy on Δcost (CF baseline)
+  kEfficientGreedy,  // greedy on Δμ/Δcost (EG)
+  kBilateral,        // BA with replacement (committed riders protected)
+  kGbsEg,            // GBS with EG base
+  kGbsBa,            // GBS with BA base
+};
+
+const char* WindowSolverName(WindowSolver solver);
+/// Parses the names printed by WindowSolverName ("cf", "eg", "ba",
+/// "gbs-eg", "gbs-ba").
+bool ParseWindowSolver(std::string_view name, WindowSolver* out);
+
+struct EngineConfig {
+  /// Micro-batch window length W in clock units. 0 = dispatch every arrival
+  /// immediately (OnlineDispatcher-equivalent).
+  Cost window = 10;
+  WindowSolver solver = WindowSolver::kEfficientGreedy;
+  /// Objective of the per-arrival path when window == 0.
+  OnlineObjective online_objective = OnlineObjective::kUtilityGain;
+  /// Admission control: arrivals beyond this many queued riders are
+  /// rejected on the spot. 0 = unbounded.
+  int max_queue = 0;
+  /// Seed of the engine-owned Rng (BA's random rider order); part of the
+  /// replay identity.
+  uint64_t seed = 7;
+  /// Options for the GBS solvers; `base` is overridden to match `solver`.
+  GbsOptions gbs;
+  /// Optional externally cached GBS preprocessing (rider-independent
+  /// road-network work). When null the engine runs PrepareGbs itself —
+  /// note that PrepareGbs consumes the engine Rng, so whether this is set
+  /// is part of the replay identity.
+  const GbsPreprocess* gbs_preprocess = nullptr;
+};
+
+/// Runs one streaming workload to completion. Borrows the workload and the
+/// caller's SolverContext; substitutes its own vehicle index (tracking
+/// mid-route anchors), its own seeded Rng and its own mutable instance
+/// copy. ctx->model must be built over workload->instance (the engine's
+/// copy has identical riders, so utilities agree).
+class DispatchEngine {
+ public:
+  DispatchEngine(const StreamingWorkload* workload, SolverContext* ctx,
+                 const EngineConfig& config);
+
+  /// Processes every input event and drains the fleet. Call once.
+  Status Run();
+
+  const UrrSolution& solution() const { return solution_; }
+  const UrrInstance& instance() const { return instance_; }
+  const std::vector<Event>& event_log() const { return log_; }
+  std::string SerializedLog() const { return SerializeEventLog(log_); }
+  const EngineMetrics& metrics() const { return metrics_; }
+  /// Σ per-rider utility at commit time, net of cancellations.
+  double booked_utility() const { return metrics_.booked_utility; }
+  /// Per-rider utility booked at commit; 0 when unassigned or cancelled.
+  const std::vector<double>& booked_utilities() const { return booked_; }
+
+  /// Canonical rendering of the final fleet state (anchors, remaining
+  /// stops, onboard riders, assignment, booked utility) for replay
+  /// comparisons. %.17g throughout, so equality is bitwise.
+  std::string SolutionFingerprint() const;
+
+ private:
+  enum class RiderState : uint8_t {
+    kPending,    // not yet arrived
+    kQueued,
+    kAssigned,   // committed, not yet picked up
+    kPickedUp,
+    kDroppedOff,
+    kExpired,
+    kCancelled,
+    kRejected,
+  };
+
+  /// Internal queue entry. Rank breaks time ties: arrivals join the window
+  /// closing at the same instant, cancellations apply before the solve,
+  /// boundaries run before expirations so a rider expiring exactly at the
+  /// boundary still gets its last chance.
+  struct Pending {
+    Cost time = 0;
+    int rank = 0;  // 0 arrival, 1 cancel, 2 window boundary, 3 expire
+    int64_t seq = 0;
+    RiderId rider = -1;
+    bool operator>(const Pending& o) const {
+      if (time != o.time) return time > o.time;
+      if (rank != o.rank) return rank > o.rank;
+      return seq > o.seq;
+    }
+  };
+
+  void Push(Cost time, int rank, RiderId rider);
+  /// Executes every stop completed strictly before `t` (emitting PickedUp/
+  /// DroppedOff), refreshes per-vehicle prefilter anchors and sets
+  /// instance_.now = t.
+  void AdvanceFleetTo(Cost t);
+  void RefreshAnchor(int vehicle);
+  void HandleArrival(const Pending& e);
+  Status HandleCancel(const Pending& e);
+  void HandleExpire(const Pending& e);
+  Status SolveWindow(Cost t);
+  void CommitRider(Cost t, RiderId rider, int vehicle);
+  double FleetUtilization() const;
+
+  const StreamingWorkload* workload_;
+  EngineConfig config_;
+  UrrInstance instance_;  // mutable copy: now + vehicle anchors advance
+  SolverContext ctx_;     // caller's context with our index + rng patched in
+  VehicleIndex vehicle_index_;
+  Rng rng_;
+  UrrSolution solution_;
+  std::optional<GbsPreprocess> gbs_pre_;        // owned when not injected
+  const GbsPreprocess* gbs_pre_ptr_ = nullptr;  // whichever is active
+
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<Pending>>
+      queue_;
+  int64_t next_seq_ = 0;
+  int pending_inputs_ = 0;  // non-boundary entries currently queued
+
+  std::vector<RiderState> state_;
+  std::vector<Cost> arrival_time_;
+  std::vector<double> booked_;  // per-rider utility at commit; 0 otherwise
+  std::vector<RiderId> queued_;  // FIFO arrival order
+  std::vector<int> all_vehicles_;
+
+  std::vector<Event> log_;
+  EngineMetrics metrics_;
+  Cost window_start_ = 0;
+  int window_arrivals_ = 0;
+  int window_expired_ = 0;
+  int window_cancelled_ = 0;
+  double window_driven_ = 0;
+  bool ran_ = false;
+};
+
+/// Rebuilds the streaming input recorded in `log` (kArrival +
+/// kCancelRequested events) over `original`'s instance, for replay: running
+/// the result through a fresh engine with the same config reproduces
+/// `log` byte for byte.
+Result<StreamingWorkload> WorkloadFromLog(const StreamingWorkload& original,
+                                          const std::vector<Event>& log);
+
+}  // namespace urr
+
+#endif  // URR_ENGINE_ENGINE_H_

@@ -1,0 +1,62 @@
+#include "engine/engine_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/json_writer.h"
+
+namespace urr {
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size());
+  size_t idx = static_cast<size_t>(std::ceil(rank));
+  if (idx > 0) --idx;
+  if (idx >= values.size()) idx = values.size() - 1;
+  return values[idx];
+}
+
+std::string EngineMetricsJson(const EngineMetrics& m, bool include_windows) {
+  JsonWriter w;
+  w.BeginObject()
+      .Field("total_arrivals", m.total_arrivals)
+      .Field("total_accepted", m.total_accepted)
+      .Field("total_rejected", m.total_rejected)
+      .Field("total_expired", m.total_expired)
+      .Field("total_cancelled", m.total_cancelled)
+      .Field("total_picked_up", m.total_picked_up)
+      .Field("total_dropped_off", m.total_dropped_off)
+      .Field("booked_utility", m.booked_utility)
+      .Field("driven_cost", m.driven_cost)
+      .Field("num_windows", static_cast<int>(m.windows.size()))
+      .Field("pickup_wait_p50", Percentile(m.pickup_waits, 50))
+      .Field("pickup_wait_p95", Percentile(m.pickup_waits, 95))
+      .Field("pickup_wait_p99", Percentile(m.pickup_waits, 99))
+      .Field("solve_latency_p50", Percentile(m.solve_latencies, 50))
+      .Field("solve_latency_p95", Percentile(m.solve_latencies, 95))
+      .Field("solve_latency_p99", Percentile(m.solve_latencies, 99));
+  if (include_windows) {
+    w.Key("windows").BeginArray();
+    for (const WindowMetrics& win : m.windows) {
+      w.BeginObject()
+          .Field("start", win.window_start)
+          .Field("end", win.window_end)
+          .Field("arrivals", win.arrivals)
+          .Field("queue_depth", win.queue_depth)
+          .Field("accepted", win.accepted)
+          .Field("expired", win.expired)
+          .Field("cancelled", win.cancelled)
+          .Field("booked_utility", win.booked_utility)
+          .Field("driven_cost", win.driven_cost)
+          .Field("solve_seconds", win.solve_seconds)
+          .Field("fleet_utilization", win.fleet_utilization)
+          .EndObject();
+    }
+    w.EndArray();
+  }
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace urr

@@ -1,0 +1,58 @@
+// Load-test observability for the streaming engine: per-window counters and
+// run-level latency percentiles. Wall-clock solve latencies feed ONLY these
+// metrics, never the event log — the log stays byte-identical across runs
+// and thread counts while the metrics describe the machine they ran on.
+#ifndef URR_ENGINE_ENGINE_METRICS_H_
+#define URR_ENGINE_ENGINE_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "sched/transfer_sequence.h"
+
+namespace urr {
+
+/// One micro-batch window's outcome.
+struct WindowMetrics {
+  Cost window_start = 0;
+  Cost window_end = 0;
+  int arrivals = 0;           // arrivals landing inside the window
+  int queue_depth = 0;        // queued riders when the solve started
+  int accepted = 0;
+  int expired = 0;
+  int cancelled = 0;
+  double booked_utility = 0;  // utility committed by this window's solve
+  double driven_cost = 0;     // cost driven along committed legs this window
+  double solve_seconds = 0;   // wall clock (metrics only)
+  double fleet_utilization = 0;  // busy vehicles / fleet size at window end
+};
+
+/// Whole-run aggregates.
+struct EngineMetrics {
+  int total_arrivals = 0;
+  int total_accepted = 0;
+  int total_rejected = 0;   // admission overflow + infeasible
+  int total_expired = 0;
+  int total_cancelled = 0;
+  int total_picked_up = 0;
+  int total_dropped_off = 0;
+  double booked_utility = 0;  // Σ committed utility, net of cancellations
+  double driven_cost = 0;     // total cost driven (incl. the final drain)
+  std::vector<WindowMetrics> windows;
+  /// Per picked-up rider: pickup time − arrival time (simulated clock).
+  std::vector<double> pickup_waits;
+  /// Per window: wall-clock solve seconds.
+  std::vector<double> solve_latencies;
+};
+
+/// Nearest-rank percentile (p in [0,100]) over a copy of `values`; 0 when
+/// empty.
+double Percentile(std::vector<double> values, double p);
+
+/// One JSON object; `include_windows` adds the per-window array.
+std::string EngineMetricsJson(const EngineMetrics& metrics,
+                              bool include_windows);
+
+}  // namespace urr
+
+#endif  // URR_ENGINE_ENGINE_METRICS_H_

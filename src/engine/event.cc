@@ -1,0 +1,73 @@
+#include "engine/event.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace urr {
+
+namespace {
+
+constexpr const char* kTypeNames[] = {
+    "arrival",   "queued",  "rejected",         "assigned", "picked_up",
+    "dropped_off", "expired", "cancel_requested", "cancelled",
+};
+constexpr int kNumTypes = static_cast<int>(sizeof(kTypeNames) /
+                                           sizeof(kTypeNames[0]));
+
+}  // namespace
+
+const char* EventTypeName(EventType type) {
+  const int t = static_cast<int>(type);
+  return (t >= 0 && t < kNumTypes) ? kTypeNames[t] : "unknown";
+}
+
+std::string SerializeEvent(const Event& event) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.17g %s %d %d", event.time,
+                EventTypeName(event.type), event.rider, event.vehicle);
+  return buf;
+}
+
+Result<Event> ParseEvent(std::string_view line) {
+  char type_buf[32];
+  Event event;
+  const std::string owned(line);
+  if (std::sscanf(owned.c_str(), "%lf %31s %d %d", &event.time, type_buf,
+                  &event.rider, &event.vehicle) != 4) {
+    return Status::InvalidArgument("malformed event line: " + owned);
+  }
+  for (int t = 0; t < kNumTypes; ++t) {
+    if (std::strcmp(type_buf, kTypeNames[t]) == 0) {
+      event.type = static_cast<EventType>(t);
+      return event;
+    }
+  }
+  return Status::InvalidArgument(std::string("unknown event type: ") +
+                                 type_buf);
+}
+
+std::string SerializeEventLog(const std::vector<Event>& events) {
+  std::string out;
+  for (const Event& e : events) {
+    out += SerializeEvent(e);
+    out += '\n';
+  }
+  return out;
+}
+
+Result<std::vector<Event>> ParseEventLog(std::string_view log) {
+  std::vector<Event> events;
+  size_t pos = 0;
+  while (pos < log.size()) {
+    size_t end = log.find('\n', pos);
+    if (end == std::string_view::npos) end = log.size();
+    const std::string_view line = log.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty()) continue;
+    URR_ASSIGN_OR_RETURN(Event event, ParseEvent(line));
+    events.push_back(event);
+  }
+  return events;
+}
+
+}  // namespace urr

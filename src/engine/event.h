@@ -1,0 +1,59 @@
+// Event vocabulary of the streaming dispatch engine: the rider lifecycle
+// (Arrival → Queued → Assigned → PickedUp → DroppedOff, plus Expired /
+// Cancelled) as loggable, replayable records. A serialized log is the
+// engine's ground truth — same seed + config must reproduce it byte for
+// byte at any thread count, and replaying the input events (kArrival,
+// kCancelRequested) through a fresh engine must regenerate the identical
+// log and final fleet state.
+#ifndef URR_ENGINE_EVENT_H_
+#define URR_ENGINE_EVENT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "sched/transfer_sequence.h"
+
+namespace urr {
+
+enum class EventType : uint8_t {
+  kArrival = 0,          // input: rider request enters the system
+  kQueued,               // rider waits for the next window boundary
+  kRejected,             // admission overflow or no feasible insertion
+  kAssigned,             // committed to a vehicle's schedule
+  kPickedUp,             // vehicle reached the rider's source
+  kDroppedOff,           // vehicle reached the rider's destination
+  kExpired,              // pickup deadline passed while queued
+  kCancelRequested,      // input: rider asks to cancel (may be ignored)
+  kCancelled,            // a not-yet-picked-up rider left the system
+};
+
+const char* EventTypeName(EventType type);
+
+/// One engine event. `vehicle` is -1 when no vehicle is involved.
+struct Event {
+  Cost time = 0;
+  EventType type = EventType::kArrival;
+  RiderId rider = -1;
+  int vehicle = -1;
+
+  bool operator==(const Event&) const = default;
+};
+
+/// One line, no trailing newline: "<time> <type> <rider> <vehicle>" with the
+/// time printed as %.17g so it round-trips exactly.
+std::string SerializeEvent(const Event& event);
+
+/// Parses a SerializeEvent line.
+Result<Event> ParseEvent(std::string_view line);
+
+/// Newline-terminated lines, one per event — the replayable log format.
+std::string SerializeEventLog(const std::vector<Event>& events);
+
+/// Parses a SerializeEventLog string (empty lines are skipped).
+Result<std::vector<Event>> ParseEventLog(std::string_view log);
+
+}  // namespace urr
+
+#endif  // URR_ENGINE_EVENT_H_

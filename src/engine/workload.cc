@@ -1,0 +1,39 @@
+#include "engine/workload.h"
+
+#include <algorithm>
+
+namespace urr {
+
+StreamingWorkload MakeStreamingWorkload(const UrrInstance& base,
+                                        const StreamingWorkloadOptions& options,
+                                        Rng* rng) {
+  StreamingWorkload w;
+  w.instance = base;
+  Cost t = base.now;
+  for (RiderId i = 0; i < base.num_riders(); ++i) {
+    if (options.arrival_rate > 0) {
+      t += rng->Exponential(options.arrival_rate);
+    }
+    w.arrivals.push_back({i, t});
+    // Shift the deadlines so the rider's pickup/dropoff budgets stay what
+    // the instance builder drew relative to base.now.
+    Rider& r = w.instance.riders[static_cast<size_t>(i)];
+    const Cost offset = t - base.now;
+    r.pickup_deadline += offset;
+    r.dropoff_deadline += offset;
+    if (options.cancel_fraction > 0 &&
+        rng->Uniform() < options.cancel_fraction) {
+      const Cost delay = options.cancel_delay_mean > 0
+                             ? rng->Exponential(1.0 / options.cancel_delay_mean)
+                             : 0;
+      w.cancellations.push_back({i, t + delay});
+    }
+  }
+  std::sort(w.cancellations.begin(), w.cancellations.end(),
+            [](const CancelRequest& a, const CancelRequest& b) {
+              return a.time != b.time ? a.time < b.time : a.rider < b.rider;
+            });
+  return w;
+}
+
+}  // namespace urr

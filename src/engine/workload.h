@@ -1,0 +1,57 @@
+// A streaming workload: a URR instance whose riders additionally carry
+// arrival times (Poisson arrivals at a target rate) and optional
+// cancellation requests. The instance's per-rider deadlines are shifted by
+// each rider's arrival offset so the pickup/dropoff budgets drawn at build
+// time are preserved relative to the moment the request enters the system.
+#ifndef URR_ENGINE_WORKLOAD_H_
+#define URR_ENGINE_WORKLOAD_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "urr/instance.h"
+
+namespace urr {
+
+/// One rider request entering the system.
+struct RiderArrival {
+  RiderId rider = -1;
+  Cost time = 0;
+};
+
+/// One injected cancellation attempt (ignored when the rider has already
+/// been picked up, served, expired or was never accepted).
+struct CancelRequest {
+  RiderId rider = -1;
+  Cost time = 0;
+};
+
+/// A replayable streaming input: instance + timed input events, both sorted
+/// by (time, rider). The instance borrows network/social pointers from the
+/// instance it was derived from.
+struct StreamingWorkload {
+  UrrInstance instance;
+  std::vector<RiderArrival> arrivals;
+  std::vector<CancelRequest> cancellations;
+};
+
+struct StreamingWorkloadOptions {
+  /// Mean rider arrivals per clock unit (second); interarrival gaps are
+  /// Exponential(1/arrival_rate).
+  double arrival_rate = 0.5;
+  /// Fraction of riders that later request a cancellation.
+  double cancel_fraction = 0.0;
+  /// Mean delay between a rider's arrival and their cancellation request.
+  double cancel_delay_mean = 60.0;
+};
+
+/// Streams `base`'s riders in id order starting at base.now: draws arrival
+/// gaps and cancellations from `rng` and shifts each rider's deadlines by
+/// their arrival offset. `base` itself is not modified.
+StreamingWorkload MakeStreamingWorkload(const UrrInstance& base,
+                                        const StreamingWorkloadOptions& options,
+                                        Rng* rng);
+
+}  // namespace urr
+
+#endif  // URR_ENGINE_WORKLOAD_H_

@@ -1,8 +1,11 @@
-// Rolling-horizon simulation: the paper's experiments assign one 30-minute
-// frame of riders (δ_j in Table 3); this module chains frames so the fleet
-// is *dynamically moving* (Definition 2) — each frame's vehicles start where
-// the previous frame's schedules left them, and fresh demand is drawn from
-// the fitted Poisson model per frame.
+// Rolling-horizon simulation on the engine clock: the paper's experiments
+// assign one 30-minute frame of riders (δ_j in Table 3); this module runs
+// the whole horizon as ONE streaming workload through the DispatchEngine so
+// the fleet is *dynamically moving* (Definition 2) — vehicles advance along
+// their committed legs in continuous time, carry onboard riders across
+// frame boundaries and never teleport. Frames are demand/reporting buckets:
+// each frame's riders arrive spread across it and are dispatched by the
+// engine's micro-batch windows.
 #ifndef URR_EXP_SIMULATION_H_
 #define URR_EXP_SIMULATION_H_
 
@@ -19,11 +22,17 @@ struct SimulationConfig {
   double frame_minutes = 30;
   /// Riders arriving per frame.
   int riders_per_frame = 200;
-  /// Batch approach dispatching each frame.
+  /// Batch approach dispatching each engine window.
   Approach approach = Approach::kEfficientGreedy;
+  /// Micro-batch dispatch window of the underlying engine, in seconds.
+  /// 0 dispatches every arrival immediately (online mode).
+  double dispatch_seconds = 60;
 };
 
-/// One frame's outcome.
+/// One frame's outcome. `served`/`utility` are attributed to the frame the
+/// rider ARRIVED in (a rider queued across a boundary counts where they
+/// entered); `travel_cost` is the cost the fleet actually drove during the
+/// frame (the last frame also absorbs the post-horizon drain).
 struct FrameReport {
   int frame = 0;
   Cost frame_start = 0;
@@ -51,10 +60,10 @@ struct SimulationReport {
 };
 
 /// Runs the simulation on a built world (its demand records are re-fitted
-/// into a per-frame Poisson model). Vehicles carry positions across frames;
-/// riders not served within their frame are dropped (they "book elsewhere").
-/// Simplification recorded in DESIGN.md: a frame's schedules complete before
-/// the next frame's dispatch (vehicles teleport to their last stop).
+/// into a per-frame Poisson model). Vehicles carry real mid-route positions
+/// across frames; riders not dispatched before their pickup deadline expire
+/// (they "book elsewhere"). The former teleport simplification (schedules
+/// completing instantaneously at frame boundaries) is gone — see DESIGN.md.
 Result<SimulationReport> RunRollingHorizon(ExperimentWorld* world,
                                            const SimulationConfig& config);
 

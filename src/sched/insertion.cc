@@ -26,13 +26,17 @@ Cost EarliestStartAt(const TransferSequence& seq, int pos) {
 }  // namespace
 
 Result<InsertionPlan> FindBestInsertion(const TransferSequence& seq,
-                                        const RiderTrip& trip) {
+                                        const RiderTrip& trip,
+                                        bool* capacity_blocked) {
   DistanceOracle* oracle = seq.oracle();
   const int w = seq.num_stops();
+  if (capacity_blocked != nullptr) *capacity_blocked = false;
 
   // --- Valid pickup positions (Lemma 3.1 conditions a–d for x = s_i). -----
+  // Positions below commit_floor() belong to a leg the vehicle is already
+  // driving and cannot be diverted.
   std::vector<PickupCandidate> pickups;
-  for (int u = 0; u <= w; ++u) {
+  for (int u = seq.commit_floor(); u <= w; ++u) {
     const Cost estart = EarliestStartAt(seq, u);
     // Lemma 3.2: earliest start times are non-decreasing along the sequence,
     // so once one exceeds the pickup deadline no later position is valid.
@@ -46,10 +50,16 @@ Result<InsertionPlan> FindBestInsertion(const TransferSequence& seq,
           to_s + oracle->Distance(trip.source, seq.stop(u).location) -
           seq.leg_cost(u);
       if (delta > seq.FlexTime(u) + kEps) continue;        // condition c
-      if (seq.Onboard(u) + 1 > seq.capacity()) continue;   // condition d
+      if (seq.Onboard(u) + 1 > seq.capacity()) {           // condition d
+        if (capacity_blocked != nullptr) *capacity_blocked = true;
+        continue;
+      }
       pickups.push_back({u, delta});
     } else {
-      if (seq.EndOnboard() + 1 > seq.capacity()) continue;  // condition d
+      if (seq.EndOnboard() + 1 > seq.capacity()) {          // condition d
+        if (capacity_blocked != nullptr) *capacity_blocked = true;
+        continue;
+      }
       pickups.push_back({u, to_s});                          // appended leg
     }
   }
@@ -73,7 +83,10 @@ Result<InsertionPlan> FindBestInsertion(const TransferSequence& seq,
     // sequence. The rider is onboard legs cand.pos+1 .. v, so every such leg
     // must respect capacity; trial already counts the unmatched pickup.
     for (int v = cand.pos + 1; v <= w2; ++v) {
-      if (v < w2 && trial.Onboard(v) > trial.capacity()) break;
+      if (v < w2 && trial.Onboard(v) > trial.capacity()) {
+        if (capacity_blocked != nullptr) *capacity_blocked = true;
+        break;
+      }
       const Cost estart = EarliestStartAt(trial, v);
       if (estart > trip.dropoff_deadline + kEps) break;  // Lemma 3.2
       const Cost to_e = oracle->Distance(OriginAt(trial, v), trip.destination);
@@ -106,6 +119,9 @@ Status ApplyInsertion(TransferSequence* seq, const RiderTrip& trip,
       plan.dropoff_pos > seq->num_stops() + 1) {
     return Status::InvalidArgument("malformed insertion plan");
   }
+  if (plan.pickup_pos < seq->commit_floor()) {
+    return Status::InvalidArgument("pickup would divert the in-flight leg");
+  }
   seq->InsertStop(plan.pickup_pos, Stop{trip.source, trip.rider,
                                         StopType::kPickup,
                                         trip.pickup_deadline});
@@ -126,7 +142,7 @@ Result<InsertionPlan> FindBestInsertionBruteForce(const TransferSequence& seq,
                                                   const RiderTrip& trip) {
   const Cost base_cost = seq.TotalCost();
   InsertionPlan best;
-  for (int p = 0; p <= seq.num_stops(); ++p) {
+  for (int p = seq.commit_floor(); p <= seq.num_stops(); ++p) {
     for (int q = p + 1; q <= seq.num_stops() + 1; ++q) {
       TransferSequence trial = seq;
       const Status applied = ApplyInsertion(&trial, trip, {p, q, 0});

@@ -32,9 +32,13 @@ struct InsertionPlan {
 /// Finds the minimum-Δcost valid insertion of `trip` into `seq`
 /// (Algorithm 1). Returns Infeasible when no valid pair of positions exists.
 /// O(w²) worst case; the Lemma-3.2 break and Δ-sorted early exit prune most
-/// candidates in practice.
+/// candidates in practice. Pickup positions below seq.commit_floor() (an
+/// in-flight leg) are never considered. When `capacity_blocked` is non-null
+/// it is set to true iff some position failed only on the capacity
+/// condition — a diagnostic for rejection reporting.
 Result<InsertionPlan> FindBestInsertion(const TransferSequence& seq,
-                                        const RiderTrip& trip);
+                                        const RiderTrip& trip,
+                                        bool* capacity_blocked = nullptr);
 
 /// Materializes `plan` (as returned by FindBestInsertion) into `seq`.
 Status ApplyInsertion(TransferSequence* seq, const RiderTrip& trip,

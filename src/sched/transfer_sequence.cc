@@ -13,7 +13,7 @@ TransferSequence::TransferSequence(NodeId start, Cost now, int capacity,
     : start_(start), now_(now), capacity_(capacity), oracle_(oracle) {}
 
 int TransferSequence::EndOnboard() const {
-  int onboard = 0;
+  int onboard = static_cast<int>(initial_onboard_.size());
   for (const Stop& s : stops_) {
     onboard += (s.type == StopType::kPickup) ? 1 : -1;
   }
@@ -22,8 +22,20 @@ int TransferSequence::EndOnboard() const {
 
 std::vector<RiderId> TransferSequence::OnboardRiders(int u) const {
   // Rider picked up at stop p and dropped at stop q is onboard during legs
-  // p+1 .. q. An unmatched pickup stays onboard to the end.
+  // p+1 .. q. An unmatched pickup stays onboard to the end. Riders already
+  // in the vehicle at `start` are onboard from leg 0 to their dropoff.
   std::vector<RiderId> out;
+  for (RiderId r : initial_onboard_) {
+    bool dropped_before_leg = false;
+    for (int q = 0; q < u; ++q) {
+      const Stop& t = stops_[static_cast<size_t>(q)];
+      if (t.type == StopType::kDropoff && t.rider == r) {
+        dropped_before_leg = true;
+        break;
+      }
+    }
+    if (!dropped_before_leg) out.push_back(r);
+  }
   for (int p = 0; p < num_stops(); ++p) {
     const Stop& s = stops_[static_cast<size_t>(p)];
     if (s.type != StopType::kPickup || p >= u) continue;
@@ -71,6 +83,13 @@ void TransferSequence::InsertStop(int pos, const Stop& stop) {
 }
 
 Status TransferSequence::RemoveRider(RiderId rider) {
+  for (RiderId r : initial_onboard_) {
+    if (r == rider) {
+      return Status::InvalidArgument(
+          "rider " + std::to_string(rider) +
+          " is already onboard; their dropoff cannot be removed");
+    }
+  }
   const auto before = stops_.size();
   stops_.erase(std::remove_if(stops_.begin(), stops_.end(),
                               [rider](const Stop& s) { return s.rider == rider; }),
@@ -81,6 +100,80 @@ Status TransferSequence::RemoveRider(RiderId rider) {
   }
   Rebuild();
   return Status::OK();
+}
+
+std::vector<ExecutedStop> TransferSequence::AdvanceTo(Cost t) {
+  // Earliest arrivals are non-decreasing, so the executed prefix is the
+  // stops with arrival strictly before t. Strict `<` keeps a stop reached
+  // exactly at t pending — an arrival at the same instant still sees it.
+  std::vector<ExecutedStop> done;
+  size_t k = 0;
+  while (k < stops_.size() && arrival_[k] < t) ++k;
+  if (k > 0) {
+    done.reserve(k);
+    for (size_t u = 0; u < k; ++u) {
+      const Stop& s = stops_[u];
+      done.push_back({s, arrival_[u]});
+      if (s.type == StopType::kPickup) {
+        initial_onboard_.push_back(s.rider);
+      } else {
+        initial_onboard_.erase(std::remove(initial_onboard_.begin(),
+                                           initial_onboard_.end(), s.rider),
+                               initial_onboard_.end());
+      }
+    }
+    start_ = stops_[k - 1].location;
+    now_ = arrival_[k - 1];
+    stops_.erase(stops_.begin(), stops_.begin() + static_cast<long>(k));
+    Rebuild();
+  }
+  if (stops_.empty()) {
+    // Idle vehicle: it simply waits at the anchor until t.
+    now_ = std::max(now_, t);
+    commit_floor_ = 0;
+  } else {
+    commit_floor_ = (t > now_) ? 1 : 0;
+  }
+  return done;
+}
+
+RoutePosition TransferSequence::PositionAt(Cost t) const {
+  RoutePosition pos;
+  pos.at = start_;
+  pos.depart_time = now_;
+  for (int u = 0; u < num_stops(); ++u) {
+    if (arrival_[static_cast<size_t>(u)] > t) {
+      pos.next_stop = u;
+      pos.next_arrival = arrival_[static_cast<size_t>(u)];
+      return pos;
+    }
+    pos.at = stops_[static_cast<size_t>(u)].location;
+    pos.depart_time = arrival_[static_cast<size_t>(u)];
+  }
+  return pos;  // past the last stop: idle
+}
+
+Status TransferSequence::ExciseRider(RiderId rider) {
+  const auto [p, q] = RiderStops(rider);
+  if (p == -1 && q != -1) {
+    return Status::InvalidArgument("rider " + std::to_string(rider) +
+                                   " is already onboard and cannot cancel");
+  }
+  if (p == -1) {
+    return Status::NotFound("rider " + std::to_string(rider) +
+                            " not in schedule");
+  }
+  if (p == 0 && commit_floor_ > 0) {
+    // The vehicle is physically mid-leg towards this pickup: it completes
+    // the leg as a deadhead move and re-plans from the pickup node.
+    start_ = stops_[0].location;
+    now_ = arrival_[0];
+    stops_.erase(stops_.begin());
+    commit_floor_ = 0;
+  }
+  Status removed = RemoveRider(rider);
+  if (!removed.ok()) return removed;
+  return Validate();
 }
 
 void TransferSequence::Rebuild() {
@@ -122,7 +215,21 @@ void TransferSequence::Rebuild() {
   }
   // Occupancy: diff array over legs. Rider picked at p, dropped at q is
   // onboard during legs p+1..q; unmatched pickups remain to the end.
+  // Initially-onboard riders occupy a seat from leg 0 to their dropoff.
   std::vector<int> diff(w + 1, 0);
+  for (RiderId r : initial_onboard_) {
+    size_t q = (w == 0) ? 0 : w - 1;  // to the end when no dropoff present
+    for (size_t j = 0; j < w; ++j) {
+      if (stops_[j].type == StopType::kDropoff && stops_[j].rider == r) {
+        q = j;
+        break;
+      }
+    }
+    if (w > 0) {
+      diff[0] += 1;
+      diff[q + 1] -= 1;
+    }
+  }
   for (size_t p = 0; p < w; ++p) {
     if (stops_[p].type != StopType::kPickup) continue;
     size_t q = w;  // exclusive end (leg after last) when unmatched
@@ -149,12 +256,28 @@ void TransferSequence::Rebuild() {
 }
 
 Status TransferSequence::Validate() const {
+  // Each initially-onboard rider must still have their dropoff scheduled
+  // (and no pickup: they are in the vehicle already).
+  for (RiderId r : initial_onboard_) {
+    const auto [p, q] = RiderStops(r);
+    if (p != -1) {
+      return Status::Infeasible("onboard rider " + std::to_string(r) +
+                                " has a scheduled pickup");
+    }
+    if (q == -1) {
+      return Status::Infeasible("onboard rider " + std::to_string(r) +
+                                " has no scheduled dropoff");
+    }
+  }
   // Pairing and ordering.
   for (int u = 0; u < num_stops(); ++u) {
     const Stop& s = stops_[static_cast<size_t>(u)];
     const auto [p, q] = RiderStops(s.rider);
     if (s.type == StopType::kDropoff) {
-      if (p == -1) {
+      const bool onboard = std::find(initial_onboard_.begin(),
+                                     initial_onboard_.end(),
+                                     s.rider) != initial_onboard_.end();
+      if (p == -1 && !onboard) {
         return Status::Infeasible("dropoff without pickup for rider " +
                                   std::to_string(s.rider));
       }

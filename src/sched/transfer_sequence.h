@@ -29,6 +29,22 @@ struct Stop {
   Cost deadline = kInfiniteCost;
 };
 
+/// A stop the vehicle has completed, with its realized completion time.
+struct ExecutedStop {
+  Stop stop;
+  Cost time = 0;
+};
+
+/// Where a vehicle is along its committed route at a queried time: the node
+/// it last completed (or waits at) and, when en route, the stop it is
+/// heading to. `next_stop == -1` means the vehicle is idle at `at`.
+struct RoutePosition {
+  NodeId at = kInvalidNode;
+  Cost depart_time = 0;
+  int next_stop = -1;
+  Cost next_arrival = 0;
+};
+
 /// A vehicle's schedule: start location + stops, with derived leg fields.
 /// Leg u (0-based) is the transfer event from stop u-1 (or the start
 /// location for u = 0) to stop u. All mutations recompute the derived
@@ -47,6 +63,17 @@ class TransferSequence {
   NodeId start_location() const { return start_; }
   Cost now() const { return now_; }
   int capacity() const { return capacity_; }
+
+  /// Riders already in the vehicle at `start` (picked up before `now`).
+  /// Their dropoff stop is in `stops_` but their pickup is not.
+  const std::vector<RiderId>& initial_onboard() const {
+    return initial_onboard_;
+  }
+
+  /// First stop position a pickup may be inserted at. 0 when the vehicle is
+  /// parked at `start`; 1 when it is physically mid-leg towards stop 0 (the
+  /// in-flight leg cannot be diverted).
+  int commit_floor() const { return commit_floor_; }
 
   /// Location a leg departs from: start for u == 0, otherwise stop u-1.
   NodeId LegOrigin(int u) const {
@@ -94,8 +121,27 @@ class TransferSequence {
   void InsertStop(int pos, const Stop& stop);
 
   /// Removes both stops of `rider` and recomputes. Returns NotFound when the
-  /// rider has no stops here.
+  /// rider has no stops here, InvalidArgument when the rider is already
+  /// onboard (their dropoff must stay).
   Status RemoveRider(RiderId rider);
+
+  /// Advances the vehicle along its committed route to simulated time `t`:
+  /// every stop with earliest arrival strictly before `t` is executed and
+  /// removed, the start anchor moves to the last executed stop, executed
+  /// pickups join `initial_onboard()` and executed dropoffs leave it.
+  /// Afterwards `commit_floor()` is 1 iff the vehicle is mid-leg at `t`.
+  /// Returns the executed stops in completion order.
+  std::vector<ExecutedStop> AdvanceTo(Cost t);
+
+  /// Pure query: the vehicle's position along the committed route at `t`
+  /// (assuming earliest departures). Does not mutate the schedule.
+  RoutePosition PositionAt(Cost t) const;
+
+  /// Cancellation repair: removes a not-yet-picked-up rider's stops. When the
+  /// vehicle is already mid-leg towards the rider's pickup, that leg is
+  /// completed as a deadhead move (the pickup node becomes the new start
+  /// anchor) — no teleporting. InvalidArgument for onboard riders.
+  Status ExciseRider(RiderId rider);
 
   /// Full invariant check: pickup precedes dropoff, stops paired, deadlines
   /// met by earliest arrivals, capacity respected, flex times non-negative.
@@ -120,7 +166,9 @@ class TransferSequence {
   Cost now_;
   int capacity_;
   DistanceOracle* oracle_;
+  int commit_floor_ = 0;
 
+  std::vector<RiderId> initial_onboard_;
   std::vector<Stop> stops_;
   std::vector<Cost> leg_cost_;
   std::vector<Cost> arrival_;  // earliest arrival at stop u

@@ -22,12 +22,16 @@ struct Replacement {
 /// vehicle's travel cost strictly drops and its utility strictly rises
 /// (lines 12-15 of Algorithm 2). Returns the best (max utility) option.
 Replacement TryReplace(const UrrInstance& instance, const UtilityModel& model,
-                       const UrrSolution& sol, RiderId i, int j) {
+                       const UrrSolution& sol, RiderId i, int j,
+                       const std::vector<bool>* removable) {
   Replacement best;
   const TransferSequence& seq = sol.schedules[static_cast<size_t>(j)];
   const Cost old_cost = seq.TotalCost();
   const double old_mu = model.ScheduleUtility(j, seq);
   for (RiderId other : seq.Riders()) {
+    if (removable != nullptr && !(*removable)[static_cast<size_t>(other)]) {
+      continue;
+    }
     TransferSequence trial = seq;
     if (!trial.RemoveRider(other).ok()) continue;
     Result<InsertionPlan> plan = FindBestInsertion(trial, instance.Trip(i));
@@ -52,7 +56,8 @@ Replacement TryReplace(const UrrInstance& instance, const UtilityModel& model,
 void BilateralArrange(const UrrInstance& instance, SolverContext* ctx,
                       const std::vector<RiderId>& riders,
                       const std::vector<int>& vehicles, UrrSolution* sol,
-                      const GroupFilter* group_filter) {
+                      const GroupFilter* group_filter,
+                      const std::vector<bool>* removable) {
   std::vector<bool> allowed(instance.vehicles.size(), false);
   for (int j : vehicles) allowed[static_cast<size_t>(j)] = true;
 
@@ -155,7 +160,8 @@ void BilateralArrange(const UrrInstance& instance, SolverContext* ctx,
         }
       } else {
         // Lines 12-15: replacement.
-        Replacement rep = TryReplace(instance, *ctx->model, *sol, i, j);
+        Replacement rep =
+            TryReplace(instance, *ctx->model, *sol, i, j, removable);
         if (rep.found) {
           sol->schedules[static_cast<size_t>(j)] = std::move(*rep.schedule);
           sol->assignment[static_cast<size_t>(rep.removed)] = -1;

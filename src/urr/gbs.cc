@@ -17,7 +17,8 @@ namespace {
 void SolveGroup(const UrrInstance& instance, SolverContext* ctx,
                 const std::vector<RiderId>& riders,
                 const std::vector<int>& vehicles, GbsBase base,
-                const GroupFilter* group_filter, UrrSolution* sol) {
+                const GroupFilter* group_filter, UrrSolution* sol,
+                const std::vector<bool>* removable) {
   if (riders.empty() || vehicles.empty()) return;
   switch (base) {
     case GbsBase::kEfficientGreedy:
@@ -25,7 +26,8 @@ void SolveGroup(const UrrInstance& instance, SolverContext* ctx,
                     GreedyObjective::kUtilityEfficiency, sol, group_filter);
       break;
     case GbsBase::kBilateral:
-      BilateralArrange(instance, ctx, riders, vehicles, sol, group_filter);
+      BilateralArrange(instance, ctx, riders, vehicles, sol, group_filter,
+                       removable);
       break;
   }
 }
@@ -69,35 +71,40 @@ Result<GbsPreprocess> PrepareGbs(const UrrInstance& instance,
   return pre;
 }
 
-Result<UrrSolution> SolveGbs(const UrrInstance& instance, SolverContext* ctx,
-                             const GbsOptions& options, const GbsPreprocess& pre,
-                             GbsStats* stats) {
+Status GbsArrange(const UrrInstance& instance, SolverContext* ctx,
+                  const GbsOptions& options, const GbsPreprocess& pre,
+                  const std::vector<RiderId>& riders, UrrSolution* sol_out,
+                  GbsStats* stats, const std::vector<bool>* removable) {
+  UrrSolution& sol = *sol_out;
   Stopwatch phase;
   // --- Classify trips (Algorithm 5, lines 1-6). -----------------------------
   // The per-rider direct distances are independent point-to-point queries;
   // fan them out over the pool (each worker on its own oracle) and keep the
   // grouping loop itself serial so group membership order is unchanged.
   const Cost short_threshold = pre.d_max * static_cast<Cost>(pre.k);
-  std::vector<Cost> direct_cost(static_cast<size_t>(instance.num_riders()));
+  const int64_t num_subset = static_cast<int64_t>(riders.size());
+  std::vector<Cost> direct_cost(riders.size());
   DistanceOracle* classify_oracle =
       ctx->worker_oracle(ThreadPool::CurrentWorker());
   if (ctx->batch_eval && classify_oracle != nullptr &&
-      classify_oracle->SupportsBatch() && instance.num_riders() > 0) {
+      classify_oracle->SupportsBatch() && !riders.empty()) {
     // One element-wise batch answers every rider's direct distance with the
     // exact per-pair values, so grouping is unchanged.
     std::vector<NodeId> sources, destinations;
-    sources.reserve(static_cast<size_t>(instance.num_riders()));
-    destinations.reserve(static_cast<size_t>(instance.num_riders()));
-    for (const Rider& r : instance.riders) {
+    sources.reserve(riders.size());
+    destinations.reserve(riders.size());
+    for (RiderId i : riders) {
+      const Rider& r = instance.riders[static_cast<size_t>(i)];
       sources.push_back(r.source);
       destinations.push_back(r.destination);
     }
     classify_oracle->BatchPairwise(sources, destinations, direct_cost.data());
   } else {
-    ParallelFor(ctx->eval_pool(), instance.num_riders(),
-                [&](int64_t i, int worker) {
-                  const Rider& r = instance.riders[static_cast<size_t>(i)];
-                  direct_cost[static_cast<size_t>(i)] =
+    ParallelFor(ctx->eval_pool(), num_subset,
+                [&](int64_t k, int worker) {
+                  const Rider& r = instance.riders[static_cast<size_t>(
+                      riders[static_cast<size_t>(k)])];
+                  direct_cost[static_cast<size_t>(k)] =
                       ctx->worker_oracle(worker)->Distance(r.source,
                                                            r.destination);
                 });
@@ -105,9 +112,10 @@ Result<UrrSolution> SolveGbs(const UrrInstance& instance, SolverContext* ctx,
   std::vector<std::vector<RiderId>> groups(
       static_cast<size_t>(pre.areas.num_areas()));
   std::vector<RiderId> long_trips;  // g_0
-  for (RiderId i = 0; i < instance.num_riders(); ++i) {
+  for (size_t k = 0; k < riders.size(); ++k) {
+    const RiderId i = riders[k];
     const Rider& r = instance.riders[static_cast<size_t>(i)];
-    const Cost direct = direct_cost[static_cast<size_t>(i)];
+    const Cost direct = direct_cost[k];
     if (direct < short_threshold) {
       // Original nodes keep their ids in the split network.
       const int area = pre.areas.area_of_node[static_cast<size_t>(r.source)];
@@ -121,7 +129,6 @@ Result<UrrSolution> SolveGbs(const UrrInstance& instance, SolverContext* ctx,
 
   const double classify_seconds = phase.ElapsedSeconds();
 
-  UrrSolution sol = MakeEmptySolution(instance, ctx->oracle);
   std::vector<int> all_vehicles(instance.vehicles.size());
   for (size_t j = 0; j < all_vehicles.size(); ++j) {
     all_vehicles[j] = static_cast<int>(j);
@@ -130,7 +137,7 @@ Result<UrrSolution> SolveGbs(const UrrInstance& instance, SolverContext* ctx,
   // --- Long trips first (line 8): they shape the schedules most. ------------
   phase.Reset();
   SolveGroup(instance, ctx, long_trips, all_vehicles, options.base,
-             /*group_filter=*/nullptr, &sol);
+             /*group_filter=*/nullptr, &sol, removable);
   const double long_group_seconds = phase.ElapsedSeconds();
   double filter_seconds = 0;
   double group_solve_seconds = 0;
@@ -199,7 +206,8 @@ Result<UrrSolution> SolveGbs(const UrrInstance& instance, SolverContext* ctx,
           }
           GroupFilter group_filter{&task.dist_to_key, short_threshold};
           SolveGroup(instance, ctx, groups[static_cast<size_t>(task.area)],
-                     task.vehicles, options.base, &group_filter, &sol);
+                     task.vehicles, options.base, &group_filter, &sol,
+                     removable);
           for (int j : task.vehicles) {
             sol.schedules[static_cast<size_t>(j)].set_oracle(ctx->oracle);
           }
@@ -246,7 +254,8 @@ Result<UrrSolution> SolveGbs(const UrrInstance& instance, SolverContext* ctx,
     phase.Reset();
     GroupFilter group_filter{&task.dist_to_key, short_threshold};
     SolveGroup(instance, ctx, group, task.vehicles, options.base,
-               options.use_group_filter_bound ? &group_filter : nullptr, &sol);
+               options.use_group_filter_bound ? &group_filter : nullptr, &sol,
+               removable);
     group_solve_seconds += phase.ElapsedSeconds();
     ++solved;
   }
@@ -258,11 +267,11 @@ Result<UrrSolution> SolveGbs(const UrrInstance& instance, SolverContext* ctx,
   // primitive and is switchable for ablation.
   if (options.final_pass) {
     std::vector<RiderId> leftovers;
-    for (RiderId i = 0; i < instance.num_riders(); ++i) {
+    for (RiderId i : riders) {
       if (sol.assignment[static_cast<size_t>(i)] < 0) leftovers.push_back(i);
     }
     SolveGroup(instance, ctx, leftovers, all_vehicles, options.base,
-               /*group_filter=*/nullptr, &sol);
+               /*group_filter=*/nullptr, &sol, removable);
   }
 
   if (stats != nullptr) {
@@ -278,6 +287,17 @@ Result<UrrSolution> SolveGbs(const UrrInstance& instance, SolverContext* ctx,
     stats->filter_seconds = filter_seconds;
     stats->group_solve_seconds = group_solve_seconds;
   }
+  return Status::OK();
+}
+
+Result<UrrSolution> SolveGbs(const UrrInstance& instance, SolverContext* ctx,
+                             const GbsOptions& options, const GbsPreprocess& pre,
+                             GbsStats* stats) {
+  UrrSolution sol = MakeEmptySolution(instance, ctx->oracle);
+  std::vector<RiderId> riders(static_cast<size_t>(instance.num_riders()));
+  for (size_t i = 0; i < riders.size(); ++i) riders[i] = static_cast<RiderId>(i);
+  URR_RETURN_NOT_OK(GbsArrange(instance, ctx, options, pre, riders, &sol,
+                               stats, /*removable=*/nullptr));
   return sol;
 }
 

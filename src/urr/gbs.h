@@ -83,6 +83,17 @@ struct GbsPreprocess {
 Result<GbsPreprocess> PrepareGbs(const UrrInstance& instance,
                                  SolverContext* ctx, const GbsOptions& options);
 
+/// Runs GBS over the rider subset `riders`, mutating the (possibly warm)
+/// solution `sol` — already-assigned riders are skipped by the base solvers.
+/// The streaming engine calls this per window; SolveGbs delegates here with
+/// all riders and a fresh solution. When `removable` is non-null, a BA base
+/// may only bump riders with removable[i] == true.
+Status GbsArrange(const UrrInstance& instance, SolverContext* ctx,
+                  const GbsOptions& options, const GbsPreprocess& pre,
+                  const std::vector<RiderId>& riders, UrrSolution* sol,
+                  GbsStats* stats = nullptr,
+                  const std::vector<bool>* removable = nullptr);
+
 /// Runs GBS over the whole instance using a previously computed
 /// preprocessing (its k/d_max govern the short-trip threshold).
 Result<UrrSolution> SolveGbs(const UrrInstance& instance, SolverContext* ctx,

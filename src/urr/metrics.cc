@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/json_writer.h"
+
 namespace urr {
 
 SolutionMetrics ComputeMetrics(const UrrInstance& instance,
@@ -76,6 +78,25 @@ std::string FormatMetrics(const SolutionMetrics& m) {
       << "active vehicles: " << m.active_vehicles << " ("
       << m.mean_riders_per_active_vehicle << " riders each)\n";
   return out.str();
+}
+
+std::string MetricsJson(const SolutionMetrics& m) {
+  JsonWriter w;
+  w.BeginObject()
+      .Field("riders_total", m.riders_total)
+      .Field("riders_served", m.riders_served)
+      .Field("service_rate", m.service_rate)
+      .Field("total_utility", m.total_utility)
+      .Field("mean_utility_served", m.mean_utility_served)
+      .Field("total_travel_cost", m.total_travel_cost)
+      .Field("mean_detour_sigma", m.mean_detour_sigma)
+      .Field("shared_rider_fraction", m.shared_rider_fraction)
+      .Field("mean_onboard", m.mean_onboard)
+      .Field("max_onboard", m.max_onboard)
+      .Field("active_vehicles", m.active_vehicles)
+      .Field("mean_riders_per_active_vehicle", m.mean_riders_per_active_vehicle)
+      .EndObject();
+  return w.str();
 }
 
 double UpperBoundUtility(const UrrInstance& instance, const UtilityModel& model,

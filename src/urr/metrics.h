@@ -33,6 +33,10 @@ SolutionMetrics ComputeMetrics(const UrrInstance& instance,
 /// Renders the metrics as a short human-readable report.
 std::string FormatMetrics(const SolutionMetrics& metrics);
 
+/// Renders the metrics as one JSON object (%.17g doubles, so values
+/// round-trip exactly). Consumed by urr_engine --json and bench_engine.
+std::string MetricsJson(const SolutionMetrics& metrics);
+
 /// An upper bound on the achievable overall utility: every rider served by
 /// their best vehicle at zero detour with perfect co-rider similarity —
 /// Σ_i (α·max_j μ_v(i,j) + β·1 + (1-α-β)·1), restricted to riders with at

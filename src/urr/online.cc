@@ -10,19 +10,39 @@ OnlineDispatcher::OnlineDispatcher(const UrrInstance* instance,
       objective_(objective),
       solution_(MakeEmptySolution(*instance, ctx->oracle)) {}
 
-DispatchDecision OnlineDispatcher::Dispatch(RiderId rider) {
+const char* RejectReasonName(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kNoReachableVehicle: return "no_reachable_vehicle";
+    case RejectReason::kCapacity: return "capacity";
+    case RejectReason::kDeadline: return "deadline";
+  }
+  return "unknown";
+}
+
+DispatchDecision EvaluateArrival(const UrrInstance& instance,
+                                 SolverContext* ctx, const UrrSolution& sol,
+                                 RiderId rider, OnlineObjective objective) {
   DispatchDecision best;
-  const bool need_utility = objective_ == OnlineObjective::kUtilityGain;
-  for (int j : ValidVehiclesForRider(*instance_, ctx_->vehicle_index, rider,
-                                     nullptr)) {
-    const CandidateEval eval = EvaluateInsertion(*instance_, *ctx_->model,
-                                                 solution_, rider, j,
-                                                 need_utility);
-    if (!eval.feasible) continue;
+  const bool need_utility = objective == OnlineObjective::kUtilityGain;
+  const std::vector<int> valid =
+      ValidVehiclesForRider(instance, ctx->vehicle_index, rider, nullptr);
+  if (valid.empty()) {
+    best.reason = RejectReason::kNoReachableVehicle;
+    return best;
+  }
+  bool any_capacity_blocked = false;
+  for (int j : valid) {
+    const CandidateEval eval =
+        EvaluateInsertion(instance, *ctx->model, sol, rider, j, need_utility);
+    if (!eval.feasible) {
+      any_capacity_blocked |= eval.capacity_blocked;
+      continue;
+    }
     bool better;
     if (!best.accepted) {
       better = true;
-    } else if (objective_ == OnlineObjective::kUtilityGain) {
+    } else if (objective == OnlineObjective::kUtilityGain) {
       better = eval.delta_utility > best.utility_gain;
     } else {
       better = eval.delta_cost < best.cost_increase;
@@ -35,6 +55,16 @@ DispatchDecision OnlineDispatcher::Dispatch(RiderId rider) {
       best.cost_increase = eval.delta_cost;
     }
   }
+  if (!best.accepted) {
+    best.reason = any_capacity_blocked ? RejectReason::kCapacity
+                                       : RejectReason::kDeadline;
+  }
+  return best;
+}
+
+DispatchDecision OnlineDispatcher::Dispatch(RiderId rider) {
+  DispatchDecision best =
+      EvaluateArrival(*instance_, ctx_, solution_, rider, objective_);
   if (best.accepted) {
     TransferSequence& seq = solution_.schedules[static_cast<size_t>(best.vehicle)];
     // Re-derive the plan on the live schedule (it may have changed since the
@@ -44,6 +74,7 @@ DispatchDecision OnlineDispatcher::Dispatch(RiderId rider) {
         ApplyInsertion(&seq, instance_->Trip(rider), best.plan);
     if (!applied.ok()) {
       best = DispatchDecision{};
+      best.reason = RejectReason::kDeadline;
       ++rejected_;
       return best;
     }

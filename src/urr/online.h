@@ -20,14 +20,35 @@ enum class OnlineObjective {
   kMinCostIncrease,
 };
 
+/// Why an arrival was turned down.
+enum class RejectReason : uint8_t {
+  kNone = 0,             // accepted
+  kNoReachableVehicle,   // no vehicle can reach the pickup by its deadline
+  kCapacity,             // reachable vehicles are full at every position
+  kDeadline,             // insertions exist but all violate time windows
+};
+
+/// Human-readable name for logs and reports.
+const char* RejectReasonName(RejectReason reason);
+
 /// Per-arrival outcome.
 struct DispatchDecision {
   bool accepted = false;
+  RejectReason reason = RejectReason::kNone;
   int vehicle = -1;
   InsertionPlan plan;
   double utility_gain = 0;
   Cost cost_increase = kInfiniteCost;
 };
+
+/// Evaluates rider `rider` against every valid vehicle of `sol` under
+/// `objective` and returns the best feasible decision WITHOUT committing it
+/// (first-best wins ties, in ValidVehiclesForRider order). Shared by
+/// OnlineDispatcher and the streaming engine's W=0 path so both make
+/// identical choices.
+DispatchDecision EvaluateArrival(const UrrInstance& instance,
+                                 SolverContext* ctx, const UrrSolution& sol,
+                                 RiderId rider, OnlineObjective objective);
 
 /// Streaming dispatcher over one instance. Vehicles' schedules grow
 /// monotonically; committed riders are never moved (the non-reordering

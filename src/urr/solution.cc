@@ -86,7 +86,8 @@ CandidateEval EvaluateInsertionOn(const UrrInstance& instance,
                                   const TransferSequence& seq, RiderId i, int j,
                                   bool need_utility) {
   CandidateEval eval;
-  Result<InsertionPlan> plan = FindBestInsertion(seq, instance.Trip(i));
+  Result<InsertionPlan> plan =
+      FindBestInsertion(seq, instance.Trip(i), &eval.capacity_blocked);
   if (!plan.ok()) return eval;
   eval.feasible = true;
   eval.plan = *plan;

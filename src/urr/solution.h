@@ -92,6 +92,10 @@ std::vector<std::unique_ptr<DistanceOracle>> AttachThreadPool(
 /// Outcome of evaluating "insert rider i into vehicle j's current schedule".
 struct CandidateEval {
   bool feasible = false;
+  /// When infeasible: some insertion position failed only on capacity
+  /// (condition d) — distinguishes "vehicle full" from "deadline too tight"
+  /// for rejection reporting.
+  bool capacity_blocked = false;
   InsertionPlan plan;
   double delta_utility = 0;  // μ(S') - μ(S), all riders of the vehicle
   Cost delta_cost = kInfiniteCost;

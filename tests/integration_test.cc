@@ -20,11 +20,16 @@ struct GridParam {
 std::string ParamName(const ::testing::TestParamInfo<GridParam>& info) {
   const GridParam& p = info.param;
   std::string name = p.city == CityKind::kNycLike ? "Nyc" : "Chi";
-  name += "a" + std::to_string(static_cast<int>(p.alpha * 100));
-  name += "b" + std::to_string(static_cast<int>(p.beta * 100));
-  name += "c" + std::to_string(p.capacity);
-  name += "e" + std::to_string(static_cast<int>(p.epsilon * 10));
-  name += "s" + std::to_string(p.seed);
+  name += 'a';
+  name += std::to_string(static_cast<int>(p.alpha * 100));
+  name += 'b';
+  name += std::to_string(static_cast<int>(p.beta * 100));
+  name += 'c';
+  name += std::to_string(p.capacity);
+  name += 'e';
+  name += std::to_string(static_cast<int>(p.epsilon * 10));
+  name += 's';
+  name += std::to_string(p.seed);
   return name;
 }
 

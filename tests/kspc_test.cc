@@ -66,8 +66,11 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, KspcPropertyTest,
     ::testing::Combine(::testing::Values(2, 3, 4), ::testing::Values(7, 8)),
     [](const auto& info) {
-      return "k" + std::to_string(std::get<0>(info.param)) + "seed" +
-             std::to_string(std::get<1>(info.param));
+      std::string name = "k";
+      name += std::to_string(std::get<0>(info.param));
+      name += "seed";
+      name += std::to_string(std::get<1>(info.param));
+      return name;
     });
 
 TEST(KspcTest, LargerKGivesSmallerCover) {
@@ -113,8 +116,11 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, KspcSamplingTest,
     ::testing::Combine(::testing::Values(2, 3, 4), ::testing::Values(17, 18)),
     [](const auto& info) {
-      return "k" + std::to_string(std::get<0>(info.param)) + "seed" +
-             std::to_string(std::get<1>(info.param));
+      std::string name = "k";
+      name += std::to_string(std::get<0>(info.param));
+      name += "seed";
+      name += std::to_string(std::get<1>(info.param));
+      return name;
     });
 
 TEST(KspcTest, PruningCoverUsuallySmallerThanSampling) {

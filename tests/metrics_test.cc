@@ -80,6 +80,25 @@ TEST_F(MetricsTest, FormatMentionsKeyNumbers) {
   EXPECT_NE(text.find("overall utility"), std::string::npos);
 }
 
+TEST_F(MetricsTest, JsonCarriesEveryField) {
+  UrrSolution sol = MakeEmptySolution(instance_, oracle_.get());
+  TransferSequence& seq = sol.schedules[0];
+  seq.InsertStop(0, {0, 0, StopType::kPickup, 1e5});
+  seq.InsertStop(1, {2, 0, StopType::kDropoff, 1e6});
+  sol.assignment[0] = 0;
+  const std::string json = MetricsJson(ComputeMetrics(instance_, *model_, sol));
+  for (const char* key :
+       {"\"riders_total\":3", "\"riders_served\":1", "\"service_rate\"",
+        "\"total_utility\"", "\"mean_utility_served\"", "\"total_travel_cost\"",
+        "\"mean_detour_sigma\"", "\"shared_rider_fraction\"",
+        "\"mean_onboard\"", "\"max_onboard\"", "\"active_vehicles\":1",
+        "\"mean_riders_per_active_vehicle\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
 TEST_F(MetricsTest, UpperBoundDominatesEverySolver) {
   ExperimentConfig cfg;
   cfg.city_nodes = 1200;

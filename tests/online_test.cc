@@ -108,6 +108,87 @@ TEST(OnlineTest, RejectedRiderStaysUnassigned) {
   EXPECT_EQ(dispatcher.num_rejected(), 1);
 }
 
+TEST(OnlineTest, RejectReasonNames) {
+  EXPECT_STREQ(RejectReasonName(RejectReason::kNone), "none");
+  EXPECT_STREQ(RejectReasonName(RejectReason::kNoReachableVehicle),
+               "no_reachable_vehicle");
+  EXPECT_STREQ(RejectReasonName(RejectReason::kCapacity), "capacity");
+  EXPECT_STREQ(RejectReasonName(RejectReason::kDeadline), "deadline");
+}
+
+TEST(OnlineTest, AcceptedDecisionCarriesNoReason) {
+  auto world = SmallWorld();
+  SolverContext ctx = world->Context();
+  OnlineDispatcher dispatcher(&world->instance, &ctx,
+                              OnlineObjective::kUtilityGain);
+  for (RiderId r = 0; r < world->instance.num_riders(); ++r) {
+    const DispatchDecision d = dispatcher.Dispatch(r);
+    if (d.accepted) {
+      EXPECT_EQ(d.reason, RejectReason::kNone);
+      return;
+    }
+  }
+  FAIL() << "no rider was accepted";
+}
+
+TEST(OnlineTest, UnreachableRiderReportsNoReachableVehicle) {
+  auto world = SmallWorld();
+  // A pickup deadline of ~0 leaves a zero search radius: no vehicle can be
+  // reachable (unless one is parked on the rider, which the assert below
+  // would surface as kDeadline — not seen with this seed).
+  world->instance.riders[0].pickup_deadline = 0.0001;
+  world->instance.riders[0].dropoff_deadline = 0.0002;
+  SolverContext ctx = world->Context();
+  OnlineDispatcher dispatcher(&world->instance, &ctx,
+                              OnlineObjective::kUtilityGain);
+  const DispatchDecision d = dispatcher.Dispatch(0);
+  ASSERT_FALSE(d.accepted);
+  EXPECT_EQ(d.reason, RejectReason::kNoReachableVehicle);
+}
+
+TEST(OnlineTest, ZeroCapacityFleetReportsCapacity) {
+  for (OnlineObjective obj :
+       {OnlineObjective::kUtilityGain, OnlineObjective::kMinCostIncrease}) {
+    auto world = SmallWorld();
+    for (Vehicle& v : world->instance.vehicles) v.capacity = 0;
+    SolverContext ctx = world->Context();
+    OnlineDispatcher dispatcher(&world->instance, &ctx, obj);
+    const DispatchDecision d = dispatcher.Dispatch(0);
+    ASSERT_FALSE(d.accepted);
+    EXPECT_EQ(d.reason, RejectReason::kCapacity);
+  }
+}
+
+TEST(OnlineTest, ImpossibleDropoffReportsDeadline) {
+  auto world = SmallWorld();
+  // Generous pickup budget (vehicles are reachable) but a dropoff deadline
+  // equal to the pickup deadline: the ride itself can never fit.
+  Rider& r = world->instance.riders[0];
+  r.dropoff_deadline = r.pickup_deadline;
+  SolverContext ctx = world->Context();
+  OnlineDispatcher dispatcher(&world->instance, &ctx,
+                              OnlineObjective::kMinCostIncrease);
+  const DispatchDecision d = dispatcher.Dispatch(0);
+  ASSERT_FALSE(d.accepted);
+  EXPECT_EQ(d.reason, RejectReason::kDeadline);
+}
+
+TEST(OnlineTest, EvaluateArrivalMatchesDispatchWithoutCommitting) {
+  auto world = SmallWorld();
+  SolverContext ctx = world->Context();
+  OnlineDispatcher dispatcher(&world->instance, &ctx,
+                              OnlineObjective::kUtilityGain);
+  const DispatchDecision peek = EvaluateArrival(
+      world->instance, &ctx, dispatcher.solution(), 0,
+      OnlineObjective::kUtilityGain);
+  // Pure evaluation: nothing was committed.
+  EXPECT_EQ(dispatcher.solution().assignment[0], -1);
+  const DispatchDecision d = dispatcher.Dispatch(0);
+  EXPECT_EQ(peek.accepted, d.accepted);
+  EXPECT_EQ(peek.vehicle, d.vehicle);
+  EXPECT_EQ(peek.reason, d.reason);
+}
+
 TEST(OnlineTest, DispatchAllSkipsAlreadyAssigned) {
   auto world = SmallWorld();
   SolverContext ctx = world->Context();

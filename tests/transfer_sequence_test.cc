@@ -257,5 +257,125 @@ TEST_F(TransferSequenceTest, DerivedFieldsMatchIndependentReference) {
   }
 }
 
+TEST_F(TransferSequenceTest, AdvanceToPopsStrictlyEarlierStops) {
+  // Vehicle at 0 (t=0): pickup r0 at node 1 (arrival 10), drop at node 3
+  // (arrival 30).
+  TransferSequence seq(0, 0, 2, oracle_.get());
+  seq.InsertStop(0, {1, 0, StopType::kPickup, 50});
+  seq.InsertStop(1, {3, 0, StopType::kDropoff, 100});
+
+  // Strict `<`: a stop reached exactly at t stays pending.
+  EXPECT_TRUE(seq.AdvanceTo(10).empty());
+  EXPECT_EQ(seq.commit_floor(), 1);  // mid-leg (10 > now = 0)
+  EXPECT_EQ(seq.num_stops(), 2);
+
+  const auto done = seq.AdvanceTo(15);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].stop.rider, 0);
+  EXPECT_EQ(done[0].stop.type, StopType::kPickup);
+  EXPECT_DOUBLE_EQ(done[0].time, 10);
+  // The vehicle re-anchors at the executed pickup; the rider is onboard.
+  EXPECT_EQ(seq.start_location(), 1);
+  EXPECT_DOUBLE_EQ(seq.now(), 10);
+  EXPECT_EQ(seq.initial_onboard(), (std::vector<RiderId>{0}));
+  EXPECT_EQ(seq.commit_floor(), 1);  // mid-leg towards the dropoff
+  ASSERT_EQ(seq.num_stops(), 1);
+  // The remaining arrival is rebuilt bitwise-identically (same float sums).
+  EXPECT_EQ(seq.EarliestArrival(0), 30);
+  EXPECT_EQ(seq.Onboard(0), 1);
+  EXPECT_TRUE(seq.Validate().ok());
+}
+
+TEST_F(TransferSequenceTest, AdvanceToDrainsAndIdles) {
+  TransferSequence seq(0, 0, 2, oracle_.get());
+  seq.InsertStop(0, {1, 0, StopType::kPickup, 50});
+  seq.InsertStop(1, {3, 0, StopType::kDropoff, 100});
+  const auto done = seq.AdvanceTo(1000);
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[1].stop.type, StopType::kDropoff);
+  EXPECT_TRUE(seq.empty());
+  EXPECT_EQ(seq.start_location(), 3);
+  EXPECT_DOUBLE_EQ(seq.now(), 1000);  // idle wait at the anchor
+  EXPECT_EQ(seq.commit_floor(), 0);
+  EXPECT_TRUE(seq.initial_onboard().empty());
+  EXPECT_TRUE(seq.Validate().ok());
+}
+
+TEST_F(TransferSequenceTest, PositionAtTracksTheRoute) {
+  TransferSequence seq(0, 0, 2, oracle_.get());
+  seq.InsertStop(0, {1, 0, StopType::kPickup, 50});
+  seq.InsertStop(1, {3, 0, StopType::kDropoff, 100});
+  RoutePosition pos = seq.PositionAt(5);  // mid-leg to the pickup
+  EXPECT_EQ(pos.at, 0);
+  EXPECT_DOUBLE_EQ(pos.depart_time, 0);
+  EXPECT_EQ(pos.next_stop, 0);
+  EXPECT_DOUBLE_EQ(pos.next_arrival, 10);
+  pos = seq.PositionAt(15);  // between the stops
+  EXPECT_EQ(pos.at, 1);
+  EXPECT_DOUBLE_EQ(pos.depart_time, 10);
+  EXPECT_EQ(pos.next_stop, 1);
+  EXPECT_DOUBLE_EQ(pos.next_arrival, 30);
+  pos = seq.PositionAt(99);  // past the last stop
+  EXPECT_EQ(pos.at, 3);
+  EXPECT_EQ(pos.next_stop, -1);
+}
+
+TEST_F(TransferSequenceTest, OnboardRiderCannotBeRemoved) {
+  TransferSequence seq(0, 0, 2, oracle_.get());
+  seq.InsertStop(0, {1, 0, StopType::kPickup, 50});
+  seq.InsertStop(1, {3, 0, StopType::kDropoff, 100});
+  seq.AdvanceTo(15);  // pickup executed; r0 onboard
+  EXPECT_EQ(seq.RemoveRider(0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(seq.ExciseRider(0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(seq.num_stops(), 1);  // schedule untouched
+}
+
+TEST_F(TransferSequenceTest, ExciseRiderMidLegCompletesTheLegAsDeadhead) {
+  TransferSequence seq(0, 0, 2, oracle_.get());
+  seq.InsertStop(0, {1, 0, StopType::kPickup, 50});
+  seq.InsertStop(1, {3, 0, StopType::kDropoff, 100});
+  seq.AdvanceTo(5);  // mid-leg towards the pickup, nothing executed
+  ASSERT_EQ(seq.commit_floor(), 1);
+  ASSERT_TRUE(seq.ExciseRider(0).ok());
+  // The in-flight leg became a waypoint: the vehicle ends at the would-be
+  // pickup node at its arrival time, with an empty schedule.
+  EXPECT_TRUE(seq.empty());
+  EXPECT_EQ(seq.start_location(), 1);
+  EXPECT_DOUBLE_EQ(seq.now(), 10);
+  EXPECT_EQ(seq.commit_floor(), 0);
+}
+
+TEST_F(TransferSequenceTest, ExciseRiderBeforeDepartureIsAPlainRemoval) {
+  TransferSequence seq(0, 0, 2, oracle_.get());
+  seq.InsertStop(0, {1, 0, StopType::kPickup, 50});
+  seq.InsertStop(1, {3, 0, StopType::kDropoff, 100});
+  seq.InsertStop(1, {2, 1, StopType::kPickup, 60});
+  seq.InsertStop(3, {4, 1, StopType::kDropoff, 200});
+  ASSERT_TRUE(seq.ExciseRider(1).ok());  // vehicle has not departed
+  EXPECT_EQ(seq.Riders(), (std::vector<RiderId>{0}));
+  EXPECT_EQ(seq.start_location(), 0);
+  EXPECT_DOUBLE_EQ(seq.now(), 0);
+  EXPECT_EQ(seq.ExciseRider(7).code(), StatusCode::kNotFound);
+}
+
+TEST_F(TransferSequenceTest, InsertionRespectsCommitFloor) {
+  TransferSequence seq(0, 0, 2, oracle_.get());
+  seq.InsertStop(0, {3, 0, StopType::kPickup, 1e6});
+  seq.InsertStop(1, {4, 0, StopType::kDropoff, 1e6});
+  seq.AdvanceTo(5);  // mid-leg towards node 3
+  ASSERT_EQ(seq.commit_floor(), 1);
+  // A rider right next to the vehicle's current position: the best legal
+  // pickup position is AFTER the committed stop, never diverting the leg.
+  const RiderTrip trip{1, 0, 1, 1e6, 1e6};
+  const auto plan = FindBestInsertion(seq, trip);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_GE(plan->pickup_pos, seq.commit_floor());
+  InsertionPlan diverting = *plan;
+  diverting.pickup_pos = 0;
+  diverting.dropoff_pos = 1;
+  EXPECT_EQ(ApplyInsertion(&seq, trip, diverting).code(),
+            StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace urr

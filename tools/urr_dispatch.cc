@@ -52,6 +52,7 @@ struct Options {
   uint64_t seed = 42;
   int threads = 0;  // 0 = URR_THREADS env, 1 = serial
   std::string out_path;
+  bool json = false;  // machine-readable SolutionMetrics instead of the table
   bool help = false;
 };
 
@@ -82,6 +83,8 @@ solver:
   --threads T             evaluation threads (0 = URR_THREADS env, 1 = serial;
                           the solution is identical for every T)
   --out FILE.csv          dump the resulting schedules
+  --json                  print SolutionMetrics as one JSON object instead
+                          of the human-readable tables
 
 )");
 }
@@ -128,6 +131,8 @@ Result<Options> ParseArgs(int argc, char** argv) {
     } else if (auto nt = ints.find(flag); nt != ints.end()) {
       URR_ASSIGN_OR_RETURN(std::string v, need_value());
       *nt->second = std::atoi(v.c_str());
+    } else if (flag == "--json") {
+      opt.json = true;
     } else if (flag == "--seed") {
       URR_ASSIGN_OR_RETURN(std::string v, need_value());
       opt.seed = static_cast<uint64_t>(std::atoll(v.c_str()));
@@ -260,14 +265,21 @@ Status Run(const Options& opt) {
   const double seconds = watch.ElapsedSeconds();
   URR_RETURN_NOT_OK(sol.Validate(instance));
 
-  TablePrinter summary({"approach", "overall utility", "travel cost (s)",
-                        "riders served", "solve time (s)"});
-  summary.AddRow({opt.approach, TablePrinter::Num(sol.TotalUtility(model), 3),
-                  TablePrinter::Num(sol.TotalCost(), 0),
-                  std::to_string(sol.NumAssigned()),
-                  TablePrinter::Num(seconds, 3)});
-  summary.Print();
-  std::printf("%s", FormatMetrics(ComputeMetrics(instance, model, sol)).c_str());
+  if (opt.json) {
+    // Machine-readable path: the JSON object is the last stdout line.
+    std::printf("%s\n",
+                MetricsJson(ComputeMetrics(instance, model, sol)).c_str());
+  } else {
+    TablePrinter summary({"approach", "overall utility", "travel cost (s)",
+                          "riders served", "solve time (s)"});
+    summary.AddRow({opt.approach, TablePrinter::Num(sol.TotalUtility(model), 3),
+                    TablePrinter::Num(sol.TotalCost(), 0),
+                    std::to_string(sol.NumAssigned()),
+                    TablePrinter::Num(seconds, 3)});
+    summary.Print();
+    std::printf("%s",
+                FormatMetrics(ComputeMetrics(instance, model, sol)).c_str());
+  }
 
   if (!opt.out_path.empty()) {
     URR_RETURN_NOT_OK(DumpSchedules(opt.out_path, sol));

@@ -1,0 +1,269 @@
+// urr_engine: command-line streaming dispatcher. Builds a city-scale world
+// (network, geo-social substrate, instance), streams its riders through the
+// discrete-event DispatchEngine with micro-batch windows, and prints the
+// run's engine metrics — as a table or as machine-readable JSON. The event
+// log can be dumped, and --verify-replay re-runs the logged input through a
+// fresh engine and checks the log and final fleet state reproduce exactly.
+//
+// Examples:
+//   urr_engine --city nyc --nodes 6000 --riders 500 --vehicles 100
+//              --window 30 --solver eg --arrival-rate 0.5
+//   urr_engine --window 0 --solver eg --json
+//   urr_engine --cancel-fraction 0.1 --log events.log --verify-replay
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/table.h"
+#include "engine/engine.h"
+#include "exp/harness.h"
+#include "urr/metrics.h"
+
+namespace urr {
+namespace {
+
+struct Options {
+  std::string city = "nyc";
+  int nodes = 4000;
+  int riders = 300;
+  int vehicles = 60;
+  int capacity = 3;
+  double deadline_min_minutes = 10;
+  double deadline_max_minutes = 30;
+  double window = 30;          // micro-batch window W (seconds); 0 = online
+  std::string solver = "eg";   // cf|eg|ba|gbs-eg|gbs-ba
+  double arrival_rate = 0.5;   // riders per second
+  double cancel_fraction = 0;  // share of riders that request cancellation
+  double cancel_delay = 60;    // mean seconds from arrival to the request
+  int max_queue = 0;           // admission control; 0 = unbounded
+  std::string oracle;          // "" = URR_ORACLE env
+  uint64_t seed = 42;
+  int threads = 0;             // 0 = URR_THREADS env
+  std::string log_path;        // dump the event log here
+  bool json = false;           // machine-readable EngineMetrics
+  bool windows = false;        // include the per-window array in the JSON
+  bool verify_replay = false;  // replay the log and compare
+  bool help = false;
+};
+
+void PrintUsage() {
+  std::printf(R"(urr_engine - event-driven streaming ridesharing dispatcher
+
+world:
+  --city nyc|chicago --nodes N
+  --riders M --vehicles N --capacity C
+  --deadline-min MIN --deadline-max MIN   pickup deadline range (minutes)
+  --oracle dijkstra|ch|caching|hl         distance oracle stack
+
+streaming workload:
+  --arrival-rate R        mean rider arrivals per second (Poisson)
+  --cancel-fraction F     share of riders that later request cancellation
+  --cancel-delay S        mean seconds from arrival to that request
+
+engine:
+  --window W              micro-batch window in seconds (0 = dispatch each
+                          arrival immediately, OnlineDispatcher-equivalent)
+  --solver cf|eg|ba|gbs-eg|gbs-ba   approach solving each window
+  --max-queue Q           reject arrivals beyond Q queued riders (0 = off)
+  --seed S --threads T    (solutions are identical at any thread count)
+
+output:
+  --json                  print EngineMetrics as one JSON object
+  --windows               include the per-window array in that JSON
+  --log FILE              write the deterministic event log to FILE
+  --verify-replay         rebuild the input from the log, re-run a fresh
+                          engine and require byte-identical log + fleet state
+
+)");
+}
+
+Result<Options> ParseArgs(int argc, char** argv) {
+  Options opt;
+  std::map<std::string, std::string*> strings = {
+      {"--city", &opt.city},
+      {"--solver", &opt.solver},
+      {"--oracle", &opt.oracle},
+      {"--log", &opt.log_path},
+  };
+  std::map<std::string, double*> doubles = {
+      {"--deadline-min", &opt.deadline_min_minutes},
+      {"--deadline-max", &opt.deadline_max_minutes},
+      {"--window", &opt.window},
+      {"--arrival-rate", &opt.arrival_rate},
+      {"--cancel-fraction", &opt.cancel_fraction},
+      {"--cancel-delay", &opt.cancel_delay},
+  };
+  std::map<std::string, int*> ints = {
+      {"--nodes", &opt.nodes},         {"--riders", &opt.riders},
+      {"--vehicles", &opt.vehicles},   {"--capacity", &opt.capacity},
+      {"--max-queue", &opt.max_queue}, {"--threads", &opt.threads},
+  };
+  std::map<std::string, bool*> bools = {
+      {"--json", &opt.json},
+      {"--windows", &opt.windows},
+      {"--verify-replay", &opt.verify_replay},
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--help" || flag == "-h") {
+      opt.help = true;
+      return opt;
+    }
+    auto need_value = [&]() -> Result<std::string> {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument(flag + " needs a value");
+      }
+      return std::string(argv[++i]);
+    };
+    if (auto it = strings.find(flag); it != strings.end()) {
+      URR_ASSIGN_OR_RETURN(*it->second, need_value());
+    } else if (auto dt = doubles.find(flag); dt != doubles.end()) {
+      URR_ASSIGN_OR_RETURN(std::string v, need_value());
+      *dt->second = std::atof(v.c_str());
+    } else if (auto nt = ints.find(flag); nt != ints.end()) {
+      URR_ASSIGN_OR_RETURN(std::string v, need_value());
+      *nt->second = std::atoi(v.c_str());
+    } else if (auto bt = bools.find(flag); bt != bools.end()) {
+      *bt->second = true;
+    } else if (flag == "--seed") {
+      URR_ASSIGN_OR_RETURN(std::string v, need_value());
+      opt.seed = static_cast<uint64_t>(std::atoll(v.c_str()));
+    } else {
+      return Status::InvalidArgument("unknown flag: " + flag);
+    }
+  }
+  return opt;
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  if (written != content.size()) return Status::IOError("short write " + path);
+  return Status::OK();
+}
+
+Status Run(const Options& opt) {
+  WindowSolver solver;
+  if (!ParseWindowSolver(opt.solver, &solver)) {
+    return Status::InvalidArgument("unknown --solver " + opt.solver);
+  }
+  if (opt.window < 0 || opt.arrival_rate < 0) {
+    return Status::InvalidArgument("--window/--arrival-rate must be >= 0");
+  }
+
+  ExperimentConfig cfg;
+  cfg.city = opt.city == "chicago" ? CityKind::kChicagoLike : CityKind::kNycLike;
+  if (opt.city != "nyc" && opt.city != "chicago") {
+    return Status::InvalidArgument("unknown --city " + opt.city);
+  }
+  cfg.city_nodes = opt.nodes;
+  cfg.num_social_users = std::max(500, opt.nodes / 2);
+  cfg.num_trip_records = std::max(2000, opt.riders * 3);
+  cfg.num_riders = opt.riders;
+  cfg.num_vehicles = opt.vehicles;
+  cfg.capacity = opt.capacity;
+  cfg.rt_min_minutes = opt.deadline_min_minutes;
+  cfg.rt_max_minutes = opt.deadline_max_minutes;
+  cfg.oracle = opt.oracle;
+  cfg.seed = opt.seed;
+  cfg.num_threads = opt.threads;
+  URR_ASSIGN_OR_RETURN(std::unique_ptr<ExperimentWorld> world,
+                       BuildWorld(cfg));
+
+  StreamingWorkloadOptions wopt;
+  wopt.arrival_rate = opt.arrival_rate;
+  wopt.cancel_fraction = opt.cancel_fraction;
+  wopt.cancel_delay_mean = opt.cancel_delay;
+  const StreamingWorkload workload =
+      MakeStreamingWorkload(world->instance, wopt, &world->rng);
+
+  UtilityModel model(&workload.instance,
+                     UtilityParams{cfg.alpha, cfg.beta});
+  SolverContext ctx = world->Context();
+  ctx.model = &model;
+
+  EngineConfig ecfg;
+  ecfg.window = opt.window;
+  ecfg.solver = solver;
+  ecfg.max_queue = opt.max_queue;
+  ecfg.seed = opt.seed;
+  ecfg.gbs = cfg.gbs;
+  if (solver == WindowSolver::kGbsEg || solver == WindowSolver::kGbsBa) {
+    URR_ASSIGN_OR_RETURN(ecfg.gbs_preprocess, world->GbsPreprocessing());
+  }
+
+  DispatchEngine engine(&workload, &ctx, ecfg);
+  URR_RETURN_NOT_OK(engine.Run());
+  const EngineMetrics& m = engine.metrics();
+
+  if (opt.json) {
+    std::printf("%s\n", EngineMetricsJson(m, opt.windows).c_str());
+  } else {
+    TablePrinter summary({"solver", "window (s)", "arrived", "accepted",
+                          "rejected", "expired", "cancelled", "booked utility",
+                          "wait p95 (s)", "solve p95 (s)"});
+    summary.AddRow({WindowSolverName(solver), TablePrinter::Num(opt.window, 0),
+                    std::to_string(m.total_arrivals),
+                    std::to_string(m.total_accepted),
+                    std::to_string(m.total_rejected),
+                    std::to_string(m.total_expired),
+                    std::to_string(m.total_cancelled),
+                    TablePrinter::Num(m.booked_utility, 3),
+                    TablePrinter::Num(Percentile(m.pickup_waits, 95), 1),
+                    TablePrinter::Num(Percentile(m.solve_latencies, 95), 4)});
+    summary.Print();
+    std::printf(
+        "%d windows, %d picked up / %d dropped off, %.0f cost driven\n",
+        static_cast<int>(m.windows.size()), m.total_picked_up,
+        m.total_dropped_off, m.driven_cost);
+  }
+
+  if (!opt.log_path.empty()) {
+    URR_RETURN_NOT_OK(WriteFile(opt.log_path, engine.SerializedLog()));
+    std::printf("event log (%zu events) written to %s\n",
+                engine.event_log().size(), opt.log_path.c_str());
+  }
+
+  if (opt.verify_replay) {
+    URR_ASSIGN_OR_RETURN(StreamingWorkload replayed,
+                         WorkloadFromLog(workload, engine.event_log()));
+    DispatchEngine second(&replayed, &ctx, ecfg);
+    URR_RETURN_NOT_OK(second.Run());
+    if (second.SerializedLog() != engine.SerializedLog()) {
+      return Status::Internal("replay diverged: event logs differ");
+    }
+    if (second.SolutionFingerprint() != engine.SolutionFingerprint()) {
+      return Status::Internal("replay diverged: final fleet state differs");
+    }
+    std::printf("replay verified: %zu events and final fleet state match\n",
+                engine.event_log().size());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace urr
+
+int main(int argc, char** argv) {
+  auto options = urr::ParseArgs(argc, argv);
+  if (!options.ok()) {
+    std::fprintf(stderr, "%s\n", options.status().ToString().c_str());
+    urr::PrintUsage();
+    return 2;
+  }
+  if (options->help) {
+    urr::PrintUsage();
+    return 0;
+  }
+  const urr::Status st = urr::Run(*options);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
