@@ -268,7 +268,7 @@ void BM_ParallelCandidateEval(benchmark::State& state) {
   ctx.oracle = ew.oracle.get();
   ctx.model = ew.model.get();
   ctx.rng = &rng;
-  const auto clones = AttachThreadPool(&ctx, &pool);
+  AttachThreadPool(&ctx, &pool);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         EvaluateCandidates(ew.instance, &ctx, ew.sol, ew.pairs,

@@ -1,0 +1,22 @@
+// Per-thread reusable scratch storage. Hot evaluation kernels keep their
+// workspace (flat arrays, candidate lists) in a scratch object that
+// survives across calls, so a warmed-up kernel allocates nothing. Pool
+// workers are stable OS threads and nested ParallelFor calls run inline on
+// the caller, so one instance per thread is race-free by construction.
+#ifndef URR_COMMON_SCRATCH_H_
+#define URR_COMMON_SCRATCH_H_
+
+namespace urr {
+
+/// The calling thread's private, lazily constructed `T` instance. Returned
+/// by reference; valid for the thread's lifetime. Each instantiating type
+/// gets its own slot, shared by every call site in the process.
+template <typename T>
+T& ThreadLocalScratch() {
+  static thread_local T instance;
+  return instance;
+}
+
+}  // namespace urr
+
+#endif  // URR_COMMON_SCRATCH_H_

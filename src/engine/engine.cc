@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/stopwatch.h"
+#include "routing/distance_oracle.h"
 #include "urr/bilateral.h"
 #include "urr/greedy.h"
 
@@ -55,8 +56,12 @@ DispatchEngine::DispatchEngine(const StreamingWorkload* workload,
       solution_(MakeEmptySolution(instance_, ctx->oracle)) {
   // The engine owns the time-varying pieces: its index tracks mid-route
   // anchors and its Rng makes BA's random order part of the replay identity.
+  // It also owns the cross-window eval cache (schedule versions invalidate
+  // entries as vehicles mutate) and the eval-path counters.
   ctx_.vehicle_index = &vehicle_index_;
   ctx_.rng = &rng_;
+  ctx_.eval_cache = config_.use_eval_cache ? &eval_cache_ : nullptr;
+  ctx_.counters = &counters_;
   const size_t n = instance_.riders.size();
   state_.assign(n, RiderState::kPending);
   arrival_time_.assign(n, instance_.now);
@@ -130,6 +135,16 @@ Status DispatchEngine::Run() {
     horizon = std::max(horizon, s.EndTime());
   }
   AdvanceFleetTo(horizon + 1);
+  // Flush the eval-path counters (metrics only; never the event log).
+  metrics_.eval_cache_hits = counters_.cache_hits.load();
+  metrics_.eval_cache_misses = counters_.cache_misses.load();
+  metrics_.screened_pairs = counters_.screened_pairs.load();
+  metrics_.elided_queries = counters_.elided_queries.load();
+  metrics_.kernel_evals = counters_.kernel_evals.load();
+  if (const auto* caching = dynamic_cast<const CachingOracle*>(ctx_.oracle)) {
+    metrics_.oracle_hits = caching->num_hits();
+    metrics_.oracle_misses = caching->num_misses();
+  }
   return Status::OK();
 }
 

@@ -27,6 +27,7 @@
 #include "engine/engine_metrics.h"
 #include "engine/event.h"
 #include "engine/workload.h"
+#include "urr/eval_cache.h"
 #include "urr/gbs.h"
 #include "urr/online.h"
 #include "urr/solution.h"
@@ -60,6 +61,11 @@ struct EngineConfig {
   /// Seed of the engine-owned Rng (BA's random rider order); part of the
   /// replay identity.
   uint64_t seed = 7;
+  /// Cross-window evaluation cache: window solves reuse CandidateEval
+  /// entries for (rider, vehicle) pairs whose schedule has not mutated
+  /// since the last window. Pure memoization — the event log and final
+  /// fleet state are byte-identical with the cache on or off.
+  bool use_eval_cache = true;
   /// Options for the GBS solvers; `base` is overridden to match `solver`.
   GbsOptions gbs;
   /// Optional externally cached GBS preprocessing (rider-independent
@@ -145,6 +151,8 @@ class DispatchEngine {
   VehicleIndex vehicle_index_;
   Rng rng_;
   UrrSolution solution_;
+  EvalCache eval_cache_;     // cross-window memo (wired when use_eval_cache)
+  EvalCounters counters_;    // eval-path counters, flushed into metrics_
   std::optional<GbsPreprocess> gbs_pre_;        // owned when not injected
   const GbsPreprocess* gbs_pre_ptr_ = nullptr;  // whichever is active
 

@@ -29,6 +29,13 @@ std::string EngineMetricsJson(const EngineMetrics& m, bool include_windows) {
       .Field("total_dropped_off", m.total_dropped_off)
       .Field("booked_utility", m.booked_utility)
       .Field("driven_cost", m.driven_cost)
+      .Field("eval_cache_hits", m.eval_cache_hits)
+      .Field("eval_cache_misses", m.eval_cache_misses)
+      .Field("screened_pairs", m.screened_pairs)
+      .Field("elided_queries", m.elided_queries)
+      .Field("kernel_evals", m.kernel_evals)
+      .Field("oracle_hits", m.oracle_hits)
+      .Field("oracle_misses", m.oracle_misses)
       .Field("num_windows", static_cast<int>(m.windows.size()))
       .Field("pickup_wait_p50", Percentile(m.pickup_waits, 50))
       .Field("pickup_wait_p95", Percentile(m.pickup_waits, 95))

@@ -38,6 +38,17 @@ struct EngineMetrics {
   int total_dropped_off = 0;
   double booked_utility = 0;  // Σ committed utility, net of cancellations
   double driven_cost = 0;     // total cost driven (incl. the final drain)
+  /// Evaluation-path counters: cross-window eval cache, bound screening and
+  /// the exact insertion kernel. Deterministic (same workload + config ⇒
+  /// same values at any thread count).
+  int64_t eval_cache_hits = 0;
+  int64_t eval_cache_misses = 0;
+  int64_t screened_pairs = 0;   // (i,j) pairs rejected by the Euclidean bound
+  int64_t elided_queries = 0;   // oracle queries the bound made unnecessary
+  int64_t kernel_evals = 0;     // exact FindBestInsertion kernel runs
+  /// Shared distance-cache stats (CachingOracle, when active; else 0).
+  int64_t oracle_hits = 0;
+  int64_t oracle_misses = 0;
   std::vector<WindowMetrics> windows;
   /// Per picked-up rider: pickup time − arrival time (simulated clock).
   std::vector<double> pickup_waits;

@@ -18,7 +18,7 @@ SolverContext ExperimentWorld::Context() {
   ctx.rng = &rng;
   ctx.euclid_speed = max_speed;
   ctx.pool = pool.get();
-  ctx.worker_oracles = worker_oracles;
+  ctx.worker_set = worker_set;
   return ctx;
 }
 
@@ -116,17 +116,13 @@ Result<std::unique_ptr<ExperimentWorld>> BuildWorld(
       config.num_threads > 0 ? config.num_threads : NumThreads();
   if (threads > 1) {
     world->pool = std::make_unique<ThreadPool>(threads);
-    world->worker_oracles.push_back(world->oracles.active);
-    for (int w = 1; w < threads; ++w) {
-      std::unique_ptr<DistanceOracle> clone = world->oracles.active->Clone();
-      if (clone == nullptr) {  // non-cloneable oracle: stay serial
-        world->pool.reset();
-        world->worker_oracles.clear();
-        world->worker_oracle_storage.clear();
-        break;
-      }
-      world->worker_oracles.push_back(clone.get());
-      world->worker_oracle_storage.push_back(std::move(clone));
+    SolverContext wiring;
+    wiring.oracle = world->oracles.active;
+    AttachThreadPool(&wiring, world->pool.get());
+    if (wiring.worker_set == nullptr) {  // non-cloneable oracle: stay serial
+      world->pool.reset();
+    } else {
+      world->worker_set = wiring.worker_set;
     }
   }
   return world;

@@ -80,10 +80,10 @@ struct ExperimentWorld {
   /// Cached GBS road-network preprocessing (lazy; keyed by k and d_max).
   std::unique_ptr<GbsPreprocess> gbs_pre;
   /// Evaluation pool (null when config.num_threads resolves to 1) plus the
-  /// per-worker oracle clones it hands to solver contexts.
+  /// per-worker oracle set it hands to solver contexts (shared ownership:
+  /// contexts copied out of Context() keep the clones alive).
   std::unique_ptr<ThreadPool> pool;
-  std::vector<std::unique_ptr<DistanceOracle>> worker_oracle_storage;
-  std::vector<DistanceOracle*> worker_oracles;
+  std::shared_ptr<WorkerOracleSet> worker_set;
 
   /// Solver context wired to this world's members.
   SolverContext Context();

@@ -6,11 +6,74 @@ namespace urr {
 
 namespace {
 constexpr Cost kTimeEps = 1e-7;  // tolerance for deadline comparisons
+
+// Process-wide version source. Relaxed is enough: uniqueness is all the
+// eval cache needs, and fetch_add is atomic regardless of ordering.
+std::atomic<uint64_t> g_schedule_version{1};
+uint64_t NextVersion() {
+  return g_schedule_version.fetch_add(1, std::memory_order_relaxed);
 }
+
+std::atomic<uint64_t> g_copy_count{0};
+}  // namespace
 
 TransferSequence::TransferSequence(NodeId start, Cost now, int capacity,
                                    DistanceOracle* oracle)
-    : start_(start), now_(now), capacity_(capacity), oracle_(oracle) {}
+    : start_(start), now_(now), capacity_(capacity), oracle_(oracle),
+      version_(NextVersion()) {}
+
+TransferSequence::TransferSequence(const TransferSequence& other)
+    : start_(other.start_), now_(other.now_), capacity_(other.capacity_),
+      oracle_(other.oracle_), commit_floor_(other.commit_floor_),
+      version_(other.version_), initial_onboard_(other.initial_onboard_),
+      stops_(other.stops_), leg_cost_(other.leg_cost_),
+      arrival_(other.arrival_), latest_(other.latest_), flex_(other.flex_),
+      onboard_(other.onboard_) {
+  g_copy_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+TransferSequence& TransferSequence::operator=(const TransferSequence& other) {
+  if (this != &other) {
+    start_ = other.start_;
+    now_ = other.now_;
+    capacity_ = other.capacity_;
+    oracle_ = other.oracle_;
+    commit_floor_ = other.commit_floor_;
+    version_ = other.version_;
+    initial_onboard_ = other.initial_onboard_;
+    stops_ = other.stops_;
+    leg_cost_ = other.leg_cost_;
+    arrival_ = other.arrival_;
+    latest_ = other.latest_;
+    flex_ = other.flex_;
+    onboard_ = other.onboard_;
+  }
+  g_copy_count.fetch_add(1, std::memory_order_relaxed);
+  return *this;
+}
+
+uint64_t TransferSequence::CopyCount() {
+  return g_copy_count.load(std::memory_order_relaxed);
+}
+
+ScheduleView TransferSequence::View() const {
+  ScheduleView v;
+  v.start = start_;
+  v.now = now_;
+  v.capacity = capacity_;
+  v.commit_floor = commit_floor_;
+  v.num_stops = num_stops();
+  v.stops = stops_.data();
+  v.leg_cost = leg_cost_.data();
+  v.arrival = arrival_.data();
+  v.latest = latest_.data();
+  v.flex = flex_.data();
+  v.onboard = onboard_.data();
+  v.initial_onboard = initial_onboard_.data();
+  v.num_initial_onboard = static_cast<int>(initial_onboard_.size());
+  v.oracle = oracle_;
+  return v;
+}
 
 int TransferSequence::EndOnboard() const {
   int onboard = static_cast<int>(initial_onboard_.size());
@@ -20,15 +83,16 @@ int TransferSequence::EndOnboard() const {
   return onboard;
 }
 
-std::vector<RiderId> TransferSequence::OnboardRiders(int u) const {
+std::vector<RiderId> ScheduleView::OnboardRiders(int u) const {
   // Rider picked up at stop p and dropped at stop q is onboard during legs
   // p+1 .. q. An unmatched pickup stays onboard to the end. Riders already
   // in the vehicle at `start` are onboard from leg 0 to their dropoff.
   std::vector<RiderId> out;
-  for (RiderId r : initial_onboard_) {
+  for (int r_idx = 0; r_idx < num_initial_onboard; ++r_idx) {
+    const RiderId r = initial_onboard[r_idx];
     bool dropped_before_leg = false;
     for (int q = 0; q < u; ++q) {
-      const Stop& t = stops_[static_cast<size_t>(q)];
+      const Stop& t = stops[q];
       if (t.type == StopType::kDropoff && t.rider == r) {
         dropped_before_leg = true;
         break;
@@ -36,12 +100,12 @@ std::vector<RiderId> TransferSequence::OnboardRiders(int u) const {
     }
     if (!dropped_before_leg) out.push_back(r);
   }
-  for (int p = 0; p < num_stops(); ++p) {
-    const Stop& s = stops_[static_cast<size_t>(p)];
+  for (int p = 0; p < num_stops; ++p) {
+    const Stop& s = stops[p];
     if (s.type != StopType::kPickup || p >= u) continue;
     bool dropped_before_leg = false;
     for (int q = p + 1; q < u; ++q) {
-      const Stop& t = stops_[static_cast<size_t>(q)];
+      const Stop& t = stops[q];
       if (t.type == StopType::kDropoff && t.rider == s.rider) {
         dropped_before_leg = true;
         break;
@@ -52,16 +116,16 @@ std::vector<RiderId> TransferSequence::OnboardRiders(int u) const {
   return out;
 }
 
-Cost TransferSequence::TotalCost() const {
+Cost ScheduleView::TotalCost() const {
   Cost total = 0;
-  for (Cost c : leg_cost_) total += c;
+  for (int u = 0; u < num_stops; ++u) total += leg_cost[u];
   return total;
 }
 
-std::pair<int, int> TransferSequence::RiderStops(RiderId rider) const {
+std::pair<int, int> ScheduleView::RiderStops(RiderId rider) const {
   int pickup = -1, dropoff = -1;
-  for (int u = 0; u < num_stops(); ++u) {
-    const Stop& s = stops_[static_cast<size_t>(u)];
+  for (int u = 0; u < num_stops; ++u) {
+    const Stop& s = stops[u];
     if (s.rider != rider) continue;
     if (s.type == StopType::kPickup) pickup = u;
     else dropoff = u;
@@ -69,17 +133,35 @@ std::pair<int, int> TransferSequence::RiderStops(RiderId rider) const {
   return {pickup, dropoff};
 }
 
-std::vector<RiderId> TransferSequence::Riders() const {
+std::vector<RiderId> ScheduleView::Riders() const {
   std::vector<RiderId> out;
-  for (const Stop& s : stops_) {
-    if (s.type == StopType::kPickup) out.push_back(s.rider);
+  for (int u = 0; u < num_stops; ++u) {
+    if (stops[u].type == StopType::kPickup) out.push_back(stops[u].rider);
   }
   return out;
+}
+
+// The TransferSequence queries delegate to the view implementations so the
+// copy-based and zero-copy evaluation paths run the same code by
+// construction — bit-identity between them cannot drift.
+std::vector<RiderId> TransferSequence::OnboardRiders(int u) const {
+  return View().OnboardRiders(u);
+}
+
+Cost TransferSequence::TotalCost() const { return View().TotalCost(); }
+
+std::pair<int, int> TransferSequence::RiderStops(RiderId rider) const {
+  return View().RiderStops(rider);
+}
+
+std::vector<RiderId> TransferSequence::Riders() const {
+  return View().Riders();
 }
 
 void TransferSequence::InsertStop(int pos, const Stop& stop) {
   stops_.insert(stops_.begin() + pos, stop);
   Rebuild();
+  version_ = NextVersion();
 }
 
 Status TransferSequence::RemoveRider(RiderId rider) {
@@ -99,6 +181,7 @@ Status TransferSequence::RemoveRider(RiderId rider) {
                             " not in schedule");
   }
   Rebuild();
+  version_ = NextVersion();
   return Status::OK();
 }
 
@@ -109,6 +192,10 @@ std::vector<ExecutedStop> TransferSequence::AdvanceTo(Cost t) {
   std::vector<ExecutedStop> done;
   size_t k = 0;
   while (k < stops_.size() && arrival_[k] < t) ++k;
+  // Version is bumped only when observable state actually changes, so a
+  // busy vehicle that merely sits mid-route across a window boundary keeps
+  // its cached candidate evaluations.
+  bool mutated = (k > 0);
   if (k > 0) {
     done.reserve(k);
     for (size_t u = 0; u < k; ++u) {
@@ -129,11 +216,23 @@ std::vector<ExecutedStop> TransferSequence::AdvanceTo(Cost t) {
   }
   if (stops_.empty()) {
     // Idle vehicle: it simply waits at the anchor until t.
-    now_ = std::max(now_, t);
-    commit_floor_ = 0;
+    const Cost idle_now = std::max(now_, t);
+    if (idle_now != now_) {
+      now_ = idle_now;
+      mutated = true;
+    }
+    if (commit_floor_ != 0) {
+      commit_floor_ = 0;
+      mutated = true;
+    }
   } else {
-    commit_floor_ = (t > now_) ? 1 : 0;
+    const int floor = (t > now_) ? 1 : 0;
+    if (floor != commit_floor_) {
+      commit_floor_ = floor;
+      mutated = true;
+    }
   }
+  if (mutated) version_ = NextVersion();
   return done;
 }
 

@@ -5,6 +5,9 @@
 #ifndef URR_SCHED_TRANSFER_SEQUENCE_H_
 #define URR_SCHED_TRANSFER_SEQUENCE_H_
 
+#include <atomic>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -45,6 +48,57 @@ struct RoutePosition {
   Cost next_arrival = 0;
 };
 
+/// Read-only, zero-copy view of a schedule's flat arrays. The insertion
+/// kernel and the utility model consume this instead of a TransferSequence
+/// so that trial schedules can be represented as scratch arrays without
+/// cloning the vehicle's schedule. All pointers borrow from the owner and
+/// stay valid only while the owner is unmodified. `oracle` is the oracle
+/// leg costs were computed with — callers evaluating on a worker thread
+/// substitute that worker's clone here instead of copying the schedule.
+struct ScheduleView {
+  NodeId start = kInvalidNode;
+  Cost now = 0;
+  int capacity = 0;
+  int commit_floor = 0;
+  int num_stops = 0;
+  const Stop* stops = nullptr;
+  const Cost* leg_cost = nullptr;
+  const Cost* arrival = nullptr;  // earliest arrival at stop u
+  const Cost* latest = nullptr;   // latest completion of leg u (Eq. 7)
+  const Cost* flex = nullptr;     // flexible time of leg u (Eq. 8)
+  const int* onboard = nullptr;   // |R_u| during leg u
+  const RiderId* initial_onboard = nullptr;
+  int num_initial_onboard = 0;
+  DistanceOracle* oracle = nullptr;
+
+  const Stop& stop(int u) const { return stops[u]; }
+  NodeId LegOrigin(int u) const {
+    return u == 0 ? start : stops[u - 1].location;
+  }
+  Cost EarliestStart(int u) const { return u == 0 ? now : arrival[u - 1]; }
+  Cost EarliestArrival(int u) const { return arrival[u]; }
+  Cost LatestCompletion(int u) const { return latest[u]; }
+  Cost FlexTime(int u) const { return flex[u]; }
+  int Onboard(int u) const { return onboard[u]; }
+  Cost EndTime() const { return num_stops == 0 ? now : arrival[num_stops - 1]; }
+  int EndOnboard() const {
+    int n = num_initial_onboard;
+    for (int u = 0; u < num_stops; ++u) {
+      n += (stops[u].type == StopType::kPickup) ? 1 : -1;
+    }
+    return n;
+  }
+
+  /// Rider ids onboard during leg u (the set R_u; O(w) scan).
+  std::vector<RiderId> OnboardRiders(int u) const;
+  /// Stop indices of `rider`'s pickup/dropoff; {-1, -1} when absent.
+  std::pair<int, int> RiderStops(RiderId rider) const;
+  /// Rider ids with a pickup in this schedule.
+  std::vector<RiderId> Riders() const;
+  /// Sum of all leg costs — the schedule's total travel cost cost(S_j).
+  Cost TotalCost() const;
+};
+
 /// A vehicle's schedule: start location + stops, with derived leg fields.
 /// Leg u (0-based) is the transfer event from stop u-1 (or the start
 /// location for u = 0) to stop u. All mutations recompute the derived
@@ -55,6 +109,15 @@ class TransferSequence {
   /// rider `capacity`. The oracle is borrowed and must outlive the sequence.
   TransferSequence(NodeId start, Cost now, int capacity,
                    DistanceOracle* oracle);
+
+  /// Copies are counted (see CopyCount) so tests can assert the evaluation
+  /// hot path is copy-free; moves are free and uncounted, so container
+  /// growth does not pollute the counter. A copy keeps the source's
+  /// schedule version — the content is identical.
+  TransferSequence(const TransferSequence& other);
+  TransferSequence& operator=(const TransferSequence& other);
+  TransferSequence(TransferSequence&&) noexcept = default;
+  TransferSequence& operator=(TransferSequence&&) noexcept = default;
 
   // --- structure ---------------------------------------------------------
   int num_stops() const { return static_cast<int>(stops_.size()); }
@@ -150,6 +213,24 @@ class TransferSequence {
   /// The oracle used for leg costs.
   DistanceOracle* oracle() const { return oracle_; }
 
+  /// Monotone schedule-content version, unique process-wide: every mutation
+  /// (InsertStop, RemoveRider, ExciseRider, and any AdvanceTo that changes
+  /// observable state) stamps a fresh value from a global counter. Two
+  /// sequences with different content never share a version, so
+  /// (rider, vehicle, version) keys cached candidate evaluations safely —
+  /// even across whole-schedule replacement. Copies keep the source's
+  /// version (identical content); `set_oracle` does NOT bump it (identical
+  /// distances by contract).
+  uint64_t version() const { return version_; }
+
+  /// Zero-copy read view over the derived arrays. Valid until the next
+  /// mutation of this sequence.
+  ScheduleView View() const;
+
+  /// Process-wide count of TransferSequence copy constructions/assignments.
+  /// Tests diff this around the evaluation hot path to prove it zero-copy.
+  static uint64_t CopyCount();
+
   /// Re-points leg-cost queries at `oracle`, which must answer the same
   /// distances as the current one (e.g. a DistanceOracle::Clone). Derived
   /// fields are NOT recomputed — they stay valid precisely because the
@@ -167,6 +248,7 @@ class TransferSequence {
   int capacity_;
   DistanceOracle* oracle_;
   int commit_floor_ = 0;
+  uint64_t version_ = 0;  // stamped in the constructor and every mutation
 
   std::vector<RiderId> initial_onboard_;
   std::vector<Stop> stops_;

@@ -65,27 +65,7 @@ void BilateralArrange(const UrrInstance& instance, SolverContext* ctx,
     if (group_filter == nullptr) {
       return ValidVehiclesForRider(instance, ctx->vehicle_index, i, &allowed);
     }
-    // Group mode: O(1) lower-bound checks only; Algorithm 1 rejects the
-    // survivors that are actually infeasible.
-    const Rider& r = instance.riders[static_cast<size_t>(i)];
-    const Cost budget = r.pickup_deadline - instance.now;
-    std::vector<int> out;
-    for (int j : vehicles) {
-      const NodeId loc = instance.vehicles[static_cast<size_t>(j)].location;
-      const Cost key_lb =
-          (*group_filter->dist_to_key)[static_cast<size_t>(j)] -
-          group_filter->slack;
-      if (key_lb > budget) continue;
-      if (ctx->euclid_speed > 0 && instance.network->has_coords()) {
-        const double lb =
-            EuclideanDistance(instance.network->coord(loc),
-                              instance.network->coord(r.source)) /
-            ctx->euclid_speed;
-        if (lb > budget) continue;
-      }
-      out.push_back(j);
-    }
-    return out;
+    return GroupCandidatesForRider(instance, ctx, i, vehicles, *group_filter);
   };
 
   // Lines 1-2: the C_i lists. Stored per rider and consumed monotonically,

@@ -44,27 +44,7 @@ void GreedyArrange(const UrrInstance& instance, SolverContext* ctx,
     if (group_filter == nullptr) {
       return ValidVehiclesForRider(instance, ctx->vehicle_index, i, &allowed);
     }
-    // Group mode: O(1) lower-bound checks only; Algorithm 1 rejects the
-    // survivors that are actually infeasible.
-    const Rider& r = instance.riders[static_cast<size_t>(i)];
-    const Cost budget = r.pickup_deadline - instance.now;
-    std::vector<int> out;
-    for (int j : vehicles) {
-      const NodeId loc = instance.vehicles[static_cast<size_t>(j)].location;
-      const Cost key_lb =
-          (*group_filter->dist_to_key)[static_cast<size_t>(j)] -
-          group_filter->slack;
-      if (key_lb > budget) continue;
-      if (ctx->euclid_speed > 0 && instance.network->has_coords()) {
-        const double lb =
-            EuclideanDistance(instance.network->coord(loc),
-                              instance.network->coord(r.source)) /
-            ctx->euclid_speed;
-        if (lb > budget) continue;
-      }
-      out.push_back(j);
-    }
-    return out;
+    return GroupCandidatesForRider(instance, ctx, i, vehicles, *group_filter);
   };
 
   std::vector<uint64_t> version(instance.vehicles.size(), 0);
@@ -99,9 +79,8 @@ void GreedyArrange(const UrrInstance& instance, SolverContext* ctx,
     if (sol->assignment[static_cast<size_t>(top.rider)] >= 0) continue;
     if (top.version != version[static_cast<size_t>(top.vehicle)]) {
       // Stale: the vehicle's schedule changed. Re-evaluate and re-queue.
-      const CandidateEval eval =
-          EvaluateInsertion(instance, *ctx->model, *sol, top.rider, top.vehicle,
-                            need_utility);
+      const CandidateEval eval = EvaluateCandidate(
+          instance, ctx, *sol, top.rider, top.vehicle, need_utility);
       if (!eval.feasible) continue;  // line 12: drop invalid pairs
       queue.push({KeyOf(objective, eval), top.rider, top.vehicle,
                   version[static_cast<size_t>(top.vehicle)]});

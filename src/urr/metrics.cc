@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "common/json_writer.h"
+#include "routing/distance_oracle.h"
+#include "urr/eval_cache.h"
 
 namespace urr {
 
@@ -63,6 +65,21 @@ SolutionMetrics ComputeMetrics(const UrrInstance& instance,
   return m;
 }
 
+void AttachEvalStats(const SolverContext& ctx, SolutionMetrics* metrics) {
+  if (ctx.counters != nullptr) {
+    metrics->eval_cache_hits = ctx.counters->cache_hits.load();
+    metrics->eval_cache_misses = ctx.counters->cache_misses.load();
+    metrics->screened_pairs = ctx.counters->screened_pairs.load();
+    metrics->elided_queries = ctx.counters->elided_queries.load();
+    metrics->kernel_evals = ctx.counters->kernel_evals.load();
+  }
+  if (const auto* caching = dynamic_cast<const CachingOracle*>(ctx.oracle)) {
+    metrics->oracle_hits = caching->num_hits();
+    metrics->oracle_misses = caching->num_misses();
+    metrics->oracle_entries = static_cast<int64_t>(caching->num_entries());
+  }
+}
+
 std::string FormatMetrics(const SolutionMetrics& m) {
   std::ostringstream out;
   out << "riders served: " << m.riders_served << "/" << m.riders_total << " ("
@@ -95,6 +112,14 @@ std::string MetricsJson(const SolutionMetrics& m) {
       .Field("max_onboard", m.max_onboard)
       .Field("active_vehicles", m.active_vehicles)
       .Field("mean_riders_per_active_vehicle", m.mean_riders_per_active_vehicle)
+      .Field("eval_cache_hits", m.eval_cache_hits)
+      .Field("eval_cache_misses", m.eval_cache_misses)
+      .Field("screened_pairs", m.screened_pairs)
+      .Field("elided_queries", m.elided_queries)
+      .Field("kernel_evals", m.kernel_evals)
+      .Field("oracle_hits", m.oracle_hits)
+      .Field("oracle_misses", m.oracle_misses)
+      .Field("oracle_entries", m.oracle_entries)
       .EndObject();
   return w.str();
 }

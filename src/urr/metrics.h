@@ -23,12 +23,28 @@ struct SolutionMetrics {
   int max_onboard = 0;
   int active_vehicles = 0;          // vehicles with at least one stop
   double mean_riders_per_active_vehicle = 0;
+
+  /// Evaluation-path counters (filled by AttachEvalStats; 0 otherwise).
+  int64_t eval_cache_hits = 0;
+  int64_t eval_cache_misses = 0;
+  int64_t screened_pairs = 0;   // pairs rejected by the Euclidean lower bound
+  int64_t elided_queries = 0;   // oracle queries the bound made unnecessary
+  int64_t kernel_evals = 0;     // exact insertion-kernel runs
+  /// Shared distance-cache stats (CachingOracle, when active; else 0).
+  int64_t oracle_hits = 0;
+  int64_t oracle_misses = 0;
+  int64_t oracle_entries = 0;
 };
 
 /// Computes the metrics for a (valid) solution.
 SolutionMetrics ComputeMetrics(const UrrInstance& instance,
                                const UtilityModel& model,
                                const UrrSolution& solution);
+
+/// Copies the context's eval-path counters (eval cache, bound screening,
+/// kernel runs) and the shared CachingOracle's hit/miss/entry stats into
+/// `metrics`. Counters the context does not carry stay 0.
+void AttachEvalStats(const SolverContext& ctx, SolutionMetrics* metrics);
 
 /// Renders the metrics as a short human-readable report.
 std::string FormatMetrics(const SolutionMetrics& metrics);

@@ -34,7 +34,7 @@ DispatchDecision EvaluateArrival(const UrrInstance& instance,
   bool any_capacity_blocked = false;
   for (int j : valid) {
     const CandidateEval eval =
-        EvaluateInsertion(instance, *ctx->model, sol, rider, j, need_utility);
+        EvaluateCandidate(instance, ctx, sol, rider, j, need_utility);
     if (!eval.feasible) {
       any_capacity_blocked |= eval.capacity_blocked;
       continue;

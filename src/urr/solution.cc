@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/scratch.h"
+#include "urr/eval_cache.h"
+
 namespace urr {
 
 double UrrSolution::TotalUtility(const UtilityModel& model) const {
@@ -79,15 +82,17 @@ UrrSolution MakeEmptySolution(const UrrInstance& instance,
 
 namespace {
 
-/// Core of EvaluateInsertion on a schedule whose oracle is safe to query
-/// from the calling thread.
+/// Core of the legacy copy-based EvaluateInsertion on a schedule whose
+/// oracle is safe to query from the calling thread. Uses the copy-based
+/// kernel throughout, so this path is the genuine baseline the zero-copy
+/// kernel is differential-tested (and benchmarked) against.
 CandidateEval EvaluateInsertionOn(const UrrInstance& instance,
                                   const UtilityModel& model,
                                   const TransferSequence& seq, RiderId i, int j,
                                   bool need_utility) {
   CandidateEval eval;
   Result<InsertionPlan> plan =
-      FindBestInsertion(seq, instance.Trip(i), &eval.capacity_blocked);
+      FindBestInsertionCopy(seq, instance.Trip(i), &eval.capacity_blocked);
   if (!plan.ok()) return eval;
   eval.feasible = true;
   eval.plan = *plan;
@@ -100,6 +105,67 @@ CandidateEval EvaluateInsertionOn(const UrrInstance& instance,
     }
     eval.delta_utility =
         model.ScheduleUtility(j, trial) - model.ScheduleUtility(j, seq);
+  }
+  return eval;
+}
+
+/// Zero-copy evaluation: the schedule is read through a ScheduleView (with
+/// the oracle re-pointed as a view field instead of cloning the schedule),
+/// the scratch kernel finds the plan, and the utility delta is computed on
+/// a scratch-built trial view. Every arithmetic step mirrors the copy path
+/// bit-for-bit; `screen` additionally elides provably futile oracle queries
+/// without changing any result.
+CandidateEval EvaluateInsertionZeroCopy(const UtilityModel& model,
+                                        const TransferSequence& seq, int j,
+                                        const RiderTrip& trip,
+                                        bool need_utility,
+                                        DistanceOracle* eval_oracle,
+                                        const InsertionScreen* screen,
+                                        InsertionScratch* scratch) {
+  ScheduleView view = seq.View();
+  if (eval_oracle != nullptr) view.oracle = eval_oracle;
+  CandidateEval eval;
+  Result<InsertionPlan> plan = FindBestInsertionScratch(
+      view, trip, &eval.capacity_blocked, screen, scratch);
+  if (!plan.ok()) return eval;
+  eval.feasible = true;
+  eval.plan = *plan;
+  eval.delta_cost = plan->delta_cost;
+  if (need_utility) {
+    const ScheduleView trial = BuildTrialView(view, trip, *plan, scratch);
+    eval.delta_utility =
+        model.ScheduleUtility(j, trial) - model.ScheduleUtility(j, view);
+  }
+  return eval;
+}
+
+/// Kernel dispatch honoring the context toggles (no cache involvement).
+CandidateEval EvaluateWithContext(const UrrInstance& instance,
+                                  const SolverContext* ctx,
+                                  const UrrSolution& sol, RiderId i, int j,
+                                  bool need_utility,
+                                  DistanceOracle* eval_oracle) {
+  if (ctx->counters != nullptr) {
+    ctx->counters->kernel_evals.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (!ctx->zero_copy_kernel) {
+    return EvaluateInsertion(instance, *ctx->model, sol, i, j, need_utility,
+                             eval_oracle);
+  }
+  InsertionScreen screen{instance.network, ctx->euclid_speed};
+  const InsertionScreen* scr =
+      ctx->bound_screening && screen.enabled() ? &screen : nullptr;
+  InsertionScratch& scratch = ThreadLocalScratch<InsertionScratch>();
+  const uint64_t elided0 = scratch.elided_queries;
+  const uint64_t screened0 = scratch.screened_pairs;
+  CandidateEval eval = EvaluateInsertionZeroCopy(
+      *ctx->model, sol.schedules[static_cast<size_t>(j)], j,
+      instance.Trip(i), need_utility, eval_oracle, scr, &scratch);
+  if (ctx->counters != nullptr) {
+    ctx->counters->elided_queries.fetch_add(
+        scratch.elided_queries - elided0, std::memory_order_relaxed);
+    ctx->counters->screened_pairs.fetch_add(
+        scratch.screened_pairs - screened0, std::memory_order_relaxed);
   }
   return eval;
 }
@@ -254,10 +320,69 @@ CandidateEval EvaluateInsertion(const UrrInstance& instance,
   return EvaluateInsertionOn(instance, model, local, i, j, need_utility);
 }
 
+CandidateEval EvaluateCandidate(const UrrInstance& instance,
+                                const SolverContext* ctx,
+                                const UrrSolution& sol, RiderId i, int j,
+                                bool need_utility,
+                                DistanceOracle* eval_oracle) {
+  const uint64_t version =
+      sol.schedules[static_cast<size_t>(j)].version();
+  if (ctx->eval_cache != nullptr) {
+    CandidateEval cached;
+    if (ctx->eval_cache->Lookup(i, j, version, need_utility, &cached)) {
+      if (ctx->counters != nullptr) {
+        ctx->counters->cache_hits.fetch_add(1, std::memory_order_relaxed);
+      }
+      return cached;
+    }
+    if (ctx->counters != nullptr) {
+      ctx->counters->cache_misses.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  const CandidateEval eval = EvaluateWithContext(instance, ctx, sol, i, j,
+                                                 need_utility, eval_oracle);
+  if (ctx->eval_cache != nullptr) {
+    ctx->eval_cache->Store(i, j, version, need_utility, eval);
+  }
+  return eval;
+}
+
 std::vector<CandidateEval> EvaluateCandidates(
     const UrrInstance& instance, SolverContext* ctx, const UrrSolution& sol,
     const std::vector<RiderVehiclePair>& pairs, bool need_utility) {
   std::vector<CandidateEval> evals(pairs.size());
+  // Cache pass first (serial, O(1) per pair): a clean entry means the
+  // vehicle is untouched since the pair was last evaluated, so the stored
+  // result is bit-identical to a recompute. Only the misses go through the
+  // prefetch + fan-out machinery below.
+  std::vector<size_t> miss;
+  if (ctx->eval_cache != nullptr) {
+    uint64_t hits = 0;
+    miss.reserve(pairs.size());
+    for (size_t k = 0; k < pairs.size(); ++k) {
+      const RiderVehiclePair& p = pairs[k];
+      const uint64_t version =
+          sol.schedules[static_cast<size_t>(p.vehicle)].version();
+      if (ctx->eval_cache->Lookup(p.rider, p.vehicle, version, need_utility,
+                                  &evals[k])) {
+        ++hits;
+      } else {
+        miss.push_back(k);
+      }
+    }
+    if (ctx->counters != nullptr) {
+      ctx->counters->cache_hits.fetch_add(hits, std::memory_order_relaxed);
+      ctx->counters->cache_misses.fetch_add(miss.size(),
+                                            std::memory_order_relaxed);
+    }
+    if (miss.empty()) return evals;
+  } else {
+    miss.resize(pairs.size());
+    for (size_t k = 0; k < pairs.size(); ++k) miss[k] = k;
+  }
+  std::vector<RiderVehiclePair> todo;
+  todo.reserve(miss.size());
+  for (size_t k : miss) todo.push_back(pairs[k]);
   // Wave batching: with a batch-capable oracle, fetch the wave's predicted
   // distance footprint in a few many-to-many batches and serve evaluations
   // from the shared read-only table. The table is built before any fan-out
@@ -268,55 +393,67 @@ std::vector<CandidateEval> EvaluateCandidates(
   std::vector<PrefetchedOracle> prefetched;
   bool use_table = false;
   DistanceOracle* caller = ctx->worker_oracle(ThreadPool::CurrentWorker());
-  if (ctx->batch_eval && !pairs.empty() && caller != nullptr &&
+  if (ctx->batch_eval && !todo.empty() && caller != nullptr &&
       caller->SupportsBatch()) {
-    use_table = PrefetchWaveDistances(instance, sol, pairs, caller, &table);
+    use_table = PrefetchWaveDistances(instance, sol, todo, caller, &table);
   }
   if (use_table) {
-    const size_t num_workers =
-        std::max<size_t>(size_t{1}, ctx->worker_oracles.size());
+    const size_t num_workers = static_cast<size_t>(ctx->num_workers());
     prefetched.reserve(num_workers);
     for (size_t w = 0; w < num_workers; ++w) {
       prefetched.emplace_back(&table, ctx->worker_oracle(static_cast<int>(w)));
     }
   }
-  ParallelFor(ctx->eval_pool(), static_cast<int64_t>(pairs.size()),
-              [&](int64_t k, int worker) {
-                const RiderVehiclePair& p = pairs[static_cast<size_t>(k)];
+  ParallelFor(ctx->eval_pool(), static_cast<int64_t>(todo.size()),
+              [&](int64_t m, int worker) {
+                const size_t k = miss[static_cast<size_t>(m)];
+                const RiderVehiclePair& p = todo[static_cast<size_t>(m)];
                 DistanceOracle* eval_oracle =
                     use_table && static_cast<size_t>(worker) < prefetched.size()
                         ? static_cast<DistanceOracle*>(
                               &prefetched[static_cast<size_t>(worker)])
                         : ctx->worker_oracle(worker);
-                evals[static_cast<size_t>(k)] = EvaluateInsertion(
-                    instance, *ctx->model, sol, p.rider, p.vehicle,
-                    need_utility, eval_oracle);
+                evals[k] = EvaluateWithContext(instance, ctx, sol, p.rider,
+                                               p.vehicle, need_utility,
+                                               eval_oracle);
               });
+  if (ctx->eval_cache != nullptr) {
+    // Store after the wave: distinct (rider, vehicle) keys per wave entry,
+    // so insertion order cannot change any stored value.
+    for (size_t m = 0; m < todo.size(); ++m) {
+      const size_t k = miss[m];
+      const RiderVehiclePair& p = todo[m];
+      ctx->eval_cache->Store(
+          p.rider, p.vehicle,
+          sol.schedules[static_cast<size_t>(p.vehicle)].version(),
+          need_utility, evals[k]);
+    }
+  }
   return evals;
 }
 
-std::vector<std::unique_ptr<DistanceOracle>> AttachThreadPool(
-    SolverContext* ctx, ThreadPool* pool) {
-  std::vector<std::unique_ptr<DistanceOracle>> owned;
+void AttachThreadPool(SolverContext* ctx, ThreadPool* pool) {
   ctx->pool = pool;
-  ctx->worker_oracles.clear();
+  ctx->worker_set.reset();
   if (pool == nullptr || pool->num_threads() <= 1 || ctx->oracle == nullptr) {
-    return owned;
+    return;
   }
-  ctx->worker_oracles.push_back(ctx->oracle);  // worker 0 is the caller
+  // Build the whole set locally and attach it only when complete: if any
+  // Clone() throws or declines, the partial set (and its owned clones)
+  // unwinds here and the context stays serial with no dangling pointers.
+  auto set = std::make_shared<WorkerOracleSet>();
+  set->oracles.push_back(ctx->oracle);  // worker 0 is the caller
   for (int w = 1; w < pool->num_threads(); ++w) {
     std::unique_ptr<DistanceOracle> clone = ctx->oracle->Clone();
     if (clone == nullptr) {
       // Not cloneable: leave the context serial (eval_pool() sees the
-      // short worker_oracles and declines to fan out).
-      ctx->worker_oracles.clear();
-      owned.clear();
-      return owned;
+      // missing worker set and declines to fan out).
+      return;
     }
-    ctx->worker_oracles.push_back(clone.get());
-    owned.push_back(std::move(clone));
+    set->oracles.push_back(clone.get());
+    set->owned.push_back(std::move(clone));
   }
-  return owned;
+  ctx->worker_set = std::move(set);
 }
 
 std::vector<int> ValidVehiclesForRider(const UrrInstance& instance,
@@ -332,6 +469,31 @@ std::vector<int> ValidVehiclesForRider(const UrrInstance& instance,
       continue;
     }
     out.push_back(v.vehicle);
+  }
+  return out;
+}
+
+std::vector<int> GroupCandidatesForRider(const UrrInstance& instance,
+                                         const SolverContext* ctx, RiderId i,
+                                         const std::vector<int>& vehicles,
+                                         const GroupFilter& filter) {
+  // Group mode: O(1) lower-bound checks only; Algorithm 1 rejects the
+  // survivors that are actually infeasible.
+  const Rider& r = instance.riders[static_cast<size_t>(i)];
+  const Cost budget = r.pickup_deadline - instance.now;
+  std::vector<int> out;
+  for (int j : vehicles) {
+    const NodeId loc = instance.vehicles[static_cast<size_t>(j)].location;
+    const Cost key_lb =
+        (*filter.dist_to_key)[static_cast<size_t>(j)] - filter.slack;
+    if (key_lb > budget) continue;
+    if (ctx->euclid_speed > 0 && instance.network->has_coords()) {
+      const double lb = EuclideanDistance(instance.network->coord(loc),
+                                          instance.network->coord(r.source)) /
+                        ctx->euclid_speed;
+      if (lb > budget) continue;
+    }
+    out.push_back(j);
   }
   return out;
 }

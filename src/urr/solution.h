@@ -4,6 +4,8 @@
 #ifndef URR_URR_SOLUTION_H_
 #define URR_URR_SOLUTION_H_
 
+#include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "common/parallel_for.h"
@@ -16,6 +18,9 @@
 #include "urr/utility.h"
 
 namespace urr {
+
+class EvalCache;      // urr/eval_cache.h
+struct EvalCounters;  // urr/eval_cache.h
 
 /// A (partial) solution to a URR instance.
 struct UrrSolution {
@@ -36,6 +41,17 @@ struct UrrSolution {
 UrrSolution MakeEmptySolution(const UrrInstance& instance,
                               DistanceOracle* oracle);
 
+/// Per-worker distance oracles with their ownership in one structure:
+/// `oracles[0]` is the shared (caller) oracle, entries 1.. point into
+/// `owned` (DistanceOracle::Clone results). Built atomically by
+/// AttachThreadPool — a Clone() that throws or fails mid-way unwinds the
+/// local set and leaves the context untouched, so no raw pointer can ever
+/// outlive its owner.
+struct WorkerOracleSet {
+  std::vector<std::unique_ptr<DistanceOracle>> owned;
+  std::vector<DistanceOracle*> oracles;
+};
+
 /// Everything a solver needs besides the instance. All pointers borrowed.
 struct SolverContext {
   DistanceOracle* oracle = nullptr;
@@ -52,42 +68,64 @@ struct SolverContext {
   /// bit-identical for any pool size — parallel evaluations land in
   /// per-index slots and all commits stay sequential.
   ThreadPool* pool = nullptr;
-  /// Per-worker distance oracles, sized to pool->num_threads() with entry 0
-  /// == `oracle` and entries 1.. independent clones (DistanceOracle::Clone)
-  /// owned by the caller. Wire with AttachThreadPool; when the sizes don't
-  /// line up the solvers silently stay serial, so a non-cloneable oracle
-  /// can never race.
-  std::vector<DistanceOracle*> worker_oracles;
+  /// Per-worker oracles, shared with every copy of this context (the
+  /// harness hands out context copies). Wire with AttachThreadPool; when
+  /// the set doesn't cover every worker the solvers silently stay serial,
+  /// so a non-cloneable oracle can never race.
+  std::shared_ptr<WorkerOracleSet> worker_set;
   /// When true and the oracle reports SupportsBatch(), candidate-evaluation
   /// waves predict their distance footprint and fetch it with a few
   /// many-to-many batches up front instead of thousands of scalar queries.
   /// Values are identical either way, so this is purely a throughput knob.
   bool batch_eval = true;
+  /// Use the zero-copy scratch kernel for candidate evaluation (default).
+  /// false falls back to the legacy copy-based kernel; results are
+  /// bit-identical either way (differential-tested).
+  bool zero_copy_kernel = true;
+  /// Apply Euclidean lower-bound screening inside the insertion kernel
+  /// (requires euclid_speed > 0 and network coordinates). Screening only
+  /// elides oracle queries whose outcome the bound already decides, so
+  /// results are bit-identical on/off.
+  bool bound_screening = true;
+  /// Optional (rider, vehicle, schedule-version) evaluation cache shared
+  /// across solver calls — the engine attaches one so unchanged vehicles
+  /// are not re-evaluated every window. Borrowed; nullptr disables.
+  EvalCache* eval_cache = nullptr;
+  /// Optional evaluation-path counters (hits/misses/screens). Borrowed.
+  EvalCounters* counters = nullptr;
 
-  /// The pool to actually fan out on: `pool` when worker_oracles covers
+  /// The pool to actually fan out on: `pool` when the worker set covers
   /// every worker, nullptr (serial) otherwise.
   ThreadPool* eval_pool() const {
     if (pool == nullptr || pool->num_threads() <= 1) return nullptr;
-    return worker_oracles.size() >=
-                   static_cast<size_t>(pool->num_threads())
+    return worker_set != nullptr &&
+                   worker_set->oracles.size() >=
+                       static_cast<size_t>(pool->num_threads())
                ? pool
                : nullptr;
   }
+  /// Number of workers with a private oracle (>= 1: worker 0 is the caller).
+  int num_workers() const {
+    return worker_set == nullptr
+               ? 1
+               : std::max(1, static_cast<int>(worker_set->oracles.size()));
+  }
   /// Worker `w`'s private oracle (the shared one for worker 0 / serial).
   DistanceOracle* worker_oracle(int w) const {
-    if (w <= 0 || static_cast<size_t>(w) >= worker_oracles.size()) {
+    if (worker_set == nullptr || w <= 0 ||
+        static_cast<size_t>(w) >= worker_set->oracles.size()) {
       return oracle;
     }
-    return worker_oracles[static_cast<size_t>(w)];
+    return worker_set->oracles[static_cast<size_t>(w)];
   }
 };
 
 /// Wires `ctx` for parallel evaluation on `pool`: clones ctx->oracle once
-/// per extra worker and returns the owned clones (keep them alive as long
-/// as the context is used). When the oracle cannot clone, the context is
-/// left serial and the result is empty.
-std::vector<std::unique_ptr<DistanceOracle>> AttachThreadPool(
-    SolverContext* ctx, ThreadPool* pool);
+/// per extra worker into a WorkerOracleSet owned by the context (shared
+/// with context copies). When the oracle cannot clone, the context is left
+/// serial (worker_set empty). Exception-safe: a throwing Clone() leaves
+/// the context exactly as it was.
+void AttachThreadPool(SolverContext* ctx, ThreadPool* pool);
 
 /// Outcome of evaluating "insert rider i into vehicle j's current schedule".
 struct CandidateEval {
@@ -121,6 +159,17 @@ struct RiderVehiclePair {
   int vehicle = -1;
 };
 
+/// Context-aware single-pair evaluation: consults ctx->eval_cache (keyed by
+/// the schedule's version), then runs the kernel selected by
+/// ctx->zero_copy_kernel with ctx->bound_screening applied, updating
+/// ctx->counters. Results are bit-identical to EvaluateInsertion for every
+/// toggle combination. This is the entry point all solvers use.
+CandidateEval EvaluateCandidate(const UrrInstance& instance,
+                                const SolverContext* ctx,
+                                const UrrSolution& sol, RiderId i, int j,
+                                bool need_utility,
+                                DistanceOracle* eval_oracle = nullptr);
+
 /// Evaluates EvaluateInsertion over every pair, fanning out on
 /// ctx->eval_pool() when available. Output slot k always corresponds to
 /// pairs[k] and holds exactly what a serial loop would have produced, so
@@ -149,6 +198,17 @@ struct GroupFilter {
 std::vector<int> ValidVehiclesForRider(const UrrInstance& instance,
                                        VehicleIndex* index, RiderId i,
                                        const std::vector<bool>* allowed);
+
+/// Group-mode candidate list for rider `i` over `vehicles`: O(1) per
+/// vehicle — the GroupFilter key-vertex lower bound, then (when
+/// ctx->euclid_speed > 0 and the network has coordinates) the Euclidean
+/// lower bound on the vehicle-to-source distance. Only provably infeasible
+/// vehicles are dropped; Algorithm 1 rejects the surviving infeasible ones.
+/// Shared by GreedyArrange and BilateralArrange.
+std::vector<int> GroupCandidatesForRider(const UrrInstance& instance,
+                                         const SolverContext* ctx, RiderId i,
+                                         const std::vector<int>& vehicles,
+                                         const GroupFilter& filter);
 
 }  // namespace urr
 

@@ -17,19 +17,19 @@ UtilityModel::UtilityModel(const UrrInstance* instance, UtilityParams params)
          params_.alpha + params_.beta <= 1.0 + 1e-12);
 }
 
-double UtilityModel::RiderRelated(RiderId i, const TransferSequence& seq) const {
-  const auto [p, q] = seq.RiderStops(i);
+double UtilityModel::RiderRelated(RiderId i, const ScheduleView& view) const {
+  const auto [p, q] = view.RiderStops(i);
   if (p < 0 || q < 0) return 0.0;
   // TR_j^i: legs p+1 .. q (the trajectories with rider i in the vehicle).
   Cost total = 0;
-  for (int u = p + 1; u <= q; ++u) total += seq.leg_cost(u);
+  for (int u = p + 1; u <= q; ++u) total += view.leg_cost[u];
   if (total <= 0) {
     // Zero-length trip: the rider shares no travel, so no co-rider benefit.
     return 0.0;
   }
   double mu = 0;
   for (int u = p + 1; u <= q; ++u) {
-    const std::vector<RiderId> onboard = seq.OnboardRiders(u);
+    const std::vector<RiderId> onboard = view.OnboardRiders(u);
     double sum = 0;
     int others = 0;
     for (RiderId other : onboard) {
@@ -38,20 +38,20 @@ double UtilityModel::RiderRelated(RiderId i, const TransferSequence& seq) const 
       ++others;
     }
     if (others > 0) {
-      mu += (seq.leg_cost(u) / total) * (sum / others);
+      mu += (view.leg_cost[u] / total) * (sum / others);
     }
   }
   return mu;
 }
 
 double UtilityModel::TrajectoryRelated(RiderId i,
-                                       const TransferSequence& seq) const {
-  const auto [p, q] = seq.RiderStops(i);
+                                       const ScheduleView& view) const {
+  const auto [p, q] = view.RiderStops(i);
   if (p < 0 || q < 0) return 0.0;
   Cost onboard_cost = 0;
-  for (int u = p + 1; u <= q; ++u) onboard_cost += seq.leg_cost(u);
+  for (int u = p + 1; u <= q; ++u) onboard_cost += view.leg_cost[u];
   const Rider& r = instance_->riders[static_cast<size_t>(i)];
-  const Cost direct = seq.oracle()->Distance(r.source, r.destination);
+  const Cost direct = view.oracle->Distance(r.source, r.destination);
   if (direct <= 0) {
     // Degenerate trip (source == destination): no detour by definition.
     return TrajectoryUtility(1.0);
@@ -60,21 +60,39 @@ double UtilityModel::TrajectoryRelated(RiderId i,
 }
 
 double UtilityModel::RiderUtility(RiderId i, int j,
-                                  const TransferSequence& seq) const {
+                                  const ScheduleView& view) const {
   const double a = params_.alpha;
   const double b = params_.beta;
   double mu = 0;
   if (a > 0) mu += a * instance_->VehicleUtility(i, j);
-  if (b > 0) mu += b * RiderRelated(i, seq);
+  if (b > 0) mu += b * RiderRelated(i, view);
   const double c = 1.0 - a - b;
-  if (c > 0) mu += c * TrajectoryRelated(i, seq);
+  if (c > 0) mu += c * TrajectoryRelated(i, view);
   return mu;
 }
 
-double UtilityModel::ScheduleUtility(int j, const TransferSequence& seq) const {
+double UtilityModel::ScheduleUtility(int j, const ScheduleView& view) const {
   double total = 0;
-  for (RiderId i : seq.Riders()) total += RiderUtility(i, j, seq);
+  for (RiderId i : view.Riders()) total += RiderUtility(i, j, view);
   return total;
+}
+
+double UtilityModel::RiderRelated(RiderId i, const TransferSequence& seq) const {
+  return RiderRelated(i, seq.View());
+}
+
+double UtilityModel::TrajectoryRelated(RiderId i,
+                                       const TransferSequence& seq) const {
+  return TrajectoryRelated(i, seq.View());
+}
+
+double UtilityModel::RiderUtility(RiderId i, int j,
+                                  const TransferSequence& seq) const {
+  return RiderUtility(i, j, seq.View());
+}
+
+double UtilityModel::ScheduleUtility(int j, const TransferSequence& seq) const {
+  return ScheduleUtility(j, seq.View());
 }
 
 }  // namespace urr

@@ -32,17 +32,24 @@ class UtilityModel {
   /// Rider-related utility μ_r (Eq. 2) of rider `i` in vehicle `j`'s
   /// schedule `seq`. Requires the rider's stops to be present.
   double RiderRelated(RiderId i, const TransferSequence& seq) const;
+  double RiderRelated(RiderId i, const ScheduleView& view) const;
 
   /// Trajectory-related utility μ_t (Eqs. 4+5) of rider `i` in `seq`.
   double TrajectoryRelated(RiderId i, const TransferSequence& seq) const;
+  double TrajectoryRelated(RiderId i, const ScheduleView& view) const;
 
   /// Full utility μ(r_i, c_j) (Eq. 1) of rider `i` served by vehicle `j`
   /// with schedule `seq`.
   double RiderUtility(RiderId i, int j, const TransferSequence& seq) const;
+  double RiderUtility(RiderId i, int j, const ScheduleView& view) const;
 
   /// Σ_i μ(r_i, c_j) over every rider in `seq` — the schedule utility
-  /// μ(S_j) used by the BA/EG objectives.
+  /// μ(S_j) used by the BA/EG objectives. The ScheduleView overloads are
+  /// the implementations (the zero-copy kernel feeds trial schedules in as
+  /// scratch-backed views); the TransferSequence ones wrap View(), so both
+  /// evaluation paths share every arithmetic operation.
   double ScheduleUtility(int j, const TransferSequence& seq) const;
+  double ScheduleUtility(int j, const ScheduleView& view) const;
 
  private:
   const UrrInstance* instance_;

@@ -72,6 +72,75 @@ TEST(EngineDeterminismTest, LogIsByteIdenticalAcrossThreadCounts) {
   }
 }
 
+// Contract 4: the evaluation-path features — cross-window eval cache,
+// zero-copy kernel, bound screening — are pure optimizations. Toggling any
+// of them off must leave the event log and the final fleet state
+// byte-identical, at 1, 2 and 8 threads, and the cache must actually
+// score hits across windows when enabled.
+TEST(EngineDeterminismTest, LogIsByteIdenticalAcrossEvalToggles) {
+  for (WindowSolver solver :
+       {WindowSolver::kEfficientGreedy, WindowSolver::kBilateral}) {
+    RunResult baseline;
+    bool have_baseline = false;
+    for (int threads : {1, 2, 8}) {
+      auto world = BuildWorld(SmallConfig(threads));
+      ASSERT_TRUE(world.ok()) << world.status();
+      Rng rng((*world)->config.seed + 100);
+      StreamingWorkloadOptions opt;
+      opt.arrival_rate = 1.0;
+      opt.cancel_fraction = 0.3;
+      const StreamingWorkload workload =
+          MakeStreamingWorkload((*world)->instance, opt, &rng);
+      struct Toggle {
+        bool cache, zero_copy, screen;
+      };
+      for (const Toggle& t : {Toggle{false, false, false},
+                              Toggle{true, false, false},
+                              Toggle{false, true, true},
+                              Toggle{true, true, true}}) {
+        SCOPED_TRACE(std::string(WindowSolverName(solver)) + " threads=" +
+                     std::to_string(threads) + " cache=" +
+                     std::to_string(t.cache) + " zc=" +
+                     std::to_string(t.zero_copy) + " screen=" +
+                     std::to_string(t.screen));
+        UtilityModel model(
+            &workload.instance,
+            UtilityParams{(*world)->config.alpha, (*world)->config.beta});
+        SolverContext ctx = (*world)->Context();
+        ctx.model = &model;
+        ctx.zero_copy_kernel = t.zero_copy;
+        ctx.bound_screening = t.screen;
+        EngineConfig cfg;
+        cfg.window = 20;
+        cfg.solver = solver;
+        cfg.use_eval_cache = t.cache;
+        DispatchEngine engine(&workload, &ctx, cfg);
+        const Status st = engine.Run();
+        ASSERT_TRUE(st.ok()) << st;
+        const RunResult run = {engine.SerializedLog(),
+                               engine.SolutionFingerprint(),
+                               engine.metrics().total_accepted};
+        if (!have_baseline) {
+          baseline = run;
+          have_baseline = true;
+          EXPECT_FALSE(baseline.log.empty());
+        } else {
+          EXPECT_EQ(run.log, baseline.log);
+          EXPECT_EQ(run.fingerprint, baseline.fingerprint);
+        }
+        if (t.cache) {
+          // The queue of retried riders spans windows, so a multi-window run
+          // must reuse cached evaluations.
+          EXPECT_GT(engine.metrics().eval_cache_hits, 0);
+        } else {
+          EXPECT_EQ(engine.metrics().eval_cache_hits, 0);
+        }
+        EXPECT_GT(engine.metrics().kernel_evals, 0);
+      }
+    }
+  }
+}
+
 TEST(EngineDeterminismTest, ZeroWindowMatchesOnlineDispatcher) {
   auto world = BuildWorld(SmallConfig(2));
   ASSERT_TRUE(world.ok()) << world.status();

@@ -22,6 +22,7 @@
 #include "exp/harness.h"
 #include "graph/generators.h"
 #include "routing/hub_labels.h"
+#include "urr/eval_cache.h"
 #include "urr/urr.h"
 
 namespace urr {
@@ -256,9 +257,17 @@ std::unique_ptr<GridWorld> MakeGridWorld(uint64_t seed, int riders,
   return w;
 }
 
+/// Evaluation-path feature switches for the toggle-matrix contracts. All
+/// three are pure optimizations: any combination must give the same bits.
+struct EvalToggles {
+  bool zero_copy = true;
+  bool screening = true;
+  bool cache = false;  // an EvalCache is attached when true
+};
+
 std::string RunOnGrid(uint64_t seed, int riders, int vehicles, int capacity,
                       Cost deadline_lo, Cost deadline_hi, Variant v,
-                      int threads) {
+                      int threads, EvalToggles toggles = {}) {
   auto w = MakeGridWorld(seed, riders, vehicles, capacity, deadline_lo,
                          deadline_hi);
   SolverContext ctx;
@@ -267,11 +276,16 @@ std::string RunOnGrid(uint64_t seed, int riders, int vehicles, int capacity,
   ctx.vehicle_index = w->index.get();
   ctx.rng = &w->rng;
   ctx.euclid_speed = w->network.MaxSpeed();
+  ctx.zero_copy_kernel = toggles.zero_copy;
+  ctx.bound_screening = toggles.screening;
+  EvalCache cache;
+  EvalCounters counters;
+  if (toggles.cache) ctx.eval_cache = &cache;
+  ctx.counters = &counters;
   std::unique_ptr<ThreadPool> pool;
-  std::vector<std::unique_ptr<DistanceOracle>> clones;
   if (threads > 1) {
     pool = std::make_unique<ThreadPool>(threads);
-    clones = AttachThreadPool(&ctx, pool.get());
+    AttachThreadPool(&ctx, pool.get());
     EXPECT_NE(ctx.eval_pool(), nullptr);  // DijkstraOracle is cloneable
   }
   GbsOptions gbs;
@@ -279,6 +293,12 @@ std::string RunOnGrid(uint64_t seed, int riders, int vehicles, int capacity,
   gbs.d_max = 200;
   const UrrSolution sol = SolveVariant(w->instance, &ctx, gbs, v);
   EXPECT_TRUE(sol.Validate(w->instance).ok()) << VariantName(v);
+  if (toggles.cache) {
+    // The cache must actually have been exercised (hits + misses > 0) for
+    // the toggle contract to mean anything.
+    EXPECT_GT(counters.cache_hits.load() + counters.cache_misses.load(), 0)
+        << VariantName(v);
+  }
   return Fingerprint(sol, *w->model);
 }
 
@@ -309,6 +329,38 @@ TEST(ParallelDifferentialTest, GridWorldsIdenticalAcrossThreadCounts) {
   }
 }
 
+// The tentpole's exactness contract for the evaluation path: the zero-copy
+// scratch kernel, the Euclidean bound screening and the (rider, vehicle,
+// version) eval cache — individually and combined — give byte-identical
+// solutions to the copy-based, unscreened, uncached baseline at 1, 2 and 8
+// threads, for every solver.
+TEST(ParallelDifferentialTest, GridWorldsIdenticalAcrossEvalToggles) {
+  const uint64_t seed = 11;
+  const int riders = 60, vehicles = 12, capacity = 3;
+  const Cost lo = 200, hi = 2000;
+  const std::vector<EvalToggles> matrix = {
+      {/*zero_copy=*/true, /*screening=*/false, /*cache=*/false},
+      {/*zero_copy=*/false, /*screening=*/true, /*cache=*/false},
+      {/*zero_copy=*/false, /*screening=*/false, /*cache=*/true},
+      {/*zero_copy=*/true, /*screening=*/true, /*cache=*/true},
+  };
+  for (Variant v : AllVariants()) {
+    SCOPED_TRACE(VariantName(v));
+    const std::string baseline =
+        RunOnGrid(seed, riders, vehicles, capacity, lo, hi, v, 1,
+                  {/*zero_copy=*/false, /*screening=*/false, /*cache=*/false});
+    ASSERT_FALSE(baseline.empty());
+    for (size_t m = 0; m < matrix.size(); ++m) {
+      for (int threads : {1, 2, 8}) {
+        SCOPED_TRACE("toggles=" + std::to_string(m) +
+                     " threads=" + std::to_string(threads));
+        EXPECT_EQ(baseline, RunOnGrid(seed, riders, vehicles, capacity, lo, hi,
+                                      v, threads, matrix[m]));
+      }
+    }
+  }
+}
+
 // --- Cross-oracle differential on quantized costs. -------------------------
 
 /// Solve on a quantized grid world under an explicitly chosen oracle stack.
@@ -330,10 +382,9 @@ std::string RunOnQuantizedGrid(uint64_t seed, int riders, int vehicles,
   ctx.rng = &w->rng;
   ctx.euclid_speed = w->network.MaxSpeed();
   std::unique_ptr<ThreadPool> pool;
-  std::vector<std::unique_ptr<DistanceOracle>> clones;
   if (threads > 1) {
     pool = std::make_unique<ThreadPool>(threads);
-    clones = AttachThreadPool(&ctx, pool.get());
+    AttachThreadPool(&ctx, pool.get());
     EXPECT_NE(ctx.eval_pool(), nullptr) << OracleKindName(kind);
   }
   GbsOptions gbs;
@@ -414,8 +465,10 @@ TEST(ParallelDifferentialTest, NonCloneableOracleStaysSerial) {
   ctx.vehicle_index = w->index.get();
   ctx.rng = &w->rng;
   ThreadPool pool(4);
-  auto clones = AttachThreadPool(&ctx, &pool);
-  EXPECT_TRUE(clones.empty());
+  AttachThreadPool(&ctx, &pool);
+  // The attach must refuse atomically: no pool, no partially filled
+  // worker-oracle set left behind by the failed Clone().
+  EXPECT_EQ(ctx.worker_set, nullptr);
   EXPECT_EQ(ctx.eval_pool(), nullptr);
   const UrrSolution sol = SolveEfficientGreedy(w->instance, &ctx);
   EXPECT_TRUE(sol.Validate(w->instance).ok());

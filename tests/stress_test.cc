@@ -177,10 +177,9 @@ TEST_P(StressTest, MultiThreadedSolvesAreDeterministic) {
                              /*capacity=*/3);
     SolverContext ctx = w->Context();
     std::unique_ptr<ThreadPool> pool;
-    std::vector<std::unique_ptr<DistanceOracle>> clones;
     if (threads > 1) {
       pool = std::make_unique<ThreadPool>(threads);
-      clones = AttachThreadPool(&ctx, pool.get());
+      AttachThreadPool(&ctx, pool.get());
       EXPECT_NE(ctx.eval_pool(), nullptr);
     }
     std::vector<UrrSolution> sols;

@@ -27,6 +27,7 @@
 #include "trips/instance_builder.h"
 #include "trips/io.h"
 #include "trips/trip_generator.h"
+#include "urr/eval_cache.h"
 #include "urr/metrics.h"
 #include "urr/urr.h"
 
@@ -53,6 +54,9 @@ struct Options {
   int threads = 0;  // 0 = URR_THREADS env, 1 = serial
   std::string out_path;
   bool json = false;  // machine-readable SolutionMetrics instead of the table
+  bool use_eval_cache = true;   // --no-eval-cache
+  bool zero_copy = true;        // --no-zero-copy
+  bool screening = true;        // --no-screen
   bool help = false;
 };
 
@@ -85,6 +89,12 @@ solver:
   --out FILE.csv          dump the resulting schedules
   --json                  print SolutionMetrics as one JSON object instead
                           of the human-readable tables
+  --no-eval-cache         disable the (rider, vehicle, schedule-version)
+                          evaluation cache
+  --no-zero-copy          evaluate insertions on schedule copies instead of
+                          the zero-copy scratch kernel
+  --no-screen             disable Euclidean lower-bound candidate screening
+                          (all three toggles leave the solution byte-identical)
 
 )");
 }
@@ -133,6 +143,12 @@ Result<Options> ParseArgs(int argc, char** argv) {
       *nt->second = std::atoi(v.c_str());
     } else if (flag == "--json") {
       opt.json = true;
+    } else if (flag == "--no-eval-cache") {
+      opt.use_eval_cache = false;
+    } else if (flag == "--no-zero-copy") {
+      opt.zero_copy = false;
+    } else if (flag == "--no-screen") {
+      opt.screening = false;
     } else if (flag == "--seed") {
       URR_ASSIGN_OR_RETURN(std::string v, need_value());
       opt.seed = static_cast<uint64_t>(std::atoll(v.c_str()));
@@ -230,14 +246,24 @@ Status Run(const Options& opt) {
   ctx.rng = &rng;
   ctx.euclid_speed = network.MaxSpeed();
 
+  // --- Evaluation path (cache + kernel + screening; all toggles are pure
+  // optimizations — the solution is byte-identical either way). ----------------
+  EvalCache eval_cache;
+  EvalCounters counters;
+  ctx.eval_cache = opt.use_eval_cache ? &eval_cache : nullptr;
+  ctx.counters = &counters;
+  ctx.zero_copy_kernel = opt.zero_copy;
+  ctx.bound_screening = opt.screening;
+
   // --- Evaluation pool (results identical at any thread count). ----------------
   const int threads = opt.threads > 0 ? opt.threads : NumThreads();
   std::unique_ptr<ThreadPool> pool;
-  std::vector<std::unique_ptr<DistanceOracle>> worker_oracles;
   if (threads > 1) {
     pool = std::make_unique<ThreadPool>(threads);
-    worker_oracles = AttachThreadPool(&ctx, pool.get());
-    std::printf("evaluation pool: %d threads\n", threads);
+    AttachThreadPool(&ctx, pool.get());
+    if (ctx.eval_pool() != nullptr) {
+      std::printf("evaluation pool: %d threads\n", threads);
+    }
   }
 
   // --- Solve. -------------------------------------------------------------------
@@ -265,10 +291,11 @@ Status Run(const Options& opt) {
   const double seconds = watch.ElapsedSeconds();
   URR_RETURN_NOT_OK(sol.Validate(instance));
 
+  SolutionMetrics metrics = ComputeMetrics(instance, model, sol);
+  AttachEvalStats(ctx, &metrics);
   if (opt.json) {
     // Machine-readable path: the JSON object is the last stdout line.
-    std::printf("%s\n",
-                MetricsJson(ComputeMetrics(instance, model, sol)).c_str());
+    std::printf("%s\n", MetricsJson(metrics).c_str());
   } else {
     TablePrinter summary({"approach", "overall utility", "travel cost (s)",
                           "riders served", "solve time (s)"});
@@ -277,8 +304,15 @@ Status Run(const Options& opt) {
                     std::to_string(sol.NumAssigned()),
                     TablePrinter::Num(seconds, 3)});
     summary.Print();
-    std::printf("%s",
-                FormatMetrics(ComputeMetrics(instance, model, sol)).c_str());
+    std::printf("%s", FormatMetrics(metrics).c_str());
+    std::printf(
+        "eval path: %lld kernel evals, cache %lld/%lld hit/miss, "
+        "%lld pairs screened (%lld queries elided)\n",
+        static_cast<long long>(metrics.kernel_evals),
+        static_cast<long long>(metrics.eval_cache_hits),
+        static_cast<long long>(metrics.eval_cache_misses),
+        static_cast<long long>(metrics.screened_pairs),
+        static_cast<long long>(metrics.elided_queries));
   }
 
   if (!opt.out_path.empty()) {

@@ -46,6 +46,9 @@ struct Options {
   bool json = false;           // machine-readable EngineMetrics
   bool windows = false;        // include the per-window array in the JSON
   bool verify_replay = false;  // replay the log and compare
+  bool no_eval_cache = false;  // disable the cross-window eval cache
+  bool no_zero_copy = false;   // evaluate on schedule copies
+  bool no_screen = false;      // disable Euclidean bound screening
   bool help = false;
 };
 
@@ -77,6 +80,11 @@ output:
   --verify-replay         rebuild the input from the log, re-run a fresh
                           engine and require byte-identical log + fleet state
 
+evaluation path (all toggles keep the log and fleet state byte-identical):
+  --no-eval-cache         disable the cross-window evaluation cache
+  --no-zero-copy          evaluate insertions on schedule copies
+  --no-screen             disable Euclidean lower-bound candidate screening
+
 )");
 }
 
@@ -105,6 +113,9 @@ Result<Options> ParseArgs(int argc, char** argv) {
       {"--json", &opt.json},
       {"--windows", &opt.windows},
       {"--verify-replay", &opt.verify_replay},
+      {"--no-eval-cache", &opt.no_eval_cache},
+      {"--no-zero-copy", &opt.no_zero_copy},
+      {"--no-screen", &opt.no_screen},
   };
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -186,12 +197,15 @@ Status Run(const Options& opt) {
                      UtilityParams{cfg.alpha, cfg.beta});
   SolverContext ctx = world->Context();
   ctx.model = &model;
+  ctx.zero_copy_kernel = !opt.no_zero_copy;
+  ctx.bound_screening = !opt.no_screen;
 
   EngineConfig ecfg;
   ecfg.window = opt.window;
   ecfg.solver = solver;
   ecfg.max_queue = opt.max_queue;
   ecfg.seed = opt.seed;
+  ecfg.use_eval_cache = !opt.no_eval_cache;
   ecfg.gbs = cfg.gbs;
   if (solver == WindowSolver::kGbsEg || solver == WindowSolver::kGbsBa) {
     URR_ASSIGN_OR_RETURN(ecfg.gbs_preprocess, world->GbsPreprocessing());
@@ -221,6 +235,14 @@ Status Run(const Options& opt) {
         "%d windows, %d picked up / %d dropped off, %.0f cost driven\n",
         static_cast<int>(m.windows.size()), m.total_picked_up,
         m.total_dropped_off, m.driven_cost);
+    std::printf(
+        "eval path: %lld kernel evals, cache %lld/%lld hit/miss, "
+        "%lld pairs screened (%lld queries elided)\n",
+        static_cast<long long>(m.kernel_evals),
+        static_cast<long long>(m.eval_cache_hits),
+        static_cast<long long>(m.eval_cache_misses),
+        static_cast<long long>(m.screened_pairs),
+        static_cast<long long>(m.elided_queries));
   }
 
   if (!opt.log_path.empty()) {
