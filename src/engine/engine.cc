@@ -1,6 +1,7 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 
@@ -53,7 +54,7 @@ DispatchEngine::DispatchEngine(const StreamingWorkload* workload,
       ctx_(*ctx),
       vehicle_index_(*instance_.network, VehicleLocations(instance_)),
       rng_(config.seed),
-      solution_(MakeEmptySolution(instance_, ctx->oracle)) {
+      solution_(MakeEmptySolution(instance_, SetupOverlay())) {
   // The engine owns the time-varying pieces: its index tracks mid-route
   // anchors and its Rng makes BA's random order part of the replay identity.
   // It also owns the cross-window eval cache (schedule versions invalidate
@@ -66,16 +67,62 @@ DispatchEngine::DispatchEngine(const StreamingWorkload* workload,
   state_.assign(n, RiderState::kPending);
   arrival_time_.assign(n, instance_.now);
   booked_.assign(n, 0.0);
+  retries_.assign(n, 0);
   all_vehicles_.resize(instance_.vehicles.size());
   for (size_t j = 0; j < all_vehicles_.size(); ++j) {
     all_vehicles_[j] = static_cast<int>(j);
   }
+  dead_.assign(instance_.vehicles.size(), false);
+  if (workload_->faults.HasNoShows()) no_show_ = &workload_->faults.no_show;
   window_start_ = instance_.now;
+}
+
+DistanceOracle* DispatchEngine::SetupOverlay() {
+  if (!workload_->faults.HasEdgeFaults()) return ctx_.oracle;
+  // Wrap the caller's oracle (and each worker clone) behind overlays
+  // sharing one DisruptionState, so disrupted-edge screening is identical
+  // on every thread. Precomputed structures underneath stay untouched.
+  disruption_state_ = std::make_shared<DisruptionState>(*instance_.network);
+  overlay_stats_ = std::make_shared<OverlayStats>();
+  overlay_ = std::make_unique<DisruptionOverlay>(
+      ctx_.oracle, *instance_.network, disruption_state_, overlay_stats_);
+  ctx_.oracle = overlay_.get();
+  if (ctx_.worker_set != nullptr && !ctx_.worker_set->oracles.empty()) {
+    auto wrapped = std::make_shared<WorkerOracleSet>();
+    wrapped->oracles.push_back(overlay_.get());
+    bool ok = true;
+    for (size_t w = 1; w < ctx_.worker_set->oracles.size(); ++w) {
+      // Overlay clones wrap fresh clones of the main overlay's base — each
+      // worker keeps a private scratch/query context, same as before.
+      std::unique_ptr<DistanceOracle> clone = overlay_->Clone();
+      if (clone == nullptr) {
+        ok = false;
+        break;
+      }
+      wrapped->oracles.push_back(clone.get());
+      wrapped->owned.push_back(std::move(clone));
+    }
+    if (ok) {
+      overlay_worker_set_ = std::move(wrapped);
+      ctx_.worker_set = overlay_worker_set_;
+    } else {
+      // A non-cloneable base: drop the worker set, solvers run serial.
+      ctx_.worker_set = nullptr;
+    }
+  }
+  return ctx_.oracle;
 }
 
 void DispatchEngine::Push(Cost time, int rank, RiderId rider) {
   queue_.push(Pending{time, rank, next_seq_++, rider});
-  if (rank != 2) ++pending_inputs_;
+  if (rank != kRankBoundary) ++pending_inputs_;
+}
+
+void DispatchEngine::PushFault(const Pending& entry) {
+  Pending e = entry;
+  e.seq = next_seq_++;
+  queue_.push(e);
+  ++pending_inputs_;
 }
 
 Status DispatchEngine::Run() {
@@ -88,6 +135,10 @@ Status DispatchEngine::Run() {
                            : GbsBase::kBilateral;
     if (config_.gbs_preprocess != nullptr) {
       gbs_pre_ptr_ = config_.gbs_preprocess;
+    } else if (restored_) {
+      // Restore() already ran PrepareGbs (before overwriting the Rng with
+      // the snapshot's stream, matching the original run's draw order).
+      gbs_pre_ptr_ = &*gbs_pre_;
     } else {
       URR_ASSIGN_OR_RETURN(GbsPreprocess pre,
                            PrepareGbs(instance_, &ctx_, config_.gbs));
@@ -95,31 +146,85 @@ Status DispatchEngine::Run() {
       gbs_pre_ptr_ = &*gbs_pre_;
     }
   }
-  for (const RiderArrival& a : workload_->arrivals) Push(a.time, 0, a.rider);
-  for (const CancelRequest& c : workload_->cancellations) Push(c.time, 1, c.rider);
-  if (config_.window > 0 && pending_inputs_ > 0) {
-    Push(instance_.now + config_.window, 2, -1);
+  if (!restored_) {
+    for (const RiderArrival& a : workload_->arrivals) {
+      Push(a.time, kRankArrival, a.rider);
+    }
+    for (const CancelRequest& c : workload_->cancellations) {
+      Push(c.time, kRankCancel, c.rider);
+    }
+    // Fault inputs, in a fixed kind order so seq assignment (and therefore
+    // same-instant ordering) is reproducible from a replayed log.
+    for (const VehicleBreakdown& b : workload_->faults.breakdowns) {
+      Pending p;
+      p.time = b.time;
+      p.rank = kRankFault;
+      p.fault = FaultKind::kBreakdown;
+      p.vehicle = b.vehicle;
+      PushFault(p);
+    }
+    for (const EdgeFault& f : workload_->faults.edge_faults) {
+      Pending p;
+      p.time = f.time;
+      p.rank = kRankFault;
+      p.fault = FaultKind::kEdgeDisrupt;
+      p.edge_a = f.a;
+      p.edge_b = f.b;
+      p.value = f.factor;
+      PushFault(p);
+    }
+    for (const EdgeRestoreFault& f : workload_->faults.edge_restores) {
+      Pending p;
+      p.time = f.time;
+      p.rank = kRankFault;
+      p.fault = FaultKind::kEdgeRestore;
+      p.edge_a = f.a;
+      p.edge_b = f.b;
+      PushFault(p);
+    }
+    if (config_.window > 0 && pending_inputs_ > 0) {
+      Push(instance_.now + config_.window, kRankBoundary, -1);
+    }
   }
 
   while (!queue_.empty()) {
     const Pending e = queue_.top();
     queue_.pop();
-    if (e.rank != 2) --pending_inputs_;
+    if (e.rank != kRankBoundary) --pending_inputs_;
     AdvanceFleetTo(e.time);
     switch (e.rank) {
-      case 0:
+      case kRankArrival:
         HandleArrival(e);
         break;
-      case 1:
+      case kRankCancel:
         URR_RETURN_NOT_OK(HandleCancel(e));
         break;
-      case 2: {
+      case kRankFault:
+        URR_RETURN_NOT_OK(HandleFault(e));
+        break;
+      case kRankRedispatch:
+        HandleRedispatch(e);
+        break;
+      case kRankBoundary: {
         URR_RETURN_NOT_OK(SolveWindow(e.time));
         window_start_ = e.time;
-        // Keep ticking while any input (arrival, cancel or expiration) is
-        // still ahead — a queued rider may become servable as the fleet
-        // frees up.
-        if (pending_inputs_ > 0) Push(e.time + config_.window, 2, -1);
+        if (config_.validate_invariants) {
+          URR_RETURN_NOT_OK(ValidateLiveState());
+        }
+        // Keep ticking while any input (arrival, cancel, fault, re-dispatch
+        // or expiration) is still ahead — a queued rider may become
+        // servable as the fleet frees up.
+        if (pending_inputs_ > 0) {
+          Push(e.time + config_.window, kRankBoundary, -1);
+        }
+        // Checkpoint only after the next boundary is enqueued: the snapshot
+        // serializes the event queue, and a restored engine pushes no
+        // inputs of its own, so the boundary chain must live in the queue.
+        if (config_.checkpoint_every > 0 &&
+            ++windows_since_checkpoint_ >= config_.checkpoint_every) {
+          checkpoints_.emplace_back(e.time, Checkpoint());
+          windows_since_checkpoint_ = 0;
+        }
         break;
       }
       default:
@@ -129,10 +234,14 @@ Status DispatchEngine::Run() {
   }
 
   // Drain: run the fleet to the end of every committed schedule so the
-  // final log contains each accepted rider's PickedUp/DroppedOff.
+  // final log contains each accepted rider's PickedUp/DroppedOff. An
+  // infinite EndTime (a dropoff disconnected by an active closure) is
+  // excluded — those stops cannot complete until a restore arrives, and by
+  // construction every closure in a FaultPlan is paired with one.
   Cost horizon = instance_.now;
   for (const TransferSequence& s : solution_.schedules) {
-    horizon = std::max(horizon, s.EndTime());
+    const Cost end = s.EndTime();
+    if (std::isfinite(end)) horizon = std::max(horizon, end);
   }
   AdvanceFleetTo(horizon + 1);
   // Flush the eval-path counters (metrics only; never the event log).
@@ -141,7 +250,15 @@ Status DispatchEngine::Run() {
   metrics_.screened_pairs = counters_.screened_pairs.load();
   metrics_.elided_queries = counters_.elided_queries.load();
   metrics_.kernel_evals = counters_.kernel_evals.load();
-  if (const auto* caching = dynamic_cast<const CachingOracle*>(ctx_.oracle)) {
+  if (overlay_stats_ != nullptr) {
+    metrics_.overlay_queries = overlay_stats_->queries.load();
+    metrics_.overlay_euclid_screened = overlay_stats_->euclid_screened.load();
+    metrics_.overlay_fallbacks = overlay_stats_->fallbacks.load();
+    metrics_.overlay_epoch = disruption_state_->epoch();
+  }
+  const DistanceOracle* base_oracle =
+      overlay_ != nullptr ? overlay_->base() : ctx_.oracle;
+  if (const auto* caching = dynamic_cast<const CachingOracle*>(base_oracle)) {
     metrics_.oracle_hits = caching->num_hits();
     metrics_.oracle_misses = caching->num_misses();
   }
@@ -154,14 +271,17 @@ void DispatchEngine::AdvanceFleetTo(Cost t) {
     int vehicle;
     int order;
     Stop stop;
+    bool no_show;
   };
   std::vector<Done> done;
   for (size_t j = 0; j < solution_.schedules.size(); ++j) {
     const Cost before = solution_.schedules[j].now();
-    std::vector<ExecutedStop> executed = solution_.schedules[j].AdvanceTo(t);
+    std::vector<ExecutedStop> executed =
+        solution_.schedules[j].AdvanceTo(t, no_show_);
     for (size_t k = 0; k < executed.size(); ++k) {
       done.push_back({executed[k].time, static_cast<int>(j),
-                      static_cast<int>(k), executed[k].stop});
+                      static_cast<int>(k), executed[k].stop,
+                      executed[k].no_show});
     }
     if (!executed.empty()) {
       // A vehicle with committed stops drives continuously, so the cost
@@ -183,6 +303,15 @@ void DispatchEngine::AdvanceFleetTo(Cost t) {
   for (const Done& d : done) {
     const RiderId r = d.stop.rider;
     if (d.stop.type == StopType::kPickup) {
+      if (d.no_show) {
+        // The vehicle arrived; the rider never appeared. Their dropoff was
+        // already excised from the schedule; un-book and close them out.
+        Unbook(r);
+        state_[static_cast<size_t>(r)] = RiderState::kCancelled;
+        log_.push_back({d.time, EventType::kRiderNoShow, r, d.vehicle});
+        ++metrics_.total_no_shows;
+        continue;
+      }
       state_[static_cast<size_t>(r)] = RiderState::kPickedUp;
       log_.push_back({d.time, EventType::kPickedUp, r, d.vehicle});
       metrics_.pickup_waits.push_back(d.time -
@@ -252,7 +381,8 @@ void DispatchEngine::HandleArrival(const Pending& e) {
   state_[static_cast<size_t>(r)] = RiderState::kQueued;
   queued_.push_back(r);
   log_.push_back({e.time, EventType::kQueued, r, -1});
-  Push(instance_.riders[static_cast<size_t>(r)].pickup_deadline, 3, r);
+  Push(instance_.riders[static_cast<size_t>(r)].pickup_deadline, kRankExpire,
+       r);
 }
 
 Status DispatchEngine::HandleCancel(const Pending& e) {
@@ -285,6 +415,15 @@ Status DispatchEngine::HandleCancel(const Pending& e) {
     ++window_cancelled_;
     return Status::OK();
   }
+  if (state_[static_cast<size_t>(r)] == RiderState::kWaitingRetry) {
+    // Displaced by a fault and backing off: the rider gives up before the
+    // retry fires. The retry entry becomes stale and is dropped on arrival.
+    state_[static_cast<size_t>(r)] = RiderState::kCancelled;
+    log_.push_back({e.time, EventType::kCancelled, r, -1});
+    ++metrics_.total_cancelled;
+    ++window_cancelled_;
+    return Status::OK();
+  }
   // Picked up, served, expired, rejected or unknown: nothing to cancel.
   return Status::OK();
 }
@@ -292,11 +431,262 @@ Status DispatchEngine::HandleCancel(const Pending& e) {
 void DispatchEngine::HandleExpire(const Pending& e) {
   const RiderId r = e.rider;
   if (state_[static_cast<size_t>(r)] != RiderState::kQueued) return;  // stale
+  // A breakdown rescue may have moved the rider's pickup deadline later; a
+  // fresher expire entry is then pending and this one is stale.
+  if (instance_.riders[static_cast<size_t>(r)].pickup_deadline > e.time) {
+    return;
+  }
   queued_.erase(std::remove(queued_.begin(), queued_.end(), r), queued_.end());
   state_[static_cast<size_t>(r)] = RiderState::kExpired;
   log_.push_back({e.time, EventType::kExpired, r, -1});
   ++metrics_.total_expired;
   ++window_expired_;
+}
+
+Status DispatchEngine::HandleFault(const Pending& e) {
+  switch (e.fault) {
+    case FaultKind::kBreakdown:
+      return HandleBreakdown(e);
+    case FaultKind::kEdgeDisrupt:
+    case FaultKind::kEdgeRestore:
+      return HandleEdgeFault(e);
+    case FaultKind::kNone:
+      break;
+  }
+  return Status::Internal("fault entry without a fault kind");
+}
+
+Status DispatchEngine::HandleBreakdown(const Pending& e) {
+  const int j = e.vehicle;
+  if (j < 0 || j >= static_cast<int>(instance_.vehicles.size())) {
+    return Status::InvalidArgument("breakdown of unknown vehicle " +
+                                   std::to_string(j));
+  }
+  if (dead_[static_cast<size_t>(j)]) return Status::OK();  // already down
+  log_.push_back({e.time, EventType::kVehicleBreakdown, -1, j});
+  ++metrics_.total_breakdowns;
+  TransferSequence& seq = solution_.schedules[static_cast<size_t>(j)];
+  // Not-yet-picked-up riders: excise (the first excision may complete an
+  // in-flight leg as a deadhead) and send into re-dispatch backoff.
+  for (RiderId r : seq.Riders()) {
+    URR_RETURN_NOT_OK(seq.ExciseRider(r));
+    Unbook(r);
+    Redispatch(r, e.time);
+  }
+  // Onboard riders are stranded where the vehicle died (its current anchor
+  // after the excisions). They re-enter the queue from that node with a
+  // pickup deadline tightened so any new commitment still meets their
+  // original dropoff deadline; when no slack remains they are abandoned.
+  const std::vector<RiderId> onboard = seq.initial_onboard();
+  const NodeId stranded_at = seq.start_location();
+  const Cost t_down = std::max(e.time, seq.now());
+  for (RiderId r : onboard) {
+    Unbook(r);
+    Rider& rider = instance_.riders[static_cast<size_t>(r)];
+    const Cost dist = ctx_.oracle->Distance(stranded_at, rider.destination);
+    const Cost latest_pickup = rider.dropoff_deadline - dist;
+    if (!std::isfinite(dist) || latest_pickup <= t_down) {
+      Abandon(r, t_down);
+      continue;
+    }
+    rider.source = stranded_at;
+    rider.pickup_deadline = latest_pickup;
+    Redispatch(r, t_down);
+  }
+  // The dead vehicle: empty schedule anchored at the breakdown point and
+  // capacity 0, so every solver's Lemma-3.1 capacity condition rejects any
+  // future insertion — no solver or eval-path changes needed.
+  solution_.schedules[static_cast<size_t>(j)] =
+      TransferSequence(stranded_at, t_down, 0, seq.oracle());
+  instance_.vehicles[static_cast<size_t>(j)].capacity = 0;
+  instance_.vehicles[static_cast<size_t>(j)].location = stranded_at;
+  vehicle_index_.Update(j, stranded_at);
+  dead_[static_cast<size_t>(j)] = true;
+  if (config_.validate_invariants) return ValidateLiveState();
+  return Status::OK();
+}
+
+Status DispatchEngine::HandleEdgeFault(const Pending& e) {
+  if (disruption_state_ == nullptr) {
+    return Status::Internal("edge fault without a disruption overlay");
+  }
+  if (e.fault == FaultKind::kEdgeDisrupt) {
+    log_.push_back(
+        {e.time, EventType::kEdgeDisruption, -1, -1, e.edge_a, e.edge_b,
+         e.value});
+    disruption_state_->Disrupt(e.edge_a, e.edge_b, e.value);
+    ++metrics_.total_edge_disruptions;
+  } else {
+    log_.push_back(
+        {e.time, EventType::kEdgeRestore, -1, -1, e.edge_a, e.edge_b, 0});
+    disruption_state_->Restore(e.edge_a, e.edge_b);
+    ++metrics_.total_edge_restores;
+  }
+  // New routing epoch: cached candidate evaluations keyed to the old epoch
+  // can never be served again.
+  ctx_.eval_epoch = disruption_state_->epoch();
+  return RepairAfterNetworkChange(e.time);
+}
+
+Status DispatchEngine::RepairAfterNetworkChange(Cost t) {
+  for (size_t j = 0; j < solution_.schedules.size(); ++j) {
+    TransferSequence& seq = solution_.schedules[j];
+    if (seq.empty() && seq.initial_onboard().empty()) continue;
+    // Recompute every leg against the perturbed (or restored) distances.
+    seq.Refresh();
+    // Repair any deadline the new distances break. Scanning arrivals vs
+    // deadlines suffices: a negative flex always implies some downstream
+    // arrival exceeds its deadline.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (int u = 0; u < seq.num_stops(); ++u) {
+        const Stop& s = seq.stop(u);
+        if (seq.EarliestArrival(u) <= s.deadline + 1e-7) continue;
+        const bool onboard =
+            s.type == StopType::kDropoff &&
+            std::find(seq.initial_onboard().begin(),
+                      seq.initial_onboard().end(),
+                      s.rider) != seq.initial_onboard().end();
+        if (onboard) {
+          // The rider is in the vehicle and cannot leave: forgive the
+          // deadline to the new earliest arrival instead of violating the
+          // onboard-dropoff invariant.
+          seq.RelaxStopDeadline(u, seq.EarliestArrival(u));
+          ++metrics_.total_deadline_relaxed;
+        } else {
+          const RiderId r = s.rider;
+          URR_RETURN_NOT_OK(seq.ExciseRider(r));
+          Unbook(r);
+          Redispatch(r, t);
+        }
+        changed = true;
+        break;  // indices shifted; rescan from the top
+      }
+    }
+    RefreshAnchor(static_cast<int>(j));
+    URR_RETURN_NOT_OK(seq.Validate());
+  }
+  if (config_.validate_invariants) return ValidateLiveState();
+  return Status::OK();
+}
+
+void DispatchEngine::Redispatch(RiderId rider, Cost t) {
+  const size_t i = static_cast<size_t>(rider);
+  ++retries_[i];
+  const Cost slack = instance_.riders[i].pickup_deadline - t;
+  if (retries_[i] > config_.max_redispatch || slack <= 0) {
+    Abandon(rider, t);
+    return;
+  }
+  // Exponential backoff, capped so the retry always lands before the
+  // rider's pickup deadline.
+  Cost backoff = config_.redispatch_backoff;
+  for (int k = 1; k < retries_[i]; ++k) backoff *= 2;
+  backoff = std::min(backoff, slack);
+  state_[i] = RiderState::kWaitingRetry;
+  Push(t + backoff, kRankRedispatch, rider);
+}
+
+void DispatchEngine::Abandon(RiderId rider, Cost t) {
+  state_[static_cast<size_t>(rider)] = RiderState::kAbandoned;
+  log_.push_back({t, EventType::kAbandoned, rider, -1});
+  ++metrics_.total_abandoned;
+}
+
+void DispatchEngine::Unbook(RiderId rider) {
+  const size_t i = static_cast<size_t>(rider);
+  solution_.assignment[i] = -1;
+  metrics_.booked_utility -= booked_[i];
+  booked_[i] = 0;
+}
+
+void DispatchEngine::HandleRedispatch(const Pending& e) {
+  const RiderId r = e.rider;
+  if (state_[static_cast<size_t>(r)] != RiderState::kWaitingRetry) {
+    return;  // stale: cancelled or abandoned while backing off
+  }
+  log_.push_back({e.time, EventType::kRedispatched, r, -1});
+  ++metrics_.total_redispatched;
+  if (config_.window <= 0) {
+    // Per-arrival mode: one immediate attempt, abandoned on failure so the
+    // rider still terminates in exactly one terminal state.
+    const DispatchDecision d = EvaluateArrival(instance_, &ctx_, solution_, r,
+                                               config_.online_objective);
+    if (d.accepted) {
+      TransferSequence& seq =
+          solution_.schedules[static_cast<size_t>(d.vehicle)];
+      if (ApplyInsertion(&seq, instance_.Trip(r), d.plan).ok()) {
+        solution_.assignment[static_cast<size_t>(r)] = d.vehicle;
+        CommitRider(e.time, r, d.vehicle);
+        return;
+      }
+    }
+    Abandon(r, e.time);
+    return;
+  }
+  state_[static_cast<size_t>(r)] = RiderState::kQueued;
+  queued_.push_back(r);
+  Push(instance_.riders[static_cast<size_t>(r)].pickup_deadline, kRankExpire,
+       r);
+}
+
+Status DispatchEngine::ValidateLiveState() const {
+  for (size_t j = 0; j < solution_.schedules.size(); ++j) {
+    const TransferSequence& seq = solution_.schedules[j];
+    URR_RETURN_NOT_OK(seq.Validate());
+    // Every scheduled stop must belong to a live rider assigned here.
+    for (int u = 0; u < seq.num_stops(); ++u) {
+      const RiderId r = seq.stop(u).rider;
+      if (solution_.assignment[static_cast<size_t>(r)] !=
+          static_cast<int>(j)) {
+        return Status::Internal(
+            "vehicle " + std::to_string(j) + " schedules rider " +
+            std::to_string(r) + " not assigned to it");
+      }
+    }
+  }
+  for (size_t i = 0; i < state_.size(); ++i) {
+    const int j = solution_.assignment[i];
+    const RiderState s = state_[i];
+    if (s == RiderState::kAssigned) {
+      if (j < 0) {
+        return Status::Internal("assigned rider " + std::to_string(i) +
+                                " has no vehicle");
+      }
+      const auto [p, q] =
+          solution_.schedules[static_cast<size_t>(j)].RiderStops(
+              static_cast<RiderId>(i));
+      if (p < 0 || q < 0) {
+        return Status::Internal("assigned rider " + std::to_string(i) +
+                                " missing stops in vehicle " +
+                                std::to_string(j));
+      }
+    } else if (s == RiderState::kPickedUp) {
+      if (j < 0) {
+        return Status::Internal("onboard rider " + std::to_string(i) +
+                                " has no vehicle");
+      }
+      const TransferSequence& seq =
+          solution_.schedules[static_cast<size_t>(j)];
+      const auto [p, q] = seq.RiderStops(static_cast<RiderId>(i));
+      const bool onboard =
+          std::find(seq.initial_onboard().begin(),
+                    seq.initial_onboard().end(),
+                    static_cast<RiderId>(i)) != seq.initial_onboard().end();
+      if (!onboard || p >= 0 || q < 0) {
+        return Status::Internal("onboard rider " + std::to_string(i) +
+                                " inconsistent with vehicle " +
+                                std::to_string(j));
+      }
+    } else if (j >= 0 && s != RiderState::kDroppedOff) {
+      return Status::Internal("rider " + std::to_string(i) + " in state " +
+                              std::to_string(static_cast<int>(s)) +
+                              " still assigned to vehicle " +
+                              std::to_string(j));
+    }
+  }
+  return Status::OK();
 }
 
 Status DispatchEngine::SolveWindow(Cost t) {
@@ -429,18 +819,53 @@ Result<StreamingWorkload> WorkloadFromLog(const StreamingWorkload& original,
   w.instance = original.instance;
   const RiderId n = static_cast<RiderId>(w.instance.riders.size());
   for (const Event& e : log) {
-    if (e.type != EventType::kArrival &&
-        e.type != EventType::kCancelRequested) {
-      continue;
+    switch (e.type) {
+      case EventType::kArrival:
+      case EventType::kCancelRequested:
+      case EventType::kRiderNoShow:
+        if (e.rider < 0 || e.rider >= n) {
+          return Status::InvalidArgument("log rider " +
+                                         std::to_string(e.rider) +
+                                         " outside the instance");
+        }
+        break;
+      default:
+        break;
     }
-    if (e.rider < 0 || e.rider >= n) {
-      return Status::InvalidArgument("log rider " + std::to_string(e.rider) +
-                                     " outside the instance");
-    }
-    if (e.type == EventType::kArrival) {
-      w.arrivals.push_back({e.rider, e.time});
-    } else {
-      w.cancellations.push_back({e.rider, e.time});
+    switch (e.type) {
+      case EventType::kArrival:
+        w.arrivals.push_back({e.rider, e.time});
+        break;
+      case EventType::kCancelRequested:
+        w.cancellations.push_back({e.rider, e.time});
+        break;
+      // Fault inputs. The log records them in chronological (time, seq)
+      // order, which is exactly the order MakeFaultPlan's sorted vectors
+      // are pushed in, so the reconstructed plan replays identically.
+      case EventType::kVehicleBreakdown:
+        w.faults.breakdowns.push_back({e.vehicle, e.time});
+        break;
+      case EventType::kEdgeDisruption:
+        w.faults.edge_faults.push_back({e.edge_a, e.edge_b, e.time, e.value});
+        break;
+      case EventType::kEdgeRestore:
+        w.faults.edge_restores.push_back({e.edge_a, e.edge_b, e.time});
+        break;
+      // No-show flags are observational: a flag only matters at the instant
+      // an assigned pickup executes, and the log records exactly those
+      // instants. Flags of riders whose pickup never executed cannot affect
+      // the replay (by induction, the replayed run executes the same
+      // pickups), so reconstructing only the observed flags is equivalence-
+      // preserving.
+      case EventType::kRiderNoShow: {
+        if (w.faults.no_show.empty()) {
+          w.faults.no_show.assign(static_cast<size_t>(n), false);
+        }
+        w.faults.no_show[static_cast<size_t>(e.rider)] = true;
+        break;
+      }
+      default:
+        break;
     }
   }
   return w;

@@ -19,14 +19,17 @@
 #ifndef URR_ENGINE_ENGINE_H_
 #define URR_ENGINE_ENGINE_H_
 
+#include <memory>
 #include <optional>
 #include <queue>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "engine/engine_metrics.h"
 #include "engine/event.h"
 #include "engine/workload.h"
+#include "routing/disruption_overlay.h"
 #include "urr/eval_cache.h"
 #include "urr/gbs.h"
 #include "urr/online.h"
@@ -73,6 +76,21 @@ struct EngineConfig {
   /// note that PrepareGbs consumes the engine Rng, so whether this is set
   /// is part of the replay identity.
   const GbsPreprocess* gbs_preprocess = nullptr;
+  /// Re-dispatch policy for riders displaced by a fault (breakdown or edge
+  /// disruption): each displaced rider gets up to `max_redispatch` re-queue
+  /// attempts; attempt k waits min(redispatch_backoff * 2^(k-1), remaining
+  /// pickup slack) before re-entering the queue. Exhausted retries or
+  /// nonpositive slack abandon the rider (kAbandoned, terminal).
+  int max_redispatch = 3;
+  Cost redispatch_backoff = 30;
+  /// Take a checkpoint every this many window boundaries (right after the
+  /// solve, when the engine is quiescent). 0 disables. Checkpoints are
+  /// returned by checkpoints(); Restore() resumes a fresh engine from one.
+  int checkpoint_every = 0;
+  /// Run the full live-state invariant check (per-schedule Lemma 3.1
+  /// validation + assignment/terminal-state consistency) after every window
+  /// solve and every fault repair; Run() fails on the first violation.
+  bool validate_invariants = false;
 };
 
 /// Runs one streaming workload to completion. Borrows the workload and the
@@ -87,6 +105,30 @@ class DispatchEngine {
 
   /// Processes every input event and drains the fleet. Call once.
   Status Run();
+
+  /// Serializes the full live state — clock, queues, fleet schedules,
+  /// pending events, RNG stream, disruption overlay, log prefix — as a
+  /// self-contained text snapshot. Intended at window boundaries (the
+  /// engine takes them itself via config.checkpoint_every) but valid
+  /// whenever the engine is quiescent.
+  std::string Checkpoint() const;
+
+  /// Restores a snapshot into a freshly constructed engine (same workload,
+  /// context and config as the engine that produced it) before Run().
+  /// The resumed Run() replays a byte-identical event-log suffix and
+  /// reaches the identical final SolutionFingerprint.
+  Status Restore(const std::string& checkpoint);
+
+  /// (time, snapshot) pairs taken during Run() per config.checkpoint_every.
+  const std::vector<std::pair<Cost, std::string>>& checkpoints() const {
+    return checkpoints_;
+  }
+
+  /// Full live-state invariant check: every schedule passes Lemma 3.1
+  /// validation, every assignment is consistent with its schedule (pickup +
+  /// dropoff scheduled, or dropoff-only for onboard riders), and terminal
+  /// riders hold no schedule stops.
+  Status ValidateLiveState() const;
 
   const UrrSolution& solution() const { return solution_; }
   const UrrInstance& instance() const { return instance_; }
@@ -111,19 +153,34 @@ class DispatchEngine {
     kPickedUp,
     kDroppedOff,
     kExpired,
-    kCancelled,
+    kCancelled,  // includes no-shows (the rider left/never showed)
     kRejected,
+    kWaitingRetry,  // displaced by a fault, backing off before re-queue
+    kAbandoned,     // terminal: retries or slack exhausted
   };
+
+  /// Which fault a rank-2 queue entry injects.
+  enum class FaultKind : uint8_t { kNone, kBreakdown, kEdgeDisrupt, kEdgeRestore };
 
   /// Internal queue entry. Rank breaks time ties: arrivals join the window
   /// closing at the same instant, cancellations apply before the solve,
-  /// boundaries run before expirations so a rider expiring exactly at the
-  /// boundary still gets its last chance.
+  /// faults strike before the solve sees the fleet, re-dispatches rejoin
+  /// the queue in time for the boundary, and boundaries run before
+  /// expirations so a rider expiring exactly at the boundary still gets
+  /// its last chance.
   struct Pending {
     Cost time = 0;
-    int rank = 0;  // 0 arrival, 1 cancel, 2 window boundary, 3 expire
+    // 0 arrival, 1 cancel, 2 fault, 3 re-dispatch, 4 window boundary,
+    // 5 expire.
+    int rank = 0;
     int64_t seq = 0;
     RiderId rider = -1;
+    // Fault payload (rank 2 only).
+    FaultKind fault = FaultKind::kNone;
+    int vehicle = -1;
+    NodeId edge_a = kInvalidNode;
+    NodeId edge_b = kInvalidNode;
+    double value = 0;
     bool operator>(const Pending& o) const {
       if (time != o.time) return time > o.time;
       if (rank != o.rank) return rank > o.rank;
@@ -131,7 +188,19 @@ class DispatchEngine {
     }
   };
 
+  static constexpr int kRankArrival = 0;
+  static constexpr int kRankCancel = 1;
+  static constexpr int kRankFault = 2;
+  static constexpr int kRankRedispatch = 3;
+  static constexpr int kRankBoundary = 4;
+  static constexpr int kRankExpire = 5;
+
   void Push(Cost time, int rank, RiderId rider);
+  void PushFault(const Pending& entry);
+  /// Installs the DisruptionOverlay stack (main oracle + worker clones)
+  /// when the workload carries edge faults; returns the oracle schedules
+  /// should be built over. Called from the constructor.
+  DistanceOracle* SetupOverlay();
   /// Executes every stop completed strictly before `t` (emitting PickedUp/
   /// DroppedOff), refreshes per-vehicle prefilter anchors and sets
   /// instance_.now = t.
@@ -140,6 +209,21 @@ class DispatchEngine {
   void HandleArrival(const Pending& e);
   Status HandleCancel(const Pending& e);
   void HandleExpire(const Pending& e);
+  Status HandleFault(const Pending& e);
+  Status HandleBreakdown(const Pending& e);
+  Status HandleEdgeFault(const Pending& e);
+  void HandleRedispatch(const Pending& e);
+  /// Refreshes every schedule against the new routing epoch and repairs
+  /// deadline violations: pending riders are excised + re-dispatched,
+  /// onboard riders' dropoff deadlines are forgiven (they cannot leave the
+  /// vehicle mid-route).
+  Status RepairAfterNetworkChange(Cost t);
+  /// Bounded deadline-aware retry: schedules the rider's re-queue after a
+  /// backoff capped by remaining pickup slack, or abandons them.
+  void Redispatch(RiderId rider, Cost t);
+  void Abandon(RiderId rider, Cost t);
+  /// Removes the rider's booked utility and assignment (fault repair).
+  void Unbook(RiderId rider);
   Status SolveWindow(Cost t);
   void CommitRider(Cost t, RiderId rider, int vehicle);
   double FleetUtilization() const;
@@ -150,6 +234,13 @@ class DispatchEngine {
   SolverContext ctx_;     // caller's context with our index + rng patched in
   VehicleIndex vehicle_index_;
   Rng rng_;
+  // Disruption-overlay stack (wired by SetupOverlay when the workload has
+  // edge faults; all null otherwise). Declared before solution_ so the
+  // schedules can be built over the overlay oracle.
+  std::shared_ptr<DisruptionState> disruption_state_;
+  std::shared_ptr<OverlayStats> overlay_stats_;
+  std::unique_ptr<DisruptionOverlay> overlay_;
+  std::shared_ptr<WorkerOracleSet> overlay_worker_set_;
   UrrSolution solution_;
   EvalCache eval_cache_;     // cross-window memo (wired when use_eval_cache)
   EvalCounters counters_;    // eval-path counters, flushed into metrics_
@@ -166,6 +257,9 @@ class DispatchEngine {
   std::vector<double> booked_;  // per-rider utility at commit; 0 otherwise
   std::vector<RiderId> queued_;  // FIFO arrival order
   std::vector<int> all_vehicles_;
+  std::vector<int> retries_;     // re-dispatch attempts per rider
+  std::vector<bool> dead_;       // vehicles lost to a breakdown
+  const std::vector<bool>* no_show_ = nullptr;  // workload fault flags
 
   std::vector<Event> log_;
   EngineMetrics metrics_;
@@ -174,13 +268,20 @@ class DispatchEngine {
   int window_expired_ = 0;
   int window_cancelled_ = 0;
   double window_driven_ = 0;
+  int windows_since_checkpoint_ = 0;
+  std::vector<std::pair<Cost, std::string>> checkpoints_;
   bool ran_ = false;
+  bool restored_ = false;
+
+  friend struct EngineCheckpointAccess;  // engine/checkpoint.cc
 };
 
 /// Rebuilds the streaming input recorded in `log` (kArrival +
-/// kCancelRequested events) over `original`'s instance, for replay: running
-/// the result through a fresh engine with the same config reproduces
-/// `log` byte for byte.
+/// kCancelRequested events, plus the fault inputs: kVehicleBreakdown,
+/// kEdgeDisruption/kEdgeRestore and the no-show flags behind kRiderNoShow
+/// events) over `original`'s instance, for replay: running the result
+/// through a fresh engine with the same config reproduces `log` byte for
+/// byte.
 Result<StreamingWorkload> WorkloadFromLog(const StreamingWorkload& original,
                                           const std::vector<Event>& log);
 

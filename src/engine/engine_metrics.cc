@@ -29,6 +29,17 @@ std::string EngineMetricsJson(const EngineMetrics& m, bool include_windows) {
       .Field("total_dropped_off", m.total_dropped_off)
       .Field("booked_utility", m.booked_utility)
       .Field("driven_cost", m.driven_cost)
+      .Field("total_breakdowns", m.total_breakdowns)
+      .Field("total_no_shows", m.total_no_shows)
+      .Field("total_edge_disruptions", m.total_edge_disruptions)
+      .Field("total_edge_restores", m.total_edge_restores)
+      .Field("total_redispatched", m.total_redispatched)
+      .Field("total_abandoned", m.total_abandoned)
+      .Field("total_deadline_relaxed", m.total_deadline_relaxed)
+      .Field("overlay_queries", m.overlay_queries)
+      .Field("overlay_euclid_screened", m.overlay_euclid_screened)
+      .Field("overlay_fallbacks", m.overlay_fallbacks)
+      .Field("overlay_epoch", static_cast<int64_t>(m.overlay_epoch))
       .Field("eval_cache_hits", m.eval_cache_hits)
       .Field("eval_cache_misses", m.eval_cache_misses)
       .Field("screened_pairs", m.screened_pairs)

@@ -38,6 +38,21 @@ struct EngineMetrics {
   int total_dropped_off = 0;
   double booked_utility = 0;  // Σ committed utility, net of cancellations
   double driven_cost = 0;     // total cost driven (incl. the final drain)
+  /// Fault-injection outcomes (all 0 in a fault-free run).
+  int total_breakdowns = 0;
+  int total_no_shows = 0;
+  int total_edge_disruptions = 0;
+  int total_edge_restores = 0;
+  int total_redispatched = 0;   // re-queue events after a disruption
+  int total_abandoned = 0;      // riders whose retries/slack ran out
+  int total_deadline_relaxed = 0;  // onboard dropoffs forgiven after faults
+  /// Disruption-overlay routing counters (see OverlayStats): queries served
+  /// while a disruption was active, and how many fell back to exact
+  /// Dijkstra on the perturbed graph.
+  int64_t overlay_queries = 0;
+  int64_t overlay_euclid_screened = 0;
+  int64_t overlay_fallbacks = 0;
+  uint64_t overlay_epoch = 0;   // final routing epoch (mutation count)
   /// Evaluation-path counters: cross-window eval cache, bound screening and
   /// the exact insertion kernel. Deterministic (same workload + config ⇒
   /// same values at any thread count).

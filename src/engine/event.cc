@@ -10,6 +10,8 @@ namespace {
 constexpr const char* kTypeNames[] = {
     "arrival",   "queued",  "rejected",         "assigned", "picked_up",
     "dropped_off", "expired", "cancel_requested", "cancelled",
+    "vehicle_breakdown", "rider_no_show", "edge_disruption", "edge_restore",
+    "redispatched", "abandoned",
 };
 constexpr int kNumTypes = static_cast<int>(sizeof(kTypeNames) /
                                            sizeof(kTypeNames[0]));
@@ -21,10 +23,20 @@ const char* EventTypeName(EventType type) {
   return (t >= 0 && t < kNumTypes) ? kTypeNames[t] : "unknown";
 }
 
+bool EventHasEdgePayload(EventType type) {
+  return type == EventType::kEdgeDisruption || type == EventType::kEdgeRestore;
+}
+
 std::string SerializeEvent(const Event& event) {
-  char buf[96];
-  std::snprintf(buf, sizeof(buf), "%.17g %s %d %d", event.time,
-                EventTypeName(event.type), event.rider, event.vehicle);
+  char buf[160];
+  if (EventHasEdgePayload(event.type)) {
+    std::snprintf(buf, sizeof(buf), "%.17g %s %d %d %d %d %.17g", event.time,
+                  EventTypeName(event.type), event.rider, event.vehicle,
+                  event.edge_a, event.edge_b, event.value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g %s %d %d", event.time,
+                  EventTypeName(event.type), event.rider, event.vehicle);
+  }
   return buf;
 }
 
@@ -36,14 +48,25 @@ Result<Event> ParseEvent(std::string_view line) {
                   &event.rider, &event.vehicle) != 4) {
     return Status::InvalidArgument("malformed event line: " + owned);
   }
+  bool known = false;
   for (int t = 0; t < kNumTypes; ++t) {
     if (std::strcmp(type_buf, kTypeNames[t]) == 0) {
       event.type = static_cast<EventType>(t);
-      return event;
+      known = true;
+      break;
     }
   }
-  return Status::InvalidArgument(std::string("unknown event type: ") +
-                                 type_buf);
+  if (!known) {
+    return Status::InvalidArgument(std::string("unknown event type: ") +
+                                   type_buf);
+  }
+  if (EventHasEdgePayload(event.type)) {
+    if (std::sscanf(owned.c_str(), "%*f %*s %*d %*d %d %d %lf", &event.edge_a,
+                    &event.edge_b, &event.value) != 3) {
+      return Status::InvalidArgument("malformed edge event line: " + owned);
+    }
+  }
+  return event;
 }
 
 std::string SerializeEventLog(const std::vector<Event>& events) {

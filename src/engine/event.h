@@ -27,22 +27,40 @@ enum class EventType : uint8_t {
   kExpired,              // pickup deadline passed while queued
   kCancelRequested,      // input: rider asks to cancel (may be ignored)
   kCancelled,            // a not-yet-picked-up rider left the system
+  // --- fault vocabulary (DESIGN.md §10) ---------------------------------
+  kVehicleBreakdown,     // input: vehicle dies at its current anchor
+  kRiderNoShow,          // pickup arrived, rider absent; stop excised
+  kEdgeDisruption,       // input: edge (a,b) slowed by `value` (inf = closed)
+  kEdgeRestore,          // input: edge (a,b) back to its base cost
+  kRedispatched,         // a disrupted rider re-joins the queue after backoff
+  kAbandoned,            // terminal: retries/slack exhausted after disruption
 };
 
 const char* EventTypeName(EventType type);
 
-/// One engine event. `vehicle` is -1 when no vehicle is involved.
+/// True for the event types that carry the (edge_a, edge_b, value) payload.
+bool EventHasEdgePayload(EventType type);
+
+/// One engine event. `vehicle` is -1 when no vehicle is involved. Edge
+/// fault events additionally carry the disrupted edge and its slowdown
+/// factor (kInfiniteCost = closure); those fields stay at their defaults
+/// for every other type.
 struct Event {
   Cost time = 0;
   EventType type = EventType::kArrival;
   RiderId rider = -1;
   int vehicle = -1;
+  NodeId edge_a = kInvalidNode;
+  NodeId edge_b = kInvalidNode;
+  double value = 0;
 
   bool operator==(const Event&) const = default;
 };
 
 /// One line, no trailing newline: "<time> <type> <rider> <vehicle>" with the
-/// time printed as %.17g so it round-trips exactly.
+/// time printed as %.17g so it round-trips exactly. Edge fault events append
+/// " <edge_a> <edge_b> <value>"; every other type serializes exactly as
+/// before, so fault-free logs are byte-identical to the legacy format.
 std::string SerializeEvent(const Event& event);
 
 /// Parses a SerializeEvent line.

@@ -36,4 +36,75 @@ StreamingWorkload MakeStreamingWorkload(const UrrInstance& base,
   return w;
 }
 
+FaultPlan MakeFaultPlan(const StreamingWorkload& workload,
+                        const FaultPlanOptions& options, Rng* rng) {
+  FaultPlan plan;
+  const UrrInstance& instance = workload.instance;
+  plan.no_show.assign(static_cast<size_t>(instance.num_riders()), false);
+  // Horizon: from t̄ through the last request arrival. Faults outside the
+  // arrival window would land on an idle fleet and change nothing.
+  const Cost t0 = instance.now;
+  Cost t1 = t0;
+  for (const RiderArrival& a : workload.arrivals) t1 = std::max(t1, a.time);
+  if (t1 <= t0) t1 = t0 + 1;
+
+  if (options.breakdown_fraction > 0) {
+    for (int j = 0; j < instance.num_vehicles(); ++j) {
+      if (rng->Uniform() < options.breakdown_fraction) {
+        plan.breakdowns.push_back({j, rng->Uniform(t0, t1)});
+      }
+    }
+  }
+  if (options.no_show_fraction > 0) {
+    for (RiderId i = 0; i < instance.num_riders(); ++i) {
+      if (rng->Uniform() < options.no_show_fraction) {
+        plan.no_show[static_cast<size_t>(i)] = true;
+      }
+    }
+  }
+  if (options.num_edge_faults > 0 && instance.network != nullptr &&
+      instance.network->num_edges() > 0) {
+    const RoadNetwork& net = *instance.network;
+    const std::vector<Edge> edges = net.EdgeList();
+    for (int k = 0; k < options.num_edge_faults; ++k) {
+      const Edge& e = edges[static_cast<size_t>(rng->UniformInt(
+          0, static_cast<int64_t>(edges.size()) - 1))];
+      EdgeFault fault;
+      fault.a = e.from;
+      fault.b = e.to;
+      fault.time = rng->Uniform(t0, t1);
+      fault.factor = rng->Uniform() < options.closure_fraction
+                         ? kInfiniteCost
+                         : std::max(1.0, options.slowdown_factor);
+      const Cost span = options.edge_fault_mean_duration > 0
+                            ? rng->Exponential(
+                                  1.0 / options.edge_fault_mean_duration)
+                            : 0;
+      plan.edge_faults.push_back(fault);
+      plan.edge_restores.push_back({fault.a, fault.b, fault.time + span});
+    }
+  }
+
+  std::sort(plan.breakdowns.begin(), plan.breakdowns.end(),
+            [](const VehicleBreakdown& a, const VehicleBreakdown& b) {
+              return a.time != b.time ? a.time < b.time
+                                      : a.vehicle < b.vehicle;
+            });
+  auto edge_order = [](Cost ta, NodeId aa, NodeId ab, Cost tb, NodeId ba,
+                       NodeId bb) {
+    if (ta != tb) return ta < tb;
+    if (aa != ba) return aa < ba;
+    return ab < bb;
+  };
+  std::sort(plan.edge_faults.begin(), plan.edge_faults.end(),
+            [&](const EdgeFault& x, const EdgeFault& y) {
+              return edge_order(x.time, x.a, x.b, y.time, y.a, y.b);
+            });
+  std::sort(plan.edge_restores.begin(), plan.edge_restores.end(),
+            [&](const EdgeRestoreFault& x, const EdgeRestoreFault& y) {
+              return edge_order(x.time, x.a, x.b, y.time, y.a, y.b);
+            });
+  return plan;
+}
+
 }  // namespace urr

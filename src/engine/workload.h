@@ -26,13 +26,79 @@ struct CancelRequest {
   Cost time = 0;
 };
 
+/// One injected vehicle breakdown: the vehicle dies at `time` wherever it
+/// is, its pending riders are excised and re-queued, on-board riders are
+/// dropped at the breakdown anchor and re-queued if still serviceable.
+struct VehicleBreakdown {
+  int vehicle = -1;
+  Cost time = 0;
+};
+
+/// One injected edge disruption: at `time`, every parallel (a, b) edge is
+/// scaled by `factor` (> 1 is a slowdown; kInfiniteCost is a full closure).
+struct EdgeFault {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  Cost time = 0;
+  double factor = kInfiniteCost;
+};
+
+/// Lifts a prior disruption on (a, b) at `time`.
+struct EdgeRestoreFault {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  Cost time = 0;
+};
+
+/// A seeded, replayable disruption script. All vectors are sorted by time
+/// (ties by vehicle / edge endpoints) so injection order is deterministic.
+/// `no_show[i]` marks rider i as absent at their pickup. An empty plan is
+/// the fault-free world and leaves engine behavior byte-identical.
+struct FaultPlan {
+  std::vector<VehicleBreakdown> breakdowns;
+  std::vector<bool> no_show;
+  std::vector<EdgeFault> edge_faults;
+  std::vector<EdgeRestoreFault> edge_restores;
+
+  bool HasEdgeFaults() const { return !edge_faults.empty(); }
+  bool HasNoShows() const {
+    for (bool b : no_show) {
+      if (b) return true;
+    }
+    return false;
+  }
+  bool Empty() const {
+    return breakdowns.empty() && edge_faults.empty() &&
+           edge_restores.empty() && !HasNoShows();
+  }
+};
+
+struct FaultPlanOptions {
+  /// Fraction of vehicles that break down during the arrival horizon.
+  double breakdown_fraction = 0.0;
+  /// Fraction of riders that never show up at their pickup.
+  double no_show_fraction = 0.0;
+  /// Number of edge disruptions injected over the arrival horizon.
+  int num_edge_faults = 0;
+  /// Fraction of edge disruptions that are full closures (the rest are
+  /// slowdowns by `slowdown_factor`).
+  double closure_fraction = 0.5;
+  /// Cost multiplier for non-closure disruptions; must be >= 1 so every
+  /// perturbation is a weight increase (the overlay's admissibility
+  /// precondition).
+  double slowdown_factor = 4.0;
+  /// Mean active span of an edge disruption before its restore fires.
+  double edge_fault_mean_duration = 300.0;
+};
+
 /// A replayable streaming input: instance + timed input events, both sorted
 /// by (time, rider). The instance borrows network/social pointers from the
-/// instance it was derived from.
+/// instance it was derived from. `faults` defaults to the empty plan.
 struct StreamingWorkload {
   UrrInstance instance;
   std::vector<RiderArrival> arrivals;
   std::vector<CancelRequest> cancellations;
+  FaultPlan faults;
 };
 
 struct StreamingWorkloadOptions {
@@ -51,6 +117,13 @@ struct StreamingWorkloadOptions {
 StreamingWorkload MakeStreamingWorkload(const UrrInstance& base,
                                         const StreamingWorkloadOptions& options,
                                         Rng* rng);
+
+/// Draws a FaultPlan for `workload` from `rng`: breakdown and disruption
+/// times are uniform over the arrival horizon, disrupted edges are sampled
+/// from the instance's road network, and each edge fault gets a matching
+/// restore after an Exponential(1/mean_duration) span.
+FaultPlan MakeFaultPlan(const StreamingWorkload& workload,
+                        const FaultPlanOptions& options, Rng* rng);
 
 }  // namespace urr
 

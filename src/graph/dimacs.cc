@@ -1,5 +1,7 @@
 #include "graph/dimacs.h"
 
+#include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -19,15 +21,25 @@ Result<RoadNetwork> ParseDimacs(const std::string& gr_text,
     ls >> tag;
     if (tag == 'c') continue;
     if (tag == 'p') {
+      if (num_nodes >= 0) {
+        return Status::InvalidArgument("duplicate DIMACS problem line: " +
+                                       line);
+      }
       std::string kind;
       int64_t n = 0, m = 0;
       ls >> kind >> n >> m;
       if (!ls || kind != "sp") {
         return Status::InvalidArgument("bad DIMACS problem line: " + line);
       }
+      // Validate the declared sizes before they size anything: a corrupt
+      // header must not drive a multi-gigabyte reserve.
+      constexpr int64_t kMaxDeclared = int64_t{1} << 30;
+      if (n < 0 || m < 0 || n > kMaxDeclared || m > kMaxDeclared) {
+        return Status::InvalidArgument("DIMACS sizes out of range: " + line);
+      }
       num_nodes = static_cast<NodeId>(n);
       declared_edges = m;
-      edges.reserve(static_cast<size_t>(m));
+      edges.reserve(static_cast<size_t>(std::min(m, int64_t{1} << 22)));
     } else if (tag == 'a') {
       int64_t u = 0, v = 0;
       double w = 0;
@@ -38,6 +50,15 @@ Result<RoadNetwork> ParseDimacs(const std::string& gr_text,
       }
       if (u < 1 || u > num_nodes || v < 1 || v > num_nodes) {
         return Status::InvalidArgument("DIMACS node id out of range: " + line);
+      }
+      if (!std::isfinite(w) || w < 0) {
+        return Status::InvalidArgument("DIMACS arc cost must be finite and "
+                                       "non-negative: " + line);
+      }
+      if (static_cast<int64_t>(edges.size()) == declared_edges) {
+        return Status::InvalidArgument(
+            "more arcs than the " + std::to_string(declared_edges) +
+            " declared");
       }
       edges.push_back({static_cast<NodeId>(u - 1), static_cast<NodeId>(v - 1), w});
     } else {
@@ -66,10 +87,13 @@ Result<RoadNetwork> ParseDimacs(const std::string& gr_text,
         int64_t id = 0;
         double x = 0, y = 0;
         ls >> id >> x >> y;
-        if (!ls || id < 1 || id > num_nodes) {
+        if (!ls || id < 1 || id > num_nodes || !std::isfinite(x) ||
+            !std::isfinite(y)) {
           return Status::InvalidArgument("bad DIMACS coord line: " + line);
         }
         coords[static_cast<size_t>(id - 1)] = {x, y};
+      } else {
+        return Status::InvalidArgument("unknown DIMACS coord tag: " + line);
       }
     }
   }

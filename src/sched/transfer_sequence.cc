@@ -186,12 +186,71 @@ Status TransferSequence::RemoveRider(RiderId rider) {
 }
 
 std::vector<ExecutedStop> TransferSequence::AdvanceTo(Cost t) {
+  return AdvanceTo(t, nullptr);
+}
+
+std::vector<ExecutedStop> TransferSequence::AdvanceTo(
+    Cost t, const std::vector<bool>* no_show) {
   // Earliest arrivals are non-decreasing, so the executed prefix is the
   // stops with arrival strictly before t. Strict `<` keeps a stop reached
   // exactly at t pending — an arrival at the same instant still sees it.
   std::vector<ExecutedStop> done;
   size_t k = 0;
-  while (k < stops_.size() && arrival_[k] < t) ++k;
+  bool has_no_show = false;
+  while (k < stops_.size() && arrival_[k] < t) {
+    const Stop& s = stops_[k];
+    if (no_show != nullptr && s.type == StopType::kPickup &&
+        static_cast<size_t>(s.rider) < no_show->size() &&
+        (*no_show)[static_cast<size_t>(s.rider)]) {
+      has_no_show = true;
+      break;
+    }
+    ++k;
+  }
+  if (has_no_show) {
+    // Slow path, only when an absent rider's pickup actually executes:
+    // stop-by-stop so each excision re-times the remaining stops before
+    // they run. Excising a stop never delays later arrivals (legs are
+    // shortest paths), so nothing already executed could have been later.
+    while (!stops_.empty() && arrival_[0] < t) {
+      const Stop s = stops_[0];
+      const Cost at = arrival_[0];
+      const bool absent =
+          no_show != nullptr && s.type == StopType::kPickup &&
+          static_cast<size_t>(s.rider) < no_show->size() &&
+          (*no_show)[static_cast<size_t>(s.rider)];
+      done.push_back({s, at, absent});
+      start_ = s.location;
+      now_ = at;
+      stops_.erase(stops_.begin());
+      if (s.type == StopType::kPickup) {
+        if (absent) {
+          // Nobody boarded: drop the rider's remaining (dropoff) stop.
+          stops_.erase(std::remove_if(stops_.begin(), stops_.end(),
+                                      [&s](const Stop& q) {
+                                        return q.rider == s.rider;
+                                      }),
+                       stops_.end());
+        } else {
+          initial_onboard_.push_back(s.rider);
+        }
+      } else {
+        initial_onboard_.erase(std::remove(initial_onboard_.begin(),
+                                           initial_onboard_.end(), s.rider),
+                               initial_onboard_.end());
+      }
+      Rebuild();
+    }
+    if (stops_.empty()) {
+      const Cost idle_now = std::max(now_, t);
+      now_ = idle_now;
+      commit_floor_ = 0;
+    } else {
+      commit_floor_ = (t > now_) ? 1 : 0;
+    }
+    version_ = NextVersion();
+    return done;
+  }
   // Version is bumped only when observable state actually changes, so a
   // busy vehicle that merely sits mid-route across a window boundary keeps
   // its cached candidate evaluations.
@@ -273,6 +332,32 @@ Status TransferSequence::ExciseRider(RiderId rider) {
   Status removed = RemoveRider(rider);
   if (!removed.ok()) return removed;
   return Validate();
+}
+
+void TransferSequence::Refresh() {
+  Rebuild();
+  version_ = NextVersion();
+}
+
+void TransferSequence::RelaxStopDeadline(int u, Cost deadline) {
+  Stop& s = stops_[static_cast<size_t>(u)];
+  if (deadline <= s.deadline) return;
+  s.deadline = deadline;
+  Rebuild();
+  version_ = NextVersion();
+}
+
+TransferSequence TransferSequence::FromParts(
+    NodeId start, Cost now, int capacity, DistanceOracle* oracle,
+    int commit_floor, std::vector<RiderId> initial_onboard,
+    std::vector<Stop> stops) {
+  TransferSequence seq(start, now, capacity, oracle);
+  seq.commit_floor_ = commit_floor;
+  seq.initial_onboard_ = std::move(initial_onboard);
+  seq.stops_ = std::move(stops);
+  seq.Rebuild();
+  seq.version_ = NextVersion();
+  return seq;
 }
 
 void TransferSequence::Rebuild() {

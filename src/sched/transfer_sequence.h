@@ -33,9 +33,13 @@ struct Stop {
 };
 
 /// A stop the vehicle has completed, with its realized completion time.
+/// `no_show` marks a pickup where the rider was absent (fault injection):
+/// the vehicle arrived but nobody boarded, and the rider's dropoff was
+/// excised from the remaining schedule.
 struct ExecutedStop {
   Stop stop;
   Cost time = 0;
+  bool no_show = false;
 };
 
 /// Where a vehicle is along its committed route at a queried time: the node
@@ -194,7 +198,17 @@ class TransferSequence {
   /// pickups join `initial_onboard()` and executed dropoffs leave it.
   /// Afterwards `commit_floor()` is 1 iff the vehicle is mid-leg at `t`.
   /// Returns the executed stops in completion order.
+  ///
+  /// `no_show`, when non-null, flags riders who are absent at their pickup
+  /// (indexed by RiderId): executing such a pickup boards nobody, marks the
+  /// executed stop `no_show`, and excises the rider's dropoff before the
+  /// advance continues (removing a stop never delays later arrivals — legs
+  /// are shortest paths, so the direct leg is never longer than the detour).
+  /// When no executed pickup is flagged, behavior, oracle call counts and
+  /// version stamps are identical to the mask-free overload.
   std::vector<ExecutedStop> AdvanceTo(Cost t);
+  std::vector<ExecutedStop> AdvanceTo(Cost t,
+                                      const std::vector<bool>* no_show);
 
   /// Pure query: the vehicle's position along the committed route at `t`
   /// (assuming earliest departures). Does not mutate the schedule.
@@ -205,6 +219,28 @@ class TransferSequence {
   /// completed as a deadhead move (the pickup node becomes the new start
   /// anchor) — no teleporting. InvalidArgument for onboard riders.
   Status ExciseRider(RiderId rider);
+
+  /// Recomputes every derived field from the oracle and stamps a fresh
+  /// version. Call after the effective network changed underneath the
+  /// oracle (edge disruption/restore): leg costs, arrivals and the Eq. 6–8
+  /// fields are rebuilt against the new distances.
+  void Refresh();
+
+  /// Relaxes stop `u`'s deadline to at least `deadline` (never tightens)
+  /// and recomputes the Eq. 7/8 fields. Disruption repair uses this for
+  /// onboard riders whose dropoff became unreachable in time: the rider is
+  /// already in the vehicle, so the engine forgives the deadline rather
+  /// than violate the onboard-dropoff invariant.
+  void RelaxStopDeadline(int u, Cost deadline);
+
+  /// Reassembles a sequence from checkpointed parts: sets the anchor,
+  /// onboard set and stops verbatim, then recomputes every derived field
+  /// via the oracle (deterministic oracles make the rebuilt Eq. 6–8 fields
+  /// identical to the checkpointed originals).
+  static TransferSequence FromParts(NodeId start, Cost now, int capacity,
+                                    DistanceOracle* oracle, int commit_floor,
+                                    std::vector<RiderId> initial_onboard,
+                                    std::vector<Stop> stops);
 
   /// Full invariant check: pickup precedes dropoff, stops paired, deadlines
   /// met by earliest arrivals, capacity respected, flex times non-negative.

@@ -1,11 +1,17 @@
 #include "trips/instance_io.h"
 
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 
 namespace urr {
 
 namespace {
+
+// Upper bound on declared rider/vehicle counts: rejects corrupt meta rows
+// before they can drive huge allocations (the mu_v matrix is riders x
+// vehicles).
+constexpr int64_t kMaxDeclaredCount = int64_t{1} << 24;
 
 std::string Num(double value) {
   char buf[64];
@@ -73,11 +79,27 @@ Result<UrrInstance> InstanceFromCsv(const CsvTable& table, NodeId num_nodes) {
   int declared_riders = -1, declared_vehicles = -1;
   bool has_matrix = false;
   for (const auto& row : table.rows) {
+    // The CSV layer does not enforce a rectangle; a truncated or ragged row
+    // must become an error here, not an out-of-bounds read.
+    if (row.size() != table.header.size()) {
+      return Status::InvalidArgument(
+          "instance CSV row has " + std::to_string(row.size()) +
+          " cells, expected " + std::to_string(table.header.size()));
+    }
     const std::string& kind = row[0];
     if (kind == "meta") {
+      if (declared_riders >= 0) {
+        return Status::InvalidArgument("duplicate meta row");
+      }
       URR_ASSIGN_OR_RETURN(instance.now, ParseDouble(row[1], "now"));
+      if (!std::isfinite(instance.now)) {
+        return Status::InvalidArgument("meta now must be finite");
+      }
       URR_ASSIGN_OR_RETURN(int64_t m, ParseInt(row[2], "num_riders"));
       URR_ASSIGN_OR_RETURN(int64_t n, ParseInt(row[3], "num_vehicles"));
+      if (m < 0 || n < 0 || m > kMaxDeclaredCount || n > kMaxDeclaredCount) {
+        return Status::InvalidArgument("meta counts out of range");
+      }
       declared_riders = static_cast<int>(m);
       declared_vehicles = static_cast<int>(n);
     } else if (kind == "rider") {
@@ -91,6 +113,12 @@ Result<UrrInstance> InstanceFromCsv(const CsvTable& table, NodeId num_nodes) {
       r.destination = static_cast<NodeId>(e);
       URR_ASSIGN_OR_RETURN(r.pickup_deadline, ParseDouble(row[3], "rt-"));
       URR_ASSIGN_OR_RETURN(r.dropoff_deadline, ParseDouble(row[4], "rt+"));
+      if (std::isnan(r.pickup_deadline) || std::isnan(r.dropoff_deadline)) {
+        return Status::InvalidArgument("rider deadline is NaN");
+      }
+      if (r.dropoff_deadline < r.pickup_deadline) {
+        return Status::InvalidArgument("rider dropoff deadline before pickup");
+      }
       URR_ASSIGN_OR_RETURN(int64_t user, ParseInt(row[5], "user"));
       r.user = static_cast<UserId>(user);
       instance.riders.push_back(r);
@@ -129,7 +157,7 @@ Result<UrrInstance> InstanceFromCsv(const CsvTable& table, NodeId num_nodes) {
         return Status::OutOfRange("mu_v index outside instance");
       }
       URR_ASSIGN_OR_RETURN(double value, ParseDouble(row[3], "mu_v value"));
-      if (value < 0 || value > 1) {
+      if (!(value >= 0 && value <= 1)) {  // negated so NaN lands here too
         return Status::InvalidArgument("mu_v outside [0,1]");
       }
       instance.vehicle_utility[static_cast<size_t>(i) *

@@ -46,12 +46,18 @@ struct EvalCounters {
 class EvalCache {
  public:
   /// Returns true and fills `out` when a fresh-enough entry exists.
+  /// `epoch` is the caller's routing-overlay epoch (SolverContext::
+  /// eval_epoch): an entry stored under a different epoch was evaluated
+  /// against different network distances and never hits.
   bool Lookup(RiderId rider, int vehicle, uint64_t version, bool need_utility,
-              CandidateEval* out) {
+              CandidateEval* out, uint64_t epoch = 0) {
     const uint64_t key = Key(rider, vehicle);
     std::lock_guard<std::mutex> lock(mu_);
     auto it = map_.find(key);
-    if (it == map_.end() || it->second.version != version) return false;
+    if (it == map_.end() || it->second.version != version ||
+        it->second.epoch != epoch) {
+      return false;
+    }
     if (need_utility && !it->second.has_utility) return false;
     *out = it->second.eval;
     if (!need_utility && it->second.has_utility) {
@@ -64,15 +70,15 @@ class EvalCache {
   /// Records an evaluation. Never downgrades: a same-version entry that
   /// already carries the Δμ term is kept over an incoming cost-only one.
   void Store(RiderId rider, int vehicle, uint64_t version, bool has_utility,
-             const CandidateEval& eval) {
+             const CandidateEval& eval, uint64_t epoch = 0) {
     const uint64_t key = Key(rider, vehicle);
     std::lock_guard<std::mutex> lock(mu_);
     auto it = map_.find(key);
     if (it != map_.end() && it->second.version == version &&
-        it->second.has_utility && !has_utility) {
+        it->second.epoch == epoch && it->second.has_utility && !has_utility) {
       return;
     }
-    map_[key] = Entry{version, has_utility, eval};
+    map_[key] = Entry{version, epoch, has_utility, eval};
   }
 
   void Clear() {
@@ -88,6 +94,7 @@ class EvalCache {
  private:
   struct Entry {
     uint64_t version = 0;
+    uint64_t epoch = 0;
     bool has_utility = false;
     CandidateEval eval;
   };

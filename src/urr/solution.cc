@@ -329,7 +329,8 @@ CandidateEval EvaluateCandidate(const UrrInstance& instance,
       sol.schedules[static_cast<size_t>(j)].version();
   if (ctx->eval_cache != nullptr) {
     CandidateEval cached;
-    if (ctx->eval_cache->Lookup(i, j, version, need_utility, &cached)) {
+    if (ctx->eval_cache->Lookup(i, j, version, need_utility, &cached,
+                                ctx->eval_epoch)) {
       if (ctx->counters != nullptr) {
         ctx->counters->cache_hits.fetch_add(1, std::memory_order_relaxed);
       }
@@ -342,7 +343,8 @@ CandidateEval EvaluateCandidate(const UrrInstance& instance,
   const CandidateEval eval = EvaluateWithContext(instance, ctx, sol, i, j,
                                                  need_utility, eval_oracle);
   if (ctx->eval_cache != nullptr) {
-    ctx->eval_cache->Store(i, j, version, need_utility, eval);
+    ctx->eval_cache->Store(i, j, version, need_utility, eval,
+                           ctx->eval_epoch);
   }
   return eval;
 }
@@ -364,7 +366,7 @@ std::vector<CandidateEval> EvaluateCandidates(
       const uint64_t version =
           sol.schedules[static_cast<size_t>(p.vehicle)].version();
       if (ctx->eval_cache->Lookup(p.rider, p.vehicle, version, need_utility,
-                                  &evals[k])) {
+                                  &evals[k], ctx->eval_epoch)) {
         ++hits;
       } else {
         miss.push_back(k);
@@ -426,7 +428,7 @@ std::vector<CandidateEval> EvaluateCandidates(
       ctx->eval_cache->Store(
           p.rider, p.vehicle,
           sol.schedules[static_cast<size_t>(p.vehicle)].version(),
-          need_utility, evals[k]);
+          need_utility, evals[k], ctx->eval_epoch);
     }
   }
   return evals;

@@ -91,6 +91,10 @@ struct SolverContext {
   /// across solver calls — the engine attaches one so unchanged vehicles
   /// are not re-evaluated every window. Borrowed; nullptr disables.
   EvalCache* eval_cache = nullptr;
+  /// Routing-overlay epoch stamped into every eval-cache key. The engine
+  /// bumps it whenever an edge disruption or restore changes the effective
+  /// network, so evaluations computed against stale distances never hit.
+  uint64_t eval_epoch = 0;
   /// Optional evaluation-path counters (hits/misses/screens). Borrowed.
   EvalCounters* counters = nullptr;
 

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+#include <string>
+
 namespace urr {
 namespace {
 
@@ -71,6 +74,72 @@ TEST(DimacsTest, ExportRoundTrips) {
 TEST(DimacsTest, LoadMissingFileFails) {
   auto r = LoadDimacsFiles("/does/not/exist.gr");
   EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(DimacsTest, RejectsCorruptHeadersAndArcs) {
+  // Declared sizes that must not drive allocations or casts.
+  EXPECT_FALSE(ParseDimacs("p sp -1 0\n").ok());
+  EXPECT_FALSE(ParseDimacs("p sp 2 -5\na 1 2 1\n").ok());
+  EXPECT_FALSE(ParseDimacs("p sp 99999999999999 1\na 1 2 1\n").ok());
+  EXPECT_FALSE(ParseDimacs("p sp 2 99999999999999\na 1 2 1\n").ok());
+  // Duplicate problem line.
+  EXPECT_FALSE(ParseDimacs("p sp 2 1\np sp 2 1\na 1 2 1\n").ok());
+  // More arcs than declared.
+  EXPECT_FALSE(ParseDimacs("p sp 2 1\na 1 2 1\na 2 1 1\n").ok());
+  // Non-finite / negative costs.
+  EXPECT_FALSE(ParseDimacs("p sp 2 1\na 1 2 inf\n").ok());
+  EXPECT_FALSE(ParseDimacs("p sp 2 1\na 1 2 nan\n").ok());
+  EXPECT_FALSE(ParseDimacs("p sp 2 1\na 1 2 -3\n").ok());
+  // Corrupt coordinate sections.
+  EXPECT_FALSE(ParseDimacs(kGr, "v 1 nan 0\n").ok());
+  EXPECT_FALSE(ParseDimacs(kGr, "v 9 0 0\n").ok());
+  EXPECT_FALSE(ParseDimacs(kGr, "x 1 0 0\n").ok());
+}
+
+// Property-style mutation sweep: every random corruption of a valid file —
+// truncation, byte smashes, line deletion/duplication — must come back as a
+// Status error or a successfully built network, never a crash or hang.
+TEST(DimacsTest, SurvivesRandomMutations) {
+  const std::string clean = std::string(kGr);
+  std::mt19937_64 rng(123);
+  auto rand_int = [&](size_t lo, size_t hi) {
+    return lo + static_cast<size_t>(rng() % (hi - lo + 1));
+  };
+  int parsed_ok = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string text = clean;
+    switch (trial % 4) {
+      case 0:  // truncate at a random byte
+        text.resize(rand_int(0, text.size()));
+        break;
+      case 1: {  // smash a random byte
+        if (!text.empty()) {
+          text[rand_int(0, text.size() - 1)] =
+              static_cast<char>(rand_int(1, 255));
+        }
+        break;
+      }
+      case 2: {  // delete a random line
+        const size_t start = text.find('\n', rand_int(0, text.size() - 1));
+        if (start != std::string::npos) {
+          const size_t end = text.find('\n', start + 1);
+          text.erase(start, end == std::string::npos ? std::string::npos
+                                                     : end - start);
+        }
+        break;
+      }
+      default: {  // duplicate a random prefix chunk
+        const size_t n = rand_int(0, text.size());
+        text += text.substr(0, n);
+        break;
+      }
+    }
+    const auto result = ParseDimacs(text);
+    if (result.ok()) ++parsed_ok;  // mutation happened to stay well-formed
+  }
+  // The loop's real assertion is "no crash"; sanity-check that some
+  // mutants were actually rejected (i.e. mutations were not all no-ops).
+  EXPECT_LT(parsed_ok, 400);
 }
 
 }  // namespace

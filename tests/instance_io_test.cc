@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <random>
+#include <string>
 
+#include "common/csv.h"
 #include "exp/harness.h"
 #include "urr/greedy.h"
 
@@ -99,6 +102,90 @@ TEST(InstanceIoTest, RejectsCorruptTables) {
 
   rows.rows = {{"alien", "0", "0", "", "", ""}};
   EXPECT_FALSE(InstanceFromCsv(rows, 10).ok());
+}
+
+TEST(InstanceIoTest, RejectsRaggedAndPoisonedRows) {
+  CsvTable t;
+  t.header = {"kind", "a", "b", "c", "d", "e"};
+  // Truncated rows must be a clean error, not an out-of-bounds read.
+  t.rows = {{"meta", "0", "1"}};
+  EXPECT_FALSE(InstanceFromCsv(t, 10).ok());
+  t.rows = {{"rider"}};
+  EXPECT_FALSE(InstanceFromCsv(t, 10).ok());
+  t.rows = {{}};
+  EXPECT_FALSE(InstanceFromCsv(t, 10).ok());
+  // Duplicate meta rows.
+  t.rows = {{"meta", "0", "0", "0", "", ""}, {"meta", "0", "0", "0", "", ""}};
+  EXPECT_FALSE(InstanceFromCsv(t, 10).ok());
+  // Counts that would drive a huge mu_v allocation.
+  t.rows = {{"meta", "0", "99999999999", "99999999999", "", ""}};
+  EXPECT_FALSE(InstanceFromCsv(t, 10).ok());
+  // NaN deadlines and inverted deadline pairs.
+  t.rows = {{"meta", "0", "1", "0", "", ""},
+            {"rider", "0", "1", "nan", "10", "0"}};
+  EXPECT_FALSE(InstanceFromCsv(t, 10).ok());
+  t.rows = {{"meta", "0", "1", "0", "", ""},
+            {"rider", "0", "1", "20", "10", "0"}};
+  EXPECT_FALSE(InstanceFromCsv(t, 10).ok());
+  // NaN utility sneaks past naive range checks.
+  t.rows = {{"meta", "0", "1", "1", "", ""},
+            {"rider", "0", "1", "5", "10", "0"},
+            {"vehicle", "0", "2", "", "", ""},
+            {"mu_v", "0", "0", "nan", "", ""}};
+  EXPECT_FALSE(InstanceFromCsv(t, 10).ok());
+}
+
+// Property-style mutation sweep over the serialized CSV text: truncations,
+// byte smashes, deleted lines and duplicated chunks must all return a
+// Status error or a valid instance — never crash.
+TEST(InstanceIoTest, SurvivesRandomMutations) {
+  ExperimentConfig cfg;
+  cfg.city_nodes = 600;
+  cfg.num_social_users = 200;
+  cfg.num_trip_records = 600;
+  cfg.num_riders = 12;
+  cfg.num_vehicles = 4;
+  auto world = BuildWorld(cfg);
+  ASSERT_TRUE(world.ok());
+  const std::string clean = ToCsv(InstanceToCsv((*world)->instance));
+  const NodeId num_nodes = (*world)->network.num_nodes();
+
+  std::mt19937_64 rng(321);
+  auto rand_int = [&](size_t lo, size_t hi) {
+    return lo + static_cast<size_t>(rng() % (hi - lo + 1));
+  };
+  int parsed_ok = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text = clean;
+    switch (trial % 4) {
+      case 0:
+        text.resize(rand_int(0, text.size()));
+        break;
+      case 1:
+        if (!text.empty()) {
+          text[rand_int(0, text.size() - 1)] =
+              static_cast<char>(rand_int(1, 255));
+        }
+        break;
+      case 2: {
+        const size_t start = text.find('\n', rand_int(0, text.size() - 1));
+        if (start != std::string::npos) {
+          const size_t end = text.find('\n', start + 1);
+          text.erase(start, end == std::string::npos ? std::string::npos
+                                                     : end - start);
+        }
+        break;
+      }
+      default:
+        text += text.substr(0, rand_int(0, text.size()));
+        break;
+    }
+    const auto table = ParseCsv(text);
+    if (!table.ok()) continue;
+    const auto instance = InstanceFromCsv(*table, num_nodes);
+    if (instance.ok()) ++parsed_ok;
+  }
+  EXPECT_LT(parsed_ok, 300);  // some mutants must actually get rejected
 }
 
 }  // namespace

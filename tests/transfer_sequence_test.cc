@@ -358,6 +358,73 @@ TEST_F(TransferSequenceTest, ExciseRiderBeforeDepartureIsAPlainRemoval) {
   EXPECT_EQ(seq.ExciseRider(7).code(), StatusCode::kNotFound);
 }
 
+TEST_F(TransferSequenceTest, DoubleExciseReturnsNotFound) {
+  TransferSequence seq(0, 0, 2, oracle_.get());
+  seq.InsertStop(0, {1, 0, StopType::kPickup, 50});
+  seq.InsertStop(1, {3, 0, StopType::kDropoff, 100});
+  seq.AdvanceTo(5);  // mid-leg towards the pickup
+  ASSERT_TRUE(seq.ExciseRider(0).ok());
+  // A second excise of the same rider must be a clean NotFound on the
+  // already-emptied schedule — no anchor mutation, no crash.
+  const NodeId anchor = seq.start_location();
+  const Cost now = seq.now();
+  EXPECT_EQ(seq.ExciseRider(0).code(), StatusCode::kNotFound);
+  EXPECT_EQ(seq.start_location(), anchor);
+  EXPECT_DOUBLE_EQ(seq.now(), now);
+  EXPECT_TRUE(seq.Validate().ok());
+}
+
+TEST_F(TransferSequenceTest, ExciseLastRemainingRiderLeavesAUsableSchedule) {
+  TransferSequence seq(0, 0, 2, oracle_.get());
+  seq.InsertStop(0, {2, 5, StopType::kPickup, 60});
+  seq.InsertStop(1, {4, 5, StopType::kDropoff, 200});
+  ASSERT_TRUE(seq.ExciseRider(5).ok());  // parked: plain removal
+  EXPECT_TRUE(seq.empty());
+  EXPECT_EQ(seq.start_location(), 0);
+  EXPECT_DOUBLE_EQ(seq.EndTime(), seq.now());
+  EXPECT_TRUE(seq.Validate().ok());
+  // The emptied schedule must accept fresh work as if newly constructed.
+  seq.InsertStop(0, {1, 6, StopType::kPickup, 50});
+  seq.InsertStop(1, {3, 6, StopType::kDropoff, 150});
+  EXPECT_TRUE(seq.Validate().ok());
+  EXPECT_EQ(seq.Riders(), (std::vector<RiderId>{6}));
+}
+
+// After a mid-leg excise, every derived field (Eq. 6 arrivals, Eq. 7 latest
+// completions, Eq. 8 flex times, onboard counts) must equal a from-scratch
+// sequence built at the post-deadhead anchor with the surviving stops.
+TEST_F(TransferSequenceTest, ExciseMatchesFromScratchRebuild) {
+  TransferSequence seq(0, 0, 2, oracle_.get());
+  seq.InsertStop(0, {1, 0, StopType::kPickup, 50});
+  seq.InsertStop(1, {2, 1, StopType::kPickup, 60});
+  seq.InsertStop(2, {3, 0, StopType::kDropoff, 150});
+  seq.InsertStop(3, {4, 1, StopType::kDropoff, 200});
+  seq.AdvanceTo(5);  // mid-leg towards rider 0's pickup at node 1
+  ASSERT_EQ(seq.commit_floor(), 1);
+  ASSERT_TRUE(seq.ExciseRider(0).ok());
+
+  // Deadhead completed: anchored at node 1 at t=10, two stops survive.
+  ASSERT_EQ(seq.start_location(), 1);
+  ASSERT_DOUBLE_EQ(seq.now(), 10);
+  ASSERT_EQ(seq.num_stops(), 2);
+
+  TransferSequence fresh(1, 10, 2, oracle_.get());
+  fresh.InsertStop(0, {2, 1, StopType::kPickup, 60});
+  fresh.InsertStop(1, {4, 1, StopType::kDropoff, 200});
+  for (int u = 0; u < seq.num_stops(); ++u) {
+    EXPECT_DOUBLE_EQ(seq.leg_cost(u), fresh.leg_cost(u)) << "leg " << u;
+    EXPECT_DOUBLE_EQ(seq.EarliestArrival(u), fresh.EarliestArrival(u))
+        << "leg " << u;
+    EXPECT_DOUBLE_EQ(seq.LatestCompletion(u), fresh.LatestCompletion(u))
+        << "leg " << u;
+    EXPECT_DOUBLE_EQ(seq.FlexTime(u), fresh.FlexTime(u)) << "leg " << u;
+    EXPECT_EQ(seq.Onboard(u), fresh.Onboard(u)) << "leg " << u;
+  }
+  EXPECT_DOUBLE_EQ(seq.TotalCost(), fresh.TotalCost());
+  EXPECT_DOUBLE_EQ(seq.EndTime(), fresh.EndTime());
+  EXPECT_TRUE(seq.Validate().ok());
+}
+
 TEST_F(TransferSequenceTest, InsertionRespectsCommitFloor) {
   TransferSequence seq(0, 0, 2, oracle_.get());
   seq.InsertStop(0, {3, 0, StopType::kPickup, 1e6});

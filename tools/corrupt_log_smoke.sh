@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Smoke test: log verification must fail loudly on a corrupted log.
+#
+# 1. Run the engine with fault injection enabled, dumping the event log.
+# 2. Re-run with --expect-log against the pristine log: must pass.
+# 3. Corrupt one event in the log and re-verify: the tool must exit
+#    non-zero and print the first diverging event.
+set -u
+
+ENGINE="$1"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+ARGS=(--city chicago --nodes 800 --riders 60 --vehicles 12 --solver eg
+      --window 20 --arrival-rate 1 --cancel-fraction 0.1
+      --breakdown-fraction 0.2 --no-show-fraction 0.1 --edge-faults 3)
+
+"$ENGINE" "${ARGS[@]}" --log "$TMP/golden.log" || {
+  echo "FAIL: baseline run errored"; exit 1; }
+[ -s "$TMP/golden.log" ] || { echo "FAIL: empty event log"; exit 1; }
+
+"$ENGINE" "${ARGS[@]}" --expect-log "$TMP/golden.log" || {
+  echo "FAIL: pristine log did not verify"; exit 1; }
+
+# Corrupt the rider id of the first assignment event.
+awk '!done && / assigned / {sub(/ assigned [0-9]+ / , " assigned 9999 "); done=1} {print}' \
+  "$TMP/golden.log" > "$TMP/corrupt.log"
+cmp -s "$TMP/golden.log" "$TMP/corrupt.log" && {
+  echo "FAIL: corruption was a no-op"; exit 1; }
+
+OUT="$("$ENGINE" "${ARGS[@]}" --expect-log "$TMP/corrupt.log" 2>&1)"
+STATUS=$?
+if [ "$STATUS" -eq 0 ]; then
+  echo "FAIL: corrupted log verified clean"; exit 1
+fi
+echo "$OUT" | grep -q "diverged at event" || {
+  echo "FAIL: no diverging-event message in output:"; echo "$OUT"; exit 1; }
+echo "PASS: corrupted log rejected (exit $STATUS) with diverging event shown"

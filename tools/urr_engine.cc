@@ -43,12 +43,29 @@ struct Options {
   uint64_t seed = 42;
   int threads = 0;             // 0 = URR_THREADS env
   std::string log_path;        // dump the event log here
+  std::string expect_log_path;  // compare the run's log against this file
   bool json = false;           // machine-readable EngineMetrics
   bool windows = false;        // include the per-window array in the JSON
   bool verify_replay = false;  // replay the log and compare
   bool no_eval_cache = false;  // disable the cross-window eval cache
   bool no_zero_copy = false;   // evaluate on schedule copies
   bool no_screen = false;      // disable Euclidean bound screening
+  // Fault injection (seeded, replayable; all zero = no faults).
+  double breakdown_fraction = 0;   // share of vehicles that break down
+  double no_show_fraction = 0;     // share of riders absent at pickup
+  int edge_faults = 0;             // number of edge disruption events
+  double closure_fraction = 0.5;   // share of edge faults that are closures
+  double slowdown_factor = 4.0;    // cost multiplier of non-closure faults
+  double fault_duration = 300;     // mean seconds until an edge restores
+  uint64_t fault_seed = 0;         // 0 = derived from --seed
+  int max_redispatch = 3;          // retry budget for displaced riders
+  double redispatch_backoff = 30;  // base backoff seconds (doubles per try)
+  // Checkpoint/restore.
+  int checkpoint_every = 0;        // windows between checkpoints; 0 = off
+  std::string checkpoint_file;     // write checkpoints to FILE.<k>
+  std::string restore_path;        // resume the run from this checkpoint
+  bool verify_restore = false;     // re-run from every checkpoint + compare
+  bool validate_invariants = false;  // full live-state check every window
   bool help = false;
 };
 
@@ -77,6 +94,8 @@ output:
   --json                  print EngineMetrics as one JSON object
   --windows               include the per-window array in that JSON
   --log FILE              write the deterministic event log to FILE
+  --expect-log FILE       require the run's log to match FILE byte for byte
+                          (exits non-zero printing the first diverging event)
   --verify-replay         rebuild the input from the log, re-run a fresh
                           engine and require byte-identical log + fleet state
 
@@ -84,6 +103,27 @@ evaluation path (all toggles keep the log and fleet state byte-identical):
   --no-eval-cache         disable the cross-window evaluation cache
   --no-zero-copy          evaluate insertions on schedule copies
   --no-screen             disable Euclidean lower-bound candidate screening
+
+fault injection (seeded and replayable; all defaults off):
+  --breakdown-fraction F  share of vehicles that break down mid-run
+  --no-show-fraction F    share of riders absent when their pickup arrives
+  --edge-faults N         number of road-edge disruption events
+  --closure-fraction F    share of edge faults that fully close the edge
+  --slowdown-factor X     cost multiplier of the non-closure faults
+  --fault-duration S      mean seconds until a disrupted edge restores
+  --fault-seed S          fault-plan RNG seed (0 = derived from --seed)
+  --max-redispatch K      retry budget for fault-displaced riders
+  --redispatch-backoff S  base retry backoff seconds (doubles per attempt,
+                          capped by the rider's remaining pickup slack)
+  --validate-invariants   run the full live-state check every window
+
+checkpoint/restore:
+  --checkpoint-every N    snapshot the live state every N window boundaries
+  --checkpoint-file FILE  write each snapshot to FILE.<k>
+  --restore FILE          resume a fresh run from a snapshot file
+  --verify-restore        re-run from every snapshot taken and require a
+                          byte-identical log + fleet state (exits non-zero
+                          and prints the first diverging event otherwise)
 
 )");
 }
@@ -95,6 +135,9 @@ Result<Options> ParseArgs(int argc, char** argv) {
       {"--solver", &opt.solver},
       {"--oracle", &opt.oracle},
       {"--log", &opt.log_path},
+      {"--expect-log", &opt.expect_log_path},
+      {"--checkpoint-file", &opt.checkpoint_file},
+      {"--restore", &opt.restore_path},
   };
   std::map<std::string, double*> doubles = {
       {"--deadline-min", &opt.deadline_min_minutes},
@@ -103,11 +146,20 @@ Result<Options> ParseArgs(int argc, char** argv) {
       {"--arrival-rate", &opt.arrival_rate},
       {"--cancel-fraction", &opt.cancel_fraction},
       {"--cancel-delay", &opt.cancel_delay},
+      {"--breakdown-fraction", &opt.breakdown_fraction},
+      {"--no-show-fraction", &opt.no_show_fraction},
+      {"--closure-fraction", &opt.closure_fraction},
+      {"--slowdown-factor", &opt.slowdown_factor},
+      {"--fault-duration", &opt.fault_duration},
+      {"--redispatch-backoff", &opt.redispatch_backoff},
   };
   std::map<std::string, int*> ints = {
       {"--nodes", &opt.nodes},         {"--riders", &opt.riders},
       {"--vehicles", &opt.vehicles},   {"--capacity", &opt.capacity},
       {"--max-queue", &opt.max_queue}, {"--threads", &opt.threads},
+      {"--edge-faults", &opt.edge_faults},
+      {"--max-redispatch", &opt.max_redispatch},
+      {"--checkpoint-every", &opt.checkpoint_every},
   };
   std::map<std::string, bool*> bools = {
       {"--json", &opt.json},
@@ -116,6 +168,8 @@ Result<Options> ParseArgs(int argc, char** argv) {
       {"--no-eval-cache", &opt.no_eval_cache},
       {"--no-zero-copy", &opt.no_zero_copy},
       {"--no-screen", &opt.no_screen},
+      {"--verify-restore", &opt.verify_restore},
+      {"--validate-invariants", &opt.validate_invariants},
   };
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -142,6 +196,9 @@ Result<Options> ParseArgs(int argc, char** argv) {
     } else if (flag == "--seed") {
       URR_ASSIGN_OR_RETURN(std::string v, need_value());
       opt.seed = static_cast<uint64_t>(std::atoll(v.c_str()));
+    } else if (flag == "--fault-seed") {
+      URR_ASSIGN_OR_RETURN(std::string v, need_value());
+      opt.fault_seed = static_cast<uint64_t>(std::atoll(v.c_str()));
     } else {
       return Status::InvalidArgument("unknown flag: " + flag);
     }
@@ -156,6 +213,48 @@ Status WriteFile(const std::string& path, const std::string& content) {
   std::fclose(f);
   if (written != content.size()) return Status::IOError("short write " + path);
   return Status::OK();
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::string content;
+  char buf[1 << 16];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, got);
+  }
+  std::fclose(f);
+  return content;
+}
+
+/// Byte-compares two serialized event logs; on divergence prints the first
+/// differing event (line) of each and returns Internal.
+Status CompareLogs(const std::string& want, const std::string& got,
+                   const std::string& what) {
+  if (want == got) return Status::OK();
+  size_t line = 1;
+  size_t wi = 0;
+  size_t gi = 0;
+  while (wi < want.size() || gi < got.size()) {
+    const size_t we = std::min(want.find('\n', wi), want.size());
+    const size_t ge = std::min(got.find('\n', gi), got.size());
+    const std::string wline = want.substr(wi, we - wi);
+    const std::string gline = got.substr(gi, ge - gi);
+    if (wline != gline) {
+      std::fprintf(stderr,
+                   "%s diverged at event %zu:\n  expected: %s\n  got:      %s\n",
+                   what.c_str(), line,
+                   wline.empty() ? "<end of log>" : wline.c_str(),
+                   gline.empty() ? "<end of log>" : gline.c_str());
+      return Status::Internal(what + " diverged at event " +
+                              std::to_string(line));
+    }
+    wi = we + 1;
+    gi = ge + 1;
+    ++line;
+  }
+  return Status::Internal(what + " diverged");
 }
 
 Status Run(const Options& opt) {
@@ -190,8 +289,23 @@ Status Run(const Options& opt) {
   wopt.arrival_rate = opt.arrival_rate;
   wopt.cancel_fraction = opt.cancel_fraction;
   wopt.cancel_delay_mean = opt.cancel_delay;
-  const StreamingWorkload workload =
+  StreamingWorkload workload =
       MakeStreamingWorkload(world->instance, wopt, &world->rng);
+  if (opt.breakdown_fraction > 0 || opt.no_show_fraction > 0 ||
+      opt.edge_faults > 0) {
+    FaultPlanOptions fopt;
+    fopt.breakdown_fraction = opt.breakdown_fraction;
+    fopt.no_show_fraction = opt.no_show_fraction;
+    fopt.num_edge_faults = opt.edge_faults;
+    fopt.closure_fraction = opt.closure_fraction;
+    fopt.slowdown_factor = opt.slowdown_factor;
+    fopt.edge_fault_mean_duration = opt.fault_duration;
+    // A dedicated seed keeps the fault plan independent of how much
+    // entropy world/workload generation consumed.
+    Rng fault_rng(opt.fault_seed != 0 ? opt.fault_seed
+                                      : opt.seed ^ 0x9e3779b97f4a7c15ULL);
+    workload.faults = MakeFaultPlan(workload, fopt, &fault_rng);
+  }
 
   UtilityModel model(&workload.instance,
                      UtilityParams{cfg.alpha, cfg.beta});
@@ -207,11 +321,20 @@ Status Run(const Options& opt) {
   ecfg.seed = opt.seed;
   ecfg.use_eval_cache = !opt.no_eval_cache;
   ecfg.gbs = cfg.gbs;
+  ecfg.max_redispatch = opt.max_redispatch;
+  ecfg.redispatch_backoff = opt.redispatch_backoff;
+  ecfg.checkpoint_every = opt.checkpoint_every;
+  ecfg.validate_invariants = opt.validate_invariants;
   if (solver == WindowSolver::kGbsEg || solver == WindowSolver::kGbsBa) {
     URR_ASSIGN_OR_RETURN(ecfg.gbs_preprocess, world->GbsPreprocessing());
   }
 
   DispatchEngine engine(&workload, &ctx, ecfg);
+  if (!opt.restore_path.empty()) {
+    URR_ASSIGN_OR_RETURN(std::string snapshot, ReadFile(opt.restore_path));
+    URR_RETURN_NOT_OK(engine.Restore(snapshot));
+    std::printf("restored from %s\n", opt.restore_path.c_str());
+  }
   URR_RETURN_NOT_OK(engine.Run());
   const EngineMetrics& m = engine.metrics();
 
@@ -243,6 +366,21 @@ Status Run(const Options& opt) {
         static_cast<long long>(m.eval_cache_misses),
         static_cast<long long>(m.screened_pairs),
         static_cast<long long>(m.elided_queries));
+    if (m.total_breakdowns + m.total_no_shows + m.total_edge_disruptions >
+        0) {
+      std::printf(
+          "faults: %d breakdowns, %d no-shows, %d/%d edge disruptions/"
+          "restores; %d re-dispatched, %d abandoned, %d deadlines relaxed\n",
+          m.total_breakdowns, m.total_no_shows, m.total_edge_disruptions,
+          m.total_edge_restores, m.total_redispatched, m.total_abandoned,
+          m.total_deadline_relaxed);
+      std::printf(
+          "overlay: %lld queries while disrupted, %lld settled by Euclid "
+          "bounds, %lld exact fallbacks\n",
+          static_cast<long long>(m.overlay_queries),
+          static_cast<long long>(m.overlay_euclid_screened),
+          static_cast<long long>(m.overlay_fallbacks));
+    }
   }
 
   if (!opt.log_path.empty()) {
@@ -250,20 +388,53 @@ Status Run(const Options& opt) {
     std::printf("event log (%zu events) written to %s\n",
                 engine.event_log().size(), opt.log_path.c_str());
   }
+  if (!opt.checkpoint_file.empty()) {
+    for (size_t k = 0; k < engine.checkpoints().size(); ++k) {
+      const std::string path =
+          opt.checkpoint_file + "." + std::to_string(k);
+      URR_RETURN_NOT_OK(WriteFile(path, engine.checkpoints()[k].second));
+      std::printf("checkpoint at t=%.0f written to %s\n",
+                  engine.checkpoints()[k].first, path.c_str());
+    }
+  }
+
+  if (!opt.expect_log_path.empty()) {
+    URR_ASSIGN_OR_RETURN(std::string expected, ReadFile(opt.expect_log_path));
+    URR_RETURN_NOT_OK(CompareLogs(expected, engine.SerializedLog(),
+                                  "log vs " + opt.expect_log_path));
+    std::printf("log matches %s\n", opt.expect_log_path.c_str());
+  }
 
   if (opt.verify_replay) {
     URR_ASSIGN_OR_RETURN(StreamingWorkload replayed,
                          WorkloadFromLog(workload, engine.event_log()));
     DispatchEngine second(&replayed, &ctx, ecfg);
     URR_RETURN_NOT_OK(second.Run());
-    if (second.SerializedLog() != engine.SerializedLog()) {
-      return Status::Internal("replay diverged: event logs differ");
-    }
+    URR_RETURN_NOT_OK(
+        CompareLogs(engine.SerializedLog(), second.SerializedLog(), "replay"));
     if (second.SolutionFingerprint() != engine.SolutionFingerprint()) {
       return Status::Internal("replay diverged: final fleet state differs");
     }
     std::printf("replay verified: %zu events and final fleet state match\n",
                 engine.event_log().size());
+  }
+
+  if (opt.verify_restore) {
+    for (size_t k = 0; k < engine.checkpoints().size(); ++k) {
+      DispatchEngine resumed(&workload, &ctx, ecfg);
+      URR_RETURN_NOT_OK(resumed.Restore(engine.checkpoints()[k].second));
+      URR_RETURN_NOT_OK(resumed.Run());
+      URR_RETURN_NOT_OK(CompareLogs(
+          engine.SerializedLog(), resumed.SerializedLog(),
+          "restore from checkpoint " + std::to_string(k)));
+      if (resumed.SolutionFingerprint() != engine.SolutionFingerprint()) {
+        return Status::Internal("restore from checkpoint " +
+                                std::to_string(k) +
+                                " diverged: final fleet state differs");
+      }
+    }
+    std::printf("restore verified: %zu checkpoint(s) reproduce the run\n",
+                engine.checkpoints().size());
   }
   return Status::OK();
 }
