@@ -4,6 +4,8 @@
 // Jaccard similarity.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include <cstdio>
 
 #include "common/env.h"
@@ -15,6 +17,7 @@
 #include "routing/bidirectional.h"
 #include "routing/distance_oracle.h"
 #include "routing/hub_labels.h"
+#include "routing/index_snapshot.h"
 #include "sched/insertion.h"
 #include "sched/kinetic_tree.h"
 #include "cover/kspc.h"
@@ -377,6 +380,63 @@ int EmitOracleSnapshot(const std::string& path) {
   const double batched_ch_s = measure(ew.oracle.get(), /*batch_eval=*/true);
   const double batched_hl_s = measure(hl->get(), /*batch_eval=*/true);
 
+  // Index-construction rows: the full preprocessing pipeline (CH contraction
+  // + hub-label extraction, both timed separately) at 1, 2 and 8 threads —
+  // all three builds are bit-identical — plus the .urrx snapshot save/load
+  // round trip, whose load time is the engine's cold-start cost.
+  struct BuildRow {
+    int threads;
+    double contract_s;
+    double label_s;
+  };
+  std::vector<BuildRow> rows;
+  IndexSnapshot snapshot;
+  for (const int threads : {1, 2, 8}) {
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+    ChOptions options;
+    options.pool = pool.get();
+    IndexBuildStats stats;
+    double best_contract = 1e300, best_label = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      auto snap = BuildIndexSnapshot(w.network, options, &stats);
+      if (!snap.ok()) {
+        std::fprintf(stderr, "index build failed: %s\n",
+                     snap.status().ToString().c_str());
+        return 1;
+      }
+      best_contract = std::min(best_contract, stats.ch_contract_seconds);
+      best_label = std::min(best_label, stats.hl_label_seconds);
+      if (threads == 1) snapshot = *std::move(snap);
+    }
+    rows.push_back({threads, best_contract, best_label});
+  }
+  const std::string urrx_path = path + ".urrx";
+  double save_s = 0, load_s = 0;
+  {
+    Stopwatch t;
+    if (!SaveIndexSnapshot(snapshot, urrx_path).ok()) {
+      std::fprintf(stderr, "cannot save %s\n", urrx_path.c_str());
+      return 1;
+    }
+    save_s = t.ElapsedSeconds();
+    double best = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      Stopwatch lt;
+      auto loaded = LoadIndexSnapshot(urrx_path);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "cannot load %s\n", urrx_path.c_str());
+        return 1;
+      }
+      benchmark::DoNotOptimize(loaded->hub_labels.num_entries());
+      best = std::min(best, lt.ElapsedSeconds());
+    }
+    load_s = best;
+    std::remove(urrx_path.c_str());
+  }
+  const double serial_build_s = rows[0].contract_s + rows[0].label_s;
+  const double cold_start_speedup = load_s > 0 ? serial_build_s / load_s : 0;
+
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -393,18 +453,37 @@ int EmitOracleSnapshot(const std::string& path) {
                "  \"scalar_ch_seconds\": %.6f,\n"
                "  \"batched_ch_seconds\": %.6f,\n"
                "  \"batched_hl_seconds\": %.6f,\n"
-               "  \"speedup_batched_hl_vs_scalar_ch\": %.2f\n"
-               "}\n",
+               "  \"speedup_batched_hl_vs_scalar_ch\": %.2f,\n"
+               "  \"index_build\": [\n",
                w.network.num_nodes(),
                static_cast<int>(ew.instance.riders.size()),
                static_cast<int>(ew.instance.vehicles.size()), ew.pairs.size(),
                hl_prep_s, scalar_ch_s, batched_ch_s, batched_hl_s,
                scalar_ch_s / batched_hl_s);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"threads\": %d, \"ch_contract_seconds\": %.6f, "
+                 "\"hl_label_seconds\": %.6f}%s\n",
+                 rows[i].threads, rows[i].contract_s, rows[i].label_s,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n"
+               "  \"snapshot_save_seconds\": %.6f,\n"
+               "  \"snapshot_load_seconds\": %.6f,\n"
+               "  \"cold_start_speedup_vs_rebuild\": %.1f\n"
+               "}\n",
+               save_s, load_s, cold_start_speedup);
   std::fclose(f);
   std::printf("wrote %s: scalar CH %.3fms, batched CH %.3fms, batched HL "
               "%.3fms (%.1fx)\n",
               path.c_str(), scalar_ch_s * 1e3, batched_ch_s * 1e3,
               batched_hl_s * 1e3, scalar_ch_s / batched_hl_s);
+  std::printf("index build: serial %.3fs (contract %.3fs + labels %.3fs), "
+              "8-thread contract %.3fs; snapshot load %.3fs (%.0fx cold-start "
+              "speedup)\n",
+              serial_build_s, rows[0].contract_s, rows[0].label_s,
+              rows[2].contract_s, load_s, cold_start_speedup);
   return 0;
 }
 

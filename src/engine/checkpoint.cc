@@ -26,7 +26,12 @@ namespace urr {
 namespace {
 
 constexpr char kMagic[] = "urrckpt";
-constexpr int kVersion = 1;
+// Version history:
+//   1 — original format (PR 5).
+//   2 — adds the "index" provenance line (snapshot checksum + path) right
+//       after the header. Restore still accepts version 1 when the engine
+//       was not configured with a snapshot.
+constexpr int kVersion = 2;
 
 void AppendNum(std::string* out, double v) {
   char buf[40];
@@ -77,6 +82,13 @@ std::string DispatchEngine::Checkpoint() const {
   std::string out = kMagic;
   out += " ";
   AppendInt(&out, kVersion);
+  // Index-snapshot provenance: checksum then path ("-" when the routing
+  // stack was built fresh). The path is the remainder of the line.
+  out += "\nindex ";
+  out += std::to_string(config_.index_snapshot_checksum);
+  out += " ";
+  out += config_.index_snapshot_path.empty() ? "-"
+                                             : config_.index_snapshot_path;
   out += "\nclock ";
   AppendNum(&out, instance_.now);
   out += " ";
@@ -291,9 +303,34 @@ Status DispatchEngine::Restore(const std::string& checkpoint) {
     return Status::InvalidArgument("not a checkpoint (missing '" +
                                    std::string(kMagic) + "' header)");
   }
-  if (version != kVersion) {
+  if (version != kVersion && version != 1) {
     return Status::InvalidArgument("unsupported checkpoint version " +
                                    std::to_string(version));
+  }
+  if (version >= 2) {
+    URR_RETURN_NOT_OK(ExpectTag(in, "index"));
+    uint64_t checksum = 0;
+    std::string path;
+    in >> checksum;
+    std::getline(in, path);
+    URR_RETURN_NOT_OK(CheckStream(in, "index"));
+    if (!path.empty() && path.front() == ' ') path.erase(0, 1);
+    if (path == "-") path.clear();
+    if (path != config_.index_snapshot_path ||
+        checksum != config_.index_snapshot_checksum) {
+      return Status::InvalidArgument(
+          "checkpoint was taken against index snapshot '" + path +
+          "' (checksum " + std::to_string(checksum) +
+          ") but this engine uses '" + config_.index_snapshot_path +
+          "' (checksum " +
+          std::to_string(config_.index_snapshot_checksum) +
+          "); replaying across different preprocessing is unsafe");
+    }
+  } else if (!config_.index_snapshot_path.empty()) {
+    return Status::InvalidArgument(
+        "version-1 checkpoint carries no index provenance but this engine "
+        "was loaded from snapshot '" +
+        config_.index_snapshot_path + "'");
   }
   URR_RETURN_NOT_OK(ExpectTag(in, "clock"));
   URR_RETURN_NOT_OK(ReadNum(in, &instance_.now));

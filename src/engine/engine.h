@@ -87,6 +87,13 @@ struct EngineConfig {
   /// solve, when the engine is quiescent). 0 disables. Checkpoints are
   /// returned by checkpoints(); Restore() resumes a fresh engine from one.
   int checkpoint_every = 0;
+  /// Provenance of the .urrx index snapshot the routing stack was loaded
+  /// from (empty/0 = the stack was built fresh). Recorded in every
+  /// checkpoint; Restore() refuses a checkpoint whose recorded snapshot
+  /// disagrees with the restoring engine's — replaying against different
+  /// preprocessing would silently diverge.
+  std::string index_snapshot_path;
+  uint64_t index_snapshot_checksum = 0;
   /// Run the full live-state invariant check (per-schedule Lemma 3.1
   /// validation + assignment/terminal-state consistency) after every window
   /// solve and every fault repair; Run() fails on the first violation.

@@ -3,6 +3,7 @@
 #include "common/env.h"
 #include "common/stopwatch.h"
 #include "graph/generators.h"
+#include "routing/index_snapshot.h"
 #include "trips/trip_generator.h"
 #include "urr/bilateral.h"
 #include "urr/cost_first.h"
@@ -43,12 +44,45 @@ Result<std::unique_ptr<ExperimentWorld>> BuildWorld(
     }
   }
 
+  // --- Evaluation pool (created before the oracle stack so the CH / HL
+  // construction parallelizes on it; build results are bit-identical at any
+  // thread count).
+  const int threads =
+      config.num_threads > 0 ? config.num_threads : NumThreads();
+  if (threads > 1) world->pool = std::make_unique<ThreadPool>(threads);
+
   // --- Routing oracle stack (config / URR_ORACLE; default CH + memo cache).
   const std::string oracle_name =
       config.oracle.empty() ? OracleName() : config.oracle;
   URR_ASSIGN_OR_RETURN(OracleKind oracle_kind, ParseOracleKind(oracle_name));
-  URR_ASSIGN_OR_RETURN(world->oracles,
-                       BuildOracleStack(world->network, oracle_kind));
+  if (!config.index_snapshot.empty()) {
+    URR_ASSIGN_OR_RETURN(IndexSnapshot snapshot,
+                         LoadIndexSnapshot(config.index_snapshot));
+    // The snapshot must describe this exact network, byte for byte —
+    // preprocessing for a different graph would silently corrupt every
+    // distance downstream.
+    BinaryWriter want, got;
+    world->network.Serialize(&want);
+    snapshot.network.Serialize(&got);
+    if (want.buffer() != got.buffer()) {
+      return Status::InvalidArgument(
+          "index snapshot '" + config.index_snapshot +
+          "' was built for a different network than this configuration "
+          "generates");
+    }
+    URR_ASSIGN_OR_RETURN(
+        world->oracles,
+        OracleStackFromParts(world->network, std::move(snapshot.ch),
+                             std::move(snapshot.hub_labels), oracle_kind));
+    URR_ASSIGN_OR_RETURN(world->index_checksum,
+                         IndexSnapshotFileChecksum(config.index_snapshot));
+  } else {
+    ChOptions ch_options;
+    ch_options.pool = world->pool.get();
+    URR_ASSIGN_OR_RETURN(
+        world->oracles,
+        BuildOracleStack(world->network, oracle_kind, ch_options));
+  }
 
   // --- Geo-social substrate. -----------------------------------------------
   SocialGenOptions social_opt;
@@ -109,13 +143,10 @@ Result<std::unique_ptr<ExperimentWorld>> BuildWorld(
       std::make_unique<VehicleIndex>(world->network, locations);
   world->max_speed = world->network.MaxSpeed();
 
-  // --- Evaluation pool. ----------------------------------------------------
+  // --- Evaluation-pool wiring. ---------------------------------------------
   // Worker 0 (the caller) keeps the shared caching oracle; workers 1..T-1
   // get independent clones. Results are bit-identical at any thread count.
-  const int threads =
-      config.num_threads > 0 ? config.num_threads : NumThreads();
-  if (threads > 1) {
-    world->pool = std::make_unique<ThreadPool>(threads);
+  if (world->pool != nullptr) {
     SolverContext wiring;
     wiring.oracle = world->oracles.active;
     AttachThreadPool(&wiring, world->pool.get());

@@ -54,8 +54,15 @@ struct ExperimentConfig {
 
   /// Evaluation threads for the solvers (candidate evaluation + GBS group
   /// waves). 0 = take URR_THREADS from the environment; 1 = serial. Results
-  /// are bit-identical for every value.
+  /// are bit-identical for every value. The same pool also parallelizes the
+  /// CH contraction and hub-label extraction during BuildWorld.
   int num_threads = 0;
+
+  /// Path to a .urrx index snapshot. When set, the CH and hub labels are
+  /// loaded from it instead of rebuilt (the snapshot must match the
+  /// generated network exactly); queries are bitwise identical to a fresh
+  /// build. Empty = always build.
+  std::string index_snapshot;
 
   GbsOptions gbs;                 // k / d_max / auto_k for GBS runs
 };
@@ -84,6 +91,9 @@ struct ExperimentWorld {
   /// contexts copied out of Context() keep the clones alive).
   std::unique_ptr<ThreadPool> pool;
   std::shared_ptr<WorkerOracleSet> worker_set;
+  /// Whole-file FNV-1a checksum of config.index_snapshot when one was
+  /// loaded (0 otherwise); engine checkpoints record it as provenance.
+  uint64_t index_checksum = 0;
 
   /// Solver context wired to this world's members.
   SolverContext Context();

@@ -72,6 +72,83 @@ Result<RoadNetwork> RoadNetwork::Build(NodeId num_nodes,
   return g;
 }
 
+void RoadNetwork::Serialize(BinaryWriter* writer) const {
+  writer->WriteI32(num_nodes_);
+  writer->WriteU32(coords_.empty() ? 0 : 1);
+  writer->WriteVector(out_begin_);
+  writer->WriteVector(edge_to_);
+  writer->WriteVector(edge_cost_);
+  if (!coords_.empty()) {
+    static_assert(std::is_trivially_copyable_v<Coord> &&
+                  sizeof(Coord) == 2 * sizeof(double));
+    writer->WriteVector(coords_);
+  }
+}
+
+Result<RoadNetwork> RoadNetwork::Deserialize(BinaryReader* reader) {
+  int32_t n = 0;
+  uint32_t has_coords = 0;
+  URR_RETURN_NOT_OK(reader->ReadI32(&n));
+  URR_RETURN_NOT_OK(reader->ReadU32(&has_coords));
+  if (n < 0) {
+    return Status::InvalidArgument("network: negative node count");
+  }
+  if (has_coords > 1) {
+    return Status::InvalidArgument("network: bad coords flag");
+  }
+  const auto nu = static_cast<size_t>(n);
+  std::vector<int64_t> out_begin;
+  std::vector<NodeId> edge_to;
+  std::vector<Cost> edge_cost;
+  std::vector<Coord> coords;
+  URR_RETURN_NOT_OK(reader->ReadVector(&out_begin, nu + 1));
+  if (out_begin.size() != nu + 1) {
+    return Status::InvalidArgument("network: CSR offset array has " +
+                                   std::to_string(out_begin.size()) +
+                                   " entries, want " + std::to_string(nu + 1));
+  }
+  if (out_begin.front() != 0) {
+    return Status::InvalidArgument("network: CSR offsets must start at 0");
+  }
+  for (size_t v = 0; v < nu; ++v) {
+    if (out_begin[v + 1] < out_begin[v]) {
+      return Status::InvalidArgument(
+          "network: CSR offsets not monotone at node " + std::to_string(v));
+    }
+  }
+  const auto ne = static_cast<uint64_t>(out_begin.back());
+  URR_RETURN_NOT_OK(reader->ReadVector(&edge_to, ne));
+  URR_RETURN_NOT_OK(reader->ReadVector(&edge_cost, ne));
+  if (edge_to.size() != ne || edge_cost.size() != ne) {
+    return Status::InvalidArgument("network: edge arrays disagree with CSR");
+  }
+  if (has_coords == 1) {
+    URR_RETURN_NOT_OK(reader->ReadVector(&coords, nu));
+    if (coords.size() != nu) {
+      return Status::InvalidArgument("network: coords size != node count");
+    }
+    for (const Coord& c : coords) {
+      if (!std::isfinite(c.x) || !std::isfinite(c.y)) {
+        return Status::InvalidArgument("network: non-finite coordinate");
+      }
+    }
+  }
+  // Reassemble the edge list and go through Build: it revalidates endpoints
+  // and costs and rebuilds the reverse CSR with the same stable counting
+  // sort that produced the forward arrays, so re-serialization is
+  // byte-identical.
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(ne));
+  for (NodeId v = 0; v < n; ++v) {
+    for (int64_t i = out_begin[static_cast<size_t>(v)];
+         i < out_begin[static_cast<size_t>(v) + 1]; ++i) {
+      edges.push_back({v, edge_to[static_cast<size_t>(i)],
+                       edge_cost[static_cast<size_t>(i)]});
+    }
+  }
+  return Build(n, std::move(edges), std::move(coords));
+}
+
 Cost RoadNetwork::EdgeCost(NodeId u, NodeId v) const {
   Cost best = kInfiniteCost;
   auto heads = OutNeighbors(u);

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/binary_io.h"
 #include "common/result.h"
 #include "common/status.h"
 
@@ -109,6 +110,17 @@ class RoadNetwork {
   /// admissible travel-cost lower bounds: cost >= euclid / max_speed. Returns
   /// +inf when no coordinates. (Speed here is "euclid per cost unit".)
   double MaxSpeed() const;
+
+  /// Appends the network — node count, forward CSR (begin/to/cost) and
+  /// coordinates — to `writer` in the fixed-width .urrx encoding. The
+  /// reverse CSR is not stored; Deserialize rebuilds it (deterministically)
+  /// through Build, so serialize -> deserialize -> serialize is byte-stable.
+  void Serialize(BinaryWriter* writer) const;
+
+  /// Parses and fully validates a network written by Serialize: CSR bounds,
+  /// monotone offsets, in-range endpoints, finite non-negative costs and
+  /// finite coordinates. Any malformation returns an error Status.
+  static Result<RoadNetwork> Deserialize(BinaryReader* reader);
 
  private:
   NodeId num_nodes_ = 0;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <memory>
+
+#include "common/parallel_for.h"
 
 namespace urr {
 
@@ -102,9 +105,19 @@ struct Shortcut {
 
 /// Enumerates the shortcuts contraction of `v` would require. When `apply`
 /// is null the caller only wants the count (priority computation).
+///
+/// `strict_witness` controls how cost ties are resolved: sequential
+/// contraction may drop a shortcut whenever an equally-cheap witness exists
+/// (the witness is still in the graph when `v` goes away), but a frozen
+/// independent-set round must keep it — two same-round winners can witness
+/// each other's shortcut at exactly equal cost, and suppressing both loses
+/// the path entirely. Requiring a strictly cheaper witness breaks that
+/// symmetry: a chain of strictly-decreasing substitutions cannot cycle, so
+/// some surviving path always realizes the distance.
 int SimulateContraction(const Overlay& overlay, NodeId v, WitnessSearch* witness,
                         const ChOptions& options,
-                        std::vector<Shortcut>* apply) {
+                        std::vector<Shortcut>* apply,
+                        bool strict_witness = false) {
   int shortcuts = 0;
   for (const auto& ein : overlay.in[static_cast<size_t>(v)]) {
     const NodeId u = ein.to;
@@ -115,7 +128,8 @@ int SimulateContraction(const Overlay& overlay, NodeId v, WitnessSearch* witness
       const Cost via = ein.cost + eout.cost;
       const Cost alt = witness->Run(overlay, u, w, v, via,
                                     options.witness_settle_limit);
-      if (alt <= via) continue;  // witness path exists, no shortcut needed
+      // Witness path exists, no shortcut needed.
+      if (strict_witness ? alt < via : alt <= via) continue;
       ++shortcuts;
       if (apply != nullptr) apply->push_back({u, w, via, v});
     }
@@ -258,13 +272,157 @@ Result<ContractionHierarchy> ContractionHierarchy::Build(
     }
   };
 
-  const bool geometric = options.order == ChOrderStrategy::kGeometric;
-  if (geometric) {
+  const ChOrderStrategy strategy = options.order == ChOrderStrategy::kAuto
+                                       ? ChOrderStrategy::kParallelRounds
+                                       : options.order;
+  if (strategy == ChOrderStrategy::kGeometric) {
     // Fixed nested-dissection order: contract in sequence, no priority.
     for (NodeId v : GeometricOrder(network)) {
       shortcuts.clear();
       SimulateContraction(overlay, v, &witness, options, &shortcuts);
       contract(v);
+    }
+  } else if (strategy == ChOrderStrategy::kParallelRounds) {
+    // Independent-set rounds. Each round freezes the overlay; priorities,
+    // the local-minimum selection and the shortcut simulations are all pure
+    // functions of that frozen state, computed into per-index slots, so the
+    // result is bit-identical at any thread count. Shortcuts of the round's
+    // winners are then applied serially in (priority, id) order.
+    //
+    // Correctness of the frozen-state simulation: two adjacent nodes are
+    // never both selected (the (priority, id) comparison is a strict total
+    // order), so no edge incident to a winner is touched by another winner
+    // in the same round. A witness path found on the frozen overlay may run
+    // through other same-round winners, so a shortcut is only omitted when
+    // the witness is STRICTLY cheaper (strict_witness below): each removed
+    // node on the witness is then replaced by its own shortcuts at equal
+    // cost or by a strictly cheaper witness in turn, and a chain of strict
+    // decreases cannot cycle back. With the sequential tie rule (<=) two
+    // equal-cost winners can witness each other and both paths vanish.
+    ThreadPool* pool = options.pool;
+    const int workers =
+        pool != nullptr ? std::max(pool->num_threads(), 1) : 1;
+    std::vector<std::unique_ptr<WitnessSearch>> worker_witness;
+    worker_witness.reserve(static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      worker_witness.push_back(std::make_unique<WitnessSearch>(nu));
+    }
+
+    std::vector<int64_t> prio(nu, 0);
+    std::vector<NodeId> remaining(nu);
+    for (NodeId v = 0; v < n; ++v) remaining[static_cast<size_t>(v)] = v;
+    ParallelFor(pool, static_cast<int64_t>(remaining.size()),
+                [&](int64_t i, int w) {
+                  const NodeId v = remaining[static_cast<size_t>(i)];
+                  const int sc = SimulateContraction(
+                      overlay, v, worker_witness[static_cast<size_t>(w)].get(),
+                      options, nullptr, /*strict_witness=*/true);
+                  prio[static_cast<size_t>(v)] =
+                      Priority(overlay, v, sc, 0, options);
+                });
+
+    // (priority, id) strict ordering shared by selection and rank order.
+    auto before = [&](NodeId a, NodeId b) {
+      const int64_t pa = prio[static_cast<size_t>(a)];
+      const int64_t pb = prio[static_cast<size_t>(b)];
+      return pa != pb ? pa < pb : a < b;
+    };
+
+    std::vector<uint8_t> win(nu, 0);
+    std::vector<uint8_t> dirty(nu, 0);
+    std::vector<NodeId> selected;
+    std::vector<NodeId> dirty_list;
+    std::vector<std::vector<Shortcut>> node_shortcuts;
+    while (!remaining.empty()) {
+      // Selection: v wins iff it precedes every uncontracted neighbor.
+      ParallelFor(
+          pool, static_cast<int64_t>(remaining.size()), [&](int64_t i, int) {
+            const NodeId v = remaining[static_cast<size_t>(i)];
+            bool ok = true;
+            for (const auto& e : overlay.in[static_cast<size_t>(v)]) {
+              if (e.to != v && !overlay.contracted[static_cast<size_t>(e.to)] &&
+                  before(e.to, v)) {
+                ok = false;
+                break;
+              }
+            }
+            if (ok) {
+              for (const auto& e : overlay.out[static_cast<size_t>(v)]) {
+                if (e.to != v &&
+                    !overlay.contracted[static_cast<size_t>(e.to)] &&
+                    before(e.to, v)) {
+                  ok = false;
+                  break;
+                }
+              }
+            }
+            win[static_cast<size_t>(v)] = ok ? 1 : 0;
+          });
+      selected.clear();
+      for (const NodeId v : remaining) {
+        if (win[static_cast<size_t>(v)] != 0) selected.push_back(v);
+      }
+      assert(!selected.empty() && "the global (priority, id) minimum wins");
+      std::sort(selected.begin(), selected.end(), before);
+
+      node_shortcuts.assign(selected.size(), {});
+      ParallelFor(pool, static_cast<int64_t>(selected.size()),
+                  [&](int64_t i, int w) {
+                    SimulateContraction(
+                        overlay, selected[static_cast<size_t>(i)],
+                        worker_witness[static_cast<size_t>(w)].get(), options,
+                        &node_shortcuts[static_cast<size_t>(i)],
+                        /*strict_witness=*/true);
+                  });
+
+      // Serial application in (priority, id) order: ranks, shortcut edges,
+      // deleted-neighbor counts and the dirty set for re-prioritization.
+      for (size_t i = 0; i < selected.size(); ++i) {
+        const NodeId v = selected[i];
+        overlay.contracted[static_cast<size_t>(v)] = true;
+        rank[static_cast<size_t>(v)] = next_rank++;
+        for (const auto& s : node_shortcuts[i]) {
+          overlay.UpsertEdge(s.from, s.to, s.cost);
+          all_edges.push_back(s);
+        }
+        for (const auto& e : overlay.in[static_cast<size_t>(v)]) {
+          if (!overlay.contracted[static_cast<size_t>(e.to)]) {
+            ++deleted_neighbors[static_cast<size_t>(e.to)];
+            dirty[static_cast<size_t>(e.to)] = 1;
+          }
+        }
+        for (const auto& e : overlay.out[static_cast<size_t>(v)]) {
+          if (!overlay.contracted[static_cast<size_t>(e.to)]) {
+            ++deleted_neighbors[static_cast<size_t>(e.to)];
+            dirty[static_cast<size_t>(e.to)] = 1;
+          }
+        }
+      }
+
+      remaining.erase(
+          std::remove_if(remaining.begin(), remaining.end(),
+                         [&](NodeId v) {
+                           return overlay.contracted[static_cast<size_t>(v)];
+                         }),
+          remaining.end());
+      dirty_list.clear();
+      for (const NodeId v : remaining) {
+        if (dirty[static_cast<size_t>(v)] != 0) {
+          dirty_list.push_back(v);
+          dirty[static_cast<size_t>(v)] = 0;
+        }
+      }
+      ParallelFor(pool, static_cast<int64_t>(dirty_list.size()),
+                  [&](int64_t i, int w) {
+                    const NodeId v = dirty_list[static_cast<size_t>(i)];
+                    const int sc = SimulateContraction(
+                        overlay, v,
+                        worker_witness[static_cast<size_t>(w)].get(), options,
+                        nullptr, /*strict_witness=*/true);
+                    prio[static_cast<size_t>(v)] = Priority(
+                        overlay, v, sc,
+                        deleted_neighbors[static_cast<size_t>(v)], options);
+                  });
     }
   } else {
     using HeapEntry = std::pair<int64_t, NodeId>;
@@ -347,6 +505,107 @@ Result<ContractionHierarchy> ContractionHierarchy::Build(
   };
   pack(up, &ch.up_begin_, &ch.up_to_, &ch.up_cost_, &ch.up_middle_);
   pack(down, &ch.down_begin_, &ch.down_to_, &ch.down_cost_, &ch.down_middle_);
+  return ch;
+}
+
+void ContractionHierarchy::Serialize(BinaryWriter* writer) const {
+  writer->WriteI32(num_nodes_);
+  writer->WriteVector(rank_);
+  writer->WriteVector(up_begin_);
+  writer->WriteVector(up_to_);
+  writer->WriteVector(up_cost_);
+  writer->WriteVector(up_middle_);
+  writer->WriteVector(down_begin_);
+  writer->WriteVector(down_to_);
+  writer->WriteVector(down_cost_);
+  writer->WriteVector(down_middle_);
+}
+
+namespace {
+
+/// Validates one serialized CSR half of a hierarchy: array sizes agree,
+/// offsets are monotone from 0, heads and middles are in range, costs are
+/// finite and non-negative, and every stored edge climbs ranks (both
+/// halves store edges tail -> head with rank[head] > rank[tail]).
+Status ValidateChCsr(const char* what, NodeId n,
+                     const std::vector<int32_t>& rank,
+                     const std::vector<int64_t>& begin,
+                     const std::vector<NodeId>& to,
+                     const std::vector<Cost>& cost,
+                     const std::vector<NodeId>& middle) {
+  const auto nu = static_cast<size_t>(n);
+  auto err = [what](const std::string& msg) {
+    return Status::InvalidArgument(std::string("hierarchy ") + what + ": " +
+                                   msg);
+  };
+  if (begin.size() != nu + 1) return err("offset array size mismatch");
+  if (begin.front() != 0) return err("offsets must start at 0");
+  for (size_t v = 0; v < nu; ++v) {
+    if (begin[v + 1] < begin[v]) {
+      return err("offsets not monotone at node " + std::to_string(v));
+    }
+  }
+  const auto ne = static_cast<size_t>(begin.back());
+  if (to.size() != ne || cost.size() != ne || middle.size() != ne) {
+    return err("edge arrays disagree with offsets");
+  }
+  for (size_t v = 0; v < nu; ++v) {
+    for (int64_t i = begin[v]; i < begin[v + 1]; ++i) {
+      const NodeId w = to[static_cast<size_t>(i)];
+      const NodeId m = middle[static_cast<size_t>(i)];
+      if (w < 0 || w >= n) return err("edge head out of range");
+      if (m != kInvalidNode && (m < 0 || m >= n)) {
+        return err("shortcut middle out of range");
+      }
+      const Cost c = cost[static_cast<size_t>(i)];
+      if (!std::isfinite(c) || !(c >= 0)) {
+        return err("edge cost must be finite, non-negative");
+      }
+      if (rank[v] >= rank[static_cast<size_t>(w)]) {
+        return err("edge does not climb ranks at node " + std::to_string(v));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ContractionHierarchy> ContractionHierarchy::Deserialize(
+    BinaryReader* reader) {
+  ContractionHierarchy ch;
+  int32_t n = 0;
+  URR_RETURN_NOT_OK(reader->ReadI32(&n));
+  if (n < 0) return Status::InvalidArgument("hierarchy: negative node count");
+  ch.num_nodes_ = n;
+  const auto nu = static_cast<size_t>(n);
+  URR_RETURN_NOT_OK(reader->ReadVector(&ch.rank_, nu));
+  if (ch.rank_.size() != nu) {
+    return Status::InvalidArgument("hierarchy: rank array size mismatch");
+  }
+  std::vector<bool> seen(nu, false);
+  for (const int32_t r : ch.rank_) {
+    if (r < 0 || r >= n || seen[static_cast<size_t>(r)]) {
+      return Status::InvalidArgument("hierarchy: ranks are not a permutation");
+    }
+    seen[static_cast<size_t>(r)] = true;
+  }
+  // Edge counts are bounded by what the payload can physically hold; the
+  // per-read cap stops a corrupted length before any allocation.
+  const uint64_t max_edges = reader->remaining() / sizeof(NodeId);
+  URR_RETURN_NOT_OK(reader->ReadVector(&ch.up_begin_, nu + 1));
+  URR_RETURN_NOT_OK(reader->ReadVector(&ch.up_to_, max_edges));
+  URR_RETURN_NOT_OK(reader->ReadVector(&ch.up_cost_, max_edges));
+  URR_RETURN_NOT_OK(reader->ReadVector(&ch.up_middle_, max_edges));
+  URR_RETURN_NOT_OK(ValidateChCsr("up", n, ch.rank_, ch.up_begin_, ch.up_to_,
+                                  ch.up_cost_, ch.up_middle_));
+  URR_RETURN_NOT_OK(reader->ReadVector(&ch.down_begin_, nu + 1));
+  URR_RETURN_NOT_OK(reader->ReadVector(&ch.down_to_, max_edges));
+  URR_RETURN_NOT_OK(reader->ReadVector(&ch.down_cost_, max_edges));
+  URR_RETURN_NOT_OK(reader->ReadVector(&ch.down_middle_, max_edges));
+  URR_RETURN_NOT_OK(ValidateChCsr("down", n, ch.rank_, ch.down_begin_,
+                                  ch.down_to_, ch.down_cost_,
+                                  ch.down_middle_));
   return ch;
 }
 

@@ -11,22 +11,35 @@
 #include <span>
 #include <vector>
 
+#include "common/binary_io.h"
 #include "common/result.h"
 #include "graph/road_network.h"
 
 namespace urr {
 
+class ThreadPool;
+
 /// How the contraction order is chosen.
 enum class ChOrderStrategy {
-  /// Currently the lazy edge-difference priority (geometric separator
-  /// ordering creates dense top-level cliques whose contraction cost
-  /// explodes on city-scale grids; it remains available for small graphs).
+  /// Currently kParallelRounds: deterministic at any thread count and the
+  /// only strategy that parallelizes, so it serves both the serial and the
+  /// pooled build path.
   kAuto,
   /// Classic lazy edge-difference / deleted-neighbors priority queue.
+  /// Inherently sequential (every contraction reorders the heap).
   kPriority,
   /// Recursive geometric bisection; separator nodes contract last.
   /// Opt-in: reasonable only for networks below a few thousand nodes.
   kGeometric,
+  /// Independent-set rounds (stbuehler/ch_constructor style): each round
+  /// freezes the overlay, computes node priorities in parallel, contracts
+  /// every node whose (priority, id) is a strict local minimum among its
+  /// uncontracted neighbors, and applies the resulting shortcuts serially
+  /// in (priority, id) order. Every per-node computation is a pure function
+  /// of the frozen round state, so the contraction order, shortcut set and
+  /// final arrays are bit-identical at any thread count — including the
+  /// serial (pool == nullptr) execution.
+  kParallelRounds,
 };
 
 /// Build-time tuning knobs.
@@ -39,12 +52,21 @@ struct ChOptions {
   /// Weight of the deleted-neighbors term (keeps contraction uniform).
   int deleted_neighbors_weight = 2;
   ChOrderStrategy order = ChOrderStrategy::kAuto;
+  /// Worker pool for the kParallelRounds build (and the hub-label
+  /// extraction layered on top). Null or single-threaded = serial
+  /// execution of the identical algorithm; the built hierarchy is
+  /// bit-identical either way. Borrowed, not owned.
+  ThreadPool* pool = nullptr;
 };
 
 /// A built hierarchy. Build once per network with `Build`, then call
 /// `Distance` from any number of `ChQuery` instances.
 class ContractionHierarchy {
  public:
+  /// Constructs an empty (0-node) hierarchy; assign a Build() or
+  /// Deserialize() result to it.
+  ContractionHierarchy() = default;
+
   /// Preprocesses `network`. O(V log V)-ish in practice on road networks.
   static Result<ContractionHierarchy> Build(const RoadNetwork& network,
                                             const ChOptions& options = {});
@@ -57,11 +79,21 @@ class ContractionHierarchy {
   /// Contraction rank of a node (0 = contracted first).
   int32_t rank(NodeId v) const { return rank_[static_cast<size_t>(v)]; }
 
+  /// Appends every array of the hierarchy (ranks, both CSR halves with
+  /// shortcut middles) to `writer` in the fixed-width .urrx encoding.
+  void Serialize(BinaryWriter* writer) const;
+
+  /// Parses and fully validates a hierarchy written by Serialize: rank
+  /// permutation, monotone CSR offsets, in-range endpoints and middles,
+  /// finite non-negative costs, and the rank-ordering invariant of both
+  /// halves. Any malformation returns an error Status.
+  static Result<ContractionHierarchy> Deserialize(BinaryReader* reader);
+
  private:
   friend class ChQuery;
   friend class ChManyToMany;
   friend class HubLabels;
-  ContractionHierarchy() = default;
+  friend class HubLabelUpwardSearcher;  // label extraction's search scratch
 
   NodeId num_nodes_ = 0;
   std::vector<int32_t> rank_;

@@ -87,6 +87,10 @@ Result<std::unique_ptr<ChOracle>> ChOracle::Create(const RoadNetwork& network,
   return std::unique_ptr<ChOracle>(new ChOracle(std::move(ch)));
 }
 
+std::unique_ptr<ChOracle> ChOracle::FromHierarchy(ContractionHierarchy ch) {
+  return std::unique_ptr<ChOracle>(new ChOracle(std::move(ch)));
+}
+
 Cost ChOracle::Distance(NodeId u, NodeId v) {
   ++num_calls_;
   return query_.Distance(u, v);

@@ -85,6 +85,8 @@ class ChOracle : public DistanceOracle {
   /// Builds the hierarchy for `network` (keeps no reference to it afterwards).
   static Result<std::unique_ptr<ChOracle>> Create(const RoadNetwork& network,
                                                   const ChOptions& options = {});
+  /// Wraps an already-built (e.g. snapshot-loaded) hierarchy.
+  static std::unique_ptr<ChOracle> FromHierarchy(ContractionHierarchy ch);
   Cost Distance(NodeId u, NodeId v) override;
   /// Bucket-based many-to-many (see ChManyToMany); bitwise identical to
   /// scalar queries.

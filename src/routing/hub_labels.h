@@ -22,11 +22,22 @@ namespace urr {
 /// query from any number of threads (all queries are const).
 class HubLabels {
  public:
+  /// Constructs an empty (0-node) store; assign a Build() or Deserialize()
+  /// result to it.
+  HubLabels() = default;
+
   /// Extracts labels from a built hierarchy: for each node, one complete
   /// upward search per direction (same relax + stall-on-demand rules as
   /// ChQuery), processed in descending rank order so entries dominated via
   /// an already-labeled higher hub are pruned exactly.
-  static Result<HubLabels> Build(const ContractionHierarchy& ch);
+  ///
+  /// With a pool, the searches — the dominant cost — run in parallel over
+  /// fixed-size rank blocks while the pruning pass stays serial in
+  /// descending rank order. Each search is a pure function of the (frozen)
+  /// hierarchy and the block size does not depend on the thread count, so
+  /// the labels are bit-identical to the serial build at any thread count.
+  static Result<HubLabels> Build(const ContractionHierarchy& ch,
+                                 ThreadPool* pool = nullptr);
 
   /// Exact shortest-path cost by merge-join over Lf(u) and Lb(v);
   /// kInfiniteCost when the labels share no hub.
@@ -70,9 +81,16 @@ class HubLabels {
             static_cast<size_t>(bwd_begin_[v + 1] - bwd_begin_[v])};
   }
 
- private:
-  HubLabels() = default;
+  /// Appends both CSR label stores to `writer` in the fixed-width .urrx
+  /// encoding.
+  void Serialize(BinaryWriter* writer) const;
 
+  /// Parses and fully validates labels written by Serialize: monotone CSR
+  /// offsets, hubs strictly ascending within every slice and in range,
+  /// finite non-negative costs. Any malformation returns an error Status.
+  static Result<HubLabels> Deserialize(BinaryReader* reader);
+
+ private:
   NodeId num_nodes_ = 0;
   // CSR label stores: hub ids ascending within each node's slice.
   std::vector<int64_t> fwd_begin_;  // size num_nodes+1
@@ -87,13 +105,14 @@ class HubLabels {
 /// clones, so Clone() is O(1) and the parallel evaluation path composes.
 class HubLabelOracle : public DistanceOracle {
  public:
-  /// Builds a hierarchy for `network`, extracts labels and discards the
-  /// hierarchy (labels are self-contained).
+  /// Builds a hierarchy for `network` (parallel when options.pool is set),
+  /// extracts labels and discards the hierarchy (labels are
+  /// self-contained).
   static Result<std::unique_ptr<HubLabelOracle>> Create(
       const RoadNetwork& network, const ChOptions& options = {});
   /// Extracts labels from an already-built hierarchy.
   static Result<std::unique_ptr<HubLabelOracle>> FromHierarchy(
-      const ContractionHierarchy& ch);
+      const ContractionHierarchy& ch, ThreadPool* pool = nullptr);
 
   explicit HubLabelOracle(std::shared_ptr<const HubLabels> labels)
       : labels_(std::move(labels)) {}
@@ -125,10 +144,20 @@ struct OracleStack {
 
 /// Builds the oracle stack for `kind`. kDijkstra keeps a reference to
 /// `network`, which must then outlive the stack; the CH/HL flavors keep no
-/// reference.
+/// reference. When options.pool is set the CH contraction and the HL label
+/// extraction run on it (bit-identical to the serial build).
 Result<OracleStack> BuildOracleStack(const RoadNetwork& network,
                                      OracleKind kind,
                                      const ChOptions& options = {});
+
+/// Assembles the oracle stack for `kind` from already-built (typically
+/// snapshot-loaded) parts instead of re-running preprocessing. Same
+/// lifetime contract as BuildOracleStack: only kDijkstra keeps a reference
+/// to `network`. `ch` is consumed by the kCh/kCachingCh kinds and `hl` by
+/// kHubLabel; the parts a kind does not need may be empty.
+Result<OracleStack> OracleStackFromParts(const RoadNetwork& network,
+                                         ContractionHierarchy ch,
+                                         HubLabels hl, OracleKind kind);
 
 }  // namespace urr
 

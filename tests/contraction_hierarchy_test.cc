@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <memory>
+
+#include "common/binary_io.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "graph/generators.h"
 #include "routing/bidirectional.h"
 #include "routing/dijkstra.h"
@@ -202,6 +207,69 @@ TEST(ChTest, RejectsBadOptions) {
   ChOptions opt;
   opt.witness_settle_limit = 0;
   EXPECT_FALSE(ContractionHierarchy::Build(*g, opt).ok());
+}
+
+TEST(ChParallelTest, SerializedBytesIdenticalAcrossThreadCounts) {
+  Rng rng(77);
+  GridCityOptions opt;
+  opt.width = 16;
+  opt.height = 12;
+  auto g = GenerateGridCity(opt, &rng);
+  ASSERT_TRUE(g.ok());
+
+  auto bytes_with_threads = [&](int threads) {
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+    ChOptions options;
+    options.pool = pool.get();
+    auto ch = ContractionHierarchy::Build(*g, options);
+    EXPECT_TRUE(ch.ok());
+    BinaryWriter writer;
+    ch->Serialize(&writer);
+    return writer.buffer();
+  };
+
+  const std::string serial = bytes_with_threads(1);
+  ASSERT_FALSE(serial.empty());
+  for (const int threads : {2, 8}) {
+    EXPECT_EQ(bytes_with_threads(threads), serial)
+        << "hierarchy built with " << threads
+        << " threads must be bit-identical to the serial build";
+  }
+}
+
+// Regression: simultaneous independent-set contraction with heavily tied
+// edge costs. Two same-round winners can witness each other's shortcut at
+// exactly equal cost; the round simulation must not let both suppress
+// (witness comparison must be strict), or the path disappears entirely and
+// queries silently overestimate.
+TEST(ChParallelTest, ExactOnHeavilyTiedCosts) {
+  Rng rng(20170512);
+  GridCityOptions opt;
+  opt.width = 12;
+  opt.height = 10;
+  auto g = GenerateGridCity(opt, &rng);
+  ASSERT_TRUE(g.ok());
+  std::vector<Edge> edges = g->EdgeList();
+  // Quantize coarsely: nearly every block edge collapses onto the same cost.
+  for (Edge& e : edges) e.cost = std::max(1.0, std::round(e.cost / 16.0)) * 16.0;
+  auto q = RoadNetwork::Build(g->num_nodes(), std::move(edges), g->coords());
+  ASSERT_TRUE(q.ok());
+
+  ChOptions options;
+  options.order = ChOrderStrategy::kParallelRounds;
+  auto ch = ContractionHierarchy::Build(*q, options);
+  ASSERT_TRUE(ch.ok());
+  ChQuery query(*ch);
+  DijkstraEngine ref(*q);
+  std::vector<NodeId> targets;
+  for (NodeId t = 0; t < q->num_nodes(); t += 5) targets.push_back(t);
+  for (NodeId s = 0; s < q->num_nodes(); s += 7) {
+    const std::vector<Cost> want = ref.Distances(s, targets);
+    for (size_t j = 0; j < targets.size(); ++j) {
+      ExpectDistanceEq(query.Distance(s, targets[j]), want[j], s, targets[j]);
+    }
+  }
 }
 
 TEST(BidirectionalTest, MatchesDijkstra) {

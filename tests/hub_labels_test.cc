@@ -4,9 +4,12 @@
 
 #include <cmath>
 #include <cstring>
+#include <memory>
 #include <vector>
 
+#include "common/binary_io.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "graph/dimacs.h"
 #include "graph/generators.h"
 #include "routing/distance_oracle.h"
@@ -194,6 +197,30 @@ TEST(HubLabelsTest, LabelsAreSortedAndCarrySelfEntries) {
       EXPECT_TRUE(has_self) << "node " << v;
     }
     EXPECT_EQ(BitsOf(labels.Distance(v, v)), BitsOf(Cost{0}));
+  }
+}
+
+TEST(HubLabelsTest, LabelBytesIdenticalAcrossThreadCounts) {
+  const RoadNetwork net = SmallCity(23, 16, 12);
+  auto ch = ContractionHierarchy::Build(net);
+  ASSERT_TRUE(ch.ok());
+
+  auto bytes_with_threads = [&](int threads) {
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+    auto hl = HubLabels::Build(*ch, pool.get());
+    EXPECT_TRUE(hl.ok());
+    BinaryWriter writer;
+    hl->Serialize(&writer);
+    return writer.buffer();
+  };
+
+  const std::string serial = bytes_with_threads(1);
+  ASSERT_FALSE(serial.empty());
+  for (const int threads : {2, 8}) {
+    EXPECT_EQ(bytes_with_threads(threads), serial)
+        << "labels extracted with " << threads
+        << " threads must be bit-identical to the serial extraction";
   }
 }
 

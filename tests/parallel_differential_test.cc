@@ -22,6 +22,7 @@
 #include "exp/harness.h"
 #include "graph/generators.h"
 #include "routing/hub_labels.h"
+#include "routing/index_snapshot.h"
 #include "urr/eval_cache.h"
 #include "urr/urr.h"
 
@@ -444,6 +445,73 @@ TEST(ParallelDifferentialTest, CityWorldsThreadInvariantUnderHubLabels) {
       EXPECT_EQ(serial, RunOnWorld(scenario.cfg, v, 8));
     }
   }
+}
+
+// --- Snapshot differential. ------------------------------------------------
+
+// The .urrx encoding of a city-scale index is byte-identical whether the
+// preprocessing ran serially or on 2 or 8 workers.
+TEST(ParallelDifferentialTest, IndexSnapshotBytesIdenticalAcrossThreadCounts) {
+  Rng rng(42);
+  auto net = GenerateNycLike(800, &rng);
+  ASSERT_TRUE(net.ok());
+  auto bytes_with_threads = [&](int threads) {
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+    ChOptions options;
+    options.pool = pool.get();
+    auto snap = BuildIndexSnapshot(*net, options);
+    EXPECT_TRUE(snap.ok()) << snap.status();
+    return SerializeIndexSnapshot(*snap);
+  };
+  const std::string serial = bytes_with_threads(1);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(bytes_with_threads(2), serial);
+  EXPECT_EQ(bytes_with_threads(8), serial);
+}
+
+// Full-pipeline differential for the snapshot load path: a harness world
+// whose oracle stack comes from a loaded .urrx file must solve to the same
+// bits as one that rebuilt the preprocessing from scratch, serial and
+// parallel.
+TEST(ParallelDifferentialTest, SnapshotLoadedWorldsIdenticalToFreshBuild) {
+  for (const CityScenario& scenario : CityScenarios()) {
+    // Build the snapshot for this scenario's network once.
+    auto world_or = BuildWorld(scenario.cfg);
+    ASSERT_TRUE(world_or.ok()) << world_or.status();
+    auto snap = BuildIndexSnapshot((*world_or)->network);
+    ASSERT_TRUE(snap.ok()) << snap.status();
+    const std::string path = ::testing::TempDir() + "/" + scenario.name +
+                             ".differential.urrx";
+    ASSERT_TRUE(SaveIndexSnapshot(*snap, path).ok());
+
+    ExperimentConfig loaded_cfg = scenario.cfg;
+    loaded_cfg.index_snapshot = path;
+    for (Variant v : {Variant::kEg, Variant::kGbsEgFilter}) {
+      SCOPED_TRACE(std::string(scenario.name) + " / " + VariantName(v));
+      const std::string fresh = RunOnWorld(scenario.cfg, v, 1);
+      ASSERT_FALSE(fresh.empty());
+      EXPECT_EQ(fresh, RunOnWorld(loaded_cfg, v, 1));
+      EXPECT_EQ(fresh, RunOnWorld(loaded_cfg, v, 8));
+    }
+  }
+}
+
+// A snapshot of the wrong network must be rejected loudly, not silently
+// produce distances for a different graph.
+TEST(ParallelDifferentialTest, SnapshotForDifferentNetworkIsRejected) {
+  Rng rng(5);
+  auto other = GenerateNycLike(300, &rng);
+  ASSERT_TRUE(other.ok());
+  auto snap = BuildIndexSnapshot(*other);
+  ASSERT_TRUE(snap.ok());
+  const std::string path = ::testing::TempDir() + "/wrong-network.urrx";
+  ASSERT_TRUE(SaveIndexSnapshot(*snap, path).ok());
+
+  ExperimentConfig cfg = CityScenarios()[0].cfg;
+  cfg.index_snapshot = path;
+  auto world = BuildWorld(cfg);
+  EXPECT_FALSE(world.ok());
 }
 
 // A pool whose oracle cannot clone must silently stay serial (and still be

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the urr_index CLI: build a small snapshot with 1 and 2
+# threads (byte-identical files required), inspect it, run the full verify
+# path with distance probes, and exercise the bench mode.
+set -euo pipefail
+
+URR_INDEX="$1"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+"$URR_INDEX" build --city grid --width 10 --height 8 --seed 7 \
+  --threads 1 --out "$DIR/a.urrx"
+"$URR_INDEX" build --city grid --width 10 --height 8 --seed 7 \
+  --threads 2 --out "$DIR/b.urrx"
+cmp "$DIR/a.urrx" "$DIR/b.urrx"
+
+"$URR_INDEX" info "$DIR/a.urrx"
+"$URR_INDEX" verify "$DIR/a.urrx" --probe 100
+
+"$URR_INDEX" bench --city grid --width 8 --height 8 --seed 3 \
+  --threads 1,2 --out "$DIR/bench.urrx"
+"$URR_INDEX" verify "$DIR/bench.urrx"
+
+# Corruption must be caught: flip one payload byte and expect a loud failure.
+python3 - "$DIR/a.urrx" <<'PY'
+import sys
+path = sys.argv[1]
+data = bytearray(open(path, "rb").read())
+data[200] ^= 0xFF
+open(path, "wb").write(bytes(data))
+PY
+if "$URR_INDEX" verify "$DIR/a.urrx" 2>/dev/null; then
+  echo "corrupted snapshot unexpectedly verified" >&2
+  exit 1
+fi
+echo "smoke OK"

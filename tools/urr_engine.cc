@@ -40,6 +40,7 @@ struct Options {
   double cancel_delay = 60;    // mean seconds from arrival to the request
   int max_queue = 0;           // admission control; 0 = unbounded
   std::string oracle;          // "" = URR_ORACLE env
+  std::string index_path;      // load CH/HL from this .urrx snapshot
   uint64_t seed = 42;
   int threads = 0;             // 0 = URR_THREADS env
   std::string log_path;        // dump the event log here
@@ -77,6 +78,10 @@ world:
   --riders M --vehicles N --capacity C
   --deadline-min MIN --deadline-max MIN   pickup deadline range (minutes)
   --oracle dijkstra|ch|caching|hl         distance oracle stack
+  --index FILE            load the CH + hub labels from a .urrx snapshot
+                          (build one with urr_index; must match the world's
+                          network — queries are bitwise identical to a
+                          fresh build, checkpoints record its checksum)
 
 streaming workload:
   --arrival-rate R        mean rider arrivals per second (Poisson)
@@ -134,6 +139,7 @@ Result<Options> ParseArgs(int argc, char** argv) {
       {"--city", &opt.city},
       {"--solver", &opt.solver},
       {"--oracle", &opt.oracle},
+      {"--index", &opt.index_path},
       {"--log", &opt.log_path},
       {"--expect-log", &opt.expect_log_path},
       {"--checkpoint-file", &opt.checkpoint_file},
@@ -280,6 +286,7 @@ Status Run(const Options& opt) {
   cfg.rt_min_minutes = opt.deadline_min_minutes;
   cfg.rt_max_minutes = opt.deadline_max_minutes;
   cfg.oracle = opt.oracle;
+  cfg.index_snapshot = opt.index_path;
   cfg.seed = opt.seed;
   cfg.num_threads = opt.threads;
   URR_ASSIGN_OR_RETURN(std::unique_ptr<ExperimentWorld> world,
@@ -325,6 +332,8 @@ Status Run(const Options& opt) {
   ecfg.redispatch_backoff = opt.redispatch_backoff;
   ecfg.checkpoint_every = opt.checkpoint_every;
   ecfg.validate_invariants = opt.validate_invariants;
+  ecfg.index_snapshot_path = opt.index_path;
+  ecfg.index_snapshot_checksum = world->index_checksum;
   if (solver == WindowSolver::kGbsEg || solver == WindowSolver::kGbsBa) {
     URR_ASSIGN_OR_RETURN(ecfg.gbs_preprocess, world->GbsPreprocessing());
   }

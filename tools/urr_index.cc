@@ -1,0 +1,346 @@
+// urr_index: build, inspect and verify .urrx routing-index snapshots (CSR
+// road network + contraction hierarchy + hub labels with per-section
+// checksums). A snapshot built once lets every later run (urr_engine
+// --index, ExperimentConfig::index_snapshot) cold-start in milliseconds
+// instead of re-contracting the network; the loaded index answers bitwise
+// the same distances as a fresh build.
+//
+// Examples:
+//   urr_index build --city nyc --nodes 4000 --seed 42 --threads 8
+//             --out nyc4k.urrx
+//   urr_index build --city grid --width 12 --height 10 --seed 7
+//             --quantize 0.25 --out golden.urrx
+//   urr_index info nyc4k.urrx
+//   urr_index verify nyc4k.urrx --probe 500
+//   urr_index bench --city nyc --nodes 4000 --threads 1,2,8
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "graph/generators.h"
+#include "routing/distance_oracle.h"
+#include "routing/index_snapshot.h"
+
+namespace urr {
+namespace {
+
+struct Options {
+  std::string mode;   // build | info | verify | bench
+  std::string path;   // snapshot file (positional, for info/verify)
+  std::string out;    // --out for build/bench
+  std::string city = "grid";  // nyc | chicago | grid
+  int nodes = 2000;           // nyc/chicago target size
+  int width = 16;             // grid dimensions
+  int height = 16;
+  uint64_t seed = 42;
+  double quantize = 0;        // snap edge costs to multiples of this; 0 = off
+  std::string threads = "1";  // build: one count; bench: comma list
+  int probe = 0;              // verify: CH-vs-HL probe pairs
+  bool help = false;
+};
+
+void PrintUsage() {
+  std::printf(R"(urr_index - .urrx routing-index snapshot tool
+
+modes:
+  build   generate a network, run CH contraction + hub-label extraction
+          (parallel with --threads; bit-identical at any count) and save
+  info    print a snapshot's sections, sizes and index statistics
+  verify  full load-path validation (header, geometry, checksums, structural
+          invariants); --probe N additionally cross-checks N random
+          CH-vs-hub-label distances for bitwise equality
+  bench   build at each thread count in --threads, require byte-identical
+          snapshots, and report build / save / load times
+
+world (build, bench):
+  --city nyc|chicago|grid   network preset
+  --nodes N                 target size of the nyc/chicago presets
+  --width W --height H      grid dimensions of the grid preset
+  --seed S                  generator seed
+  --quantize Q              snap edge costs to multiples of Q (exact doubles;
+                            makes query results bitwise comparable across
+                            oracle kinds)
+
+build:  --threads T --out FILE
+verify: urr_index verify FILE [--probe N]
+info:   urr_index info FILE
+bench:  --threads T1,T2,...  [--out FILE]
+
+)");
+}
+
+Result<Options> ParseArgs(int argc, char** argv) {
+  Options opt;
+  std::map<std::string, std::string*> strings = {
+      {"--city", &opt.city},
+      {"--out", &opt.out},
+      {"--threads", &opt.threads},
+  };
+  std::map<std::string, int*> ints = {
+      {"--nodes", &opt.nodes},
+      {"--width", &opt.width},
+      {"--height", &opt.height},
+      {"--probe", &opt.probe},
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--help" || flag == "-h") {
+      opt.help = true;
+      return opt;
+    }
+    auto need_value = [&]() -> Result<std::string> {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument(flag + " needs a value");
+      }
+      return std::string(argv[++i]);
+    };
+    if (auto it = strings.find(flag); it != strings.end()) {
+      URR_ASSIGN_OR_RETURN(*it->second, need_value());
+    } else if (auto nt = ints.find(flag); nt != ints.end()) {
+      URR_ASSIGN_OR_RETURN(std::string v, need_value());
+      *nt->second = std::atoi(v.c_str());
+    } else if (flag == "--seed") {
+      URR_ASSIGN_OR_RETURN(std::string v, need_value());
+      opt.seed = static_cast<uint64_t>(std::atoll(v.c_str()));
+    } else if (flag == "--quantize") {
+      URR_ASSIGN_OR_RETURN(std::string v, need_value());
+      opt.quantize = std::atof(v.c_str());
+    } else if (!flag.empty() && flag[0] == '-') {
+      return Status::InvalidArgument("unknown flag: " + flag);
+    } else if (opt.mode.empty()) {
+      opt.mode = flag;
+    } else if (opt.path.empty()) {
+      opt.path = flag;
+    } else {
+      return Status::InvalidArgument("unexpected argument: " + flag);
+    }
+  }
+  if (opt.mode.empty()) {
+    return Status::InvalidArgument("missing mode (build|info|verify|bench)");
+  }
+  return opt;
+}
+
+/// Generates the configured network, optionally snapping edge costs to
+/// multiples of --quantize (the rounded values are exact doubles, so sums
+/// over them are exact and query results are bitwise comparable).
+Result<RoadNetwork> MakeNetwork(const Options& opt) {
+  Rng rng(opt.seed);
+  RoadNetwork net;
+  if (opt.city == "nyc") {
+    URR_ASSIGN_OR_RETURN(net, GenerateNycLike(opt.nodes, &rng));
+  } else if (opt.city == "chicago") {
+    URR_ASSIGN_OR_RETURN(net, GenerateChicagoLike(opt.nodes, &rng));
+  } else if (opt.city == "grid") {
+    GridCityOptions g;
+    g.width = opt.width;
+    g.height = opt.height;
+    URR_ASSIGN_OR_RETURN(net, GenerateGridCity(g, &rng));
+  } else {
+    return Status::InvalidArgument("unknown --city " + opt.city +
+                                   " (expected nyc|chicago|grid)");
+  }
+  if (opt.quantize > 0) {
+    std::vector<Edge> edges = net.EdgeList();
+    for (Edge& e : edges) {
+      e.cost = std::round(e.cost / opt.quantize) * opt.quantize;
+    }
+    return RoadNetwork::Build(net.num_nodes(), std::move(edges),
+                              net.coords());
+  }
+  return net;
+}
+
+Result<std::vector<int>> ParseThreadList(const std::string& spec) {
+  std::vector<int> counts;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    const size_t comma = std::min(spec.find(',', pos), spec.size());
+    const std::string tok = spec.substr(pos, comma - pos);
+    const int t = std::atoi(tok.c_str());
+    if (t < 1) {
+      return Status::InvalidArgument("bad thread count '" + tok + "'");
+    }
+    counts.push_back(t);
+    pos = comma + 1;
+  }
+  if (counts.empty()) {
+    return Status::InvalidArgument("--threads list is empty");
+  }
+  return counts;
+}
+
+Result<IndexSnapshot> BuildWithThreads(const RoadNetwork& net, int threads,
+                                       IndexBuildStats* stats) {
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  ChOptions options;
+  options.pool = pool.get();
+  return BuildIndexSnapshot(net, options, stats);
+}
+
+Status RunBuild(const Options& opt) {
+  if (opt.out.empty()) {
+    return Status::InvalidArgument("build needs --out FILE");
+  }
+  URR_ASSIGN_OR_RETURN(std::vector<int> counts, ParseThreadList(opt.threads));
+  URR_ASSIGN_OR_RETURN(RoadNetwork net, MakeNetwork(opt));
+  std::printf("network: %d nodes, %lld edges\n", net.num_nodes(),
+              static_cast<long long>(net.num_edges()));
+  IndexBuildStats stats;
+  Stopwatch total;
+  URR_ASSIGN_OR_RETURN(IndexSnapshot snapshot,
+                       BuildWithThreads(net, counts.front(), &stats));
+  const double build_seconds = total.ElapsedSeconds();
+  URR_RETURN_NOT_OK(SaveIndexSnapshot(snapshot, opt.out));
+  URR_ASSIGN_OR_RETURN(uint64_t checksum, IndexSnapshotFileChecksum(opt.out));
+  std::printf(
+      "built with %d thread(s) in %.3fs (contract %.3fs, labels %.3fs)\n",
+      counts.front(), build_seconds, stats.ch_contract_seconds,
+      stats.hl_label_seconds);
+  std::printf("ch: %lld upward edges; hl: %lld entries (avg %.2f per label)\n",
+              static_cast<long long>(snapshot.ch.num_upward_edges()),
+              static_cast<long long>(snapshot.hub_labels.num_entries()),
+              snapshot.hub_labels.average_label_size());
+  std::printf("wrote %s (checksum %llu)\n", opt.out.c_str(),
+              static_cast<unsigned long long>(checksum));
+  return Status::OK();
+}
+
+Status RunInfo(const Options& opt) {
+  if (opt.path.empty()) return Status::InvalidArgument("info needs a FILE");
+  Stopwatch watch;
+  URR_ASSIGN_OR_RETURN(IndexSnapshot snapshot, LoadIndexSnapshot(opt.path));
+  const double load_seconds = watch.ElapsedSeconds();
+  URR_ASSIGN_OR_RETURN(uint64_t checksum,
+                       IndexSnapshotFileChecksum(opt.path));
+  std::printf("%s: .urrx version %u, checksum %llu, loaded in %.3fs\n",
+              opt.path.c_str(), kIndexSnapshotVersion,
+              static_cast<unsigned long long>(checksum), load_seconds);
+  std::printf("  graph: %d nodes, %lld edges (coords: %s)\n",
+              snapshot.network.num_nodes(),
+              static_cast<long long>(snapshot.network.num_edges()),
+              snapshot.network.has_coords() ? "yes" : "no");
+  std::printf("  ch:    %lld upward edges\n",
+              static_cast<long long>(snapshot.ch.num_upward_edges()));
+  std::printf("  hl:    %lld entries, avg label size %.2f\n",
+              static_cast<long long>(snapshot.hub_labels.num_entries()),
+              snapshot.hub_labels.average_label_size());
+  return Status::OK();
+}
+
+Status RunVerify(const Options& opt) {
+  if (opt.path.empty()) return Status::InvalidArgument("verify needs a FILE");
+  URR_ASSIGN_OR_RETURN(IndexSnapshot snapshot, LoadIndexSnapshot(opt.path));
+  std::printf("%s: header, section checksums and structural invariants OK\n",
+              opt.path.c_str());
+  if (opt.probe > 0) {
+    const NodeId n = snapshot.network.num_nodes();
+    if (n == 0) return Status::InvalidArgument("empty snapshot");
+    ChQuery query(snapshot.ch);
+    Rng rng(opt.seed);
+    for (int k = 0; k < opt.probe; ++k) {
+      const NodeId u = static_cast<NodeId>(rng.UniformInt(0, n - 1));
+      const NodeId v = static_cast<NodeId>(rng.UniformInt(0, n - 1));
+      const Cost ch_cost = query.Distance(u, v);
+      const Cost hl_cost = snapshot.hub_labels.Distance(u, v);
+      if (std::memcmp(&ch_cost, &hl_cost, sizeof(Cost)) != 0) {
+        return Status::Internal(
+            "probe " + std::to_string(k) + ": CH and hub labels disagree on (" +
+            std::to_string(u) + ", " + std::to_string(v) + "): " +
+            std::to_string(ch_cost) + " vs " + std::to_string(hl_cost));
+      }
+    }
+    std::printf("%d CH-vs-hub-label probes bitwise equal\n", opt.probe);
+  }
+  return Status::OK();
+}
+
+Status RunBench(const Options& opt) {
+  URR_ASSIGN_OR_RETURN(std::vector<int> counts, ParseThreadList(opt.threads));
+  URR_ASSIGN_OR_RETURN(RoadNetwork net, MakeNetwork(opt));
+  std::printf("network: %d nodes, %lld edges\n", net.num_nodes(),
+              static_cast<long long>(net.num_edges()));
+  std::string reference_bytes;
+  double serial_build_seconds = 0;
+  for (const int t : counts) {
+    IndexBuildStats stats;
+    Stopwatch watch;
+    URR_ASSIGN_OR_RETURN(IndexSnapshot snapshot,
+                         BuildWithThreads(net, t, &stats));
+    const double build_seconds = watch.ElapsedSeconds();
+    if (t == counts.front()) serial_build_seconds = build_seconds;
+    const std::string bytes = SerializeIndexSnapshot(snapshot);
+    if (reference_bytes.empty()) {
+      reference_bytes = bytes;
+    } else if (bytes != reference_bytes) {
+      return Status::Internal(
+          "snapshot built with " + std::to_string(t) +
+          " thread(s) is not byte-identical to the first build");
+    }
+    std::printf(
+        "threads=%d: build %.3fs (contract %.3fs, labels %.3fs)%s\n", t,
+        build_seconds, stats.ch_contract_seconds, stats.hl_label_seconds,
+        t == counts.front() ? "" : "  [bytes identical]");
+  }
+  const std::string out =
+      opt.out.empty() ? std::string("/tmp/urr_index_bench.urrx") : opt.out;
+  {
+    URR_ASSIGN_OR_RETURN(IndexSnapshot snapshot,
+                         ParseIndexSnapshot(reference_bytes));
+    Stopwatch watch;
+    URR_RETURN_NOT_OK(SaveIndexSnapshot(snapshot, out));
+    const double save_seconds = watch.ElapsedSeconds();
+    watch.Reset();
+    URR_ASSIGN_OR_RETURN(IndexSnapshot loaded, LoadIndexSnapshot(out));
+    const double load_seconds = watch.ElapsedSeconds();
+    (void)loaded;
+    std::printf(
+        "snapshot: %zu bytes, save %.3fs, load %.3fs (cold start %.1fx "
+        "faster than rebuild)\n",
+        reference_bytes.size(), save_seconds, load_seconds,
+        load_seconds > 0 ? serial_build_seconds / load_seconds : 0.0);
+  }
+  return Status::OK();
+}
+
+Status Run(const Options& opt) {
+  if (opt.mode == "build") return RunBuild(opt);
+  if (opt.mode == "info") return RunInfo(opt);
+  if (opt.mode == "verify") return RunVerify(opt);
+  if (opt.mode == "bench") return RunBench(opt);
+  return Status::InvalidArgument("unknown mode '" + opt.mode +
+                                 "' (expected build|info|verify|bench)");
+}
+
+}  // namespace
+}  // namespace urr
+
+int main(int argc, char** argv) {
+  auto options = urr::ParseArgs(argc, argv);
+  if (!options.ok()) {
+    std::fprintf(stderr, "%s\n", options.status().ToString().c_str());
+    urr::PrintUsage();
+    return 2;
+  }
+  if (options->help) {
+    urr::PrintUsage();
+    return 0;
+  }
+  const urr::Status st = urr::Run(*options);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
