@@ -52,6 +52,16 @@ class JsonWriter {
     return *this;
   }
   JsonWriter& Value(const char* v) { return Value(std::string_view(v)); }
+  /// JSON null — the canonical "no data" for statistics over empty samples.
+  JsonWriter& NullValue() {
+    Separate();
+    out_ += "null";
+    return *this;
+  }
+  JsonWriter& FieldNull(std::string_view name) {
+    Key(name);
+    return NullValue();
+  }
 
   /// Key + scalar value in one call.
   template <typename T>

@@ -1,0 +1,76 @@
+// Who owns the engine clock in a live session. The dispatch service stamps
+// every injection with a time from one of these sources:
+//
+//  - VirtualClock: time comes from the requests themselves (each carries an
+//    explicit `time` field) and only moves when a request or tick says so.
+//    This is the replay mode — driving a recorded workload through the
+//    server under a virtual clock reproduces the batch event log byte for
+//    byte, because the engine sees the exact recorded timestamps.
+//  - SteadyClock: time is elapsed wall-clock seconds since Start(), scaled
+//    by `timescale` (simulated seconds per real second). Reads are
+//    monotonic non-decreasing by construction (std::chrono::steady_clock
+//    never goes backwards), which is exactly the engine's live-injection
+//    contract.
+//
+// The source itself is not thread-safe; the service reads it under the same
+// mutex that serializes engine access, which also makes the stamped times
+// monotone across requests from different connections.
+#ifndef URR_ENGINE_CLOCK_SOURCE_H_
+#define URR_ENGINE_CLOCK_SOURCE_H_
+
+#include <chrono>
+
+#include "sched/transfer_sequence.h"
+
+namespace urr {
+
+/// A monotone source of simulated time for live sessions.
+class ClockSource {
+ public:
+  virtual ~ClockSource() = default;
+  /// Current simulated time, relative to the engine's epoch (the instance's
+  /// `now` at session start is added by the caller).
+  virtual Cost Now() = 0;
+  /// True when requests must carry their own `time` field.
+  virtual bool is_virtual() const = 0;
+};
+
+/// Request-driven time: Now() returns whatever the last request advanced
+/// the clock to. Deterministic replay mode.
+class VirtualClock final : public ClockSource {
+ public:
+  Cost Now() override { return now_; }
+  bool is_virtual() const override { return true; }
+  /// Advances the clock; earlier times are ignored (monotone).
+  void AdvanceTo(Cost t) {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  Cost now_ = 0;
+};
+
+/// Wall-clock-driven time: Now() returns (steady seconds since Start()) ×
+/// timescale. timescale > 1 compresses a long simulated day into a short
+/// real benchmark.
+class SteadyClock final : public ClockSource {
+ public:
+  explicit SteadyClock(double timescale = 1.0) : timescale_(timescale) {
+    Start();
+  }
+  void Start() { start_ = std::chrono::steady_clock::now(); }
+  Cost Now() override {
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start_;
+    return elapsed.count() * timescale_;
+  }
+  bool is_virtual() const override { return false; }
+
+ private:
+  double timescale_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace urr
+
+#endif  // URR_ENGINE_CLOCK_SOURCE_H_

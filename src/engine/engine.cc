@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 
 #include "common/stopwatch.h"
 #include "routing/distance_oracle.h"
@@ -75,10 +76,18 @@ DispatchEngine::DispatchEngine(const StreamingWorkload* workload,
   dead_.assign(instance_.vehicles.size(), false);
   if (workload_->faults.HasNoShows()) no_show_ = &workload_->faults.no_show;
   window_start_ = instance_.now;
+  recorded_arrival_.assign(n, instance_.now);
+  for (const RiderArrival& a : workload_->arrivals) {
+    if (a.rider >= 0 && static_cast<size_t>(a.rider) < n) {
+      recorded_arrival_[static_cast<size_t>(a.rider)] = a.time;
+    }
+  }
 }
 
 DistanceOracle* DispatchEngine::SetupOverlay() {
-  if (!workload_->faults.HasEdgeFaults()) return ctx_.oracle;
+  if (!workload_->faults.HasEdgeFaults() && !config_.arm_overlay) {
+    return ctx_.oracle;
+  }
   // Wrap the caller's oracle (and each worker clone) behind overlays
   // sharing one DisruptionState, so disrupted-edge screening is identical
   // on every thread. Precomputed structures underneath stay untouched.
@@ -125,9 +134,7 @@ void DispatchEngine::PushFault(const Pending& entry) {
   ++pending_inputs_;
 }
 
-Status DispatchEngine::Run() {
-  if (ran_) return Status::Internal("DispatchEngine::Run called twice");
-  ran_ = true;
+Status DispatchEngine::Prepare() {
   if (config_.solver == WindowSolver::kGbsEg ||
       config_.solver == WindowSolver::kGbsBa) {
     config_.gbs.base = config_.solver == WindowSolver::kGbsEg
@@ -146,93 +153,84 @@ Status DispatchEngine::Run() {
       gbs_pre_ptr_ = &*gbs_pre_;
     }
   }
-  if (!restored_) {
-    for (const RiderArrival& a : workload_->arrivals) {
-      Push(a.time, kRankArrival, a.rider);
-    }
-    for (const CancelRequest& c : workload_->cancellations) {
-      Push(c.time, kRankCancel, c.rider);
-    }
-    // Fault inputs, in a fixed kind order so seq assignment (and therefore
-    // same-instant ordering) is reproducible from a replayed log.
-    for (const VehicleBreakdown& b : workload_->faults.breakdowns) {
-      Pending p;
-      p.time = b.time;
-      p.rank = kRankFault;
-      p.fault = FaultKind::kBreakdown;
-      p.vehicle = b.vehicle;
-      PushFault(p);
-    }
-    for (const EdgeFault& f : workload_->faults.edge_faults) {
-      Pending p;
-      p.time = f.time;
-      p.rank = kRankFault;
-      p.fault = FaultKind::kEdgeDisrupt;
-      p.edge_a = f.a;
-      p.edge_b = f.b;
-      p.value = f.factor;
-      PushFault(p);
-    }
-    for (const EdgeRestoreFault& f : workload_->faults.edge_restores) {
-      Pending p;
-      p.time = f.time;
-      p.rank = kRankFault;
-      p.fault = FaultKind::kEdgeRestore;
-      p.edge_a = f.a;
-      p.edge_b = f.b;
-      PushFault(p);
-    }
-    if (config_.window > 0 && pending_inputs_ > 0) {
-      Push(instance_.now + config_.window, kRankBoundary, -1);
-    }
-  }
+  return Status::OK();
+}
 
+Status DispatchEngine::ProcessEntry(const Pending& e) {
+  switch (e.rank) {
+    case kRankArrival:
+      HandleArrival(e);
+      break;
+    case kRankCancel:
+      URR_RETURN_NOT_OK(HandleCancel(e));
+      break;
+    case kRankFault:
+      URR_RETURN_NOT_OK(HandleFault(e));
+      break;
+    case kRankRedispatch:
+      HandleRedispatch(e);
+      break;
+    case kRankBoundary: {
+      URR_RETURN_NOT_OK(SolveWindow(e.time));
+      window_start_ = e.time;
+      if (config_.validate_invariants) {
+        URR_RETURN_NOT_OK(ValidateLiveState());
+      }
+      // Keep ticking while any input (arrival, cancel, fault, re-dispatch
+      // or expiration) is still ahead — a queued rider may become
+      // servable as the fleet frees up. An open live session keeps the
+      // chain alive unconditionally: future injections can land at any
+      // time, and a boundary with an empty queue is log-invisible, so the
+      // perpetual chain stays byte-identical to the batch chain.
+      if ((live_ && !closing_) || pending_inputs_ > 0) {
+        Push(e.time + config_.window, kRankBoundary, -1);
+      }
+      // Checkpoint only after the next boundary is enqueued: the snapshot
+      // serializes the event queue, and a restored engine pushes no
+      // inputs of its own, so the boundary chain must live in the queue.
+      if (config_.checkpoint_every > 0 &&
+          ++windows_since_checkpoint_ >= config_.checkpoint_every) {
+        checkpoints_.emplace_back(e.time, Checkpoint());
+        windows_since_checkpoint_ = 0;
+      }
+      break;
+    }
+    default:
+      HandleExpire(e);
+      break;
+  }
+  return Status::OK();
+}
+
+Status DispatchEngine::PumpAll() {
   while (!queue_.empty()) {
     const Pending e = queue_.top();
     queue_.pop();
     if (e.rank != kRankBoundary) --pending_inputs_;
     AdvanceFleetTo(e.time);
-    switch (e.rank) {
-      case kRankArrival:
-        HandleArrival(e);
-        break;
-      case kRankCancel:
-        URR_RETURN_NOT_OK(HandleCancel(e));
-        break;
-      case kRankFault:
-        URR_RETURN_NOT_OK(HandleFault(e));
-        break;
-      case kRankRedispatch:
-        HandleRedispatch(e);
-        break;
-      case kRankBoundary: {
-        URR_RETURN_NOT_OK(SolveWindow(e.time));
-        window_start_ = e.time;
-        if (config_.validate_invariants) {
-          URR_RETURN_NOT_OK(ValidateLiveState());
-        }
-        // Keep ticking while any input (arrival, cancel, fault, re-dispatch
-        // or expiration) is still ahead — a queued rider may become
-        // servable as the fleet frees up.
-        if (pending_inputs_ > 0) {
-          Push(e.time + config_.window, kRankBoundary, -1);
-        }
-        // Checkpoint only after the next boundary is enqueued: the snapshot
-        // serializes the event queue, and a restored engine pushes no
-        // inputs of its own, so the boundary chain must live in the queue.
-        if (config_.checkpoint_every > 0 &&
-            ++windows_since_checkpoint_ >= config_.checkpoint_every) {
-          checkpoints_.emplace_back(e.time, Checkpoint());
-          windows_since_checkpoint_ = 0;
-        }
-        break;
-      }
-      default:
-        HandleExpire(e);
-        break;
-    }
+    URR_RETURN_NOT_OK(ProcessEntry(e));
   }
+  return Status::OK();
+}
 
+Status DispatchEngine::PumpThrough(Cost time, int rank, int64_t seq) {
+  Pending key;
+  key.time = time;
+  key.rank = rank;
+  key.seq = seq;
+  while (!queue_.empty() && !(queue_.top() > key)) {
+    const Pending e = queue_.top();
+    queue_.pop();
+    if (e.rank != kRankBoundary) --pending_inputs_;
+    AdvanceFleetTo(e.time);
+    URR_RETURN_NOT_OK(ProcessEntry(e));
+  }
+  return Status::OK();
+}
+
+void DispatchEngine::FinishRun() {
+  if (finished_) return;
+  finished_ = true;
   // Drain: run the fleet to the end of every committed schedule so the
   // final log contains each accepted rider's PickedUp/DroppedOff. An
   // infinite EndTime (a dropoff disconnected by an active closure) is
@@ -262,7 +260,283 @@ Status DispatchEngine::Run() {
     metrics_.oracle_hits = caching->num_hits();
     metrics_.oracle_misses = caching->num_misses();
   }
+}
+
+void DispatchEngine::PushFaultPlan() {
+  // Fault inputs, in a fixed kind order so seq assignment (and therefore
+  // same-instant ordering) is reproducible from a replayed log.
+  for (const VehicleBreakdown& b : workload_->faults.breakdowns) {
+    Pending p;
+    p.time = b.time;
+    p.rank = kRankFault;
+    p.fault = FaultKind::kBreakdown;
+    p.vehicle = b.vehicle;
+    PushFault(p);
+  }
+  for (const EdgeFault& f : workload_->faults.edge_faults) {
+    Pending p;
+    p.time = f.time;
+    p.rank = kRankFault;
+    p.fault = FaultKind::kEdgeDisrupt;
+    p.edge_a = f.a;
+    p.edge_b = f.b;
+    p.value = f.factor;
+    PushFault(p);
+  }
+  for (const EdgeRestoreFault& f : workload_->faults.edge_restores) {
+    Pending p;
+    p.time = f.time;
+    p.rank = kRankFault;
+    p.fault = FaultKind::kEdgeRestore;
+    p.edge_a = f.a;
+    p.edge_b = f.b;
+    PushFault(p);
+  }
+}
+
+Status DispatchEngine::Run() {
+  if (ran_) return Status::Internal("DispatchEngine::Run called twice");
+  ran_ = true;
+  URR_RETURN_NOT_OK(Prepare());
+  if (!restored_) {
+    for (const RiderArrival& a : workload_->arrivals) {
+      Push(a.time, kRankArrival, a.rider);
+    }
+    for (const CancelRequest& c : workload_->cancellations) {
+      Push(c.time, kRankCancel, c.rider);
+    }
+    PushFaultPlan();
+    if (config_.window > 0 && pending_inputs_ > 0) {
+      Push(instance_.now + config_.window, kRankBoundary, -1);
+    }
+  }
+  URR_RETURN_NOT_OK(PumpAll());
+  FinishRun();
   return Status::OK();
+}
+
+// --- Live-session API (dispatch-as-a-service) -----------------------------
+
+void DispatchEngine::StartBoundaryChain() {
+  if (config_.window > 0) {
+    Push(instance_.now + config_.window, kRankBoundary, -1);
+  }
+}
+
+Status DispatchEngine::CheckLiveInjection(Cost time) const {
+  if (!live_) {
+    return Status::Internal("no live session open (call BeginLive first)");
+  }
+  if (closing_ || finished_) {
+    return Status::Internal("live session is closed");
+  }
+  if (!std::isfinite(time)) {
+    return Status::InvalidArgument("injection time must be finite");
+  }
+  if (time < instance_.now) {
+    return Status::InvalidArgument(
+        "injection time " + std::to_string(time) +
+        " is before the engine clock " + std::to_string(instance_.now) +
+        " (injections must be non-decreasing)");
+  }
+  return Status::OK();
+}
+
+Status DispatchEngine::BeginLive() {
+  if (ran_) {
+    return Status::Internal("BeginLive on an engine that already ran");
+  }
+  if (restored_) {
+    return Status::InvalidArgument(
+        "live sessions cannot resume a checkpoint");
+  }
+  ran_ = true;
+  live_ = true;
+  URR_RETURN_NOT_OK(Prepare());
+  // The workload's recorded arrivals/cancellations are NOT pushed — they
+  // arrive through SubmitLive/CancelLive. Its fault plan IS scheduled (it
+  // is environment, not client traffic), in the same kind order as Run()
+  // so same-instant faults keep their batch seq order.
+  PushFaultPlan();
+  StartBoundaryChain();
+  return Status::OK();
+}
+
+Result<DispatchEngine::SubmitOutcome> DispatchEngine::SubmitLive(RiderId rider,
+                                                                 Cost time) {
+  URR_RETURN_NOT_OK(CheckLiveInjection(time));
+  if (rider < 0 || static_cast<size_t>(rider) >= state_.size()) {
+    return Status::InvalidArgument("unknown rider " + std::to_string(rider));
+  }
+  const size_t i = static_cast<size_t>(rider);
+  if (state_[i] != RiderState::kPending) {
+    return Status::AlreadyExists("rider " + std::to_string(rider) +
+                                 " was already submitted");
+  }
+  // Re-anchor the rider's deadlines to the actual submit instant: the
+  // workload drew wait/detour budgets relative to its recorded arrival
+  // time (MakeStreamingWorkload), so a live submission at a different
+  // instant keeps the same budgets, not the same absolute deadlines. A
+  // replayed workload submits at the recorded times (offset 0), leaving
+  // the deadlines untouched — that is what makes the batch differential
+  // byte-exact.
+  const Cost offset = time - recorded_arrival_[i];
+  if (offset != 0) {
+    instance_.riders[i].pickup_deadline += offset;
+    instance_.riders[i].dropoff_deadline += offset;
+    recorded_arrival_[i] = time;
+  }
+  const int64_t seq = next_seq_;
+  Push(time, kRankArrival, rider);
+  last_reject_ = EngineReject::kNone;
+  URR_RETURN_NOT_OK(PumpThrough(time, kRankArrival, seq));
+  SubmitOutcome out;
+  switch (state_[i]) {
+    case RiderState::kQueued:
+      out.queued = true;
+      break;
+    case RiderState::kAssigned:
+      out.assigned = true;
+      out.vehicle = solution_.assignment[i];
+      break;
+    case RiderState::kRejected:
+      out.reject = last_reject_;
+      break;
+    default:
+      // A same-instant boundary/fault processed inside the pump may already
+      // have moved the rider on (e.g. picked up is impossible at submit
+      // time, but expired-at-submit is not); report the raw state via
+      // QueryRider — here it just means "not queued, not rejected".
+      break;
+  }
+  return out;
+}
+
+Result<bool> DispatchEngine::CancelLive(RiderId rider, Cost time) {
+  URR_RETURN_NOT_OK(CheckLiveInjection(time));
+  if (rider < 0 || static_cast<size_t>(rider) >= state_.size()) {
+    return Status::InvalidArgument("unknown rider " + std::to_string(rider));
+  }
+  const int before = metrics_.total_cancelled;
+  const int64_t seq = next_seq_;
+  Push(time, kRankCancel, rider);
+  URR_RETURN_NOT_OK(PumpThrough(time, kRankCancel, seq));
+  return metrics_.total_cancelled > before;
+}
+
+Status DispatchEngine::InjectBreakdownLive(int vehicle, Cost time) {
+  URR_RETURN_NOT_OK(CheckLiveInjection(time));
+  if (vehicle < 0 || vehicle >= static_cast<int>(instance_.vehicles.size())) {
+    return Status::InvalidArgument("unknown vehicle " +
+                                   std::to_string(vehicle));
+  }
+  Pending p;
+  p.time = time;
+  p.rank = kRankFault;
+  p.fault = FaultKind::kBreakdown;
+  p.vehicle = vehicle;
+  const int64_t seq = next_seq_;
+  PushFault(p);
+  return PumpThrough(time, kRankFault, seq);
+}
+
+Status DispatchEngine::InjectEdgeFaultLive(NodeId a, NodeId b, double factor,
+                                           Cost time) {
+  URR_RETURN_NOT_OK(CheckLiveInjection(time));
+  if (disruption_state_ == nullptr) {
+    return Status::InvalidArgument(
+        "edge-fault injection needs the disruption overlay: construct the "
+        "engine with config.arm_overlay");
+  }
+  if (factor < 1.0) {
+    return Status::InvalidArgument("edge-fault factor must be >= 1");
+  }
+  Pending p;
+  p.time = time;
+  p.rank = kRankFault;
+  p.fault = FaultKind::kEdgeDisrupt;
+  p.edge_a = a;
+  p.edge_b = b;
+  p.value = factor;
+  const int64_t seq = next_seq_;
+  PushFault(p);
+  return PumpThrough(time, kRankFault, seq);
+}
+
+Status DispatchEngine::InjectEdgeRestoreLive(NodeId a, NodeId b, Cost time) {
+  URR_RETURN_NOT_OK(CheckLiveInjection(time));
+  if (disruption_state_ == nullptr) {
+    return Status::InvalidArgument(
+        "edge-fault injection needs the disruption overlay: construct the "
+        "engine with config.arm_overlay");
+  }
+  Pending p;
+  p.time = time;
+  p.rank = kRankFault;
+  p.fault = FaultKind::kEdgeRestore;
+  p.edge_a = a;
+  p.edge_b = b;
+  const int64_t seq = next_seq_;
+  PushFault(p);
+  return PumpThrough(time, kRankFault, seq);
+}
+
+Status DispatchEngine::AdvanceLive(Cost time) {
+  URR_RETURN_NOT_OK(CheckLiveInjection(time));
+  // Process everything due at or before `time` (boundaries, expirations,
+  // retries, scheduled faults), then move the fleet to `time` even if no
+  // entry landed exactly there. Both are refinements of the batch
+  // partition — stops execute with their own timestamps either way.
+  URR_RETURN_NOT_OK(
+      PumpThrough(time, std::numeric_limits<int>::max(),
+                  std::numeric_limits<int64_t>::max()));
+  AdvanceFleetTo(time);
+  return Status::OK();
+}
+
+Status DispatchEngine::FinishLive() {
+  if (!live_) {
+    return Status::Internal("no live session open (call BeginLive first)");
+  }
+  if (finished_) return Status::OK();  // idempotent
+  closing_ = true;
+  URR_RETURN_NOT_OK(PumpAll());
+  FinishRun();
+  return Status::OK();
+}
+
+namespace {
+
+const char* RiderStateNameForStatus(int state) {
+  switch (state) {
+    case 0: return "pending";
+    case 1: return "queued";
+    case 2: return "assigned";
+    case 3: return "picked_up";
+    case 4: return "dropped_off";
+    case 5: return "expired";
+    case 6: return "cancelled";
+    case 7: return "rejected";
+    case 8: return "waiting_retry";
+    case 9: return "abandoned";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+Result<DispatchEngine::RiderStatus> DispatchEngine::QueryRider(
+    RiderId rider) const {
+  if (rider < 0 || static_cast<size_t>(rider) >= state_.size()) {
+    return Status::InvalidArgument("unknown rider " + std::to_string(rider));
+  }
+  const size_t i = static_cast<size_t>(rider);
+  RiderStatus s;
+  s.state = RiderStateNameForStatus(static_cast<int>(state_[i]));
+  s.vehicle = solution_.assignment[i];
+  s.booked_utility = booked_[i];
+  s.arrival_time = arrival_time_[i];
+  return s;
 }
 
 void DispatchEngine::AdvanceFleetTo(Cost t) {
@@ -367,6 +641,21 @@ void DispatchEngine::HandleArrival(const Pending& e) {
     state_[static_cast<size_t>(r)] = RiderState::kRejected;
     log_.push_back({e.time, EventType::kRejected, r, -1});
     ++metrics_.total_rejected;
+    // Per-reason accounting: EvaluateArrival's verdict, or kDeadline when
+    // an accepted plan failed to apply (the insertion no longer fits).
+    switch (d.reason) {
+      case RejectReason::kNoReachableVehicle:
+        last_reject_ = EngineReject::kNoReachableVehicle;
+        break;
+      case RejectReason::kCapacity:
+        last_reject_ = EngineReject::kCapacity;
+        break;
+      case RejectReason::kDeadline:
+      case RejectReason::kNone:
+        last_reject_ = EngineReject::kDeadline;
+        break;
+    }
+    metrics_.rejects.Bump(last_reject_);
     return;
   }
   if (config_.max_queue > 0 &&
@@ -376,6 +665,8 @@ void DispatchEngine::HandleArrival(const Pending& e) {
     state_[static_cast<size_t>(r)] = RiderState::kRejected;
     log_.push_back({e.time, EventType::kRejected, r, -1});
     ++metrics_.total_rejected;
+    last_reject_ = EngineReject::kQueueFull;
+    metrics_.rejects.Bump(last_reject_);
     return;
   }
   state_[static_cast<size_t>(r)] = RiderState::kQueued;

@@ -98,6 +98,11 @@ struct EngineConfig {
   /// validation + assignment/terminal-state consistency) after every window
   /// solve and every fault repair; Run() fails on the first violation.
   bool validate_invariants = false;
+  /// Install the DisruptionOverlay stack even when the workload carries no
+  /// edge faults, so a live session (dispatch service) can inject them
+  /// later via InjectEdgeFaultLive. With no disruptions active the overlay
+  /// passes every query through to the clean precomputed stack.
+  bool arm_overlay = false;
 };
 
 /// Runs one streaming workload to completion. Borrows the workload and the
@@ -112,6 +117,78 @@ class DispatchEngine {
 
   /// Processes every input event and drains the fleet. Call once.
   Status Run();
+
+  // --- Live-session API (dispatch-as-a-service; DESIGN.md §12) ----------
+  //
+  // Instead of consuming the workload's recorded arrival/cancel schedule in
+  // one Run(), a live session takes inputs one by one through the injection
+  // hooks below. Every injection funnels through the same (time, rank, seq)
+  // event queue and the same handlers as Run(), and each hook synchronously
+  // processes everything ordered at-or-before the injected entry, so the
+  // caller gets the outcome (queued / assigned / rejected + reason) in the
+  // return value. Contract: driving a recorded workload through the hooks
+  // in (time, rank) order produces an event log byte-identical to Run() on
+  // the same workload (proved by live_engine_test and the server's
+  // batch-vs-server differential). Injection times must be non-decreasing;
+  // the caller (the dispatch service) owns the clock.
+
+  /// Opens a live session: runs the same solver preparation as Run() and
+  /// schedules the workload's recorded fault plan (arrivals/cancellations
+  /// are ignored — they arrive via the hooks). Call instead of Run().
+  Status BeginLive();
+
+  /// Outcome of one SubmitLive call.
+  struct SubmitOutcome {
+    bool queued = false;     // accepted into the dispatch queue (W > 0)
+    bool assigned = false;   // committed immediately (W == 0 path)
+    int vehicle = -1;        // the committing vehicle when assigned
+    EngineReject reject = EngineReject::kNone;  // set when turned away
+  };
+
+  /// Injects rider `rider` arriving at `time`. The rider's pickup/dropoff
+  /// deadlines are shifted so the budgets drawn at build time stay relative
+  /// to the actual submit instant (same rule MakeStreamingWorkload applies
+  /// to recorded arrivals). Errors: unknown rider, duplicate submission,
+  /// time before the engine clock.
+  Result<SubmitOutcome> SubmitLive(RiderId rider, Cost time);
+
+  /// Injects a cancellation request; returns true when the rider actually
+  /// left the system (false = the request was ignored, e.g. already picked
+  /// up or never submitted — the same semantics as a recorded request).
+  Result<bool> CancelLive(RiderId rider, Cost time);
+
+  /// Admin fault injection (breakdown storms, road closures). Edge faults
+  /// require the overlay: construct the engine with config.arm_overlay (or
+  /// a workload that already carries edge faults).
+  Status InjectBreakdownLive(int vehicle, Cost time);
+  Status InjectEdgeFaultLive(NodeId a, NodeId b, double factor, Cost time);
+  Status InjectEdgeRestoreLive(NodeId a, NodeId b, Cost time);
+
+  /// Advances the engine clock to `time`, processing every queued entry
+  /// (window boundaries, expirations, retries, scheduled faults) due at or
+  /// before it. The real-time server ticks this between requests.
+  Status AdvanceLive(Cost time);
+
+  /// Closes the session: processes everything still queued, drains the
+  /// fleet to the end of every committed schedule and finalizes metrics
+  /// (the tail of Run()). Further injections fail.
+  Status FinishLive();
+
+  /// Read-only rider status for QueryStatus requests.
+  struct RiderStatus {
+    const char* state = "pending";  // lifecycle state name
+    int vehicle = -1;               // assigned/serving vehicle, -1 if none
+    double booked_utility = 0;      // utility committed for this rider
+    Cost arrival_time = 0;          // submit time (meaningful once arrived)
+  };
+  Result<RiderStatus> QueryRider(RiderId rider) const;
+
+  /// Current engine clock (virtual seconds).
+  Cost now() const { return instance_.now; }
+  /// Riders currently waiting for a window solve.
+  int queue_depth() const { return static_cast<int>(queued_.size()); }
+  /// True once FinishLive() (or Run()) completed.
+  bool finished() const { return finished_; }
 
   /// Serializes the full live state — clock, queues, fleet schedules,
   /// pending events, RNG stream, disruption overlay, log prefix — as a
@@ -204,6 +281,28 @@ class DispatchEngine {
 
   void Push(Cost time, int rank, RiderId rider);
   void PushFault(const Pending& entry);
+  /// Schedules the workload's fault plan in a fixed kind order (breakdowns,
+  /// edge disruptions, edge restores) shared by Run() and BeginLive().
+  void PushFaultPlan();
+  /// Solver preparation shared by Run() and BeginLive() (GBS base wiring +
+  /// PrepareGbs; consumes the engine Rng, part of the replay identity).
+  Status Prepare();
+  /// Dispatches one popped queue entry to its handler (the event loop
+  /// body, shared by Run() and the live pumps).
+  Status ProcessEntry(const Pending& e);
+  /// Processes every queued entry ordered at-or-before (time, rank, seq).
+  Status PumpThrough(Cost time, int rank, int64_t seq);
+  /// Processes every queued entry (live closing / batch main loop).
+  Status PumpAll();
+  /// The tail of Run(): drains the fleet to the end of every committed
+  /// schedule and flushes the eval-path/overlay counters into metrics_.
+  void FinishRun();
+  /// Live mode: schedules the perpetual window-boundary chain (the same
+  /// t0+W, t0+2W, ... grid Run() walks; boundaries with an empty queue are
+  /// log-invisible, which keeps live logs byte-identical to batch).
+  void StartBoundaryChain();
+  /// Validates a live injection (session open, time monotonic).
+  Status CheckLiveInjection(Cost time) const;
   /// Installs the DisruptionOverlay stack (main oracle + worker clones)
   /// when the workload carries edge faults; returns the oracle schedules
   /// should be built over. Called from the constructor.
@@ -279,6 +378,12 @@ class DispatchEngine {
   std::vector<std::pair<Cost, std::string>> checkpoints_;
   bool ran_ = false;
   bool restored_ = false;
+  // Live-session state (unused in batch mode; never checkpointed).
+  bool live_ = false;      // BeginLive() opened a live session
+  bool closing_ = false;   // FinishLive() is draining the queue
+  bool finished_ = false;  // FinishRun() ran (batch or live)
+  EngineReject last_reject_ = EngineReject::kNone;  // latest arrival verdict
+  std::vector<Cost> recorded_arrival_;  // per-rider recorded arrival time
 
   friend struct EngineCheckpointAccess;  // engine/checkpoint.cc
 };

@@ -7,6 +7,27 @@
 
 namespace urr {
 
+const char* EngineRejectName(EngineReject reject) {
+  switch (reject) {
+    case EngineReject::kNone: return "none";
+    case EngineReject::kNoReachableVehicle: return "no_reachable_vehicle";
+    case EngineReject::kCapacity: return "capacity";
+    case EngineReject::kDeadline: return "deadline";
+    case EngineReject::kQueueFull: return "queue_full";
+  }
+  return "unknown";
+}
+
+void RejectCounts::Bump(EngineReject reject) {
+  switch (reject) {
+    case EngineReject::kNone: break;
+    case EngineReject::kNoReachableVehicle: ++no_reachable_vehicle; break;
+    case EngineReject::kCapacity: ++capacity; break;
+    case EngineReject::kDeadline: ++deadline; break;
+    case EngineReject::kQueueFull: ++queue_full; break;
+  }
+}
+
 double Percentile(std::vector<double> values, double p) {
   if (values.empty()) return 0;
   std::sort(values.begin(), values.end());
@@ -19,11 +40,28 @@ double Percentile(std::vector<double> values, double p) {
 
 std::string EngineMetricsJson(const EngineMetrics& m, bool include_windows) {
   JsonWriter w;
+  // Percentiles over an empty sample are JSON null (no data), not 0.
+  const auto percentile_field = [&w](std::string_view name,
+                                     const std::vector<double>& values,
+                                     double p) {
+    if (values.empty()) {
+      w.FieldNull(name);
+    } else {
+      w.Field(name, Percentile(values, p));
+    }
+  };
   w.BeginObject()
       .Field("total_arrivals", m.total_arrivals)
       .Field("total_accepted", m.total_accepted)
-      .Field("total_rejected", m.total_rejected)
-      .Field("total_expired", m.total_expired)
+      .Field("total_rejected", m.total_rejected);
+  w.Key("rejects_by_reason")
+      .BeginObject()
+      .Field("no_reachable_vehicle", m.rejects.no_reachable_vehicle)
+      .Field("capacity", m.rejects.capacity)
+      .Field("deadline", m.rejects.deadline)
+      .Field("queue_full", m.rejects.queue_full)
+      .EndObject();
+  w.Field("total_expired", m.total_expired)
       .Field("total_cancelled", m.total_cancelled)
       .Field("total_picked_up", m.total_picked_up)
       .Field("total_dropped_off", m.total_dropped_off)
@@ -47,13 +85,13 @@ std::string EngineMetricsJson(const EngineMetrics& m, bool include_windows) {
       .Field("kernel_evals", m.kernel_evals)
       .Field("oracle_hits", m.oracle_hits)
       .Field("oracle_misses", m.oracle_misses)
-      .Field("num_windows", static_cast<int>(m.windows.size()))
-      .Field("pickup_wait_p50", Percentile(m.pickup_waits, 50))
-      .Field("pickup_wait_p95", Percentile(m.pickup_waits, 95))
-      .Field("pickup_wait_p99", Percentile(m.pickup_waits, 99))
-      .Field("solve_latency_p50", Percentile(m.solve_latencies, 50))
-      .Field("solve_latency_p95", Percentile(m.solve_latencies, 95))
-      .Field("solve_latency_p99", Percentile(m.solve_latencies, 99));
+      .Field("num_windows", static_cast<int>(m.windows.size()));
+  percentile_field("pickup_wait_p50", m.pickup_waits, 50);
+  percentile_field("pickup_wait_p95", m.pickup_waits, 95);
+  percentile_field("pickup_wait_p99", m.pickup_waits, 99);
+  percentile_field("solve_latency_p50", m.solve_latencies, 50);
+  percentile_field("solve_latency_p95", m.solve_latencies, 95);
+  percentile_field("solve_latency_p99", m.solve_latencies, 99);
   if (include_windows) {
     w.Key("windows").BeginArray();
     for (const WindowMetrics& win : m.windows) {

@@ -27,11 +27,40 @@ struct WindowMetrics {
   double fleet_utilization = 0;  // busy vehicles / fleet size at window end
 };
 
+/// Why the engine turned an arrival away: the dispatch-level reasons
+/// (RejectReason, W = 0 per-arrival mode) plus the admission-control
+/// overflow. Reported per response by the dispatch service and aggregated
+/// in EngineMetrics.
+enum class EngineReject : uint8_t {
+  kNone = 0,
+  kNoReachableVehicle,  // no vehicle can reach the pickup by its deadline
+  kCapacity,            // reachable vehicles are full at every position
+  kDeadline,            // insertions exist but all violate time windows
+  kQueueFull,           // admission control: max_queue exceeded
+};
+
+/// Stable snake_case name ("queue_full", ...) used in JSON and responses.
+const char* EngineRejectName(EngineReject reject);
+
+/// Per-reason rejection counters (see EngineReject).
+struct RejectCounts {
+  int no_reachable_vehicle = 0;
+  int capacity = 0;
+  int deadline = 0;
+  int queue_full = 0;
+
+  void Bump(EngineReject reject);
+  int total() const {
+    return no_reachable_vehicle + capacity + deadline + queue_full;
+  }
+};
+
 /// Whole-run aggregates.
 struct EngineMetrics {
   int total_arrivals = 0;
   int total_accepted = 0;
   int total_rejected = 0;   // admission overflow + infeasible
+  RejectCounts rejects;     // the same rejections, split by reason
   int total_expired = 0;
   int total_cancelled = 0;
   int total_picked_up = 0;
@@ -75,7 +104,10 @@ struct EngineMetrics {
 /// empty.
 double Percentile(std::vector<double> values, double p);
 
-/// One JSON object; `include_windows` adds the per-window array.
+/// One JSON object; `include_windows` adds the per-window array. Percentile
+/// fields over an empty sample (no pickups / no solves recorded) are
+/// emitted as JSON `null`, never a fabricated number, so consumers can
+/// tell "no data" from "zero latency".
 std::string EngineMetricsJson(const EngineMetrics& metrics,
                               bool include_windows);
 

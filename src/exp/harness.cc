@@ -1,5 +1,7 @@
 #include "exp/harness.h"
 
+#include <cmath>
+
 #include "common/env.h"
 #include "common/stopwatch.h"
 #include "graph/generators.h"
@@ -42,6 +44,25 @@ Result<std::unique_ptr<ExperimentWorld>> BuildWorld(
                            GenerateChicagoLike(config.city_nodes, rng));
       break;
     }
+    case CityKind::kGrid: {
+      GridCityOptions g;
+      g.width = config.grid_width;
+      g.height = config.grid_height;
+      URR_ASSIGN_OR_RETURN(world->network, GenerateGridCity(g, rng));
+      break;
+    }
+  }
+  if (config.quantize > 0) {
+    // Same rounding as `urr_index build --quantize`, so snapshots built by
+    // that tool serialize byte-identically to this network.
+    std::vector<Edge> edges = world->network.EdgeList();
+    for (Edge& e : edges) {
+      e.cost = std::round(e.cost / config.quantize) * config.quantize;
+    }
+    URR_ASSIGN_OR_RETURN(
+        world->network,
+        RoadNetwork::Build(world->network.num_nodes(), std::move(edges),
+                           world->network.coords()));
   }
 
   // --- Evaluation pool (created before the oracle stack so the CH / HL

@@ -23,14 +23,23 @@
 
 namespace urr {
 
-/// Which city-like network preset to generate.
-enum class CityKind { kNycLike, kChicagoLike };
+/// Which city-like network preset to generate. kGrid matches the network
+/// `urr_index build --city grid` produces for the same seed/width/height/
+/// quantize, so .urrx snapshots (including the checked-in golden fixture)
+/// can cold-start a full experiment world.
+enum class CityKind { kNycLike, kChicagoLike, kGrid };
 
 /// One experiment's configuration; defaults mirror Table 3's bold values,
 /// scaled by BenchScale() at the bench call sites.
 struct ExperimentConfig {
   CityKind city = CityKind::kNycLike;
   NodeId city_nodes = 10000;
+  int grid_width = 12;            // kGrid only
+  int grid_height = 10;
+  /// When > 0, snap every edge cost to a multiple of this value after
+  /// generation (exact doubles, so path sums are exact — same rule as
+  /// `urr_index build --quantize`).
+  double quantize = 0;
   int num_social_users = 2000;
   int num_trip_records = 8000;
 

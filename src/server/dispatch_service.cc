@@ -1,0 +1,277 @@
+#include "server/dispatch_service.h"
+
+#include <algorithm>
+
+#include "common/json_writer.h"
+
+namespace urr {
+
+namespace {
+
+/// Starts the standard response envelope; the caller adds op fields and
+/// closes the object.
+JsonWriter Envelope(int64_t id, bool ok, int code) {
+  JsonWriter w;
+  w.BeginObject().Field("id", id).Field("ok", ok).Field("code", code);
+  return w;
+}
+
+}  // namespace
+
+DispatchService::DispatchService(const StreamingWorkload* workload,
+                                 SolverContext* ctx,
+                                 const EngineConfig& engine_config,
+                                 const ServiceConfig& config,
+                                 AdmissionController* admission)
+    : workload_(workload),
+      config_(config),
+      admission_(admission),
+      engine_(workload, ctx, engine_config),
+      steady_(config.timescale) {}
+
+Status DispatchService::Start() {
+  URR_RETURN_NOT_OK(engine_.BeginLive());
+  epoch_ = engine_.now();
+  steady_.Start();
+  return Status::OK();
+}
+
+Status DispatchService::Finish() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (engine_.finished()) return Status::OK();
+  return engine_.FinishLive();
+}
+
+std::string DispatchService::SerializedLog() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return engine_.SerializedLog();
+}
+
+std::string DispatchService::MetricsJson() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return EngineMetricsJson(engine_.metrics(), /*include_windows=*/false);
+}
+
+int DispatchService::CodeFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk: return 200;
+    case StatusCode::kNotFound: return 404;
+    case StatusCode::kAlreadyExists: return 409;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange: return 400;
+    default: return 500;
+  }
+}
+
+std::string DispatchService::Handle(std::string_view payload) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  Result<Request> parsed = ParseRequest(payload);
+  if (!parsed.ok()) {
+    return ErrorResponse(-1, 400, parsed.status().message());
+  }
+  return HandleParsed(*parsed);
+}
+
+std::string DispatchService::HandleParsed(const Request& req) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Reject mutations once a shutdown was served; reads stay available so
+  // draining clients can still observe final state.
+  const bool mutating = req.op == RequestOp::kSubmitRider ||
+                        req.op == RequestOp::kCancelRider ||
+                        req.op == RequestOp::kInjectFault ||
+                        req.op == RequestOp::kTick;
+  if (mutating && shutdown_.load(std::memory_order_acquire)) {
+    rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(req.id, 503, "service is shutting down");
+  }
+  // Stamp the injection time. Virtual clock: the request's own `time` is
+  // the time (required for mutations). Steady clock: elapsed scaled wall
+  // time since Start(), clamped monotone against the engine clock.
+  Cost t = engine_.now();
+  if (mutating) {
+    if (config_.virtual_clock) {
+      if (!req.has_time) {
+        return ErrorResponse(
+            req.id, 400,
+            "this server runs a virtual clock: the request must carry "
+            "\"time\"");
+      }
+      t = req.time;
+    } else {
+      t = std::max(engine_.now(), epoch_ + steady_.Now());
+      if (req.op == RequestOp::kTick && req.has_time) t = req.time;
+    }
+  }
+  switch (req.op) {
+    case RequestOp::kSubmitRider: return HandleSubmit(req, t);
+    case RequestOp::kCancelRider: return HandleCancel(req, t);
+    case RequestOp::kQueryStatus: return HandleQuery(req);
+    case RequestOp::kMetrics: return HandleMetrics(req);
+    case RequestOp::kWorkload: return HandleWorkload(req);
+    case RequestOp::kInjectFault: return HandleInject(req, t);
+    case RequestOp::kTick: return HandleTick(req, t);
+    case RequestOp::kShutdown: return HandleShutdown(req);
+  }
+  return ErrorResponse(req.id, 500, "unhandled op");
+}
+
+std::string DispatchService::HandleSubmit(const Request& req, Cost t) {
+  const auto n = static_cast<RiderId>(engine_.instance().riders.size());
+  if (req.rider < 0 || req.rider >= n) {
+    return ErrorResponse(req.id, 404,
+                         "unknown rider " + std::to_string(req.rider));
+  }
+  Result<DispatchEngine::SubmitOutcome> out = engine_.SubmitLive(req.rider, t);
+  if (!out.ok()) {
+    return ErrorResponse(req.id, CodeFor(out.status()),
+                         out.status().message());
+  }
+  if (out->reject == EngineReject::kQueueFull) {
+    // Admission control shed the request: the 429 of this protocol.
+    if (admission_ != nullptr) admission_->CountShed(EngineReject::kQueueFull);
+    JsonWriter w = Envelope(req.id, false, 429);
+    w.Field("result", "rejected")
+        .Field("reason", EngineRejectName(out->reject))
+        .Field("queue_depth", engine_.queue_depth())
+        .EndObject();
+    return w.str();
+  }
+  JsonWriter w = Envelope(req.id, true, 200);
+  if (out->assigned) {
+    w.Field("result", "assigned").Field("vehicle", out->vehicle);
+  } else if (out->queued) {
+    w.Field("result", "queued").Field("queue_depth", engine_.queue_depth());
+  } else if (out->reject != EngineReject::kNone) {
+    // Dispatch-infeasible (W = 0 path): the request was served, the answer
+    // is no — a 200 with the reason, not an error.
+    w.Field("result", "rejected").Field("reason",
+                                        EngineRejectName(out->reject));
+  } else {
+    w.Field("result", "done");  // e.g. expired at submit instant
+  }
+  w.Field("time", t).EndObject();
+  return w.str();
+}
+
+std::string DispatchService::HandleCancel(const Request& req, Cost t) {
+  const auto n = static_cast<RiderId>(engine_.instance().riders.size());
+  if (req.rider < 0 || req.rider >= n) {
+    return ErrorResponse(req.id, 404,
+                         "unknown rider " + std::to_string(req.rider));
+  }
+  Result<bool> out = engine_.CancelLive(req.rider, t);
+  if (!out.ok()) {
+    return ErrorResponse(req.id, CodeFor(out.status()),
+                         out.status().message());
+  }
+  JsonWriter w = Envelope(req.id, true, 200);
+  w.Field("result", *out ? "cancelled" : "ignored")
+      .Field("time", t)
+      .EndObject();
+  return w.str();
+}
+
+std::string DispatchService::HandleQuery(const Request& req) {
+  Result<DispatchEngine::RiderStatus> st = engine_.QueryRider(req.rider);
+  if (!st.ok()) {
+    return ErrorResponse(req.id, 404, st.status().message());
+  }
+  JsonWriter w = Envelope(req.id, true, 200);
+  w.Field("state", st->state)
+      .Field("vehicle", st->vehicle)
+      .Field("booked_utility", st->booked_utility)
+      .Field("arrival_time", st->arrival_time)
+      .EndObject();
+  return w.str();
+}
+
+std::string DispatchService::HandleMetrics(const Request& req) {
+  JsonWriter w = Envelope(req.id, true, 200);
+  w.Field("now", engine_.now())
+      .Field("queue_depth", engine_.queue_depth())
+      .Field("finished", engine_.finished())
+      .Field("requests", requests_.load(std::memory_order_relaxed))
+      .Field("rejected_shutdown",
+             rejected_shutdown_.load(std::memory_order_relaxed));
+  if (admission_ != nullptr) {
+    const RejectCounts shed = admission_->shed();
+    w.Key("sessions")
+        .BeginObject()
+        .Field("active", admission_->active_sessions())
+        .Field("peak", admission_->peak_sessions())
+        .Field("total", admission_->total_sessions())
+        .EndObject();
+    w.Field("shed_queue_full", shed.queue_full);
+  }
+  // Splice the canonical engine metrics object in as-is.
+  w.EndObject();
+  std::string out = w.str();
+  out.pop_back();  // the envelope's closing '}'
+  out += ",\"metrics\":";
+  out += EngineMetricsJson(engine_.metrics(), /*include_windows=*/false);
+  out += '}';
+  return out;
+}
+
+std::string DispatchService::HandleWorkload(const Request& req) {
+  // The recorded request schedule, for replay drivers: they fetch it here
+  // instead of rebuilding the world, then submit each entry at its
+  // recorded time over the socket.
+  JsonWriter w = Envelope(req.id, true, 200);
+  w.Key("arrivals").BeginArray();
+  for (const RiderArrival& a : workload_->arrivals) {
+    w.BeginArray().Value(a.rider).Value(a.time).EndArray();
+  }
+  w.EndArray();
+  w.Key("cancellations").BeginArray();
+  for (const CancelRequest& c : workload_->cancellations) {
+    w.BeginArray().Value(c.rider).Value(c.time).EndArray();
+  }
+  w.EndArray();
+  w.Field("riders", static_cast<int>(engine_.instance().riders.size()))
+      .Field("vehicles", static_cast<int>(engine_.instance().vehicles.size()))
+      .Field("now", engine_.now())
+      .EndObject();
+  return w.str();
+}
+
+std::string DispatchService::HandleInject(const Request& req, Cost t) {
+  Status st = Status::OK();
+  if (req.fault_kind == "breakdown") {
+    if (req.vehicle < 0 ||
+        req.vehicle >= static_cast<int>(engine_.instance().vehicles.size())) {
+      return ErrorResponse(req.id, 404,
+                           "unknown vehicle " + std::to_string(req.vehicle));
+    }
+    st = engine_.InjectBreakdownLive(req.vehicle, t);
+  } else if (req.fault_kind == "edge_disrupt") {
+    st = engine_.InjectEdgeFaultLive(req.edge_a, req.edge_b, req.factor, t);
+  } else {
+    st = engine_.InjectEdgeRestoreLive(req.edge_a, req.edge_b, t);
+  }
+  if (!st.ok()) {
+    return ErrorResponse(req.id, CodeFor(st), st.message());
+  }
+  JsonWriter w = Envelope(req.id, true, 200);
+  w.Field("result", "injected").Field("time", t).EndObject();
+  return w.str();
+}
+
+std::string DispatchService::HandleTick(const Request& req, Cost t) {
+  const Status st = engine_.AdvanceLive(t);
+  if (!st.ok()) {
+    return ErrorResponse(req.id, CodeFor(st), st.message());
+  }
+  JsonWriter w = Envelope(req.id, true, 200);
+  w.Field("result", "ticked").Field("now", engine_.now()).EndObject();
+  return w.str();
+}
+
+std::string DispatchService::HandleShutdown(const Request& req) {
+  shutdown_.store(true, std::memory_order_release);
+  JsonWriter w = Envelope(req.id, true, 200);
+  w.Field("result", "shutting_down").EndObject();
+  return w.str();
+}
+
+}  // namespace urr

@@ -1,0 +1,99 @@
+// The dispatch service: one live DispatchEngine session behind the wire
+// protocol (server/protocol.h). Transport-agnostic — the socket server
+// (server/server.h) and the in-process benchmarks both drive it through
+// Handle(payload) → response payload.
+//
+// Threading: Handle() is safe to call from any number of session threads.
+// One mutex serializes engine access (window solves still parallelize
+// internally through the SolverContext's thread pool); the same mutex
+// orders clock reads, which makes steady-clock time stamps monotone across
+// connections — exactly the engine's live-injection contract.
+//
+// Determinism: under a virtual clock (every request carries its `time`),
+// the service is a pure funnel into the engine's (time, rank, seq) queue.
+// Serving a recorded workload through it — same times, same rank order —
+// produces an event log byte-identical to DispatchEngine::Run() on that
+// workload. The server smoke test and tests/server_test.cc hold this.
+#ifndef URR_SERVER_DISPATCH_SERVICE_H_
+#define URR_SERVER_DISPATCH_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "engine/clock_source.h"
+#include "engine/engine.h"
+#include "server/admission.h"
+#include "server/protocol.h"
+
+namespace urr {
+
+struct ServiceConfig {
+  /// true: requests carry their own `time` (deterministic replay mode).
+  /// false: the service stamps elapsed wall seconds × timescale.
+  bool virtual_clock = true;
+  /// Steady-clock mode: simulated seconds per real second.
+  double timescale = 1.0;
+};
+
+class DispatchService {
+ public:
+  /// Borrows everything; `admission` may be null (no session accounting in
+  /// the metrics response).
+  DispatchService(const StreamingWorkload* workload, SolverContext* ctx,
+                  const EngineConfig& engine_config,
+                  const ServiceConfig& config,
+                  AdmissionController* admission);
+
+  /// Opens the live engine session and starts the clock. Call once.
+  Status Start();
+
+  /// Handles one request payload and returns the response payload.
+  /// Never throws and never returns an empty string: malformed requests
+  /// get a 400 response, internal failures a 500.
+  std::string Handle(std::string_view payload);
+
+  /// Closes the live session (drains the fleet, finalizes metrics).
+  /// Idempotent; called by the server after the last session ends.
+  Status Finish();
+
+  /// Set once a shutdown request was served; the server stops accepting.
+  bool shutdown_requested() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  /// Post-Finish access for differential tests and the --log flag.
+  std::string SerializedLog();
+  std::string MetricsJson();
+  const DispatchEngine& engine() const { return engine_; }
+
+ private:
+  std::string HandleParsed(const Request& req);
+  std::string HandleSubmit(const Request& req, Cost t);
+  std::string HandleCancel(const Request& req, Cost t);
+  std::string HandleQuery(const Request& req);
+  std::string HandleMetrics(const Request& req);
+  std::string HandleWorkload(const Request& req);
+  std::string HandleInject(const Request& req, Cost t);
+  std::string HandleTick(const Request& req, Cost t);
+  std::string HandleShutdown(const Request& req);
+  /// Maps an engine Status to the protocol's HTTP-style code.
+  static int CodeFor(const Status& status);
+
+  const StreamingWorkload* workload_;
+  ServiceConfig config_;
+  AdmissionController* admission_;
+  DispatchEngine engine_;
+  SteadyClock steady_;
+  Cost epoch_ = 0;  // engine clock at Start(); steady time is added to it
+  std::mutex mu_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<int64_t> requests_{0};
+  std::atomic<int64_t> rejected_shutdown_{0};  // 503s after shutdown
+};
+
+}  // namespace urr
+
+#endif  // URR_SERVER_DISPATCH_SERVICE_H_

@@ -1,0 +1,418 @@
+#include "server/loadgen.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "common/json_writer.h"
+#include "common/rng.h"
+#include "engine/engine_metrics.h"
+
+namespace urr {
+
+namespace {
+
+using SteadyTime = std::chrono::steady_clock::time_point;
+
+double SecondsSince(SteadyTime t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+Result<ClientConnection> ClientConnection::Connect(const Endpoint& endpoint) {
+  int fd = -1;
+  if (endpoint.port > 0) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Status::IOError("socket: " + std::string(std::strerror(errno)));
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(endpoint.port));
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      return Status::IOError("connect 127.0.0.1:" +
+                             std::to_string(endpoint.port) + ": " + err);
+    }
+  } else if (!endpoint.unix_path.empty()) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Status::IOError("socket: " + std::string(std::strerror(errno)));
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (endpoint.unix_path.size() >= sizeof(addr.sun_path)) {
+      ::close(fd);
+      return Status::InvalidArgument("unix socket path too long");
+    }
+    std::strncpy(addr.sun_path, endpoint.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      return Status::IOError("connect " + endpoint.unix_path + ": " + err);
+    }
+  } else {
+    return Status::InvalidArgument("endpoint has neither port nor unix path");
+  }
+  return ClientConnection(fd);
+}
+
+ClientConnection& ClientConnection::operator=(ClientConnection&& o) noexcept {
+  if (this != &o) {
+    Close();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+void ClientConnection::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status ClientConnection::SendRaw(std::string_view bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t w = ::write(fd_, bytes.data() + off, bytes.size() - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("write: " + std::string(std::strerror(errno)));
+    }
+    off += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Status ClientConnection::Send(std::string_view payload) {
+  return SendRaw(EncodeFrame(payload));
+}
+
+Result<std::string> ClientConnection::Recv() {
+  std::string payload;
+  char buf[4096];
+  for (;;) {
+    const FrameReader::Next next = reader_.Poll(&payload);
+    if (next == FrameReader::Next::kFrame) return payload;
+    if (next == FrameReader::Next::kOversized) {
+      return Status::IOError("server sent an oversized frame");
+    }
+    const ssize_t r = ::read(fd_, buf, sizeof(buf));
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) {
+      return Status::IOError("connection closed mid-frame");
+    }
+    reader_.Feed(buf, static_cast<size_t>(r));
+  }
+}
+
+Result<JsonValue> ClientConnection::Call(std::string_view payload) {
+  URR_RETURN_NOT_OK(Send(payload));
+  URR_ASSIGN_OR_RETURN(std::string resp, Recv());
+  return ParseJson(resp);
+}
+
+std::string LoadGenReport::ToJson() const {
+  JsonWriter w;
+  w.BeginObject()
+      .Field("sent", sent)
+      .Field("ok", ok)
+      .Field("queued", queued)
+      .Field("assigned", assigned)
+      .Field("rejected_admission", rejected_admission)
+      .Field("rejected_infeasible", rejected_infeasible)
+      .Field("errors", errors)
+      .Field("elapsed_seconds", elapsed)
+      .Field("latency_p50", p50)
+      .Field("latency_p95", p95)
+      .Field("latency_p99", p99)
+      .Field("latency_max", max)
+      .Field("goodput", goodput)
+      .Field("rejection_rate", rejection_rate)
+      .EndObject();
+  return w.str();
+}
+
+namespace {
+
+/// Intensity multiplier of the two-peak day profile at x = t/duration in
+/// [0,1]. Mean over [0,1] is ~1, so `rate` stays the mean rate.
+double PeakProfile(double x) {
+  const double morning = std::exp(-0.5 * std::pow((x - 0.25) / 0.08, 2.0));
+  const double evening = std::exp(-0.5 * std::pow((x - 0.70) / 0.10, 2.0));
+  return 0.45 + 1.55 * morning + 1.25 * evening;
+}
+
+struct ScheduledCall {
+  double at = 0;  // seconds from schedule start
+  RiderId rider = -1;
+  bool cancel = false;
+};
+
+/// Draws the open-loop arrival schedule: homogeneous Poisson for "const",
+/// thinned nonhomogeneous Poisson for "peak". Riders are consumed in the
+/// server's recorded arrival order.
+std::vector<ScheduledCall> MakeSchedule(const std::vector<RiderId>& riders,
+                                        const LoadGenOptions& options) {
+  std::vector<ScheduledCall> schedule;
+  Rng rng(options.seed);
+  const bool peak = options.profile == "peak";
+  // Thinning envelope: max of PeakProfile is < 2.1.
+  const double lambda_max = options.rate * (peak ? 2.1 : 1.0);
+  double t = 0;
+  size_t next_rider = 0;
+  while (next_rider < riders.size()) {
+    t += rng.Exponential(lambda_max);
+    if (t > options.duration) break;
+    if (peak) {
+      const double keep =
+          PeakProfile(t / options.duration) * options.rate / lambda_max;
+      if (rng.Uniform() > keep) continue;
+    }
+    ScheduledCall call;
+    call.at = t;
+    call.rider = riders[next_rider++];
+    schedule.push_back(call);
+    if (options.cancel_fraction > 0 &&
+        rng.Uniform() < options.cancel_fraction) {
+      ScheduledCall c;
+      c.at = t + 0.05;
+      c.rider = call.rider;
+      c.cancel = true;
+      schedule.push_back(c);
+    }
+  }
+  std::stable_sort(schedule.begin(), schedule.end(),
+                   [](const ScheduledCall& a, const ScheduledCall& b) {
+                     return a.at < b.at;
+                   });
+  return schedule;
+}
+
+struct WorkerTally {
+  LoadGenReport report;
+  std::vector<double> latencies;
+};
+
+/// Classifies one response into the tally. `latency` < 0 = transport error.
+void Record(WorkerTally* tally, const Result<JsonValue>& resp,
+            double latency) {
+  LoadGenReport& r = tally->report;
+  ++r.sent;
+  if (!resp.ok()) {
+    ++r.errors;
+    return;
+  }
+  tally->latencies.push_back(latency);
+  const int64_t code = resp->GetInt("code", 0);
+  const std::string result = resp->GetString("result", "");
+  if (code == 429) {
+    ++r.rejected_admission;
+    return;
+  }
+  if (code != 200) {
+    ++r.errors;
+    return;
+  }
+  ++r.ok;
+  if (result == "queued") ++r.queued;
+  else if (result == "assigned") ++r.assigned;
+  else if (result == "rejected") ++r.rejected_infeasible;
+}
+
+LoadGenReport MergeTallies(std::vector<WorkerTally>* tallies,
+                           double elapsed) {
+  LoadGenReport total;
+  std::vector<double> latencies;
+  for (WorkerTally& t : *tallies) {
+    total.sent += t.report.sent;
+    total.ok += t.report.ok;
+    total.queued += t.report.queued;
+    total.assigned += t.report.assigned;
+    total.rejected_admission += t.report.rejected_admission;
+    total.rejected_infeasible += t.report.rejected_infeasible;
+    total.errors += t.report.errors;
+    latencies.insert(latencies.end(), t.latencies.begin(), t.latencies.end());
+  }
+  total.elapsed = elapsed;
+  if (!latencies.empty()) {
+    total.p50 = Percentile(latencies, 50);
+    total.p95 = Percentile(latencies, 95);
+    total.p99 = Percentile(latencies, 99);
+    total.max = *std::max_element(latencies.begin(), latencies.end());
+  }
+  if (elapsed > 0) total.goodput = static_cast<double>(total.ok) / elapsed;
+  if (total.sent > 0) {
+    total.rejection_rate =
+        static_cast<double>(total.rejected_admission) /
+        static_cast<double>(total.sent);
+  }
+  return total;
+}
+
+}  // namespace
+
+Result<LoadGenReport> RunOpenLoop(const Endpoint& endpoint,
+                                  const LoadGenOptions& options) {
+  if (options.connections <= 0) {
+    return Status::InvalidArgument("connections must be positive");
+  }
+  // Fetch the rider universe (recorded arrival order) over a control
+  // connection.
+  URR_ASSIGN_OR_RETURN(ClientConnection control,
+                       ClientConnection::Connect(endpoint));
+  URR_ASSIGN_OR_RETURN(JsonValue workload,
+                       control.Call("{\"op\":\"workload\"}"));
+  const JsonValue* arrivals = workload.Find("arrivals");
+  if (arrivals == nullptr || !arrivals->is_array()) {
+    return Status::IOError("workload response carries no arrivals");
+  }
+  std::vector<RiderId> riders;
+  riders.reserve(arrivals->items().size());
+  for (const JsonValue& a : arrivals->items()) {
+    if (a.is_array() && a.items().size() >= 1 && a.items()[0].is_number()) {
+      riders.push_back(static_cast<RiderId>(a.items()[0].as_number()));
+    }
+  }
+  control.Close();
+  if (riders.empty()) {
+    return Status::InvalidArgument("the server's workload has no riders");
+  }
+  const std::vector<ScheduledCall> schedule = MakeSchedule(riders, options);
+
+  // N workers, each with its own connection, pulling the next scheduled
+  // call from a shared cursor. Latency is measured from the scheduled
+  // instant, so a backed-up connection reports its queueing delay.
+  std::vector<ClientConnection> conns;
+  conns.reserve(static_cast<size_t>(options.connections));
+  for (int c = 0; c < options.connections; ++c) {
+    URR_ASSIGN_OR_RETURN(ClientConnection conn,
+                         ClientConnection::Connect(endpoint));
+    conns.push_back(std::move(conn));
+  }
+  std::atomic<size_t> cursor{0};
+  std::vector<WorkerTally> tallies(static_cast<size_t>(options.connections));
+  const SteadyTime t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(conns.size());
+  for (size_t c = 0; c < conns.size(); ++c) {
+    workers.emplace_back([&, c] {
+      ClientConnection& conn = conns[c];
+      WorkerTally& tally = tallies[c];
+      for (;;) {
+        const size_t i = cursor.fetch_add(1);
+        if (i >= schedule.size()) break;
+        const ScheduledCall& call = schedule[i];
+        const SteadyTime due =
+            t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double>(call.at));
+        std::this_thread::sleep_until(due);
+        JsonWriter w;
+        w.BeginObject()
+            .Field("op", call.cancel ? "cancel_rider" : "submit_rider")
+            .Field("id", static_cast<int64_t>(i))
+            .Field("rider", call.rider)
+            .EndObject();
+        const Result<JsonValue> resp = conn.Call(w.str());
+        const double latency = SecondsSince(t0) - call.at;
+        if (call.cancel) {
+          // Cancels keep the connection warm but are not arrival outcomes;
+          // only transport failures count.
+          if (!resp.ok()) ++tally.report.errors;
+          continue;
+        }
+        Record(&tally, resp, latency);
+        if (!resp.ok()) break;  // connection is gone; stop this worker
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  const double elapsed = SecondsSince(t0);
+  return MergeTallies(&tallies, elapsed);
+}
+
+Result<LoadGenReport> RunReplay(const Endpoint& endpoint,
+                                bool shutdown_after) {
+  URR_ASSIGN_OR_RETURN(ClientConnection conn,
+                       ClientConnection::Connect(endpoint));
+  URR_ASSIGN_OR_RETURN(JsonValue workload,
+                       conn.Call("{\"op\":\"workload\"}"));
+  struct Entry {
+    double time;
+    int rank;  // 0 arrival, 1 cancel — the engine's tie-break order
+    size_t index;
+    RiderId rider;
+  };
+  std::vector<Entry> entries;
+  const auto collect = [&](const char* key, int rank) {
+    const JsonValue* list = workload.Find(key);
+    if (list == nullptr || !list->is_array()) return;
+    for (size_t i = 0; i < list->items().size(); ++i) {
+      const JsonValue& pair = list->items()[i];
+      if (!pair.is_array() || pair.items().size() < 2) continue;
+      entries.push_back({pair.items()[1].as_number(), rank, i,
+                         static_cast<RiderId>(pair.items()[0].as_number())});
+    }
+  };
+  collect("arrivals", 0);
+  collect("cancellations", 1);
+  // The engine's queue orders same-instant entries by rank then insertion
+  // seq; replaying in (time, rank, recorded index) order reproduces the
+  // batch seq assignment exactly.
+  std::sort(entries.begin(), entries.end(), [](const Entry& a,
+                                               const Entry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.rank != b.rank) return a.rank < b.rank;
+    return a.index < b.index;
+  });
+  std::vector<WorkerTally> tallies(1);
+  const SteadyTime t0 = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    JsonWriter w;
+    w.BeginObject()
+        .Field("op", e.rank == 0 ? "submit_rider" : "cancel_rider")
+        .Field("id", static_cast<int64_t>(i))
+        .Field("rider", e.rider)
+        .Field("time", e.time)
+        .EndObject();
+    const double sent_at = SecondsSince(t0);
+    const Result<JsonValue> resp = conn.Call(w.str());
+    if (e.rank == 0) {
+      Record(&tallies[0], resp, SecondsSince(t0) - sent_at);
+    } else if (!resp.ok()) {
+      ++tallies[0].report.errors;
+    }
+    if (!resp.ok()) {
+      return Status::IOError("replay aborted at entry " + std::to_string(i) +
+                             ": " + resp.status().message());
+    }
+  }
+  if (shutdown_after) {
+    URR_ASSIGN_OR_RETURN(JsonValue resp, conn.Call("{\"op\":\"shutdown\"}"));
+    if (resp.GetInt("code", 0) != 200) {
+      return Status::IOError("shutdown request failed");
+    }
+  }
+  return MergeTallies(&tallies, SecondsSince(t0));
+}
+
+}  // namespace urr

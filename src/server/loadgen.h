@@ -1,0 +1,109 @@
+// Load generation against a running dispatch server, as a library so the
+// CLI tool (tools/urr_loadgen.cc), the benchmark (bench/bench_server.cc)
+// and the tests share one implementation.
+//
+// Two drive modes:
+//  - Open loop (RunOpenLoop): requests fire on a precomputed arrival
+//    schedule — homogeneous Poisson or a two-peak day profile (thinning) —
+//    spread over N connections, regardless of how fast the server answers.
+//    Latency is measured from the *scheduled* send instant to the response
+//    (so server-side queueing shows up as tail latency instead of being
+//    silently absorbed — the coordinated-omission correction).
+//  - Replay (RunReplay): fetches the server's recorded workload and drives
+//    every arrival/cancellation over ONE connection at its recorded
+//    virtual time, in the engine's (time, rank) order. Against a
+//    virtual-clock server this reproduces the batch event log byte for
+//    byte; the differential tests are built on it.
+#ifndef URR_SERVER_LOADGEN_H_
+#define URR_SERVER_LOADGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json_parser.h"
+#include "server/protocol.h"
+
+namespace urr {
+
+/// Where the server listens. TCP when port > 0, else the unix path.
+struct Endpoint {
+  int port = 0;
+  std::string unix_path;
+};
+
+/// One blocking client connection speaking the framed protocol. Move-only;
+/// closes on destruction.
+class ClientConnection {
+ public:
+  static Result<ClientConnection> Connect(const Endpoint& endpoint);
+
+  ClientConnection(ClientConnection&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  ClientConnection& operator=(ClientConnection&& o) noexcept;
+  ClientConnection(const ClientConnection&) = delete;
+  ClientConnection& operator=(const ClientConnection&) = delete;
+  ~ClientConnection() { Close(); }
+
+  /// Sends one frame.
+  Status Send(std::string_view payload);
+  /// Sends raw bytes verbatim (robustness tests: truncated/corrupt frames).
+  Status SendRaw(std::string_view bytes);
+  /// Receives one frame payload; IOError on EOF/short read.
+  Result<std::string> Recv();
+  /// Send + Recv + parse the response JSON.
+  Result<JsonValue> Call(std::string_view payload);
+
+  void Close();
+  int fd() const { return fd_; }
+
+ private:
+  explicit ClientConnection(int fd) : fd_(fd) {}
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
+struct LoadGenOptions {
+  int connections = 4;
+  /// Mean arrival rate, requests per (real) second.
+  double rate = 100;
+  /// "const" = homogeneous Poisson; "peak" = two-peak day profile (morning
+  /// and evening rush) with the same mean rate, via thinning.
+  std::string profile = "const";
+  /// Schedule length in real seconds; generation stops early when the
+  /// server's rider universe is exhausted.
+  double duration = 5;
+  uint64_t seed = 1;
+  /// Cancel this fraction of submitted riders ~50 ms after submission.
+  double cancel_fraction = 0;
+};
+
+struct LoadGenReport {
+  int64_t sent = 0;
+  int64_t ok = 0;        // 2xx responses (queued/assigned/rejected-infeasible)
+  int64_t queued = 0;
+  int64_t assigned = 0;
+  int64_t rejected_admission = 0;  // 429 queue_full
+  int64_t rejected_infeasible = 0; // 200 result:"rejected"
+  int64_t errors = 0;    // transport errors + 4xx/5xx other than 429
+  double elapsed = 0;    // real seconds, first send to last response
+  double p50 = 0, p95 = 0, p99 = 0, max = 0;  // e2e latency, seconds
+  double goodput = 0;          // ok responses per second
+  double rejection_rate = 0;   // 429s / sent
+  std::string ToJson() const;
+};
+
+/// Open-loop run against a steady-clock server (requests carry no times).
+Result<LoadGenReport> RunOpenLoop(const Endpoint& endpoint,
+                                  const LoadGenOptions& options);
+
+/// Replays the server's recorded workload at recorded virtual times over
+/// one connection (virtual-clock server). `shutdown_after` sends the
+/// shutdown request once the schedule is drained (the differential flow:
+/// the server then finalizes and writes its --log).
+Result<LoadGenReport> RunReplay(const Endpoint& endpoint,
+                                bool shutdown_after);
+
+}  // namespace urr
+
+#endif  // URR_SERVER_LOADGEN_H_

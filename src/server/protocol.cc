@@ -1,0 +1,130 @@
+#include "server/protocol.h"
+
+#include <cstring>
+
+#include "common/json_writer.h"
+
+namespace urr {
+
+std::string EncodeFrame(std::string_view payload) {
+  const uint32_t n = static_cast<uint32_t>(payload.size());
+  std::string out;
+  out.reserve(4 + payload.size());
+  out += static_cast<char>((n >> 24) & 0xFF);
+  out += static_cast<char>((n >> 16) & 0xFF);
+  out += static_cast<char>((n >> 8) & 0xFF);
+  out += static_cast<char>(n & 0xFF);
+  out.append(payload);
+  return out;
+}
+
+FrameReader::Next FrameReader::Poll(std::string* out) {
+  if (buf_.size() < 4) return Next::kNeedMore;
+  const auto* p = reinterpret_cast<const unsigned char*>(buf_.data());
+  const uint32_t n = (static_cast<uint32_t>(p[0]) << 24) |
+                     (static_cast<uint32_t>(p[1]) << 16) |
+                     (static_cast<uint32_t>(p[2]) << 8) |
+                     static_cast<uint32_t>(p[3]);
+  if (n > kMaxFrameBytes) return Next::kOversized;
+  if (buf_.size() < 4 + static_cast<size_t>(n)) return Next::kNeedMore;
+  out->assign(buf_, 4, n);
+  buf_.erase(0, 4 + static_cast<size_t>(n));
+  return Next::kFrame;
+}
+
+namespace {
+
+bool ParseOp(std::string_view name, RequestOp* op) {
+  if (name == "submit_rider") *op = RequestOp::kSubmitRider;
+  else if (name == "cancel_rider") *op = RequestOp::kCancelRider;
+  else if (name == "query_status") *op = RequestOp::kQueryStatus;
+  else if (name == "metrics") *op = RequestOp::kMetrics;
+  else if (name == "workload") *op = RequestOp::kWorkload;
+  else if (name == "inject_fault") *op = RequestOp::kInjectFault;
+  else if (name == "tick") *op = RequestOp::kTick;
+  else if (name == "shutdown") *op = RequestOp::kShutdown;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+Result<Request> ParseRequest(std::string_view payload) {
+  URR_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(payload));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  Request req;
+  const JsonValue* op = doc.Find("op");
+  if (op == nullptr || !op->is_string()) {
+    return Status::InvalidArgument("request is missing a string \"op\"");
+  }
+  if (!ParseOp(op->as_string(), &req.op)) {
+    return Status::InvalidArgument("unknown op \"" + op->as_string() + "\"");
+  }
+  req.id = doc.GetInt("id", -1);
+  if (const JsonValue* t = doc.Find("time"); t != nullptr) {
+    if (!t->is_number()) {
+      return Status::InvalidArgument("\"time\" must be a number");
+    }
+    req.has_time = true;
+    req.time = t->as_number();
+  }
+  switch (req.op) {
+    case RequestOp::kSubmitRider:
+    case RequestOp::kCancelRider:
+    case RequestOp::kQueryStatus: {
+      const JsonValue* r = doc.Find("rider");
+      if (r == nullptr || !r->is_number()) {
+        return Status::InvalidArgument("\"" + op->as_string() +
+                                       "\" needs a numeric \"rider\"");
+      }
+      req.rider = static_cast<RiderId>(r->as_number());
+      break;
+    }
+    case RequestOp::kInjectFault: {
+      req.fault_kind = doc.GetString("kind", "");
+      if (req.fault_kind == "breakdown") {
+        const JsonValue* v = doc.Find("vehicle");
+        if (v == nullptr || !v->is_number()) {
+          return Status::InvalidArgument(
+              "breakdown injection needs a numeric \"vehicle\"");
+        }
+        req.vehicle = static_cast<int>(v->as_number());
+      } else if (req.fault_kind == "edge_disrupt" ||
+                 req.fault_kind == "edge_restore") {
+        const JsonValue* a = doc.Find("a");
+        const JsonValue* b = doc.Find("b");
+        if (a == nullptr || !a->is_number() || b == nullptr ||
+            !b->is_number()) {
+          return Status::InvalidArgument(
+              "edge-fault injection needs numeric \"a\" and \"b\"");
+        }
+        req.edge_a = static_cast<NodeId>(a->as_number());
+        req.edge_b = static_cast<NodeId>(b->as_number());
+        req.factor = doc.GetNumber("factor", 1);
+      } else {
+        return Status::InvalidArgument(
+            "inject_fault \"kind\" must be breakdown, edge_disrupt or "
+            "edge_restore");
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return req;
+}
+
+std::string ErrorResponse(int64_t id, int code, std::string_view error) {
+  JsonWriter w;
+  w.BeginObject()
+      .Field("id", static_cast<int64_t>(id))
+      .Field("ok", false)
+      .Field("code", code)
+      .Field("error", error)
+      .EndObject();
+  return w.str();
+}
+
+}  // namespace urr

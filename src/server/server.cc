@@ -1,0 +1,269 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "server/protocol.h"
+
+namespace urr {
+
+namespace {
+
+/// write() the whole buffer, riding out EINTR and partial writes.
+bool WriteAll(int fd, const char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;  // peer went away mid-response
+    }
+    off += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+DispatchServer::DispatchServer(DispatchService* service,
+                               AdmissionController* admission,
+                               ServerConfig config)
+    : service_(service), admission_(admission), config_(std::move(config)) {}
+
+DispatchServer::~DispatchServer() { Stop(); }
+
+Status DispatchServer::Start() {
+  if (::pipe(wake_pipe_) != 0) {
+    return Status::IOError("pipe: " + std::string(std::strerror(errno)));
+  }
+  if (config_.port >= 0) {
+    tcp_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (tcp_fd_ < 0) {
+      return Status::IOError("socket: " + std::string(std::strerror(errno)));
+    }
+    const int one = 1;
+    ::setsockopt(tcp_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(config_.port));
+    if (::bind(tcp_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      return Status::IOError("bind 127.0.0.1:" + std::to_string(config_.port) +
+                             ": " + std::strerror(errno));
+    }
+    if (::listen(tcp_fd_, config_.backlog) != 0) {
+      return Status::IOError("listen: " + std::string(std::strerror(errno)));
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(tcp_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+        0) {
+      port_ = ntohs(addr.sin_port);
+    }
+  }
+  if (!config_.unix_path.empty()) {
+    sockaddr_un addr{};
+    if (config_.unix_path.size() >= sizeof(addr.sun_path)) {
+      return Status::InvalidArgument("unix socket path too long: " +
+                                     config_.unix_path);
+    }
+    unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (unix_fd_ < 0) {
+      return Status::IOError("socket(AF_UNIX): " +
+                             std::string(std::strerror(errno)));
+    }
+    ::unlink(config_.unix_path.c_str());
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, config_.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::bind(unix_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      return Status::IOError("bind " + config_.unix_path + ": " +
+                             std::strerror(errno));
+    }
+    if (::listen(unix_fd_, config_.backlog) != 0) {
+      return Status::IOError("listen(unix): " +
+                             std::string(std::strerror(errno)));
+    }
+  }
+  if (tcp_fd_ < 0 && unix_fd_ < 0) {
+    return Status::InvalidArgument(
+        "server needs a TCP port or a unix socket path");
+  }
+  listener_ = std::thread([this] { ListenLoop(); });
+  return Status::OK();
+}
+
+void DispatchServer::ListenLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    // Backpressure: take the session slot BEFORE accept. While the service
+    // is saturated, pending connections queue in the kernel backlog — the
+    // server never owns a socket it cannot serve.
+    if (!admission_->AcquireSession()) break;
+    pollfd fds[3];
+    nfds_t n = 0;
+    fds[n++] = {wake_pipe_[0], POLLIN, 0};
+    int tcp_slot = -1, unix_slot = -1;
+    if (tcp_fd_ >= 0) {
+      tcp_slot = static_cast<int>(n);
+      fds[n++] = {tcp_fd_, POLLIN, 0};
+    }
+    if (unix_fd_ >= 0) {
+      unix_slot = static_cast<int>(n);
+      fds[n++] = {unix_fd_, POLLIN, 0};
+    }
+    int accepted = -1;
+    while (accepted < 0) {
+      const int rc = ::poll(fds, n, -1);
+      if (stopping_.load(std::memory_order_acquire)) break;
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (tcp_slot >= 0 && (fds[tcp_slot].revents & POLLIN) != 0) {
+        accepted = ::accept(tcp_fd_, nullptr, nullptr);
+      } else if (unix_slot >= 0 && (fds[unix_slot].revents & POLLIN) != 0) {
+        accepted = ::accept(unix_fd_, nullptr, nullptr);
+      } else if ((fds[0].revents & POLLIN) != 0) {
+        break;  // woken by Stop()
+      }
+      if (accepted < 0 && (errno == EINTR || errno == ECONNABORTED)) {
+        accepted = -1;
+        continue;
+      }
+      break;
+    }
+    if (accepted < 0) {
+      admission_->ReleaseSession();
+      if (stopping_.load(std::memory_order_acquire)) break;
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    session_fds_.push_back(accepted);
+    sessions_.emplace_back([this, accepted] { SessionLoop(accepted); });
+  }
+}
+
+void DispatchServer::SessionLoop(int fd) {
+  FrameReader reader;
+  char buf[4096];
+  std::string payload;
+  bool alive = true;
+  while (alive) {
+    const ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) break;  // EOF (clean close or mid-request disconnect)
+    reader.Feed(buf, static_cast<size_t>(r));
+    for (;;) {
+      const FrameReader::Next next = reader.Poll(&payload);
+      if (next == FrameReader::Next::kNeedMore) break;
+      if (next == FrameReader::Next::kOversized) {
+        // The declared length is beyond the protocol cap: answer precisely,
+        // then close — there is no way to resync past a frame that will
+        // never be read.
+        const std::string resp = EncodeFrame(ErrorResponse(
+            -1, 400,
+            "frame exceeds the " + std::to_string(kMaxFrameBytes) +
+                "-byte limit"));
+        WriteAll(fd, resp.data(), resp.size());
+        alive = false;
+        break;
+      }
+      const std::string resp = EncodeFrame(service_->Handle(payload));
+      if (!WriteAll(fd, resp.data(), resp.size())) {
+        alive = false;
+        break;
+      }
+      if (service_->shutdown_requested()) {
+        // The shutdown response is on the wire; wake the listener so
+        // Wait() returns and the owner runs the graceful Stop() (which
+        // joins this thread — it cannot run from inside it).
+        SignalStop();
+        alive = false;
+        break;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (int& sfd : session_fds_) {
+      if (sfd == fd) {
+        sfd = -1;
+        break;
+      }
+    }
+  }
+  ::close(fd);
+  admission_->ReleaseSession();
+}
+
+void DispatchServer::SignalStop() {
+  stopping_.store(true, std::memory_order_release);
+  admission_->Close();  // unblock AcquireSession
+  if (wake_pipe_[1] >= 0) {
+    const char one = 1;
+    (void)!::write(wake_pipe_[1], &one, 1);  // unblock poll
+  }
+}
+
+void DispatchServer::CloseListeners() {
+  if (tcp_fd_ >= 0) {
+    ::close(tcp_fd_);
+    tcp_fd_ = -1;
+  }
+  if (unix_fd_ >= 0) {
+    ::close(unix_fd_);
+    unix_fd_ = -1;
+    ::unlink(config_.unix_path.c_str());
+  }
+}
+
+void DispatchServer::UnblockSessions() {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  for (int sfd : session_fds_) {
+    if (sfd >= 0) ::shutdown(sfd, SHUT_RD);
+  }
+}
+
+void DispatchServer::Wait() {
+  std::lock_guard<std::mutex> lock(listener_mu_);
+  if (listener_.joinable()) listener_.join();
+}
+
+Status DispatchServer::Stop() {
+  if (stopped_.exchange(true)) return Status::OK();
+  SignalStop();
+  {
+    std::lock_guard<std::mutex> lock(listener_mu_);
+    if (listener_.joinable()) listener_.join();
+  }
+  CloseListeners();
+  // Sessions blocked in read() return 0 after SHUT_RD; in-flight requests
+  // finish their response first because the shutdown only touches the read
+  // side.
+  UnblockSessions();
+  std::vector<std::thread> sessions;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions.swap(sessions_);
+  }
+  for (std::thread& t : sessions) {
+    if (t.joinable()) t.join();
+  }
+  for (int i = 0; i < 2; ++i) {
+    if (wake_pipe_[i] >= 0) {
+      ::close(wake_pipe_[i]);
+      wake_pipe_[i] = -1;
+    }
+  }
+  return service_->Finish();
+}
+
+}  // namespace urr

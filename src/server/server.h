@@ -1,0 +1,96 @@
+// The socket front end of the dispatch service: a long-lived server that
+// accepts length-prefixed JSON frames (server/protocol.h) over a loopback
+// TCP socket and/or a Unix-domain socket, and funnels every request through
+// one DispatchService.
+//
+// Shape: one listener thread multiplexes the listening sockets with
+// poll(); each accepted connection gets a session thread that loops
+// read → FrameReader → DispatchService::Handle → write. Session slots come
+// from the AdmissionController — when all are taken the listener simply
+// stops accepting (backpressure: excess connections wait in the kernel
+// backlog), it never accepts a connection it cannot serve.
+//
+// Shutdown (either a `shutdown` request or Stop()): the listener closes
+// the listening sockets, shutdown(SHUT_RD)s every active session so their
+// blocking reads return cleanly after the in-flight response is written,
+// joins all session threads, and closes the live engine session
+// (DispatchService::Finish), which drains the fleet exactly like the tail
+// of a batch run.
+#ifndef URR_SERVER_SERVER_H_
+#define URR_SERVER_SERVER_H_
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/admission.h"
+#include "server/dispatch_service.h"
+
+namespace urr {
+
+struct ServerConfig {
+  /// TCP: listen on 127.0.0.1:port. port = 0 picks an ephemeral port
+  /// (resolved port available from port() after Start()); port < 0 disables
+  /// TCP entirely.
+  int port = 0;
+  /// Unix-domain socket path; empty disables. An existing socket file at
+  /// the path is replaced.
+  std::string unix_path;
+  /// Listen backlog (the backpressure buffer while sessions are maxed out).
+  int backlog = 64;
+};
+
+class DispatchServer {
+ public:
+  /// Borrows the service and the admission controller (both must outlive
+  /// Stop()).
+  DispatchServer(DispatchService* service, AdmissionController* admission,
+                 ServerConfig config);
+  ~DispatchServer();
+
+  /// Binds + listens + starts the listener thread. IOError on bind/listen
+  /// failure.
+  Status Start();
+
+  /// The resolved TCP port (after Start(); 0 when TCP is disabled).
+  int port() const { return port_; }
+
+  /// Blocks until the server stopped serving (a shutdown request arrived
+  /// or Stop() was called) and every session thread exited.
+  void Wait();
+
+  /// Graceful stop: stop accepting, unblock and join the sessions, close
+  /// the live engine session. Idempotent; also called by the destructor.
+  Status Stop();
+
+ private:
+  void ListenLoop();
+  void SessionLoop(int fd);
+  void CloseListeners();
+  /// shutdown(SHUT_RD) every active session socket so blocked reads return.
+  void UnblockSessions();
+  /// Marks the server stopping and wakes the listener (no joining — safe
+  /// from inside a session thread).
+  void SignalStop();
+
+  DispatchService* service_;
+  AdmissionController* admission_;
+  ServerConfig config_;
+  int tcp_fd_ = -1;
+  int unix_fd_ = -1;
+  int port_ = 0;
+  int wake_pipe_[2] = {-1, -1};  // self-pipe: wakes poll() on Stop()
+  std::mutex listener_mu_;  // serializes Wait()/Stop() joining the listener
+  std::thread listener_;
+  std::mutex sessions_mu_;
+  std::vector<std::thread> sessions_;
+  std::vector<int> session_fds_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace urr
+
+#endif  // URR_SERVER_SERVER_H_

@@ -6,6 +6,7 @@
 #include "common/json_writer.h"
 #include "routing/distance_oracle.h"
 #include "urr/eval_cache.h"
+#include "urr/online.h"
 
 namespace urr {
 
@@ -80,6 +81,35 @@ void AttachEvalStats(const SolverContext& ctx, SolutionMetrics* metrics) {
   }
 }
 
+void AttachRejectionReasons(const UrrInstance& instance, SolverContext* ctx,
+                            const UrrSolution& solution,
+                            SolutionMetrics* metrics) {
+  metrics->unserved_no_reachable_vehicle = 0;
+  metrics->unserved_capacity = 0;
+  metrics->unserved_deadline = 0;
+  metrics->unserved_feasible = 0;
+  for (RiderId i = 0; i < instance.num_riders(); ++i) {
+    if (solution.assignment[static_cast<size_t>(i)] >= 0) continue;
+    const DispatchDecision d = EvaluateArrival(instance, ctx, solution, i,
+                                               OnlineObjective::kUtilityGain);
+    if (d.accepted) {
+      ++metrics->unserved_feasible;
+      continue;
+    }
+    switch (d.reason) {
+      case RejectReason::kNoReachableVehicle:
+        ++metrics->unserved_no_reachable_vehicle;
+        break;
+      case RejectReason::kCapacity:
+        ++metrics->unserved_capacity;
+        break;
+      default:
+        ++metrics->unserved_deadline;
+        break;
+    }
+  }
+}
+
 std::string FormatMetrics(const SolutionMetrics& m) {
   std::ostringstream out;
   out << "riders served: " << m.riders_served << "/" << m.riders_total << " ("
@@ -119,8 +149,15 @@ std::string MetricsJson(const SolutionMetrics& m) {
       .Field("kernel_evals", m.kernel_evals)
       .Field("oracle_hits", m.oracle_hits)
       .Field("oracle_misses", m.oracle_misses)
-      .Field("oracle_entries", m.oracle_entries)
+      .Field("oracle_entries", m.oracle_entries);
+  w.Key("rejects_by_reason")
+      .BeginObject()
+      .Field("no_reachable_vehicle", m.unserved_no_reachable_vehicle)
+      .Field("capacity", m.unserved_capacity)
+      .Field("deadline", m.unserved_deadline)
+      .Field("feasible_unassigned", m.unserved_feasible)
       .EndObject();
+  w.EndObject();
   return w.str();
 }
 

@@ -34,6 +34,15 @@ struct SolutionMetrics {
   int64_t oracle_hits = 0;
   int64_t oracle_misses = 0;
   int64_t oracle_entries = 0;
+
+  /// Why each unserved rider stays unserved, by re-evaluating them against
+  /// the final schedules (filled by AttachRejectionReasons; 0 otherwise).
+  /// `unserved_feasible` counts riders who WOULD fit now but lost the
+  /// solver's utility competition — distinct from the three hard reasons.
+  int unserved_no_reachable_vehicle = 0;
+  int unserved_capacity = 0;
+  int unserved_deadline = 0;
+  int unserved_feasible = 0;
 };
 
 /// Computes the metrics for a (valid) solution.
@@ -45,6 +54,15 @@ SolutionMetrics ComputeMetrics(const UrrInstance& instance,
 /// kernel runs) and the shared CachingOracle's hit/miss/entry stats into
 /// `metrics`. Counters the context does not carry stay 0.
 void AttachEvalStats(const SolverContext& ctx, SolutionMetrics* metrics);
+
+/// Classifies every unserved rider with the shared online decision helper
+/// (EvaluateArrival against the final schedules) and fills the unserved_*
+/// counters: no vehicle reachable in time, reachable but full, insertions
+/// exist but all violate deadlines, or feasible-yet-unassigned (lost the
+/// utility competition).
+void AttachRejectionReasons(const UrrInstance& instance, SolverContext* ctx,
+                            const UrrSolution& solution,
+                            SolutionMetrics* metrics);
 
 /// Renders the metrics as a short human-readable report.
 std::string FormatMetrics(const SolutionMetrics& metrics);

@@ -1,0 +1,147 @@
+#include "server/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/json_parser.h"
+
+namespace urr {
+namespace {
+
+TEST(FrameTest, EncodePrefixesBigEndianLength) {
+  const std::string f = EncodeFrame("abc");
+  ASSERT_EQ(f.size(), 7u);
+  EXPECT_EQ(static_cast<unsigned char>(f[0]), 0);
+  EXPECT_EQ(static_cast<unsigned char>(f[1]), 0);
+  EXPECT_EQ(static_cast<unsigned char>(f[2]), 0);
+  EXPECT_EQ(static_cast<unsigned char>(f[3]), 3);
+  EXPECT_EQ(f.substr(4), "abc");
+}
+
+TEST(FrameTest, ReaderReassemblesByteAtATime) {
+  // Any split point must work, including inside the 4-byte length prefix.
+  const std::string frame = EncodeFrame("{\"op\":\"metrics\"}");
+  FrameReader reader;
+  std::string out;
+  for (size_t i = 0; i + 1 < frame.size(); ++i) {
+    reader.Feed(&frame[i], 1);
+    EXPECT_EQ(reader.Poll(&out), FrameReader::Next::kNeedMore) << i;
+  }
+  reader.Feed(&frame[frame.size() - 1], 1);
+  ASSERT_EQ(reader.Poll(&out), FrameReader::Next::kFrame);
+  EXPECT_EQ(out, "{\"op\":\"metrics\"}");
+  EXPECT_EQ(reader.pending_bytes(), 0u);
+}
+
+TEST(FrameTest, ReaderYieldsMultipleFramesFromOneFeed) {
+  const std::string bytes = EncodeFrame("one") + EncodeFrame("two") +
+                            EncodeFrame("");
+  FrameReader reader;
+  reader.Feed(bytes.data(), bytes.size());
+  std::string out;
+  ASSERT_EQ(reader.Poll(&out), FrameReader::Next::kFrame);
+  EXPECT_EQ(out, "one");
+  ASSERT_EQ(reader.Poll(&out), FrameReader::Next::kFrame);
+  EXPECT_EQ(out, "two");
+  ASSERT_EQ(reader.Poll(&out), FrameReader::Next::kFrame);
+  EXPECT_EQ(out, "");
+  EXPECT_EQ(reader.Poll(&out), FrameReader::Next::kNeedMore);
+}
+
+TEST(FrameTest, TruncatedFrameStaysPending) {
+  const std::string frame = EncodeFrame("payload");
+  FrameReader reader;
+  reader.Feed(frame.data(), frame.size() - 2);  // cut mid-payload
+  std::string out;
+  EXPECT_EQ(reader.Poll(&out), FrameReader::Next::kNeedMore);
+  // Nonzero pending at EOF is how the server detects a truncated frame.
+  EXPECT_GT(reader.pending_bytes(), 0u);
+}
+
+TEST(FrameTest, OversizedLengthIsRejectedBeforeBuffering) {
+  // A length just past the cap must be refused even though no payload
+  // bytes follow (the attack is the length itself).
+  const uint32_t n = kMaxFrameBytes + 1;
+  std::string bytes;
+  bytes.push_back(static_cast<char>((n >> 24) & 0xff));
+  bytes.push_back(static_cast<char>((n >> 16) & 0xff));
+  bytes.push_back(static_cast<char>((n >> 8) & 0xff));
+  bytes.push_back(static_cast<char>(n & 0xff));
+  FrameReader reader;
+  reader.Feed(bytes.data(), bytes.size());
+  std::string out;
+  EXPECT_EQ(reader.Poll(&out), FrameReader::Next::kOversized);
+  // A frame exactly at the cap is fine.
+  FrameReader ok_reader;
+  const std::string big(kMaxFrameBytes, 'x');
+  const std::string ok = EncodeFrame(big);
+  ok_reader.Feed(ok.data(), ok.size());
+  ASSERT_EQ(ok_reader.Poll(&out), FrameReader::Next::kFrame);
+  EXPECT_EQ(out.size(), big.size());
+}
+
+TEST(ParseRequestTest, ParsesEveryOp) {
+  auto submit = ParseRequest(R"({"op":"submit_rider","rider":7,"time":12.5,"id":3})");
+  ASSERT_TRUE(submit.ok()) << submit.status();
+  EXPECT_EQ(submit->op, RequestOp::kSubmitRider);
+  EXPECT_EQ(submit->rider, 7);
+  EXPECT_EQ(submit->id, 3);
+  EXPECT_TRUE(submit->has_time);
+  EXPECT_DOUBLE_EQ(submit->time, 12.5);
+
+  EXPECT_EQ(ParseRequest(R"({"op":"cancel_rider","rider":1})")->op,
+            RequestOp::kCancelRider);
+  EXPECT_EQ(ParseRequest(R"({"op":"query_status","rider":1})")->op,
+            RequestOp::kQueryStatus);
+  EXPECT_EQ(ParseRequest(R"({"op":"metrics"})")->op, RequestOp::kMetrics);
+  EXPECT_EQ(ParseRequest(R"({"op":"workload"})")->op, RequestOp::kWorkload);
+  EXPECT_EQ(ParseRequest(R"({"op":"tick","time":5})")->op, RequestOp::kTick);
+  EXPECT_EQ(ParseRequest(R"({"op":"shutdown"})")->op, RequestOp::kShutdown);
+
+  auto fault = ParseRequest(
+      R"({"op":"inject_fault","kind":"edge_disrupt","a":3,"b":4,"factor":2})");
+  ASSERT_TRUE(fault.ok()) << fault.status();
+  EXPECT_EQ(fault->op, RequestOp::kInjectFault);
+  EXPECT_EQ(fault->fault_kind, "edge_disrupt");
+  EXPECT_EQ(fault->edge_a, 3);
+  EXPECT_EQ(fault->edge_b, 4);
+  EXPECT_DOUBLE_EQ(fault->factor, 2);
+}
+
+TEST(ParseRequestTest, RejectsMalformedRequests) {
+  EXPECT_FALSE(ParseRequest("not json").ok());
+  EXPECT_FALSE(ParseRequest("[1,2]").ok());          // not an object
+  EXPECT_FALSE(ParseRequest("{}").ok());             // missing op
+  EXPECT_FALSE(ParseRequest(R"({"op":"fly"})").ok());  // unknown op
+  EXPECT_FALSE(ParseRequest(R"({"op":5})").ok());    // op wrong type
+  // submit/cancel/query need a numeric rider.
+  EXPECT_FALSE(ParseRequest(R"({"op":"submit_rider"})").ok());
+  EXPECT_FALSE(ParseRequest(R"({"op":"submit_rider","rider":"x"})").ok());
+  EXPECT_FALSE(ParseRequest(R"({"op":"cancel_rider"})").ok());
+  EXPECT_FALSE(ParseRequest(R"({"op":"query_status"})").ok());
+  // time must be a number when present.
+  EXPECT_FALSE(
+      ParseRequest(R"({"op":"submit_rider","rider":1,"time":"soon"})").ok());
+  // inject_fault kind-specific validation.
+  EXPECT_FALSE(ParseRequest(R"({"op":"inject_fault"})").ok());
+  EXPECT_FALSE(
+      ParseRequest(R"({"op":"inject_fault","kind":"meteor"})").ok());
+  EXPECT_FALSE(
+      ParseRequest(R"({"op":"inject_fault","kind":"breakdown"})").ok());
+  EXPECT_FALSE(
+      ParseRequest(R"({"op":"inject_fault","kind":"edge_disrupt","a":1})")
+          .ok());
+}
+
+TEST(ErrorResponseTest, CarriesIdCodeAndMessage) {
+  auto v = ParseJson(ErrorResponse(9, 400, "bad \"frame\""));
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ(v->GetInt("id", -2), 9);
+  EXPECT_FALSE(v->GetBool("ok", true));
+  EXPECT_EQ(v->GetInt("code", 0), 400);
+  EXPECT_EQ(v->GetString("error", ""), "bad \"frame\"");
+}
+
+}  // namespace
+}  // namespace urr

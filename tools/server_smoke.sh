@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the dispatch server: the server must serve the
+# recorded workload over the socket and produce an event log byte-identical
+# to `urr_engine` on the same flags (the live-vs-batch differential), both
+# on a freshly built world and cold-started from the golden .urrx fixture.
+set -euo pipefail
+
+URR_SERVER="$1"
+URR_LOADGEN="$2"
+URR_ENGINE="$3"
+GOLDEN="$4"
+DIR="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+wait_for_port() {
+  for _ in $(seq 1 150); do
+    [ -s "$1" ] && return 0
+    sleep 0.1
+  done
+  echo "server never wrote its port file" >&2
+  return 1
+}
+
+# --- batch vs server, fresh chicago world, windowed solver + cancels ------
+WORLD=(--city chicago --nodes 800 --riders 60 --vehicles 12 --capacity 3
+       --solver eg --window 20 --arrival-rate 1 --cancel-fraction 0.15
+       --seed 7)
+
+"$URR_ENGINE" "${WORLD[@]}" --log "$DIR/batch.log" > /dev/null
+
+"$URR_SERVER" "${WORLD[@]}" --port 0 --port-file "$DIR/port" \
+  --log "$DIR/server.log" &
+SERVER_PID=$!
+wait_for_port "$DIR/port"
+"$URR_LOADGEN" --port "$(cat "$DIR/port")" --mode replay --shutdown
+wait "$SERVER_PID"
+SERVER_PID=""
+cmp "$DIR/batch.log" "$DIR/server.log" || {
+  echo "server log diverges from the batch log" >&2
+  exit 1
+}
+
+# --- same differential, W=0 online mode over a unix-domain socket ---------
+ONLINE=(--city chicago --nodes 800 --riders 40 --vehicles 10 --solver cf
+        --window 0 --arrival-rate 2 --max-queue 4 --seed 11)
+
+"$URR_ENGINE" "${ONLINE[@]}" --log "$DIR/batch0.log" > /dev/null
+
+"$URR_SERVER" "${ONLINE[@]}" --port -1 --socket "$DIR/urr.sock" \
+  --log "$DIR/server0.log" &
+SERVER_PID=$!
+for _ in $(seq 1 150); do
+  [ -S "$DIR/urr.sock" ] && break
+  sleep 0.1
+done
+"$URR_LOADGEN" --socket "$DIR/urr.sock" --mode replay --shutdown
+wait "$SERVER_PID"
+SERVER_PID=""
+cmp "$DIR/batch0.log" "$DIR/server0.log" || {
+  echo "online-mode server log diverges from the batch log" >&2
+  exit 1
+}
+
+# --- cold start from the committed golden snapshot ------------------------
+GOLD=(--city grid --grid-width 12 --grid-height 10 --quantize 0.25
+      --seed 20170512 --riders 30 --vehicles 8 --solver eg --window 15
+      --arrival-rate 1)
+
+"$URR_ENGINE" "${GOLD[@]}" --index "$GOLDEN" --log "$DIR/gold_batch.log" \
+  > /dev/null
+
+"$URR_SERVER" "${GOLD[@]}" --index "$GOLDEN" --port 0 \
+  --port-file "$DIR/gold_port" --log "$DIR/gold_server.log" --json \
+  > "$DIR/gold_stdout" &
+SERVER_PID=$!
+wait_for_port "$DIR/gold_port"
+"$URR_LOADGEN" --port "$(cat "$DIR/gold_port")" --mode replay --shutdown
+wait "$SERVER_PID"
+SERVER_PID=""
+cmp "$DIR/gold_batch.log" "$DIR/gold_server.log" || {
+  echo "golden-snapshot server log diverges from the batch log" >&2
+  exit 1
+}
+grep -q '"rejects_by_reason"' "$DIR/gold_stdout" || {
+  echo "server --json output is missing rejects_by_reason" >&2
+  exit 1
+}
+
+echo "server smoke OK: $(wc -l < "$DIR/batch.log") windowed events," \
+  "$(wc -l < "$DIR/batch0.log") online events," \
+  "$(wc -l < "$DIR/gold_batch.log") golden-snapshot events"

@@ -293,6 +293,7 @@ Status Run(const Options& opt) {
 
   SolutionMetrics metrics = ComputeMetrics(instance, model, sol);
   AttachEvalStats(ctx, &metrics);
+  AttachRejectionReasons(instance, &ctx, sol, &metrics);
   if (opt.json) {
     // Machine-readable path: the JSON object is the last stdout line.
     std::printf("%s\n", MetricsJson(metrics).c_str());

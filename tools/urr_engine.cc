@@ -28,6 +28,9 @@ namespace {
 struct Options {
   std::string city = "nyc";
   int nodes = 4000;
+  int grid_width = 12;         // --city grid only
+  int grid_height = 10;
+  double quantize = 0;         // snap edge costs to multiples of this
   int riders = 300;
   int vehicles = 60;
   int capacity = 3;
@@ -74,7 +77,9 @@ void PrintUsage() {
   std::printf(R"(urr_engine - event-driven streaming ridesharing dispatcher
 
 world:
-  --city nyc|chicago --nodes N
+  --city nyc|chicago|grid --nodes N
+  --grid-width W --grid-height H --quantize Q   grid preset dimensions and
+                          edge-cost quantum (matches urr_index build)
   --riders M --vehicles N --capacity C
   --deadline-min MIN --deadline-max MIN   pickup deadline range (minutes)
   --oracle dijkstra|ch|caching|hl         distance oracle stack
@@ -158,8 +163,11 @@ Result<Options> ParseArgs(int argc, char** argv) {
       {"--slowdown-factor", &opt.slowdown_factor},
       {"--fault-duration", &opt.fault_duration},
       {"--redispatch-backoff", &opt.redispatch_backoff},
+      {"--quantize", &opt.quantize},
   };
   std::map<std::string, int*> ints = {
+      {"--grid-width", &opt.grid_width},
+      {"--grid-height", &opt.grid_height},
       {"--nodes", &opt.nodes},         {"--riders", &opt.riders},
       {"--vehicles", &opt.vehicles},   {"--capacity", &opt.capacity},
       {"--max-queue", &opt.max_queue}, {"--threads", &opt.threads},
@@ -273,10 +281,15 @@ Status Run(const Options& opt) {
   }
 
   ExperimentConfig cfg;
-  cfg.city = opt.city == "chicago" ? CityKind::kChicagoLike : CityKind::kNycLike;
-  if (opt.city != "nyc" && opt.city != "chicago") {
+  cfg.city = opt.city == "chicago" ? CityKind::kChicagoLike
+             : opt.city == "grid" ? CityKind::kGrid
+                                  : CityKind::kNycLike;
+  if (opt.city != "nyc" && opt.city != "chicago" && opt.city != "grid") {
     return Status::InvalidArgument("unknown --city " + opt.city);
   }
+  cfg.grid_width = opt.grid_width;
+  cfg.grid_height = opt.grid_height;
+  cfg.quantize = opt.quantize;
   cfg.city_nodes = opt.nodes;
   cfg.num_social_users = std::max(500, opt.nodes / 2);
   cfg.num_trip_records = std::max(2000, opt.riders * 3);

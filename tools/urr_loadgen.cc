@@ -1,0 +1,195 @@
+// urr_loadgen: open-loop load generator and replay driver for urr_server.
+//
+// Modes:
+//   --mode open    (default) fires submit_rider requests on a Poisson or
+//                  two-peak arrival schedule over N connections against a
+//                  --steady-clock server, and reports end-to-end latency
+//                  percentiles (measured from the scheduled instant, so
+//                  server-side queueing is not silently absorbed), goodput
+//                  and the admission-control rejection rate.
+//   --mode replay  fetches the server's recorded workload and drives every
+//                  arrival/cancellation at its recorded virtual time over
+//                  one connection. Against a virtual-clock server this
+//                  reproduces the batch engine's event log byte for byte.
+//
+// Examples:
+//   urr_loadgen --port $(cat /tmp/port) --rate 200 --duration 5
+//               --connections 8 --json
+//   urr_loadgen --port $(cat /tmp/port) --mode replay --shutdown
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "server/loadgen.h"
+
+namespace urr {
+namespace {
+
+struct Options {
+  int port = 0;
+  std::string socket_path;
+  std::string mode = "open";  // open | replay
+  int connections = 4;
+  double rate = 100;
+  std::string profile = "const";  // const | peak
+  double duration = 5;
+  double cancel_fraction = 0;
+  uint64_t seed = 1;
+  bool shutdown = false;  // send {"op":"shutdown"} when done
+  bool json = false;
+  bool help = false;
+};
+
+void PrintUsage() {
+  std::printf(R"(urr_loadgen - open-loop load generator for urr_server
+
+target:
+  --port P                TCP 127.0.0.1:P
+  --socket PATH           or a unix-domain socket
+
+mode:
+  --mode open|replay      open loop (steady-clock server) or recorded-
+                          workload replay (virtual-clock server)
+
+open loop:
+  --connections N         parallel connections (default 4)
+  --rate R                mean requests per second (default 100)
+  --profile const|peak    homogeneous Poisson or two-peak day profile
+  --duration S            schedule length in seconds (default 5)
+  --cancel-fraction F     also cancel this share of riders shortly after
+  --seed S
+
+common:
+  --shutdown              send {"op":"shutdown"} after the run
+  --json                  print the report as one JSON object
+)");
+}
+
+Result<Options> ParseArgs(int argc, char** argv) {
+  Options opt;
+  std::map<std::string, std::string*> strings = {
+      {"--socket", &opt.socket_path},
+      {"--mode", &opt.mode},
+      {"--profile", &opt.profile},
+  };
+  std::map<std::string, double*> doubles = {
+      {"--rate", &opt.rate},
+      {"--duration", &opt.duration},
+      {"--cancel-fraction", &opt.cancel_fraction},
+  };
+  std::map<std::string, int*> ints = {
+      {"--port", &opt.port},
+      {"--connections", &opt.connections},
+  };
+  std::map<std::string, bool*> bools = {
+      {"--shutdown", &opt.shutdown},
+      {"--json", &opt.json},
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--help" || flag == "-h") {
+      opt.help = true;
+      return opt;
+    }
+    auto need_value = [&]() -> Result<std::string> {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument(flag + " needs a value");
+      }
+      return std::string(argv[++i]);
+    };
+    if (auto it = strings.find(flag); it != strings.end()) {
+      URR_ASSIGN_OR_RETURN(*it->second, need_value());
+    } else if (auto dt = doubles.find(flag); dt != doubles.end()) {
+      URR_ASSIGN_OR_RETURN(std::string v, need_value());
+      *dt->second = std::atof(v.c_str());
+    } else if (auto nt = ints.find(flag); nt != ints.end()) {
+      URR_ASSIGN_OR_RETURN(std::string v, need_value());
+      *nt->second = std::atoi(v.c_str());
+    } else if (auto bt = bools.find(flag); bt != bools.end()) {
+      *bt->second = true;
+    } else if (flag == "--seed") {
+      URR_ASSIGN_OR_RETURN(std::string v, need_value());
+      opt.seed = static_cast<uint64_t>(std::atoll(v.c_str()));
+    } else {
+      return Status::InvalidArgument("unknown flag: " + flag);
+    }
+  }
+  return opt;
+}
+
+Status Run(const Options& opt) {
+  Endpoint endpoint;
+  endpoint.port = opt.port;
+  endpoint.unix_path = opt.socket_path;
+  LoadGenReport report;
+  if (opt.mode == "replay") {
+    URR_ASSIGN_OR_RETURN(report, RunReplay(endpoint, opt.shutdown));
+  } else if (opt.mode == "open") {
+    LoadGenOptions lopt;
+    lopt.connections = opt.connections;
+    lopt.rate = opt.rate;
+    lopt.profile = opt.profile;
+    lopt.duration = opt.duration;
+    lopt.seed = opt.seed;
+    lopt.cancel_fraction = opt.cancel_fraction;
+    URR_ASSIGN_OR_RETURN(report, RunOpenLoop(endpoint, lopt));
+    if (opt.shutdown) {
+      URR_ASSIGN_OR_RETURN(ClientConnection conn,
+                           ClientConnection::Connect(endpoint));
+      URR_ASSIGN_OR_RETURN(JsonValue resp,
+                           conn.Call("{\"op\":\"shutdown\"}"));
+      if (resp.GetInt("code", 0) != 200) {
+        return Status::IOError("shutdown request failed");
+      }
+    }
+  } else {
+    return Status::InvalidArgument("unknown --mode " + opt.mode);
+  }
+  if (opt.json) {
+    std::printf("%s\n", report.ToJson().c_str());
+  } else {
+    std::printf(
+        "sent %lld | ok %lld (queued %lld, assigned %lld, infeasible %lld) | "
+        "429 %lld | errors %lld\n",
+        static_cast<long long>(report.sent), static_cast<long long>(report.ok),
+        static_cast<long long>(report.queued),
+        static_cast<long long>(report.assigned),
+        static_cast<long long>(report.rejected_infeasible),
+        static_cast<long long>(report.rejected_admission),
+        static_cast<long long>(report.errors));
+    std::printf(
+        "latency p50 %.1fms p95 %.1fms p99 %.1fms max %.1fms | goodput "
+        "%.1f/s | rejection %.1f%% | %.2fs elapsed\n",
+        report.p50 * 1e3, report.p95 * 1e3, report.p99 * 1e3,
+        report.max * 1e3, report.goodput, report.rejection_rate * 100,
+        report.elapsed);
+  }
+  // Non-zero exit on transport errors so scripts and CI catch them.
+  return report.errors == 0
+             ? Status::OK()
+             : Status::Internal(std::to_string(report.errors) +
+                                " request(s) failed");
+}
+
+}  // namespace
+}  // namespace urr
+
+int main(int argc, char** argv) {
+  auto options = urr::ParseArgs(argc, argv);
+  if (!options.ok()) {
+    std::fprintf(stderr, "%s\n", options.status().ToString().c_str());
+    urr::PrintUsage();
+    return 2;
+  }
+  if (options->help) {
+    urr::PrintUsage();
+    return 0;
+  }
+  const urr::Status st = urr::Run(*options);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
