@@ -92,7 +92,10 @@ void ClientConnection::Close() {
 Status ClientConnection::SendRaw(std::string_view bytes) {
   size_t off = 0;
   while (off < bytes.size()) {
-    const ssize_t w = ::write(fd_, bytes.data() + off, bytes.size() - off);
+    // MSG_NOSIGNAL: a server that closed the connection must surface as an
+    // EPIPE IOError, not a process-killing SIGPIPE.
+    const ssize_t w =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
       return Status::IOError("write: " + std::string(std::strerror(errno)));
@@ -145,6 +148,9 @@ std::string LoadGenReport::ToJson() const {
       .Field("latency_p95", p95)
       .Field("latency_p99", p99)
       .Field("latency_max", max)
+      .Field("shed_latency_p50", shed_p50)
+      .Field("shed_latency_p95", shed_p95)
+      .Field("shed_latency_p99", shed_p99)
       .Field("goodput", goodput)
       .Field("rejection_rate", rejection_rate)
       .EndObject();
@@ -209,10 +215,14 @@ std::vector<ScheduledCall> MakeSchedule(const std::vector<RiderId>& riders,
 
 struct WorkerTally {
   LoadGenReport report;
-  std::vector<double> latencies;
+  std::vector<double> served_latencies;  // code 200 only
+  std::vector<double> shed_latencies;    // 429 admission sheds
 };
 
-/// Classifies one response into the tally. `latency` < 0 = transport error.
+/// Classifies one response into the tally. Served and shed latencies go
+/// into separate distributions: 429s return fast by design, so folding
+/// them into one percentile would flatter the served tail exactly when
+/// overload grows the shed share.
 void Record(WorkerTally* tally, const Result<JsonValue>& resp,
             double latency) {
   LoadGenReport& r = tally->report;
@@ -221,11 +231,11 @@ void Record(WorkerTally* tally, const Result<JsonValue>& resp,
     ++r.errors;
     return;
   }
-  tally->latencies.push_back(latency);
   const int64_t code = resp->GetInt("code", 0);
   const std::string result = resp->GetString("result", "");
   if (code == 429) {
     ++r.rejected_admission;
+    tally->shed_latencies.push_back(latency);
     return;
   }
   if (code != 200) {
@@ -233,6 +243,7 @@ void Record(WorkerTally* tally, const Result<JsonValue>& resp,
     return;
   }
   ++r.ok;
+  tally->served_latencies.push_back(latency);
   if (result == "queued") ++r.queued;
   else if (result == "assigned") ++r.assigned;
   else if (result == "rejected") ++r.rejected_infeasible;
@@ -241,7 +252,8 @@ void Record(WorkerTally* tally, const Result<JsonValue>& resp,
 LoadGenReport MergeTallies(std::vector<WorkerTally>* tallies,
                            double elapsed) {
   LoadGenReport total;
-  std::vector<double> latencies;
+  std::vector<double> served;
+  std::vector<double> shed;
   for (WorkerTally& t : *tallies) {
     total.sent += t.report.sent;
     total.ok += t.report.ok;
@@ -250,14 +262,21 @@ LoadGenReport MergeTallies(std::vector<WorkerTally>* tallies,
     total.rejected_admission += t.report.rejected_admission;
     total.rejected_infeasible += t.report.rejected_infeasible;
     total.errors += t.report.errors;
-    latencies.insert(latencies.end(), t.latencies.begin(), t.latencies.end());
+    served.insert(served.end(), t.served_latencies.begin(),
+                  t.served_latencies.end());
+    shed.insert(shed.end(), t.shed_latencies.begin(), t.shed_latencies.end());
   }
   total.elapsed = elapsed;
-  if (!latencies.empty()) {
-    total.p50 = Percentile(latencies, 50);
-    total.p95 = Percentile(latencies, 95);
-    total.p99 = Percentile(latencies, 99);
-    total.max = *std::max_element(latencies.begin(), latencies.end());
+  if (!served.empty()) {
+    total.p50 = Percentile(served, 50);
+    total.p95 = Percentile(served, 95);
+    total.p99 = Percentile(served, 99);
+    total.max = *std::max_element(served.begin(), served.end());
+  }
+  if (!shed.empty()) {
+    total.shed_p50 = Percentile(shed, 50);
+    total.shed_p95 = Percentile(shed, 95);
+    total.shed_p99 = Percentile(shed, 99);
   }
   if (elapsed > 0) total.goodput = static_cast<double>(total.ok) / elapsed;
   if (total.sent > 0) {

@@ -8,7 +8,9 @@
 //    spread over N connections, regardless of how fast the server answers.
 //    Latency is measured from the *scheduled* send instant to the response
 //    (so server-side queueing shows up as tail latency instead of being
-//    silently absorbed — the coordinated-omission correction).
+//    silently absorbed — the coordinated-omission correction). Served
+//    (200) and admission-shed (429) responses form separate latency
+//    distributions — fast rejections must not dilute the served tail.
 //  - Replay (RunReplay): fetches the server's recorded workload and drives
 //    every arrival/cancellation over ONE connection at its recorded
 //    virtual time, in the engine's (time, rank) order. Against a
@@ -87,7 +89,12 @@ struct LoadGenReport {
   int64_t rejected_infeasible = 0; // 200 result:"rejected"
   int64_t errors = 0;    // transport errors + 4xx/5xx other than 429
   double elapsed = 0;    // real seconds, first send to last response
-  double p50 = 0, p95 = 0, p99 = 0, max = 0;  // e2e latency, seconds
+  /// E2e latency of *served* (code 200) responses only, seconds. 429
+  /// admission sheds return fast by design; mixing them in would flatter
+  /// the tail exactly when overload grows the shed share.
+  double p50 = 0, p95 = 0, p99 = 0, max = 0;
+  /// E2e latency of 429 admission-shed responses, reported separately.
+  double shed_p50 = 0, shed_p95 = 0, shed_p99 = 0;
   double goodput = 0;          // ok responses per second
   double rejection_rate = 0;   // 429s / sent
   std::string ToJson() const;

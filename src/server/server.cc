@@ -16,11 +16,13 @@ namespace urr {
 
 namespace {
 
-/// write() the whole buffer, riding out EINTR and partial writes.
+/// send() the whole buffer, riding out EINTR and partial writes.
+/// MSG_NOSIGNAL: a client that disconnects with a response still pending
+/// must yield EPIPE here, not a process-killing SIGPIPE.
 bool WriteAll(int fd, const char* data, size_t n) {
   size_t off = 0;
   while (off < n) {
-    const ssize_t w = ::write(fd, data + off, n - off);
+    const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
       return false;  // peer went away mid-response
@@ -120,38 +122,59 @@ void DispatchServer::ListenLoop() {
       fds[n++] = {unix_fd_, POLLIN, 0};
     }
     int accepted = -1;
+    bool listener_dead = false;
     while (accepted < 0) {
       const int rc = ::poll(fds, n, -1);
       if (stopping_.load(std::memory_order_acquire)) break;
       if (rc < 0) {
         if (errno == EINTR) continue;
+        listener_dead = true;
         break;
       }
+      if ((fds[0].revents & POLLIN) != 0) break;  // woken by Stop()
+      // POLLERR/POLLHUP on a listening socket means it is gone for good —
+      // checked explicitly so control never reaches an errno test with a
+      // stale value from an earlier syscall.
+      int listen_fd = -1;
       if (tcp_slot >= 0 && (fds[tcp_slot].revents & POLLIN) != 0) {
-        accepted = ::accept(tcp_fd_, nullptr, nullptr);
+        listen_fd = tcp_fd_;
       } else if (unix_slot >= 0 && (fds[unix_slot].revents & POLLIN) != 0) {
-        accepted = ::accept(unix_fd_, nullptr, nullptr);
-      } else if ((fds[0].revents & POLLIN) != 0) {
-        break;  // woken by Stop()
+        listen_fd = unix_fd_;
+      } else if ((tcp_slot >= 0 &&
+                  (fds[tcp_slot].revents & (POLLERR | POLLHUP)) != 0) ||
+                 (unix_slot >= 0 &&
+                  (fds[unix_slot].revents & (POLLERR | POLLHUP)) != 0)) {
+        listener_dead = true;
+        break;
+      } else {
+        continue;  // spurious wakeup, nothing readable
       }
-      if (accepted < 0 && (errno == EINTR || errno == ECONNABORTED)) {
-        accepted = -1;
-        continue;
+      accepted = ::accept(listen_fd, nullptr, nullptr);
+      if (accepted < 0) {
+        // errno is inspected only here, directly after the failed accept.
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        // Transient resource exhaustion (EMFILE & co): back off briefly
+        // instead of spinning on a level-triggered POLLIN.
+        ::poll(nullptr, 0, 10);
+        break;
       }
-      break;
     }
     if (accepted < 0) {
       admission_->ReleaseSession();
-      if (stopping_.load(std::memory_order_acquire)) break;
+      if (listener_dead || stopping_.load(std::memory_order_acquire)) break;
       continue;
     }
     std::lock_guard<std::mutex> lock(sessions_mu_);
-    session_fds_.push_back(accepted);
-    sessions_.emplace_back([this, accepted] { SessionLoop(accepted); });
+    ReapSessionsLocked();
+    sessions_.push_back(std::make_unique<Session>());
+    Session* session = sessions_.back().get();
+    session->fd = accepted;
+    session->thread = std::thread([this, session] { SessionLoop(session); });
   }
 }
 
-void DispatchServer::SessionLoop(int fd) {
+void DispatchServer::SessionLoop(Session* session) {
+  const int fd = session->fd;  // set before the thread started
   FrameReader reader;
   char buf[4096];
   std::string payload;
@@ -192,16 +215,34 @@ void DispatchServer::SessionLoop(int fd) {
     }
   }
   {
+    // Take the fd back under the mutex so UnblockSessions never touches a
+    // closed (and possibly reused) descriptor.
     std::lock_guard<std::mutex> lock(sessions_mu_);
-    for (int& sfd : session_fds_) {
-      if (sfd == fd) {
-        sfd = -1;
-        break;
-      }
-    }
+    session->fd = -1;
   }
   ::close(fd);
   admission_->ReleaseSession();
+  // Last store: after this the reaper may join the thread and destroy
+  // *session.
+  session->done.store(true, std::memory_order_release);
+}
+
+void DispatchServer::ReapSessionsLocked() {
+  auto it = sessions_.begin();
+  while (it != sessions_.end()) {
+    Session& session = **it;
+    if (session.done.load(std::memory_order_acquire)) {
+      if (session.thread.joinable()) session.thread.join();
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t DispatchServer::tracked_sessions() {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return sessions_.size();
 }
 
 void DispatchServer::SignalStop() {
@@ -227,8 +268,12 @@ void DispatchServer::CloseListeners() {
 
 void DispatchServer::UnblockSessions() {
   std::lock_guard<std::mutex> lock(sessions_mu_);
-  for (int sfd : session_fds_) {
-    if (sfd >= 0) ::shutdown(sfd, SHUT_RD);
+  for (const std::unique_ptr<Session>& session : sessions_) {
+    // SHUT_RDWR, not SHUT_RD: a session blocked in WriteAll because the
+    // client stopped reading (send buffer full) must also be unblocked,
+    // or joining it would hang Stop() forever. Writers fail with EPIPE,
+    // which WriteAll already treats as a dead peer.
+    if (session->fd >= 0) ::shutdown(session->fd, SHUT_RDWR);
   }
 }
 
@@ -245,17 +290,16 @@ Status DispatchServer::Stop() {
     if (listener_.joinable()) listener_.join();
   }
   CloseListeners();
-  // Sessions blocked in read() return 0 after SHUT_RD; in-flight requests
-  // finish their response first because the shutdown only touches the read
-  // side.
+  // Sessions blocked in read() return 0, sessions blocked in a write to a
+  // full send buffer fail with EPIPE — both exit their loop cleanly.
   UnblockSessions();
-  std::vector<std::thread> sessions;
+  std::vector<std::unique_ptr<Session>> sessions;
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
     sessions.swap(sessions_);
   }
-  for (std::thread& t : sessions) {
-    if (t.joinable()) t.join();
+  for (const std::unique_ptr<Session>& session : sessions) {
+    if (session->thread.joinable()) session->thread.join();
   }
   for (int i = 0; i < 2; ++i) {
     if (wake_pipe_[i] >= 0) {

@@ -10,16 +10,22 @@
 // stops accepting (backpressure: excess connections wait in the kernel
 // backlog), it never accepts a connection it cannot serve.
 //
+// Session threads that finish on their own (client closed, protocol
+// error) are reaped opportunistically by the listener before the next
+// accept, so a long-lived server churning through short connections never
+// accumulates exited-but-unjoined threads.
+//
 // Shutdown (either a `shutdown` request or Stop()): the listener closes
-// the listening sockets, shutdown(SHUT_RD)s every active session so their
-// blocking reads return cleanly after the in-flight response is written,
-// joins all session threads, and closes the live engine session
+// the listening sockets, shutdown(SHUT_RDWR)s every active session so
+// both blocked reads *and* blocked writes (a client that stopped reading)
+// return, joins all session threads, and closes the live engine session
 // (DispatchService::Finish), which drains the fleet exactly like the tail
 // of a batch run.
 #ifndef URR_SERVER_SERVER_H_
 #define URR_SERVER_SERVER_H_
 
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -57,6 +63,10 @@ class DispatchServer {
   /// The resolved TCP port (after Start(); 0 when TCP is disabled).
   int port() const { return port_; }
 
+  /// Sessions currently tracked: live ones plus exited ones the listener
+  /// has not reaped yet. Test hook for the opportunistic reaping.
+  size_t tracked_sessions();
+
   /// Blocks until the server stopped serving (a shutdown request arrived
   /// or Stop() was called) and every session thread exited.
   void Wait();
@@ -66,10 +76,25 @@ class DispatchServer {
   Status Stop();
 
  private:
+  /// One accepted connection: its thread, its socket (-1 once the session
+  /// closed it) and a completion flag the reaper keys on. `done` is the
+  /// session thread's last store — once observed, join() returns
+  /// (near-)immediately and the Session may be destroyed.
+  struct Session {
+    std::thread thread;
+    int fd = -1;
+    std::atomic<bool> done{false};
+  };
+
   void ListenLoop();
-  void SessionLoop(int fd);
+  void SessionLoop(Session* session);
   void CloseListeners();
-  /// shutdown(SHUT_RD) every active session socket so blocked reads return.
+  /// Joins and erases sessions whose threads already finished. Caller
+  /// holds sessions_mu_; done == true guarantees the thread no longer
+  /// needs the mutex, so joining under it cannot deadlock.
+  void ReapSessionsLocked();
+  /// shutdown(SHUT_RDWR) every active session socket so blocked reads and
+  /// writes both return.
   void UnblockSessions();
   /// Marks the server stopping and wakes the listener (no joining — safe
   /// from inside a session thread).
@@ -85,8 +110,7 @@ class DispatchServer {
   std::mutex listener_mu_;  // serializes Wait()/Stop() joining the listener
   std::thread listener_;
   std::mutex sessions_mu_;
-  std::vector<std::thread> sessions_;
-  std::vector<int> session_fds_;
+  std::vector<std::unique_ptr<Session>> sessions_;
   std::atomic<bool> stopping_{false};
   std::atomic<bool> stopped_{false};
 };

@@ -265,6 +265,80 @@ TEST(ServerTest, TruncatedFrameAndMidRequestDisconnectAreClean) {
   EXPECT_EQ(metrics->GetInt("code", 0), 200);
 }
 
+TEST(ServerTest, ClientVanishingWithResponsesPendingDoesNotKillServer) {
+  ServerHarness h(WindowedConfig());
+  {
+    // Pipeline several requests and vanish without reading a byte. The
+    // unread responses in the client's receive queue make the close send
+    // an RST, so the session's remaining writes hit a dead socket — which
+    // must surface as EPIPE in WriteAll, never as a process-killing
+    // SIGPIPE.
+    auto conn = h.Connect();
+    ASSERT_TRUE(conn.ok());
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(conn->Send("{\"op\":\"metrics\"}").ok());
+    }
+    conn->Close();
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // The server survived and still serves.
+  auto conn = h.Connect();
+  ASSERT_TRUE(conn.ok());
+  auto metrics = conn->Call("{\"op\":\"metrics\"}");
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_EQ(metrics->GetInt("code", 0), 200);
+}
+
+TEST(ServerTest, FinishedSessionThreadsAreReaped) {
+  ServerHarness h(WindowedConfig());
+  // Churn through short-lived connections; each leaves an exited session
+  // thread behind for the listener to reap on a later accept.
+  for (int i = 0; i < 20; ++i) {
+    auto conn = h.Connect();
+    ASSERT_TRUE(conn.ok());
+    auto metrics = conn->Call("{\"op\":\"metrics\"}");
+    ASSERT_TRUE(metrics.ok());
+    conn->Close();
+  }
+  // Every fresh accept reaps the sessions that finished by then; once the
+  // stragglers exit, tracked sessions collapse to the probe connection
+  // itself (plus at most the previous probe still winding down).
+  bool reaped = false;
+  for (int attempt = 0; attempt < 100 && !reaped; ++attempt) {
+    auto probe = h.Connect();
+    ASSERT_TRUE(probe.ok());
+    auto metrics = probe->Call("{\"op\":\"metrics\"}");
+    ASSERT_TRUE(metrics.ok());
+    reaped = h.server.tracked_sessions() <= 2;
+    probe->Close();
+    if (!reaped) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(reaped) << "listener never reaped finished session threads; "
+                      << h.server.tracked_sessions() << " still tracked";
+}
+
+TEST(ServerTest, StopUnblocksWriteBlockedSession) {
+  ServerHarness h(WindowedConfig());
+  auto conn = h.Connect();
+  ASSERT_TRUE(conn.ok());
+  // Pipeline far more requests than the socket buffers hold without ever
+  // reading a response: the session thread ends up blocked in a write to
+  // a full send buffer. Stop() must still return — SHUT_RDWR fails that
+  // write with EPIPE (SHUT_RD alone would leave the writer blocked and
+  // the join hanging forever).
+  std::thread flooder([&] {
+    for (int i = 0; i < 20000; ++i) {
+      if (!conn->Send("{\"op\":\"metrics\"}").ok()) break;
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_TRUE(h.server.Stop().ok());
+  // The teardown reset the connection, which also unblocks the flooder's
+  // own sends.
+  flooder.join();
+  conn->Close();
+}
+
 TEST(ServerTest, AdmissionControlRejectsWithQueueFull) {
   EngineConfig config = WindowedConfig(1000);  // nothing solves mid-test
   config.max_queue = 2;

@@ -159,11 +159,12 @@ Status Run(const Options& opt) {
         static_cast<long long>(report.rejected_admission),
         static_cast<long long>(report.errors));
     std::printf(
-        "latency p50 %.1fms p95 %.1fms p99 %.1fms max %.1fms | goodput "
-        "%.1f/s | rejection %.1f%% | %.2fs elapsed\n",
+        "served latency p50 %.1fms p95 %.1fms p99 %.1fms max %.1fms | "
+        "shed p99 %.1fms | goodput %.1f/s | rejection %.1f%% | %.2fs "
+        "elapsed\n",
         report.p50 * 1e3, report.p95 * 1e3, report.p99 * 1e3,
-        report.max * 1e3, report.goodput, report.rejection_rate * 100,
-        report.elapsed);
+        report.max * 1e3, report.shed_p99 * 1e3, report.goodput,
+        report.rejection_rate * 100, report.elapsed);
   }
   // Non-zero exit on transport errors so scripts and CI catch them.
   return report.errors == 0
