@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <map>
 
 #include <cstdio>
 
@@ -22,6 +23,7 @@
 #include "sched/kinetic_tree.h"
 #include "cover/kspc.h"
 #include "social/generators.h"
+#include "spatial/st_index.h"
 #include "urr/solution.h"
 #include "urr/utility.h"
 
@@ -327,6 +329,101 @@ BENCHMARK(BM_OracleComparison)
     ->ArgsProduct({{0, 1, 2}, {0, 1}})
     ->Unit(benchmark::kMillisecond);
 
+/// Fixture for the candidate-retrieval head-to-head: a fleet of `n` idle
+/// vehicles scattered over the grid city, 64 pending riders, and both
+/// retrieval stacks (VehicleIndex reverse Dijkstra / StIndex + CH confirm)
+/// answering the identical Lemma-3.1 prefilter queries.
+struct RetrievalWorld {
+  std::unique_ptr<ChOracle> oracle;
+  std::unique_ptr<CachingOracle> caching;
+  UrrInstance instance;
+  std::unique_ptr<VehicleIndex> vindex;
+  std::unique_ptr<StIndex> st;
+  UrrSolution sol;
+  std::vector<RiderId> riders;
+  double max_speed = 0;
+
+  explicit RetrievalWorld(int fleet) {
+    MicroWorld& w = World();
+    oracle = *ChOracle::Create(w.network);
+    // Same stack the solvers run on (caching over CH): the confirm pairs
+    // are the (location, source) distances the evaluation phase reuses.
+    caching = std::make_unique<CachingOracle>(oracle.get());
+    instance.network = &w.network;
+    instance.social = &w.social;
+    Rng rng(4242);  // fixed stream: same fleet/riders for both paths
+    auto random_node = [&] {
+      return static_cast<NodeId>(rng.UniformInt(0, w.network.num_nodes() - 1));
+    };
+    for (int i = 0; i < 64; ++i) {
+      Rider r;
+      r.source = random_node();
+      r.destination = random_node();
+      // Table-3 deadline regime (rt⁻ in [10, 30] min): the reverse Dijkstra
+      // must settle the whole reachability disc per rider, the ST path only
+      // the occupied nodes inside it.
+      r.pickup_deadline = rng.Uniform(600, 1800);
+      r.dropoff_deadline = 1e8;
+      instance.riders.push_back(r);
+      riders.push_back(i);
+    }
+    std::vector<NodeId> locations;
+    for (int j = 0; j < fleet; ++j) {
+      locations.push_back(random_node());
+      instance.vehicles.push_back({locations.back(), 3});
+    }
+    vindex = std::make_unique<VehicleIndex>(w.network, locations);
+    st = std::make_unique<StIndex>(*StIndex::Build(w.network));
+    sol = MakeEmptySolution(instance, caching.get());
+    max_speed = w.network.MaxSpeed();
+  }
+
+  SolverContext Context(bool st_path) {
+    SolverContext ctx;
+    ctx.oracle = caching.get();
+    ctx.vehicle_index = vindex.get();
+    ctx.euclid_speed = max_speed;
+    if (st_path) {
+      ctx.st_index = st.get();
+      ctx.st_confirm_oracle = caching.get();
+    }
+    return ctx;
+  }
+};
+
+RetrievalWorld& RetrievalWorldFor(int fleet) {
+  static std::map<int, std::unique_ptr<RetrievalWorld>> worlds;
+  auto& slot = worlds[fleet];
+  if (slot == nullptr) slot = std::make_unique<RetrievalWorld>(fleet);
+  return *slot;
+}
+
+/// One window's candidate retrieval (64 riders) against a fleet of range(0)
+/// vehicles; range(1) picks the path (0 = bounded reverse Dijkstra, 1 =
+/// ST-index screen + batched CH confirm). Both compute the identical
+/// candidate lists — only the wall clock moves.
+void BM_CandidateRetrieval(benchmark::State& state) {
+  RetrievalWorld& rw = RetrievalWorldFor(static_cast<int>(state.range(0)));
+  const bool st_path = state.range(1) != 0;
+  SolverContext ctx = rw.Context(st_path);
+  // Warm-up outside the timed loop: the first ST call pays the full-fleet
+  // Sync; later syncs are no-ops on this static fleet.
+  benchmark::DoNotOptimize(
+      CandidateVehiclesForRiders(rw.instance, &ctx, rw.sol, rw.riders,
+                                 nullptr));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        CandidateVehiclesForRiders(rw.instance, &ctx, rw.sol, rw.riders,
+                                   nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(rw.riders.size()));
+}
+BENCHMARK(BM_CandidateRetrieval)
+    ->ArgNames({"fleet", "st"})
+    ->ArgsProduct({{1000, 10000, 100000}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_Jaccard(benchmark::State& state) {
   MicroWorld& w = World();
   for (auto _ : state) {
@@ -487,16 +584,79 @@ int EmitOracleSnapshot(const std::string& path) {
   return 0;
 }
 
+/// Perf snapshot of the candidate-retrieval fleet sweep: best-of-R wall
+/// clock for one 64-rider retrieval window over 1k / 10k / 100k idle
+/// vehicles, reverse Dijkstra vs ST-index, appended as one JSON line per
+/// fleet size (the same file bench_engine appends to, so the comparison
+/// lives next to the end-to-end rows). Both paths return identical lists;
+/// the emitter re-checks that before writing.
+int EmitRetrievalSnapshot(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot append to %s\n", path.c_str());
+    return 1;
+  }
+  int rc = 0;
+  for (const int fleet : {1000, 10000, 100000}) {
+    RetrievalWorld& rw = RetrievalWorldFor(fleet);
+    auto measure = [&](bool st_path, int64_t* candidates) {
+      SolverContext ctx = rw.Context(st_path);
+      double best = 1e300;
+      for (int rep = 0; rep < 6; ++rep) {
+        Stopwatch t;
+        auto out = CandidateVehiclesForRiders(rw.instance, &ctx, rw.sol,
+                                              rw.riders, nullptr);
+        benchmark::DoNotOptimize(out.data());
+        const double s = t.ElapsedSeconds();
+        if (rep > 0 && s < best) best = s;  // rep 0 warms up (ST: full sync)
+        *candidates = 0;
+        for (const auto& c : out) *candidates += static_cast<int64_t>(c.size());
+      }
+      return best;
+    };
+    int64_t dijkstra_candidates = 0, st_candidates = 0;
+    const double dijkstra_s = measure(false, &dijkstra_candidates);
+    const double st_s = measure(true, &st_candidates);
+    if (dijkstra_candidates != st_candidates) {
+      std::fprintf(stderr, "retrieval mismatch at fleet %d: %lld vs %lld\n",
+                   fleet, static_cast<long long>(dijkstra_candidates),
+                   static_cast<long long>(st_candidates));
+      rc = 1;
+    }
+    std::fprintf(
+        f,
+        "{\"bench\":\"retrieval_micro\",\"fleet\":%d,\"riders\":%zu,"
+        "\"budget_range\":[600,1800],\"candidates\":%lld,"
+        "\"dijkstra_seconds\":%.6f,"
+        "\"st_index_seconds\":%.6f,\"speedup_st_vs_dijkstra\":%.2f}\n",
+        fleet, rw.riders.size(), static_cast<long long>(st_candidates),
+        dijkstra_s, st_s, st_s > 0 ? dijkstra_s / st_s : 0);
+    std::printf("fleet %6d: dijkstra %8.3fms  st-index %8.3fms  (%.1fx)\n",
+                fleet, dijkstra_s * 1e3, st_s * 1e3,
+                st_s > 0 ? dijkstra_s / st_s : 0);
+  }
+  std::fclose(f);
+  std::printf("retrieval rows appended to %s\n", path.c_str());
+  return rc;
+}
+
 }  // namespace urr
 
-// BENCHMARK_MAIN, plus the URR_EMIT_ORACLE_JSON=<path> escape hatch that
-// writes the candidate-evaluation perf snapshot instead of running the
-// google-benchmark suite.
+// BENCHMARK_MAIN, plus two escape hatches that write perf snapshots instead
+// of running the google-benchmark suite: URR_EMIT_ORACLE_JSON=<path> (the
+// candidate-evaluation snapshot) and URR_EMIT_RETRIEVAL_JSON=<path> (the
+// retrieval fleet sweep, appended to BENCH_engine.json by default).
 int main(int argc, char** argv) {
   const std::string snapshot = urr::GetEnvString("URR_EMIT_ORACLE_JSON", "");
   if (!snapshot.empty()) {
     return urr::EmitOracleSnapshot(snapshot == "1" ? "BENCH_oracle.json"
                                                    : snapshot);
+  }
+  const std::string retrieval =
+      urr::GetEnvString("URR_EMIT_RETRIEVAL_JSON", "");
+  if (!retrieval.empty()) {
+    return urr::EmitRetrievalSnapshot(retrieval == "1" ? "BENCH_engine.json"
+                                                       : retrieval);
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

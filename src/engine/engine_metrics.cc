@@ -84,14 +84,31 @@ std::string EngineMetricsJson(const EngineMetrics& m, bool include_windows) {
       .Field("elided_queries", m.elided_queries)
       .Field("kernel_evals", m.kernel_evals)
       .Field("oracle_hits", m.oracle_hits)
-      .Field("oracle_misses", m.oracle_misses)
-      .Field("num_windows", static_cast<int>(m.windows.size()));
+      .Field("oracle_misses", m.oracle_misses);
+  w.Key("retrieval")
+      .BeginObject()
+      .Field("st_index_active", m.st_index_active)
+      .Field("riders", m.retrieval_riders)
+      .Field("candidates", m.retrieval_candidates)
+      .Field("scanned", m.retrieval_scanned)
+      .Field("screened_out", m.retrieval_screened_out)
+      .Field("confirm_rejected", m.retrieval_confirm_rejected)
+      .Field("dijkstra_retrievals", m.retrieval_dijkstra)
+      .Field("seconds", m.retrieval_seconds)
+      .Field("mean_candidates", m.retrieval_mean_candidates)
+      .Field("p99_candidates", m.retrieval_p99_candidates)
+      .Field("screen_prune_ratio", m.retrieval_screen_prune_ratio)
+      .EndObject();
+  w.Field("num_windows", static_cast<int>(m.windows.size()));
   percentile_field("pickup_wait_p50", m.pickup_waits, 50);
   percentile_field("pickup_wait_p95", m.pickup_waits, 95);
   percentile_field("pickup_wait_p99", m.pickup_waits, 99);
   percentile_field("solve_latency_p50", m.solve_latencies, 50);
   percentile_field("solve_latency_p95", m.solve_latencies, 95);
   percentile_field("solve_latency_p99", m.solve_latencies, 99);
+  percentile_field("retrieval_latency_p50", m.retrieval_latencies, 50);
+  percentile_field("retrieval_latency_p95", m.retrieval_latencies, 95);
+  percentile_field("retrieval_latency_p99", m.retrieval_latencies, 99);
   if (include_windows) {
     w.Key("windows").BeginArray();
     for (const WindowMetrics& win : m.windows) {
@@ -106,6 +123,8 @@ std::string EngineMetricsJson(const EngineMetrics& m, bool include_windows) {
           .Field("booked_utility", win.booked_utility)
           .Field("driven_cost", win.driven_cost)
           .Field("solve_seconds", win.solve_seconds)
+          .Field("retrieval_seconds", win.retrieval_seconds)
+          .Field("retrieval_candidates", win.retrieval_candidates)
           .Field("fleet_utilization", win.fleet_utilization)
           .EndObject();
     }

@@ -24,6 +24,10 @@ struct WindowMetrics {
   double booked_utility = 0;  // utility committed by this window's solve
   double driven_cost = 0;     // cost driven along committed legs this window
   double solve_seconds = 0;   // wall clock (metrics only)
+  /// Wall clock spent in candidate retrieval inside this window's solve
+  /// (subset of solve_seconds; metrics only) and the candidates returned.
+  double retrieval_seconds = 0;
+  int retrieval_candidates = 0;
   double fleet_utilization = 0;  // busy vehicles / fleet size at window end
 };
 
@@ -93,11 +97,26 @@ struct EngineMetrics {
   /// Shared distance-cache stats (CachingOracle, when active; else 0).
   int64_t oracle_hits = 0;
   int64_t oracle_misses = 0;
+  /// Candidate-retrieval counters (recorded on both the ST-index and the
+  /// reverse-Dijkstra paths, so A/B runs are directly comparable).
+  bool st_index_active = false;        // retrieval answered from the StIndex
+  int64_t retrieval_riders = 0;        // retrieval queries answered
+  int64_t retrieval_candidates = 0;    // final candidates returned
+  int64_t retrieval_scanned = 0;       // anchors touched by ST disc scans
+  int64_t retrieval_screened_out = 0;  // pruned by the Euclidean bound
+  int64_t retrieval_confirm_rejected = 0;  // failed the exact confirm
+  int64_t retrieval_dijkstra = 0;      // queries on the baseline path
+  double retrieval_seconds = 0;        // total wall time in retrieval
+  double retrieval_mean_candidates = 0;  // mean |C_i| per query
+  double retrieval_p99_candidates = 0;   // p99 |C_i| per query
+  double retrieval_screen_prune_ratio = 0;  // screened_out / scanned
   std::vector<WindowMetrics> windows;
   /// Per picked-up rider: pickup time − arrival time (simulated clock).
   std::vector<double> pickup_waits;
   /// Per window: wall-clock solve seconds.
   std::vector<double> solve_latencies;
+  /// Per window: wall-clock retrieval seconds (subset of solve_latencies).
+  std::vector<double> retrieval_latencies;
 };
 
 /// Nearest-rank percentile (p in [0,100]) over a copy of `values`; 0 when

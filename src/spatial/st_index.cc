@@ -1,0 +1,227 @@
+#include "spatial/st_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace urr {
+
+void RetrievalStats::Reset() {
+  riders.store(0);
+  scanned.store(0);
+  screened_out.store(0);
+  confirm_rejected.store(0);
+  confirmed.store(0);
+  dijkstra_retrievals.store(0);
+  retrieval_nanos.store(0);
+  per_rider_candidates.clear();
+}
+
+Result<StIndex> StIndex::Build(const RoadNetwork& network) {
+  return Build(network, Params{});
+}
+
+Result<StIndex> StIndex::Build(const RoadNetwork& network,
+                               const Params& params) {
+  if (!network.has_coords()) {
+    return Status::InvalidArgument("StIndex requires node coordinates");
+  }
+  if (!(params.slab_seconds > 0)) {
+    return Status::InvalidArgument("StIndex slab_seconds must be positive");
+  }
+  StIndex index;
+  index.network_ = &network;
+  index.params_ = params;
+  URR_ASSIGN_OR_RETURN(index.grid_,
+                       GridIndex::Build(network, params.target_cells));
+  index.present_.resize(static_cast<size_t>(index.grid_.num_cells_x()) *
+                        static_cast<size_t>(index.grid_.num_cells_y()));
+  return index;
+}
+
+uint64_t StIndex::FutureKey(int cell, Cost arrival) const {
+  // (cell, slab) packed into one hash key. Arrivals are engine-clock
+  // seconds >= 0; clamp defensively so a pathological schedule cannot
+  // overflow the slab field.
+  double slab = std::floor(std::max<double>(arrival, 0) / params_.slab_seconds);
+  slab = std::min(slab, static_cast<double>(std::numeric_limits<uint32_t>::max()));
+  return (static_cast<uint64_t>(static_cast<uint32_t>(cell)) << 32) |
+         static_cast<uint64_t>(slab);
+}
+
+std::vector<int> StIndex::ScreenResult::Flatten() const {
+  std::vector<int> out;
+  for (const auto& [node, vehicles] : groups) {
+    out.insert(out.end(), vehicles->begin(), vehicles->end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void StIndex::RemoveVehicle(int vehicle) {
+  VehicleEntry& e = entries_[static_cast<size_t>(vehicle)];
+  if (e.anchor == kInvalidNode) return;
+  std::vector<PresentGroup>& cell = present_[static_cast<size_t>(e.cell)];
+  for (size_t g = 0; g < cell.size(); ++g) {
+    if (cell[g].node != e.anchor) continue;
+    std::vector<int>& vs = cell[g].vehicles;
+    vs.erase(std::remove(vs.begin(), vs.end(), vehicle), vs.end());
+    if (vs.empty()) {
+      cell[g] = std::move(cell.back());
+      cell.pop_back();
+    }
+    break;
+  }
+  for (uint64_t key : e.future_keys) {
+    auto it = future_.find(key);
+    if (it == future_.end()) continue;
+    std::vector<FutureEntry>& bucket = it->second;
+    bucket.erase(std::remove_if(bucket.begin(), bucket.end(),
+                                [vehicle](const FutureEntry& f) {
+                                  return f.vehicle == vehicle;
+                                }),
+                 bucket.end());
+    if (bucket.empty()) future_.erase(it);
+  }
+  e.future_keys.clear();
+  e.anchor = kInvalidNode;
+  e.cell = -1;
+}
+
+void StIndex::InsertVehicle(int vehicle, NodeId anchor,
+                            const TransferSequence& seq) {
+  VehicleEntry& e = entries_[static_cast<size_t>(vehicle)];
+  e.version = seq.version();
+  e.anchor = anchor;
+  const Coord& c = network_->coord(anchor);
+  e.cell = grid_.CellId(grid_.CellX(c.x), grid_.CellY(c.y));
+  std::vector<PresentGroup>& cell = present_[static_cast<size_t>(e.cell)];
+  PresentGroup* group = nullptr;
+  for (PresentGroup& g : cell) {
+    if (g.node == anchor) {
+      group = &g;
+      break;
+    }
+  }
+  if (group == nullptr) {
+    cell.emplace_back();
+    group = &cell.back();
+    group->node = anchor;
+  }
+  group->vehicles.push_back(vehicle);
+  for (int u = 0; u < seq.num_stops(); ++u) {
+    const NodeId loc = seq.stop(u).location;
+    const Coord& sc = network_->coord(loc);
+    const int cell = grid_.CellId(grid_.CellX(sc.x), grid_.CellY(sc.y));
+    const uint64_t key = FutureKey(cell, seq.EarliestArrival(u));
+    // One bookkeeping entry per distinct key so removal is a single pass
+    // per key; the bucket still records every stop's arrival.
+    if (std::find(e.future_keys.begin(), e.future_keys.end(), key) ==
+        e.future_keys.end()) {
+      e.future_keys.push_back(key);
+    }
+    future_[key].push_back({vehicle, loc, seq.EarliestArrival(u)});
+  }
+}
+
+void StIndex::Sync(const VehicleIndex& vindex,
+                   const std::vector<TransferSequence>& schedules,
+                   uint64_t epoch) {
+  ++sync_stats_.syncs;
+  bool force = false;
+  if (!epoch_valid_ || epoch_ != epoch) {
+    // Disruption-overlay epoch change: the bucketed geometry is
+    // overlay-independent (anchors and stop nodes, not costs), but the
+    // stamp contract mirrors the EvalCache — everything is re-bucketed so
+    // no state can survive an epoch it was not built under.
+    force = epoch_valid_;
+    epoch_ = epoch;
+    epoch_valid_ = true;
+    if (force) ++sync_stats_.epoch_rebuilds;
+  }
+  if (entries_.size() < schedules.size()) entries_.resize(schedules.size());
+  for (size_t j = 0; j < schedules.size(); ++j) {
+    const int vehicle = static_cast<int>(j);
+    const NodeId anchor = vindex.location(vehicle);
+    const TransferSequence& seq = schedules[j];
+    VehicleEntry& e = entries_[j];
+    if (!force && e.anchor == anchor && e.version == seq.version()) continue;
+    RemoveVehicle(vehicle);
+    InsertVehicle(vehicle, anchor, seq);
+    ++sync_stats_.resynced_vehicles;
+  }
+}
+
+void StIndex::ScreenCandidates(const Coord& center, Cost budget, double speed,
+                               ScreenResult* out) const {
+  out->groups.clear();
+  out->scanned = 0;
+  if (budget < 0) return;
+  // Disc radius in coordinate units, bounding box expanded one cell each
+  // way: the screen below compares euclid/speed <= budget, and float
+  // rounding between that form and euclid <= budget*speed is far smaller
+  // than a grid cell.
+  const double radius =
+      std::isfinite(speed) ? budget * speed
+                           : std::numeric_limits<double>::infinity();
+  const int cx0 = std::max(0, grid_.CellX(center.x - radius) - 1);
+  const int cx1 = std::min(grid_.num_cells_x() - 1,
+                           grid_.CellX(center.x + radius) + 1);
+  const int cy0 = std::max(0, grid_.CellY(center.y - radius) - 1);
+  const int cy1 = std::min(grid_.num_cells_y() - 1,
+                           grid_.CellY(center.y + radius) + 1);
+  for (int cy = cy0; cy <= cy1; ++cy) {
+    for (int cx = cx0; cx <= cx1; ++cx) {
+      for (const PresentGroup& g :
+           present_[static_cast<size_t>(grid_.CellId(cx, cy))]) {
+        out->scanned += static_cast<int>(g.vehicles.size());
+        // One decision per occupied node — same arithmetic as the trusted
+        // Euclidean screen in GroupCandidatesForRider: prune iff
+        // euclid/speed > budget.
+        const double lb =
+            EuclideanDistance(network_->coord(g.node), center) / speed;
+        if (lb > budget) continue;
+        out->groups.emplace_back(g.node, &g.vehicles);
+      }
+    }
+  }
+}
+
+std::vector<int> StIndex::VehiclesNearInWindow(const Coord& center,
+                                               double radius, Cost t0,
+                                               Cost t1) const {
+  std::vector<int> out;
+  if (t1 < t0 || radius < 0) return out;
+  const int cx0 = std::max(0, grid_.CellX(center.x - radius) - 1);
+  const int cx1 = std::min(grid_.num_cells_x() - 1,
+                           grid_.CellX(center.x + radius) + 1);
+  const int cy0 = std::max(0, grid_.CellY(center.y - radius) - 1);
+  const int cy1 = std::min(grid_.num_cells_y() - 1,
+                           grid_.CellY(center.y + radius) + 1);
+  const uint64_t slab0 = FutureKey(0, t0) & 0xffffffffull;
+  const uint64_t slab1 = FutureKey(0, t1) & 0xffffffffull;
+  for (int cy = cy0; cy <= cy1; ++cy) {
+    for (int cx = cx0; cx <= cx1; ++cx) {
+      const uint64_t cell_bits =
+          static_cast<uint64_t>(
+              static_cast<uint32_t>(grid_.CellId(cx, cy)))
+          << 32;
+      for (uint64_t slab = slab0; slab <= slab1; ++slab) {
+        auto it = future_.find(cell_bits | slab);
+        if (it == future_.end()) continue;
+        for (const FutureEntry& f : it->second) {
+          if (f.arrival < t0 || f.arrival > t1) continue;
+          if (EuclideanDistance(network_->coord(f.node), center) > radius) {
+            continue;
+          }
+          out.push_back(f.vehicle);
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace urr

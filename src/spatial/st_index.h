@@ -1,0 +1,169 @@
+// StIndex: incremental spatio-temporal hash index over live vehicle
+// schedules. Buckets each vehicle's current anchor (its VehicleIndex node)
+// into a spatial grid cell, and every committed stop of its schedule into a
+// (spatial cell x time slab) hash key, so candidate retrieval becomes
+// O(cells overlapping the rider's reachability disc) bucket lookups plus an
+// admissible Euclidean lower-bound screen — no per-rider reverse Dijkstra.
+//
+// Correctness contract (DESIGN.md §14): the screen alone returns a provable
+// superset of the Lemma 3.1 a/b prefilter {j : dist(l(c_j), source) <=
+// budget}; callers recover the *exact* baseline set with one batched
+// distance confirm against the clean-network oracle. The future
+// (cell x slab) table never participates in exact retrieval — any vehicle
+// outside the anchor screen is also outside the confirmed set — it powers
+// forward-looking queries and observability only.
+//
+// Invalidation is version-stamped like the EvalCache: Sync() re-buckets
+// exactly the vehicles whose TransferSequence::version() or anchor node
+// changed since the last sync, and an overlay epoch change forces a full
+// re-bucket. Sync and queries must be externally serialized against each
+// other; concurrent read-only queries (ScreenCandidates) are safe.
+#ifndef URR_SPATIAL_ST_INDEX_H_
+#define URR_SPATIAL_ST_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/road_network.h"
+#include "sched/transfer_sequence.h"
+#include "spatial/grid_index.h"
+#include "spatial/vehicle_index.h"
+
+namespace urr {
+
+/// Counters for the candidate-retrieval phase, shared by the ST-index and
+/// reverse-Dijkstra paths so A/B runs are comparable. Atomic fields may be
+/// bumped from parallel screen workers; `per_rider_candidates` is appended
+/// only from serial sections (the batch entry point after its join).
+struct RetrievalStats {
+  std::atomic<int64_t> riders{0};            // retrieval queries answered
+  std::atomic<int64_t> scanned{0};           // anchors touched by disc scans
+  std::atomic<int64_t> screened_out{0};      // pruned by the Euclidean bound
+  std::atomic<int64_t> confirm_rejected{0};  // survived screen, failed exact
+  std::atomic<int64_t> confirmed{0};         // final candidates returned
+  std::atomic<int64_t> dijkstra_retrievals{0};  // baseline-path queries
+  std::atomic<int64_t> retrieval_nanos{0};   // wall time in retrieval
+  std::vector<int32_t> per_rider_candidates;  // final set size per query
+
+  void Reset();
+};
+
+/// Incremental (cell x slab) index over anchors and committed stops.
+class StIndex {
+ public:
+  struct Params {
+    double slab_seconds = 120.0;  // temporal bucket width of the future table
+    int target_cells = 4096;      // forwarded to GridIndex::Build
+  };
+
+  /// Result of a present-table disc scan + Euclidean screen. Survivors are
+  /// grouped by anchor node — vehicles sharing a node share one screen
+  /// decision and one exact-confirm distance — so downstream cost scales
+  /// with occupied nodes in the disc, not fleet size. The vehicle vectors
+  /// are borrowed from the index and stay valid until the next Sync.
+  struct ScreenResult {
+    std::vector<std::pair<NodeId, const std::vector<int>*>> groups;
+    int scanned = 0;  // vehicles in the scanned cells, pre-screen
+
+    /// Screen survivors as ascending vehicle ids (tests / observability).
+    std::vector<int> Flatten() const;
+  };
+
+  /// Aggregate sync accounting (tests + observability).
+  struct SyncStats {
+    int64_t syncs = 0;             // Sync() calls
+    int64_t resynced_vehicles = 0; // vehicles re-bucketed across all syncs
+    int64_t epoch_rebuilds = 0;    // full re-buckets forced by epoch changes
+  };
+
+  /// Builds an empty index over `network` (requires coordinates). The
+  /// network must outlive the index. The one-argument overload uses default
+  /// Params (a `= {}` default argument trips a GCC nested-NSDMI quirk).
+  static Result<StIndex> Build(const RoadNetwork& network);
+  static Result<StIndex> Build(const RoadNetwork& network,
+                               const Params& params);
+
+  /// Brings the index up to date with the live fleet: vehicle j's anchor is
+  /// `vindex.location(j)` (the exact node the reverse-Dijkstra prefilter
+  /// measures from) and its future stops come from `schedules[j]`. Only
+  /// vehicles whose schedule version or anchor changed are re-bucketed; an
+  /// `epoch` change (disruption overlay) re-buckets everything.
+  void Sync(const VehicleIndex& vindex,
+            const std::vector<TransferSequence>& schedules, uint64_t epoch);
+
+  /// Present-table retrieval: every occupied anchor node that passes the
+  /// admissible screen euclid(anchor, center)/speed <= budget, with its
+  /// vehicles. Scans the grid cells overlapping the disc of radius
+  /// budget*speed around `center`, expanded by one cell each way so the
+  /// float rounding between the two inequality forms cannot drop a vehicle.
+  /// The flattened vehicle set is a superset of
+  /// {j : dist(anchor_j, center_node) <= budget} because euclid(u,v)/speed
+  /// is a lower bound on network cost when `speed` is the network's maximum
+  /// speed. Thread-safe against other queries.
+  void ScreenCandidates(const Coord& center, Cost budget, double speed,
+                        ScreenResult* out) const;
+
+  /// Future-table query: vehicles with at least one committed stop whose
+  /// node lies within Euclidean `radius` of `center` and whose earliest
+  /// arrival falls in [t0, t1]. Ascending vehicle id. Forward-looking
+  /// observability only — not part of the exact retrieval contract.
+  std::vector<int> VehiclesNearInWindow(const Coord& center, double radius,
+                                        Cost t0, Cost t1) const;
+
+  int num_vehicles() const { return static_cast<int>(entries_.size()); }
+  size_t num_future_keys() const { return future_.size(); }
+  uint64_t epoch() const { return epoch_; }
+  const SyncStats& sync_stats() const { return sync_stats_; }
+  const Params& params() const { return params_; }
+
+ private:
+  StIndex() = default;
+
+  // Bookkeeping for incremental removal of one vehicle's buckets.
+  struct VehicleEntry {
+    uint64_t version = 0;         // schedule version at last sync
+    NodeId anchor = kInvalidNode; // kInvalidNode = never bucketed
+    int cell = -1;                // flattened grid cell of `anchor`
+    std::vector<uint64_t> future_keys;  // unique (cell, slab) keys
+  };
+
+  struct FutureEntry {
+    int vehicle = -1;
+    NodeId node = kInvalidNode;
+    Cost arrival = 0;
+  };
+
+  uint64_t FutureKey(int cell, Cost arrival) const;
+  void RemoveVehicle(int vehicle);
+  void InsertVehicle(int vehicle, NodeId anchor,
+                     const TransferSequence& seq);
+
+  // One occupied anchor node within a cell and the vehicles anchored there
+  // (in re-bucket order, not sorted — consumers canonicalize).
+  struct PresentGroup {
+    NodeId node = kInvalidNode;
+    std::vector<int> vehicles;
+  };
+
+  const RoadNetwork* network_ = nullptr;
+  GridIndex grid_;
+  Params params_;
+  uint64_t epoch_ = 0;
+  bool epoch_valid_ = false;
+  SyncStats sync_stats_;
+  std::vector<VehicleEntry> entries_;
+  // Present table: flattened grid cell -> anchor-node groups. Dense array
+  // (not a hash map): cell count is fixed at build time and the scan
+  // enumerates cell ids directly. Groups per cell are the cell's occupied
+  // nodes — a handful — so the inner find is a short linear scan.
+  std::vector<std::vector<PresentGroup>> present_;
+  // Future table: (cell, slab) hash key -> committed stops in that bucket.
+  std::unordered_map<uint64_t, std::vector<FutureEntry>> future_;
+};
+
+}  // namespace urr
+
+#endif  // URR_SPATIAL_ST_INDEX_H_

@@ -61,22 +61,34 @@ void BilateralArrange(const UrrInstance& instance, SolverContext* ctx,
   std::vector<bool> allowed(instance.vehicles.size(), false);
   for (int j : vehicles) allowed[static_cast<size_t>(j)] = true;
 
-  auto candidates_for = [&](RiderId i) {
-    if (group_filter == nullptr) {
-      return ValidVehiclesForRider(instance, ctx->vehicle_index, i, &allowed);
-    }
-    return GroupCandidatesForRider(instance, ctx, i, vehicles, *group_filter);
-  };
-
   // Lines 1-2: the C_i lists. Stored per rider and consumed monotonically,
   // which bounds the total work by Σ|C_i| (a replaced rider re-enters the
-  // pool with its remaining list, never a refilled one).
-  std::vector<std::vector<int>> candidates(instance.riders.size());
-  std::vector<RiderId> pool;
+  // pool with its remaining list, never a refilled one). Retrieval goes
+  // through CandidateVehiclesForRiders (ST-index hash lookups when
+  // attached, reverse Dijkstra otherwise — identical ascending-id lists),
+  // so pool membership and every rng draw below are retrieval-path- and
+  // thread-count-independent.
+  std::vector<RiderId> open;
   for (RiderId i : riders) {
     if (sol->assignment[static_cast<size_t>(i)] >= 0) continue;
-    candidates[static_cast<size_t>(i)] = candidates_for(i);
-    if (!candidates[static_cast<size_t>(i)].empty()) pool.push_back(i);
+    open.push_back(i);
+  }
+  std::vector<std::vector<int>> lists(open.size());
+  if (group_filter == nullptr) {
+    lists = CandidateVehiclesForRiders(instance, ctx, *sol, open, &allowed);
+  } else {
+    for (size_t k = 0; k < open.size(); ++k) {
+      lists[k] =
+          GroupCandidatesForRider(instance, ctx, open[k], vehicles, *group_filter);
+    }
+  }
+  std::vector<std::vector<int>> candidates(instance.riders.size());
+  std::vector<RiderId> pool;
+  for (size_t k = 0; k < open.size(); ++k) {
+    candidates[static_cast<size_t>(open[k])] = std::move(lists[k]);
+    if (!candidates[static_cast<size_t>(open[k])].empty()) {
+      pool.push_back(open[k]);
+    }
   }
 
   while (!pool.empty()) {

@@ -40,28 +40,36 @@ void GreedyArrange(const UrrInstance& instance, SolverContext* ctx,
   std::vector<bool> allowed(instance.vehicles.size(), false);
   for (int j : vehicles) allowed[static_cast<size_t>(j)] = true;
 
-  auto candidates_for = [&](RiderId i) {
-    if (group_filter == nullptr) {
-      return ValidVehiclesForRider(instance, ctx->vehicle_index, i, &allowed);
-    }
-    return GroupCandidatesForRider(instance, ctx, i, vehicles, *group_filter);
-  };
-
   std::vector<uint64_t> version(instance.vehicles.size(), 0);
   std::priority_queue<QueueEntry> queue;
 
   // Lines 2-7 of Algorithm 3: build the valid pair set with efficiencies.
-  // Candidate retrieval stays serial (the vehicle index's reverse Dijkstra
-  // is stateful); the independent EvaluateInsertion calls — the dominant
-  // cost of the refill — are batched and fanned out over the context's
-  // pool. Pairs enter the queue in the exact order of the serial loop, so
-  // the heap (and therefore every later pop and tie-break) is identical
-  // for any thread count.
+  // Candidate retrieval goes through CandidateVehiclesForRiders — with an
+  // ST index attached the per-rider screens fan out over the context's
+  // pool, otherwise the reverse Dijkstras run serially; either way each
+  // rider's list is the same set in ascending-id order. The independent
+  // EvaluateInsertion calls — the dominant cost of the refill — are
+  // batched and fanned out as before. Pairs enter the queue in rider order
+  // then candidate order, so the heap (and therefore every later pop and
+  // tie-break) is identical for any thread count and retrieval path.
   const bool need_utility = objective != GreedyObjective::kCostFirst;
-  std::vector<RiderVehiclePair> pairs;
+  std::vector<RiderId> open;
   for (RiderId i : riders) {
     if (sol->assignment[static_cast<size_t>(i)] >= 0) continue;
-    for (int j : candidates_for(i)) pairs.push_back({i, j});
+    open.push_back(i);
+  }
+  std::vector<std::vector<int>> candidates(open.size());
+  if (group_filter == nullptr) {
+    candidates = CandidateVehiclesForRiders(instance, ctx, *sol, open, &allowed);
+  } else {
+    for (size_t k = 0; k < open.size(); ++k) {
+      candidates[k] =
+          GroupCandidatesForRider(instance, ctx, open[k], vehicles, *group_filter);
+    }
+  }
+  std::vector<RiderVehiclePair> pairs;
+  for (size_t k = 0; k < open.size(); ++k) {
+    for (int j : candidates[k]) pairs.push_back({open[k], j});
   }
   const std::vector<CandidateEval> evals =
       EvaluateCandidates(instance, ctx, *sol, pairs, need_utility);

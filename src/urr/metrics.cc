@@ -1,10 +1,12 @@
 #include "urr/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "common/json_writer.h"
 #include "routing/distance_oracle.h"
+#include "spatial/st_index.h"
 #include "urr/eval_cache.h"
 #include "urr/online.h"
 
@@ -79,6 +81,34 @@ void AttachEvalStats(const SolverContext& ctx, SolutionMetrics* metrics) {
     metrics->oracle_misses = caching->num_misses();
     metrics->oracle_entries = static_cast<int64_t>(caching->num_entries());
   }
+  if (const RetrievalStats* rs = ctx.retrieval_stats; rs != nullptr) {
+    metrics->retrieval_riders = rs->riders.load();
+    metrics->retrieval_candidates = rs->confirmed.load();
+    metrics->retrieval_scanned = rs->scanned.load();
+    metrics->retrieval_screened_out = rs->screened_out.load();
+    metrics->retrieval_confirm_rejected = rs->confirm_rejected.load();
+    metrics->retrieval_dijkstra = rs->dijkstra_retrievals.load();
+    metrics->retrieval_seconds = rs->retrieval_nanos.load() * 1e-9;
+    const std::vector<int32_t>& per = rs->per_rider_candidates;
+    if (!per.empty()) {
+      int64_t sum = 0;
+      for (int32_t c : per) sum += c;
+      metrics->retrieval_mean_candidates =
+          static_cast<double>(sum) / static_cast<double>(per.size());
+      std::vector<int32_t> sorted = per;
+      std::sort(sorted.begin(), sorted.end());
+      const size_t rank = std::min(
+          sorted.size() - 1,
+          static_cast<size_t>(
+              std::ceil(0.99 * static_cast<double>(sorted.size())) - 1));
+      metrics->retrieval_p99_candidates = sorted[rank];
+    }
+    if (metrics->retrieval_scanned > 0) {
+      metrics->retrieval_screen_prune_ratio =
+          static_cast<double>(metrics->retrieval_screened_out) /
+          static_cast<double>(metrics->retrieval_scanned);
+    }
+  }
 }
 
 void AttachRejectionReasons(const UrrInstance& instance, SolverContext* ctx,
@@ -88,6 +118,10 @@ void AttachRejectionReasons(const UrrInstance& instance, SolverContext* ctx,
   metrics->unserved_capacity = 0;
   metrics->unserved_deadline = 0;
   metrics->unserved_feasible = 0;
+  // The re-evaluation below replays retrieval per unserved rider; detach
+  // the retrieval counters so diagnostics don't pollute the solve's stats.
+  RetrievalStats* saved_stats = ctx->retrieval_stats;
+  ctx->retrieval_stats = nullptr;
   for (RiderId i = 0; i < instance.num_riders(); ++i) {
     if (solution.assignment[static_cast<size_t>(i)] >= 0) continue;
     const DispatchDecision d = EvaluateArrival(instance, ctx, solution, i,
@@ -108,6 +142,7 @@ void AttachRejectionReasons(const UrrInstance& instance, SolverContext* ctx,
         break;
     }
   }
+  ctx->retrieval_stats = saved_stats;
 }
 
 std::string FormatMetrics(const SolutionMetrics& m) {
@@ -150,6 +185,19 @@ std::string MetricsJson(const SolutionMetrics& m) {
       .Field("oracle_hits", m.oracle_hits)
       .Field("oracle_misses", m.oracle_misses)
       .Field("oracle_entries", m.oracle_entries);
+  w.Key("retrieval")
+      .BeginObject()
+      .Field("riders", m.retrieval_riders)
+      .Field("candidates", m.retrieval_candidates)
+      .Field("scanned", m.retrieval_scanned)
+      .Field("screened_out", m.retrieval_screened_out)
+      .Field("confirm_rejected", m.retrieval_confirm_rejected)
+      .Field("dijkstra_retrievals", m.retrieval_dijkstra)
+      .Field("seconds", m.retrieval_seconds)
+      .Field("mean_candidates", m.retrieval_mean_candidates)
+      .Field("p99_candidates", m.retrieval_p99_candidates)
+      .Field("screen_prune_ratio", m.retrieval_screen_prune_ratio)
+      .EndObject();
   w.Key("rejects_by_reason")
       .BeginObject()
       .Field("no_reachable_vehicle", m.unserved_no_reachable_vehicle)

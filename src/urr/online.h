@@ -43,9 +43,9 @@ struct DispatchDecision {
 
 /// Evaluates rider `rider` against every valid vehicle of `sol` under
 /// `objective` and returns the best feasible decision WITHOUT committing it
-/// (first-best wins ties, in ValidVehiclesForRider order). Shared by
-/// OnlineDispatcher and the streaming engine's W=0 path so both make
-/// identical choices.
+/// (first-best wins ties, in ascending-vehicle-id order — the canonical
+/// order both retrieval paths emit). Shared by OnlineDispatcher and the
+/// streaming engine's W=0 path so both make identical choices.
 DispatchDecision EvaluateArrival(const UrrInstance& instance,
                                  SolverContext* ctx, const UrrSolution& sol,
                                  RiderId rider, OnlineObjective objective);

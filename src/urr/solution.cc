@@ -4,6 +4,8 @@
 #include <unordered_map>
 
 #include "common/scratch.h"
+#include "common/stopwatch.h"
+#include "spatial/st_index.h"
 #include "urr/eval_cache.h"
 
 namespace urr {
@@ -472,7 +474,133 @@ std::vector<int> ValidVehiclesForRider(const UrrInstance& instance,
     }
     out.push_back(v.vehicle);
   }
+  // Canonical order: the reverse Dijkstra settles by distance (heap ties
+  // unspecified), the ST index emits by id. Sorting here makes downstream
+  // tie-breaks identical no matter which retrieval path produced the list.
+  std::sort(out.begin(), out.end());
   return out;
+}
+
+namespace {
+
+// Appends the final candidate-set sizes and the elapsed retrieval time to
+// `stats`. Called from serial sections only (per_rider_candidates is plain).
+void RecordRetrieval(RetrievalStats* stats,
+                     const std::vector<std::vector<int>>& out,
+                     double elapsed_seconds) {
+  if (stats == nullptr) return;
+  stats->riders.fetch_add(static_cast<int64_t>(out.size()));
+  int64_t total = 0;
+  for (const std::vector<int>& c : out) {
+    total += static_cast<int64_t>(c.size());
+    stats->per_rider_candidates.push_back(static_cast<int32_t>(c.size()));
+  }
+  stats->confirmed.fetch_add(total);
+  stats->retrieval_nanos.fetch_add(
+      static_cast<int64_t>(elapsed_seconds * 1e9));
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> CandidateVehiclesForRiders(
+    const UrrInstance& instance, SolverContext* ctx,
+    const UrrSolution& solution, const std::vector<RiderId>& riders,
+    const std::vector<bool>* allowed) {
+  Stopwatch timer;
+  std::vector<std::vector<int>> out(riders.size());
+  StIndex* st = ctx->st_index;
+  const bool st_usable = st != nullptr && ctx->st_confirm_oracle != nullptr &&
+                         ctx->euclid_speed > 0 &&
+                         instance.network->has_coords();
+  if (!st_usable) {
+    // Baseline: one bounded reverse Dijkstra per rider. The vehicle
+    // index's engine is stateful, so this stays serial.
+    for (size_t k = 0; k < riders.size(); ++k) {
+      out[k] =
+          ValidVehiclesForRider(instance, ctx->vehicle_index, riders[k], allowed);
+    }
+    if (ctx->retrieval_stats != nullptr) {
+      ctx->retrieval_stats->dijkstra_retrievals.fetch_add(
+          static_cast<int64_t>(riders.size()));
+    }
+    RecordRetrieval(ctx->retrieval_stats, out, timer.ElapsedSeconds());
+    return out;
+  }
+
+  // ST path. Sync is incremental (version + anchor compare per vehicle).
+  st->Sync(*ctx->vehicle_index, solution.schedules, ctx->eval_epoch);
+
+  // Phase 1: hash-bucket disc scan + Euclidean screen, independent per
+  // rider and read-only on the index — fan out over the eval pool. Slots
+  // keep rider order, so the result is thread-count-independent.
+  const RoadNetwork& network = *instance.network;
+  std::vector<StIndex::ScreenResult> screens(riders.size());
+  ParallelFor(ctx->eval_pool(), static_cast<int64_t>(riders.size()),
+              [&](int64_t k, int /*worker*/) {
+                const Rider& r =
+                    instance.riders[static_cast<size_t>(riders[k])];
+                const Cost budget = r.pickup_deadline - instance.now;
+                st->ScreenCandidates(network.coord(r.source), budget,
+                                     ctx->euclid_speed, &screens[k]);
+              });
+
+  // Phase 2: exact confirm. The screen survivors are a superset of the
+  // Lemma 3.1 set; one batched clean-network distance query per surviving
+  // *anchor node* (vehicles sharing a node share the answer) recovers
+  // exactly {j : dist(anchor_j, source) <= budget} — the same set (and
+  // comparison) the bounded reverse Dijkstra settles. With the default
+  // caching oracle these pairs are the very (location, source) distances
+  // the evaluation phase consumes next, so the confirm largely pre-pays
+  // work instead of adding it.
+  std::vector<NodeId> us, vs;
+  std::vector<std::pair<size_t, size_t>> pair_owner;  // (rider slot, group)
+  int64_t scanned = 0, screen_survivors = 0;
+  for (size_t k = 0; k < riders.size(); ++k) {
+    const Rider& r = instance.riders[static_cast<size_t>(riders[k])];
+    scanned += screens[k].scanned;
+    for (size_t g = 0; g < screens[k].groups.size(); ++g) {
+      screen_survivors +=
+          static_cast<int64_t>(screens[k].groups[g].second->size());
+      us.push_back(screens[k].groups[g].first);
+      vs.push_back(r.source);
+      pair_owner.emplace_back(k, g);
+    }
+  }
+  std::vector<Cost> dist(us.size(), kInfiniteCost);
+  ctx->st_confirm_oracle->BatchPairwise(us, vs, dist.data());
+  int64_t confirm_rejected = 0;
+  for (size_t p = 0; p < pair_owner.size(); ++p) {
+    const auto [k, g] = pair_owner[p];
+    const Rider& r = instance.riders[static_cast<size_t>(riders[k])];
+    const Cost budget = r.pickup_deadline - instance.now;
+    const std::vector<int>& vehicles = *screens[k].groups[g].second;
+    if (dist[p] <= budget) {
+      for (int j : vehicles) {
+        if (allowed != nullptr && !(*allowed)[static_cast<size_t>(j)]) continue;
+        out[k].push_back(j);
+      }
+    } else {
+      confirm_rejected += static_cast<int64_t>(vehicles.size());
+    }
+  }
+  // Canonical ascending-id order (groups arrive in cell-scan order).
+  for (std::vector<int>& c : out) std::sort(c.begin(), c.end());
+  if (ctx->retrieval_stats != nullptr) {
+    ctx->retrieval_stats->scanned.fetch_add(scanned);
+    ctx->retrieval_stats->screened_out.fetch_add(scanned - screen_survivors);
+    ctx->retrieval_stats->confirm_rejected.fetch_add(confirm_rejected);
+  }
+  RecordRetrieval(ctx->retrieval_stats, out, timer.ElapsedSeconds());
+  return out;
+}
+
+std::vector<int> CandidateVehiclesForRider(const UrrInstance& instance,
+                                           SolverContext* ctx,
+                                           const UrrSolution& solution,
+                                           RiderId i,
+                                           const std::vector<bool>* allowed) {
+  return CandidateVehiclesForRiders(instance, ctx, solution, {i}, allowed)
+      .front();
 }
 
 std::vector<int> GroupCandidatesForRider(const UrrInstance& instance,

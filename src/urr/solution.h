@@ -19,8 +19,10 @@
 
 namespace urr {
 
-class EvalCache;      // urr/eval_cache.h
-struct EvalCounters;  // urr/eval_cache.h
+class EvalCache;        // urr/eval_cache.h
+struct EvalCounters;    // urr/eval_cache.h
+class StIndex;          // spatial/st_index.h
+struct RetrievalStats;  // spatial/st_index.h
 
 /// A (partial) solution to a URR instance.
 struct UrrSolution {
@@ -97,6 +99,20 @@ struct SolverContext {
   uint64_t eval_epoch = 0;
   /// Optional evaluation-path counters (hits/misses/screens). Borrowed.
   EvalCounters* counters = nullptr;
+  /// Optional spatio-temporal candidate index. When set (together with
+  /// st_confirm_oracle, euclid_speed > 0 and network coordinates),
+  /// CandidateVehiclesForRiders answers retrieval from hash buckets + a
+  /// batched exact confirm instead of per-rider reverse Dijkstra. The
+  /// resulting candidate sets are identical. Borrowed; nullptr disables.
+  StIndex* st_index = nullptr;
+  /// Clean-network oracle for the ST-index exact-confirm stage. Must answer
+  /// the same distances as the vehicle index's internal Dijkstra (i.e. no
+  /// disruption overlay — the baseline prefilter always measures the clean
+  /// network). Borrowed.
+  DistanceOracle* st_confirm_oracle = nullptr;
+  /// Optional retrieval-phase counters, recorded on both the ST-index and
+  /// reverse-Dijkstra paths. Borrowed; nullptr disables.
+  RetrievalStats* retrieval_stats = nullptr;
 
   /// The pool to actually fan out on: `pool` when the worker set covers
   /// every worker, nullptr (serial) otherwise.
@@ -199,9 +215,33 @@ struct GroupFilter {
 /// can reach s_i before rt⁻_i (Lemma 3.1 a+b as a prefilter), computed with
 /// one bounded reverse Dijkstra per rider via the vehicle index. When
 /// `allowed` is non-null, results are restricted to that vehicle subset.
+/// Ascending vehicle id — the canonical candidate order every retrieval
+/// path emits, so downstream tie-breaks are path-independent.
 std::vector<int> ValidVehiclesForRider(const UrrInstance& instance,
                                        VehicleIndex* index, RiderId i,
                                        const std::vector<bool>* allowed);
+
+/// Batch candidate retrieval for `riders`: out[k] is the exact
+/// ValidVehiclesForRider set for riders[k], ascending vehicle id. When the
+/// context carries an ST index (st_index + st_confirm_oracle, with
+/// euclid_speed > 0 and network coordinates) the per-rider reverse
+/// Dijkstras are replaced by hash-bucket disc scans — parallelized over
+/// ctx->eval_pool() — plus one batched exact distance confirm on the
+/// calling thread; otherwise it falls back to the serial Dijkstra path.
+/// Both paths return identical sets (differential-tested) and record into
+/// ctx->retrieval_stats. `solution` supplies the live schedules the ST
+/// index syncs against.
+std::vector<std::vector<int>> CandidateVehiclesForRiders(
+    const UrrInstance& instance, SolverContext* ctx,
+    const UrrSolution& solution, const std::vector<RiderId>& riders,
+    const std::vector<bool>* allowed);
+
+/// Single-rider convenience wrapper over CandidateVehiclesForRiders.
+std::vector<int> CandidateVehiclesForRider(const UrrInstance& instance,
+                                           SolverContext* ctx,
+                                           const UrrSolution& solution,
+                                           RiderId i,
+                                           const std::vector<bool>* allowed);
 
 /// Group-mode candidate list for rider `i` over `vehicles`: O(1) per
 /// vehicle — the GroupFilter key-vertex lower bound, then (when

@@ -1,0 +1,250 @@
+// Contracts of the incremental spatio-temporal candidate index
+// (DESIGN.md §14):
+//   1. the Euclidean screen alone is a superset of the reverse-Dijkstra
+//      prefilter set, and the screen + batched confirm recovers it exactly,
+//   2. incremental Sync after schedule mutations answers queries
+//      identically to a freshly built index,
+//   3. an overlay-epoch change forces a full re-bucket,
+//   4. the future (cell x slab) table answers window queries correctly
+//      against a brute-force scan of the schedules.
+#include "spatial/st_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "exp/harness.h"
+#include "urr/greedy.h"
+#include "urr/solution.h"
+
+namespace urr {
+namespace {
+
+ExperimentConfig TinyGridConfig() {
+  ExperimentConfig cfg;
+  cfg.city = CityKind::kGrid;
+  cfg.grid_width = 10;
+  cfg.grid_height = 8;
+  // Quantized edge costs: oracle kinds agree bitwise, so the confirm stage
+  // (oracle) and the baseline prefilter (internal Dijkstra) cannot disagree
+  // on a boundary comparison.
+  cfg.quantize = 1;
+  cfg.num_social_users = 200;
+  cfg.num_trip_records = 500;
+  cfg.num_riders = 60;
+  cfg.num_vehicles = 15;
+  cfg.num_threads = 2;
+  cfg.seed = 7;
+  cfg.use_st_index = true;
+  return cfg;
+}
+
+TEST(StIndexTest, BuildRequiresCoordinates) {
+  auto g = RoadNetwork::Build(2, {{0, 1, 1}, {1, 0, 1}});
+  ASSERT_TRUE(g.ok());
+  ASSERT_FALSE(g->has_coords());
+  EXPECT_FALSE(StIndex::Build(*g).ok());
+}
+
+TEST(StIndexTest, BuildRejectsNonPositiveSlab) {
+  auto world = BuildWorld(TinyGridConfig());
+  ASSERT_TRUE(world.ok()) << world.status();
+  StIndex::Params params;
+  params.slab_seconds = 0;
+  EXPECT_FALSE(StIndex::Build((*world)->network, params).ok());
+}
+
+TEST(StIndexTest, ScreenIsSupersetAndConfirmIsExact) {
+  auto world_or = BuildWorld(TinyGridConfig());
+  ASSERT_TRUE(world_or.ok()) << world_or.status();
+  ExperimentWorld* world = world_or->get();
+  ASSERT_NE(world->st_index, nullptr);
+  const UrrInstance& instance = world->instance;
+  SolverContext ctx = world->Context();
+
+  // Exercise both an all-idle fleet and live schedules from a real solve.
+  UrrSolution empty = MakeEmptySolution(instance, ctx.oracle);
+  UrrSolution solved = SolveEfficientGreedy(instance, &ctx);
+  ASSERT_GT(solved.NumAssigned(), 0);
+
+  for (const UrrSolution* sol : {&empty, &solved}) {
+    world->st_index->Sync(*ctx.vehicle_index, sol->schedules, ctx.eval_epoch);
+    for (RiderId i = 0; i < instance.num_riders(); ++i) {
+      const Rider& r = instance.riders[static_cast<size_t>(i)];
+      const Cost budget = r.pickup_deadline - instance.now;
+      const std::vector<int> baseline =
+          ValidVehiclesForRider(instance, ctx.vehicle_index, i, nullptr);
+
+      StIndex::ScreenResult screen;
+      world->st_index->ScreenCandidates(instance.network->coord(r.source),
+                                        budget, ctx.euclid_speed, &screen);
+      const std::vector<int> survivors = screen.Flatten();
+      // Lemma 3.1 prefilter ⊆ screen survivors (admissible lower bound).
+      for (int j : baseline) {
+        EXPECT_TRUE(
+            std::binary_search(survivors.begin(), survivors.end(), j))
+            << "rider " << i << " vehicle " << j
+            << " passed Dijkstra but was screened out";
+      }
+
+      // Screen + batched confirm == the exact baseline set, same order.
+      const std::vector<int> exact =
+          CandidateVehiclesForRider(instance, &ctx, *sol, i, nullptr);
+      EXPECT_EQ(exact, baseline) << "rider " << i;
+    }
+  }
+  EXPECT_GT(ctx.retrieval_stats->confirmed.load(), 0);
+}
+
+TEST(StIndexTest, AllowedFilterMatchesBaseline) {
+  auto world_or = BuildWorld(TinyGridConfig());
+  ASSERT_TRUE(world_or.ok()) << world_or.status();
+  ExperimentWorld* world = world_or->get();
+  ASSERT_NE(world->st_index, nullptr);
+  const UrrInstance& instance = world->instance;
+  SolverContext ctx = world->Context();
+  UrrSolution sol = MakeEmptySolution(instance, ctx.oracle);
+
+  std::vector<bool> allowed(instance.vehicles.size());
+  for (size_t j = 0; j < allowed.size(); ++j) allowed[j] = (j % 2 == 0);
+  for (RiderId i = 0; i < std::min(instance.num_riders(), 20); ++i) {
+    EXPECT_EQ(CandidateVehiclesForRider(instance, &ctx, sol, i, &allowed),
+              ValidVehiclesForRider(instance, ctx.vehicle_index, i, &allowed))
+        << "rider " << i;
+  }
+}
+
+TEST(StIndexTest, IncrementalSyncMatchesFreshBuild) {
+  auto world_or = BuildWorld(TinyGridConfig());
+  ASSERT_TRUE(world_or.ok()) << world_or.status();
+  ExperimentWorld* world = world_or->get();
+  const UrrInstance& instance = world->instance;
+  SolverContext ctx = world->Context();
+
+  // Incrementally synced index: empty fleet first, then the solved fleet.
+  auto incremental = StIndex::Build(world->network);
+  ASSERT_TRUE(incremental.ok());
+  UrrSolution empty = MakeEmptySolution(instance, ctx.oracle);
+  incremental->Sync(*ctx.vehicle_index, empty.schedules, 0);
+  UrrSolution solved = SolveEfficientGreedy(instance, &ctx);
+  incremental->Sync(*ctx.vehicle_index, solved.schedules, 0);
+  // Second sync over unchanged state re-buckets nothing.
+  const int64_t resynced = incremental->sync_stats().resynced_vehicles;
+  incremental->Sync(*ctx.vehicle_index, solved.schedules, 0);
+  EXPECT_EQ(incremental->sync_stats().resynced_vehicles, resynced);
+
+  // Freshly built index synced once against the final state.
+  auto fresh = StIndex::Build(world->network);
+  ASSERT_TRUE(fresh.ok());
+  fresh->Sync(*ctx.vehicle_index, solved.schedules, 0);
+
+  EXPECT_EQ(incremental->num_future_keys(), fresh->num_future_keys());
+  for (RiderId i = 0; i < instance.num_riders(); ++i) {
+    const Rider& r = instance.riders[static_cast<size_t>(i)];
+    const Cost budget = r.pickup_deadline - instance.now;
+    StIndex::ScreenResult a, b;
+    incremental->ScreenCandidates(instance.network->coord(r.source), budget,
+                                  ctx.euclid_speed, &a);
+    fresh->ScreenCandidates(instance.network->coord(r.source), budget,
+                            ctx.euclid_speed, &b);
+    EXPECT_EQ(a.Flatten(), b.Flatten()) << "rider " << i;
+  }
+}
+
+TEST(StIndexTest, EpochChangeForcesFullRebucket) {
+  auto world_or = BuildWorld(TinyGridConfig());
+  ASSERT_TRUE(world_or.ok()) << world_or.status();
+  ExperimentWorld* world = world_or->get();
+  SolverContext ctx = world->Context();
+  UrrSolution sol = MakeEmptySolution(world->instance, ctx.oracle);
+
+  auto index = StIndex::Build(world->network);
+  ASSERT_TRUE(index.ok());
+  index->Sync(*ctx.vehicle_index, sol.schedules, /*epoch=*/1);
+  EXPECT_EQ(index->sync_stats().epoch_rebuilds, 0);
+  const int64_t after_first = index->sync_stats().resynced_vehicles;
+  EXPECT_EQ(after_first,
+            static_cast<int64_t>(world->instance.vehicles.size()));
+
+  // Same epoch, unchanged fleet: nothing re-bucketed.
+  index->Sync(*ctx.vehicle_index, sol.schedules, 1);
+  EXPECT_EQ(index->sync_stats().resynced_vehicles, after_first);
+
+  // New epoch: every vehicle re-bucketed even though nothing moved.
+  index->Sync(*ctx.vehicle_index, sol.schedules, 2);
+  EXPECT_EQ(index->sync_stats().epoch_rebuilds, 1);
+  EXPECT_EQ(index->sync_stats().resynced_vehicles, 2 * after_first);
+  EXPECT_EQ(index->epoch(), 2u);
+}
+
+TEST(StIndexTest, ScreenHandlesDegenerateBudgets) {
+  auto world_or = BuildWorld(TinyGridConfig());
+  ASSERT_TRUE(world_or.ok()) << world_or.status();
+  ExperimentWorld* world = world_or->get();
+  SolverContext ctx = world->Context();
+  UrrSolution sol = MakeEmptySolution(world->instance, ctx.oracle);
+  world->st_index->Sync(*ctx.vehicle_index, sol.schedules, ctx.eval_epoch);
+
+  const Coord& c = world->network.coord(0);
+  StIndex::ScreenResult out;
+  world->st_index->ScreenCandidates(c, /*budget=*/-1, ctx.euclid_speed, &out);
+  EXPECT_TRUE(out.groups.empty());
+  EXPECT_EQ(out.scanned, 0);
+  // Budget 0 is valid: it keeps exactly the vehicles anchored at distance 0.
+  world->st_index->ScreenCandidates(c, /*budget=*/0, ctx.euclid_speed, &out);
+  for (int j : out.Flatten()) {
+    EXPECT_DOUBLE_EQ(
+        EuclideanDistance(world->network.coord(ctx.vehicle_index->location(j)),
+                          c),
+        0);
+  }
+}
+
+TEST(StIndexTest, VehiclesNearInWindowMatchesBruteForce) {
+  auto world_or = BuildWorld(TinyGridConfig());
+  ASSERT_TRUE(world_or.ok()) << world_or.status();
+  ExperimentWorld* world = world_or->get();
+  const UrrInstance& instance = world->instance;
+  SolverContext ctx = world->Context();
+  UrrSolution solved = SolveEfficientGreedy(instance, &ctx);
+  ASSERT_GT(solved.NumAssigned(), 0);
+  world->st_index->Sync(*ctx.vehicle_index, solved.schedules, ctx.eval_epoch);
+  EXPECT_GT(world->st_index->num_future_keys(), 0u);
+
+  for (RiderId i = 0; i < std::min(instance.num_riders(), 10); ++i) {
+    const Coord& center =
+        instance.network->coord(instance.riders[static_cast<size_t>(i)].source);
+    for (const auto& [radius, t0, t1] :
+         {std::tuple<double, Cost, Cost>{400, 0, 600},
+          std::tuple<double, Cost, Cost>{1500, 300, 1200},
+          std::tuple<double, Cost, Cost>{0, 0, 1e9}}) {
+      std::vector<int> want;
+      for (size_t j = 0; j < solved.schedules.size(); ++j) {
+        const TransferSequence& seq = solved.schedules[j];
+        for (int u = 0; u < seq.num_stops(); ++u) {
+          const Cost arr = seq.EarliestArrival(u);
+          if (arr < t0 || arr > t1) continue;
+          if (EuclideanDistance(
+                  instance.network->coord(seq.stop(u).location), center) >
+              radius) {
+            continue;
+          }
+          want.push_back(static_cast<int>(j));
+          break;
+        }
+      }
+      EXPECT_EQ(world->st_index->VehiclesNearInWindow(center, radius, t0, t1),
+                want)
+          << "rider " << i << " radius " << radius;
+    }
+  }
+  // Inverted window: empty.
+  EXPECT_TRUE(world->st_index
+                  ->VehiclesNearInWindow(instance.network->coord(0), 1e9,
+                                         /*t0=*/100, /*t1=*/50)
+                  .empty());
+}
+
+}  // namespace
+}  // namespace urr

@@ -1,0 +1,171 @@
+// Toggle-matrix differential suite for ST-index candidate retrieval
+// (DESIGN.md §14): with --st-index on, every window solver (CF / EG / BA /
+// GBS+EG / GBS+BA) must produce a byte-identical serialized event log and
+// solution fingerprint to the reverse-Dijkstra baseline, at 1 / 2 / 8
+// evaluation threads, on the per-arrival (window = 0) path, and under fault
+// injection (breakdowns, no-shows, edge disruptions — which force overlay
+// epoch re-buckets). Runs on a quantized grid city so the confirm oracle
+// and the prefilter Dijkstra agree bitwise.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "engine/engine.h"
+#include "exp/harness.h"
+
+namespace urr {
+namespace {
+
+ExperimentConfig GridConfig(int num_threads) {
+  ExperimentConfig cfg;
+  cfg.city = CityKind::kGrid;
+  cfg.grid_width = 10;
+  cfg.grid_height = 8;
+  cfg.quantize = 1;
+  cfg.num_social_users = 200;
+  cfg.num_trip_records = 500;
+  cfg.num_riders = 60;
+  cfg.num_vehicles = 15;
+  cfg.seed = 7;
+  cfg.num_threads = num_threads;
+  return cfg;
+}
+
+StreamingWorkload CleanWorkload(const ExperimentWorld& world) {
+  Rng rng(world.config.seed + 100);
+  StreamingWorkloadOptions opt;
+  opt.arrival_rate = 1.0;
+  opt.cancel_fraction = 0.1;
+  return MakeStreamingWorkload(world.instance, opt, &rng);
+}
+
+StreamingWorkload FaultedWorkload(const ExperimentWorld& world) {
+  StreamingWorkload workload = CleanWorkload(world);
+  FaultPlanOptions fopt;
+  fopt.breakdown_fraction = 0.15;
+  fopt.no_show_fraction = 0.1;
+  fopt.num_edge_faults = 6;
+  Rng fault_rng(world.config.seed + 1000);
+  workload.faults = MakeFaultPlan(workload, fopt, &fault_rng);
+  EXPECT_FALSE(workload.faults.Empty());
+  return workload;
+}
+
+struct RunResult {
+  std::string log;
+  std::string fingerprint;
+  EngineMetrics metrics;
+};
+
+RunResult RunEngine(ExperimentWorld* world, const StreamingWorkload& workload,
+                    WindowSolver solver, bool st_index, Cost window = 20) {
+  UtilityModel model(&workload.instance,
+                     UtilityParams{world->config.alpha, world->config.beta});
+  SolverContext ctx = world->Context();
+  ctx.model = &model;
+  EngineConfig cfg;
+  cfg.window = window;
+  cfg.solver = solver;
+  cfg.use_st_index = st_index;
+  cfg.validate_invariants = true;
+  DispatchEngine engine(&workload, &ctx, cfg);
+  const Status st = engine.Run();
+  EXPECT_TRUE(st.ok()) << st;
+  return {engine.SerializedLog(), engine.SolutionFingerprint(),
+          engine.metrics()};
+}
+
+TEST(StToggleDifferentialTest, AllSolversByteIdenticalAcrossThreads) {
+  for (WindowSolver solver :
+       {WindowSolver::kCostFirst, WindowSolver::kEfficientGreedy,
+        WindowSolver::kBilateral, WindowSolver::kGbsEg,
+        WindowSolver::kGbsBa}) {
+    SCOPED_TRACE(WindowSolverName(solver));
+    auto baseline_world = BuildWorld(GridConfig(1));
+    ASSERT_TRUE(baseline_world.ok()) << baseline_world.status();
+    const StreamingWorkload workload = CleanWorkload(**baseline_world);
+    const RunResult baseline =
+        RunEngine(baseline_world->get(), workload, solver, /*st_index=*/false);
+    ASSERT_FALSE(baseline.log.empty());
+    EXPECT_FALSE(baseline.metrics.st_index_active);
+
+    for (int threads : {1, 2, 8}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      auto world = BuildWorld(GridConfig(threads));
+      ASSERT_TRUE(world.ok()) << world.status();
+      const RunResult run =
+          RunEngine(world->get(), workload, solver, /*st_index=*/true);
+      EXPECT_TRUE(run.metrics.st_index_active);
+      EXPECT_EQ(run.log, baseline.log);
+      EXPECT_EQ(run.fingerprint, baseline.fingerprint);
+    }
+  }
+}
+
+// Window solvers route every batched retrieval through the hash index when
+// it is active — no reverse-Dijkstra calls on the non-GBS solvers.
+TEST(StToggleDifferentialTest, StPathActuallyBypassesDijkstra) {
+  auto world = BuildWorld(GridConfig(2));
+  ASSERT_TRUE(world.ok()) << world.status();
+  const StreamingWorkload workload = CleanWorkload(**world);
+  const RunResult run = RunEngine(world->get(), workload,
+                                  WindowSolver::kEfficientGreedy,
+                                  /*st_index=*/true);
+  EXPECT_TRUE(run.metrics.st_index_active);
+  EXPECT_GT(run.metrics.retrieval_riders, 0);
+  EXPECT_EQ(run.metrics.retrieval_dijkstra, 0);
+  EXPECT_GT(run.metrics.retrieval_scanned, 0);
+
+  const RunResult off = RunEngine(world->get(), workload,
+                                  WindowSolver::kEfficientGreedy,
+                                  /*st_index=*/false);
+  EXPECT_GT(off.metrics.retrieval_dijkstra, 0);
+  EXPECT_EQ(off.metrics.retrieval_scanned, 0);
+  // Identical final candidate volume either way.
+  EXPECT_EQ(run.metrics.retrieval_candidates, off.metrics.retrieval_candidates);
+}
+
+TEST(StToggleDifferentialTest, FaultedRunsByteIdentical) {
+  for (WindowSolver solver :
+       {WindowSolver::kEfficientGreedy, WindowSolver::kBilateral}) {
+    SCOPED_TRACE(WindowSolverName(solver));
+    auto baseline_world = BuildWorld(GridConfig(2));
+    ASSERT_TRUE(baseline_world.ok()) << baseline_world.status();
+    const StreamingWorkload workload = FaultedWorkload(**baseline_world);
+    const RunResult baseline =
+        RunEngine(baseline_world->get(), workload, solver, /*st_index=*/false);
+    EXPECT_GT(baseline.metrics.total_edge_disruptions, 0);
+
+    for (int threads : {2, 8}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      auto world = BuildWorld(GridConfig(threads));
+      ASSERT_TRUE(world.ok()) << world.status();
+      const RunResult run =
+          RunEngine(world->get(), workload, solver, /*st_index=*/true);
+      EXPECT_TRUE(run.metrics.st_index_active);
+      EXPECT_EQ(run.log, baseline.log);
+      EXPECT_EQ(run.fingerprint, baseline.fingerprint);
+    }
+  }
+}
+
+// The per-arrival path (window = 0) retrieves candidates for one rider at a
+// time through the same entry point; the toggle must be invisible there too.
+TEST(StToggleDifferentialTest, PerArrivalPathByteIdentical) {
+  auto world = BuildWorld(GridConfig(2));
+  ASSERT_TRUE(world.ok()) << world.status();
+  const StreamingWorkload workload = CleanWorkload(**world);
+  const RunResult off =
+      RunEngine(world->get(), workload, WindowSolver::kEfficientGreedy,
+                /*st_index=*/false, /*window=*/0);
+  const RunResult on =
+      RunEngine(world->get(), workload, WindowSolver::kEfficientGreedy,
+                /*st_index=*/true, /*window=*/0);
+  ASSERT_FALSE(off.log.empty());
+  EXPECT_TRUE(on.metrics.st_index_active);
+  EXPECT_EQ(on.log, off.log);
+  EXPECT_EQ(on.fingerprint, off.fingerprint);
+}
+
+}  // namespace
+}  // namespace urr

@@ -59,6 +59,65 @@ TEST(VehicleIndexTest, UpdateMovesVehicle) {
   EXPECT_EQ(near2[0].vehicle, 0);
 }
 
+TEST(VehicleIndexTest, UpdateToCurrentNodeIsANoOp) {
+  auto g = RoadNetwork::Build(3, {{0, 1, 1}, {1, 0, 1}, {1, 2, 1}, {2, 1, 1}});
+  ASSERT_TRUE(g.ok());
+  VehicleIndex index(*g, {1, 1});
+  index.Update(0, 1);  // relocate to the node it already occupies
+  EXPECT_EQ(index.location(0), 1);
+  auto got = index.VehiclesWithinCost(1, 0.0);
+  ASSERT_EQ(got.size(), 2u);  // both vehicles still present exactly once
+  EXPECT_DOUBLE_EQ(got[0].distance, 0);
+  EXPECT_DOUBLE_EQ(got[1].distance, 0);
+}
+
+TEST(VehicleIndexTest, UpdateOneOfSeveralVehiclesOnANode) {
+  auto g = RoadNetwork::Build(2, {{0, 1, 1}, {1, 0, 1}});
+  ASSERT_TRUE(g.ok());
+  VehicleIndex index(*g, {0, 0, 0});
+  index.Update(1, 1);  // the other two must stay at node 0
+  std::vector<int> at0, at1;
+  for (const auto& v : index.VehiclesWithinCost(0, 0.0)) {
+    at0.push_back(v.vehicle);
+  }
+  for (const auto& v : index.VehiclesWithinCost(1, 0.0)) {
+    at1.push_back(v.vehicle);
+  }
+  std::sort(at0.begin(), at0.end());
+  EXPECT_EQ(at0, (std::vector<int>{0, 2}));
+  EXPECT_EQ(at1, (std::vector<int>{1}));
+}
+
+TEST(VehicleIndexTest, RadiusZeroKeepsOnlyColocatedVehicles) {
+  auto g = RoadNetwork::Build(3, {{0, 1, 1}, {1, 0, 1}, {1, 2, 1}, {2, 1, 1}});
+  ASSERT_TRUE(g.ok());
+  VehicleIndex index(*g, {0, 1, 1});
+  auto got = index.VehiclesWithinCost(1, 0.0);
+  ASSERT_EQ(got.size(), 2u);
+  for (const auto& v : got) {
+    EXPECT_NE(v.vehicle, 0);
+    EXPECT_DOUBLE_EQ(v.distance, 0);
+  }
+  EXPECT_TRUE(index.VehiclesWithinCost(2, -1.0).empty());
+}
+
+TEST(VehicleIndexTest, StationaryVehicleSurvivesOtherUpdates) {
+  auto g = RoadNetwork::Build(4, {{0, 1, 1}, {1, 0, 1}, {1, 2, 1}, {2, 1, 1},
+                                  {2, 3, 1}, {3, 2, 1}});
+  ASSERT_TRUE(g.ok());
+  VehicleIndex index(*g, {0, 1});
+  // Vehicle 1 roams; vehicle 0 never moves and must stay retrievable with
+  // an exact distance after every churn step.
+  for (NodeId node : {2, 3, 1, 0, 2}) {
+    index.Update(1, node);
+    EXPECT_EQ(index.location(0), 0);
+    auto got = index.VehiclesWithinCost(0, 0.0);
+    bool found = false;
+    for (const auto& v : got) found |= (v.vehicle == 0);
+    EXPECT_TRUE(found) << "after moving vehicle 1 to " << node;
+  }
+}
+
 TEST(VehicleIndexTest, MatchesBruteForceOnRandomCity) {
   Rng rng(71);
   GridCityOptions opt;

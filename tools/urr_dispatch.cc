@@ -24,6 +24,7 @@
 #include "routing/hub_labels.h"
 #include "social/checkins.h"
 #include "social/generators.h"
+#include "spatial/st_index.h"
 #include "trips/instance_builder.h"
 #include "trips/io.h"
 #include "trips/trip_generator.h"
@@ -57,6 +58,7 @@ struct Options {
   bool use_eval_cache = true;   // --no-eval-cache
   bool zero_copy = true;        // --no-zero-copy
   bool screening = true;        // --no-screen
+  bool st_index = false;        // --st-index (or URR_ST_INDEX=1)
   bool help = false;
 };
 
@@ -95,6 +97,10 @@ solver:
                           the zero-copy scratch kernel
   --no-screen             disable Euclidean lower-bound candidate screening
                           (all three toggles leave the solution byte-identical)
+  --st-index              answer candidate retrieval from the incremental
+                          spatio-temporal hash index instead of per-rider
+                          reverse Dijkstra (also via URR_ST_INDEX=1; the
+                          candidate sets and solution are identical)
 
 )");
 }
@@ -149,6 +155,8 @@ Result<Options> ParseArgs(int argc, char** argv) {
       opt.zero_copy = false;
     } else if (flag == "--no-screen") {
       opt.screening = false;
+    } else if (flag == "--st-index") {
+      opt.st_index = true;
     } else if (flag == "--seed") {
       URR_ASSIGN_OR_RETURN(std::string v, need_value());
       opt.seed = static_cast<uint64_t>(std::atoll(v.c_str()));
@@ -254,6 +262,22 @@ Status Run(const Options& opt) {
   ctx.counters = &counters;
   ctx.zero_copy_kernel = opt.zero_copy;
   ctx.bound_screening = opt.screening;
+
+  // --- Candidate retrieval (identical sets on either path). -------------------
+  std::unique_ptr<StIndex> st_index;
+  RetrievalStats retrieval_stats;
+  ctx.retrieval_stats = &retrieval_stats;
+  if ((opt.st_index || GetEnvInt("URR_ST_INDEX", 0) != 0) &&
+      network.has_coords()) {
+    Result<StIndex> st = StIndex::Build(network);
+    if (st.ok()) {
+      st_index = std::make_unique<StIndex>(std::move(*st));
+      ctx.st_index = st_index.get();
+      ctx.st_confirm_oracle = &oracle;  // no overlay: the stack is clean
+      std::printf("st-index retrieval enabled (slab %.0fs)\n",
+                  st_index->params().slab_seconds);
+    }
+  }
 
   // --- Evaluation pool (results identical at any thread count). ----------------
   const int threads = opt.threads > 0 ? opt.threads : NumThreads();

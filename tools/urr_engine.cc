@@ -17,6 +17,7 @@
 #include <memory>
 #include <string>
 
+#include "common/env.h"
 #include "common/table.h"
 #include "engine/engine.h"
 #include "exp/harness.h"
@@ -54,6 +55,7 @@ struct Options {
   bool no_eval_cache = false;  // disable the cross-window eval cache
   bool no_zero_copy = false;   // evaluate on schedule copies
   bool no_screen = false;      // disable Euclidean bound screening
+  bool st_index = false;       // ST-index candidate retrieval
   // Fault injection (seeded, replayable; all zero = no faults).
   double breakdown_fraction = 0;   // share of vehicles that break down
   double no_show_fraction = 0;     // share of riders absent at pickup
@@ -113,6 +115,9 @@ evaluation path (all toggles keep the log and fleet state byte-identical):
   --no-eval-cache         disable the cross-window evaluation cache
   --no-zero-copy          evaluate insertions on schedule copies
   --no-screen             disable Euclidean lower-bound candidate screening
+  --st-index              answer candidate retrieval from the incremental
+                          spatio-temporal hash index instead of per-rider
+                          reverse Dijkstra (also via URR_ST_INDEX=1)
 
 fault injection (seeded and replayable; all defaults off):
   --breakdown-fraction F  share of vehicles that break down mid-run
@@ -182,6 +187,7 @@ Result<Options> ParseArgs(int argc, char** argv) {
       {"--no-eval-cache", &opt.no_eval_cache},
       {"--no-zero-copy", &opt.no_zero_copy},
       {"--no-screen", &opt.no_screen},
+      {"--st-index", &opt.st_index},
       {"--verify-restore", &opt.verify_restore},
       {"--validate-invariants", &opt.validate_invariants},
   };
@@ -340,6 +346,7 @@ Status Run(const Options& opt) {
   ecfg.max_queue = opt.max_queue;
   ecfg.seed = opt.seed;
   ecfg.use_eval_cache = !opt.no_eval_cache;
+  ecfg.use_st_index = opt.st_index || GetEnvInt("URR_ST_INDEX", 0) != 0;
   ecfg.gbs = cfg.gbs;
   ecfg.max_redispatch = opt.max_redispatch;
   ecfg.redispatch_backoff = opt.redispatch_backoff;
