@@ -385,19 +385,20 @@ Status DispatchEngine::BeginLive() {
   if (ran_) {
     return Status::Internal("BeginLive on an engine that already ran");
   }
-  if (restored_) {
-    return Status::InvalidArgument(
-        "live sessions cannot resume a checkpoint");
-  }
   ran_ = true;
   live_ = true;
   URR_RETURN_NOT_OK(Prepare());
   // The workload's recorded arrivals/cancellations are NOT pushed — they
   // arrive through SubmitLive/CancelLive. Its fault plan IS scheduled (it
   // is environment, not client traffic), in the same kind order as Run()
-  // so same-instant faults keep their batch seq order.
-  PushFaultPlan();
-  StartBoundaryChain();
+  // so same-instant faults keep their batch seq order. On a Restore()d
+  // engine the snapshot's queue already carries the un-consumed fault
+  // plan and the live boundary chain — re-pushing either would
+  // double-schedule them, so the restored queue is resumed as-is.
+  if (!restored_) {
+    PushFaultPlan();
+    StartBoundaryChain();
+  }
   return Status::OK();
 }
 

@@ -142,6 +142,9 @@ class DispatchEngine {
   /// Opens a live session: runs the same solver preparation as Run() and
   /// schedules the workload's recorded fault plan (arrivals/cancellations
   /// are ignored — they arrive via the hooks). Call instead of Run().
+  /// On a Restore()d engine the snapshot's pending queue (fault plan,
+  /// boundary chain) is resumed as-is, so a crashed live session continues
+  /// exactly where the checkpoint left it.
   Status BeginLive();
 
   /// Outcome of one SubmitLive call.
@@ -205,9 +208,9 @@ class DispatchEngine {
   std::string Checkpoint() const;
 
   /// Restores a snapshot into a freshly constructed engine (same workload,
-  /// context and config as the engine that produced it) before Run().
-  /// The resumed Run() replays a byte-identical event-log suffix and
-  /// reaches the identical final SolutionFingerprint.
+  /// context and config as the engine that produced it) before Run() or
+  /// BeginLive(). The resumed run replays a byte-identical event-log
+  /// suffix and reaches the identical final SolutionFingerprint.
   Status Restore(const std::string& checkpoint);
 
   /// (time, snapshot) pairs taken during Run() per config.checkpoint_every.

@@ -1,6 +1,11 @@
 #include "server/dispatch_service.h"
 
+#include <sys/stat.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 
 #include "common/json_writer.h"
 
@@ -16,6 +21,18 @@ JsonWriter Envelope(int64_t id, bool ok, int code) {
   return w;
 }
 
+std::string JournalPath(const std::string& dir) {
+  return dir + "/journal.wal";
+}
+
+Status EnsureDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) {
+    return Status::OK();
+  }
+  return Status::IOError("cannot create journal dir " + dir + ": " +
+                         std::string(std::strerror(errno)));
+}
+
 }  // namespace
 
 DispatchService::DispatchService(const StreamingWorkload* workload,
@@ -27,12 +44,111 @@ DispatchService::DispatchService(const StreamingWorkload* workload,
       config_(config),
       admission_(admission),
       engine_(workload, ctx, engine_config),
-      steady_(config.timescale) {}
+      steady_(config.timescale),
+      dedup_(config.dedup_window) {}
 
 Status DispatchService::Start() {
-  URR_RETURN_NOT_OK(engine_.BeginLive());
+  std::lock_guard<std::mutex> lock(mu_);
+  if (config_.journal_dir.empty()) {
+    URR_RETURN_NOT_OK(engine_.BeginLive());
+  } else {
+    URR_RETURN_NOT_OK(EnsureDir(config_.journal_dir));
+    if (config_.recover) {
+      URR_RETURN_NOT_OK(RecoverLocked());
+    } else {
+      URR_RETURN_NOT_OK(StartFreshJournalLocked());
+    }
+    URR_ASSIGN_OR_RETURN(
+        RequestJournal journal,
+        RequestJournal::Open(JournalPath(config_.journal_dir),
+                             config_.journal_fsync));
+    journal_.emplace(std::move(journal));
+  }
   epoch_ = engine_.now();
   steady_.Start();
+  return Status::OK();
+}
+
+Status DispatchService::StartFreshJournalLocked() {
+  // Refuse to append to leftover state: silently continuing a previous
+  // run's journal would interleave two incompatible histories.
+  URR_ASSIGN_OR_RETURN(JournalScan scan,
+                       ScanJournal(JournalPath(config_.journal_dir)));
+  if (scan.file_bytes > 0) {
+    return Status::InvalidArgument(
+        "journal dir " + config_.journal_dir + " already holds " +
+        std::to_string(scan.payloads.size()) +
+        " record(s); recover from it (--recover) or point at a fresh "
+        "directory");
+  }
+  return engine_.BeginLive();
+}
+
+Status DispatchService::RecoverLocked() {
+  // 1. Newest checkpoint that validates (file-level checksum + envelope).
+  //    Corrupt ones — e.g. a crash raced the atomic rename — are skipped
+  //    with a note; with none left the journal replays from the start.
+  URR_ASSIGN_OR_RETURN(auto checkpoints,
+                       ListServiceCheckpoints(config_.journal_dir));
+  ServiceCheckpoint ckpt;
+  bool have_checkpoint = false;
+  for (const auto& [seq, path] : checkpoints) {
+    Result<ServiceCheckpoint> loaded = ReadServiceCheckpoint(path);
+    if (loaded.ok()) {
+      ckpt = std::move(*loaded);
+      have_checkpoint = true;
+      break;
+    }
+    if (!recovery_note_.empty()) recovery_note_ += "; ";
+    recovery_note_ += loaded.status().message();
+  }
+  if (have_checkpoint) {
+    URR_RETURN_NOT_OK(engine_.Restore(ckpt.engine_checkpoint));
+    for (auto& [req_id, response] : ckpt.dedup) {
+      dedup_.Insert(req_id, std::move(response));
+    }
+    journal_seq_ = ckpt.seq;
+    last_checkpoint_seq_ = ckpt.seq;
+    recovered_checkpoint_seq_ = ckpt.seq;
+  }
+  URR_RETURN_NOT_OK(engine_.BeginLive());
+  // 2. Scan the journal; a torn/corrupt tail is truncated to the valid
+  //    prefix — its precise Status is kept, not fatal.
+  const std::string path = JournalPath(config_.journal_dir);
+  URR_ASSIGN_OR_RETURN(JournalScan scan, ScanJournal(path));
+  if (!scan.tail.ok()) {
+    URR_RETURN_NOT_OK(TruncateJournal(path, scan.valid_bytes));
+    if (!recovery_note_.empty()) recovery_note_ += "; ";
+    recovery_note_ += "truncated torn tail (" + scan.tail.message() + ")";
+  }
+  if (static_cast<int64_t>(scan.payloads.size()) < journal_seq_) {
+    return Status::IOError(
+        "journal holds " + std::to_string(scan.payloads.size()) +
+        " valid record(s) but the checkpoint was taken at seq " +
+        std::to_string(journal_seq_) +
+        " — the journal and checkpoints are from different runs");
+  }
+  // 3. Replay the suffix through the same dispatch path the live requests
+  //    take. Dispatch is deterministic in (request, stamped time) order,
+  //    so this reproduces the pre-crash engine state and event log and
+  //    rebuilds the dedup window with the original responses.
+  for (size_t i = static_cast<size_t>(journal_seq_); i < scan.payloads.size();
+       ++i) {
+    Result<Request> req = ParseRequest(scan.payloads[i]);
+    if (!req.ok()) {
+      return Status::IOError("journal record " + std::to_string(i) +
+                             " does not parse: " + req.status().message());
+    }
+    if (!req->has_time) {
+      return Status::IOError("journal record " + std::to_string(i) +
+                             " carries no time stamp");
+    }
+    std::string response = DispatchMutating(*req, req->time);
+    if (req->req_id >= 0) dedup_.Insert(req->req_id, std::move(response));
+    ++journal_seq_;
+    ++recovered_replayed_;
+  }
+  recovered_ = true;
   return Status::OK();
 }
 
@@ -102,17 +218,79 @@ std::string DispatchService::HandleParsed(const Request& req) {
       if (req.op == RequestOp::kTick && req.has_time) t = req.time;
     }
   }
+  if (mutating) return HandleMutating(req, t);
   switch (req.op) {
-    case RequestOp::kSubmitRider: return HandleSubmit(req, t);
-    case RequestOp::kCancelRider: return HandleCancel(req, t);
     case RequestOp::kQueryStatus: return HandleQuery(req);
     case RequestOp::kMetrics: return HandleMetrics(req);
     case RequestOp::kWorkload: return HandleWorkload(req);
-    case RequestOp::kInjectFault: return HandleInject(req, t);
-    case RequestOp::kTick: return HandleTick(req, t);
     case RequestOp::kShutdown: return HandleShutdown(req);
+    default: break;
   }
   return ErrorResponse(req.id, 500, "unhandled op");
+}
+
+std::string DispatchService::HandleMutating(const Request& req, Cost t) {
+  // Idempotency first: a retry of an executed req_id gets the cached
+  // response of the first execution — it must not re-journal, re-mutate,
+  // or trip the engine's monotone-time check.
+  if (req.req_id >= 0) {
+    if (const std::string* cached = dedup_.Lookup(req.req_id)) {
+      dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+      return *cached;
+    }
+  }
+  if (journal_.has_value()) {
+    if (!journal_fault_.ok()) {
+      // A previous append failed: the journal no longer covers the engine
+      // state, so accepting further mutations would make recovery lie.
+      return ErrorResponse(req.id, 503,
+                           "journal unavailable: " + journal_fault_.message());
+    }
+    // Write-ahead: the record (with its stamped time) is durable before
+    // the engine sees the request. A crash between append and apply is
+    // safe — recovery replays the record; the client saw no response and
+    // retries into the rebuilt dedup window.
+    const Status st = journal_->Append(SerializeRequest(req, t));
+    if (!st.ok()) {
+      journal_fault_ = st;
+      return ErrorResponse(req.id, 503,
+                           "journal unavailable: " + st.message());
+    }
+    ++journal_seq_;
+  }
+  std::string response = DispatchMutating(req, t);
+  if (req.req_id >= 0) dedup_.Insert(req.req_id, response);
+  MaybeCheckpointLocked();
+  return response;
+}
+
+std::string DispatchService::DispatchMutating(const Request& req, Cost t) {
+  switch (req.op) {
+    case RequestOp::kSubmitRider: return HandleSubmit(req, t);
+    case RequestOp::kCancelRider: return HandleCancel(req, t);
+    case RequestOp::kInjectFault: return HandleInject(req, t);
+    case RequestOp::kTick: return HandleTick(req, t);
+    default: break;
+  }
+  return ErrorResponse(req.id, 500, "unhandled mutating op");
+}
+
+void DispatchService::MaybeCheckpointLocked() {
+  if (!journal_.has_value() || config_.checkpoint_every <= 0) return;
+  if (journal_seq_ - last_checkpoint_seq_ < config_.checkpoint_every) return;
+  ServiceCheckpoint ckpt;
+  ckpt.seq = journal_seq_;
+  ckpt.dedup = dedup_.Entries();
+  ckpt.engine_checkpoint = engine_.Checkpoint();
+  const Status st = WriteServiceCheckpoint(config_.journal_dir, ckpt);
+  if (st.ok()) {
+    last_checkpoint_seq_ = journal_seq_;
+    checkpoint_fault_ = Status::OK();
+  } else {
+    // Non-fatal: the journal still covers everything, recovery just
+    // replays a longer suffix. Kept for the metrics report.
+    checkpoint_fault_ = st;
+  }
 }
 
 std::string DispatchService::HandleSubmit(const Request& req, Cost t) {
@@ -203,6 +381,24 @@ std::string DispatchService::HandleMetrics(const Request& req) {
         .EndObject();
     w.Field("shed_queue_full", shed.queue_full);
   }
+  if (journal_.has_value()) {
+    w.Key("journal")
+        .BeginObject()
+        .Field("records", journal_seq_)
+        .Field("last_checkpoint_seq", last_checkpoint_seq_)
+        .Field("dedup_hits", dedup_hits_.load(std::memory_order_relaxed))
+        .Field("dedup_size", dedup_.size())
+        .Field("append_fault", journal_fault_.ok() ? std::string()
+                                                   : journal_fault_.message())
+        .Field("checkpoint_fault",
+               checkpoint_fault_.ok() ? std::string()
+                                      : checkpoint_fault_.message())
+        .Field("recovered", recovered_)
+        .Field("recovered_checkpoint_seq", recovered_checkpoint_seq_)
+        .Field("recovered_replayed", recovered_replayed_)
+        .Field("recovery_note", recovery_note_)
+        .EndObject();
+  }
   // Splice the canonical engine metrics object in as-is.
   w.EndObject();
   std::string out = w.str();
@@ -216,19 +412,38 @@ std::string DispatchService::HandleMetrics(const Request& req) {
 std::string DispatchService::HandleWorkload(const Request& req) {
   // The recorded request schedule, for replay drivers: they fetch it here
   // instead of rebuilding the world, then submit each entry at its
-  // recorded time over the socket.
+  // recorded time over the socket. offset/limit window each list
+  // independently so a workload too large for one frame (the 1 MiB cap)
+  // can be fetched in pages; the *_total fields tell the client when it
+  // has everything.
+  const auto window = [&](size_t total) -> std::pair<size_t, size_t> {
+    const size_t begin = std::min(static_cast<size_t>(req.offset), total);
+    const size_t end = req.limit == 0
+                           ? total
+                           : std::min(begin + static_cast<size_t>(req.limit),
+                                      total);
+    return {begin, end};
+  };
   JsonWriter w = Envelope(req.id, true, 200);
+  const auto [a_begin, a_end] = window(workload_->arrivals.size());
   w.Key("arrivals").BeginArray();
-  for (const RiderArrival& a : workload_->arrivals) {
+  for (size_t i = a_begin; i < a_end; ++i) {
+    const RiderArrival& a = workload_->arrivals[i];
     w.BeginArray().Value(a.rider).Value(a.time).EndArray();
   }
   w.EndArray();
+  const auto [c_begin, c_end] = window(workload_->cancellations.size());
   w.Key("cancellations").BeginArray();
-  for (const CancelRequest& c : workload_->cancellations) {
+  for (size_t i = c_begin; i < c_end; ++i) {
+    const CancelRequest& c = workload_->cancellations[i];
     w.BeginArray().Value(c.rider).Value(c.time).EndArray();
   }
   w.EndArray();
-  w.Field("riders", static_cast<int>(engine_.instance().riders.size()))
+  w.Field("arrivals_total",
+          static_cast<int64_t>(workload_->arrivals.size()))
+      .Field("cancellations_total",
+             static_cast<int64_t>(workload_->cancellations.size()))
+      .Field("riders", static_cast<int>(engine_.instance().riders.size()))
       .Field("vehicles", static_cast<int>(engine_.instance().vehicles.size()))
       .Field("now", engine_.now())
       .EndObject();

@@ -1,0 +1,145 @@
+// Crash-safety plumbing of the dispatch service (DESIGN.md §15): the
+// write-ahead request journal, the service checkpoint files it pairs with,
+// and the idempotency (dedup) cache.
+//
+// Journal record framing reuses the wire protocol's length prefix and adds
+// a per-record checksum:
+//
+//   +-----------------+-------------------+--------------------+
+//   | u32 length (BE) | u64 FNV-1a-64 (LE)| UTF-8 JSON payload |
+//   +-----------------+-------------------+--------------------+
+//
+// The length counts the payload only (same rule as protocol.h frames); the
+// checksum covers the payload bytes. Records are appended before the
+// request is applied to the engine (write-ahead discipline) and fdatasync'd
+// by default, so every response the server ever sent is backed by a durable
+// record. A torn tail — a partial header, a partial payload, or a payload
+// failing its checksum — marks the end of the valid prefix: ScanJournal
+// reports it with a precise Status and recovery truncates to the prefix,
+// never crashes, never replays past it.
+//
+// Service checkpoints wrap the engine's urrckpt snapshot (engine/checkpoint
+// .cc) with the journal position it corresponds to and the dedup window
+// contents, under a whole-file checksum. Files are written atomically
+// (tmp + fsync + rename) to `ckpt-<seq>` so a crash mid-checkpoint leaves
+// the previous checkpoint intact; recovery loads the newest file that
+// validates and replays the journal suffix past its seq.
+#ifndef URR_SERVER_JOURNAL_H_
+#define URR_SERVER_JOURNAL_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace urr {
+
+/// Encodes one journal record (length prefix + checksum + payload).
+std::string EncodeJournalRecord(std::string_view payload);
+
+/// Append handle over one journal file. Move-only; closes on destruction.
+class RequestJournal {
+ public:
+  /// Opens `path` for appending (creating it if absent). `fsync` = false
+  /// trades durability of the last few records for throughput (the OS
+  /// still sees every write; only a machine crash can lose them).
+  static Result<RequestJournal> Open(const std::string& path, bool fsync);
+
+  RequestJournal(RequestJournal&& o) noexcept
+      : fd_(o.fd_), fsync_(o.fsync_), appended_(o.appended_) {
+    o.fd_ = -1;
+  }
+  RequestJournal& operator=(RequestJournal&& o) noexcept;
+  RequestJournal(const RequestJournal&) = delete;
+  RequestJournal& operator=(const RequestJournal&) = delete;
+  ~RequestJournal() { Close(); }
+
+  /// Appends one record and (by default) fdatasyncs it. IOError on any
+  /// short write — the journal is then in an unknown state and the caller
+  /// must stop accepting mutations.
+  Status Append(std::string_view payload);
+
+  void Close();
+  int64_t appended() const { return appended_; }
+
+ private:
+  RequestJournal(int fd, bool fsync) : fd_(fd), fsync_(fsync) {}
+  int fd_ = -1;
+  bool fsync_ = true;
+  int64_t appended_ = 0;
+};
+
+/// Result of scanning a journal file front to back.
+struct JournalScan {
+  std::vector<std::string> payloads;  // records of the valid prefix
+  uint64_t valid_bytes = 0;           // byte length of the valid prefix
+  uint64_t file_bytes = 0;            // total file size
+  /// OK when the file ends exactly on a record boundary; otherwise the
+  /// precise description of the torn/corrupt tail (truncated header,
+  /// truncated payload, implausible length, checksum mismatch).
+  Status tail;
+};
+
+/// Scans `path`, verifying every record checksum. Only the tail can be
+/// damaged without failing the whole scan: a bad record ends the valid
+/// prefix and everything before it is returned. A missing file scans as
+/// empty (fresh journal). IOError only for unreadable files.
+Result<JournalScan> ScanJournal(const std::string& path);
+
+/// Truncates `path` to `valid_bytes` — the recovery step that drops a torn
+/// tail before the journal is reopened for appending.
+Status TruncateJournal(const std::string& path, uint64_t valid_bytes);
+
+/// One loaded service checkpoint.
+struct ServiceCheckpoint {
+  int64_t seq = 0;  // journal records applied when the snapshot was taken
+  /// Dedup window contents at the snapshot: (req_id, cached response).
+  std::vector<std::pair<int64_t, std::string>> dedup;
+  std::string engine_checkpoint;  // urrckpt text (engine/checkpoint.cc)
+};
+
+/// Writes `ckpt` atomically to `<dir>/ckpt-<seq>` (tmp + fsync + rename).
+Status WriteServiceCheckpoint(const std::string& dir,
+                              const ServiceCheckpoint& ckpt);
+
+/// Parses and validates one checkpoint file (whole-file checksum, counts).
+Result<ServiceCheckpoint> ReadServiceCheckpoint(const std::string& path);
+
+/// Checkpoint files in `dir` as (seq, path), newest (highest seq) first.
+Result<std::vector<std::pair<int64_t, std::string>>> ListServiceCheckpoints(
+    const std::string& dir);
+
+/// Bounded idempotency window: req_id → the response of its first
+/// execution, FIFO-evicted at `capacity`. The window must be generously
+/// larger than the deepest plausible retry horizon (a client only retries
+/// its most recent requests); at the default 64k entries a duplicate
+/// outside the window would have to arrive tens of thousands of requests
+/// late.
+class DedupCache {
+ public:
+  explicit DedupCache(int capacity) : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  /// The cached response, or nullptr when req_id was never seen (or has
+  /// been evicted).
+  const std::string* Lookup(int64_t req_id) const;
+  void Insert(int64_t req_id, std::string response);
+
+  /// Snapshot in insertion (eviction) order, for checkpointing.
+  std::vector<std::pair<int64_t, std::string>> Entries() const;
+  int64_t size() const { return static_cast<int64_t>(order_.size()); }
+
+ private:
+  int capacity_;
+  std::deque<int64_t> order_;
+  std::unordered_map<int64_t, std::string> map_;
+};
+
+}  // namespace urr
+
+#endif  // URR_SERVER_JOURNAL_H_

@@ -98,6 +98,9 @@ Status ClientConnection::SendRaw(std::string_view bytes) {
         ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::IOError("send timed out");
+      }
       return Status::IOError("write: " + std::string(std::strerror(errno)));
     }
     off += static_cast<size_t>(w);
@@ -120,6 +123,9 @@ Result<std::string> ClientConnection::Recv() {
     }
     const ssize_t r = ::read(fd_, buf, sizeof(buf));
     if (r < 0 && errno == EINTR) continue;
+    if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return Status::IOError("timed out waiting for a response");
+    }
     if (r <= 0) {
       return Status::IOError("connection closed mid-frame");
     }
@@ -133,10 +139,70 @@ Result<JsonValue> ClientConnection::Call(std::string_view payload) {
   return ParseJson(resp);
 }
 
+Status ClientConnection::SetTimeout(double seconds) {
+  if (seconds <= 0) return Status::OK();
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - tv.tv_sec) * 1e6);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0 ||
+      ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    return Status::IOError("setsockopt timeout: " +
+                           std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+ResilientClient::ResilientClient(const Endpoint& endpoint,
+                                 const RetryPolicy& policy,
+                                 uint64_t jitter_seed)
+    : endpoint_(endpoint), policy_(policy), rng_(jitter_seed) {}
+
+Status ResilientClient::EnsureConnected() {
+  if (conn_.has_value()) return Status::OK();
+  const SteadyTime gap_start = std::chrono::steady_clock::now();
+  Result<ClientConnection> conn = ClientConnection::Connect(endpoint_);
+  gap_seconds_ += SecondsSince(gap_start);
+  URR_RETURN_NOT_OK(conn.status());
+  URR_RETURN_NOT_OK(conn->SetTimeout(policy_.request_timeout));
+  conn_.emplace(std::move(*conn));
+  if (ever_connected_) ++reconnects_;
+  ever_connected_ = true;
+  return Status::OK();
+}
+
+Result<JsonValue> ResilientClient::Call(std::string_view payload) {
+  Status last = Status::OK();
+  const int attempts = policy_.max_attempts < 1 ? 1 : policy_.max_attempts;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++retries_;
+      // Exponential backoff with jitter; the sleep is part of the
+      // connection gap the report accounts for.
+      const double base = policy_.base_backoff *
+                          static_cast<double>(int64_t{1} << (attempt - 1));
+      const double backoff =
+          std::min(policy_.max_backoff, base) * (0.5 + rng_.Uniform());
+      gap_seconds_ += backoff;
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+    }
+    last = EnsureConnected();
+    if (!last.ok()) continue;
+    Result<JsonValue> resp = conn_->Call(payload);
+    if (resp.ok()) return resp;
+    // Ambiguous transport failure: the request may or may not have been
+    // executed. Drop the connection and resend the identical payload —
+    // the server's req_id dedup keeps the retry from mutating twice.
+    last = resp.status();
+    conn_.reset();
+  }
+  return last.ok() ? Status::IOError("request failed") : last;
+}
+
 std::string LoadGenReport::ToJson() const {
   JsonWriter w;
   w.BeginObject()
       .Field("sent", sent)
+      .Field("cancels", cancels)
       .Field("ok", ok)
       .Field("queued", queued)
       .Field("assigned", assigned)
@@ -153,6 +219,9 @@ std::string LoadGenReport::ToJson() const {
       .Field("shed_latency_p99", shed_p99)
       .Field("goodput", goodput)
       .Field("rejection_rate", rejection_rate)
+      .Field("reconnects", reconnects)
+      .Field("retries", retries)
+      .Field("gap_seconds", gap_seconds)
       .EndObject();
   return w.str();
 }
@@ -172,6 +241,67 @@ struct ScheduledCall {
   RiderId rider = -1;
   bool cancel = false;
 };
+
+/// One recorded (rider, time) pair of the server's workload.
+struct RecordedEntry {
+  RiderId rider = -1;
+  double time = 0;
+};
+
+/// Fetches the server's recorded workload in pages (a large universe does
+/// not fit the 1 MiB frame cap in one response). List order — and therefore
+/// each entry's global index, the replay tie-break — is preserved.
+Status FetchWorkload(ResilientClient* conn,
+                     std::vector<RecordedEntry>* arrivals,
+                     std::vector<RecordedEntry>* cancellations) {
+  constexpr int64_t kPage = 4096;
+  int64_t offset = 0;
+  for (;;) {
+    JsonWriter w;
+    w.BeginObject()
+        .Field("op", "workload")
+        .Field("offset", offset)
+        .Field("limit", kPage)
+        .EndObject();
+    URR_ASSIGN_OR_RETURN(JsonValue resp, conn->Call(w.str()));
+    if (resp.GetInt("code", 0) != 200) {
+      return Status::IOError("workload request failed: " +
+                             resp.GetString("error", "unknown error"));
+    }
+    const auto collect = [&resp](const char* key,
+                                 std::vector<RecordedEntry>* out) {
+      const JsonValue* list = resp.Find(key);
+      if (list == nullptr || !list->is_array()) return;
+      for (const JsonValue& pair : list->items()) {
+        if (pair.is_array() && pair.items().size() >= 2 &&
+            pair.items()[0].is_number() && pair.items()[1].is_number()) {
+          out->push_back({static_cast<RiderId>(pair.items()[0].as_number()),
+                          pair.items()[1].as_number()});
+        }
+      }
+    };
+    collect("arrivals", arrivals);
+    collect("cancellations", cancellations);
+    const int64_t a_total = resp.GetInt("arrivals_total", -1);
+    const int64_t c_total = resp.GetInt("cancellations_total", -1);
+    if (a_total < 0 || c_total < 0) {
+      // Single-shot response without totals: everything came at once.
+      return Status::OK();
+    }
+    offset += kPage;
+    if (offset >= a_total && offset >= c_total) {
+      if (static_cast<int64_t>(arrivals->size()) != a_total ||
+          static_cast<int64_t>(cancellations->size()) != c_total) {
+        return Status::IOError(
+            "paged workload fetch came up short: " +
+            std::to_string(arrivals->size()) + "/" + std::to_string(a_total) +
+            " arrivals, " + std::to_string(cancellations->size()) + "/" +
+            std::to_string(c_total) + " cancellations");
+      }
+      return Status::OK();
+    }
+  }
+}
 
 /// Draws the open-loop arrival schedule: homogeneous Poisson for "const",
 /// thinned nonhomogeneous Poisson for "peak". Riders are consumed in the
@@ -256,6 +386,7 @@ LoadGenReport MergeTallies(std::vector<WorkerTally>* tallies,
   std::vector<double> shed;
   for (WorkerTally& t : *tallies) {
     total.sent += t.report.sent;
+    total.cancels += t.report.cancels;
     total.ok += t.report.ok;
     total.queued += t.report.queued;
     total.assigned += t.report.assigned;
@@ -295,46 +426,52 @@ Result<LoadGenReport> RunOpenLoop(const Endpoint& endpoint,
     return Status::InvalidArgument("connections must be positive");
   }
   // Fetch the rider universe (recorded arrival order) over a control
-  // connection.
-  URR_ASSIGN_OR_RETURN(ClientConnection control,
-                       ClientConnection::Connect(endpoint));
-  URR_ASSIGN_OR_RETURN(JsonValue workload,
-                       control.Call("{\"op\":\"workload\"}"));
-  const JsonValue* arrivals = workload.Find("arrivals");
-  if (arrivals == nullptr || !arrivals->is_array()) {
-    return Status::IOError("workload response carries no arrivals");
+  // connection, in pages.
+  std::vector<RecordedEntry> arrivals;
+  std::vector<RecordedEntry> cancellations;
+  {
+    ResilientClient control(endpoint, options.retry, options.seed ^ 0xf37c4);
+    URR_RETURN_NOT_OK(FetchWorkload(&control, &arrivals, &cancellations));
   }
   std::vector<RiderId> riders;
-  riders.reserve(arrivals->items().size());
-  for (const JsonValue& a : arrivals->items()) {
-    if (a.is_array() && a.items().size() >= 1 && a.items()[0].is_number()) {
-      riders.push_back(static_cast<RiderId>(a.items()[0].as_number()));
-    }
+  riders.reserve(arrivals.size());
+  for (const RecordedEntry& a : arrivals) riders.push_back(a.rider);
+  if (options.rider_offset > 0) {
+    const size_t skip = std::min(
+        riders.size(), static_cast<size_t>(options.rider_offset));
+    riders.erase(riders.begin(),
+                 riders.begin() + static_cast<ptrdiff_t>(skip));
   }
-  control.Close();
   if (riders.empty()) {
-    return Status::InvalidArgument("the server's workload has no riders");
+    return Status::InvalidArgument(
+        "the server's workload has no riders left (offset " +
+        std::to_string(options.rider_offset) + ")");
   }
   const std::vector<ScheduledCall> schedule = MakeSchedule(riders, options);
 
-  // N workers, each with its own connection, pulling the next scheduled
-  // call from a shared cursor. Latency is measured from the scheduled
-  // instant, so a backed-up connection reports its queueing delay.
-  std::vector<ClientConnection> conns;
-  conns.reserve(static_cast<size_t>(options.connections));
+  // N workers, each behind a resilient connection, pulling the next
+  // scheduled call from a shared cursor. Latency is measured from the
+  // scheduled instant, so a backed-up connection reports its queueing
+  // delay — and a reconnecting one reports its gap: a worker never stops
+  // on a transport failure, it keeps attempting every scheduled request,
+  // which is what keeps reconnect time inside the latency distribution
+  // instead of silently vanishing (coordinated-omission correction).
+  std::vector<ResilientClient> clients;
+  clients.reserve(static_cast<size_t>(options.connections));
   for (int c = 0; c < options.connections; ++c) {
-    URR_ASSIGN_OR_RETURN(ClientConnection conn,
-                         ClientConnection::Connect(endpoint));
-    conns.push_back(std::move(conn));
+    clients.emplace_back(endpoint, options.retry,
+                         options.seed ^ (0x9e3779b97f4a7c15ULL *
+                                         static_cast<uint64_t>(c + 1)));
+    URR_RETURN_NOT_OK(clients.back().Preconnect());
   }
   std::atomic<size_t> cursor{0};
   std::vector<WorkerTally> tallies(static_cast<size_t>(options.connections));
   const SteadyTime t0 = std::chrono::steady_clock::now();
   std::vector<std::thread> workers;
-  workers.reserve(conns.size());
-  for (size_t c = 0; c < conns.size(); ++c) {
+  workers.reserve(clients.size());
+  for (size_t c = 0; c < clients.size(); ++c) {
     workers.emplace_back([&, c] {
-      ClientConnection& conn = conns[c];
+      ResilientClient& client = clients[c];
       WorkerTally& tally = tallies[c];
       for (;;) {
         const size_t i = cursor.fetch_add(1);
@@ -344,36 +481,48 @@ Result<LoadGenReport> RunOpenLoop(const Endpoint& endpoint,
             t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                      std::chrono::duration<double>(call.at));
         std::this_thread::sleep_until(due);
+        // Idempotency key: rider-derived, stable across retries and unique
+        // across phases (rider universes of consecutive phases are
+        // disjoint via rider_offset).
         JsonWriter w;
         w.BeginObject()
             .Field("op", call.cancel ? "cancel_rider" : "submit_rider")
             .Field("id", static_cast<int64_t>(i))
+            .Field("req_id",
+                   static_cast<int64_t>(call.rider) * 2 + (call.cancel ? 1 : 0))
             .Field("rider", call.rider)
             .EndObject();
-        const Result<JsonValue> resp = conn.Call(w.str());
+        const Result<JsonValue> resp = client.Call(w.str());
         const double latency = SecondsSince(t0) - call.at;
         if (call.cancel) {
-          // Cancels keep the connection warm but are not arrival outcomes;
-          // only transport failures count.
+          // Cancels are real requests but not arrival outcomes: they are
+          // tallied apart so `sent` keeps meaning "submits attempted".
+          ++tally.report.cancels;
           if (!resp.ok()) ++tally.report.errors;
           continue;
         }
         Record(&tally, resp, latency);
-        if (!resp.ok()) break;  // connection is gone; stop this worker
       }
     });
   }
   for (std::thread& t : workers) t.join();
   const double elapsed = SecondsSince(t0);
-  return MergeTallies(&tallies, elapsed);
+  LoadGenReport total = MergeTallies(&tallies, elapsed);
+  for (const ResilientClient& client : clients) {
+    total.reconnects += client.reconnects();
+    total.retries += client.retries();
+    total.gap_seconds += client.gap_seconds();
+  }
+  return total;
 }
 
-Result<LoadGenReport> RunReplay(const Endpoint& endpoint,
-                                bool shutdown_after) {
-  URR_ASSIGN_OR_RETURN(ClientConnection conn,
-                       ClientConnection::Connect(endpoint));
-  URR_ASSIGN_OR_RETURN(JsonValue workload,
-                       conn.Call("{\"op\":\"workload\"}"));
+Result<LoadGenReport> RunReplay(const Endpoint& endpoint, bool shutdown_after,
+                                int64_t limit) {
+  ResilientClient conn(endpoint, RetryPolicy{}, /*jitter_seed=*/1);
+  URR_RETURN_NOT_OK(conn.Preconnect());
+  std::vector<RecordedEntry> arrivals;
+  std::vector<RecordedEntry> cancellations;
+  URR_RETURN_NOT_OK(FetchWorkload(&conn, &arrivals, &cancellations));
   struct Entry {
     double time;
     int rank;  // 0 arrival, 1 cancel — the engine's tie-break order
@@ -381,18 +530,14 @@ Result<LoadGenReport> RunReplay(const Endpoint& endpoint,
     RiderId rider;
   };
   std::vector<Entry> entries;
-  const auto collect = [&](const char* key, int rank) {
-    const JsonValue* list = workload.Find(key);
-    if (list == nullptr || !list->is_array()) return;
-    for (size_t i = 0; i < list->items().size(); ++i) {
-      const JsonValue& pair = list->items()[i];
-      if (!pair.is_array() || pair.items().size() < 2) continue;
-      entries.push_back({pair.items()[1].as_number(), rank, i,
-                         static_cast<RiderId>(pair.items()[0].as_number())});
+  const auto collect = [&entries](const std::vector<RecordedEntry>& list,
+                                  int rank) {
+    for (size_t i = 0; i < list.size(); ++i) {
+      entries.push_back({list[i].time, rank, i, list[i].rider});
     }
   };
-  collect("arrivals", 0);
-  collect("cancellations", 1);
+  collect(arrivals, 0);
+  collect(cancellations, 1);
   // The engine's queue orders same-instant entries by rank then insertion
   // seq; replaying in (time, rank, recorded index) order reproduces the
   // batch seq assignment exactly.
@@ -402,14 +547,21 @@ Result<LoadGenReport> RunReplay(const Endpoint& endpoint,
     if (a.rank != b.rank) return a.rank < b.rank;
     return a.index < b.index;
   });
+  if (limit > 0 && static_cast<size_t>(limit) < entries.size()) {
+    entries.resize(static_cast<size_t>(limit));
+  }
   std::vector<WorkerTally> tallies(1);
   const SteadyTime t0 = std::chrono::steady_clock::now();
   for (size_t i = 0; i < entries.size(); ++i) {
     const Entry& e = entries[i];
+    // The req_id is the sorted-schedule index — identical across replay
+    // runs of the same workload, so a re-replay against a recovered
+    // server dedups its already-applied prefix instead of mutating twice.
     JsonWriter w;
     w.BeginObject()
         .Field("op", e.rank == 0 ? "submit_rider" : "cancel_rider")
         .Field("id", static_cast<int64_t>(i))
+        .Field("req_id", static_cast<int64_t>(i))
         .Field("rider", e.rider)
         .Field("time", e.time)
         .EndObject();
@@ -431,7 +583,11 @@ Result<LoadGenReport> RunReplay(const Endpoint& endpoint,
       return Status::IOError("shutdown request failed");
     }
   }
-  return MergeTallies(&tallies, SecondsSince(t0));
+  LoadGenReport total = MergeTallies(&tallies, SecondsSince(t0));
+  total.reconnects = conn.reconnects();
+  total.retries = conn.retries();
+  total.gap_seconds = conn.gap_seconds();
+  return total;
 }
 
 }  // namespace urr

@@ -20,11 +20,13 @@
 #define URR_SERVER_LOADGEN_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/json_parser.h"
+#include "common/rng.h"
 #include "server/protocol.h"
 
 namespace urr {
@@ -56,6 +58,11 @@ class ClientConnection {
   /// Send + Recv + parse the response JSON.
   Result<JsonValue> Call(std::string_view payload);
 
+  /// Applies SO_RCVTIMEO/SO_SNDTIMEO: a server stalled longer than
+  /// `seconds` turns the blocking Recv/Send into an IOError("timed out"),
+  /// which the resilient client treats as an ambiguous failure.
+  Status SetTimeout(double seconds);
+
   void Close();
   int fd() const { return fd_; }
 
@@ -63,6 +70,61 @@ class ClientConnection {
   explicit ClientConnection(int fd) : fd_(fd) {}
   int fd_ = -1;
   FrameReader reader_;
+};
+
+/// Retry/timeout policy of a ResilientClient.
+struct RetryPolicy {
+  /// Total tries per request (1 initial + max_attempts-1 retries). Every
+  /// retry resends the identical payload — same req_id — so the server's
+  /// dedup window makes an ambiguous failure (timeout, dropped
+  /// connection) safe to retry.
+  int max_attempts = 4;
+  /// Exponential backoff before each retry: base·2^k seconds, capped at
+  /// `max_backoff`, scaled by a uniform jitter in [0.5, 1.5) so a fleet of
+  /// clients does not reconnect in lockstep after a server restart.
+  double base_backoff = 0.05;
+  double max_backoff = 1.0;
+  /// Per-request socket timeout (seconds); 0 = block forever.
+  double request_timeout = 10.0;
+};
+
+/// A client connection that survives server restarts: Call() reconnects
+/// with exponential backoff + jitter and resends on transport failure, up
+/// to the policy's attempt budget. Counters expose how much wall time the
+/// connection gaps consumed — the open-loop driver folds that time into
+/// the latency distribution instead of losing it (coordinated-omission
+/// correction across reconnects).
+class ResilientClient {
+ public:
+  ResilientClient(const Endpoint& endpoint, const RetryPolicy& policy,
+                  uint64_t jitter_seed);
+
+  /// Sends `payload`, retrying through reconnects per the policy. Returns
+  /// the last transport error once the attempt budget is exhausted.
+  Result<JsonValue> Call(std::string_view payload);
+
+  /// Establishes the connection up front (Call() otherwise connects
+  /// lazily) — the open-loop driver warms its workers before the schedule
+  /// clock starts.
+  Status Preconnect() { return EnsureConnected(); }
+
+  int64_t reconnects() const { return reconnects_; }
+  int64_t retries() const { return retries_; }
+  /// Wall seconds spent disconnected inside Call(): backoff sleeps plus
+  /// connect() attempts (failed and successful).
+  double gap_seconds() const { return gap_seconds_; }
+
+ private:
+  Status EnsureConnected();
+
+  Endpoint endpoint_;
+  RetryPolicy policy_;
+  Rng rng_;
+  std::optional<ClientConnection> conn_;
+  bool ever_connected_ = false;
+  int64_t reconnects_ = 0;
+  int64_t retries_ = 0;
+  double gap_seconds_ = 0;
 };
 
 struct LoadGenOptions {
@@ -78,10 +140,17 @@ struct LoadGenOptions {
   uint64_t seed = 1;
   /// Cancel this fraction of submitted riders ~50 ms after submission.
   double cancel_fraction = 0;
+  /// Skip this many riders of the server's recorded arrival order before
+  /// drawing the schedule — consecutive phases against one server (e.g.
+  /// the storm bench's before/during/after) submit disjoint riders.
+  int64_t rider_offset = 0;
+  /// Reconnect/retry/timeout behavior of every worker connection.
+  RetryPolicy retry;
 };
 
 struct LoadGenReport {
-  int64_t sent = 0;
+  int64_t sent = 0;      // submit requests attempted (cancels counted apart)
+  int64_t cancels = 0;   // cancel requests attempted (sent + cancels = total)
   int64_t ok = 0;        // 2xx responses (queued/assigned/rejected-infeasible)
   int64_t queued = 0;
   int64_t assigned = 0;
@@ -97,19 +166,33 @@ struct LoadGenReport {
   double shed_p50 = 0, shed_p95 = 0, shed_p99 = 0;
   double goodput = 0;          // ok responses per second
   double rejection_rate = 0;   // 429s / sent
+  /// Resilience accounting: connections re-established, payload resends,
+  /// and the wall seconds the reconnect gaps consumed. Gap time is NOT
+  /// subtracted from latencies — a request scheduled during an outage
+  /// reports the outage in its latency (coordinated-omission correction
+  /// must cover reconnects, not just server queueing).
+  int64_t reconnects = 0;
+  int64_t retries = 0;
+  double gap_seconds = 0;
   std::string ToJson() const;
 };
 
 /// Open-loop run against a steady-clock server (requests carry no times).
+/// Every submit/cancel carries a rider-derived idempotent req_id, so
+/// worker retries after ambiguous failures cannot double-submit.
 Result<LoadGenReport> RunOpenLoop(const Endpoint& endpoint,
                                   const LoadGenOptions& options);
 
 /// Replays the server's recorded workload at recorded virtual times over
 /// one connection (virtual-clock server). `shutdown_after` sends the
 /// shutdown request once the schedule is drained (the differential flow:
-/// the server then finalizes and writes its --log).
-Result<LoadGenReport> RunReplay(const Endpoint& endpoint,
-                                bool shutdown_after);
+/// the server then finalizes and writes its --log). `limit` > 0 stops
+/// after that many entries — the crash-recovery harness replays a prefix,
+/// kills the server, then replays the full schedule against the recovered
+/// server (the prefix duplicates are absorbed by req_id dedup, entry index
+/// = req_id).
+Result<LoadGenReport> RunReplay(const Endpoint& endpoint, bool shutdown_after,
+                                int64_t limit = 0);
 
 }  // namespace urr
 

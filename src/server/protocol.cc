@@ -63,6 +63,7 @@ Result<Request> ParseRequest(std::string_view payload) {
     return Status::InvalidArgument("unknown op \"" + op->as_string() + "\"");
   }
   req.id = doc.GetInt("id", -1);
+  req.req_id = doc.GetInt("req_id", -1);
   if (const JsonValue* t = doc.Find("time"); t != nullptr) {
     if (!t->is_number()) {
       return Status::InvalidArgument("\"time\" must be a number");
@@ -110,10 +111,56 @@ Result<Request> ParseRequest(std::string_view payload) {
       }
       break;
     }
+    case RequestOp::kWorkload: {
+      req.offset = doc.GetInt("offset", 0);
+      req.limit = doc.GetInt("limit", 0);
+      if (req.offset < 0 || req.limit < 0) {
+        return Status::InvalidArgument(
+            "workload \"offset\" and \"limit\" must be non-negative");
+      }
+      break;
+    }
     default:
       break;
   }
   return req;
+}
+
+std::string SerializeRequest(const Request& req, double time) {
+  JsonWriter w;
+  w.BeginObject();
+  const char* op = "metrics";
+  switch (req.op) {
+    case RequestOp::kSubmitRider: op = "submit_rider"; break;
+    case RequestOp::kCancelRider: op = "cancel_rider"; break;
+    case RequestOp::kQueryStatus: op = "query_status"; break;
+    case RequestOp::kMetrics: op = "metrics"; break;
+    case RequestOp::kWorkload: op = "workload"; break;
+    case RequestOp::kInjectFault: op = "inject_fault"; break;
+    case RequestOp::kTick: op = "tick"; break;
+    case RequestOp::kShutdown: op = "shutdown"; break;
+  }
+  w.Field("op", op).Field("id", req.id).Field("req_id", req.req_id);
+  switch (req.op) {
+    case RequestOp::kSubmitRider:
+    case RequestOp::kCancelRider:
+    case RequestOp::kQueryStatus:
+      w.Field("rider", req.rider);
+      break;
+    case RequestOp::kInjectFault:
+      w.Field("kind", req.fault_kind);
+      if (req.fault_kind == "breakdown") {
+        w.Field("vehicle", req.vehicle);
+      } else {
+        w.Field("a", req.edge_a).Field("b", req.edge_b);
+        if (req.fault_kind == "edge_disrupt") w.Field("factor", req.factor);
+      }
+      break;
+    default:
+      break;
+  }
+  w.Field("time", time).EndObject();
+  return w.str();
 }
 
 std::string ErrorResponse(int64_t id, int code, std::string_view error) {

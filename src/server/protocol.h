@@ -15,6 +15,9 @@
 //
 // Requests are JSON objects: {"op": "...", "id": n, ...op fields}. The `id`
 // is an optional client correlation number echoed verbatim in the response.
+// Mutating requests may also carry "req_id", an idempotency key: the
+// service remembers the response of each executed req_id (bounded window)
+// and answers a retry with the cached response instead of mutating twice.
 // Operations:
 //
 //   submit_rider  {rider, time?}          → {result: queued|assigned|
@@ -24,8 +27,14 @@
 //                                            arrival_time}
 //   metrics       {}                      → {metrics: {...EngineMetricsJson},
 //                                            queue_depth, now, sessions}
-//   workload      {}                      → {arrivals: [[rider,time]...],
-//                                            cancellations: [[rider,time]...]}
+//   workload      {offset?, limit?}       → {arrivals: [[rider,time]...],
+//                                            cancellations: [[rider,time]...],
+//                                            arrivals_total,
+//                                            cancellations_total}
+//                                           offset/limit (limit 0 = all)
+//                                           window each list independently,
+//                                           so a workload too large for one
+//                                           frame is fetched in pages
 //   inject_fault  {kind, time?, vehicle | a, b, factor}
 //   tick          {time?}                 → advances the engine clock
 //   shutdown      {}                      → {result: shutting_down}; the
@@ -96,6 +105,11 @@ enum class RequestOp : uint8_t {
 struct Request {
   RequestOp op = RequestOp::kMetrics;
   int64_t id = -1;          // client correlation id; -1 = absent
+  /// Idempotency key; -1 = absent. A mutating request carrying a
+  /// non-negative req_id is deduplicated by the service: a retry after an
+  /// ambiguous failure (timeout, dropped connection) returns the cached
+  /// response of the first execution instead of mutating twice.
+  int64_t req_id = -1;
   RiderId rider = -1;
   bool has_time = false;
   double time = 0;
@@ -105,11 +119,22 @@ struct Request {
   NodeId edge_a = -1;
   NodeId edge_b = -1;
   double factor = 1;
+  // workload paging: the [offset, offset+limit) window of each recorded
+  // list; limit 0 = everything (only safe for small workloads).
+  int64_t offset = 0;
+  int64_t limit = 0;
 };
 
 /// Parses one request payload. InvalidArgument on malformed JSON, a missing
 /// or unknown "op", or op-specific fields of the wrong type.
 Result<Request> ParseRequest(std::string_view payload);
+
+/// Canonical serialization of a mutating request for the write-ahead
+/// journal: the request's own fields plus the service-stamped injection
+/// time `time` (so a steady-clock run replays deterministically).
+/// ParseRequest(SerializeRequest(req, t)) round-trips every field the
+/// dispatch path reads.
+std::string SerializeRequest(const Request& req, double time);
 
 /// Canonical error response: {"id", "ok": false, "code", "error"}.
 std::string ErrorResponse(int64_t id, int code, std::string_view error);

@@ -132,6 +132,65 @@ TEST(LiveEngineTest, BoundedQueueLiveLogMatchesBatch) {
   ExpectLiveMatchesBatch(config, 2.0, 0.0);
 }
 
+TEST(LiveEngineTest, RestoredEngineContinuesLiveSessionByteForByte) {
+  // The recovery primitive behind the crash-safe service: checkpoint a
+  // live session mid-stream, Restore() into a fresh engine, reopen the
+  // live session and continue — the combined run must be indistinguishable
+  // from the uninterrupted one.
+  EngineConfig config;
+  config.window = 20;
+  config.solver = WindowSolver::kEfficientGreedy;
+  auto world = SmallWorld();
+  const StreamingWorkload workload = MakeWorkload(*world, 0.5, 0.2);
+  const std::vector<Entry> entries = RecordedEntries(workload);
+  ASSERT_GT(entries.size(), 4u);
+  const size_t cut = entries.size() / 2;
+
+  const auto drive = [&](DispatchEngine* engine, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const Entry& e = entries[i];
+      if (e.rank == 0) {
+        auto outcome = engine->SubmitLive(e.rider, e.time);
+        ASSERT_TRUE(outcome.ok()) << outcome.status();
+      } else {
+        auto cancelled = engine->CancelLive(e.rider, e.time);
+        ASSERT_TRUE(cancelled.ok()) << cancelled.status();
+      }
+    }
+  };
+
+  // Uninterrupted reference.
+  auto ref_world = SmallWorld();
+  EngineRun ref(ref_world.get(), &workload, config);
+  ASSERT_TRUE(ref.engine.BeginLive().ok());
+  drive(&ref.engine, 0, entries.size());
+  ASSERT_TRUE(ref.engine.FinishLive().ok());
+
+  // First half, then a checkpoint — taken mid-session, like the service's
+  // cadence checkpoints.
+  auto half_world = SmallWorld();
+  EngineRun half(half_world.get(), &workload, config);
+  ASSERT_TRUE(half.engine.BeginLive().ok());
+  drive(&half.engine, 0, cut);
+  const std::string ckpt = half.engine.Checkpoint();
+
+  // Restore into a fresh engine and finish the second half there.
+  auto resumed_world = SmallWorld();
+  EngineRun resumed(resumed_world.get(), &workload, config);
+  ASSERT_TRUE(resumed.engine.Restore(ckpt).ok());
+  ASSERT_TRUE(resumed.engine.BeginLive().ok());
+  drive(&resumed.engine, cut, entries.size());
+  ASSERT_TRUE(resumed.engine.FinishLive().ok());
+
+  EXPECT_EQ(resumed.engine.SerializedLog(), ref.engine.SerializedLog())
+      << "checkpoint/restore across a live session must not perturb the "
+         "event log";
+  EXPECT_EQ(resumed.engine.SolutionFingerprint(),
+            ref.engine.SolutionFingerprint());
+  EXPECT_EQ(resumed.engine.metrics().total_accepted,
+            ref.engine.metrics().total_accepted);
+}
+
 TEST(LiveEngineTest, SubmitOutcomeReportsQueuedAndQueueFull) {
   auto world = SmallWorld();
   const StreamingWorkload workload = MakeWorkload(*world, 1.0);

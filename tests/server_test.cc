@@ -7,9 +7,13 @@
 #include "server/server.h"
 
 #include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
@@ -78,6 +82,16 @@ EngineConfig WindowedConfig(Cost window = 20) {
   EngineConfig config;
   config.window = window;
   return config;
+}
+
+/// Fresh per-test scratch directory (journal + checkpoint home).
+std::string ScratchDir(const std::string& tag) {
+  std::string dir = ::testing::TempDir() + "urr_server_" + tag + "_" +
+                    std::to_string(::getpid());
+  std::string cmd = "rm -rf " + dir;
+  EXPECT_EQ(std::system(cmd.c_str()), 0);
+  EXPECT_EQ(::mkdir(dir.c_str(), 0755), 0) << dir;
+  return dir;
 }
 
 /// Full-precision double literal (std::to_string truncates to 6 decimals,
@@ -163,6 +177,133 @@ TEST(ServerTest, ReplayThroughSocketMatchesBatchLog) {
   EXPECT_EQ(h.service.SerializedLog(), batch_log)
       << "serving the recorded workload over the socket must reproduce the "
          "batch event log byte for byte";
+}
+
+TEST(ServerTest, IdempotentReqIdRetriesGetTheCachedResponse) {
+  // No journal configured: dedup must work standalone, because the lookup
+  // precedes the journal stage in HandleMutating.
+  ServerHarness h(WindowedConfig());
+  const RiderId rider = h.workload.arrivals[0].rider;
+  const std::string submit = "{\"op\":\"submit_rider\",\"id\":3,\"req_id\":7,"
+                             "\"rider\":" + std::to_string(rider) +
+                             ",\"time\":" +
+                             Num(h.workload.arrivals[0].time) + "}";
+
+  auto conn = h.Connect();
+  ASSERT_TRUE(conn.ok()) << conn.status();
+  ASSERT_TRUE(conn->Send(submit).ok());
+  auto first = conn->Recv();
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_TRUE(ParseJson(*first)->GetBool("ok", false)) << *first;
+
+  // Retry on the same connection: byte-identical cached response.
+  ASSERT_TRUE(conn->Send(submit).ok());
+  auto again = conn->Recv();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *first);
+
+  // The ambiguous-failure shape: the client never reads the response,
+  // drops the connection and retries from a fresh one. Still the cached
+  // bytes, still exactly one execution.
+  conn->Close();
+  auto retry_conn = h.Connect();
+  ASSERT_TRUE(retry_conn.ok());
+  ASSERT_TRUE(retry_conn->Send(submit).ok());
+  auto after_reconnect = retry_conn->Recv();
+  ASSERT_TRUE(after_reconnect.ok());
+  EXPECT_EQ(*after_reconnect, *first);
+
+  EXPECT_EQ(h.service.dedup_hits(), 2);
+  auto metrics = retry_conn->Call("{\"op\":\"metrics\"}");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->Find("metrics")->GetInt("total_arrivals", -1), 1)
+      << "a deduplicated retry must not reach the engine";
+
+  // A different req_id is a different request: the duplicate submission
+  // now reaches dispatch and earns its 409.
+  auto fresh = retry_conn->Call("{\"op\":\"submit_rider\",\"req_id\":8,"
+                                "\"rider\":" + std::to_string(rider) +
+                                ",\"time\":" +
+                                Num(h.workload.arrivals[0].time + 1) + "}");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->GetInt("code", 0), 409);
+}
+
+TEST(ServerTest, RecoveredServerReproducesTheBatchLogByteForByte) {
+  EngineConfig config = WindowedConfig(15);
+  // Batch reference on an identical world + workload.
+  std::string batch_log;
+  std::string batch_fp;
+  {
+    auto world = SmallWorld();
+    Rng rng(world->config.seed + 100);
+    StreamingWorkloadOptions opt;
+    opt.arrival_rate = 1.0;
+    opt.cancel_fraction = 0.2;
+    StreamingWorkload workload =
+        MakeStreamingWorkload(world->instance, opt, &rng);
+    UtilityModel model(&workload.instance,
+                       UtilityParams{world->config.alpha, world->config.beta});
+    SolverContext ctx = world->Context();
+    ctx.model = &model;
+    DispatchEngine engine(&workload, &ctx, config);
+    ASSERT_TRUE(engine.Run().ok());
+    batch_log = engine.SerializedLog();
+    batch_fp = engine.SolutionFingerprint();
+  }
+
+  const std::string dir = ScratchDir("recover");
+  ServiceConfig journaled;
+  journaled.journal_dir = dir;
+  journaled.checkpoint_every = 13;  // forces checkpoint + suffix replay
+  journaled.journal_fsync = false;  // ordering, not durability, is under test
+
+  // Phase 1: replay a prefix against a journaling server, then tear it
+  // down without a shutdown. Because every mutation is journaled before it
+  // is applied, the on-disk state after any stop — clean or SIGKILL —
+  // is the same journal prefix.
+  constexpr int64_t kPrefix = 30;
+  {
+    ServerHarness h(config, /*cancel_fraction=*/0.2, /*max_sessions=*/8,
+                    journaled);
+    auto report = RunReplay(h.endpoint(), /*shutdown_after=*/false, kPrefix);
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_EQ(report->errors, 0);
+    EXPECT_EQ(h.service.journal_records(), kPrefix);
+  }
+
+  // Simulate the crash landing mid-append: a torn half-header on the tail.
+  {
+    std::FILE* f = std::fopen((dir + "/journal.wal").c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const char torn[5] = {0, 0, 0, 40, 'x'};
+    ASSERT_EQ(std::fwrite(torn, 1, sizeof(torn), f), sizeof(torn));
+    std::fclose(f);
+  }
+
+  // Phase 2: recover, then replay the full schedule. The prefix re-sends
+  // are absorbed by req_id dedup (entry index = req_id); the suffix runs
+  // for the first time. The combined run must equal the batch reference.
+  ServiceConfig recovering = journaled;
+  recovering.recover = true;
+  ServerHarness h(config, /*cancel_fraction=*/0.2, /*max_sessions=*/8,
+                  recovering);
+  EXPECT_EQ(h.service.journal_records(), kPrefix)
+      << "recovery must land on the exact pre-crash mutation count";
+  EXPECT_EQ(h.service.recovered_replayed(), kPrefix - 26)
+      << "with checkpoints every 13 mutations, only the post-checkpoint "
+         "suffix should replay";
+  auto report = RunReplay(h.endpoint(), /*shutdown_after=*/true);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->errors, 0);
+  h.server.Wait();
+  ASSERT_TRUE(h.server.Stop().ok());
+  EXPECT_GE(h.service.dedup_hits(), kPrefix)
+      << "the re-sent prefix must be deduplicated, not re-executed";
+  EXPECT_EQ(h.service.SerializedLog(), batch_log)
+      << "checkpoint + journal-suffix recovery must reproduce the batch "
+         "event log byte for byte";
+  EXPECT_EQ(h.service.engine().SolutionFingerprint(), batch_fp);
 }
 
 TEST(ServerTest, MalformedRequestsGetPreciseErrors) {

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke for the dispatch server (DESIGN.md §15): replay a
+# prefix of the recorded workload against a journaling server, SIGKILL it
+# mid-run, recover with --recover, re-replay the full schedule (the prefix
+# duplicates are absorbed by req_id dedup) — the recovered run's event log
+# and SolutionFingerprint must be byte-identical to an uninterrupted run.
+set -euo pipefail
+
+URR_SERVER="$1"
+URR_LOADGEN="$2"
+DIR="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+wait_for_port() {
+  for _ in $(seq 1 150); do
+    [ -s "$1" ] && return 0
+    sleep 0.1
+  done
+  echo "server never wrote its port file" >&2
+  return 1
+}
+
+WORLD=(--city chicago --nodes 800 --riders 60 --vehicles 12 --capacity 3
+       --solver eg --window 20 --arrival-rate 1 --cancel-fraction 0.15
+       --seed 7)
+PREFIX=30
+
+# --- uninterrupted reference ---------------------------------------------
+"$URR_SERVER" "${WORLD[@]}" --port 0 --port-file "$DIR/ref_port" \
+  --log "$DIR/ref.log" --fingerprint "$DIR/ref.fp" &
+SERVER_PID=$!
+wait_for_port "$DIR/ref_port"
+"$URR_LOADGEN" --port "$(cat "$DIR/ref_port")" --mode replay --shutdown
+wait "$SERVER_PID"
+SERVER_PID=""
+
+# --- journaling run, killed mid-stream -----------------------------------
+# checkpoint-every is deliberately off the prefix stride so recovery has to
+# restore the latest checkpoint AND replay a journal suffix.
+"$URR_SERVER" "${WORLD[@]}" --port 0 --port-file "$DIR/crash_port" \
+  --journal "$DIR/wal" --checkpoint-every 13 &
+SERVER_PID=$!
+wait_for_port "$DIR/crash_port"
+"$URR_LOADGEN" --port "$(cat "$DIR/crash_port")" --mode replay \
+  --replay-limit "$PREFIX"
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+# --- recover and finish the schedule -------------------------------------
+"$URR_SERVER" "${WORLD[@]}" --port 0 --port-file "$DIR/rec_port" \
+  --recover "$DIR/wal" --log "$DIR/rec.log" --fingerprint "$DIR/rec.fp" \
+  2> "$DIR/rec_stderr" &
+SERVER_PID=$!
+wait_for_port "$DIR/rec_port"
+"$URR_LOADGEN" --port "$(cat "$DIR/rec_port")" --mode replay --shutdown
+wait "$SERVER_PID"
+SERVER_PID=""
+
+grep -q "recovered: $PREFIX journaled mutation(s) total, 4 replayed past the checkpoint" \
+  "$DIR/rec_stderr" || {
+  echo "recovery did not restore the checkpoint + journal suffix:" >&2
+  cat "$DIR/rec_stderr" >&2
+  exit 1
+}
+cmp "$DIR/rec.log" "$DIR/ref.log" || {
+  echo "recovered event log diverges from the uninterrupted run" >&2
+  exit 1
+}
+cmp "$DIR/rec.fp" "$DIR/ref.fp" || {
+  echo "recovered SolutionFingerprint diverges from the uninterrupted run" >&2
+  exit 1
+}
+
+echo "crash-recovery smoke OK: $(wc -l < "$DIR/ref.log") events," \
+  "prefix $PREFIX killed and recovered byte-identically"

@@ -36,6 +36,10 @@ struct Options {
   double duration = 5;
   double cancel_fraction = 0;
   uint64_t seed = 1;
+  int rider_offset = 0;
+  int replay_limit = 0;   // replay only the first N schedule entries
+  double timeout = 10;    // per-request socket timeout, seconds
+  int max_retries = 4;    // attempts per request through reconnects
   bool shutdown = false;  // send {"op":"shutdown"} when done
   bool json = false;
   bool help = false;
@@ -58,7 +62,19 @@ open loop:
   --profile const|peak    homogeneous Poisson or two-peak day profile
   --duration S            schedule length in seconds (default 5)
   --cancel-fraction F     also cancel this share of riders shortly after
+  --rider-offset K        skip the first K riders of the server's universe
+                          (disjoint phases against one server)
   --seed S
+
+replay:
+  --replay-limit N        send only the first N schedule entries (crash-
+                          recovery harness: prefix, kill, full re-replay)
+
+resilience (both modes; requests carry idempotent req_ids, so retries
+after ambiguous failures are deduplicated server-side):
+  --timeout S             per-request socket timeout (default 10)
+  --max-retries K         attempts per request through backoff+jitter
+                          reconnects (default 4)
 
 common:
   --shutdown              send {"op":"shutdown"} after the run
@@ -77,10 +93,14 @@ Result<Options> ParseArgs(int argc, char** argv) {
       {"--rate", &opt.rate},
       {"--duration", &opt.duration},
       {"--cancel-fraction", &opt.cancel_fraction},
+      {"--timeout", &opt.timeout},
   };
   std::map<std::string, int*> ints = {
       {"--port", &opt.port},
       {"--connections", &opt.connections},
+      {"--rider-offset", &opt.rider_offset},
+      {"--replay-limit", &opt.replay_limit},
+      {"--max-retries", &opt.max_retries},
   };
   std::map<std::string, bool*> bools = {
       {"--shutdown", &opt.shutdown},
@@ -124,7 +144,8 @@ Status Run(const Options& opt) {
   endpoint.unix_path = opt.socket_path;
   LoadGenReport report;
   if (opt.mode == "replay") {
-    URR_ASSIGN_OR_RETURN(report, RunReplay(endpoint, opt.shutdown));
+    URR_ASSIGN_OR_RETURN(report,
+                         RunReplay(endpoint, opt.shutdown, opt.replay_limit));
   } else if (opt.mode == "open") {
     LoadGenOptions lopt;
     lopt.connections = opt.connections;
@@ -133,6 +154,9 @@ Status Run(const Options& opt) {
     lopt.duration = opt.duration;
     lopt.seed = opt.seed;
     lopt.cancel_fraction = opt.cancel_fraction;
+    lopt.rider_offset = opt.rider_offset;
+    lopt.retry.request_timeout = opt.timeout;
+    lopt.retry.max_attempts = opt.max_retries;
     URR_ASSIGN_OR_RETURN(report, RunOpenLoop(endpoint, lopt));
     if (opt.shutdown) {
       URR_ASSIGN_OR_RETURN(ClientConnection conn,
@@ -165,6 +189,12 @@ Status Run(const Options& opt) {
         report.p50 * 1e3, report.p95 * 1e3, report.p99 * 1e3,
         report.max * 1e3, report.shed_p99 * 1e3, report.goodput,
         report.rejection_rate * 100, report.elapsed);
+    if (report.reconnects > 0 || report.retries > 0) {
+      std::printf("reconnects %lld | retries %lld | %.2fs in gaps\n",
+                  static_cast<long long>(report.reconnects),
+                  static_cast<long long>(report.retries),
+                  report.gap_seconds);
+    }
   }
   // Non-zero exit on transport errors so scripts and CI catch them.
   return report.errors == 0

@@ -71,8 +71,15 @@ struct Options {
   int max_sessions = 64;
   bool steady_clock = false; // wall-clock time stamps instead of virtual
   double timescale = 1.0;
+  // Crash safety.
+  std::string journal_dir;   // write-ahead journal + checkpoints ("" = off)
+  std::string recover_dir;   // recover from this journal dir, then serve
+  int checkpoint_every = 256;
+  int dedup_window = 1 << 16;
+  bool no_journal_fsync = false;
   // Output.
   std::string log_path;      // final event log after shutdown
+  std::string fingerprint_path;  // final SolutionFingerprint after shutdown
   bool json = false;         // final EngineMetrics JSON on stdout
   bool help = false;
 };
@@ -117,13 +124,30 @@ server:
                           requiring a "time" field (breaks replay identity)
   --timescale X           steady clock: simulated seconds per real second
 
+crash safety (DESIGN.md #15):
+  --journal DIR           write-ahead journal + periodic checkpoints in DIR;
+                          every mutating request is durable before it is
+                          applied, so a kill -9 loses nothing
+  --recover DIR           recover from DIR (latest valid checkpoint + journal
+                          suffix replay, torn tails truncated), then serve,
+                          appending to the same journal
+  --checkpoint-every N    journaled mutations between checkpoints (256)
+  --dedup-window N        idempotency window: cached responses kept for
+                          req_id dedup (65536)
+  --no-journal-fsync      skip the per-record fdatasync (faster; an OS crash
+                          may lose the newest records)
+
 output:
   --log FILE              write the final deterministic event log to FILE
                           after graceful shutdown
+  --fingerprint FILE      write the final SolutionFingerprint to FILE after
+                          graceful shutdown (crash-recovery differentials)
   --json                  print the final EngineMetrics JSON to stdout
 
 The server runs until a client sends {"op":"shutdown"} (or SIGTERM-free
-environments: kill it; the log is only written on graceful shutdown).
+environments: kill it; with --journal a killed server is recovered
+byte-exactly by --recover, otherwise the log is only written on graceful
+shutdown).
 )");
 }
 
@@ -133,7 +157,9 @@ Result<Options> ParseArgs(int argc, char** argv) {
       {"--city", &opt.city},       {"--solver", &opt.solver},
       {"--oracle", &opt.oracle},   {"--index", &opt.index_path},
       {"--socket", &opt.socket_path}, {"--port-file", &opt.port_file},
-      {"--log", &opt.log_path},
+      {"--log", &opt.log_path},       {"--journal", &opt.journal_dir},
+      {"--recover", &opt.recover_dir},
+      {"--fingerprint", &opt.fingerprint_path},
   };
   std::map<std::string, double*> doubles = {
       {"--deadline-min", &opt.deadline_min_minutes},
@@ -161,11 +187,14 @@ Result<Options> ParseArgs(int argc, char** argv) {
       {"--max-redispatch", &opt.max_redispatch},
       {"--port", &opt.port},
       {"--max-sessions", &opt.max_sessions},
+      {"--checkpoint-every", &opt.checkpoint_every},
+      {"--dedup-window", &opt.dedup_window},
   };
   std::map<std::string, bool*> bools = {
       {"--arm-faults", &opt.arm_faults},
       {"--validate-invariants", &opt.validate_invariants},
       {"--steady-clock", &opt.steady_clock},
+      {"--no-journal-fsync", &opt.no_journal_fsync},
       {"--json", &opt.json},
   };
   for (int i = 1; i < argc; ++i) {
@@ -287,9 +316,25 @@ Status Run(const Options& opt) {
   ServiceConfig scfg;
   scfg.virtual_clock = !opt.steady_clock;
   scfg.timescale = opt.timescale;
+  if (!opt.journal_dir.empty() && !opt.recover_dir.empty() &&
+      opt.journal_dir != opt.recover_dir) {
+    return Status::InvalidArgument(
+        "--journal and --recover name different directories");
+  }
+  scfg.journal_dir =
+      opt.recover_dir.empty() ? opt.journal_dir : opt.recover_dir;
+  scfg.recover = !opt.recover_dir.empty();
+  scfg.checkpoint_every = opt.checkpoint_every;
+  scfg.journal_fsync = !opt.no_journal_fsync;
+  scfg.dedup_window = opt.dedup_window;
   AdmissionController admission(opt.max_sessions);
   DispatchService service(&workload, &ctx, ecfg, scfg, &admission);
   URR_RETURN_NOT_OK(service.Start());
+  if (scfg.recover) {
+    std::fprintf(stderr, "recovered: %lld journaled mutation(s) total, %lld replayed past the checkpoint\n",
+                 static_cast<long long>(service.journal_records()),
+                 static_cast<long long>(service.recovered_replayed()));
+  }
 
   ServerConfig svcfg;
   svcfg.port = opt.port;
@@ -314,6 +359,13 @@ Status Run(const Options& opt) {
   if (!opt.log_path.empty()) {
     URR_RETURN_NOT_OK(WriteFile(opt.log_path, service.SerializedLog()));
     std::fprintf(stderr, "event log written to %s\n", opt.log_path.c_str());
+  }
+  if (!opt.fingerprint_path.empty()) {
+    URR_RETURN_NOT_OK(WriteFile(opt.fingerprint_path,
+                                service.engine().SolutionFingerprint() +
+                                    "\n"));
+    std::fprintf(stderr, "fingerprint written to %s\n",
+                 opt.fingerprint_path.c_str());
   }
   if (opt.json) {
     std::printf("%s\n", service.MetricsJson().c_str());
